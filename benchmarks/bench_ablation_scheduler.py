@@ -1,0 +1,60 @@
+"""Extension benchmarks beyond the paper's figures.
+
+1. Cache-aware scheduler ablation (§3.4, left as future work in the
+   paper): warm-node affinity on vs off.
+2. Mixed warm/cold populations (§5.3.1, mentioned without numbers):
+   boot time and storage traffic as the warm fraction grows.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import (
+    run_mixed_warm_cold,
+    run_prefetch_ablation,
+    run_scheduler_ablation,
+)
+from repro.metrics.reporting import shape_check
+
+
+def test_ablation_scheduler(benchmark, report):
+    log = run_once(benchmark, run_scheduler_ablation)
+    report(log, "# VMs")
+
+    on = log.get("affinity on").ys()[0]
+    off = log.get("affinity off").ys()[0]
+    shape_check(on < off,
+                "warm-cache affinity speeds up the wave")
+    shape_check(
+        log.scalars["warm_placements_affinity_on"]
+        > log.scalars["warm_placements_affinity_off"],
+        "affinity routes VMs to warm nodes")
+
+
+def test_ablation_mixed_warm_cold(benchmark, report):
+    log = run_once(benchmark, run_mixed_warm_cold)
+    report(log, "warm fraction")
+
+    boot = log.get("mean boot time")
+    traffic = log.get("storage traffic")
+    shape_check(boot.ys()[-1] < boot.ys()[0],
+                "an all-warm wave beats an all-cold wave")
+    ys = traffic.ys()
+    shape_check(all(b <= a * 1.02 for a, b in zip(ys, ys[1:])),
+                "warm nodes monotonically reduce storage traffic "
+                "(§5.3.1's claim)")
+
+
+def test_ablation_prefetch(benchmark, report):
+    log = run_once(benchmark, run_prefetch_ablation)
+    report(log, "prefetch")
+
+    gain = log.scalars["improvement_pct"]
+    bound = log.scalars["paper_read_wait_pct"]
+    shape_check(gain >= 0,
+                "prefetching never slows the boot down")
+    shape_check(
+        gain <= bound + 2,
+        "§7.3: prefetching 'can only mask' the read-wait fraction "
+        f"(gain {gain:.1f}% vs {bound:.0f}% bound)")
+    shape_check(
+        gain < 10,
+        "§7.3: 'no substantial benefit' from prefetching")

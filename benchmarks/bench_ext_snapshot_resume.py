@@ -1,0 +1,34 @@
+"""Extension: memory-snapshot caches (paper §8 future work).
+
+"Starting from [memory snapshots] instead of the VM image could
+improve the VM starting time even further."  This benchmark shows why
+the caching part is essential: a plain snapshot resume transfers the
+whole resume working set (~280 MB) per VM and scales *worse* than
+booting on 1 GbE, while cached resumes stay flat at a few seconds.
+"""
+
+from benchmarks.conftest import run_once
+from repro.metrics.reporting import shape_check
+from repro.snapshots import run_snapshot_resume
+
+
+def test_ext_snapshot_resume(benchmark, report):
+    axis = [1, 8, 32]
+    log = run_once(benchmark, run_snapshot_resume, axis)
+    report(log, "# nodes")
+
+    boot = log.get("Cold boot (QCOW2)")
+    resume = log.get("Snapshot resume")
+    cached = log.get("Snapshot resume - warm cache")
+
+    shape_check(resume.y_at(1) < boot.y_at(1) * 0.6,
+                "a single resume is much faster than a boot "
+                "(no boot CPU)")
+    shape_check(resume.y_at(32) > boot.y_at(32),
+                "at scale, uncached resume loses to booting on 1GbE — "
+                "its working set is bigger than a boot's")
+    shape_check(cached.is_flat(tolerance=0.2),
+                "cached resumes stay flat in the node count")
+    shape_check(cached.y_at(32) < 0.3 * boot.y_at(32),
+                "cached resume 'improves the VM starting time even "
+                "further' (§8)")

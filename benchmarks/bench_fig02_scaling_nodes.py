@@ -1,0 +1,32 @@
+"""Figure 2: booting time of a CentOS VM on many compute nodes
+simultaneously, single VMI, plain QCOW2 over NFS.
+
+Paper claims reproduced here:
+* on 1 GbE, boot time grows (roughly linearly past ~8 nodes) with the
+  node count — the network to the storage node saturates;
+* on 32 Gb InfiniBand, boot time stays constant up to 64 nodes.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig02_scaling_nodes
+from repro.metrics.reporting import shape_check
+
+
+def test_fig02(benchmark, node_axis, report):
+    log = run_once(benchmark, run_fig02_scaling_nodes, node_axis)
+    report(log, "# nodes")
+
+    gbe = log.get("QCOW2 - 1GbE")
+    ib = log.get("QCOW2 - 32GbIB")
+    shape_check(
+        gbe.is_monotonic_increasing(tolerance=0.05),
+        "1GbE boot time grows with the node count")
+    shape_check(
+        gbe.growth_factor() > 1.5,
+        "1GbE slows down substantially by 64 nodes (paper: ~35s → ~140s)")
+    shape_check(
+        ib.is_flat(tolerance=0.25),
+        "32Gb IB boot time is constant in the node count")
+    shape_check(
+        gbe.ys()[-1] > ib.ys()[-1] * 1.5,
+        "at 64 nodes 1GbE is far slower than IB")

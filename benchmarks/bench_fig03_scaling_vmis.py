@@ -1,0 +1,37 @@
+"""Figure 3: booting time of 64 CentOS VMs, scaling the number of
+distinct VMIs, plain QCOW2 over NFS.
+
+Paper claims reproduced here:
+* regardless of the network, boot time rises steeply with the number
+  of independent VMIs — the storage node's disks queue up;
+* the two networks converge at high VMI counts (the disk, not the
+  network, is the bottleneck; paper: ~800–900 s at 64 VMIs).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig03_scaling_vmis
+from repro.metrics.reporting import shape_check
+
+
+def test_fig03(benchmark, vmi_axis, report):
+    log = run_once(benchmark, run_fig03_scaling_vmis, vmi_axis)
+    report(log, "# VMIs")
+
+    gbe = log.get("QCOW2 - 1GbE")
+    ib = log.get("QCOW2 - 32GbIB")
+    for series in (gbe, ib):
+        shape_check(
+            series.ys()[-1] > 4 * series.y_at(1),
+            f"{series.name}: 64 VMIs are several times slower than 1 "
+            f"(disk queueing)")
+    shape_check(
+        ib.is_monotonic_increasing(tolerance=0.05),
+        "IB curve rises with the VMI count")
+    last = vmi_axis[-1]
+    shape_check(
+        abs(gbe.y_at(last) - ib.y_at(last))
+        < 0.2 * max(gbe.y_at(last), ib.y_at(last)),
+        "at many VMIs both networks converge (disk-bound)")
+    # At a single VMI the network still separates them.
+    shape_check(gbe.y_at(1) > ib.y_at(1) * 1.5,
+                "at 1 VMI the 1GbE network dominates (Figure 2 edge)")

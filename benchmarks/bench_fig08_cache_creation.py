@@ -1,0 +1,38 @@
+"""Figure 8: cache creation overhead with increasing cache quota
+(one storage node, one compute node, 1 GbE).
+
+Paper claims reproduced here:
+* booting from a warm cache costs about the same as plain QCOW2;
+* a cold cache written synchronously to the compute node's *disk*
+  slows the boot down badly, and more so with a larger quota;
+* staging the cold cache in *memory* (the Figure 7 arrangement)
+  removes that overhead almost entirely.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig08_cache_creation
+from repro.metrics.reporting import shape_check
+
+
+def test_fig08(benchmark, quota_axis_mb, report):
+    log = run_once(benchmark, run_fig08_cache_creation, quota_axis_mb)
+    report(log, "quota MB")
+
+    warm = log.get("Warm cache")
+    cold_mem = log.get("Cold cache - on mem")
+    cold_disk = log.get("Cold cache - on disk")
+    plain = log.get("QCOW2")
+
+    qcow2_time = plain.ys()[0]
+    for x, y in warm.points:
+        shape_check(abs(y - qcow2_time) < 0.15 * qcow2_time,
+                    f"warm cache at {x} MB boots like QCOW2")
+    for x, y in cold_mem.points:
+        shape_check(abs(y - qcow2_time) < 0.15 * qcow2_time,
+                    f"memory-staged cold cache at {x} MB ~ QCOW2")
+    shape_check(
+        cold_disk.ys()[-1] > 1.5 * qcow2_time,
+        "disk-backed cold cache is much slower than QCOW2")
+    shape_check(
+        cold_disk.is_monotonic_increasing(tolerance=0.05),
+        "disk-backed cold cache slows down as the quota grows")

@@ -1,0 +1,39 @@
+"""Figure 11: caching a single VMI at the compute nodes over 1 GbE,
+scaling the number of nodes.
+
+Paper claims reproduced here:
+* with a cold cache, simultaneous boots cost about the same as plain
+  QCOW2 (the memory-staged cache adds no overhead);
+* with a warm cache, booting on 64 nodes costs about the same as
+  booting a single VM — the network bottleneck is gone.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig11_cached_scaling_nodes
+from repro.experiments.scaling import single_vm_reference
+from repro.metrics.reporting import shape_check
+
+
+def test_fig11(benchmark, node_axis, report):
+    log = run_once(benchmark, run_fig11_cached_scaling_nodes, node_axis)
+    report(log, "# nodes")
+
+    warm = log.get("Warm cache")
+    cold = log.get("Cold cache")
+    plain = log.get("QCOW2")
+
+    shape_check(warm.is_flat(tolerance=0.2),
+                "warm-cache boot time is flat in the node count")
+    single = single_vm_reference("1gbe")
+    shape_check(
+        warm.ys()[-1] < 1.25 * single,
+        "64 warm boots cost about one uncontended boot "
+        "(the paper's headline claim)")
+    last = node_axis[-1]
+    shape_check(
+        abs(cold.y_at(last) - plain.y_at(last))
+        < 0.25 * plain.y_at(last),
+        "cold cache costs about the same as plain QCOW2")
+    shape_check(
+        plain.y_at(last) > warm.y_at(last) * 1.5,
+        "at 64 nodes the warm cache clearly beats QCOW2 on 1GbE")

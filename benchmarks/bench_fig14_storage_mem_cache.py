@@ -1,0 +1,41 @@
+"""Figure 14: caching many VMIs on the storage node's memory, 64
+nodes, both networks.
+
+Paper claims reproduced here:
+* on 32 Gb IB, warm caches in storage memory resolve the only
+  remaining (disk) bottleneck — flat and low;
+* on 1 GbE, the disk bottleneck is solved but the network bound
+  remains: warm at 64 VMIs ≈ QCOW2 at 1 VMI (network-limited), far
+  below QCOW2 at 64 VMIs (disk-limited);
+* cold boots are slightly slower than QCOW2 (cache transfer charged).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig14_storage_mem_scaling_vmis
+from repro.metrics.reporting import shape_check
+
+
+def test_fig14(benchmark, vmi_axis, report):
+    log = run_once(benchmark, run_fig14_storage_mem_scaling_vmis,
+                   vmi_axis)
+    report(log, "# VMIs")
+
+    last = vmi_axis[-1]
+    ib_warm = log.get("Warm cache - 32GbIB")
+    ib_plain = log.get("QCOW2 - 32GbIB")
+    shape_check(ib_warm.is_flat(tolerance=0.25),
+                "IB: warm storage-memory caches are flat in #VMIs")
+    shape_check(
+        ib_plain.y_at(last) > 3 * ib_warm.y_at(last),
+        "IB: the disk bottleneck is fully resolved "
+        "('without any overhead')")
+
+    gbe_warm = log.get("Warm cache - 1GbE")
+    gbe_plain = log.get("QCOW2 - 1GbE")
+    shape_check(
+        gbe_plain.y_at(last) > 2 * gbe_warm.y_at(last),
+        "1GbE: warm caches still dodge the disk collapse")
+    shape_check(
+        gbe_warm.y_at(last) > 1.5 * ib_warm.y_at(last),
+        "1GbE: the network bottleneck remains for storage-memory "
+        "caches (unlike compute-disk caches)")

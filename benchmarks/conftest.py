@@ -1,0 +1,76 @@
+"""Benchmark harness configuration.
+
+Every ``bench_*.py`` regenerates one table or figure of the paper: it
+runs the matching :mod:`repro.experiments` runner under
+pytest-benchmark, prints the series the paper plots, saves the raw
+numbers to ``benchmarks/results/<id>.json`` (consumed by
+EXPERIMENTS.md), and asserts the paper's qualitative claims as shape
+checks.
+
+Scale control: the default ("quick") axes keep the endpoints and the
+crossover region of each figure so the whole suite finishes in
+minutes.  Set ``REPRO_BENCH_FULL=1`` for the paper's complete axes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import (
+    FULL_NODE_AXIS,
+    FULL_VMI_AXIS,
+    QUICK_NODE_AXIS,
+    QUICK_VMI_AXIS,
+)
+from repro.experiments.microbench import (
+    FULL_QUOTA_AXIS_MB,
+    QUICK_QUOTA_AXIS_MB,
+)
+from repro.metrics import format_series_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def node_axis() -> list[int]:
+    return FULL_NODE_AXIS if full_scale() else QUICK_NODE_AXIS
+
+
+@pytest.fixture(scope="session")
+def vmi_axis() -> list[int]:
+    return FULL_VMI_AXIS if full_scale() else QUICK_VMI_AXIS
+
+
+@pytest.fixture(scope="session")
+def quota_axis_mb() -> list[int]:
+    return FULL_QUOTA_AXIS_MB if full_scale() else QUICK_QUOTA_AXIS_MB
+
+
+@pytest.fixture
+def report():
+    """Print an ExperimentLog and persist it for EXPERIMENTS.md."""
+
+    def _report(log, x_label: str):
+        print()
+        print(format_series_table(log, x_label))
+        path = log.save(RESULTS_DIR)
+        print(f"[saved {path}]")
+        return log
+
+    return _report
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic and heavy; statistical rounds
+    would only repeat identical work.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

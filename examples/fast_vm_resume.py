@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Fast VM start via cached memory snapshots (the paper's §8 idea).
+
+Instead of booting a fresh VM (tens of seconds of guest CPU work), an
+IaaS can resume a pre-booted snapshot — if it can move the resume
+working set (~280 MB of saved RAM) to the host quickly enough.  This
+example starts 32 VMs three ways on a 1 GbE cluster and shows why the
+snapshot path *needs* the VMI-cache mechanism to win at scale.
+
+Run:  python examples/fast_vm_resume.py
+"""
+
+from repro.metrics import format_series_table
+from repro.snapshots import CENTOS_SNAPSHOT, run_snapshot_resume
+
+
+def main() -> None:
+    print("starting 1..32 VMs over 1 GbE: cold boot vs snapshot "
+          "resume vs cached resume\n")
+    log = run_snapshot_resume([1, 8, 32])
+    print(format_series_table(log, "# nodes"))
+
+    boot = log.get("Cold boot (QCOW2)")
+    resume = log.get("Snapshot resume")
+    cached = log.get("Snapshot resume - warm cache")
+    print(f"""
+reading the table:
+* one VM: resume ({resume.y_at(1):.0f}s) already beats booting
+  ({boot.y_at(1):.0f}s) — the guest skips its boot CPU work entirely;
+* 32 VMs: plain resume collapses to {resume.y_at(32):.0f}s — worse
+  than booting! Each resume pulls
+  {CENTOS_SNAPSHOT.resume_working_set / 1e6:.0f} MB of saved RAM
+  through the shared 1 GbE link;
+* with the resume working set in per-node cache images (same chain,
+  same quota/CoR machinery as VMI caches), 32 resumes take
+  {cached.y_at(32):.1f}s — flat, and {boot.y_at(32) / cached.y_at(32):.0f}x
+  faster than booting.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Multi-tenant IaaS: many users, many images, Algorithm 1 end to end.
+
+Section 2.2's many-VMI scenario: tenants boot *different* images
+simultaneously, so the storage node's disks — not the network — become
+the bottleneck.  This example runs a day-in-the-life sequence on the
+full Algorithm 1 deployment (caches at both the compute nodes and the
+storage node's memory) with the cache-aware scheduler, and shows how
+the decision mix shifts from cold to warm as the cloud heats up.
+
+Run:  python examples/multi_tenant_iaas.py
+"""
+
+from collections import Counter
+
+from repro.bootmodel import CENTOS_63, DEBIAN_607, generate_boot_trace
+from repro.cluster import Cloud
+from repro.units import format_size
+
+N_NODES = 32
+TENANT_VMIS = [
+    ("tenant-a/web", CENTOS_63),
+    ("tenant-b/api", CENTOS_63),
+    ("tenant-c/db", DEBIAN_607),
+    ("tenant-d/batch", DEBIAN_607),
+]
+
+
+def main() -> None:
+    cloud = Cloud(n_compute=N_NODES, network="1gbe",
+                  cache_mode="algorithm1")
+    for i, (vmi_id, profile) in enumerate(TENANT_VMIS):
+        trace = generate_boot_trace(profile, seed=i)
+        cloud.register_vmi(vmi_id, profile.vmi_size, trace)
+
+    waves = [
+        ("morning: every tenant starts 4 VMs",
+         [(vmi_id, 4) for vmi_id, _ in TENANT_VMIS]),
+        ("noon: tenants a+c scale out by 8",
+         [("tenant-a/web", 8), ("tenant-c/db", 8)]),
+        ("evening: everyone redeploys 4 VMs",
+         [(vmi_id, 4) for vmi_id, _ in TENANT_VMIS]),
+    ]
+
+    for label, request in waves:
+        result = cloud.start_vms(request)
+        mix = Counter(result.decisions.values())
+        print(f"{label}")
+        print(f"  mean boot {result.mean_boot_time:6.1f}s | "
+              f"storage traffic "
+              f"{format_size(result.scenario.storage_nfs_bytes):>9} | "
+              f"decisions: {dict(mix)}")
+        cloud.shutdown_all()
+
+    print(f"\nscheduler: {cloud.scheduler.stats.warm_placements} warm / "
+          f"{cloud.scheduler.stats.cold_placements} cold placements")
+    print(f"storage memory used by the cloud-level cache pool: "
+          f"{format_size(cloud.testbed.storage.memory.used_bytes)} "
+          f"({cloud.registry.storage_pool.stats.insertions} caches)")
+    for vmi_id, _ in TENANT_VMIS:
+        print(f"  {vmi_id}: warm on "
+              f"{len(cloud.warm_nodes(vmi_id))} nodes")
+    print("\n=> later waves run almost entirely on warm caches; the "
+          "storage node's disks and NIC stay idle")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: build a VMI cache chain on real files and boot from it.
+
+Walks the paper's §4.4 workflow end to end:
+
+1. create a base VMI (raw file on the "storage node");
+2. create a cache image backed by it (512 B clusters, 64 MiB quota);
+3. create a CoW overlay backed by the cache and "boot" a VM from it by
+   replaying a synthetic boot trace;
+4. boot a second VM from the now-warm cache and compare the traffic
+   that reached the base image.
+
+Run:  python examples/quickstart.py
+"""
+
+import os
+import tempfile
+
+from repro.bootmodel import generate_boot_trace
+from repro.bootmodel.profiles import tiny_profile
+from repro.bootmodel.vm import replay_through_chain
+from repro.imagefmt import Qcow2Image, RawImage, create_cache_chain
+from repro.units import MiB, format_size
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="repro-quickstart-")
+    base_path = os.path.join(workdir, "base.raw")
+    cache_path = os.path.join(workdir, "cache.qcow2")
+
+    # 1. The base VMI.  A real cloud image is several GB; for the demo
+    #    we use a 64 MiB image whose boot reads ~8 MiB.
+    profile = tiny_profile("demo-os", vmi_size=64 * MiB,
+                           working_set=8 * MiB, boot_time=2.0)
+    base = RawImage.create(base_path, profile.vmi_size)
+    base.write(0, os.urandom(1 * MiB))  # some "OS" content
+    base.close()
+    trace = generate_boot_trace(profile, seed=0)
+    print(f"base VMI: {format_size(profile.vmi_size)}, boot working set "
+          f"{format_size(trace.unique_read_bytes())}")
+
+    # 2+3. Cold boot: the two-step qemu-img workflow of §4.4 — cache
+    #      backed by base, CoW backed by cache — then replay the boot.
+    chain = create_cache_chain(
+        base_path, cache_path, os.path.join(workdir, "vm1.qcow2"),
+        quota=32 * MiB)
+    with chain:
+        cold = replay_through_chain(trace, chain)
+    print(f"\ncold boot: fetched {format_size(cold.base_bytes_read)} "
+          f"from the base image")
+    print(f"cache file after warming: "
+          f"{format_size(os.path.getsize(cache_path))} "
+          f"(CoR stored {format_size(cold.cor_bytes_written)})")
+
+    # 4. Warm boot: a fresh VM chains a new CoW to the existing cache.
+    chain = create_cache_chain(
+        base_path, cache_path, os.path.join(workdir, "vm2.qcow2"),
+        quota=32 * MiB)
+    with chain:
+        warm = replay_through_chain(trace, chain)
+    print(f"\nwarm boot: fetched {format_size(warm.base_bytes_read)} "
+          f"from the base image "
+          f"({format_size(warm.cache_hit_bytes)} served by the cache)")
+
+    # Inspect the cache image the way qemu-img info would.
+    header = Qcow2Image.peek_header(cache_path)
+    print(f"\ncache image header: quota="
+          f"{format_size(header.cache_ext.quota)}, current size="
+          f"{format_size(header.cache_ext.current_size)}, "
+          f"cluster size={header.cluster_size} B")
+
+    reduction = 1 - warm.base_bytes_read / max(cold.base_bytes_read, 1)
+    print(f"\n=> the warm cache removed {reduction:.1%} of the boot's "
+          f"storage-node traffic")
+    print(f"(images left in {workdir} — inspect them with "
+          f"`repro-img info/check/map <file>`)")
+
+
+if __name__ == "__main__":
+    main()

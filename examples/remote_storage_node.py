@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""A real storage node over the network: base image served over TCP.
+
+The paper's compute nodes mount the storage node over NFS; this demo
+runs the equivalent with the bundled NBD-style block server — real
+sockets, real bytes — and shows the cache absorbing the traffic:
+
+    storage process:  BlockServer exporting base.raw
+    compute process:  nbd://... <- cache.qcow2 <- vm.qcow2
+
+Run:  python examples/remote_storage_node.py
+"""
+
+import os
+import tempfile
+
+from repro.bootmodel import generate_boot_trace
+from repro.bootmodel.profiles import tiny_profile
+from repro.bootmodel.vm import replay_through_chain
+from repro.imagefmt import Qcow2Image, RawImage
+from repro.remote import BlockServer
+from repro.units import MiB, format_size
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="repro-remote-")
+    profile = tiny_profile("demo-os", vmi_size=64 * MiB,
+                           working_set=8 * MiB, boot_time=2.0)
+    trace = generate_boot_trace(profile, seed=0)
+
+    # --- the storage node ---
+    base_path = os.path.join(workdir, "base.raw")
+    base = RawImage.create(base_path, profile.vmi_size)
+    base.write(0, os.urandom(MiB))
+    with BlockServer() as server:
+        server.add_export("demo-os", base)
+        url = server.url("demo-os")
+        print(f"storage node serving {url} "
+              f"({format_size(base.size)} image)\n")
+
+        # --- the compute node: cold boot over the socket ---
+        cache_p = os.path.join(workdir, "cache.qcow2")
+        Qcow2Image.create(cache_p, backing_file=url, cluster_size=512,
+                          cache_quota=16 * MiB).close()
+        cow = Qcow2Image.create(os.path.join(workdir, "vm1.qcow2"),
+                                backing_file=cache_p,
+                                backing_format="qcow2")
+        with cow:
+            replay_through_chain(trace, cow, track_unique=False)
+        stats = server.export_stats("demo-os")
+        cold = stats.bytes_read
+        print(f"cold boot pulled {format_size(cold)} over the wire "
+              f"({stats.read_ops} requests)")
+
+        # --- warm boot: new CoW on the warm cache ---
+        cow2 = Qcow2Image.create(os.path.join(workdir, "vm2.qcow2"),
+                                 backing_file=cache_p,
+                                 backing_format="qcow2")
+        with cow2:
+            replay_through_chain(trace, cow2, track_unique=False)
+        warm = server.export_stats("demo-os").bytes_read - cold
+        print(f"warm boot pulled {format_size(warm)} over the wire")
+        print(f"\n=> the cache image kept "
+              f"{(1 - warm / max(cold, 1)):.1%} of the boot off the "
+              f"storage node's network link")
+    base.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline test environment lacks the `wheel` package, which PEP-517
+editable installs require; this shim lets ``pip install -e .`` use the
+classic ``setup.py develop`` path instead.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro — VM image caches for scalable virtual machine deployment.
+
+A full reproduction of Razavi & Kielmann, *Scalable Virtual Machine
+Deployment Using VM Image Caches* (SC'13), consisting of:
+
+* :mod:`repro.imagefmt` — a file-backed QCOW2-style image format with the
+  paper's cache extension (quota, copy-on-read, immutability w.r.t. the
+  base image) and a qemu-img-like tool.
+* :mod:`repro.bootmodel` — VM boot workloads: per-OS read traces and a
+  boot replayer with a CPU/I-O overlap model.
+* :mod:`repro.sim` — a discrete-event testbed standing in for the DAS-4
+  cluster: fair-share networks (1 GbE / 32 Gb InfiniBand), rotational
+  disks, memory stores, an NFS model, and compute/storage nodes.
+* :mod:`repro.cluster` — the deployment layer: cache pools with LRU
+  eviction, the cache-placement algorithm (Algorithm 1), and a
+  cache-aware cloud scheduler.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro import errors, units
+from repro.imagefmt import (
+    Qcow2Image,
+    RawImage,
+    create_cache_chain,
+    create_cow_chain,
+    open_chain,
+    open_image,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "errors",
+    "units",
+    "Qcow2Image",
+    "RawImage",
+    "open_image",
+    "create_cow_chain",
+    "create_cache_chain",
+    "open_chain",
+    "__version__",
+]

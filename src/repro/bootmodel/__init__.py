@@ -1,0 +1,40 @@
+"""VM boot workloads: per-OS read traces and the boot replayer.
+
+The paper's evaluation boots real CentOS 6.3, Debian 6.0.7, and Windows
+Server 2012 images on KVM.  We cannot boot those OSes here, but their
+effect on the system enters entirely through two observables:
+
+1. the sequence of block reads the boot issues against the image chain
+   (offsets, sizes, and the CPU "think time" between them), and
+2. the total CPU time of the boot.
+
+:mod:`repro.bootmodel.profiles` captures the published per-OS numbers
+(Table 1 working sets, Table 2 warm-cache sizes, the §7.3 "17 % of boot
+time waits on reads" split), :mod:`repro.bootmodel.generator` synthesizes
+deterministic traces matching them, and :mod:`repro.bootmodel.vm` replays
+a trace through a real image chain to measure traffic and working sets.
+"""
+
+from repro.bootmodel.generator import generate_boot_trace
+from repro.bootmodel.profiles import (
+    CENTOS_63,
+    DEBIAN_607,
+    OS_PROFILES,
+    WINDOWS_2012,
+    OSProfile,
+)
+from repro.bootmodel.trace import BootTrace, TraceOp
+from repro.bootmodel.vm import ReplayResult, replay_through_chain
+
+__all__ = [
+    "OSProfile",
+    "CENTOS_63",
+    "DEBIAN_607",
+    "WINDOWS_2012",
+    "OS_PROFILES",
+    "BootTrace",
+    "TraceOp",
+    "generate_boot_trace",
+    "replay_through_chain",
+    "ReplayResult",
+]

@@ -1,0 +1,126 @@
+"""Capturing boot traces from live image chains.
+
+The paper's §3.2 offers two ways to warm a cache: boot a sample VM on
+VMI registration, or create the cache lazily on the first real boot.
+Either way the system effectively *records* what the boot touches.
+This module provides that recorder:
+
+* :class:`CapturingDriver` wraps any block driver and logs every
+  operation with think-time gaps (wall-clock between ops), producing a
+  :class:`~repro.bootmodel.trace.BootTrace` that can drive later
+  simulations or warm caches deterministically.
+* :func:`parse_blkparse` imports traces from the textual output of
+  Linux ``blkparse`` (``blktrace`` decoder), so traces captured on real
+  hosts can replace the synthetic ones.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from typing import Callable, Iterable
+
+from repro.bootmodel.trace import BootTrace, TraceOp
+from repro.imagefmt.driver import BlockDriver
+
+
+class CapturingDriver(BlockDriver):
+    """A pass-through driver that records a boot trace.
+
+    Wraps the top of an image chain; the guest-facing reads/writes are
+    forwarded verbatim and logged.  ``clock`` is injectable for tests
+    (defaults to ``time.monotonic``).
+    """
+
+    format_name = "capture"
+
+    def __init__(self, inner: BlockDriver,
+                 clock: Callable[[], float] | None = None,
+                 os_name: str = "captured") -> None:
+        super().__init__(inner.path, inner.size, inner.read_only)
+        self._inner = inner
+        self._clock = clock if clock is not None else time.monotonic
+        self._last = self._clock()
+        self._ops: list[TraceOp] = []
+        self._os_name = os_name
+
+    def _gap(self) -> float:
+        now = self._clock()
+        gap = max(0.0, now - self._last)
+        self._last = now
+        return gap
+
+    def _read_impl(self, offset: int, length: int) -> bytes:
+        gap = self._gap()
+        data = self._inner.read(offset, length)
+        self._ops.append(TraceOp("read", offset, length, gap))
+        return data
+
+    def _write_impl(self, offset: int, data: bytes) -> None:
+        gap = self._gap()
+        self._inner.write(offset, data)
+        self._ops.append(TraceOp("write", offset, len(data), gap))
+
+    def _flush_impl(self) -> None:
+        self._inner.flush()
+
+    def _close_impl(self) -> None:
+        self._inner.close()
+
+    @property
+    def backing(self) -> BlockDriver | None:
+        return self._inner.backing
+
+    def trace(self) -> BootTrace:
+        """The trace recorded so far (a snapshot; capture continues)."""
+        return BootTrace(self._os_name, self.size, list(self._ops))
+
+
+# ---------------------------------------------------------------------------
+# blkparse import
+# ---------------------------------------------------------------------------
+
+# A blkparse "completed" line looks like:
+#   8,0  3  102  0.001234567  512  C  R  2048 + 64 [qemu-kvm]
+# fields: dev, cpu, seq, timestamp, pid, action, rwbs, sector, "+",
+# nsectors, [process].  We take C (complete) or Q (queue) actions.
+_BLKPARSE_RE = re.compile(
+    r"^\s*\d+,\d+\s+\d+\s+\d+\s+(?P<ts>\d+\.\d+)\s+\d+\s+"
+    r"(?P<action>[A-Z])\s+(?P<rwbs>[RW][A-Z]*)\s+"
+    r"(?P<sector>\d+)\s*\+\s*(?P<nsectors>\d+)"
+)
+
+_SECTOR = 512
+
+
+def parse_blkparse(
+    lines: Iterable[str],
+    *,
+    vmi_size: int,
+    os_name: str = "blktrace",
+    actions: tuple[str, ...] = ("Q",),
+) -> BootTrace:
+    """Convert ``blkparse`` text output into a :class:`BootTrace`.
+
+    Only the requested ``actions`` are kept (default: Q, the issue
+    events, which carry the guest-visible ordering).  Think times are
+    the timestamp gaps between consecutive kept events.  Events beyond
+    ``vmi_size`` are clipped; malformed lines are skipped.
+    """
+    ops: list[TraceOp] = []
+    last_ts: float | None = None
+    for line in lines:
+        m = _BLKPARSE_RE.match(line)
+        if not m or m.group("action") not in actions:
+            continue
+        ts = float(m.group("ts"))
+        offset = int(m.group("sector")) * _SECTOR
+        length = int(m.group("nsectors")) * _SECTOR
+        if length <= 0 or offset >= vmi_size:
+            continue
+        length = min(length, vmi_size - offset)
+        think = 0.0 if last_ts is None else max(0.0, ts - last_ts)
+        last_ts = ts
+        kind = "write" if m.group("rwbs").startswith("W") else "read"
+        ops.append(TraceOp(kind, offset, length, think))
+    return BootTrace(os_name, vmi_size, ops)

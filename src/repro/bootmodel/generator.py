@@ -1,0 +1,138 @@
+"""Deterministic synthesis of boot read traces from an OS profile.
+
+The paper measured real boots; we cannot, so we synthesize traces that
+match the published observables (see :mod:`repro.bootmodel.profiles`):
+the unique-read working set (Table 1), the small-read regime that made
+the authors tune NFS rwsize to 64 KiB (§5), the mostly-random access
+pattern (§3.3), and the CPU/read-wait split (§7.3).
+
+Determinism: the trace is a pure function of ``(profile, seed)``, so
+every experiment and test sees identical workloads across runs, and the
+"64 identical but independent copies of the CentOS VMI" of Figure 3 can
+be modelled by reusing one trace per VMI copy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bootmodel.profiles import OSProfile
+from repro.bootmodel.trace import BootTrace, TraceOp
+from repro.imagefmt.driver import RangeSet
+from repro.units import align_down, align_up
+
+_SECTOR = 512
+# Boot files cluster into a handful of on-disk zones (kernel+initrd,
+# /lib, /etc, /usr/bin, ...), biased toward the front of the image.
+_N_ZONES = 12
+
+
+def generate_boot_trace(
+    profile: OSProfile,
+    seed: int = 0,
+    *,
+    working_set_override: int | None = None,
+) -> BootTrace:
+    """Generate the boot trace for one (VMI, VM) pair.
+
+    ``working_set_override`` substitutes the profile's Table-1 working
+    set, used by tests and by quota-sweep experiments that need smaller
+    boots.
+    """
+    rng = np.random.default_rng(
+        np.random.SeedSequence([abs(hash(profile.name)) % 2**32, seed]))
+    target_ws = working_set_override if working_set_override is not None \
+        else profile.read_working_set
+    if target_ws <= 0:
+        raise ValueError("working set must be positive")
+    if target_ws > profile.vmi_size:
+        raise ValueError("working set cannot exceed the VMI size")
+
+    zones = _make_zones(rng, profile.vmi_size)
+    ops: list[TraceOp] = []
+    covered = RangeSet()
+    covered_bytes = 0
+    cursor = int(zones[0])
+
+    # Phase 1: unique reads until the working set is reached.
+    while covered_bytes < target_ws:
+        if ops and rng.random() < profile.sequential_fraction:
+            offset = cursor
+        else:
+            zone = int(zones[rng.integers(len(zones))])
+            jitter = int(rng.integers(0, max(profile.vmi_size // 64, 1)))
+            offset = align_down(
+                min(zone + jitter, profile.vmi_size - _SECTOR), _SECTOR)
+        length = _draw_read_size(rng, profile.mean_read_size)
+        length = min(length, profile.vmi_size - offset,
+                     target_ws - covered_bytes + _SECTOR)
+        length = max(_SECTOR, align_up(length, _SECTOR))
+        if offset + length > profile.vmi_size:
+            length = align_down(profile.vmi_size - offset, _SECTOR)
+            if length <= 0:
+                continue
+        before = covered.total()
+        covered.add(offset, length)
+        covered_bytes = covered.total()
+        if covered_bytes == before:
+            # Fully re-read range: keep it (counts as natural re-read),
+            # but bump the cursor so sequential runs escape the overlap.
+            cursor = offset + length
+            ops.append(TraceOp("read", offset, length, 0.0))
+            continue
+        ops.append(TraceOp("read", offset, length, 0.0))
+        cursor = offset + length
+
+    # Phase 2: deliberate re-reads of hot data (config files parsed by
+    # several services, shared libraries mapped repeatedly, ...).
+    reread_target = int(target_ws * profile.reread_fraction)
+    reread_bytes = 0
+    read_ops_snapshot = [op for op in ops if op.kind == "read"]
+    while reread_bytes < reread_target and read_ops_snapshot:
+        src = read_ops_snapshot[int(rng.integers(len(read_ops_snapshot)))]
+        pos = int(rng.integers(0, len(ops) + 1))
+        ops.insert(pos, TraceOp("read", src.offset, src.length, 0.0))
+        reread_bytes += src.length
+
+    # Phase 3: guest writes (boot logs, pid files) — land in the CoW.
+    # Writes are append-style within a scratch zone (log files grow
+    # sequentially), so the CoW-fill amplification they cause stays a
+    # fraction of a CoW cluster per file, as with a real boot.
+    n_writes = int(len(ops) * profile.write_fraction)
+    write_cursor = align_down(int(profile.vmi_size * 0.9), _SECTOR)
+    for _ in range(n_writes):
+        length = int(rng.integers(1, 17)) * _SECTOR
+        if write_cursor + length > profile.vmi_size:
+            write_cursor = align_down(int(profile.vmi_size * 0.9), _SECTOR)
+        pos = int(rng.integers(0, len(ops) + 1))
+        ops.insert(pos, TraceOp("write", write_cursor, length, 0.0))
+        write_cursor += length
+
+    # Phase 4: distribute the boot's CPU time as think time before each
+    # op (exponential weights — bursts of computation between I/O).
+    weights = rng.exponential(1.0, size=len(ops))
+    weights *= profile.cpu_time / weights.sum()
+    ops = [
+        TraceOp(op.kind, op.offset, op.length, float(w))
+        for op, w in zip(ops, weights)
+    ]
+    return BootTrace(profile.name, profile.vmi_size, ops)
+
+
+def _make_zones(rng: np.random.Generator, vmi_size: int) -> np.ndarray:
+    """Zone origins, biased toward the front of the image (kernel area)."""
+    raw = rng.beta(1.2, 3.0, size=_N_ZONES) * vmi_size * 0.85
+    raw[0] = 0.0  # the bootloader/kernel zone is always at the start
+    return np.sort(raw.astype(np.int64) // _SECTOR * _SECTOR)
+
+
+def _draw_read_size(rng: np.random.Generator, mean: int) -> int:
+    """Lognormal read sizes clipped to [512 B, 8×mean].
+
+    Most boot reads are small (§5.1): the median sits well under the
+    mean, with a tail of larger streaming reads.
+    """
+    sigma = 0.9
+    mu = np.log(mean) - sigma * sigma / 2.0
+    size = int(rng.lognormal(mu, sigma))
+    return int(np.clip(size, _SECTOR, 8 * mean))

@@ -1,0 +1,145 @@
+"""Boot trace records, statistics, and (de)serialization.
+
+A boot trace is the ordered list of block operations a VM issues while
+booting, each with the CPU think time that precedes it.  Traces are what
+couple the boot model to both the file-backed image chain (real replay,
+:mod:`repro.bootmodel.vm`) and the discrete-event testbed
+(:mod:`repro.sim.cluster_sim`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.imagefmt.driver import RangeSet
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One boot-time block operation.
+
+    ``think_time`` is the CPU time the guest spends *before* issuing
+    this operation — the boot's computation is the sum of think times,
+    its I/O wait is the sum of the operations' service times.
+    """
+
+    kind: str  # "read" | "write"
+    offset: int
+    length: int
+    think_time: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("read", "write"):
+            raise ValueError(f"bad op kind {self.kind!r}")
+        if self.offset < 0 or self.length < 0 or self.think_time < 0:
+            raise ValueError("offset/length/think_time must be >= 0")
+
+
+@dataclass
+class BootTrace:
+    """A full boot's worth of operations against one VMI."""
+
+    os_name: str
+    vmi_size: int
+    ops: list[TraceOp] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[TraceOp]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    # -- statistics ---------------------------------------------------
+
+    def reads(self) -> Iterable[TraceOp]:
+        return (op for op in self.ops if op.kind == "read")
+
+    def writes(self) -> Iterable[TraceOp]:
+        return (op for op in self.ops if op.kind == "write")
+
+    def total_read_bytes(self) -> int:
+        return sum(op.length for op in self.reads())
+
+    def total_write_bytes(self) -> int:
+        return sum(op.length for op in self.writes())
+
+    def unique_read_bytes(self) -> int:
+        """The read working set: Table 1's 'size of unique reads'."""
+        rs = RangeSet()
+        for op in self.reads():
+            rs.add(op.offset, op.length)
+        return rs.total()
+
+    def total_think_time(self) -> float:
+        return sum(op.think_time for op in self.ops)
+
+    def read_count(self) -> int:
+        return sum(1 for _ in self.reads())
+
+    def max_offset(self) -> int:
+        return max((op.offset + op.length for op in self.ops), default=0)
+
+    # -- transformations ----------------------------------------------
+
+    def coarsen(self, factor: int) -> "BootTrace":
+        """Merge every ``factor`` consecutive reads into one operation.
+
+        Used to speed up large cluster simulations: byte totals and
+        think-time totals are preserved exactly, the op count drops by
+        ``factor``.  Offsets of merged groups take the first op's offset
+        (working-set accounting is therefore approximate — only use the
+        coarse trace for timing studies, never for Table 1/2 measures).
+        """
+        if factor <= 1:
+            return self
+        out: list[TraceOp] = []
+        group: list[TraceOp] = []
+        for op in self.ops:
+            if op.kind != "read":
+                out.append(op)
+                continue
+            group.append(op)
+            if len(group) == factor:
+                out.append(_merge_reads(group))
+                group = []
+        if group:
+            out.append(_merge_reads(group))
+        return BootTrace(self.os_name, self.vmi_size, out)
+
+    # -- (de)serialization ----------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "os_name": self.os_name,
+            "vmi_size": self.vmi_size,
+            "ops": [[op.kind, op.offset, op.length, op.think_time]
+                    for op in self.ops],
+        })
+
+    @classmethod
+    def from_json(cls, text: str) -> "BootTrace":
+        raw = json.loads(text)
+        ops = [TraceOp(kind=k, offset=o, length=ln, think_time=t)
+               for k, o, ln, t in raw["ops"]]
+        return cls(os_name=raw["os_name"], vmi_size=raw["vmi_size"],
+                   ops=ops)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "BootTrace":
+        with open(path, encoding="utf-8") as f:
+            return cls.from_json(f.read())
+
+
+def _merge_reads(group: list[TraceOp]) -> TraceOp:
+    return TraceOp(
+        kind="read",
+        offset=group[0].offset,
+        length=sum(op.length for op in group),
+        think_time=sum(op.think_time for op in group),
+    )

@@ -1,0 +1,160 @@
+"""Replaying boot traces through a real image chain.
+
+This is the file-backed half of the evaluation: replaying a trace
+through ``base ← [cache ←] CoW`` measures exactly what the paper
+measures at the storage node — bytes transferred (Figures 9, 10), the
+unique working set (Table 1), and the resulting warm-cache file size
+(Table 2).  Timing under contention is the simulator's job
+(:mod:`repro.sim`); this module is about *data movement*, which is real.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.bootmodel.trace import BootTrace
+from repro.imagefmt.chain import find_cache_layer
+from repro.imagefmt.driver import BlockDriver
+
+
+@dataclass
+class ReplayResult:
+    """Traffic accounting from one boot replay."""
+
+    os_name: str
+    ops_replayed: int = 0
+    guest_bytes_read: int = 0
+    guest_bytes_written: int = 0
+    base_bytes_read: int = 0
+    """Bytes fetched from the base image — the storage-node traffic of
+    Figures 9/10 ('observed traffic at the storage node')."""
+
+    base_read_ops: int = 0
+    unique_base_bytes: int = 0
+    """Unique base bytes touched — Table 1's working-set measure."""
+
+    cache_hit_bytes: int = 0
+    cache_miss_bytes: int = 0
+    cor_bytes_written: int = 0
+    cache_file_size: int | None = None
+    """Physical size of the cache image after the boot — Table 2."""
+
+    cor_disabled: bool = False
+    layers: list[str] = field(default_factory=list)
+
+
+def bottom_layer(chain: BlockDriver) -> BlockDriver:
+    node = chain
+    while node.backing is not None:
+        node = node.backing
+    return node
+
+
+def replay_through_chain(
+    trace: BootTrace,
+    chain: BlockDriver,
+    *,
+    track_unique: bool = True,
+) -> ReplayResult:
+    """Replay every trace op against the top of an image chain.
+
+    Reads and writes are clipped to the chain's virtual size (traces and
+    images may disagree by a cluster when tests shrink things).  Returns
+    the traffic accounting gathered from every layer's driver stats.
+    """
+    base = bottom_layer(chain)
+    if track_unique:
+        base.enable_range_tracking()
+    base_read0 = base.stats.bytes_read
+    base_ops0 = base.stats.read_ops
+
+    result = ReplayResult(os_name=trace.os_name)
+    for op in trace:
+        offset = min(op.offset, max(chain.size - 512, 0))
+        length = min(op.length, chain.size - offset)
+        if length <= 0:
+            continue
+        if op.kind == "read":
+            chain.read(offset, length)
+            result.guest_bytes_read += length
+        else:
+            chain.write(offset, b"\0" * length)
+            result.guest_bytes_written += length
+        result.ops_replayed += 1
+
+    result.base_bytes_read = base.stats.bytes_read - base_read0
+    result.base_read_ops = base.stats.read_ops - base_ops0
+    if track_unique:
+        result.unique_base_bytes = base.stats.touched.total()
+
+    node: BlockDriver | None = chain
+    while node is not None:
+        result.layers.append(node.path)
+        node = node.backing
+
+    cache = find_cache_layer(chain)
+    if cache is not None:
+        result.cache_hit_bytes = cache.stats.cache_hit_bytes
+        result.cache_miss_bytes = cache.stats.cache_miss_bytes
+        result.cor_bytes_written = cache.stats.cor_bytes_written
+        result.cor_disabled = not cache.cache_runtime.cor.enabled
+        cache.flush()
+        result.cache_file_size = cache.physical_size
+    return result
+
+
+def warm_cache_by_boot(
+    trace: BootTrace,
+    base_path: str,
+    cache_path: str,
+    *,
+    quota: int,
+    cache_cluster_size: int = 512,
+) -> ReplayResult:
+    """Boot a sample VM once to warm a cache image (§3.2: 'the system
+    can boot a sample VM upon a new VMI registration to create the
+    cache').  The throwaway CoW overlay is deleted afterwards."""
+    from repro.imagefmt.chain import create_cache_chain
+
+    scratch_cow = cache_path + ".warmup-cow"
+    chain = create_cache_chain(
+        base_path, cache_path, scratch_cow,
+        quota=quota, cache_cluster_size=cache_cluster_size,
+    )
+    try:
+        with chain:
+            result = replay_through_chain(trace, chain)
+    finally:
+        if os.path.exists(scratch_cow):
+            os.unlink(scratch_cow)
+    return result
+
+
+def measure_boot_time_uncontended(
+    trace: BootTrace,
+    read_latency: float,
+    read_bandwidth: float,
+) -> float:
+    """Analytic boot time for a single uncontended VM.
+
+    ``boot = Σ think + Σ (latency + length/bandwidth)`` over reads that
+    miss every cache; used as a sanity anchor for the simulator (the
+    full model with contention lives in :mod:`repro.sim`).
+    """
+    wait = sum(read_latency + op.length / read_bandwidth
+               for op in trace.reads())
+    return trace.total_think_time() + wait
+
+
+def make_sparse_base(path: str, profile_size: int) -> str:
+    """A sparse raw base image of the profile's VMI size.
+
+    The replayed boots only care about which *ranges* they touch, so a
+    hole-filled base (reads return zeros) moves exactly the same byte
+    counts a real OS image would, without multi-GB test fixtures.
+    """
+    from repro.imagefmt.raw import RawImage
+
+    RawImage.create(path, profile_size).close()
+    return path

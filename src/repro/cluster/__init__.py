@@ -1,0 +1,35 @@
+"""The deployment layer: cache pools, placement, scheduling.
+
+This is where the paper's Sections 3.4 (cache-aware cloud scheduler)
+and 6 (cache placement, Algorithm 1) live.  The layer sits on top of
+the simulated testbed (:mod:`repro.sim`) and turns "boot N VMs from
+these VMIs" requests into image chains, node assignments, and post-boot
+cache management — the integration with the cloud middleware that the
+paper names as its next step.
+"""
+
+from repro.cluster.cache_manager import CachePool, CacheRegistry
+from repro.cluster.deployment import Deployment, DeploymentResult
+from repro.cluster.middleware import Cloud, VMIDescriptor
+from repro.cluster.placement import PlacementPlan, plan_chain
+from repro.cluster.scheduler import (
+    CacheAwareScheduler,
+    LoadAwareStrategy,
+    PackingStrategy,
+    StripingStrategy,
+)
+
+__all__ = [
+    "CachePool",
+    "CacheRegistry",
+    "plan_chain",
+    "PlacementPlan",
+    "CacheAwareScheduler",
+    "PackingStrategy",
+    "StripingStrategy",
+    "LoadAwareStrategy",
+    "Deployment",
+    "DeploymentResult",
+    "Cloud",
+    "VMIDescriptor",
+]

@@ -1,0 +1,161 @@
+"""Cache pools with quota accounting and LRU eviction.
+
+Section 3.4: "One of the other tasks of a cache-aware scheduler should
+be the eviction of VMI caches whenever the allocated cache space is
+full for a new VMI cache.  This can be a policy such as LRU at the node
+or cloud level."  A :class:`CachePool` is one bounded pool (a compute
+node's reserved disk space, or the storage node's memory); a
+:class:`CacheRegistry` tracks the pool of every location in the
+cluster.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.sim.blockio import SimImage
+
+
+@dataclass
+class CachePoolStats:
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    rejected_too_big: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CachePool:
+    """An LRU pool of cache images for one physical location."""
+
+    def __init__(self, name: str, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[str, SimImage] = OrderedDict()
+        self.used_bytes = 0
+        self.stats = CachePoolStats()
+
+    # -- lookup -----------------------------------------------------------
+
+    def get(self, vmi_id: str) -> SimImage | None:
+        """Warm-cache lookup; refreshes LRU recency on hit."""
+        cache = self._entries.get(vmi_id)
+        if cache is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(vmi_id)
+        self.stats.hits += 1
+        return cache
+
+    def peek(self, vmi_id: str) -> SimImage | None:
+        """Lookup without LRU refresh or stats (for scheduling scans)."""
+        return self._entries.get(vmi_id)
+
+    def __contains__(self, vmi_id: str) -> bool:
+        return vmi_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def vmi_ids(self) -> list[str]:
+        """Cached VMI ids, least recently used first."""
+        return list(self._entries)
+
+    # -- insertion / eviction ----------------------------------------------
+
+    def put(self, vmi_id: str, cache: SimImage) -> list[SimImage]:
+        """Insert a cache image, evicting LRU entries to make room.
+
+        Returns the evicted images (the caller owns any cleanup, e.g.
+        freeing simulated memory).  An image bigger than the whole pool
+        is rejected and simply not cached.
+        """
+        size = cache.physical_bytes
+        if size > self.capacity_bytes:
+            self.stats.rejected_too_big += 1
+            return []
+        evicted: list[SimImage] = []
+        if vmi_id in self._entries:
+            self.used_bytes -= self._entries[vmi_id].physical_bytes
+            del self._entries[vmi_id]
+        while self.used_bytes + size > self.capacity_bytes \
+                and self._entries:
+            _victim_id, victim = self._entries.popitem(last=False)
+            self.used_bytes -= victim.physical_bytes
+            self.stats.evictions += 1
+            evicted.append(victim)
+        self._entries[vmi_id] = cache
+        self.used_bytes += size
+        self.stats.insertions += 1
+        return evicted
+
+    def remove(self, vmi_id: str) -> SimImage | None:
+        cache = self._entries.pop(vmi_id, None)
+        if cache is not None:
+            self.used_bytes -= cache.physical_bytes
+        return cache
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def __repr__(self) -> str:
+        return (f"<CachePool {self.name!r} {len(self._entries)} entries "
+                f"{self.used_bytes}/{self.capacity_bytes}B>")
+
+
+class CacheRegistry:
+    """All cache pools in the cluster: one per compute node + the
+    storage node's memory pool."""
+
+    def __init__(
+        self,
+        node_ids: list[str],
+        *,
+        node_capacity_bytes: int,
+        storage_capacity_bytes: int,
+    ) -> None:
+        self.node_pools: dict[str, CachePool] = {
+            node_id: CachePool(f"{node_id}.cachepool",
+                               node_capacity_bytes)
+            for node_id in node_ids
+        }
+        self.storage_pool = CachePool("storage-mem.cachepool",
+                                      storage_capacity_bytes)
+
+    def node_pool(self, node_id: str) -> CachePool:
+        return self.node_pools[node_id]
+
+    def nodes_with_cache(self, vmi_id: str) -> list[str]:
+        """Node ids holding a warm cache for this VMI (§3.4: the
+        scheduler prefers these)."""
+        return [node_id for node_id, pool in self.node_pools.items()
+                if vmi_id in pool]
+
+    def invalidate_vmi(self, vmi_id: str) -> int:
+        """Drop every cache of a VMI, cluster-wide.
+
+        §3's validity rule: a cache "can be reused many times in the
+        future as long as the base image remains unchanged" — so when
+        an operator commits a new golden image over a base, all its
+        caches must go.  Returns the number of entries dropped.
+        """
+        dropped = 0
+        for pool in list(self.node_pools.values()) + [self.storage_pool]:
+            if pool.remove(vmi_id) is not None:
+                dropped += 1
+        return dropped
+
+    def total_cached_vmis(self) -> int:
+        ids = set(self.storage_pool.vmi_ids())
+        for pool in self.node_pools.values():
+            ids.update(pool.vmi_ids())
+        return len(ids)

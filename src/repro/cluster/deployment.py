@@ -1,0 +1,323 @@
+"""Deployment waves: turn VM requests into chains, boots, and cache
+bookkeeping.
+
+One :class:`Deployment` owns a testbed and a cache registry and runs
+*waves* of simultaneous VM startups — the unit of the paper's §5
+experiments.  The ``cache_mode`` selects which evaluation setup the
+wave reproduces:
+
+``none``
+    Plain on-demand QCOW2 (the §2 baseline; Figures 2 and 3).
+
+``compute-disk``
+    VMI caches on the compute nodes' disks (Figures 7, 11, 12).  Cold
+    caches are staged in compute-node memory during boot and flushed to
+    the local disk after VM shutdown, off the critical path (§5.1).
+
+``storage-mem``
+    VMI caches in the storage node's memory (Figures 13, 14).  One VM
+    per VMI creates the cache and ships it back — with the transfer
+    charged to that VM's boot time, as the paper does — while its
+    siblings proceed with plain QCOW2.
+
+``algorithm1``
+    The §6 recommendation: chain to a local cache if present, else to
+    the storage-memory cache (creating a local one on the way), else
+    create cold and copy back on shutdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.bootmodel.trace import BootTrace
+from repro.cluster.cache_manager import CacheRegistry
+from repro.cluster.placement import PlacementPlan, plan_chain
+from repro.sim.blockio import SimImage
+from repro.sim.cluster_sim import (
+    BootJob,
+    ScenarioResult,
+    Testbed,
+    boot_vms,
+)
+from repro.units import MB
+
+CacheMode = Literal["none", "compute-disk", "storage-mem", "algorithm1"]
+
+#: §2.3: "a VMI cache entry would need to have in the order of 250 MB
+#: (providing some margin)".
+DEFAULT_CACHE_QUOTA = 250 * MB
+
+
+@dataclass
+class VMRequest:
+    """One VM to start in a wave."""
+
+    vm_id: str
+    vmi_id: str
+    node_id: str
+
+
+@dataclass
+class DeploymentResult:
+    """A wave's outcome: boot measurements plus cache bookkeeping."""
+
+    scenario: ScenarioResult
+    decisions: dict[str, str] = field(default_factory=dict)
+    post_boot_seconds: float = 0.0
+    """Simulated time spent on off-critical-path work after the boots
+    (cache flushes to disk, Algorithm 1 copy-backs)."""
+
+    @property
+    def mean_boot_time(self) -> float:
+        return self.scenario.mean_boot_time
+
+
+class Deployment:
+    """Runs deployment waves against one testbed."""
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        registry: CacheRegistry,
+        *,
+        cache_mode: CacheMode = "algorithm1",
+        cache_quota: int = DEFAULT_CACHE_QUOTA,
+        cache_cluster_bits: int = 9,
+    ) -> None:
+        if cache_mode not in ("none", "compute-disk", "storage-mem",
+                              "algorithm1"):
+            raise ValueError(f"unknown cache mode {cache_mode!r}")
+        self.testbed = testbed
+        self.registry = registry
+        self.cache_mode = cache_mode
+        self.cache_quota = cache_quota
+        self.cache_cluster_bits = cache_cluster_bits
+        self.bases: dict[str, SimImage] = {}
+        self.traces: dict[str, BootTrace] = {}
+
+    # -- VMI registration ---------------------------------------------------
+
+    def register_vmi(self, vmi_id: str, size: int,
+                     trace: BootTrace) -> SimImage:
+        base = self.testbed.make_base(vmi_id, size)
+        self.bases[vmi_id] = base
+        self.traces[vmi_id] = trace
+        return base
+
+    # -- wave execution -------------------------------------------------------
+
+    def run_wave(self, requests: list[VMRequest]) -> DeploymentResult:
+        """Start all requested VMs simultaneously."""
+        tb = self.testbed
+        plans: list[tuple[VMRequest, PlacementPlan]] = []
+        cold_creator_per_vmi: dict[str, str] = {}
+        cold_creator_per_node_vmi: set[tuple[str, str]] = set()
+
+        for req in requests:
+            base = self.bases[req.vmi_id]
+            node = tb.node_by_id(req.node_id)
+            plan = self._plan_for(req, base, node,
+                                  cold_creator_per_vmi,
+                                  cold_creator_per_node_vmi)
+            plans.append((req, plan))
+
+        self._run_pre_boot(plans)
+        jobs = []
+        for req, plan in plans:
+            node = tb.node_by_id(req.node_id)
+            cow = SimImage(
+                f"{req.vm_id}.cow", plan.backing_for_cow.size,
+                tb.compute_mem_location(node, f"{req.vm_id}.cow"),
+                backing=plan.backing_for_cow,
+            )
+            epilogue = None
+            if self.cache_mode == "storage-mem" \
+                    and "copy-cache-to-storage" in plan.post_boot:
+                cache = plan.new_cache
+
+                def epilogue(cache=cache):  # noqa: B023 - bound above
+                    return tb.copy_cache_to_storage_memory(cache)
+
+            jobs.append(BootJob(req.vm_id, node, cow,
+                                self.traces[req.vmi_id],
+                                epilogue=epilogue))
+
+        scenario = boot_vms(tb, jobs)
+        post_t0 = tb.env.now
+        self._run_post_boot(plans)
+        result = DeploymentResult(
+            scenario=scenario,
+            decisions={req.vm_id: plan.decision for req, plan in plans},
+            post_boot_seconds=tb.env.now - post_t0,
+        )
+        return result
+
+    # -- planning -------------------------------------------------------------
+
+    def _plan_for(
+        self,
+        req: VMRequest,
+        base: SimImage,
+        node,
+        cold_creator_per_vmi: dict[str, str],
+        cold_creator_per_node_vmi: set[tuple[str, str]],
+    ) -> PlacementPlan:
+        if self.cache_mode == "none":
+            return PlacementPlan(backing_for_cow=base,
+                                 decision="no-cache")
+
+        if self.cache_mode == "compute-disk":
+            local = self.registry.node_pool(node.node_id).get(base.name)
+            if local is not None:
+                return PlacementPlan(backing_for_cow=local,
+                                     decision="local-warm")
+            key = (node.node_id, base.name)
+            if key in cold_creator_per_node_vmi:
+                return PlacementPlan(backing_for_cow=base,
+                                     decision="no-cache")
+            cold_creator_per_node_vmi.add(key)
+            cache = self._new_cache(req, base, node)
+            return PlacementPlan(
+                backing_for_cow=cache, new_cache=cache, decision="cold",
+                post_boot=["flush-cache-to-local-disk", "register-local"],
+            )
+
+        if self.cache_mode == "storage-mem":
+            warm = self.registry.storage_pool.get(base.name)
+            if warm is not None:
+                return PlacementPlan(backing_for_cow=warm,
+                                     decision="storage-warm")
+            if base.name in cold_creator_per_vmi:
+                return PlacementPlan(backing_for_cow=base,
+                                     decision="no-cache")
+            cold_creator_per_vmi[base.name] = req.vm_id
+            cache = self._new_cache(req, base, node)
+            return PlacementPlan(
+                backing_for_cow=cache, new_cache=cache, decision="cold",
+                post_boot=["copy-cache-to-storage",
+                           "register-storage"],
+            )
+
+        # algorithm1
+        key = (node.node_id, base.name)
+        create_cold = key not in cold_creator_per_node_vmi
+        plan = plan_chain(
+            self.testbed, self.registry, node, base,
+            quota=self.cache_quota,
+            cache_cluster_bits=self.cache_cluster_bits,
+            create_cold_cache=create_cold,
+            vm_name=req.vm_id,
+        )
+        if plan.decision == "cold":
+            cold_creator_per_node_vmi.add(key)
+            if base.name in cold_creator_per_vmi:
+                # Another node already ships this VMI's cache back.
+                plan.post_boot.remove("copy-cache-to-storage")
+            else:
+                cold_creator_per_vmi[base.name] = req.vm_id
+        elif plan.decision == "storage-warm":
+            cold_creator_per_node_vmi.add(key)
+        return plan
+
+    def _new_cache(self, req: VMRequest, base: SimImage,
+                   node) -> SimImage:
+        """A cold cache staged in the compute node's memory (Figure 7:
+        populate in memory to keep slow synchronous writes off the boot
+        path)."""
+        return SimImage(
+            f"{req.vm_id}.cache", base.size,
+            self.testbed.compute_mem_location(node,
+                                              f"{req.vm_id}.cache"),
+            cluster_bits=self.cache_cluster_bits,
+            backing=base,
+            cache_quota=self.cache_quota,
+        )
+
+    # -- pre-boot actions --------------------------------------------------------
+
+    def _run_pre_boot(
+            self, plans: list[tuple[VMRequest, PlacementPlan]]) -> None:
+        """Algorithm 1's 'if Cache_base is on disk then copy Base_cache
+        to tmpfs': promote storage-disk caches into storage memory
+        before the wave boots."""
+        tb = self.testbed
+        promoted: set[str] = set()
+        procs = []
+        for _req, plan in plans:
+            if "promote-storage-cache-to-tmpfs" not in plan.pre_boot:
+                continue
+            storage_cache = plan.backing_for_cow.backing \
+                if plan.new_cache is not None else plan.backing_for_cow
+            if storage_cache is None \
+                    or storage_cache.location.kind != "nfs" \
+                    or storage_cache.name in promoted:
+                continue
+            promoted.add(storage_cache.name)
+
+            def promote(cache=storage_cache):
+                yield from tb.storage.disk.read(
+                    cache.physical_bytes,
+                    stream=cache.location.file_id, offset=0)
+                yield from tb.storage.memory.write(cache.physical_bytes)
+                cache.location = tb.storage_mem_location(
+                    cache.location.file_id)
+
+            procs.append(tb.env.process(promote()))
+        if procs:
+            tb.env.run(until=tb.env.all_of(procs))
+
+    # -- post-boot actions ------------------------------------------------------
+
+    def _run_post_boot(
+            self, plans: list[tuple[VMRequest, PlacementPlan]]) -> None:
+        tb = self.testbed
+        procs = []
+        storage_copies: dict[str, SimImage] = {}
+        for req, plan in plans:
+            cache = plan.new_cache
+            if cache is None:
+                continue
+            node = tb.node_by_id(req.node_id)
+            if "flush-cache-to-local-disk" in plan.post_boot:
+                procs.append(tb.env.process(
+                    tb.flush_cache_to_local_disk(node, cache)))
+            if "copy-cache-to-storage" in plan.post_boot \
+                    and self.cache_mode == "algorithm1":
+                # The storage node receives its own physical copy; the
+                # original stays on (moves to) the compute node's disk.
+                vmi_id = self._vmi_of(plan)
+                copy = cache.clone_to(
+                    tb.compute_mem_location(node,
+                                            f"{cache.name}.shipping"))
+                storage_copies[vmi_id] = copy
+                procs.append(tb.env.process(
+                    tb.copy_cache_to_storage_memory(copy)))
+        if procs:
+            tb.env.run(until=tb.env.all_of(procs))
+        # Register in pools once the physical placement settled.
+        for req, plan in plans:
+            cache = plan.new_cache
+            if cache is None:
+                continue
+            vmi_id = self._vmi_of(plan)
+            if "register-local" in plan.post_boot:
+                pool = self.registry.node_pool(req.node_id)
+                pool.put(vmi_id, cache)
+            storage_bound = storage_copies.pop(vmi_id, None) \
+                if self.cache_mode == "algorithm1" else (
+                    cache if "register-storage" in plan.post_boot
+                    else None)
+            if storage_bound is not None:
+                evicted = self.registry.storage_pool.put(
+                    vmi_id, storage_bound)
+                for victim in evicted:
+                    tb.storage.memory.free(victim.physical_bytes)
+
+    @staticmethod
+    def _vmi_of(plan: PlacementPlan) -> str:
+        img = plan.backing_for_cow
+        while img.backing is not None:
+            img = img.backing
+        return img.name

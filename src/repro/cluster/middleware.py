@@ -1,0 +1,157 @@
+"""The IaaS middleware facade.
+
+``Cloud`` plays the role OpenNebula plays on DAS-4: it owns the node
+inventory, accepts VMI registrations, schedules VM requests onto nodes
+(cache-aware, §3.4), and runs deployment waves.  The paper's "next
+step of our work is to integrate this scheme into the cloud scheduler"
+— this module is that integration, built so the caching layer stays
+middleware-agnostic underneath (the chains are plain image files).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bootmodel.trace import BootTrace
+from repro.cluster.cache_manager import CacheRegistry
+from repro.cluster.deployment import (
+    DEFAULT_CACHE_QUOTA,
+    CacheMode,
+    Deployment,
+    DeploymentResult,
+    VMRequest,
+)
+from repro.cluster.scheduler import (
+    CacheAwareScheduler,
+    NodeState,
+    PlacementStrategy,
+    make_states,
+)
+from repro.sim.cluster_sim import Testbed
+from repro.units import GiB
+
+
+@dataclass
+class VMIDescriptor:
+    """One registered VM image."""
+
+    vmi_id: str
+    size: int
+    trace: BootTrace
+
+
+class Cloud:
+    """A small IaaS: testbed + registry + scheduler + deployment."""
+
+    def __init__(
+        self,
+        *,
+        n_compute: int = 64,
+        network: str = "1gbe",
+        cache_mode: CacheMode = "algorithm1",
+        strategy: PlacementStrategy | None = None,
+        cache_affinity: bool = True,
+        slots_per_node: int = 8,
+        node_cache_capacity: int = 2 * GiB,
+        storage_cache_capacity: int = 16 * GiB,
+        cache_quota: int = DEFAULT_CACHE_QUOTA,
+        cache_cluster_bits: int = 9,
+        testbed: Testbed | None = None,
+    ) -> None:
+        self.testbed = testbed if testbed is not None else Testbed(
+            n_compute=n_compute, network=network)
+        node_ids = [n.node_id for n in self.testbed.computes]
+        self.registry = CacheRegistry(
+            node_ids,
+            node_capacity_bytes=node_cache_capacity,
+            storage_capacity_bytes=storage_cache_capacity,
+        )
+        self.scheduler = CacheAwareScheduler(
+            strategy, cache_affinity=cache_affinity)
+        self.deployment = Deployment(
+            self.testbed, self.registry,
+            cache_mode=cache_mode,
+            cache_quota=cache_quota,
+            cache_cluster_bits=cache_cluster_bits,
+        )
+        self.states: dict[str, NodeState] = make_states(
+            node_ids, capacity_slots=slots_per_node)
+        self.vmis: dict[str, VMIDescriptor] = {}
+        self._vm_counter = 0
+
+    # -- VMI lifecycle ------------------------------------------------------
+
+    def register_vmi(self, vmi_id: str, size: int,
+                     trace: BootTrace, *,
+                     prewarm: bool = False) -> VMIDescriptor:
+        """Register an image on the storage node's NFS export.
+
+        ``prewarm=True`` implements §3.2's eager option: "the system
+        can boot a sample VM upon a new VMI registration to create the
+        cache".  A throwaway sample VM boots immediately (simulated
+        time passes), leaving warm caches behind per the cache mode —
+        so the first *user* request already hits them.
+        """
+        if vmi_id in self.vmis:
+            raise ValueError(f"VMI {vmi_id!r} already registered")
+        desc = VMIDescriptor(vmi_id, size, trace)
+        self.vmis[vmi_id] = desc
+        self.deployment.register_vmi(vmi_id, size, trace)
+        if prewarm:
+            if self.deployment.cache_mode == "none":
+                raise ValueError(
+                    "prewarm is meaningless with cache_mode='none'")
+            result = self.start_vms([(vmi_id, 1)])
+            # Release the sample VM's slot; its caches stay.
+            for record in result.scenario.records:
+                state = self.states[record.node_id]
+                state.used_slots = max(0, state.used_slots - 1)
+        return desc
+
+    # -- VM lifecycle --------------------------------------------------------
+
+    def start_vms(
+        self,
+        requests: list[tuple[str, int]],
+        *,
+        node_override: list[str] | None = None,
+    ) -> DeploymentResult:
+        """Start ``count`` VMs per ``(vmi_id, count)``, simultaneously.
+
+        The scheduler assigns nodes (warm-cache affinity first) unless
+        ``node_override`` pins VM *i* to a node id — used by the
+        benchmarks to reproduce the paper's fixed one-VM-per-node
+        layout.
+        """
+        wave: list[VMRequest] = []
+        i = 0
+        for vmi_id, count in requests:
+            if vmi_id not in self.vmis:
+                raise KeyError(f"unregistered VMI {vmi_id!r}")
+            for _ in range(count):
+                if node_override is not None:
+                    node_id = node_override[i]
+                    self.states[node_id].used_slots += 1
+                else:
+                    node_id = self.scheduler.select(
+                        vmi_id, self.states, self.registry)
+                wave.append(VMRequest(
+                    vm_id=f"vm{self._vm_counter:04d}",
+                    vmi_id=vmi_id, node_id=node_id))
+                self._vm_counter += 1
+                i += 1
+        return self.deployment.run_wave(wave)
+
+    def shutdown_all(self) -> None:
+        """Release every VM slot (caches stay warm — that's the point)."""
+        for state in self.states.values():
+            state.used_slots = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    def warm_nodes(self, vmi_id: str) -> list[str]:
+        return self.registry.nodes_with_cache(vmi_id)
+
+    @property
+    def env(self):
+        return self.testbed.env

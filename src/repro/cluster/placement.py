@@ -1,0 +1,122 @@
+"""Cache placement: Algorithm 1 of the paper (Section 6).
+
+::
+
+    Input:  Compute node C, Storage node S, VMI Base
+    Output: A VMI to be chained to a CoW image
+
+    if Cache_base exists in C:        return Cache_base
+    if Cache_base exists in S:
+        if Cache_base is on disk:     copy it to tmpfs
+        create NewCache_base on C, chained to Cache_base
+        return NewCache_base
+    create Cache_base on C, chained to Base
+    copy Cache_base to S on VM shutdown
+    return Cache_base
+
+The function below is a *planner*: it inspects the pools and returns a
+:class:`PlacementPlan` describing which image the CoW overlay should be
+backed by, what must happen before the boot (promote a storage-disk
+cache to tmpfs) and after it (flush the new cache to the local disk,
+copy it back to the storage node).  The deployment layer executes the
+plan against the simulated testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.cache_manager import CacheRegistry
+from repro.sim.blockio import SimImage
+from repro.sim.cluster_sim import Testbed
+from repro.sim.node import ComputeNode
+
+
+@dataclass
+class PlacementPlan:
+    """The outcome of Algorithm 1 for one VM."""
+
+    backing_for_cow: SimImage
+    """What the CoW overlay chains to (a cache, or the bare base)."""
+
+    new_cache: SimImage | None = None
+    """Cache image created on the compute node for this boot, if any."""
+
+    decision: str = ""
+    """Which branch of Algorithm 1 fired: ``local-warm``,
+    ``storage-warm``, ``cold``, or ``no-cache``."""
+
+    pre_boot: list[str] = field(default_factory=list)
+    """Actions before the boot: ``promote-storage-cache-to-tmpfs``."""
+
+    post_boot: list[str] = field(default_factory=list)
+    """Actions after the boot: ``flush-cache-to-local-disk``,
+    ``copy-cache-to-storage``, ``register-local``."""
+
+
+def plan_chain(
+    testbed: Testbed,
+    registry: CacheRegistry,
+    node: ComputeNode,
+    base: SimImage,
+    *,
+    quota: int,
+    cache_cluster_bits: int = 9,
+    create_cold_cache: bool = True,
+    vm_name: str = "vm",
+) -> PlacementPlan:
+    """Algorithm 1: pick or create the proper cache for one VM boot.
+
+    ``create_cold_cache=False`` models the paper's shared-VMI rule
+    (§5.3.2): "only one of the VMs creates and transfers the cache back
+    to the storage node while other VMs just proceed with normal
+    QCOW2" — the remaining VMs get a ``no-cache`` plan.
+    """
+    vmi_id = base.name
+
+    # Branch 1: a warm cache on this compute node.
+    local = registry.node_pool(node.node_id).get(vmi_id)
+    if local is not None:
+        return PlacementPlan(backing_for_cow=local,
+                             decision="local-warm")
+
+    # Branch 2: a warm cache at the storage node.
+    storage_cache = registry.storage_pool.get(vmi_id)
+    if storage_cache is not None:
+        pre = []
+        if storage_cache.location.kind == "nfs":
+            # "if Cache_base is on disk then copy Base_cache to tmpfs"
+            pre.append("promote-storage-cache-to-tmpfs")
+        new_cache = SimImage(
+            f"{vm_name}.cache", base.size,
+            testbed.compute_mem_location(node, f"{vm_name}.cache"),
+            cluster_bits=cache_cluster_bits,
+            backing=storage_cache,
+            cache_quota=quota,
+        )
+        return PlacementPlan(
+            backing_for_cow=new_cache,
+            new_cache=new_cache,
+            decision="storage-warm",
+            pre_boot=pre,
+            post_boot=["flush-cache-to-local-disk", "register-local"],
+        )
+
+    # Branch 3: no cache anywhere — create one here (unless this VM
+    # lost the one-creator-per-VMI race).
+    if not create_cold_cache:
+        return PlacementPlan(backing_for_cow=base, decision="no-cache")
+    new_cache = SimImage(
+        f"{vm_name}.cache", base.size,
+        testbed.compute_mem_location(node, f"{vm_name}.cache"),
+        cluster_bits=cache_cluster_bits,
+        backing=base,
+        cache_quota=quota,
+    )
+    return PlacementPlan(
+        backing_for_cow=new_cache,
+        new_cache=new_cache,
+        decision="cold",
+        post_boot=["flush-cache-to-local-disk", "register-local",
+                   "copy-cache-to-storage"],
+    )

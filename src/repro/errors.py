@@ -1,0 +1,110 @@
+"""Exception hierarchy for the repro package.
+
+The hierarchy mirrors the layers of the system: image-format errors
+(:class:`ImageError` and subclasses), simulation errors
+(:class:`SimulationError`), and cluster/deployment errors
+(:class:`ClusterError`).  ``QuotaExceededError`` is the Python analogue of
+the "space error" that the paper's modified QCOW2 ``write`` path returns
+when a cache image hits its quota (Section 4.3); callers in the read path
+catch it and disable further copy-on-read writes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+# --------------------------------------------------------------------------
+# Image format layer
+# --------------------------------------------------------------------------
+
+
+class ImageError(ReproError):
+    """Base class for image-format errors."""
+
+
+class InvalidImageError(ImageError):
+    """The file is not a valid image (bad magic, version, or structure)."""
+
+
+class CorruptImageError(ImageError):
+    """The image metadata is internally inconsistent (e.g. pointers past
+    end-of-file, refcount mismatches found by ``check``)."""
+
+
+class UnsupportedFeatureError(ImageError):
+    """The image uses an incompatible feature this implementation lacks."""
+
+
+class ImageClosedError(ImageError):
+    """An operation was attempted on a closed image."""
+
+
+class ReadOnlyImageError(ImageError):
+    """A write was attempted on an image opened read-only."""
+
+
+class OutOfBoundsError(ImageError):
+    """A read or write touches offsets outside the virtual disk size."""
+
+
+class BackingChainError(ImageError):
+    """The backing chain is malformed (loop, missing file, size mismatch)."""
+
+
+class QuotaExceededError(ImageError):
+    """Writing to a cache image would exceed its quota.
+
+    This is the "space error" of Section 4.3: the read path treats it as a
+    signal to stop populating the cache rather than as a failure of the
+    guest-visible read.
+    """
+
+    def __init__(self, requested: int, quota: int, used: int) -> None:
+        super().__init__(
+            f"cache quota exceeded: need {requested} bytes, "
+            f"quota {quota}, used {used}"
+        )
+        self.requested = requested
+        self.quota = quota
+        self.used = used
+
+
+# --------------------------------------------------------------------------
+# Simulation layer
+# --------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event simulation errors."""
+
+
+class SimDeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting."""
+
+
+class SimInterrupt(SimulationError):
+    """A simulated process was interrupted by another process."""
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause
+
+
+# --------------------------------------------------------------------------
+# Cluster layer
+# --------------------------------------------------------------------------
+
+
+class ClusterError(ReproError):
+    """Base class for deployment/scheduling errors."""
+
+
+class SchedulingError(ClusterError):
+    """No node satisfies the placement request."""
+
+
+class CacheMissError(ClusterError):
+    """A cache lookup failed where a hit was required."""

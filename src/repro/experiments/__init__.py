@@ -1,0 +1,62 @@
+"""Experiment runners: one function per table/figure of the paper.
+
+Each runner builds the right testbed/cloud, executes the workload, and
+returns an :class:`~repro.metrics.collectors.ExperimentLog` holding the
+series the paper plots.  The benchmark harness
+(``benchmarks/bench_*.py``) wraps these runners in pytest-benchmark
+targets; the examples and tests reuse them at smaller scale.
+
+Axis scaling: every runner takes the x-axis points as a parameter, with
+the paper's full axis as the default — so quick runs can use a subset
+without changing the experiment logic.
+"""
+
+from repro.experiments.common import (
+    FULL_NODE_AXIS,
+    FULL_VMI_AXIS,
+    QUICK_NODE_AXIS,
+    QUICK_VMI_AXIS,
+    centos_trace,
+)
+from repro.experiments.microbench import (
+    run_fig08_cache_creation,
+    run_fig09_storage_traffic,
+    run_fig10_final_arrangement,
+    run_tab1_working_sets,
+    run_tab2_cache_quota,
+)
+from repro.experiments.placement_exp import run_sec6_placement
+from repro.experiments.scaling import (
+    run_fig02_scaling_nodes,
+    run_fig03_scaling_vmis,
+    run_fig11_cached_scaling_nodes,
+    run_fig12_cached_scaling_vmis,
+    run_fig14_storage_mem_scaling_vmis,
+)
+from repro.experiments.ablations import (
+    run_mixed_warm_cold,
+    run_prefetch_ablation,
+    run_scheduler_ablation,
+)
+
+__all__ = [
+    "centos_trace",
+    "FULL_NODE_AXIS",
+    "FULL_VMI_AXIS",
+    "QUICK_NODE_AXIS",
+    "QUICK_VMI_AXIS",
+    "run_fig02_scaling_nodes",
+    "run_fig03_scaling_vmis",
+    "run_fig11_cached_scaling_nodes",
+    "run_fig12_cached_scaling_vmis",
+    "run_fig14_storage_mem_scaling_vmis",
+    "run_fig08_cache_creation",
+    "run_fig09_storage_traffic",
+    "run_fig10_final_arrangement",
+    "run_tab1_working_sets",
+    "run_tab2_cache_quota",
+    "run_sec6_placement",
+    "run_scheduler_ablation",
+    "run_mixed_warm_cold",
+    "run_prefetch_ablation",
+]

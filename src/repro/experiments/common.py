@@ -1,0 +1,82 @@
+"""Shared builders for the experiment runners."""
+
+from __future__ import annotations
+
+import functools
+
+from repro.bootmodel.generator import generate_boot_trace
+from repro.bootmodel.profiles import CENTOS_63, OSProfile
+from repro.bootmodel.trace import BootTrace
+from repro.cluster.middleware import Cloud
+from repro.units import MB
+
+# The paper's x-axes (Figures 2, 3, 11, 12, 14).
+FULL_NODE_AXIS = [1, 4, 8, 16, 32, 64]
+FULL_VMI_AXIS = [1, 4, 8, 16, 32, 64]
+# Quick axes keep the endpoints and the crossover region.
+QUICK_NODE_AXIS = [1, 8, 64]
+QUICK_VMI_AXIS = [1, 16, 64]
+
+#: Quota used by the scaling experiments: large enough to hold any of
+#: the paper's working sets (§2.3's "in the order of 250 MB").
+SCALING_QUOTA = 250 * MB
+
+
+@functools.lru_cache(maxsize=8)
+def centos_trace(seed: int = 1) -> BootTrace:
+    """The CentOS 6.3 boot trace used by every scaling experiment."""
+    return generate_boot_trace(CENTOS_63, seed=seed)
+
+
+def make_cloud(
+    *,
+    n_compute: int,
+    network: str,
+    cache_mode: str,
+    profile: OSProfile = CENTOS_63,
+    n_vmis: int = 1,
+    trace: BootTrace | None = None,
+    quota: int = SCALING_QUOTA,
+) -> tuple[Cloud, list[str]]:
+    """A cloud with ``n_vmis`` independent copies of the profile's VMI
+    registered (the Figure 3 methodology: '64 identical but independent
+    copies of the CentOS VMI')."""
+    cloud = Cloud(
+        n_compute=n_compute,
+        network=network,
+        cache_mode=cache_mode,
+        cache_quota=quota,
+        slots_per_node=8,
+        storage_cache_capacity=16_000 * MB,
+        node_cache_capacity=2_000 * MB,
+    )
+    trace = trace if trace is not None else centos_trace()
+    vmi_ids = []
+    for j in range(n_vmis):
+        vmi_id = f"{profile.name}-{j:02d}"
+        cloud.register_vmi(vmi_id, profile.vmi_size, trace)
+        vmi_ids.append(vmi_id)
+    return cloud, vmi_ids
+
+
+def one_vm_per_node_wave(cloud: Cloud, vmi_ids: list[str],
+                         n_nodes: int):
+    """Run a wave with VM *i* pinned to node *i*, VMI ``i % len(vmis)``
+    — the paper's fixed experiment layout."""
+    requests = []
+    override = []
+    # Group VMs by VMI to issue (vmi, count) pairs while preserving the
+    # i -> node i, i -> vmi i%k mapping.
+    per_vm = [(vmi_ids[i % len(vmi_ids)], f"node{i:02d}")
+              for i in range(n_nodes)]
+    for vmi_id, node_id in per_vm:
+        requests.append((vmi_id, 1))
+        override.append(node_id)
+    return cloud.start_vms(requests, node_override=override)
+
+
+def prewarm(cloud: Cloud, vmi_ids: list[str], n_nodes: int) -> None:
+    """Run (and discard) a cold wave so caches exist, then release the
+    slots — the 'warm cache' precondition of §5.3."""
+    one_vm_per_node_wave(cloud, vmi_ids, n_nodes)
+    cloud.shutdown_all()

@@ -1,0 +1,37 @@
+"""QCOW2-style image format with the SC'13 VMI-cache extension.
+
+This subpackage is a faithful, file-backed reimplementation of the part of
+QEMU that the paper modifies: the QCOW2 block driver (two-level L1/L2
+cluster mapping, backing-file chains, refcount-based cluster allocation,
+header extensions) plus the ~150-line cache extension of Section 4.3
+(quota and current-size header fields, copy-on-read population, space
+errors on quota exhaustion, immutability with respect to the base image).
+
+Public entry points:
+
+* :func:`repro.imagefmt.qcow2.Qcow2Image.create` /
+  :meth:`~repro.imagefmt.qcow2.Qcow2Image.open` — the image driver.
+* :func:`repro.imagefmt.raw.RawImage.create` — raw base images.
+* :mod:`repro.imagefmt.chain` — the qemu-img chaining workflow of §4.4
+  (base ← cache ← CoW).
+* :mod:`repro.imagefmt.qemu_img` — a ``qemu-img``-like command-line facade
+  (``repro-img create/info/check/map``).
+"""
+
+from repro.imagefmt.chain import (
+    create_cache_chain,
+    create_cow_chain,
+    open_chain,
+)
+from repro.imagefmt.driver import open_image
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.imagefmt.raw import RawImage
+
+__all__ = [
+    "Qcow2Image",
+    "RawImage",
+    "open_image",
+    "create_cow_chain",
+    "create_cache_chain",
+    "open_chain",
+]

@@ -1,0 +1,118 @@
+"""Quota accounting and copy-on-read state for cache images.
+
+This module is deliberately free of file I/O: the same policy object
+drives both the file-backed driver (:mod:`repro.imagefmt.qcow2`) and the
+simulator's in-memory image model (:mod:`repro.sim.blockio`), so the
+scalability experiments exercise the identical quota/CoR decisions the
+real format makes.
+
+Semantics per Section 4.3 of the paper:
+
+* A cache image has a fixed byte ``quota``; the *current size* of the
+  image file (metadata included) must stay within it.
+* Populating writes check the quota first; an insufficient quota raises
+  :class:`~repro.errors.QuotaExceededError` — the paper's "space error".
+* The read path catches the space error once and then stops attempting
+  to cache future cold reads ("we stop writing to the cache for the
+  future cold reads").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QuotaExceededError
+from repro.imagefmt.refcount import RefcountGeometry
+from repro.units import div_round_up
+
+
+@dataclass
+class QuotaPolicy:
+    """Byte-quota check for a cache image.
+
+    ``quota == 0`` means "not a cache" (mirrors the qemu-img convention
+    of Section 4.3: a non-zero quota passed to ``create`` marks the new
+    image as a cache).
+    """
+
+    quota: int
+
+    def __post_init__(self) -> None:
+        if self.quota < 0:
+            raise ValueError("quota must be non-negative")
+
+    @property
+    def is_cache(self) -> bool:
+        return self.quota > 0
+
+    def refcount_reserve(self, cluster_bits: int) -> int:
+        """Bytes to reserve for refcount blocks written at flush time.
+
+        Refcount blocks are allocated lazily when the image is flushed,
+        *after* quota checks have passed; reserving their worst case up
+        front keeps the final file size within quota.
+        """
+        geo = RefcountGeometry(cluster_bits)
+        max_clusters = div_round_up(self.quota, geo.cluster_size)
+        blocks = div_round_up(max_clusters, geo.block_entries)
+        # +1 cluster of slack for refcount-table growth.
+        return (blocks + 1) * geo.cluster_size
+
+    def check(
+        self, physical_size: int, upcoming_bytes: int, cluster_bits: int
+    ) -> None:
+        """Raise QuotaExceededError if an allocation would bust the quota."""
+        if not self.is_cache:
+            return
+        projected = (
+            physical_size + upcoming_bytes
+            + self.refcount_reserve(cluster_bits)
+        )
+        if projected > self.quota:
+            raise QuotaExceededError(
+                requested=upcoming_bytes,
+                quota=self.quota,
+                used=physical_size,
+            )
+
+    def headroom(self, physical_size: int, cluster_bits: int) -> int:
+        """Bytes still allocatable before the quota check would fail."""
+        if not self.is_cache:
+            return 2**63
+        room = self.quota - physical_size \
+            - self.refcount_reserve(cluster_bits)
+        return max(0, room)
+
+
+@dataclass
+class CorState:
+    """Copy-on-read enablement with the one-way trip of §4.3.
+
+    Once a populating write fails with a space error, CoR is disabled for
+    the rest of the image's open lifetime; reads keep recursing to the
+    base image but stop trying to cache.
+    """
+
+    enabled: bool = True
+    disabled_reason: str | None = None
+    space_errors: int = 0
+
+    def disable(self, reason: str = "quota exhausted") -> None:
+        self.enabled = False
+        self.disabled_reason = reason
+
+    def record_space_error(self) -> None:
+        self.space_errors += 1
+        self.disable()
+
+
+@dataclass
+class CacheRuntime:
+    """Bundles the per-open cache state a driver needs."""
+
+    quota_policy: QuotaPolicy
+    cor: CorState = field(default_factory=CorState)
+
+    @property
+    def is_cache(self) -> bool:
+        return self.quota_policy.is_cache

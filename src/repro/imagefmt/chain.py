@@ -1,0 +1,156 @@
+"""Backing-chain construction: the qemu-img workflow of Section 4.4.
+
+Normal QCOW2 operation chains ``base ← CoW``; with VMI caches there is
+one extra step, producing ``base ← cache ← CoW``:
+
+1. invoke create with a cache quota and the base as backing file → cache;
+2. invoke create with no quota and the cache as backing file → CoW;
+3. boot the VM from the CoW image.
+
+With a warm cache only step 2 is repeated per VM — "with a warm cache,
+there is obviously no need to invoke qemu-img for creating the cache".
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import BackingChainError
+from repro.imagefmt.constants import (
+    DEFAULT_CLUSTER_SIZE,
+    FORMAT_QCOW2,
+    MAX_CHAIN_DEPTH,
+)
+from repro.imagefmt.driver import BlockDriver, open_image, probe_format
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.units import SECTOR_SIZE
+
+
+def create_cow_chain(
+    base_path: str,
+    cow_path: str,
+    *,
+    base_format: str | None = None,
+    cluster_size: int = DEFAULT_CLUSTER_SIZE,
+) -> Qcow2Image:
+    """State of the art (§2): a CoW overlay directly on the base image.
+
+    Returns the CoW image opened read-write, ready to boot from.
+    """
+    if base_format is None:
+        base_format = probe_format(base_path)
+    return Qcow2Image.create(
+        cow_path,
+        backing_file=base_path,
+        backing_format=base_format,
+        cluster_size=cluster_size,
+    )
+
+
+def create_cache_image(
+    base_path: str,
+    cache_path: str,
+    *,
+    quota: int,
+    base_format: str | None = None,
+    cluster_size: int = SECTOR_SIZE,
+) -> Qcow2Image:
+    """Step 1 of §4.4: a cache image backed by the base.
+
+    The default cluster size is 512 bytes — the paper's choice after the
+    Figure 9 study showed 64 KiB cache clusters amplify storage traffic.
+    """
+    if quota <= 0:
+        raise ValueError("a cache image needs a positive quota")
+    if base_format is None:
+        base_format = probe_format(base_path)
+    return Qcow2Image.create(
+        cache_path,
+        backing_file=base_path,
+        backing_format=base_format,
+        cluster_size=cluster_size,
+        cache_quota=quota,
+    )
+
+
+def create_cache_chain(
+    base_path: str,
+    cache_path: str,
+    cow_path: str,
+    *,
+    quota: int,
+    base_format: str | None = None,
+    cache_cluster_size: int = SECTOR_SIZE,
+    cow_cluster_size: int = DEFAULT_CLUSTER_SIZE,
+) -> Qcow2Image:
+    """The full §4.4 workflow: base ← cache ← CoW.
+
+    Creates the cache image if it does not already exist (a pre-existing
+    file is treated as a warm cache and reused as-is), then the CoW
+    overlay on top of it.  Returns the CoW image opened read-write; its
+    ``.backing`` is the cache, whose ``.backing`` is the base.
+    """
+    if not os.path.exists(cache_path):
+        cache = create_cache_image(
+            base_path,
+            cache_path,
+            quota=quota,
+            base_format=base_format,
+            cluster_size=cache_cluster_size,
+        )
+        cache.close()
+    return Qcow2Image.create(
+        cow_path,
+        backing_file=cache_path,
+        backing_format=FORMAT_QCOW2,
+        cluster_size=cow_cluster_size,
+    )
+
+
+def open_chain(path: str, *, read_only: bool = False) -> BlockDriver:
+    """Open an image with its full backing chain, validating it."""
+    img = open_image(path, read_only=read_only)
+    validate_chain(img)
+    return img
+
+
+def validate_chain(img: BlockDriver) -> None:
+    """Check depth, loops, and size monotonicity of a backing chain."""
+    seen: set[str] = set()
+    depth = 0
+    node: BlockDriver | None = img
+    top_size = img.size
+    while node is not None:
+        depth += 1
+        if depth > MAX_CHAIN_DEPTH:
+            raise BackingChainError(
+                f"backing chain deeper than {MAX_CHAIN_DEPTH}")
+        real = os.path.realpath(node.path)
+        if real in seen:
+            raise BackingChainError(f"backing chain loop at {node.path}")
+        seen.add(real)
+        if node.size > top_size and node is not img:
+            # A bigger backing file is legal in QCOW2 (extra bytes are
+            # simply invisible), so merely note it; nothing to raise.
+            pass
+        node = node.backing
+
+
+def chain_paths(img: BlockDriver) -> list[str]:
+    """Paths of the chain from the active layer down to the base."""
+    out = []
+    node: BlockDriver | None = img
+    while node is not None:
+        out.append(node.path)
+        node = node.backing
+    return out
+
+
+def find_cache_layer(img: BlockDriver) -> Qcow2Image | None:
+    """Return the first cache image in the chain, if any."""
+    node: BlockDriver | None = img
+    while node is not None:
+        if isinstance(node, Qcow2Image) and node.is_cache:
+            return node
+        node = node.backing
+    return None

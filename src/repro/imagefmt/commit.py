@@ -1,0 +1,151 @@
+"""Image maintenance operations: commit and rebase.
+
+``qemu-img`` ships these alongside ``create``; a cloud running VMI
+caches needs them for image lifecycle work (flattening a CoW overlay
+into a new golden image, re-pointing overlays at a moved base).  Both
+respect the paper's §3 invariants:
+
+* **Immutability**: committing into a *cache* image is refused — a
+  cache may only ever hold data copied from its base ("we only write
+  the data that comes from the base image into the cache").
+* **Cache invalidation**: committing into a base image changes it, so
+  every cache derived from it becomes stale ("an immutable cache, once
+  created, can be reused many times in the future *as long as the base
+  image remains unchanged*").  ``commit`` therefore returns the chain
+  it wrote through, and the cluster layer drops matching pool entries.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BackingChainError, ImageError
+from repro.imagefmt.driver import BlockDriver, open_image, probe_format
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.units import MiB
+
+_COPY_CHUNK = 1 * MiB
+
+
+def commit(overlay: Qcow2Image) -> int:
+    """Write the overlay's allocated data into its backing image.
+
+    Returns the number of bytes committed.  The backing must be open
+    read-write (pass a chain opened with ``read_only=False`` whose
+    backing is writable) and must not be a cache image.
+    """
+    backing = overlay.backing
+    if backing is None:
+        raise BackingChainError(
+            f"{overlay.path} has no backing file to commit into")
+    if isinstance(backing, Qcow2Image) and backing.is_cache:
+        raise ImageError(
+            f"refusing to commit into cache image {backing.path}: "
+            "caches are immutable with respect to guest data (§3)")
+    if backing.read_only:
+        raise ImageError(
+            f"backing image {backing.path} is read-only; reopen the "
+            "chain writable to commit")
+    committed = 0
+    for offset, length, allocated in overlay.map_clusters():
+        if not allocated:
+            continue
+        pos = offset
+        end = min(offset + length, backing.size)
+        while pos < end:
+            n = min(_COPY_CHUNK, end - pos)
+            backing.write(pos, overlay.read(pos, n))
+            committed += n
+            pos += n
+    backing.flush()
+    return committed
+
+
+def open_chain_for_commit(overlay_path: str) -> Qcow2Image:
+    """Open ``overlay ← backing`` with the backing writable.
+
+    The normal open path makes non-cache backings read-only (§4.3);
+    commit is the one operation that legitimately writes the backing.
+    """
+    header = Qcow2Image.peek_header(overlay_path)
+    if header.backing_file is None:
+        raise BackingChainError(
+            f"{overlay_path} has no backing file to commit into")
+    backing_path = Qcow2Image._resolve_backing_path(
+        overlay_path, header.backing_file)
+    fmt = header.backing_format or probe_format(backing_path)
+    backing = open_image(backing_path, fmt, read_only=False)
+    overlay = Qcow2Image.open(overlay_path, read_only=False,
+                              open_backing=False)
+    overlay._backing = backing
+    return overlay
+
+
+def rebase(
+    image_path: str,
+    new_backing_path: str | None,
+    *,
+    new_backing_format: str | None = None,
+    unsafe: bool = False,
+) -> int:
+    """Re-point an image's backing file.
+
+    Safe mode (default) keeps guest-visible content identical: every
+    range that would read differently through the new backing is first
+    copied into the image itself.  ``unsafe`` just rewrites the header
+    (qemu-img's ``rebase -u``), for when the caller *knows* the new
+    backing has identical content (e.g. the same base moved to another
+    path).  ``new_backing_path=None`` flattens: afterwards the image is
+    standalone.  Returns bytes copied into the image.
+    """
+    copied = 0
+    with Qcow2Image.open(image_path, read_only=False) as img:
+        old_backing = img.backing
+        new_backing: BlockDriver | None = None
+        if new_backing_path is not None:
+            new_backing = open_image(new_backing_path,
+                                     new_backing_format,
+                                     read_only=True)
+        try:
+            if not unsafe:
+                copied = _copy_divergent(img, old_backing, new_backing)
+            img.header.backing_file = new_backing_path
+            img.header.backing_format = (
+                new_backing.format_name if new_backing is not None
+                else None)
+            img._rewrite_header()
+        finally:
+            if new_backing is not None:
+                new_backing.close()
+    return copied
+
+
+def _copy_divergent(
+    img: Qcow2Image,
+    old_backing: BlockDriver | None,
+    new_backing: BlockDriver | None,
+) -> int:
+    """Copy into ``img`` every unallocated range whose old-chain view
+    differs from the new backing's view."""
+    copied = 0
+    for offset, length, allocated in img.map_clusters():
+        if allocated:
+            continue  # local data wins regardless of backing
+        pos = offset
+        end = offset + length
+        while pos < end:
+            n = min(_COPY_CHUNK, end - pos)
+            old_view = _view(old_backing, pos, n)
+            new_view = _view(new_backing, pos, n)
+            if old_view != new_view:
+                img.write(pos, old_view)
+                copied += n
+            pos += n
+    img.flush()
+    return copied
+
+
+def _view(backing: BlockDriver | None, offset: int, length: int) -> bytes:
+    if backing is None:
+        return b"\0" * length
+    avail = max(0, min(length, backing.size - offset))
+    data = backing.read(offset, avail) if avail else b""
+    return data + b"\0" * (length - avail)

@@ -1,0 +1,61 @@
+"""On-disk constants of the QCOW2-style format.
+
+The layout follows the QCOW2 version-2 specification (McLoughlin, "The
+QCOW2 Image Format", 2008 — reference [11] of the paper) so that the
+structures the paper discusses in Section 4.1 (QCowHeader, L1/L2 tables,
+cluster pointers) are bit-compatible with the real format.  The VMI-cache
+fields are carried in a *header extension*, exactly as the paper does for
+backward compatibility (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from repro.units import KiB, MiB
+
+# "QFI\xfb" — the QCOW magic number.
+QCOW_MAGIC = 0x514649FB
+QCOW_VERSION = 2
+
+# Fixed header size of a version-2 header, in bytes.
+HEADER_SIZE_V2 = 72
+
+# Cluster sizes: the spec allows 2^9 (512 B, one sector) .. 2^21 (2 MiB).
+# The paper's cache images use the 512 B minimum (Section 5.1, Figure 9);
+# the QCOW2 default is 64 KiB.
+MIN_CLUSTER_BITS = 9
+MAX_CLUSTER_BITS = 21
+DEFAULT_CLUSTER_BITS = 16
+DEFAULT_CLUSTER_SIZE = 64 * KiB
+
+# L1/L2 entry layout (64-bit big-endian words).
+L1E_OFFSET_MASK = 0x00FFFFFFFFFFFE00  # bits 9..55: L2 table offset
+L2E_OFFSET_MASK = 0x00FFFFFFFFFFFE00  # bits 9..55: cluster offset
+OFLAG_COPIED = 1 << 63  # refcount == 1, cluster is writable in place
+OFLAG_COMPRESSED = 1 << 62  # not supported by this implementation
+
+# Refcounts are 16-bit big-endian (refcount_order 4, the v2 fixed value).
+REFCOUNT_ENTRY_SIZE = 2
+
+# Header extension type codes.  Extensions live between the end of the
+# header and the backing-file name, each encoded as
+# ``u32 type, u32 length, length bytes, pad to 8``, terminated by type 0.
+HEXT_END = 0x00000000
+HEXT_BACKING_FORMAT = 0xE2792ACA  # standard: backing file format name
+# Our VMI-cache extension: two u64 fields, quota and current size, the
+# "two more 8-byte fields" of Section 4.3.  The type code spells "VMIC".
+HEXT_VMI_CACHE = 0x564D4943
+VMI_CACHE_EXT_SIZE = 16
+
+# Sanity bound used by open(): refuse absurd virtual sizes (the spec has
+# no limit, but a corrupt header should not make us allocate petabytes).
+MAX_VIRTUAL_SIZE = 64 * 1024 * 1024 * MiB  # 64 TiB
+
+# Maximum backing-chain depth accepted by open_chain(); the paper's
+# longest chain is base <- cache <- CoW (depth 3), but nothing in the
+# format forbids deeper stacks (e.g. base <- cache <- cache <- CoW when
+# chaining per Algorithm 1), so allow some headroom while still catching
+# loops early.
+MAX_CHAIN_DEPTH = 16
+
+FORMAT_RAW = "raw"
+FORMAT_QCOW2 = "qcow2"

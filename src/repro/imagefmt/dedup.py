@@ -1,0 +1,120 @@
+"""Content-based deduplication analysis for VMI caches (paper §8).
+
+The paper's closing future work: "we think it is worthwhile to
+investigate data compression and deduplication techniques ... in the
+context of VMI caches to gain even more storage efficacy", building on
+the §7.3 observation that "VMIs created from the same operating system
+distribution share content".
+
+This module quantifies that opportunity on real cache images: it
+chunks every *allocated* cluster range, fingerprints the content, and
+reports how many bytes are duplicated within one image and shared
+across a set of images (e.g. the caches of ten CentOS-derived VMIs on
+one compute node).  It is analysis, not transformation — the paper's
+immutability requirement means a deduplicating store would live below
+the image format, and the numbers here size that store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.units import is_power_of_two
+
+DEFAULT_CHUNK_SIZE = 4096
+
+
+def content_fingerprints(
+    image: Qcow2Image,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Counter:
+    """Multiset of content digests over the image's allocated data.
+
+    Only clusters allocated *in this image* are read (for a cache
+    image: exactly the data it absorbed from its base) — reading
+    through the backing chain would count the base's content instead.
+    """
+    if not is_power_of_two(chunk_size):
+        raise ValueError("chunk size must be a power of two")
+    digests: Counter = Counter()
+    for offset, length, allocated in image.map_clusters():
+        if not allocated:
+            continue
+        pos = offset
+        end = offset + length
+        while pos < end:
+            n = min(chunk_size, end - pos)
+            data = image.read(pos, n)
+            digests[hashlib.sha256(data).digest()] += 1
+            pos += n
+    return digests
+
+
+@dataclass
+class DedupReport:
+    """Outcome of a dedup analysis over one or more images."""
+
+    chunk_size: int
+    total_bytes: int
+    unique_bytes: int
+    per_image_allocated: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def duplicate_bytes(self) -> int:
+        return self.total_bytes - self.unique_bytes
+
+    @property
+    def dedup_ratio(self) -> float:
+        """total / unique: 1.0 means no duplication at all."""
+        if self.unique_bytes == 0:
+            return 1.0
+        return self.total_bytes / self.unique_bytes
+
+    @property
+    def savings_fraction(self) -> float:
+        if self.total_bytes == 0:
+            return 0.0
+        return self.duplicate_bytes / self.total_bytes
+
+
+def analyze_dedup(
+    images: list[Qcow2Image],
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> DedupReport:
+    """How much cache-pool space would a content-addressed store save?
+
+    Pass several cache images (same or different VMIs); the report's
+    ``unique_bytes`` is the store's footprint, ``total_bytes`` what the
+    plain per-image files occupy in data clusters.
+    """
+    if not images:
+        raise ValueError("need at least one image to analyze")
+    merged: Counter = Counter()
+    per_image: dict[str, int] = {}
+    for image in images:
+        fps = content_fingerprints(image, chunk_size)
+        merged.update(fps)
+        per_image[image.path] = sum(fps.values()) * chunk_size
+    total_chunks = sum(merged.values())
+    unique_chunks = len(merged)
+    return DedupReport(
+        chunk_size=chunk_size,
+        total_bytes=total_chunks * chunk_size,
+        unique_bytes=unique_chunks * chunk_size,
+        per_image_allocated=per_image,
+    )
+
+
+def cross_image_shared_bytes(
+    a: Qcow2Image,
+    b: Qcow2Image,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> int:
+    """Bytes of content appearing in both images (pairwise overlap)."""
+    fa = content_fingerprints(a, chunk_size)
+    fb = content_fingerprints(b, chunk_size)
+    shared = sum(min(fa[d], fb[d]) for d in fa.keys() & fb.keys())
+    return shared * chunk_size

@@ -1,0 +1,246 @@
+"""QCowHeader and header-extension serialization.
+
+The version-2 header is 72 bytes of big-endian fields; header extensions
+follow it (each ``u32 type, u32 length, data, pad-to-8``), then the
+backing-file name.  The paper's cache extension adds two 8-byte fields —
+the quota and the current size of the cache — "as part of a new extension
+to the QCowHeader ... to ensure backward compatibility with normal QCOW2
+images" (Section 4.3).  We encode them as extension type ``HEXT_VMI_CACHE``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidImageError, UnsupportedFeatureError
+from repro.imagefmt.constants import (
+    HEADER_SIZE_V2,
+    HEXT_BACKING_FORMAT,
+    HEXT_END,
+    HEXT_VMI_CACHE,
+    MAX_CLUSTER_BITS,
+    MAX_VIRTUAL_SIZE,
+    MIN_CLUSTER_BITS,
+    QCOW_MAGIC,
+    QCOW_VERSION,
+    VMI_CACHE_EXT_SIZE,
+)
+from repro.units import align_up
+
+_HEADER_STRUCT = struct.Struct(">IIQIIQIIQQIIQ")
+assert _HEADER_STRUCT.size == HEADER_SIZE_V2
+
+_EXT_HEADER = struct.Struct(">II")
+_CACHE_EXT = struct.Struct(">QQ")
+
+
+@dataclass
+class HeaderExtension:
+    """One raw header extension (type code + payload bytes)."""
+
+    ext_type: int
+    data: bytes
+
+
+@dataclass
+class CacheExtension:
+    """Decoded VMI-cache extension: the two 8-byte fields of §4.3.
+
+    ``quota`` is the maximum physical file size the cache may grow to;
+    ``current_size`` is the physical size at last close (it starts at
+    "size of the header and initial tables" and is written back on close).
+    """
+
+    quota: int
+    current_size: int
+
+    def encode(self) -> bytes:
+        return _CACHE_EXT.pack(self.quota, self.current_size)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "CacheExtension":
+        if len(data) != VMI_CACHE_EXT_SIZE:
+            raise InvalidImageError(
+                f"VMI cache extension has {len(data)} bytes, "
+                f"expected {VMI_CACHE_EXT_SIZE}"
+            )
+        quota, current_size = _CACHE_EXT.unpack(data)
+        return cls(quota=quota, current_size=current_size)
+
+
+@dataclass
+class QCowHeader:
+    """The fixed version-2 header plus decoded extensions.
+
+    Field names and order match the on-disk format; ``crypt_method``,
+    ``nb_snapshots`` and ``snapshots_offset`` are carried but must be zero
+    (encryption and internal snapshots are out of scope for the paper and
+    for this reproduction).
+    """
+
+    size: int
+    cluster_bits: int
+    backing_file: str | None = None
+    backing_format: str | None = None
+    l1_size: int = 0
+    l1_table_offset: int = 0
+    refcount_table_offset: int = 0
+    refcount_table_clusters: int = 0
+    crypt_method: int = 0
+    nb_snapshots: int = 0
+    snapshots_offset: int = 0
+    cache_ext: CacheExtension | None = None
+    unknown_extensions: list[HeaderExtension] = field(default_factory=list)
+
+    @property
+    def cluster_size(self) -> int:
+        return 1 << self.cluster_bits
+
+    @property
+    def is_cache(self) -> bool:
+        """True when the image carries the VMI-cache extension."""
+        return self.cache_ext is not None
+
+    # -- serialization ----------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Serialize header + extensions + backing name.
+
+        The result is *not* padded to a cluster; callers pad.  Layout:
+        ``[72-byte header][extensions][end marker][backing file name]``.
+        """
+        backing = (self.backing_file or "").encode("utf-8")
+        ext_blob = self._encode_extensions()
+        backing_offset = HEADER_SIZE_V2 + len(ext_blob) if backing else 0
+        fixed = _HEADER_STRUCT.pack(
+            QCOW_MAGIC,
+            QCOW_VERSION,
+            backing_offset,
+            len(backing),
+            self.cluster_bits,
+            self.size,
+            self.crypt_method,
+            self.l1_size,
+            self.l1_table_offset,
+            self.refcount_table_offset,
+            self.refcount_table_clusters,
+            self.nb_snapshots,
+            self.snapshots_offset,
+        )
+        return fixed + ext_blob + backing
+
+    def _encode_extensions(self) -> bytes:
+        parts: list[bytes] = []
+        if self.backing_format is not None:
+            parts.append(_encode_one_ext(
+                HEXT_BACKING_FORMAT, self.backing_format.encode("utf-8")))
+        if self.cache_ext is not None:
+            parts.append(_encode_one_ext(
+                HEXT_VMI_CACHE, self.cache_ext.encode()))
+        for ext in self.unknown_extensions:
+            parts.append(_encode_one_ext(ext.ext_type, ext.data))
+        parts.append(_EXT_HEADER.pack(HEXT_END, 0))
+        return b"".join(parts)
+
+    def encoded_size(self) -> int:
+        """Byte length of the serialized header area."""
+        return len(self.encode())
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "QCowHeader":
+        """Parse the header area of an image file.
+
+        ``blob`` must contain at least the first cluster of the file (the
+        header area never crosses the first cluster in images we create;
+        for foreign images callers may pass more).
+        """
+        if len(blob) < HEADER_SIZE_V2:
+            raise InvalidImageError("file too small to hold a QCOW2 header")
+        (
+            magic,
+            version,
+            backing_file_offset,
+            backing_file_size,
+            cluster_bits,
+            size,
+            crypt_method,
+            l1_size,
+            l1_table_offset,
+            refcount_table_offset,
+            refcount_table_clusters,
+            nb_snapshots,
+            snapshots_offset,
+        ) = _HEADER_STRUCT.unpack_from(blob, 0)
+        if magic != QCOW_MAGIC:
+            raise InvalidImageError(f"bad magic 0x{magic:08x}")
+        if version != QCOW_VERSION:
+            raise UnsupportedFeatureError(
+                f"unsupported QCOW version {version} (only v2 is supported)")
+        if not MIN_CLUSTER_BITS <= cluster_bits <= MAX_CLUSTER_BITS:
+            raise InvalidImageError(f"invalid cluster_bits {cluster_bits}")
+        if size > MAX_VIRTUAL_SIZE:
+            raise InvalidImageError(f"implausible virtual size {size}")
+        if crypt_method != 0:
+            raise UnsupportedFeatureError("encrypted images are unsupported")
+        if nb_snapshots != 0:
+            raise UnsupportedFeatureError(
+                "internal snapshots are unsupported")
+
+        header = cls(
+            size=size,
+            cluster_bits=cluster_bits,
+            l1_size=l1_size,
+            l1_table_offset=l1_table_offset,
+            refcount_table_offset=refcount_table_offset,
+            refcount_table_clusters=refcount_table_clusters,
+            crypt_method=crypt_method,
+            nb_snapshots=nb_snapshots,
+            snapshots_offset=snapshots_offset,
+        )
+        end_of_exts = header._decode_extensions(blob, HEADER_SIZE_V2)
+
+        if backing_file_offset:
+            if backing_file_offset < end_of_exts:
+                raise InvalidImageError(
+                    "backing file name overlaps header extensions")
+            end = backing_file_offset + backing_file_size
+            if end > len(blob):
+                raise InvalidImageError("backing file name out of bounds")
+            header.backing_file = blob[
+                backing_file_offset:end].decode("utf-8")
+        return header
+
+    def _decode_extensions(self, blob: bytes, pos: int) -> int:
+        """Parse extensions starting at ``pos``; return end offset."""
+        while True:
+            if pos + _EXT_HEADER.size > len(blob):
+                # No explicit end marker before the backing name: legal for
+                # images written by older tools; treat as "no extensions".
+                return pos
+            ext_type, length = _EXT_HEADER.unpack_from(blob, pos)
+            pos += _EXT_HEADER.size
+            if ext_type == HEXT_END:
+                return pos
+            if pos + length > len(blob):
+                raise InvalidImageError("header extension out of bounds")
+            data = blob[pos: pos + length]
+            pos = align_up(pos + length, 8)
+            if ext_type == HEXT_BACKING_FORMAT:
+                self.backing_format = data.decode("utf-8")
+            elif ext_type == HEXT_VMI_CACHE:
+                self.cache_ext = CacheExtension.decode(data)
+            else:
+                # Unknown extensions are preserved verbatim so that
+                # rewriting the header round-trips foreign images.
+                self.unknown_extensions.append(
+                    HeaderExtension(ext_type, data))
+
+
+def _encode_one_ext(ext_type: int, data: bytes) -> bytes:
+    padded_len = align_up(len(data), 8)
+    return (
+        _EXT_HEADER.pack(ext_type, len(data))
+        + data
+        + b"\0" * (padded_len - len(data))
+    )

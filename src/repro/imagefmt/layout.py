@@ -1,0 +1,221 @@
+"""Physical file layout: cluster allocation and refcount maintenance.
+
+The allocator hands out clusters at the (cluster-aligned) end of the file
+— QCOW2 images only ever grow, since nothing in the paper's workload
+frees clusters — and keeps the per-cluster refcounts in memory, writing
+refcount blocks back on flush.  Flushing may itself allocate clusters
+(for new refcount blocks, or to grow the refcount table), which changes
+refcounts again; ``flush_refcounts`` iterates to a fixpoint, which the
+monotonically-growing layout reaches in at most a few rounds.
+
+Crash consistency is explicitly out of scope (as it is for the paper's
+prototype): refcounts on disk are consistent after ``flush``/``close``,
+not after every operation.
+"""
+
+from __future__ import annotations
+
+from typing import BinaryIO
+
+from repro.errors import CorruptImageError
+from repro.imagefmt.refcount import (
+    RefcountGeometry,
+    read_refcount_block,
+    read_refcount_table,
+    write_refcount_block,
+    write_refcount_table,
+)
+from repro.units import align_up
+
+
+class ClusterAllocator:
+    """Owns the physical size of the image file and all refcounts."""
+
+    def __init__(
+        self,
+        f: BinaryIO,
+        cluster_bits: int,
+        physical_size: int,
+        refcount_table_offset: int,
+        refcount_table_clusters: int,
+    ) -> None:
+        self._f = f
+        self.geometry = RefcountGeometry(cluster_bits)
+        self.cluster_size = 1 << cluster_bits
+        if physical_size % self.cluster_size:
+            physical_size = align_up(physical_size, self.cluster_size)
+        self.physical_size = physical_size
+        self.refcount_table_offset = refcount_table_offset
+        self.refcount_table_clusters = refcount_table_clusters
+        # In-memory refcounts: cluster index -> count.  Missing means 0.
+        self._refcounts: dict[int, int] = {}
+        self._loaded = False
+        self._dirty = False
+
+    # -- loading ----------------------------------------------------------
+
+    def load(self) -> None:
+        """Read all on-disk refcounts into memory (done once, lazily)."""
+        if self._loaded:
+            return
+        table = read_refcount_table(
+            self._f,
+            self.refcount_table_offset,
+            self.refcount_table_clusters,
+            self.cluster_size,
+        )
+        for table_idx, block_offset in enumerate(table):
+            if block_offset == 0:
+                continue
+            counts = read_refcount_block(
+                self._f, block_offset, self.cluster_size)
+            base = table_idx * self.geometry.block_entries
+            for i, c in enumerate(counts):
+                if c:
+                    self._refcounts[base + i] = c
+        self._loaded = True
+
+    # -- queries ----------------------------------------------------------
+
+    def refcount(self, cluster_index: int) -> int:
+        self.load()
+        return self._refcounts.get(cluster_index, 0)
+
+    def allocated_clusters(self) -> int:
+        """Number of clusters with refcount > 0."""
+        self.load()
+        return sum(1 for c in self._refcounts.values() if c > 0)
+
+    @property
+    def physical_clusters(self) -> int:
+        return self.physical_size // self.cluster_size
+
+    # -- allocation -------------------------------------------------------
+
+    def alloc(self, n_clusters: int = 1) -> int:
+        """Allocate ``n_clusters`` contiguous clusters at end of file.
+
+        Returns the byte offset of the first one.  The file is extended
+        sparsely (via truncate); the caller writes the contents.
+        """
+        if n_clusters <= 0:
+            raise ValueError("must allocate at least one cluster")
+        self.load()
+        offset = self.physical_size
+        first = offset // self.cluster_size
+        # The file itself is extended lazily: data clusters are written
+        # right after allocation, and flush_refcounts() truncates the
+        # file up to physical_size for anything still pending (avoids a
+        # truncate syscall per 512-byte cache cluster).
+        self.physical_size += n_clusters * self.cluster_size
+        for i in range(first, first + n_clusters):
+            self._refcounts[i] = self._refcounts.get(i, 0) + 1
+        self._dirty = True
+        return offset
+
+    def mark_allocated(self, offset: int, n_clusters: int) -> None:
+        """Record refcounts for clusters placed by hand (image creation)."""
+        self.load()
+        first = offset // self.cluster_size
+        for i in range(first, first + n_clusters):
+            self._refcounts[i] = self._refcounts.get(i, 0) + 1
+        self.physical_size = max(
+            self.physical_size,
+            offset + n_clusters * self.cluster_size,
+        )
+        self._dirty = True
+
+    # -- flushing ---------------------------------------------------------
+
+    def flush_refcounts(self) -> bool:
+        """Write refcount blocks/table back to disk.
+
+        Returns True when the refcount table moved or grew, in which case
+        the caller must rewrite the header fields.  Iterates because
+        writing refcounts can allocate refcount blocks (whose own
+        refcounts must then be persisted too).
+        """
+        if not self._dirty:
+            return False
+        self.load()
+        self._f.truncate(self.physical_size)
+        geo = self.geometry
+        header_changed = False
+
+        # Grow the refcount table first if the file has outgrown it.
+        while geo.clusters_covered(self.refcount_table_clusters) \
+                < self.physical_clusters + 1:
+            self._grow_table()
+            header_changed = True
+
+        table = read_refcount_table(
+            self._f,
+            self.refcount_table_offset,
+            self.refcount_table_clusters,
+            self.cluster_size,
+        )
+
+        for _round in range(64):
+            # Allocate refblocks for any covered-but-unbacked counts.
+            needed = {
+                geo.table_index(ci)
+                for ci, c in self._refcounts.items() if c > 0
+            }
+            missing = sorted(
+                ti for ti in needed
+                if ti >= len(table) or table[ti] == 0
+            )
+            if not missing:
+                break
+            for ti in missing:
+                block_off = self.alloc(1)  # changes refcounts again
+                while len(table) <= ti:
+                    table.append(0)
+                table[ti] = block_off
+            # May now need a bigger table for the clusters just allocated.
+            while geo.clusters_covered(self.refcount_table_clusters) \
+                    < self.physical_clusters:
+                self._grow_table()
+                header_changed = True
+        else:
+            raise CorruptImageError(
+                "refcount flush did not converge (image corrupt?)")
+
+        # Write every refblock (simple and safe; images are small).
+        for ti, block_off in enumerate(table):
+            if block_off == 0:
+                continue
+            base = ti * geo.block_entries
+            counts = [
+                self._refcounts.get(base + i, 0)
+                for i in range(geo.block_entries)
+            ]
+            write_refcount_block(
+                self._f, block_off, counts, self.cluster_size)
+        write_refcount_table(
+            self._f,
+            self.refcount_table_offset,
+            table,
+            self.refcount_table_clusters,
+            self.cluster_size,
+        )
+        self._dirty = False
+        return header_changed
+
+    def _grow_table(self) -> None:
+        """Relocate the refcount table to a bigger area at end of file."""
+        new_clusters = max(1, self.refcount_table_clusters * 2)
+        new_offset = self.alloc(new_clusters)
+        old = read_refcount_table(
+            self._f,
+            self.refcount_table_offset,
+            self.refcount_table_clusters,
+            self.cluster_size,
+        )
+        write_refcount_table(
+            self._f, new_offset, old, new_clusters, self.cluster_size)
+        # The old table's clusters stay allocated (leaked); QEMU reclaims
+        # them, we accept the few wasted clusters for simplicity — `check`
+        # accounts for them via the leaked-cluster report.
+        self.refcount_table_offset = new_offset
+        self.refcount_table_clusters = new_clusters

@@ -1,0 +1,309 @@
+"""``repro-img``: a qemu-img-like command-line facade.
+
+Section 4.2/4.4 of the paper: ``qemu-img`` is the tool that creates and
+manipulates images, and the cache extension only adds one new argument
+to it (the cache quota).  This module provides the matching subcommands::
+
+    repro-img create [-f qcow2] [-b BACKING] [-F FMT] [-c CLUSTER]
+                     [--cache-quota BYTES] PATH [SIZE]
+    repro-img info PATH
+    repro-img check PATH
+    repro-img map PATH
+    repro-img chain PATH          # print the backing chain
+
+Sizes accept qemu-style suffixes (``512``, ``64K``, ``200M``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import ReproError
+from repro.imagefmt.chain import chain_paths, open_chain
+from repro.imagefmt.constants import (
+    DEFAULT_CLUSTER_SIZE,
+    FORMAT_QCOW2,
+    FORMAT_RAW,
+)
+from repro.imagefmt.driver import open_image, probe_format
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.imagefmt.raw import RawImage
+from repro.units import format_size, parse_size
+
+
+def cmd_create(args: argparse.Namespace) -> int:
+    size = parse_size(args.size) if args.size else None
+    if args.format == FORMAT_RAW:
+        if args.backing or args.cache_quota:
+            raise ReproError(
+                "raw images support neither backing files nor caches")
+        if size is None:
+            raise ReproError("raw images need an explicit size")
+        img = RawImage.create(args.path, size)
+        img.close()
+    else:
+        quota = parse_size(args.cache_quota) if args.cache_quota else 0
+        img = Qcow2Image.create(
+            args.path,
+            size,
+            backing_file=args.backing,
+            backing_format=args.backing_format,
+            cluster_size=parse_size(args.cluster_size),
+            cache_quota=quota,
+        )
+        img.close()
+    print(f"Formatting '{args.path}', fmt={args.format}"
+          + (f" backing_file={args.backing}" if args.backing else "")
+          + (f" cache_quota={args.cache_quota}" if args.cache_quota else ""))
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    fmt = probe_format(args.path)
+    if fmt == FORMAT_QCOW2:
+        with Qcow2Image.open(args.path, read_only=True,
+                             open_backing=False) as img:
+            info = img.image_info()
+    else:
+        with open_image(args.path, fmt) as img:
+            info = {
+                "format": fmt,
+                "virtual_size": img.size,
+                "is_cache": False,
+            }
+    if args.json:
+        print(json.dumps(info, indent=2))
+        return 0
+    print(f"image: {args.path}")
+    print(f"file format: {info['format']}")
+    print(f"virtual size: {format_size(info['virtual_size'])} "
+          f"({info['virtual_size']} bytes)")
+    if info.get("cluster_size"):
+        print(f"cluster size: {info['cluster_size']}")
+    if info.get("physical_size") is not None:
+        print(f"disk size: {format_size(info['physical_size'])}")
+    if info.get("backing_file"):
+        print(f"backing file: {info['backing_file']}"
+              + (f" (format: {info['backing_format']})"
+                 if info.get("backing_format") else ""))
+    if info["is_cache"]:
+        print(f"cache quota: {format_size(info['cache_quota'])}")
+        print("cache current size: "
+              f"{format_size(info['cache_current_size'])}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    with Qcow2Image.open(args.path, read_only=True,
+                         open_backing=False) as img:
+        report = img.check()
+    for err in report.errors:
+        print(f"ERROR: {err}")
+    if report.leaked_clusters:
+        print(f"{report.leaked_clusters} leaked clusters")
+    print(f"{report.allocated_clusters} clusters in use")
+    if report.ok:
+        print("No errors were found on the image.")
+        return 0
+    return 2
+
+
+def cmd_map(args: argparse.Namespace) -> int:
+    with Qcow2Image.open(args.path, read_only=True,
+                         open_backing=False) as img:
+        print(f"{'Offset':>16} {'Length':>16} Mapped")
+        for offset, length, allocated in img.map_clusters():
+            print(f"{offset:>16} {length:>16} "
+                  f"{'true' if allocated else 'false'}")
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    from repro.imagefmt.convert import convert
+
+    written = convert(
+        args.src, args.dst,
+        output_format=args.output_format,
+        cluster_size=parse_size(args.cluster_size),
+        src_format=args.format,
+    )
+    print(f"Converted '{args.src}' -> '{args.dst}' "
+          f"({args.output_format}), {format_size(written)} of data")
+    return 0
+
+
+def cmd_boot_bench(args: argparse.Namespace) -> int:
+    """Replay a boot trace against an image chain; print the traffic
+    a storage node would observe (the Figure 9/10 measurement, from
+    the command line)."""
+    from repro.bootmodel.trace import BootTrace
+    from repro.bootmodel.vm import replay_through_chain
+    from repro.imagefmt.chain import open_chain
+
+    trace = BootTrace.load(args.trace)
+    with open_chain(args.path, read_only=False) as chain:
+        result = replay_through_chain(trace, chain)
+    print(f"replayed {result.ops_replayed} ops from {args.trace}")
+    print(f"guest read:   {format_size(result.guest_bytes_read)}")
+    print(f"guest wrote:  {format_size(result.guest_bytes_written)}")
+    print(f"base fetched: {format_size(result.base_bytes_read)} "
+          f"in {result.base_read_ops} ops")
+    print(f"unique base:  {format_size(result.unique_base_bytes)}")
+    if result.cache_file_size is not None:
+        print(f"cache hits:   {format_size(result.cache_hit_bytes)}")
+        print(f"cache size:   {format_size(result.cache_file_size)}"
+              + ("  (CoR disabled: quota filled)"
+                 if result.cor_disabled else ""))
+    return 0
+
+
+def cmd_commit(args: argparse.Namespace) -> int:
+    from repro.imagefmt.commit import commit, open_chain_for_commit
+
+    with open_chain_for_commit(args.path) as overlay:
+        nbytes = commit(overlay)
+    print(f"Committed {format_size(nbytes)} from '{args.path}' into "
+          f"its backing file.")
+    print("Note: any VMI caches derived from that backing image are "
+          "now stale and must be dropped (§3: caches are valid only "
+          "while the base is unchanged).")
+    return 0
+
+
+def cmd_rebase(args: argparse.Namespace) -> int:
+    from repro.imagefmt.commit import rebase
+
+    copied = rebase(
+        args.path,
+        args.backing if args.backing else None,
+        new_backing_format=args.backing_format,
+        unsafe=args.unsafe,
+    )
+    target = args.backing or "<none> (standalone)"
+    print(f"Rebased '{args.path}' onto {target}"
+          + (f", copied {format_size(copied)}" if copied else ""))
+    return 0
+
+
+def cmd_dedup(args: argparse.Namespace) -> int:
+    from repro.imagefmt.dedup import analyze_dedup
+
+    images = [Qcow2Image.open(p, read_only=True, open_backing=False)
+              for p in args.paths]
+    try:
+        report = analyze_dedup(images,
+                               chunk_size=parse_size(args.chunk_size))
+    finally:
+        for img in images:
+            img.close()
+    print(f"chunk size: {report.chunk_size}")
+    for path, nbytes in report.per_image_allocated.items():
+        print(f"  {path}: {format_size(nbytes)} of data chunks")
+    print(f"total:     {format_size(report.total_bytes)}")
+    print(f"unique:    {format_size(report.unique_bytes)}")
+    print(f"duplicate: {format_size(report.duplicate_bytes)} "
+          f"({report.savings_fraction:.1%} saved by a "
+          f"content-addressed cache store)")
+    return 0
+
+
+def cmd_chain(args: argparse.Namespace) -> int:
+    with open_chain(args.path, read_only=True) as img:
+        for i, path in enumerate(chain_paths(img)):
+            print(("  " * i) + path)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-img",
+        description="qemu-img-like tool for VMI-cache image chains",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("create", help="create a new image")
+    p.add_argument("-f", "--format", default=FORMAT_QCOW2,
+                   choices=[FORMAT_QCOW2, FORMAT_RAW])
+    p.add_argument("-b", "--backing", help="backing file path")
+    p.add_argument("-F", "--backing-format", dest="backing_format")
+    p.add_argument("-c", "--cluster-size", default=str(DEFAULT_CLUSTER_SIZE))
+    p.add_argument("--cache-quota",
+                   help="mark the image as a VMI cache with this quota")
+    p.add_argument("path")
+    p.add_argument("size", nargs="?")
+    p.set_defaults(func=cmd_create)
+
+    p = sub.add_parser("info", help="show image information")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("path")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("check", help="check image consistency")
+    p.add_argument("path")
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("map", help="show allocated ranges")
+    p.add_argument("path")
+    p.set_defaults(func=cmd_map)
+
+    p = sub.add_parser("chain", help="print the backing chain")
+    p.add_argument("path")
+    p.set_defaults(func=cmd_chain)
+
+    p = sub.add_parser("convert",
+                       help="flatten a chain into a standalone image")
+    p.add_argument("-f", "--format", help="input format (probed)")
+    p.add_argument("-O", "--output-format", default=FORMAT_QCOW2,
+                   choices=[FORMAT_QCOW2, FORMAT_RAW])
+    p.add_argument("-c", "--cluster-size",
+                   default=str(DEFAULT_CLUSTER_SIZE))
+    p.add_argument("src")
+    p.add_argument("dst")
+    p.set_defaults(func=cmd_convert)
+
+    p = sub.add_parser(
+        "boot-bench",
+        help="replay a saved boot trace against an image chain")
+    p.add_argument("--trace", required=True,
+                   help="trace JSON (BootTrace.save format)")
+    p.add_argument("path")
+    p.set_defaults(func=cmd_boot_bench)
+
+    p = sub.add_parser("commit",
+                       help="commit an overlay into its backing file")
+    p.add_argument("path")
+    p.set_defaults(func=cmd_commit)
+
+    p = sub.add_parser("rebase", help="change an image's backing file")
+    p.add_argument("-b", "--backing", default=None,
+                   help="new backing file (omit to flatten)")
+    p.add_argument("-F", "--backing-format", dest="backing_format")
+    p.add_argument("-u", "--unsafe", action="store_true",
+                   help="only rewrite the header (backing content "
+                        "must be identical)")
+    p.add_argument("path")
+    p.set_defaults(func=cmd_rebase)
+
+    p = sub.add_parser(
+        "dedup",
+        help="content-dedup analysis over cache images (§8 future work)")
+    p.add_argument("--chunk-size", default="4K")
+    p.add_argument("paths", nargs="+")
+    p.set_defaults(func=cmd_dedup)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"repro-img: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Raw image driver: a plain file, sparse where never written.
+
+Base VMIs in the paper's setup are ordinary image files exported over
+NFS; reads beyond what was ever written return zeros, which the sparse
+file gives us for free.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidImageError
+from repro.imagefmt.constants import FORMAT_RAW, QCOW_MAGIC
+from repro.imagefmt.driver import BlockDriver, register_format
+from repro.imagefmt.fileio import PositionalFile
+
+
+class RawImage(BlockDriver):
+    """A raw image file.  Virtual size == file size."""
+
+    format_name = FORMAT_RAW
+
+    def __init__(self, path: str, f: PositionalFile, size: int,
+                 read_only: bool) -> None:
+        super().__init__(path, size, read_only)
+        self._f = f
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str, size: int) -> "RawImage":
+        """Create a sparse raw image of ``size`` bytes and open it rw."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        f = PositionalFile.create(path)
+        f.truncate(size)
+        return cls(path, f, size, read_only=False)
+
+    @classmethod
+    def open(cls, path: str, *, read_only: bool = True) -> "RawImage":
+        f = PositionalFile.open(path, read_only=read_only)
+        return cls(path, f, f.size(), read_only)
+
+    # -- driver hooks --------------------------------------------------------
+
+    def _read_impl(self, offset: int, length: int) -> bytes:
+        data = self._f.pread(length, offset)
+        if len(data) < length:
+            # Defensive: raw files should never be shorter than their
+            # virtual size, but pad rather than crash if one is.
+            data += b"\0" * (length - len(data))
+        return data
+
+    def _write_impl(self, offset: int, data: bytes) -> None:
+        self._f.pwrite(data, offset)
+
+    def _flush_impl(self) -> None:
+        self._f.fsync()
+
+    def _close_impl(self) -> None:
+        self._f.close()
+
+    def allocated_bytes(self) -> int:
+        """Physically allocated bytes (via stat block count)."""
+        import os
+
+        st = os.stat(self.path)
+        return st.st_blocks * 512
+
+
+def _probe_raw(head: bytes) -> bool:
+    # Raw is the fallback: claim anything that is not QCOW2.
+    if len(head) >= 4:
+        magic = int.from_bytes(head[:4], "big")
+        return magic != QCOW_MAGIC
+    return True
+
+
+def _open_raw(path: str, *, read_only: bool = True, **kwargs) -> RawImage:
+    if kwargs:
+        raise InvalidImageError(
+            f"raw driver got unexpected options {sorted(kwargs)}")
+    return RawImage.open(path, read_only=read_only)
+
+
+register_format(FORMAT_RAW, _open_raw, _probe_raw)

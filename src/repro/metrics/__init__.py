@@ -1,0 +1,22 @@
+"""Result collection and paper-style reporting.
+
+The benchmark harness uses these helpers to print each experiment the
+way the paper presents it (one series per line/curve, one row per
+x-axis point) and to record paper-vs-measured comparisons for
+EXPERIMENTS.md.
+"""
+
+from repro.metrics.collectors import ExperimentLog, Series
+from repro.metrics.reporting import (
+    format_comparison,
+    format_series_table,
+    shape_check,
+)
+
+__all__ = [
+    "Series",
+    "ExperimentLog",
+    "format_series_table",
+    "format_comparison",
+    "shape_check",
+]

@@ -1,0 +1,95 @@
+"""Terminal line plots for experiment logs.
+
+EXPERIMENTS.md and the examples render each figure's *shape* — which
+is the thing this reproduction claims to match — as a compact ASCII
+chart, one marker per series, log-friendly x spacing.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.collectors import ExperimentLog, Series
+
+_MARKERS = "xo*+#@%&"
+
+
+def plot_series(
+    series_list: list[Series],
+    *,
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render series as an ASCII scatter/line chart.
+
+    X positions use the rank of each distinct x value (the paper's
+    axes are 1,4,8,16,32,64 — rank spacing reads like its log axis).
+    """
+    if width < 10 or height < 4:
+        raise ValueError("plot too small to be legible")
+    xs = sorted({x for s in series_list for x in s.xs()})
+    ys = [y for s in series_list for y in s.ys()]
+    if not xs or not ys:
+        return "(no data)"
+    y_max = max(ys)
+    y_min = min(0.0, min(ys))
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    x_pos = {x: (round(i * (width - 1) / max(1, len(xs) - 1))
+                 if len(xs) > 1 else 0)
+             for i, x in enumerate(xs)}
+
+    for si, series in enumerate(series_list):
+        marker = _MARKERS[si % len(_MARKERS)]
+        last_cell: tuple[int, int] | None = None
+        for x, y in sorted(series.points):
+            col = x_pos[x]
+            row = height - 1 - round(
+                (y - y_min) / y_span * (height - 1))
+            if last_cell is not None:
+                _draw_segment(grid, last_cell, (row, col), marker)
+            grid[row][col] = marker
+            last_cell = (row, col)
+
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = f"{y_max:>9.1f} |"
+        elif i == height - 1:
+            prefix = f"{y_min:>9.1f} |"
+        else:
+            prefix = " " * 9 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    tick_line = [" "] * (width + 11)
+    for x, col in x_pos.items():
+        label = f"{x:g}"
+        start = min(11 + col, len(tick_line) - len(label))
+        for j, ch in enumerate(label):
+            tick_line[start + j] = ch
+    lines.append("".join(tick_line).rstrip() + f"   ({x_label})")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.name}"
+        for i, s in enumerate(series_list))
+    lines.append(f"legend: {legend}  [{y_label}]")
+    return "\n".join(lines)
+
+
+def plot_log(log: ExperimentLog, *, x_label: str = "x",
+             width: int = 60, height: int = 16) -> str:
+    unit = log.series[0].unit if log.series else "s"
+    return plot_series(log.series, width=width, height=height,
+                       x_label=x_label, y_label=unit)
+
+
+def _draw_segment(grid: list[list[str]], a: tuple[int, int],
+                  b: tuple[int, int], marker: str) -> None:
+    """Light interpolation between consecutive points ('.' trail)."""
+    (r0, c0), (r1, c1) = a, b
+    steps = max(abs(r1 - r0), abs(c1 - c0))
+    for i in range(1, steps):
+        r = round(r0 + (r1 - r0) * i / steps)
+        c = round(c0 + (c1 - c0) * i / steps)
+        if grid[r][c] == " ":
+            grid[r][c] = "."

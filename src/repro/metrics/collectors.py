@@ -1,0 +1,115 @@
+"""Series and experiment-log containers for benchmark results."""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Series:
+    """One curve of a figure: named, with (x, y) points."""
+
+    name: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+    unit: str = "s"
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((float(x), float(y)))
+
+    def xs(self) -> list[float]:
+        return [x for x, _ in self.points]
+
+    def ys(self) -> list[float]:
+        return [y for _, y in self.points]
+
+    def y_at(self, x: float) -> float:
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"series {self.name!r} has no point at x={x}")
+
+    def is_monotonic_increasing(self, *, tolerance: float = 0.0) -> bool:
+        ys = self.ys()
+        return all(b >= a - tolerance * max(a, 1e-12)
+                   for a, b in zip(ys, ys[1:]))
+
+    def is_flat(self, *, tolerance: float = 0.2) -> bool:
+        """All points within ±tolerance of the first point."""
+        ys = self.ys()
+        if not ys:
+            return True
+        ref = ys[0]
+        return all(abs(y - ref) <= tolerance * max(ref, 1e-12)
+                   for y in ys)
+
+    def growth_factor(self) -> float:
+        """last / first (how much the curve rises over its range)."""
+        ys = self.ys()
+        if not ys or ys[0] == 0:
+            return float("inf")
+        return ys[-1] / ys[0]
+
+
+@dataclass
+class ExperimentLog:
+    """Everything one benchmark measured, serializable for
+    EXPERIMENTS.md generation."""
+
+    experiment_id: str
+    title: str
+    series: list[Series] = field(default_factory=list)
+    scalars: dict[str, float] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def new_series(self, name: str, unit: str = "s") -> Series:
+        s = Series(name, unit=unit)
+        self.series.append(s)
+        return s
+
+    def get(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def record_scalar(self, name: str, value: float) -> None:
+        self.scalars[name] = float(value)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    # -- persistence --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "series": [
+                {"name": s.name, "unit": s.unit, "points": s.points}
+                for s in self.series
+            ],
+            "scalars": self.scalars,
+            "notes": self.notes,
+        }
+
+    def save(self, directory: str) -> str:
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{self.experiment_id}.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(self.to_dict(), f, indent=2)
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "ExperimentLog":
+        with open(path, encoding="utf-8") as f:
+            raw = json.load(f)
+        log = cls(raw["experiment_id"], raw["title"])
+        for s in raw["series"]:
+            series = log.new_series(s["name"], s.get("unit", "s"))
+            for x, y in s["points"]:
+                series.add(x, y)
+        log.scalars = raw.get("scalars", {})
+        log.notes = raw.get("notes", [])
+        return log

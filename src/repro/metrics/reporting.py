@@ -1,0 +1,71 @@
+"""Paper-style formatting and shape assertions for benchmark output."""
+
+from __future__ import annotations
+
+from repro.metrics.collectors import ExperimentLog, Series
+
+
+def format_series_table(log: ExperimentLog,
+                        x_label: str = "x") -> str:
+    """Render a figure's curves as an aligned text table.
+
+    One row per x value, one column per series — the textual analogue
+    of the paper's plots.
+    """
+    xs = sorted({x for s in log.series for x in s.xs()})
+    name_width = max((len(s.name) for s in log.series), default=4)
+    header = f"{x_label:>8} | " + " | ".join(
+        f"{s.name:>{max(name_width, 12)}}" for s in log.series)
+    lines = [f"== {log.experiment_id}: {log.title} ==", header,
+             "-" * len(header)]
+    for x in xs:
+        cells = []
+        for s in log.series:
+            try:
+                cells.append(
+                    f"{s.y_at(x):>{max(name_width, 12)}.1f}")
+            except KeyError:
+                cells.append(" " * max(name_width, 12))
+        lines.append(f"{x:>8.0f} | " + " | ".join(cells))
+    for name, value in sorted(log.scalars.items()):
+        lines.append(f"{name}: {value:.2f}")
+    for note in log.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def format_comparison(name: str, paper_value: float,
+                      measured: float, unit: str = "") -> str:
+    """One paper-vs-measured line with the ratio."""
+    ratio = measured / paper_value if paper_value else float("inf")
+    return (f"{name}: paper={paper_value:g}{unit} "
+            f"measured={measured:g}{unit} (x{ratio:.2f})")
+
+
+def shape_check(condition: bool, description: str) -> None:
+    """Assert a qualitative claim about a reproduced figure.
+
+    Benchmarks use this instead of bare asserts so a failed shape gives
+    a message naming the paper claim that broke.
+    """
+    if not condition:
+        raise AssertionError(f"shape check failed: {description}")
+
+
+def relative_error(paper_value: float, measured: float) -> float:
+    if paper_value == 0:
+        return float("inf")
+    return abs(measured - paper_value) / abs(paper_value)
+
+
+def crossover_x(a: Series, b: Series) -> float | None:
+    """First shared x where series ``a`` rises above series ``b``.
+
+    Used for claims like "starting from 16 VMIs, the storage node's
+    disk becomes the primary bottleneck".
+    """
+    common = sorted(set(a.xs()) & set(b.xs()))
+    for x in common:
+        if a.y_at(x) > b.y_at(x):
+            return x
+    return None

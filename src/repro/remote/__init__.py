@@ -1,0 +1,20 @@
+"""Remote block access: an NBD-style server/client over TCP.
+
+The paper's testbed reads base images over NFS; its prototype lineage
+(and much later work, e.g. qemu's own NBD export) serves images over a
+block protocol instead.  This package provides that substrate with
+real sockets and real bytes:
+
+* :class:`~repro.remote.server.BlockServer` exports local images
+  (raw or qcow2, including cache images) under export names;
+* :class:`~repro.remote.client.RemoteImage` is a normal
+  :class:`~repro.imagefmt.driver.BlockDriver` backed by a connection,
+  so a CoW or cache chain can use ``nbd://host:port/export`` as its
+  backing file and everything — copy-on-read, quotas, tooling — works
+  unchanged over the network.
+"""
+
+from repro.remote.client import RemoteImage, parse_url
+from repro.remote.server import BlockServer
+
+__all__ = ["BlockServer", "RemoteImage", "parse_url"]

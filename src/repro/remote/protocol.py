@@ -1,0 +1,146 @@
+"""Wire protocol for the block server (a compact NBD-alike).
+
+Handshake (client → server, then server → client)::
+
+    C: u32 magic | u16 name_len | name bytes
+    S: u32 magic | u8 status | u64 size          (status 0 = OK)
+
+Requests (client → server) and responses (server → client)::
+
+    C: u32 magic | u8 type | u64 offset | u32 length [| payload]
+    S: u32 magic | u8 status | u32 length [| payload]
+
+Types: READ (server returns ``length`` payload bytes), WRITE (client
+sends payload; server returns empty), FLUSH, DISCONNECT.  All integers
+are big-endian.  Errors carry a UTF-8 message as payload.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from dataclasses import dataclass
+
+MAGIC = 0x52425331  # "RBS1"
+
+REQ_READ = 1
+REQ_WRITE = 2
+REQ_FLUSH = 3
+REQ_DISCONNECT = 4
+
+STATUS_OK = 0
+STATUS_ERROR = 1
+
+_HANDSHAKE_REQ = struct.Struct(">IH")
+_HANDSHAKE_RESP = struct.Struct(">IBQ")
+_REQUEST = struct.Struct(">IBQI")
+_RESPONSE = struct.Struct(">IBI")
+
+MAX_PAYLOAD = 32 * 1024 * 1024  # sanity bound for one request
+
+
+class ProtocolError(Exception):
+    """Malformed or unexpected wire data."""
+
+
+def recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly n bytes or raise on EOF."""
+    parts = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ProtocolError("connection closed mid-message")
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts)
+
+
+# -- handshake ---------------------------------------------------------------
+
+
+def send_handshake_request(sock: socket.socket, export: str) -> None:
+    name = export.encode("utf-8")
+    if len(name) > 0xFFFF:
+        raise ValueError("export name too long")
+    sock.sendall(_HANDSHAKE_REQ.pack(MAGIC, len(name)) + name)
+
+
+def recv_handshake_request(sock: socket.socket) -> str:
+    raw = recv_exact(sock, _HANDSHAKE_REQ.size)
+    magic, name_len = _HANDSHAKE_REQ.unpack(raw)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad handshake magic 0x{magic:08x}")
+    return recv_exact(sock, name_len).decode("utf-8")
+
+
+def send_handshake_response(sock: socket.socket, *, size: int = 0,
+                            error: bool = False) -> None:
+    status = STATUS_ERROR if error else STATUS_OK
+    sock.sendall(_HANDSHAKE_RESP.pack(MAGIC, status, size))
+
+
+def recv_handshake_response(sock: socket.socket) -> int:
+    raw = recv_exact(sock, _HANDSHAKE_RESP.size)
+    magic, status, size = _HANDSHAKE_RESP.unpack(raw)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad handshake magic 0x{magic:08x}")
+    if status != STATUS_OK:
+        raise ProtocolError("server refused the export")
+    return size
+
+
+# -- requests ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Request:
+    req_type: int
+    offset: int
+    length: int
+    payload: bytes = b""
+
+
+def send_request(sock: socket.socket, req: Request) -> None:
+    if len(req.payload) > MAX_PAYLOAD or req.length > MAX_PAYLOAD:
+        raise ValueError("request exceeds MAX_PAYLOAD")
+    sock.sendall(_REQUEST.pack(MAGIC, req.req_type, req.offset,
+                               req.length) + req.payload)
+
+
+def recv_request(sock: socket.socket) -> Request:
+    raw = recv_exact(sock, _REQUEST.size)
+    magic, req_type, offset, length = _REQUEST.unpack(raw)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad request magic 0x{magic:08x}")
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"oversized request ({length} bytes)")
+    payload = b""
+    if req_type == REQ_WRITE:
+        payload = recv_exact(sock, length)
+    return Request(req_type, offset, length, payload)
+
+
+def send_response(sock: socket.socket, *, payload: bytes = b"",
+                  error: str | None = None) -> None:
+    if error is not None:
+        body = error.encode("utf-8")
+        sock.sendall(_RESPONSE.pack(MAGIC, STATUS_ERROR, len(body))
+                     + body)
+        return
+    sock.sendall(_RESPONSE.pack(MAGIC, STATUS_OK, len(payload))
+                 + payload)
+
+
+def recv_response(sock: socket.socket) -> bytes:
+    raw = recv_exact(sock, _RESPONSE.size)
+    magic, status, length = _RESPONSE.unpack(raw)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad response magic 0x{magic:08x}")
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"oversized response ({length} bytes)")
+    payload = recv_exact(sock, length) if length else b""
+    if status != STATUS_OK:
+        raise ProtocolError(
+            f"remote error: {payload.decode('utf-8', 'replace')}")
+    return payload

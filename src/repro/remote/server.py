@@ -1,0 +1,147 @@
+"""The block server: export local images over TCP.
+
+One thread per connection; each export's driver is guarded by a lock
+(our drivers are not thread-safe, and concurrent clients of one export
+are exactly the paper's many-VMs-one-VMI scenario).  The server is a
+context manager; tests and examples run it on an ephemeral localhost
+port.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import dataclass, field
+
+from repro.imagefmt.driver import BlockDriver
+from repro.remote import protocol as wire
+
+
+@dataclass
+class ExportStats:
+    connections: int = 0
+    read_ops: int = 0
+    bytes_read: int = 0
+    write_ops: int = 0
+    bytes_written: int = 0
+    errors: int = 0
+
+
+@dataclass
+class _Export:
+    driver: BlockDriver
+    writable: bool
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    stats: ExportStats = field(default_factory=ExportStats)
+
+
+class BlockServer:
+    """Serves registered images until closed."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._exports: dict[str, _Export] = {}
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(16)
+        self.host, self.port = self._sock.getsockname()
+        self._closing = False
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True,
+            name=f"blockserver-{self.port}")
+        self._accept_thread.start()
+
+    # -- exports -----------------------------------------------------------
+
+    def add_export(self, name: str, driver: BlockDriver,
+                   *, writable: bool = False) -> None:
+        """Register an open driver under an export name.
+
+        The server takes ownership for serving purposes only; the
+        caller still closes the driver after the server shuts down.
+        """
+        if name in self._exports:
+            raise ValueError(f"export {name!r} already registered")
+        self._exports[name] = _Export(driver, writable)
+
+    def export_stats(self, name: str) -> ExportStats:
+        return self._exports[name].stats
+
+    def url(self, name: str) -> str:
+        return f"nbd://{self.host}:{self.port}/{name}"
+
+    # -- serving -----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return  # socket closed
+            threading.Thread(target=self._serve_connection,
+                             args=(conn,), daemon=True).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            name = wire.recv_handshake_request(conn)
+            export = self._exports.get(name)
+            if export is None:
+                wire.send_handshake_response(conn, error=True)
+                return
+            export.stats.connections += 1
+            wire.send_handshake_response(conn,
+                                         size=export.driver.size)
+            self._request_loop(conn, export)
+        except (wire.ProtocolError, OSError):
+            pass  # client went away or spoke garbage: drop it
+        finally:
+            conn.close()
+
+    def _request_loop(self, conn: socket.socket,
+                      export: _Export) -> None:
+        while True:
+            req = wire.recv_request(conn)
+            if req.req_type == wire.REQ_DISCONNECT:
+                return
+            try:
+                payload = self._dispatch(export, req)
+            except Exception as exc:  # surfaced to the client
+                export.stats.errors += 1
+                wire.send_response(conn, error=str(exc))
+                continue
+            wire.send_response(conn, payload=payload)
+
+    def _dispatch(self, export: _Export, req: wire.Request) -> bytes:
+        with export.lock:
+            if req.req_type == wire.REQ_READ:
+                data = export.driver.read(req.offset, req.length)
+                export.stats.read_ops += 1
+                export.stats.bytes_read += len(data)
+                return data
+            if req.req_type == wire.REQ_WRITE:
+                if not export.writable:
+                    raise PermissionError("export is read-only")
+                export.driver.write(req.offset, req.payload)
+                export.stats.write_ops += 1
+                export.stats.bytes_written += len(req.payload)
+                return b""
+            if req.req_type == wire.REQ_FLUSH:
+                export.driver.flush()
+                return b""
+        raise wire.ProtocolError(
+            f"unknown request type {req.req_type}")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self._closing = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "BlockServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,26 @@
+"""Discrete-event testbed standing in for the paper's DAS-4 cluster.
+
+The evaluation hardware (65 nodes, 1 GbE + QDR InfiniBand, NFS storage
+node with two 7200-RPM disks in RAID-0) is simulated with a compact
+discrete-event core:
+
+* :mod:`repro.sim.engine` — event loop, processes, timeouts.
+* :mod:`repro.sim.resources` — FIFO resources for queueing stations.
+* :mod:`repro.sim.network` — processor-sharing (fair-share fluid) links;
+  the 1 GbE saturation of Figure 2 is this model at work.
+* :mod:`repro.sim.disk` — rotational disk with seek + rotation +
+  transfer and FIFO queueing; the many-VMI disk bottleneck of Figure 3.
+* :mod:`repro.sim.nfs` — NFS client/server with rwsize chunking and the
+  storage node's page cache.
+* :mod:`repro.sim.node` — compute/storage node composition.
+* :mod:`repro.sim.blockio` — in-memory image chains with the *same*
+  cluster/quota/CoR semantics as :mod:`repro.imagefmt` (shared code).
+* :mod:`repro.sim.cluster_sim` — testbed assembly and boot orchestration.
+* :mod:`repro.sim.calibration` — every physical constant, with
+  provenance.
+"""
+
+from repro.sim.engine import Environment, Process, Timeout
+from repro.sim.resources import Resource
+
+__all__ = ["Environment", "Process", "Timeout", "Resource"]

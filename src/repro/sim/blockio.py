@@ -1,0 +1,381 @@
+"""In-memory image chains for the simulator.
+
+``SimImage`` replicates the *allocation semantics* of the file-backed
+driver — cluster-granular mapping, copy-on-read population, quota
+accounting, CoW fills — without holding data: it tracks which guest
+ranges are allocated and converts guest operations into
+:class:`IORequest` plans that the testbed then executes against
+simulated devices and links.
+
+The quota/CoR decisions go through the *same*
+:mod:`repro.imagefmt.cache_policy` objects as the real driver, and the
+initial metadata footprint is computed with the same geometry, so the
+scalability experiments run the behaviourally identical cache logic the
+single-node experiments measure on real files (tests assert the two
+agree byte-for-byte on metadata sizes and traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.errors import OutOfBoundsError, QuotaExceededError
+from repro.imagefmt.cache_policy import CacheRuntime, QuotaPolicy
+from repro.imagefmt.driver import DriverStats, RangeSet
+from repro.imagefmt.header import CacheExtension, QCowHeader
+from repro.imagefmt.refcount import RefcountGeometry
+from repro.imagefmt.tables import AddressSplit
+from repro.units import align_down, align_up, div_round_up
+
+LocationKind = Literal[
+    "nfs",            # a file on the storage node, accessed over NFS
+    "compute-disk",   # the compute node's local disk
+    "compute-mem",    # the compute node's memory
+    "storage-mem",    # the storage node's memory (tmpfs), over the network
+]
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where an image physically lives."""
+
+    kind: LocationKind
+    node_id: str
+    file_id: str
+
+
+@dataclass(frozen=True)
+class IORequest:
+    """One physical I/O the testbed must perform."""
+
+    location: Location
+    kind: Literal["read", "write"]
+    nbytes: int
+    stream: str
+    """Locality key for the disk-head model (one per file/stream)."""
+
+    offset: int
+    """Position within the stream for sequential-access detection, and
+    the page-cache key for NFS reads."""
+
+
+def initial_metadata_bytes(size: int, cluster_bits: int,
+                           quota: int = 0) -> int:
+    """Physical size of a freshly created image: header + refcount table
+    + L1 table.  Mirrors ``Qcow2Image.create`` exactly (asserted by
+    tests against real files)."""
+    cluster_size = 1 << cluster_bits
+    split = AddressSplit(cluster_bits)
+    l1_entries = max(1, split.required_l1_entries(size))
+    l1_clusters = div_round_up(l1_entries * 8, cluster_size)
+
+    header = QCowHeader(size=size, cluster_bits=cluster_bits,
+                        backing_file="b", backing_format="qcow2",
+                        l1_size=l1_entries)
+    if quota:
+        header.cache_ext = CacheExtension(quota=quota, current_size=0)
+    header_clusters = div_round_up(header.encoded_size(), cluster_size)
+
+    geo = RefcountGeometry(cluster_bits)
+    expect_clusters = div_round_up(
+        max(quota, 16 * cluster_size), cluster_size)
+    rt_clusters = geo.table_clusters_for(expect_clusters * 2)
+    base = header_clusters + rt_clusters + l1_clusters
+    # The first flush allocates refcount blocks covering every cluster,
+    # including the blocks themselves — same fixpoint the allocator
+    # converges to.
+    blocks = 0
+    while True:
+        needed = div_round_up(base + blocks, geo.block_entries)
+        if needed <= blocks:
+            break
+        blocks = needed
+    return (base + blocks) * cluster_size
+
+
+def refblock_overhead(nbytes: int, cluster_bits: int) -> int:
+    """Amortized refcount-block bytes for ``nbytes`` of new clusters.
+
+    Every refcount block (one cluster of 2-byte entries) covers
+    ``cluster_size / 2`` clusters, i.e. 2 bytes of refcounts per
+    cluster of data — 1/256 of the data volume at 512 B clusters.
+    """
+    geo = RefcountGeometry(cluster_bits)
+    new_clusters = div_round_up(nbytes, geo.cluster_size)
+    return div_round_up(new_clusters, geo.block_entries) \
+        * geo.cluster_size
+
+
+class SimImage:
+    """One logical image in a backing chain, without file contents."""
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        location: Location,
+        *,
+        cluster_bits: int = 16,
+        backing: "SimImage | None" = None,
+        cache_quota: int = 0,
+        preallocated: bool = False,
+    ) -> None:
+        if cache_quota and backing is None:
+            raise ValueError("a cache image requires a backing image")
+        self.name = name
+        self.size = size
+        self.location = location
+        self.split = AddressSplit(cluster_bits)
+        self.backing = backing
+        self.preallocated = preallocated
+        self.cache_runtime = CacheRuntime(QuotaPolicy(cache_quota))
+        self.allocated = RangeSet()
+        self._l2_present = RangeSet()
+        self.physical_bytes = initial_metadata_bytes(
+            size, cluster_bits, cache_quota)
+        self.stats = DriverStats()
+        # Monotone physical cursor: cache/CoW files are laid out in
+        # allocation order, so replaying reads in population order is
+        # physically sequential on disk.  Hits advance this cursor.
+        self._phys_cursor = 0
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def is_cache(self) -> bool:
+        return self.cache_runtime.is_cache
+
+    @property
+    def cluster_size(self) -> int:
+        return self.split.cluster_size
+
+    @property
+    def cor_enabled(self) -> bool:
+        return self.is_cache and self.cache_runtime.cor.enabled
+
+    def chain_depth(self) -> int:
+        depth, node = 1, self.backing
+        while node is not None:
+            depth += 1
+            node = node.backing
+        return depth
+
+    def clone_to(self, location: Location,
+                 name: str | None = None) -> "SimImage":
+        """An independent physical copy of this image at ``location``.
+
+        Used when a cache file is *copied* (e.g. shipped to the storage
+        node's memory while the original stays on the compute node's
+        disk, Algorithm 1): both copies share the logical content as of
+        now but evolve separately afterwards.
+        """
+        out = SimImage(
+            name or f"{self.name}@{location.kind}",
+            self.size,
+            location,
+            cluster_bits=self.split.cluster_bits,
+            backing=self.backing,
+            cache_quota=self.cache_runtime.quota_policy.quota,
+            preallocated=self.preallocated,
+        )
+        copied = RangeSet()
+        for start, end in self.allocated.intervals():
+            copied.add(start, end - start)
+        out.allocated = copied
+        l2 = RangeSet()
+        for start, end in self._l2_present.intervals():
+            l2.add(start, end - start)
+        out._l2_present = l2
+        out.physical_bytes = self.physical_bytes
+        out.cache_runtime.cor.enabled = self.cache_runtime.cor.enabled
+        return out
+
+    # -- guest operations ---------------------------------------------------
+
+    def read(self, offset: int, length: int,
+             plan: list[IORequest]) -> None:
+        """Plan a guest read; mutates allocation state (CoR)."""
+        self._check_bounds(offset, length)
+        if length == 0:
+            return
+        self.stats.record_read(offset, length)
+        if self.preallocated:
+            plan.append(IORequest(self.location, "read", length,
+                                  stream=self.location.file_id,
+                                  offset=offset))
+            return
+        gaps = self.allocated.gaps(offset, length)
+        hit_bytes = length - sum(ln for _, ln in gaps)
+        if hit_bytes > 0:
+            if self.is_cache:
+                self.stats.cache_hit_bytes += hit_bytes
+            plan.append(IORequest(self.location, "read", hit_bytes,
+                                  stream=self.location.file_id,
+                                  offset=self._phys_cursor))
+            self._phys_cursor += hit_bytes
+        if self.is_cache:
+            self.stats.cache_miss_bytes += sum(ln for _, ln in gaps)
+        for gap_off, gap_len in gaps:
+            self._read_cold(gap_off, gap_len, plan)
+
+    def _read_cold(self, offset: int, length: int,
+                   plan: list[IORequest]) -> None:
+        if self.backing is None:
+            return  # reads of unallocated space without backing: zeros
+        if self.cor_enabled:
+            # Fetch whole covering clusters and populate (CoR).  The
+            # cluster alignment is the Figure 9 read amplification.
+            start = align_down(offset, self.cluster_size)
+            end = min(align_up(offset + length, self.cluster_size),
+                      align_up(self.size, self.cluster_size))
+            span = end - start
+            try:
+                self._charge_quota(start, span)
+            except QuotaExceededError:
+                # The real driver fetches the covering clusters first
+                # and only then hits the space error on the populating
+                # write — the fetch of this one request is therefore
+                # still cluster-aligned (twin-equivalence demands it).
+                self.cache_runtime.cor.record_space_error()
+                self._fetch_from_backing(start, span, plan)
+                return
+            self._fetch_from_backing(start, span, plan)
+            self.allocated.add(start, span)
+            self.physical_bytes += span
+            self._count_new_l2(start, span)
+            self.stats.cor_write_ops += 1
+            self.stats.cor_bytes_written += span
+            plan.append(IORequest(self.location, "write", span,
+                                  stream=self.location.file_id,
+                                  offset=self._phys_cursor))
+            self._phys_cursor += span
+            # Every populating write also updates metadata (L2 entry,
+            # current-size header field) at the front of the file — a
+            # head seek away from the data region.  On memory this is
+            # free; on a disk it is the synchronous-write penalty that
+            # makes Figure 8's cold-on-disk curve so slow and motivates
+            # staging cold caches in memory (Figure 7).
+            plan.append(IORequest(self.location, "write",
+                                  self.cluster_size,
+                                  stream=f"{self.location.file_id}.meta",
+                                  offset=0))
+        else:
+            self._fetch_from_backing(offset, length, plan)
+
+    def _fetch_from_backing(self, offset: int, length: int,
+                            plan: list[IORequest]) -> None:
+        assert self.backing is not None
+        avail = max(0, min(length, self.backing.size - offset))
+        if avail == 0:
+            return
+        self.stats.backing_read_ops += 1
+        self.stats.backing_bytes_read += avail
+        self.backing.read(offset, avail, plan)
+
+    def write(self, offset: int, length: int,
+              plan: list[IORequest]) -> None:
+        """Plan a guest write (CoW allocation with partial-cluster fill)."""
+        self._check_bounds(offset, length)
+        if length == 0:
+            return
+        gaps = self.allocated.gaps(offset, length)
+        fill_ranges: list[tuple[int, int]] = []
+        new_alloc = 0
+        for gap_off, gap_len in gaps:
+            start = align_down(gap_off, self.cluster_size)
+            end = align_up(gap_off + gap_len, self.cluster_size)
+            # Partially written head/tail clusters are filled from the
+            # backing chain, exactly like the real driver's
+            # _backing_cluster path (one full-cluster fetch per
+            # partially covered cluster).
+            head_partial = gap_off > start
+            tail_partial = gap_off + gap_len < end
+            if head_partial:
+                fill_ranges.append((start, self.cluster_size))
+            if tail_partial and (end - start > self.cluster_size
+                                 or not head_partial):
+                fill_ranges.append((end - self.cluster_size,
+                                    self.cluster_size))
+            new_alloc += end - start
+        if self.is_cache:
+            self._charge_quota(offset, new_alloc)
+        for gap_off, gap_len in gaps:
+            start = align_down(gap_off, self.cluster_size)
+            end = align_up(gap_off + gap_len, self.cluster_size)
+            self.allocated.add(start, end - start)
+        self.physical_bytes += new_alloc
+        self._count_new_l2(offset, length)
+        if self.backing is not None:
+            for fill_off, fill_len in fill_ranges:
+                self._fetch_from_backing(
+                    fill_off, min(fill_len, self.size - fill_off),
+                    plan)
+        self.stats.record_write(offset, length)
+        plan.append(IORequest(self.location, "write",
+                              max(length, new_alloc),
+                              stream=self.location.file_id,
+                              offset=self._phys_cursor))
+        self._phys_cursor += max(length, new_alloc)
+
+    # -- internals -----------------------------------------------------------
+
+    def _charge_quota(self, offset: int, upcoming_bytes: int) -> None:
+        l2_bytes = self._new_l2_bytes(offset, upcoming_bytes)
+        self.cache_runtime.quota_policy.check(
+            self.physical_bytes, upcoming_bytes + l2_bytes,
+            self.split.cluster_bits)
+
+    def _new_l2_bytes(self, offset: int, length: int) -> int:
+        span = self.split.bytes_covered_per_l2()
+        start = align_down(offset, span)
+        end = align_up(offset + length, span)
+        missing = self._l2_present.gaps(start, end - start)
+        return sum(div_round_up(ln, span) for _, ln in missing) \
+            * self.cluster_size
+
+    def _count_new_l2(self, offset: int, length: int) -> None:
+        added = self._new_l2_bytes(offset, length)
+        if added:
+            span = self.split.bytes_covered_per_l2()
+            self._l2_present.add(align_down(offset, span),
+                                 align_up(offset + length, span)
+                                 - align_down(offset, span))
+            self.physical_bytes += added
+
+    def _check_bounds(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise OutOfBoundsError(
+                f"{self.name}: access [{offset}, {offset + length}) "
+                f"outside virtual size {self.size}")
+
+
+def sim_cache_chain(
+    base: SimImage,
+    *,
+    cache_location: Location,
+    cow_location: Location,
+    quota: int,
+    cache_cluster_bits: int = 9,
+    cow_cluster_bits: int = 16,
+    vm_name: str = "vm",
+    existing_cache: SimImage | None = None,
+) -> tuple[SimImage, SimImage]:
+    """Build (cow, cache) the way §4.4 chains them.
+
+    Pass ``existing_cache`` to attach a new CoW overlay to a warm cache
+    (the per-VM step once the cache exists).
+    """
+    if existing_cache is not None:
+        cache = existing_cache
+    else:
+        cache = SimImage(
+            f"{vm_name}.cache", base.size, cache_location,
+            cluster_bits=cache_cluster_bits, backing=base,
+            cache_quota=quota,
+        )
+    cow = SimImage(
+        f"{vm_name}.cow", base.size, cow_location,
+        cluster_bits=cow_cluster_bits, backing=cache,
+    )
+    return cow, cache

@@ -1,0 +1,133 @@
+"""Storage-device models: rotational disks and memory stores.
+
+The rotational model is what makes the many-VMI experiments behave like
+the paper's: each request pays a seek unless it continues the disk
+head's current stream, so one VM booting alone gets readahead-like
+locality, while 64 interleaved boot streams from 64 different image
+files degrade to a full seek per request — "the read requests coming
+from different VMs are mostly random in nature and rotational disks do
+not handle this well" (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.calibration import DiskProfile, MemoryProfile
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+
+
+@dataclass
+class DeviceStats:
+    read_ops: int = 0
+    bytes_read: int = 0
+    write_ops: int = 0
+    bytes_written: int = 0
+    seeks: int = 0
+    sequential_hits: int = 0
+    busy_time: float = 0.0
+
+
+class RotationalDisk:
+    """A seek + rotate + transfer disk (array) with a FIFO queue.
+
+    ``spindles`` requests are serviced concurrently (RAID-0), the rest
+    queue — the "disk queueing delay at the storage node" of §2.2.
+    """
+
+    def __init__(self, env: Environment, profile: DiskProfile,
+                 name: str = "") -> None:
+        self.env = env
+        self.profile = profile
+        self.name = name or profile.name
+        self.queue = Resource(env, capacity=profile.spindles,
+                              name=f"{self.name}.queue")
+        self.stats = DeviceStats()
+        # Disk-head position: (stream key, next byte offset).  A request
+        # continuing the current stream within the readahead window is
+        # sequential; anything else seeks.
+        self._head: tuple[object, int] | None = None
+
+    def service_time(self, nbytes: int, stream: object,
+                     offset: int) -> float:
+        """Pure service time (no queueing) for one request; updates the
+        head-position model."""
+        sequential = False
+        if self._head is not None:
+            key, pos = self._head
+            if key == stream and pos <= offset <= \
+                    pos + self.profile.readahead:
+                sequential = True
+        self._head = (stream, offset + nbytes)
+        if sequential:
+            self.stats.sequential_hits += 1
+            return self.profile.sequential_gap \
+                + nbytes / self.profile.bandwidth
+        self.stats.seeks += 1
+        return self.profile.seek_time + nbytes / self.profile.bandwidth
+
+    def read(self, nbytes: int, *, stream: object = None,
+             offset: int = 0):
+        """Process generator: queue for a spindle, then transfer."""
+        req = self.queue.request()
+        yield req
+        try:
+            dt = self.service_time(nbytes, stream, offset)
+            self.stats.read_ops += 1
+            self.stats.bytes_read += nbytes
+            self.stats.busy_time += dt
+            yield self.env.timeout(dt)
+        finally:
+            self.queue.release(req)
+
+    def write(self, nbytes: int, *, stream: object = None,
+              offset: int = 0):
+        req = self.queue.request()
+        yield req
+        try:
+            dt = self.service_time(nbytes, stream, offset)
+            self.stats.write_ops += 1
+            self.stats.bytes_written += nbytes
+            self.stats.busy_time += dt
+            yield self.env.timeout(dt)
+        finally:
+            self.queue.release(req)
+
+
+class MemoryStore:
+    """RAM/tmpfs: negligible latency, ample bandwidth, no queue worth
+    modelling at boot-workload request rates."""
+
+    def __init__(self, env: Environment, profile: MemoryProfile,
+                 name: str = "") -> None:
+        self.env = env
+        self.profile = profile
+        self.name = name or profile.name
+        self.stats = DeviceStats()
+        self.used_bytes = 0
+
+    def service_time(self, nbytes: int) -> float:
+        return self.profile.latency + nbytes / self.profile.bandwidth
+
+    def read(self, nbytes: int):
+        dt = self.service_time(nbytes)
+        self.stats.read_ops += 1
+        self.stats.bytes_read += nbytes
+        self.stats.busy_time += dt
+        yield self.env.timeout(dt)
+
+    def write(self, nbytes: int):
+        dt = self.service_time(nbytes)
+        self.stats.write_ops += 1
+        self.stats.bytes_written += nbytes
+        self.stats.busy_time += dt
+        self.used_bytes += nbytes
+        yield self.env.timeout(dt)
+
+    def free(self, nbytes: int) -> None:
+        self.used_bytes = max(0, self.used_bytes - nbytes)
+
+    @property
+    def available(self) -> int:
+        return max(0, self.profile.capacity - self.used_bytes)

@@ -1,0 +1,253 @@
+"""A compact discrete-event simulation core (SimPy-style, generators).
+
+Processes are Python generators that ``yield`` events; the environment
+resumes them when the event fires.  This is all the machinery the
+testbed needs: timeouts, generic one-shot events, process composition
+(a process is itself an event that fires when the generator returns),
+and an ``all_of`` barrier.
+
+Event life cycle: *pending* → *triggered* (value known, queued) →
+*processed* (popped from the queue, callbacks ran).  Waiters attach to
+anything not yet processed; attaching to a processed event goes through
+a zero-delay proxy so the waiter still resumes via the queue — exactly
+one resumption path, fully deterministic (queue ties break by insertion
+order, never hash order).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import SimDeadlockError
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on."""
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered",
+                 "_processed")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        return self._triggered and self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise RuntimeError("event has not triggered yet")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._triggered:
+            raise RuntimeError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self._ok = True
+        self.env._push(self, 0.0)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self._triggered:
+            raise RuntimeError("event already triggered")
+        self._triggered = True
+        self._value = exc
+        self._ok = False
+        self.env._push(self, 0.0)
+        return self
+
+    # -- waiting ------------------------------------------------------------
+
+    def _add_waiter(self, callback: Callable[["Event"], None]) -> None:
+        """Attach a callback that runs when this event is processed."""
+        if not self._processed:
+            self.callbacks.append(callback)
+            return
+        proxy = Event(self.env)
+        proxy._triggered = True
+        proxy._value = self._value
+        proxy._ok = self._ok
+        proxy.callbacks.append(callback)
+        self.env._push(proxy, 0.0)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float,
+                 value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        self._ok = True
+        env._push(self, delay)
+
+
+class Process(Event):
+    """A running generator; also an event that fires on its return."""
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, env: "Environment",
+                 gen: Generator[Event, Any, Any]) -> None:
+        super().__init__(env)
+        self._gen = gen
+        self._waiting_on: Event | None = None
+        kick = Event(env)
+        kick._triggered = True
+        kick.callbacks.append(self._resume)
+        env._push(kick, 0.0)
+
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        try:
+            if trigger._ok:
+                target = self._gen.send(trigger._value)
+            else:
+                target = self._gen.throw(trigger._value)
+        except StopIteration as stop:
+            if not self._triggered:
+                self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if not self._triggered:
+                self.fail(exc)
+                return
+            raise
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process yielded {target!r}; processes must yield Events")
+        self._waiting_on = target
+        target._add_waiter(self._resume)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw SimInterrupt into the process at its current yield."""
+        from repro.errors import SimInterrupt
+
+        if self._triggered:
+            return
+        if self._waiting_on is not None:
+            try:
+                self._waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        kick = Event(self.env)
+        kick._triggered = True
+        kick._value = SimInterrupt(cause)
+        kick._ok = False
+        kick.callbacks.append(self._resume)
+        self.env._push(kick, 0.0)
+
+
+class Condition(Event):
+    """Barrier over several events (used via :func:`Environment.all_of`)."""
+
+    __slots__ = ("_events", "_pending")
+
+    def __init__(self, env: "Environment",
+                 events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._pending = len(self._events)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for ev in self._events:
+            ev._add_waiter(self._on_fire)
+
+    def _on_fire(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev._ok:
+            self.fail(ev._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([e._value for e in self._events])
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def _push(self, event: Event, delay: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+
+    # -- public factory methods -------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Event, Any, Any]) -> Process:
+        return Process(self, gen)
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        return Condition(self, events)
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> None:
+        when, _seq, event = heapq.heappop(self._queue)
+        assert when >= self.now, "time went backwards"
+        self.now = when
+        event._processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for cb in callbacks:
+            cb(event)
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event
+        fires.  Returns the event's value in the latter case."""
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel._processed:
+                if not self._queue:
+                    raise SimDeadlockError(
+                        "event queue drained before the awaited event "
+                        "fired (processes deadlocked?)")
+                self.step()
+            if not sentinel._ok:
+                raise sentinel._value
+            return sentinel._value
+        deadline = float("inf") if until is None else float(until)
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        if until is not None and deadline != float("inf"):
+            self.now = max(self.now, deadline)
+        return None

@@ -1,0 +1,159 @@
+"""Fair-share (processor-sharing) network links.
+
+A link carries N concurrent transfers at ``bandwidth / N`` each — the
+fluid-flow approximation of TCP fair sharing on a single bottleneck.
+This is the model behind Figure 2's shape: one VM boot over 1 GbE is
+latency-bound, but 16+ simultaneous boots saturate the storage node's
+NIC and boot time grows linearly with the node count.
+
+Implementation: piecewise-constant rates.  Progress is settled lazily —
+whenever the flow set changes (or a completion timer fires), every
+active flow is charged ``elapsed × bandwidth / n_flows`` and the next
+completion is (re)scheduled.  Events are O(flow-set changes), not
+O(bytes) or O(chunks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import Environment, Event
+
+
+@dataclass
+class LinkStats:
+    bytes_moved: int = 0
+    transfers: int = 0
+    peak_flows: int = 0
+    busy_time: float = 0.0
+
+
+class _Flow:
+    __slots__ = ("remaining", "done")
+
+    def __init__(self, nbytes: float, done: Event) -> None:
+        self.remaining = nbytes
+        self.done = done
+
+
+class FairShareLink:
+    """One shared-bandwidth, fixed-latency pipe."""
+
+    _EPS = 1e-6  # bytes: minimum float-drift tolerance for completion
+
+    def _eps_bytes(self) -> float:
+        """Completion tolerance in bytes.
+
+        Clock arithmetic at time *t* cannot resolve intervals below
+        ~ulp(t), so residuals up to ``bandwidth × ulp(t)`` bytes are
+        float noise, not payload.  Without this time-relative floor a
+        fast link late in a simulation reschedules a sub-ulp timer
+        forever (elapsed evaluates to 0 and no progress is ever made).
+        """
+        time_noise = abs(self.env.now) * 2.0 ** -40
+        return max(self._EPS, self.bandwidth * time_noise)
+
+    def __init__(self, env: Environment, bandwidth: float,
+                 latency: float, name: str = "") -> None:
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.env = env
+        self.bandwidth = float(bandwidth)  # bytes/second
+        self.latency = float(latency)      # one-way seconds
+        self.name = name
+        self.stats = LinkStats()
+        self._flows: list[_Flow] = []
+        self._last_update = 0.0
+        self._wake_generation = 0
+
+    # -- public API -----------------------------------------------------
+
+    def transfer(self, nbytes: int):
+        """Process generator: move ``nbytes`` through the link.
+
+        Applies the one-way latency once, then competes for bandwidth
+        with every other active transfer until the payload is through.
+        """
+        if nbytes < 0:
+            raise ValueError("cannot transfer a negative byte count")
+        self.stats.transfers += 1
+        if self.latency > 0:
+            yield self.env.timeout(self.latency)
+        if nbytes == 0:
+            return 0
+        self._settle()
+        flow = _Flow(float(nbytes), self.env.event())
+        self._flows.append(flow)
+        self.stats.peak_flows = max(self.stats.peak_flows,
+                                    len(self._flows))
+        self._reschedule()
+        yield flow.done
+        self.stats.bytes_moved += nbytes
+        return nbytes
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def current_rate(self) -> float:
+        """Per-flow bandwidth right now (the fair share)."""
+        n = len(self._flows)
+        return self.bandwidth if n == 0 else self.bandwidth / n
+
+    # -- fluid model ------------------------------------------------------
+
+    def _settle(self) -> None:
+        """Charge elapsed time to all flows; fire finished ones."""
+        now = self.env.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if not self._flows or elapsed <= 0:
+            return
+        self.stats.busy_time += elapsed
+        rate = self.bandwidth / len(self._flows)
+        progress = elapsed * rate
+        eps = self._eps_bytes()
+        still: list[_Flow] = []
+        for flow in self._flows:
+            flow.remaining -= progress
+            if flow.remaining <= eps:
+                flow.done.succeed()
+            else:
+                still.append(flow)
+        self._flows = still
+
+    def _reschedule(self) -> None:
+        """Arm a wake-up for the earliest completion among active flows."""
+        self._wake_generation += 1
+        if not self._flows:
+            return
+        generation = self._wake_generation
+        n = len(self._flows)
+        shortest = min(f.remaining for f in self._flows)
+        dt = shortest * n / self.bandwidth
+        timer = self.env.timeout(dt)
+
+        def _on_fire(_ev: Event, gen: int = generation) -> None:
+            # Stale timers (flow set changed since arming) are ignored;
+            # the change that invalidated them armed a fresh one.
+            if gen != self._wake_generation:
+                return
+            self._settle()
+            self._reschedule()
+
+        timer.callbacks.append(_on_fire)
+
+
+class DuplexLink:
+    """A pair of independent directions (e.g. a node's NIC)."""
+
+    def __init__(self, env: Environment, bandwidth: float,
+                 latency: float, name: str = "") -> None:
+        self.up = FairShareLink(env, bandwidth, latency, f"{name}.up")
+        self.down = FairShareLink(env, bandwidth, latency, f"{name}.down")
+        self.name = name
+
+    def rtt(self) -> float:
+        return self.up.latency + self.down.latency

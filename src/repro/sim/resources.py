@@ -1,0 +1,122 @@
+"""Queueing resources for the simulated testbed.
+
+:class:`Resource` is a capacity-limited FIFO station — the disk queue of
+the storage node ("disk queueing delay at the storage node", §2.2) is a
+``Resource(capacity=spindles)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.sim.engine import Environment, Event
+
+
+class Request(Event):
+    """A pending or granted claim on a resource slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+
+@dataclass
+class ResourceStats:
+    """Occupancy/wait accounting for one resource."""
+
+    total_requests: int = 0
+    total_wait_time: float = 0.0
+    busy_time: float = 0.0
+    max_queue_len: int = 0
+    _request_times: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def mean_wait(self) -> float:
+        if self.total_requests == 0:
+            return 0.0
+        return self.total_wait_time / self.total_requests
+
+
+class Resource:
+    """A FIFO resource with integral capacity.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ... hold the slot ...
+        finally:
+            resource.release(req)
+
+    or the context-manager-style helper ``yield from resource.hold(dt)``.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1,
+                 name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.users: int = 0
+        self._waiting: deque[Request] = deque()
+        self.stats = ResourceStats()
+
+    # -- core protocol -----------------------------------------------------
+
+    def request(self) -> Request:
+        req = Request(self)
+        self.stats.total_requests += 1
+        self.stats._request_times[id(req)] = self.env.now
+        if self.users < self.capacity:
+            self.users += 1
+            self._granted(req)
+        else:
+            self._waiting.append(req)
+            self.stats.max_queue_len = max(
+                self.stats.max_queue_len, len(self._waiting))
+        return req
+
+    def release(self, req: Request) -> None:
+        if not req.triggered:
+            # Released while still queued: withdraw it.
+            try:
+                self._waiting.remove(req)
+            except ValueError:
+                pass
+            return
+        self.users -= 1
+        if self._waiting:
+            nxt = self._waiting.popleft()
+            self.users += 1
+            self._granted(nxt)
+
+    def _granted(self, req: Request) -> None:
+        t0 = self.stats._request_times.pop(id(req), self.env.now)
+        self.stats.total_wait_time += self.env.now - t0
+        req.succeed()
+
+    # -- convenience --------------------------------------------------------
+
+    def hold(self, duration: float) -> Generator[Event, None, None]:
+        """Acquire, hold for ``duration`` simulated seconds, release."""
+        req = self.request()
+        yield req
+        try:
+            self.stats.busy_time += duration
+            yield self.env.timeout(duration)
+        finally:
+            self.release(req)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def __repr__(self) -> str:
+        return (f"<Resource {self.name!r} {self.users}/{self.capacity} "
+                f"queue={len(self._waiting)}>")

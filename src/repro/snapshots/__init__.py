@@ -1,0 +1,29 @@
+"""Memory-snapshot caches: the paper's §8 future-work extension.
+
+"Another interesting line of work is to apply our caching scheme to
+memory snapshots of already booted virtual machines, starting from
+which instead of the VM image could improve the VM starting time even
+further."
+
+A memory snapshot is, from the storage system's point of view, just
+another big mostly-idle image: resuming a VM reads a *resume working
+set* (the resident pages the guest touches before it is responsive —
+a few hundred MB of a multi-GB snapshot) and lazily pages the rest.
+That is exactly the shape the VMI cache exploits, so this package
+reuses the whole stack — cache chains, quota/CoR policy, the cluster
+testbed — with resume profiles instead of boot profiles.
+"""
+
+from repro.snapshots.resume_model import (
+    CENTOS_SNAPSHOT,
+    ResumeProfile,
+    generate_resume_trace,
+)
+from repro.snapshots.experiment import run_snapshot_resume
+
+__all__ = [
+    "ResumeProfile",
+    "CENTOS_SNAPSHOT",
+    "generate_resume_trace",
+    "run_snapshot_resume",
+]

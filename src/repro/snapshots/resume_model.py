@@ -1,0 +1,77 @@
+"""Resume profiles: what a VM reads while waking from a snapshot.
+
+Compared with a boot (see :mod:`repro.bootmodel.profiles`):
+
+* the "image" is the saved RAM, sized by the VM's memory, not its disk;
+* the working set is the *resident set* at snapshot time — bigger in
+  absolute terms than a boot's reads but a similar small fraction of
+  the whole;
+* there is almost no CPU work: the guest was already booted, so the
+  wake-up is I/O-dominated (this is why snapshot resume beats booting
+  at all, and why caching its working set helps so much more);
+* reads are larger and more sequential — restore streams page runs,
+  it does not chase bootloader/initrd/config files around a disk.
+
+The resume trace generator is the boot generator with a profile shaped
+this way; both produce :class:`~repro.bootmodel.trace.BootTrace`, so
+every downstream consumer (real chains, the simulator, caches) works
+unchanged — the code reuse the paper anticipates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bootmodel.generator import generate_boot_trace
+from repro.bootmodel.profiles import OSProfile
+from repro.bootmodel.trace import BootTrace
+from repro.units import GiB, KiB, MB
+
+
+@dataclass(frozen=True)
+class ResumeProfile:
+    """Wake-up behaviour of one saved VM."""
+
+    name: str
+    memory_size: int
+    """Size of the saved RAM image."""
+
+    resume_working_set: int
+    """Pages that must be present before the VM is responsive."""
+
+    resume_cpu_time: float
+    """Device re-plumbing, clock fixups — seconds of CPU, not I/O."""
+
+    mean_read_size: int = 128 * KiB
+    sequential_fraction: float = 0.7
+
+    def as_os_profile(self) -> OSProfile:
+        """Bridge into the boot-model machinery."""
+        return OSProfile(
+            name=f"{self.name}-resume",
+            vmi_size=self.memory_size,
+            read_working_set=self.resume_working_set,
+            warm_cache_size=int(self.resume_working_set * 1.08),
+            single_boot_time=self.resume_cpu_time / (1 - 0.17),
+            read_wait_fraction=0.17,
+            mean_read_size=self.mean_read_size,
+            sequential_fraction=self.sequential_fraction,
+            reread_fraction=0.02,   # pages are restored once
+            write_fraction=0.0,     # dirty pages go to the CoW overlay
+        )
+
+
+# A CentOS 6.3 service VM with 2 GiB of RAM; ~280 MB resident after
+# boot + service start (order-of-magnitude typical for 2013 guests).
+CENTOS_SNAPSHOT = ResumeProfile(
+    name="centos-6.3",
+    memory_size=2 * GiB,
+    resume_working_set=280 * MB,
+    resume_cpu_time=2.5,
+)
+
+
+def generate_resume_trace(profile: ResumeProfile,
+                          seed: int = 0) -> BootTrace:
+    """A deterministic resume trace (reads against the RAM image)."""
+    return generate_boot_trace(profile.as_os_profile(), seed=seed)

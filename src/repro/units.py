@@ -1,0 +1,113 @@
+"""Byte-size and time unit helpers used throughout the package.
+
+All sizes in the package are plain ``int`` byte counts and all simulated
+times are ``float`` seconds; these helpers exist so that calibration
+constants and test fixtures can be written legibly (``64 * KiB``,
+``parse_size("200M")``) and reported the way the paper reports them
+(``format_size(85_200_000) == "85.2 MB"``).
+
+The paper mixes decimal ("MB") and binary ("64KB cluster") conventions as
+QEMU itself does: cluster sizes and rwsize are powers of two (binary),
+while working-set sizes in Tables 1 and 2 are decimal megabytes.  We keep
+both explicit here rather than guessing at call sites.
+"""
+
+from __future__ import annotations
+
+import re
+
+# Binary (IEC) units — used for cluster sizes, table sizes, rwsize.
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+# Decimal (SI) units — used when quoting the paper's MB figures.
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+SECTOR_SIZE = 512
+
+# Time units (seconds).
+USEC = 1e-6
+MSEC = 1e-3
+
+_SIZE_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[kKmMgGtT]?)(?P<i>i?)[bB]?\s*$"
+)
+
+_BINARY = {"": 1, "k": KiB, "m": MiB, "g": GiB, "t": TiB}
+_DECIMAL = {"": 1, "k": KB, "m": MB, "g": GB, "t": 1000 * GB}
+
+
+def parse_size(text: str | int, *, decimal: bool = False) -> int:
+    """Parse a human size string into bytes.
+
+    ``"64K"``/``"64KiB"`` → 65536; with ``decimal=True``, ``"85.2M"`` →
+    85 200 000.  Integers pass through unchanged.  qemu-img convention:
+    bare suffixes are binary.
+    """
+    if isinstance(text, int):
+        return text
+    m = _SIZE_RE.match(text)
+    if not m:
+        raise ValueError(f"cannot parse size: {text!r}")
+    num = float(m.group("num"))
+    unit = m.group("unit").lower()
+    table = _DECIMAL if (decimal and not m.group("i")) else _BINARY
+    result = num * table[unit]
+    if result != int(result):
+        raise ValueError(f"size {text!r} is not a whole number of bytes")
+    return int(result)
+
+
+def format_size(nbytes: int, *, decimal: bool = True) -> str:
+    """Format bytes the way the paper's tables do (decimal MB by default)."""
+    if nbytes < 0:
+        return "-" + format_size(-nbytes, decimal=decimal)
+    base = 1000 if decimal else 1024
+    units = ["B", "KB", "MB", "GB", "TB"] if decimal else [
+        "B", "KiB", "MiB", "GiB", "TiB"]
+    value = float(nbytes)
+    for unit in units:
+        if value < base or unit == units[-1]:
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= base
+    raise AssertionError("unreachable")
+
+
+def format_time(seconds: float) -> str:
+    """Format a duration: ``"8.3 ms"``, ``"35.2 s"``, ``"14:55 min"``."""
+    if seconds < 0:
+        return "-" + format_time(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120:
+        return f"{seconds:.1f} s"
+    minutes, rem = divmod(seconds, 60)
+    return f"{int(minutes)}:{rem:04.1f} min"
+
+
+def is_power_of_two(n: int) -> bool:
+    """True for 1, 2, 4, 8, ... — used to validate cluster sizes."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Largest multiple of ``alignment`` that is ≤ ``value``."""
+    return (value // alignment) * alignment
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Smallest multiple of ``alignment`` that is ≥ ``value``."""
+    return -(-value // alignment) * alignment
+
+
+def div_round_up(a: int, b: int) -> int:
+    """Ceiling division for non-negative integers."""
+    return -(-a // b)

@@ -1,0 +1,121 @@
+"""Tests for trace capture and blkparse import."""
+
+import pytest
+
+from repro.bootmodel.capture import CapturingDriver, parse_blkparse
+from repro.bootmodel.vm import replay_through_chain
+from repro.imagefmt.chain import create_cow_chain
+from repro.units import KiB, MiB
+
+from tests.conftest import pattern
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestCapturingDriver:
+    def make(self, tmp_path, small_base):
+        inner = create_cow_chain(small_base, str(tmp_path / "c.qcow2"))
+        clock = FakeClock()
+        cap = CapturingDriver(inner, clock=clock, os_name="test-os")
+        return cap, clock
+
+    def test_passthrough_data(self, tmp_path, small_base):
+        cap, clock = self.make(tmp_path, small_base)
+        with cap:
+            assert cap.read(0, 1000) == pattern(0, 1000)
+            cap.write(0, b"XYZ")
+            assert cap.read(0, 3) == b"XYZ"
+
+    def test_records_ops_with_think_time(self, tmp_path, small_base):
+        cap, clock = self.make(tmp_path, small_base)
+        with cap:
+            cap.read(0, 512)
+            clock.advance(1.5)
+            cap.read(4096, 1024)
+            clock.advance(0.25)
+            cap.write(8192, b"\0" * 512)
+            trace = cap.trace()
+        assert trace.os_name == "test-os"
+        assert len(trace) == 3
+        assert trace.ops[0] == trace.ops[0].__class__(
+            "read", 0, 512, 0.0)
+        assert trace.ops[1].think_time == pytest.approx(1.5)
+        assert trace.ops[2].kind == "write"
+        assert trace.ops[2].think_time == pytest.approx(0.25)
+
+    def test_captured_trace_replays(self, tmp_path, small_base):
+        """The §3.2 lazy-cache path: record a boot, then use the trace
+        to warm a cache for the next VM."""
+        cap, clock = self.make(tmp_path, small_base)
+        with cap:
+            for i in range(5):
+                cap.read(i * 64 * KiB, 16 * KiB)
+                clock.advance(0.1)
+            trace = cap.trace()
+        with create_cow_chain(small_base,
+                              str(tmp_path / "c2.qcow2")) as chain:
+            result = replay_through_chain(trace, chain)
+        assert result.guest_bytes_read == 5 * 16 * KiB
+        assert result.unique_base_bytes == trace.unique_read_bytes()
+
+    def test_backing_exposed(self, tmp_path, small_base):
+        cap, _ = self.make(tmp_path, small_base)
+        with cap:
+            assert cap.backing is not None
+            assert cap.chain_depth() == 2
+
+
+BLKPARSE_SAMPLE = """\
+  8,0    3        1     0.000000000  1234  Q   R 2048 + 64 [qemu-kvm]
+  8,0    3        2     0.000100000  1234  C   R 2048 + 64 [qemu-kvm]
+  8,0    1        3     0.500000000  1234  Q  RA 4096 + 8 [qemu-kvm]
+  8,0    1        4     1.250000000  1234  Q   W 9000 + 16 [qemu-kvm]
+garbage line that should be ignored
+  8,0    2        5     1.500000000  1234  Q   R 999999999 + 8 [qemu]
+"""
+
+
+class TestBlkparseImport:
+    def test_basic_parse(self):
+        trace = parse_blkparse(BLKPARSE_SAMPLE.splitlines(),
+                               vmi_size=64 * MiB)
+        # Q events only, the out-of-range read clipped away entirely.
+        assert len(trace) == 3
+        r0, r1, w = trace.ops
+        assert (r0.kind, r0.offset, r0.length) == \
+            ("read", 2048 * 512, 64 * 512)
+        assert r0.think_time == 0.0
+        assert r1.think_time == pytest.approx(0.5)
+        assert r1.length == 8 * 512  # RA (readahead) still a read
+        assert w.kind == "write"
+        assert w.think_time == pytest.approx(0.75)
+
+    def test_completion_events_selectable(self):
+        trace = parse_blkparse(BLKPARSE_SAMPLE.splitlines(),
+                               vmi_size=64 * MiB, actions=("C",))
+        assert len(trace) == 1
+
+    def test_clipping_at_vmi_size(self):
+        line = "8,0 0 1 0.0 1 Q R 100 + 1000 [x]"
+        trace = parse_blkparse([line], vmi_size=100 * 512 + 4096)
+        assert trace.ops[0].length == 4096
+
+    def test_empty_input(self):
+        trace = parse_blkparse([], vmi_size=1 << 20)
+        assert len(trace) == 0
+
+    def test_roundtrip_through_json(self):
+        trace = parse_blkparse(BLKPARSE_SAMPLE.splitlines(),
+                               vmi_size=64 * MiB)
+        from repro.bootmodel.trace import BootTrace
+
+        assert BootTrace.from_json(trace.to_json()).ops == trace.ops

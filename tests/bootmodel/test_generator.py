@@ -1,0 +1,103 @@
+"""Tests for the boot-trace generator: the synthesized traces must match
+the profile's published observables."""
+
+import pytest
+
+from repro.bootmodel.generator import generate_boot_trace
+from repro.bootmodel.profiles import CENTOS_63, OS_PROFILES, tiny_profile
+from repro.units import KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def centos_trace():
+    return generate_boot_trace(CENTOS_63, seed=1)
+
+
+class TestWorkingSetTargets:
+    @pytest.mark.parametrize("name", sorted(OS_PROFILES))
+    def test_unique_reads_match_table1(self, name):
+        p = OS_PROFILES[name]
+        tr = generate_boot_trace(p, seed=0)
+        ws = tr.unique_read_bytes()
+        # Within 1 % of the published Table 1 working set.
+        assert abs(ws - p.read_working_set) < 0.01 * p.read_working_set
+
+    def test_override(self):
+        tr = generate_boot_trace(CENTOS_63, seed=0,
+                                 working_set_override=4 * MiB)
+        assert abs(tr.unique_read_bytes() - 4 * MiB) < 64 * KiB
+
+    def test_bad_overrides(self):
+        with pytest.raises(ValueError):
+            generate_boot_trace(CENTOS_63, working_set_override=0)
+        with pytest.raises(ValueError):
+            generate_boot_trace(
+                CENTOS_63, working_set_override=CENTOS_63.vmi_size + 1)
+
+
+class TestTraceShape:
+    def test_rereads_present(self, centos_trace):
+        """Total reads exceed unique reads (re-read fraction)."""
+        total = centos_trace.total_read_bytes()
+        unique = centos_trace.unique_read_bytes()
+        assert total > unique * 1.05
+        assert total < unique * 1.5
+
+    def test_think_time_matches_cpu_budget(self, centos_trace):
+        assert centos_trace.total_think_time() == \
+            pytest.approx(CENTOS_63.cpu_time, rel=1e-6)
+
+    def test_ops_within_image(self, centos_trace):
+        assert centos_trace.max_offset() <= CENTOS_63.vmi_size
+
+    def test_sector_alignment(self, centos_trace):
+        for op in centos_trace.ops:
+            assert op.offset % 512 == 0
+            assert op.length % 512 == 0
+            assert op.length > 0
+
+    def test_reads_are_small(self, centos_trace):
+        """'Small-sized read requests during boot time' (§5): the median
+        read is well under the 64 KiB rwsize."""
+        sizes = sorted(op.length for op in centos_trace.reads())
+        median = sizes[len(sizes) // 2]
+        assert median <= 64 * KiB
+
+    def test_writes_fraction(self, centos_trace):
+        n_writes = sum(1 for op in centos_trace.ops if op.kind == "write")
+        assert 0 < n_writes < 0.1 * len(centos_trace)
+
+    def test_front_bias(self, centos_trace):
+        """Boot data clusters toward the front of the image."""
+        reads = list(centos_trace.reads())
+        first_half = sum(1 for op in reads
+                         if op.offset < CENTOS_63.vmi_size // 2)
+        assert first_half > len(reads) * 0.6
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_boot_trace(CENTOS_63, seed=7)
+        b = generate_boot_trace(CENTOS_63, seed=7)
+        assert a.ops == b.ops
+
+    def test_different_seed_different_trace(self):
+        a = generate_boot_trace(CENTOS_63, seed=7)
+        b = generate_boot_trace(CENTOS_63, seed=8)
+        assert a.ops != b.ops
+
+    def test_different_profiles_different_traces(self):
+        p1 = tiny_profile("a")
+        p2 = tiny_profile("b")
+        a = generate_boot_trace(p1, seed=0)
+        b = generate_boot_trace(p2, seed=0)
+        assert a.ops != b.ops
+
+
+class TestTinyProfiles:
+    def test_tiny_is_fast_and_consistent(self):
+        p = tiny_profile()
+        tr = generate_boot_trace(p, seed=0)
+        assert abs(tr.unique_read_bytes() - p.read_working_set) \
+            < 0.05 * p.read_working_set
+        assert len(tr) < 500

@@ -1,0 +1,70 @@
+"""Tests for OS boot profiles (paper Tables 1 & 2 calibration)."""
+
+import pytest
+
+from repro.bootmodel.profiles import (
+    CENTOS_63,
+    DEBIAN_607,
+    OS_PROFILES,
+    WINDOWS_2012,
+    tiny_profile,
+)
+from repro.units import MB
+
+
+class TestPaperNumbers:
+    def test_table1_working_sets(self):
+        assert CENTOS_63.read_working_set == 85_200_000
+        assert DEBIAN_607.read_working_set == 24_900_000
+        assert WINDOWS_2012.read_working_set == 195_800_000
+
+    def test_table2_cache_sizes(self):
+        assert CENTOS_63.warm_cache_size == 93 * MB
+        assert DEBIAN_607.warm_cache_size == 40 * MB
+        assert WINDOWS_2012.warm_cache_size == 201 * MB
+
+    def test_warm_cache_exceeds_working_set(self):
+        """Table 2 numbers are 'slightly bigger' than Table 1 (metadata)."""
+        for p in OS_PROFILES.values():
+            assert p.warm_cache_size > p.read_working_set
+
+    def test_working_set_fits_250mb_cache_entry(self):
+        """§2.3: 'a VMI cache entry would need to have in the order of
+        250 MB (providing some margin)'."""
+        for p in OS_PROFILES.values():
+            assert p.warm_cache_size < 250 * MB
+
+    def test_read_wait_fraction(self):
+        assert CENTOS_63.read_wait_fraction == pytest.approx(0.17)
+
+
+class TestDerived:
+    def test_cpu_plus_wait_is_boot_time(self):
+        for p in OS_PROFILES.values():
+            assert p.cpu_time + p.read_wait_time == \
+                pytest.approx(p.single_boot_time)
+
+    def test_read_count_positive(self):
+        for p in OS_PROFILES.values():
+            assert p.approx_read_count > 100
+
+    def test_working_set_is_tiny_fraction_of_vmi(self):
+        """§1: VMs 'read only a small fraction ... of the total VMI'."""
+        for p in OS_PROFILES.values():
+            assert p.read_working_set < 0.06 * p.vmi_size
+
+    def test_registry(self):
+        assert set(OS_PROFILES) == {
+            "centos-6.3", "debian-6.0.7", "windows-server-2012"}
+
+
+class TestTinyProfile:
+    def test_shape(self):
+        p = tiny_profile()
+        assert p.read_working_set < p.warm_cache_size < p.vmi_size
+        assert 0 < p.read_wait_fraction < 1
+
+    def test_custom(self):
+        p = tiny_profile(working_set=2048, vmi_size=65536, boot_time=1.0)
+        assert p.read_working_set == 2048
+        assert p.single_boot_time == 1.0

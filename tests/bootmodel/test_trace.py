@@ -1,0 +1,100 @@
+"""Tests for BootTrace records and statistics."""
+
+import pytest
+
+from repro.bootmodel.trace import BootTrace, TraceOp
+
+
+def make_trace():
+    return BootTrace("test-os", 1 << 20, [
+        TraceOp("read", 0, 4096, 0.1),
+        TraceOp("read", 2048, 4096, 0.2),   # overlaps the first
+        TraceOp("write", 65536, 512, 0.0),
+        TraceOp("read", 100_000, 1000, 0.3),
+    ])
+
+
+class TestTraceOp:
+    def test_valid(self):
+        op = TraceOp("read", 0, 512, 0.0)
+        assert op.kind == "read"
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            TraceOp("erase", 0, 512, 0.0)
+
+    def test_negative_fields(self):
+        with pytest.raises(ValueError):
+            TraceOp("read", -1, 512, 0.0)
+        with pytest.raises(ValueError):
+            TraceOp("read", 0, -1, 0.0)
+        with pytest.raises(ValueError):
+            TraceOp("read", 0, 512, -0.1)
+
+    def test_frozen(self):
+        op = TraceOp("read", 0, 512, 0.0)
+        with pytest.raises(Exception):
+            op.offset = 5
+
+
+class TestStatistics:
+    def test_totals(self):
+        tr = make_trace()
+        assert tr.total_read_bytes() == 4096 + 4096 + 1000
+        assert tr.total_write_bytes() == 512
+        assert tr.read_count() == 3
+        assert len(tr) == 4
+
+    def test_unique_read_bytes_counts_overlap_once(self):
+        tr = make_trace()
+        # [0,4096) ∪ [2048,6144) ∪ [100000,101000) = 6144 + 1000
+        assert tr.unique_read_bytes() == 6144 + 1000
+
+    def test_think_time(self):
+        assert make_trace().total_think_time() == pytest.approx(0.6)
+
+    def test_max_offset(self):
+        assert make_trace().max_offset() == 101_000
+
+    def test_empty(self):
+        tr = BootTrace("empty", 1024)
+        assert tr.total_read_bytes() == 0
+        assert tr.unique_read_bytes() == 0
+        assert tr.max_offset() == 0
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        tr = make_trace()
+        out = BootTrace.from_json(tr.to_json())
+        assert out.os_name == tr.os_name
+        assert out.vmi_size == tr.vmi_size
+        assert out.ops == tr.ops
+
+    def test_file_roundtrip(self, tmp_path):
+        tr = make_trace()
+        p = str(tmp_path / "trace.json")
+        tr.save(p)
+        assert BootTrace.load(p).ops == tr.ops
+
+
+class TestCoarsen:
+    def test_preserves_totals(self):
+        tr = make_trace()
+        c = tr.coarsen(2)
+        assert c.total_read_bytes() == tr.total_read_bytes()
+        assert c.total_write_bytes() == tr.total_write_bytes()
+        assert c.total_think_time() == pytest.approx(tr.total_think_time())
+
+    def test_reduces_read_count(self):
+        tr = make_trace()
+        assert tr.coarsen(2).read_count() == 2
+        assert tr.coarsen(3).read_count() == 1
+
+    def test_factor_one_is_identity(self):
+        tr = make_trace()
+        assert tr.coarsen(1) is tr
+
+    def test_writes_pass_through(self):
+        c = make_trace().coarsen(10)
+        assert sum(1 for op in c.ops if op.kind == "write") == 1

@@ -1,0 +1,151 @@
+"""Tests for cache pools and LRU eviction (§3.4)."""
+
+import pytest
+
+from repro.cluster.cache_manager import CachePool, CacheRegistry
+from repro.sim.blockio import Location, SimImage
+from repro.units import MiB
+
+
+def fake_cache(name: str, phys: int) -> SimImage:
+    base = SimImage(f"{name}.base", 64 * MiB,
+                    Location("nfs", "storage", f"{name}.base"),
+                    preallocated=True)
+    img = SimImage(name, 64 * MiB,
+                   Location("compute-disk", "node00", name),
+                   cluster_bits=9, backing=base, cache_quota=32 * MiB)
+    img.physical_bytes = phys
+    return img
+
+
+class TestCachePool:
+    def test_get_miss_then_hit(self):
+        pool = CachePool("p", 10 * MiB)
+        assert pool.get("centos") is None
+        c = fake_cache("centos.cache", MiB)
+        pool.put("centos", c)
+        assert pool.get("centos") is c
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        pool = CachePool("p", 3 * MiB)
+        a, b, c = (fake_cache(n, MiB) for n in ("a", "b", "c"))
+        pool.put("a", a)
+        pool.put("b", b)
+        pool.put("c", c)
+        assert len(pool) == 3
+        d = fake_cache("d", MiB)
+        evicted = pool.put("d", d)
+        assert evicted == [a]           # least recently used
+        assert "a" not in pool
+
+    def test_get_refreshes_recency(self):
+        pool = CachePool("p", 2 * MiB)
+        a, b = fake_cache("a", MiB), fake_cache("b", MiB)
+        pool.put("a", a)
+        pool.put("b", b)
+        pool.get("a")                    # a becomes most recent
+        evicted = pool.put("c", fake_cache("c", MiB))
+        assert evicted == [b]
+
+    def test_peek_does_not_refresh(self):
+        pool = CachePool("p", 2 * MiB)
+        pool.put("a", fake_cache("a", MiB))
+        pool.put("b", fake_cache("b", MiB))
+        pool.peek("a")                   # no recency change
+        evicted = pool.put("c", fake_cache("c", MiB))
+        assert [e.name for e in evicted] == ["a"]
+        # peek must not touch hit/miss stats either
+        assert pool.stats.hits == 0
+
+    def test_oversized_rejected(self):
+        pool = CachePool("p", MiB)
+        evicted = pool.put("big", fake_cache("big", 2 * MiB))
+        assert evicted == []
+        assert "big" not in pool
+        assert pool.stats.rejected_too_big == 1
+
+    def test_multi_eviction_for_big_entry(self):
+        pool = CachePool("p", 3 * MiB)
+        for n in ("a", "b", "c"):
+            pool.put(n, fake_cache(n, MiB))
+        evicted = pool.put("big", fake_cache("big", 3 * MiB))
+        assert len(evicted) == 3
+        assert pool.vmi_ids() == ["big"]
+
+    def test_replace_same_vmi(self):
+        pool = CachePool("p", 4 * MiB)
+        pool.put("a", fake_cache("a1", MiB))
+        pool.put("a", fake_cache("a2", 2 * MiB))
+        assert len(pool) == 1
+        assert pool.used_bytes == 2 * MiB
+        assert pool.get("a").name == "a2"
+
+    def test_remove(self):
+        pool = CachePool("p", 4 * MiB)
+        c = fake_cache("a", MiB)
+        pool.put("a", c)
+        assert pool.remove("a") is c
+        assert pool.used_bytes == 0
+        assert pool.remove("a") is None
+
+    def test_accounting(self):
+        pool = CachePool("p", 10 * MiB)
+        pool.put("a", fake_cache("a", 3 * MiB))
+        assert pool.used_bytes == 3 * MiB
+        assert pool.free_bytes == 7 * MiB
+
+    def test_negative_capacity(self):
+        with pytest.raises(ValueError):
+            CachePool("p", -1)
+
+    def test_hit_rate(self):
+        pool = CachePool("p", 10 * MiB)
+        pool.put("a", fake_cache("a", MiB))
+        pool.get("a")
+        pool.get("a")
+        pool.get("b")
+        assert pool.stats.hit_rate == pytest.approx(2 / 3)
+
+
+class TestCacheRegistry:
+    def test_nodes_with_cache(self):
+        reg = CacheRegistry(["n0", "n1", "n2"],
+                            node_capacity_bytes=10 * MiB,
+                            storage_capacity_bytes=10 * MiB)
+        reg.node_pool("n0").put("centos", fake_cache("c0", MiB))
+        reg.node_pool("n2").put("centos", fake_cache("c2", MiB))
+        reg.node_pool("n1").put("debian", fake_cache("d1", MiB))
+        assert sorted(reg.nodes_with_cache("centos")) == ["n0", "n2"]
+        assert reg.nodes_with_cache("windows") == []
+
+    def test_total_cached_vmis(self):
+        reg = CacheRegistry(["n0", "n1"],
+                            node_capacity_bytes=10 * MiB,
+                            storage_capacity_bytes=10 * MiB)
+        reg.node_pool("n0").put("centos", fake_cache("c", MiB))
+        reg.storage_pool.put("centos", fake_cache("cs", MiB))
+        reg.storage_pool.put("debian", fake_cache("d", MiB))
+        assert reg.total_cached_vmis() == 2
+
+
+class TestInvalidation:
+    def test_invalidate_drops_everywhere(self):
+        reg = CacheRegistry(["n0", "n1"],
+                            node_capacity_bytes=10 * MiB,
+                            storage_capacity_bytes=10 * MiB)
+        reg.node_pool("n0").put("centos", fake_cache("c0", MiB))
+        reg.node_pool("n1").put("centos", fake_cache("c1", MiB))
+        reg.storage_pool.put("centos", fake_cache("cs", MiB))
+        reg.node_pool("n0").put("debian", fake_cache("d0", MiB))
+        assert reg.invalidate_vmi("centos") == 3
+        assert reg.nodes_with_cache("centos") == []
+        assert "centos" not in reg.storage_pool
+        # Other VMIs untouched.
+        assert reg.nodes_with_cache("debian") == ["n0"]
+
+    def test_invalidate_missing_is_zero(self):
+        reg = CacheRegistry(["n0"], node_capacity_bytes=MiB,
+                            storage_capacity_bytes=MiB)
+        assert reg.invalidate_vmi("ghost") == 0

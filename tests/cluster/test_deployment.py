@@ -1,0 +1,255 @@
+"""Integration tests for deployment waves and the Cloud facade."""
+
+import pytest
+
+from repro.bootmodel.generator import generate_boot_trace
+from repro.bootmodel.profiles import tiny_profile
+from repro.cluster import Cloud
+from repro.cluster.deployment import Deployment, VMRequest
+from repro.cluster.cache_manager import CacheRegistry
+from repro.sim.cluster_sim import Testbed
+from repro.units import MiB
+
+PROFILE = tiny_profile(vmi_size=64 * MiB, working_set=4 * MiB,
+                       boot_time=2.0)
+TRACE = generate_boot_trace(PROFILE, seed=11)
+QUOTA = 16 * MiB
+
+
+def make_cloud(mode, n=4, network="1gbe", **kw):
+    cloud = Cloud(n_compute=n, network=network, cache_mode=mode,
+                  cache_quota=QUOTA, **kw)
+    cloud.register_vmi("tiny", PROFILE.vmi_size, TRACE)
+    return cloud
+
+
+class TestWaveBasics:
+    def test_every_vm_boots(self):
+        cloud = make_cloud("none")
+        res = cloud.start_vms([("tiny", 4)])
+        assert len(res.scenario.records) == 4
+        assert all(r.boot_time > 0 for r in res.scenario.records)
+
+    def test_unregistered_vmi_rejected(self):
+        cloud = make_cloud("none")
+        with pytest.raises(KeyError):
+            cloud.start_vms([("nope", 1)])
+
+    def test_duplicate_vmi_rejected(self):
+        cloud = make_cloud("none")
+        with pytest.raises(ValueError):
+            cloud.register_vmi("tiny", PROFILE.vmi_size, TRACE)
+
+    def test_invalid_mode(self):
+        tb = Testbed(n_compute=1)
+        reg = CacheRegistry(["node00"], node_capacity_bytes=MiB,
+                            storage_capacity_bytes=MiB)
+        with pytest.raises(ValueError):
+            Deployment(tb, reg, cache_mode="quantum")
+
+    def test_node_override(self):
+        cloud = make_cloud("none")
+        res = cloud.start_vms([("tiny", 2)],
+                              node_override=["node03", "node03"])
+        assert {r.node_id for r in res.scenario.records} == {"node03"}
+
+
+class TestComputeDiskMode:
+    def test_cold_then_warm_cycle(self):
+        cloud = make_cloud("compute-disk")
+        cold = cloud.start_vms([("tiny", 4)])
+        assert set(cold.decisions.values()) == {"cold"}
+        # Caches got flushed to the nodes' disks and registered.
+        assert len(cloud.warm_nodes("tiny")) == 4
+        assert cold.post_boot_seconds > 0  # the deferred disk flush
+
+        cloud.shutdown_all()
+        warm = cloud.start_vms([("tiny", 4)])
+        assert set(warm.decisions.values()) == {"local-warm"}
+        assert warm.mean_boot_time < cold.mean_boot_time
+        # Warm boots: nothing but CoW fills from the storage node.
+        assert warm.scenario.storage_nfs_bytes < \
+            0.1 * cold.scenario.storage_nfs_bytes
+
+    def test_one_cold_creator_per_node(self):
+        """Two VMs of one VMI on one node: only one builds the cache."""
+        cloud = make_cloud("compute-disk")
+        res = cloud.start_vms([("tiny", 2)],
+                              node_override=["node00", "node00"])
+        decisions = sorted(res.decisions.values())
+        assert decisions == ["cold", "no-cache"]
+
+
+class TestStorageMemMode:
+    def test_one_creator_per_vmi_cluster_wide(self):
+        cloud = make_cloud("storage-mem")
+        cold = cloud.start_vms([("tiny", 4)])
+        decisions = sorted(cold.decisions.values())
+        assert decisions.count("cold") == 1
+        assert decisions.count("no-cache") == 3
+
+    def test_copyback_charged_to_boot(self):
+        """Figure 14: the cold creator's boot includes the transfer."""
+        cloud = make_cloud("storage-mem")
+        cold = cloud.start_vms([("tiny", 4)])
+        creator_vm = [vm for vm, d in cold.decisions.items()
+                      if d == "cold"][0]
+        others = [r.boot_time for r in cold.scenario.records
+                  if r.vm_id != creator_vm]
+        creator_time = [r.boot_time for r in cold.scenario.records
+                        if r.vm_id == creator_vm][0]
+        assert creator_time > min(others)
+
+    def test_warm_serves_from_storage_memory(self):
+        cloud = make_cloud("storage-mem")
+        cloud.start_vms([("tiny", 4)])
+        cloud.shutdown_all()
+        warm = cloud.start_vms([("tiny", 4)])
+        assert set(warm.decisions.values()) == {"storage-warm"}
+        assert warm.scenario.storage_mem_read_bytes > 0
+        # The storage node's memory actually holds the cache.
+        assert cloud.testbed.storage.memory.used_bytes > 0
+
+
+class TestAlgorithm1Mode:
+    def test_cold_populates_both_levels(self):
+        cloud = make_cloud("algorithm1")
+        cloud.start_vms([("tiny", 4)])
+        assert len(cloud.warm_nodes("tiny")) == 4
+        assert "tiny" in cloud.registry.storage_pool
+
+    def test_storage_copy_is_independent(self):
+        cloud = make_cloud("algorithm1")
+        cloud.start_vms([("tiny", 4)])
+        local = cloud.registry.node_pool("node00").peek("tiny")
+        storage = cloud.registry.storage_pool.peek("tiny")
+        assert storage is not None and local is not None
+        assert storage is not local
+        assert storage.location.kind == "storage-mem"
+        assert local.location.kind == "compute-disk"
+
+    def test_new_node_chains_to_storage_cache(self):
+        cloud = make_cloud("algorithm1", n=4)
+        cloud.start_vms([("tiny", 2)],
+                        node_override=["node00", "node01"])
+        cloud.shutdown_all()
+        # Schedule onto a cold node explicitly.
+        res = cloud.start_vms([("tiny", 1)], node_override=["node03"])
+        assert list(res.decisions.values()) == ["storage-warm"]
+        # And node03 now has a local cache for next time.
+        assert "node03" in cloud.warm_nodes("tiny")
+
+
+class TestSchedulerIntegration:
+    def test_affinity_routes_to_warm_nodes(self):
+        cloud = make_cloud("compute-disk", n=8)
+        cloud.start_vms([("tiny", 2)],
+                        node_override=["node00", "node01"])
+        cloud.shutdown_all()
+        res = cloud.start_vms([("tiny", 2)])
+        assert {r.node_id for r in res.scenario.records} == \
+            {"node00", "node01"}
+        assert set(res.decisions.values()) == {"local-warm"}
+
+    def test_without_affinity_striping_spreads(self):
+        cloud = make_cloud("compute-disk", n=8, cache_affinity=False)
+        cloud.start_vms([("tiny", 2)],
+                        node_override=["node00", "node01"])
+        cloud.shutdown_all()
+        res = cloud.start_vms([("tiny", 2)])
+        # Striping over all 8 nodes: warm nodes are no more likely,
+        # and striping actually prefers the emptier cold nodes.
+        assert set(res.decisions.values()) <= {"cold", "no-cache"}
+
+
+class TestMultiVMI:
+    def test_independent_caches_per_vmi(self):
+        cloud = make_cloud("compute-disk", n=4)
+        trace_b = generate_boot_trace(PROFILE, seed=99)
+        cloud.register_vmi("other", PROFILE.vmi_size, trace_b)
+        cloud.start_vms([("tiny", 2), ("other", 2)])
+        warm_tiny = cloud.warm_nodes("tiny")
+        warm_other = cloud.warm_nodes("other")
+        assert len(warm_tiny) == 2
+        assert len(warm_other) == 2
+        assert not (set(warm_tiny) & set(warm_other))
+
+
+class TestStorageDiskCachePromotion:
+    def test_algorithm1_promotes_disk_cache_to_tmpfs(self):
+        """Algorithm 1: 'if Cache_base is on disk then copy Base_cache
+        to tmpfs' — a cache parked on the storage node's NFS export is
+        promoted to memory before the wave boots from it."""
+        from repro.sim.blockio import SimImage
+
+        cloud = make_cloud("algorithm1", n=2)
+        tb = cloud.testbed
+        base = cloud.deployment.bases["tiny"]
+        # Park a warm cache file on the storage node's *disk*.
+        disk_cache = SimImage(
+            "tiny.cache", base.size, tb.nfs_location("tiny.cache"),
+            cluster_bits=9, backing=base, cache_quota=QUOTA)
+        for op in TRACE.reads():
+            length = min(op.length, disk_cache.size - op.offset)
+            if length > 0:
+                disk_cache.read(op.offset, length, [])
+        cloud.registry.storage_pool.put("tiny", disk_cache)
+        phys_at_promotion = disk_cache.physical_bytes
+
+        res = cloud.start_vms([("tiny", 1)], node_override=["node00"])
+        assert list(res.decisions.values()) == ["storage-warm"]
+        # The cache moved to tmpfs and the storage disk served the copy.
+        # (It may keep growing by a few CoR clusters after promotion.)
+        assert disk_cache.location.kind == "storage-mem"
+        assert tb.storage.memory.used_bytes >= phys_at_promotion
+        assert tb.storage.disk.stats.bytes_read >= phys_at_promotion
+
+    def test_promotion_happens_once_for_many_vms(self):
+        from repro.sim.blockio import SimImage
+
+        cloud = make_cloud("algorithm1", n=4)
+        tb = cloud.testbed
+        base = cloud.deployment.bases["tiny"]
+        disk_cache = SimImage(
+            "tiny.cache", base.size, tb.nfs_location("tiny.cache"),
+            cluster_bits=9, backing=base, cache_quota=QUOTA)
+        cloud.registry.storage_pool.put("tiny", disk_cache)
+        cloud.start_vms([("tiny", 4)])
+        # One promoted copy lives in memory (growing with the wave's
+        # CoR fills and metadata updates), not one copy per VM.
+        assert disk_cache.location.kind == "storage-mem"
+        assert tb.storage.memory.used_bytes <= \
+            1.1 * disk_cache.physical_bytes
+
+
+class TestPrewarmOnRegistration:
+    def test_prewarm_leaves_warm_caches(self):
+        """§3.2: 'the system can boot a sample VM upon a new VMI
+        registration to create the cache'."""
+        cloud = Cloud(n_compute=4, network="ib",
+                      cache_mode="compute-disk", cache_quota=QUOTA)
+        cloud.register_vmi("tiny", PROFILE.vmi_size, TRACE,
+                           prewarm=True)
+        # Simulated time passed for the sample boot.
+        assert cloud.env.now > 0
+        assert len(cloud.warm_nodes("tiny")) == 1
+        # All slots are free again.
+        assert all(s.used_slots == 0 for s in cloud.states.values())
+        # The first user wave lands warm (affinity) without a cold VM.
+        res = cloud.start_vms([("tiny", 1)])
+        assert list(res.decisions.values()) == ["local-warm"]
+
+    def test_prewarm_storage_mem_mode(self):
+        cloud = Cloud(n_compute=4, network="ib",
+                      cache_mode="storage-mem", cache_quota=QUOTA)
+        cloud.register_vmi("tiny", PROFILE.vmi_size, TRACE,
+                           prewarm=True)
+        assert "tiny" in cloud.registry.storage_pool
+        res = cloud.start_vms([("tiny", 4)])
+        assert set(res.decisions.values()) == {"storage-warm"}
+
+    def test_prewarm_with_mode_none_rejected(self):
+        cloud = Cloud(n_compute=2, cache_mode="none")
+        with pytest.raises(ValueError):
+            cloud.register_vmi("tiny", PROFILE.vmi_size, TRACE,
+                               prewarm=True)

@@ -1,0 +1,70 @@
+"""Tests for the Cloud facade's surface not covered elsewhere."""
+
+import pytest
+
+from repro.bootmodel.generator import generate_boot_trace
+from repro.bootmodel.profiles import tiny_profile
+from repro.cluster import Cloud
+from repro.cluster.scheduler import PackingStrategy
+from repro.sim.cluster_sim import Testbed
+from repro.units import MiB
+
+PROFILE = tiny_profile(vmi_size=32 * MiB, working_set=2 * MiB,
+                       boot_time=1.5)
+TRACE = generate_boot_trace(PROFILE, seed=21)
+
+
+class TestCloudConstruction:
+    def test_custom_testbed_injected(self):
+        tb = Testbed(n_compute=3, network="ib")
+        cloud = Cloud(testbed=tb, cache_mode="none")
+        assert cloud.testbed is tb
+        assert len(cloud.states) == 3
+        assert cloud.env is tb.env
+
+    def test_custom_strategy_used(self):
+        cloud = Cloud(n_compute=2, cache_mode="none",
+                      strategy=PackingStrategy())
+        assert cloud.scheduler.strategy.name == "packing"
+
+    def test_warm_nodes_empty_initially(self):
+        cloud = Cloud(n_compute=2, cache_mode="compute-disk")
+        cloud.register_vmi("t", PROFILE.vmi_size, TRACE)
+        assert cloud.warm_nodes("t") == []
+
+    def test_vm_ids_unique_across_waves(self):
+        cloud = Cloud(n_compute=2, cache_mode="none")
+        cloud.register_vmi("t", PROFILE.vmi_size, TRACE)
+        a = cloud.start_vms([("t", 2)])
+        cloud.shutdown_all()
+        b = cloud.start_vms([("t", 2)])
+        ids_a = {r.vm_id for r in a.scenario.records}
+        ids_b = {r.vm_id for r in b.scenario.records}
+        assert not (ids_a & ids_b)
+
+    def test_simulated_time_accumulates_across_waves(self):
+        cloud = Cloud(n_compute=1, network="ib", cache_mode="none")
+        cloud.register_vmi("t", PROFILE.vmi_size, TRACE)
+        cloud.start_vms([("t", 1)])
+        t1 = cloud.env.now
+        cloud.shutdown_all()
+        cloud.start_vms([("t", 1)])
+        assert cloud.env.now > t1
+
+
+class TestMixedRequests:
+    def test_one_wave_many_vmis(self):
+        cloud = Cloud(n_compute=4, network="ib",
+                      cache_mode="compute-disk", cache_quota=8 * MiB)
+        cloud.register_vmi("a", PROFILE.vmi_size, TRACE)
+        cloud.register_vmi("b", PROFILE.vmi_size,
+                           generate_boot_trace(PROFILE, seed=22))
+        res = cloud.start_vms([("a", 2), ("b", 2)])
+        assert len(res.scenario.records) == 4
+        assert len(res.decisions) == 4
+
+    def test_node_override_length_must_cover_requests(self):
+        cloud = Cloud(n_compute=2, cache_mode="none")
+        cloud.register_vmi("t", PROFILE.vmi_size, TRACE)
+        with pytest.raises(IndexError):
+            cloud.start_vms([("t", 3)], node_override=["node00"])

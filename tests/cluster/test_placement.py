@@ -1,0 +1,119 @@
+"""Tests for Algorithm 1 (paper Section 6)."""
+
+import pytest
+
+from repro.cluster.cache_manager import CacheRegistry
+from repro.cluster.placement import plan_chain
+from repro.sim.blockio import Location, SimImage
+from repro.sim.cluster_sim import Testbed
+from repro.units import MiB
+
+QUOTA = 16 * MiB
+SIZE = 64 * MiB
+
+
+@pytest.fixture
+def setup():
+    tb = Testbed(n_compute=2, network="1gbe")
+    reg = CacheRegistry([n.node_id for n in tb.computes],
+                        node_capacity_bytes=100 * MiB,
+                        storage_capacity_bytes=100 * MiB)
+    base = tb.make_base("centos.raw", SIZE)
+    return tb, reg, base
+
+
+def make_cache(tb, base, node=None, kind="compute-disk"):
+    if kind == "compute-disk":
+        loc = tb.compute_disk_location(node, "c.cache")
+    elif kind == "storage-mem":
+        loc = tb.storage_mem_location("c.cache")
+    else:
+        loc = tb.nfs_location("c.cache")
+    return SimImage("c.cache", base.size, loc, cluster_bits=9,
+                    backing=base, cache_quota=QUOTA)
+
+
+class TestBranch1LocalWarm:
+    def test_local_cache_returned(self, setup):
+        tb, reg, base = setup
+        node = tb.computes[0]
+        local = make_cache(tb, base, node)
+        reg.node_pool(node.node_id).put(base.name, local)
+        plan = plan_chain(tb, reg, node, base, quota=QUOTA)
+        assert plan.decision == "local-warm"
+        assert plan.backing_for_cow is local
+        assert plan.new_cache is None
+        assert plan.pre_boot == [] and plan.post_boot == []
+
+    def test_other_nodes_cache_is_invisible(self, setup):
+        tb, reg, base = setup
+        other = tb.computes[1]
+        reg.node_pool(other.node_id).put(
+            base.name, make_cache(tb, base, other))
+        plan = plan_chain(tb, reg, tb.computes[0], base, quota=QUOTA)
+        assert plan.decision == "cold"
+
+
+class TestBranch2StorageWarm:
+    def test_new_local_cache_chained_to_storage(self, setup):
+        tb, reg, base = setup
+        storage_cache = make_cache(tb, base, kind="storage-mem")
+        reg.storage_pool.put(base.name, storage_cache)
+        node = tb.computes[0]
+        plan = plan_chain(tb, reg, node, base, quota=QUOTA,
+                          vm_name="vmX")
+        assert plan.decision == "storage-warm"
+        assert plan.new_cache is not None
+        assert plan.backing_for_cow is plan.new_cache
+        # "Chain NewCache_base to Cache_base"
+        assert plan.new_cache.backing is storage_cache
+        assert plan.pre_boot == []
+        assert "flush-cache-to-local-disk" in plan.post_boot
+        # No copy-back: the storage node already has this cache.
+        assert "copy-cache-to-storage" not in plan.post_boot
+
+    def test_storage_cache_on_disk_promoted(self, setup):
+        """'if Cache_base is on disk then copy Base_cache to tmpfs'."""
+        tb, reg, base = setup
+        on_disk = make_cache(tb, base, kind="nfs")
+        reg.storage_pool.put(base.name, on_disk)
+        plan = plan_chain(tb, reg, tb.computes[0], base, quota=QUOTA)
+        assert plan.decision == "storage-warm"
+        assert "promote-storage-cache-to-tmpfs" in plan.pre_boot
+
+
+class TestBranch3Cold:
+    def test_cold_creates_and_copies_back(self, setup):
+        tb, reg, base = setup
+        plan = plan_chain(tb, reg, tb.computes[0], base, quota=QUOTA)
+        assert plan.decision == "cold"
+        assert plan.new_cache is not None
+        assert plan.new_cache.backing is base
+        assert plan.new_cache.cache_runtime.quota_policy.quota == QUOTA
+        # Staged in memory during boot (Figure 7 arrangement).
+        assert plan.new_cache.location.kind == "compute-mem"
+        assert "copy-cache-to-storage" in plan.post_boot
+        assert "flush-cache-to-local-disk" in plan.post_boot
+
+    def test_one_creator_rule(self, setup):
+        """§5.3.2: siblings of the cache creator run plain QCOW2."""
+        tb, reg, base = setup
+        plan = plan_chain(tb, reg, tb.computes[0], base, quota=QUOTA,
+                          create_cold_cache=False)
+        assert plan.decision == "no-cache"
+        assert plan.backing_for_cow is base
+        assert plan.new_cache is None
+
+    def test_local_preferred_over_storage(self, setup):
+        """Algorithm 1 checks the compute node first ('prefers chaining
+        to a local cache ... to avoid the network as much as
+        possible')."""
+        tb, reg, base = setup
+        node = tb.computes[0]
+        local = make_cache(tb, base, node)
+        reg.node_pool(node.node_id).put(base.name, local)
+        reg.storage_pool.put(base.name,
+                             make_cache(tb, base, kind="storage-mem"))
+        plan = plan_chain(tb, reg, node, base, quota=QUOTA)
+        assert plan.decision == "local-warm"
+        assert plan.backing_for_cow is local

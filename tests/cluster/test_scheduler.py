@@ -1,0 +1,132 @@
+"""Tests for the cache-aware scheduler and its strategies (§3.4)."""
+
+import pytest
+
+from repro.cluster.cache_manager import CacheRegistry
+from repro.cluster.scheduler import (
+    CacheAwareScheduler,
+    LoadAwareStrategy,
+    NodeState,
+    PackingStrategy,
+    StripingStrategy,
+    make_states,
+)
+from repro.errors import SchedulingError
+from repro.sim.blockio import Location, SimImage
+from repro.units import MiB
+
+
+def registry_with_warm(node_ids, warm: dict[str, list[str]]):
+    reg = CacheRegistry(node_ids, node_capacity_bytes=100 * MiB,
+                        storage_capacity_bytes=100 * MiB)
+    for vmi_id, nodes in warm.items():
+        for nid in nodes:
+            base = SimImage(vmi_id, 8 * MiB,
+                            Location("nfs", "storage", vmi_id),
+                            preallocated=True)
+            cache = SimImage(f"{vmi_id}@{nid}", 8 * MiB,
+                             Location("compute-disk", nid, "c"),
+                             cluster_bits=9, backing=base,
+                             cache_quota=4 * MiB)
+            reg.node_pool(nid).put(vmi_id, cache)
+    return reg
+
+
+class TestStrategies:
+    def test_packing_fills_one_node_first(self):
+        sched = CacheAwareScheduler(PackingStrategy(),
+                                    cache_affinity=False)
+        states = make_states(["n0", "n1"], capacity_slots=3)
+        states["n0"].used_slots = 1
+        picks = [sched.select("v", states) for _ in range(3)]
+        # n0 is fuller, so packing keeps choosing it until full.
+        assert picks == ["n0", "n0", "n1"]
+
+    def test_striping_spreads(self):
+        sched = CacheAwareScheduler(StripingStrategy(),
+                                    cache_affinity=False)
+        states = make_states(["n0", "n1", "n2"], capacity_slots=2)
+        picks = [sched.select("v", states) for _ in range(6)]
+        assert picks.count("n0") == picks.count("n1") == \
+            picks.count("n2") == 2
+        # First sweep touches each node once.
+        assert sorted(picks[:3]) == ["n0", "n1", "n2"]
+
+    def test_load_aware_prefers_idle(self):
+        sched = CacheAwareScheduler(LoadAwareStrategy(),
+                                    cache_affinity=False)
+        states = make_states(["n0", "n1"], capacity_slots=8)
+        states["n0"].load = 0.9
+        states["n1"].load = 0.1
+        assert sched.select("v", states) == "n1"
+
+    def test_deterministic_tiebreak(self):
+        sched = CacheAwareScheduler(StripingStrategy(),
+                                    cache_affinity=False)
+        states = make_states(["nb", "na", "nc"], capacity_slots=8)
+        # All equal: highest node_id wins the (score, node_id) max.
+        assert sched.select("v", states) == "nc"
+
+
+class TestCacheAffinity:
+    def test_warm_node_preferred(self):
+        reg = registry_with_warm(["n0", "n1", "n2"],
+                                 {"centos": ["n1"]})
+        sched = CacheAwareScheduler(StripingStrategy())
+        states = make_states(["n0", "n1", "n2"])
+        assert sched.select("centos", states, reg) == "n1"
+        assert sched.stats.warm_placements == 1
+
+    def test_strategy_breaks_ties_among_warm(self):
+        reg = registry_with_warm(["n0", "n1", "n2"],
+                                 {"centos": ["n0", "n2"]})
+        sched = CacheAwareScheduler(StripingStrategy())
+        states = make_states(["n0", "n1", "n2"])
+        states["n0"].used_slots = 3
+        # Both warm; striping prefers the emptier n2.
+        assert sched.select("centos", states, reg) == "n2"
+
+    def test_full_warm_node_falls_back_to_cold(self):
+        reg = registry_with_warm(["n0", "n1"], {"centos": ["n0"]})
+        sched = CacheAwareScheduler(StripingStrategy())
+        states = make_states(["n0", "n1"], capacity_slots=1)
+        states["n0"].used_slots = 1   # warm node is full
+        assert sched.select("centos", states, reg) == "n1"
+        assert sched.stats.cold_placements == 1
+
+    def test_affinity_disabled(self):
+        reg = registry_with_warm(["n0", "n1"], {"centos": ["n0"]})
+        sched = CacheAwareScheduler(StripingStrategy(),
+                                    cache_affinity=False)
+        states = make_states(["n0", "n1"])
+        states["n0"].used_slots = 1
+        # Without affinity, striping picks the emptier cold node.
+        assert sched.select("centos", states, reg) == "n1"
+
+    def test_no_registry_means_no_affinity(self):
+        sched = CacheAwareScheduler(StripingStrategy())
+        states = make_states(["n0"])
+        assert sched.select("centos", states, None) == "n0"
+
+
+class TestCapacity:
+    def test_slots_claimed(self):
+        sched = CacheAwareScheduler(StripingStrategy(),
+                                    cache_affinity=False)
+        states = make_states(["n0"], capacity_slots=2)
+        sched.select("v", states)
+        assert states["n0"].used_slots == 1
+
+    def test_cluster_full_raises(self):
+        sched = CacheAwareScheduler()
+        states = make_states(["n0"], capacity_slots=1)
+        sched.select("v", states)
+        with pytest.raises(SchedulingError):
+            sched.select("v", states)
+
+    def test_node_state_properties(self):
+        s = NodeState("n0", capacity_slots=4, used_slots=3)
+        assert s.free_slots == 1
+        assert not s.is_full
+        s.used_slots = 4
+        assert s.is_full

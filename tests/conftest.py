@@ -1,0 +1,56 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imagefmt.raw import RawImage
+from repro.units import MiB
+
+
+def pattern(offset: int, length: int, seed: int = 0) -> bytes:
+    """Deterministic, position-dependent content.
+
+    Every byte is a pure function of its absolute offset (and an image
+    seed), so any read of any range can be verified without storing the
+    expected image anywhere: ``read(o, n) == pattern(o, n)`` must hold
+    through arbitrary backing chains.
+    """
+    idx = np.arange(offset, offset + length, dtype=np.uint64)
+    mixed = idx * np.uint64(0x9E3779B97F4A7C15) \
+        + np.uint64(seed * 40503 + 1)
+    # Fold high bits down so the byte stream has no short period.
+    mixed ^= mixed >> np.uint64(29)
+    mixed ^= mixed >> np.uint64(47)
+    return (mixed & np.uint64(0xFF)).astype(np.uint8).tobytes()
+
+
+def make_patterned_base(path, size: int = 8 * MiB, seed: int = 0,
+                        hole_from: int | None = None) -> str:
+    """Create a raw base image filled with ``pattern`` content.
+
+    ``hole_from`` leaves the tail sparse (reads there must return zeros
+    through the whole chain).
+    """
+    img = RawImage.create(str(path), size)
+    end = hole_from if hole_from is not None else size
+    step = 1 * MiB
+    pos = 0
+    while pos < end:
+        n = min(step, end - pos)
+        img.write(pos, pattern(pos, n, seed))
+        pos += n
+    img.close()
+    return str(path)
+
+
+@pytest.fixture
+def workdir(tmp_path):
+    return tmp_path
+
+
+@pytest.fixture
+def small_base(tmp_path):
+    """A 4 MiB patterned raw base image."""
+    return make_patterned_base(tmp_path / "base.raw", size=4 * MiB)

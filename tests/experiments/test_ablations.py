@@ -1,0 +1,49 @@
+"""Shape tests for the ablation runners at test-friendly scale."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_mixed_warm_cold,
+    run_prefetch_ablation,
+    run_scheduler_ablation,
+)
+
+
+class TestSchedulerAblation:
+    @pytest.fixture(scope="class")
+    def log(self):
+        return run_scheduler_ablation(n_nodes=8, n_vms=4)
+
+    def test_affinity_faster(self, log):
+        assert log.get("affinity on").ys()[0] < \
+            log.get("affinity off").ys()[0]
+
+    def test_placement_counts(self, log):
+        assert log.scalars["warm_placements_affinity_on"] == 4
+        assert log.scalars["warm_placements_affinity_off"] == 0
+
+
+class TestMixedWarmCold:
+    @pytest.fixture(scope="class")
+    def log(self):
+        return run_mixed_warm_cold(n_nodes=8,
+                                   warm_fractions=(0.0, 0.5, 1.0))
+
+    def test_traffic_monotone_decreasing(self, log):
+        ys = log.get("storage traffic").ys()
+        assert ys[0] > ys[1] > ys[2]
+
+    def test_all_warm_is_fastest(self, log):
+        boot = log.get("mean boot time")
+        assert boot.ys()[-1] < boot.ys()[0]
+
+    def test_fully_warm_traffic_near_zero(self, log):
+        traffic = log.get("storage traffic")
+        assert traffic.ys()[-1] < 0.05 * traffic.ys()[0]
+
+
+class TestPrefetchAblation:
+    def test_bound_holds(self):
+        log = run_prefetch_ablation()
+        gain = log.scalars["improvement_pct"]
+        assert 0 <= gain <= log.scalars["paper_read_wait_pct"] + 2

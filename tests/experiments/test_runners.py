@@ -1,0 +1,82 @@
+"""Smoke/shape tests for the experiment runners at reduced scale.
+
+The full-scale shapes are asserted by the benchmarks; these tests keep
+the runners themselves honest (axes respected, series named as the
+figures label them, logs serializable) at a size quick enough for the
+regular test suite.
+"""
+
+import pytest
+
+from repro.bootmodel.generator import generate_boot_trace
+from repro.bootmodel.profiles import tiny_profile
+from repro.experiments import (
+    run_fig02_scaling_nodes,
+    run_fig08_cache_creation,
+    run_fig09_storage_traffic,
+    run_fig10_final_arrangement,
+    run_sec6_placement,
+)
+from repro.experiments.placement_exp import run_algorithm1_walkthrough
+from repro.units import MiB
+
+TINY = tiny_profile(vmi_size=32 * MiB, working_set=2 * MiB,
+                    boot_time=2.0)
+TINY_TRACE = generate_boot_trace(TINY, seed=3)
+
+
+class TestScalingRunners:
+    def test_fig02_axes_and_series(self):
+        log = run_fig02_scaling_nodes([1, 2], networks=("ib",))
+        assert [s.name for s in log.series] == ["QCOW2 - 32GbIB"]
+        assert log.get("QCOW2 - 32GbIB").xs() == [1, 2]
+
+    def test_fig02_rejects_unknown_network(self):
+        with pytest.raises(ValueError):
+            run_fig02_scaling_nodes([1], networks=("token-ring",))
+
+
+class TestMicrobenchRunners:
+    def test_fig08_series_present(self):
+        log = run_fig08_cache_creation([10])
+        names = {s.name for s in log.series}
+        assert names == {"Warm cache", "Cold cache - on mem",
+                         "Cold cache - on disk", "QCOW2"}
+
+    def test_fig09_tiny_profile(self):
+        log = run_fig09_storage_traffic(
+            [1, 4], trace=TINY_TRACE, vmi_size=TINY.vmi_size)
+        plain = log.get("QCOW2").ys()[0]
+        cold_64k = log.get("Cold cache - cluster = 64KB")
+        warm_512 = log.get("Warm cache - cluster = 512B")
+        # The Figure 9 inversions hold even at tiny scale.
+        assert max(cold_64k.ys()) > plain
+        assert warm_512.y_at(4) < plain
+
+    def test_fig10_tiny_profile(self):
+        log = run_fig10_final_arrangement(
+            [1, 4], trace=TINY_TRACE, vmi_size=TINY.vmi_size)
+        # Six series: three time curves, three traffic curves.
+        assert len(log.series) == 6
+        assert log.get("Warm cache - tx size").y_at(4) < \
+            log.get("QCOW2 - tx size").y_at(4)
+
+    def test_logs_serialize(self, tmp_path):
+        log = run_fig08_cache_creation([10])
+        path = log.save(str(tmp_path))
+        from repro.metrics.collectors import ExperimentLog
+
+        assert ExperimentLog.load(path).experiment_id == "fig08"
+
+
+class TestPlacementRunners:
+    def test_sec6_scalars(self):
+        log = run_sec6_placement(networks=("ib",))
+        assert "ib_difference_pct" in log.scalars
+        assert log.scalars["ib_difference_pct"] < 50
+
+    def test_algorithm1_walkthrough_branches(self):
+        log = run_algorithm1_walkthrough(n_nodes=4)
+        assert log.scalars["wave1_cold"] > 0
+        assert log.scalars["wave2_local_warm"] > 0
+        assert log.scalars["wave2_storage_warm"] > 0

@@ -1,0 +1,106 @@
+"""Tests for backing-chain construction and validation (§4.4 workflow)."""
+
+import os
+
+import pytest
+
+from repro.errors import BackingChainError
+from repro.imagefmt.chain import (
+    chain_paths,
+    create_cache_chain,
+    create_cow_chain,
+    open_chain,
+    validate_chain,
+)
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.units import KiB, MiB
+
+from tests.conftest import pattern
+
+
+class TestCreateCowChain:
+    def test_returns_open_rw(self, tmp_path, small_base):
+        with create_cow_chain(small_base,
+                              str(tmp_path / "c.qcow2")) as cow:
+            assert not cow.read_only
+            assert cow.backing.path == small_base
+
+    def test_base_format_probed(self, tmp_path, small_base):
+        with create_cow_chain(small_base,
+                              str(tmp_path / "c.qcow2")) as cow:
+            assert cow.header.backing_format == "raw"
+
+
+class TestCreateCacheChain:
+    def test_two_step_workflow(self, tmp_path, small_base):
+        """§4.4: first qemu-img with quota → cache; then without → CoW."""
+        cache_p = str(tmp_path / "cache.qcow2")
+        cow_p = str(tmp_path / "cow.qcow2")
+        with create_cache_chain(small_base, cache_p, cow_p,
+                                quota=MiB) as cow:
+            assert chain_paths(cow) == [cow_p, cache_p, small_base]
+        # The cache file's header carries the quota.
+        assert Qcow2Image.peek_header(cache_p).cache_ext.quota == MiB
+
+    def test_existing_cache_reused_not_recreated(self, tmp_path,
+                                                 small_base):
+        """'With a warm cache, there is obviously no need to invoke
+        qemu-img for creating the cache.'"""
+        cache_p = str(tmp_path / "cache.qcow2")
+        with create_cache_chain(small_base, cache_p,
+                                str(tmp_path / "cow1.qcow2"),
+                                quota=MiB) as cow:
+            cow.read(0, 128 * KiB)  # warm it
+        warm_size = os.path.getsize(cache_p)
+        mtime = os.path.getmtime(cache_p)
+        with create_cache_chain(small_base, cache_p,
+                                str(tmp_path / "cow2.qcow2"),
+                                quota=MiB) as cow2:
+            assert os.path.getsize(cache_p) >= warm_size
+            assert cow2.read(0, 100) == pattern(0, 100)
+        assert os.path.getmtime(cache_p) >= mtime
+
+    def test_cow_cluster_size_independent_of_cache(self, tmp_path,
+                                                   small_base):
+        with create_cache_chain(small_base,
+                                str(tmp_path / "cache.qcow2"),
+                                str(tmp_path / "cow.qcow2"),
+                                quota=MiB,
+                                cache_cluster_size=512,
+                                cow_cluster_size=64 * KiB) as cow:
+            assert cow.cluster_size == 64 * KiB
+            assert cow.backing.cluster_size == 512
+
+
+class TestOpenValidateChain:
+    def test_open_chain_roundtrip(self, tmp_path, small_base):
+        cow_p = str(tmp_path / "c.qcow2")
+        create_cow_chain(small_base, cow_p).close()
+        with open_chain(cow_p) as cow:
+            assert cow.read(0, 64) == pattern(0, 64)
+
+    def test_loop_detection(self, tmp_path, small_base):
+        a_p = str(tmp_path / "a.qcow2")
+        b_p = str(tmp_path / "b.qcow2")
+        create_cow_chain(small_base, a_p).close()
+        Qcow2Image.create(b_p, backing_file=a_p,
+                          backing_format="qcow2").close()
+        # Corrupt a's header to point back at b.
+        with Qcow2Image.open(a_p, read_only=False,
+                             open_backing=False) as a:
+            a.header.backing_file = b_p
+            a._rewrite_header()
+        with pytest.raises((BackingChainError, RecursionError)):
+            open_chain(b_p)
+
+    def test_validate_plain_image(self, tmp_path):
+        with Qcow2Image.create(str(tmp_path / "a.qcow2"), MiB) as img:
+            validate_chain(img)  # no error
+
+    def test_chain_paths_order(self, tmp_path, small_base):
+        cache_p = str(tmp_path / "cache.qcow2")
+        cow_p = str(tmp_path / "cow.qcow2")
+        with create_cache_chain(small_base, cache_p, cow_p,
+                                quota=MiB) as cow:
+            assert chain_paths(cow)[0] == cow_p
+            assert chain_paths(cow)[-1] == small_base

@@ -1,0 +1,147 @@
+"""Tests for commit and rebase, including the cache-immutability rule."""
+
+import pytest
+
+from repro.errors import BackingChainError, ImageError
+from repro.imagefmt.chain import create_cache_chain, create_cow_chain
+from repro.imagefmt.commit import (
+    commit,
+    open_chain_for_commit,
+    rebase,
+)
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.imagefmt.raw import RawImage
+from repro.units import KiB, MiB
+
+from tests.conftest import make_patterned_base, pattern
+
+
+class TestCommit:
+    def test_commit_flattens_overlay_into_base(self, tmp_path,
+                                               small_base):
+        cow_p = str(tmp_path / "cow.qcow2")
+        with create_cow_chain(small_base, cow_p) as cow:
+            cow.write(100 * KiB, b"COMMITTED" * 100)
+        overlay = open_chain_for_commit(cow_p)
+        with overlay:
+            nbytes = commit(overlay)
+        assert nbytes > 0
+        with RawImage.open(small_base) as base:
+            assert base.read(100 * KiB, 9) == b"COMMITTED"
+            # Untouched regions keep the original content.
+            assert base.read(0, 100) == pattern(0, 100)
+
+    def test_commit_into_cache_refused(self, tmp_path, small_base):
+        """§3 immutability: guest data never enters a cache."""
+        cow_p = str(tmp_path / "cow.qcow2")
+        with create_cache_chain(small_base,
+                                str(tmp_path / "cache.qcow2"),
+                                cow_p, quota=MiB) as cow:
+            cow.write(0, b"guest data")
+        overlay = open_chain_for_commit(cow_p)
+        with overlay:
+            with pytest.raises(ImageError, match="cache"):
+                commit(overlay)
+
+    def test_commit_without_backing_rejected(self, tmp_path):
+        p = str(tmp_path / "solo.qcow2")
+        Qcow2Image.create(p, MiB).close()
+        with pytest.raises(BackingChainError):
+            open_chain_for_commit(p)
+
+    def test_commit_read_only_backing_rejected(self, tmp_path,
+                                               small_base):
+        cow_p = str(tmp_path / "cow.qcow2")
+        with create_cow_chain(small_base, cow_p) as cow:
+            cow.write(0, b"x")
+        with Qcow2Image.open(cow_p, read_only=False) as overlay:
+            # Normal open: backing is read-only.
+            with pytest.raises(ImageError, match="read-only"):
+                commit(overlay)
+
+    def test_commit_then_fresh_overlay_sees_data(self, tmp_path,
+                                                 small_base):
+        cow_p = str(tmp_path / "cow.qcow2")
+        with create_cow_chain(small_base, cow_p) as cow:
+            cow.write(64 * KiB, b"NEW-GOLDEN")
+        with open_chain_for_commit(cow_p) as overlay:
+            commit(overlay)
+        with create_cow_chain(small_base,
+                              str(tmp_path / "cow2.qcow2")) as cow2:
+            assert cow2.read(64 * KiB, 10) == b"NEW-GOLDEN"
+
+
+class TestRebaseUnsafe:
+    def test_unsafe_rewrites_pointer_only(self, tmp_path, small_base):
+        copy_p = make_patterned_base(tmp_path / "copy.raw",
+                                     size=4 * MiB)
+        cow_p = str(tmp_path / "cow.qcow2")
+        create_cow_chain(small_base, cow_p).close()
+        copied = rebase(cow_p, copy_p, unsafe=True)
+        assert copied == 0
+        header = Qcow2Image.peek_header(cow_p)
+        assert header.backing_file == copy_p
+        with Qcow2Image.open(cow_p) as img:
+            assert img.read(0, 100) == pattern(0, 100)
+
+
+class TestRebaseSafe:
+    def test_safe_rebase_preserves_content(self, tmp_path, small_base):
+        """Rebasing onto a *different* base keeps the guest view."""
+        other_p = make_patterned_base(tmp_path / "other.raw",
+                                      size=4 * MiB, seed=9)
+        cow_p = str(tmp_path / "cow.qcow2")
+        with create_cow_chain(small_base, cow_p) as cow:
+            cow.write(1 * MiB, b"LOCAL")
+        copied = rebase(cow_p, other_p)
+        assert copied > 0  # the divergent base content moved in
+        with Qcow2Image.open(cow_p) as img:
+            # Old-chain content everywhere...
+            assert img.read(0, 1000) == pattern(0, 1000)
+            assert img.read(2 * MiB, 1000) == pattern(2 * MiB, 1000)
+            # ...including the local write.
+            assert img.read(1 * MiB, 5) == b"LOCAL"
+
+    def test_safe_rebase_onto_identical_base_copies_nothing(
+            self, tmp_path, small_base):
+        twin_p = make_patterned_base(tmp_path / "twin.raw",
+                                     size=4 * MiB)
+        cow_p = str(tmp_path / "cow.qcow2")
+        create_cow_chain(small_base, cow_p).close()
+        assert rebase(cow_p, twin_p) == 0
+
+    def test_flatten_to_standalone(self, tmp_path, small_base):
+        cow_p = str(tmp_path / "cow.qcow2")
+        with create_cow_chain(small_base, cow_p) as cow:
+            cow.write(0, b"TOP")
+        copied = rebase(cow_p, None)
+        assert copied > 0
+        header = Qcow2Image.peek_header(cow_p)
+        assert header.backing_file is None
+        with Qcow2Image.open(cow_p) as img:
+            assert img.backing is None
+            assert img.read(0, 3) == b"TOP"
+            assert img.read(3, 997) == pattern(3, 997)
+            assert img.check().ok
+
+    def test_rebased_cache_chain_still_valid(self, tmp_path,
+                                             small_base):
+        """Operational scenario: the base image moves to a new path;
+        caches are rebased unsafely (content unchanged) and keep
+        serving warm data."""
+        import shutil
+
+        cache_p = str(tmp_path / "cache.qcow2")
+        with create_cache_chain(small_base, cache_p,
+                                str(tmp_path / "cow.qcow2"),
+                                quota=2 * MiB) as cow:
+            cow.read(0, 512 * KiB)  # warm
+        moved_p = str(tmp_path / "moved-base.raw")
+        shutil.copy(small_base, moved_p)
+        rebase(cache_p, moved_p, unsafe=True)
+        with create_cache_chain(moved_p, cache_p,
+                                str(tmp_path / "cow2.qcow2"),
+                                quota=2 * MiB) as cow2:
+            base = cow2.backing.backing
+            assert cow2.read(0, 512 * KiB) == pattern(0, 512 * KiB)
+            assert base.stats.bytes_read == 0  # all warm

@@ -1,0 +1,120 @@
+"""Tests for image conversion (chain flattening with zero detection)."""
+
+import os
+
+import pytest
+
+from repro.imagefmt.chain import create_cache_chain, create_cow_chain
+from repro.imagefmt.convert import _nonzero_runs, convert
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.imagefmt.raw import RawImage
+from repro.units import KiB, MiB
+
+from tests.conftest import pattern
+
+
+class TestNonzeroRuns:
+    def test_all_zero(self):
+        assert list(_nonzero_runs(b"\0" * 16384)) == []
+
+    def test_all_data(self):
+        runs = list(_nonzero_runs(b"\1" * 8192))
+        assert runs == [(0, b"\1" * 8192)]
+
+    def test_island(self):
+        data = b"\0" * 4096 + b"\2" * 4096 + b"\0" * 4096
+        runs = list(_nonzero_runs(data))
+        assert runs == [(4096, b"\2" * 4096)]
+
+    def test_tail_run(self):
+        data = b"\0" * 4096 + b"\3" * 100
+        runs = list(_nonzero_runs(data))
+        assert runs == [(4096, b"\3" * 100)]
+
+    def test_coverage_is_complete(self):
+        import random
+
+        rng = random.Random(1)
+        data = bytearray(32768)
+        for _ in range(10):
+            off = rng.randrange(0, 32000)
+            data[off] = 0xFF
+        rebuilt = bytearray(32768)
+        for off, chunk in _nonzero_runs(bytes(data)):
+            rebuilt[off: off + len(chunk)] = chunk
+        assert rebuilt == data
+
+
+class TestConvert:
+    def test_raw_to_qcow2_roundtrip(self, tmp_path, small_base):
+        out = str(tmp_path / "out.qcow2")
+        convert(small_base, out, output_format="qcow2")
+        with Qcow2Image.open(out) as img:
+            assert img.size == 4 * MiB
+            assert img.backing is None
+            assert img.read(0, 64 * KiB) == pattern(0, 64 * KiB)
+            assert img.check().ok
+
+    def test_chain_flattened(self, tmp_path, small_base):
+        cow_p = str(tmp_path / "cow.qcow2")
+        with create_cow_chain(small_base, cow_p) as cow:
+            cow.write(MiB, b"OVERLAY-DATA")
+        out = str(tmp_path / "flat.qcow2")
+        convert(cow_p, out)
+        with Qcow2Image.open(out) as img:
+            assert img.backing is None
+            assert img.read(MiB, 12) == b"OVERLAY-DATA"
+            assert img.read(0, 1000) == pattern(0, 1000)
+
+    def test_qcow2_to_raw(self, tmp_path, small_base):
+        cow_p = str(tmp_path / "cow.qcow2")
+        create_cow_chain(small_base, cow_p).close()
+        out = str(tmp_path / "out.raw")
+        convert(cow_p, out, output_format="raw")
+        with RawImage.open(out) as img:
+            assert img.size == 4 * MiB
+            assert img.read(2 * MiB, 100) == pattern(2 * MiB, 100)
+
+    def test_sparse_input_stays_small(self, tmp_path):
+        src = str(tmp_path / "sparse.raw")
+        img = RawImage.create(src, 32 * MiB)
+        img.write(16 * MiB, b"tiny island")
+        img.close()
+        out = str(tmp_path / "out.qcow2")
+        written = convert(src, out)
+        assert written < 8 * KiB
+        # The qcow2 holds one data cluster plus metadata, not 32 MiB.
+        assert os.path.getsize(out) < MiB
+        with Qcow2Image.open(out) as q:
+            assert q.read(16 * MiB, 11) == b"tiny island"
+            assert q.read(0, 4096) == b"\0" * 4096
+
+    def test_cache_chain_conversion(self, tmp_path, small_base):
+        """Converting a warm cache gives a standalone image holding the
+        boot working set view (useful for shipping cache templates)."""
+        cache_p = str(tmp_path / "cache.qcow2")
+        with create_cache_chain(small_base, cache_p,
+                                str(tmp_path / "cow.qcow2"),
+                                quota=2 * MiB) as cow:
+            cow.read(0, 256 * KiB)
+        out = str(tmp_path / "flat-cache.qcow2")
+        convert(cache_p, out)
+        with Qcow2Image.open(out) as img:
+            assert img.read(0, 256 * KiB) == pattern(0, 256 * KiB)
+
+    def test_bad_output_format(self, tmp_path, small_base):
+        with pytest.raises(ValueError):
+            convert(small_base, str(tmp_path / "x"),
+                    output_format="vmdk")
+
+
+class TestConvertCLI:
+    def test_cli(self, tmp_path, small_base, capsys):
+        from repro.imagefmt.qemu_img import main
+
+        out = str(tmp_path / "o.qcow2")
+        code = main(["convert", "-O", "qcow2", small_base, out])
+        stdout = capsys.readouterr().out
+        assert code == 0
+        assert "Converted" in stdout
+        assert os.path.exists(out)

@@ -1,0 +1,151 @@
+"""Failure injection: corrupt images must fail loudly, not silently.
+
+``repro-img check`` (and open()) are the guard rails for every cache
+file a cloud would keep around; these tests corrupt real files in
+targeted ways and assert the driver notices.
+"""
+
+import os
+import struct
+
+import pytest
+
+from repro.errors import (
+    CorruptImageError,
+    InvalidImageError,
+    UnsupportedFeatureError,
+)
+from repro.imagefmt.chain import create_cache_chain
+from repro.imagefmt.constants import OFLAG_COMPRESSED
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.units import KiB, MiB
+
+from tests.conftest import pattern
+
+
+@pytest.fixture
+def image_path(tmp_path):
+    p = str(tmp_path / "a.qcow2")
+    with Qcow2Image.create(p, 4 * MiB, cluster_size=4096) as img:
+        img.write(0, pattern(0, 64 * KiB))
+        img.write(MiB, pattern(MiB, 8 * KiB))
+    return p
+
+
+def patch_file(path, offset, data):
+    with open(path, "r+b") as f:
+        f.seek(offset)
+        f.write(data)
+
+
+class TestHeaderCorruption:
+    def test_zeroed_magic(self, image_path):
+        patch_file(image_path, 0, b"\0\0\0\0")
+        with pytest.raises(InvalidImageError):
+            Qcow2Image.open(image_path)
+
+    def test_future_version(self, image_path):
+        patch_file(image_path, 4, struct.pack(">I", 9))
+        with pytest.raises(UnsupportedFeatureError):
+            Qcow2Image.open(image_path)
+
+    def test_absurd_virtual_size(self, image_path):
+        patch_file(image_path, 24, struct.pack(">Q", 1 << 62))
+        with pytest.raises(InvalidImageError):
+            Qcow2Image.open(image_path)
+
+    def test_truncated_file(self, image_path):
+        size = os.path.getsize(image_path)
+        with open(image_path, "r+b") as f:
+            f.truncate(size // 2)
+        # Either the open or the first read must notice.
+        with pytest.raises((CorruptImageError, InvalidImageError)):
+            with Qcow2Image.open(image_path) as img:
+                img.read(0, 64 * KiB)
+
+    def test_empty_file(self, tmp_path):
+        p = str(tmp_path / "empty.qcow2")
+        open(p, "wb").close()
+        with pytest.raises(InvalidImageError):
+            Qcow2Image.open(p)
+
+
+class TestMetadataCorruption:
+    def test_l2_pointer_past_eof(self, image_path):
+        header = Qcow2Image.peek_header(image_path)
+        # Point L1[0] somewhere far past the end of the file.
+        bogus = (1 << 40) | (1 << 63)
+        patch_file(image_path, header.l1_table_offset,
+                   struct.pack(">Q", bogus))
+        with Qcow2Image.open(image_path) as img:
+            with pytest.raises(CorruptImageError):
+                img.read(0, 4096)
+
+    def test_compressed_cluster_rejected(self, image_path):
+        header = Qcow2Image.peek_header(image_path)
+        with open(image_path, "rb") as f:
+            f.seek(header.l1_table_offset)
+            l1_entry = struct.unpack(">Q", f.read(8))[0]
+        l2_offset = l1_entry & 0x00FFFFFFFFFFFE00
+        with open(image_path, "rb") as f:
+            f.seek(l2_offset)
+            l2_entry = struct.unpack(">Q", f.read(8))[0]
+        patch_file(image_path, l2_offset,
+                   struct.pack(">Q", l2_entry | OFLAG_COMPRESSED))
+        with Qcow2Image.open(image_path) as img:
+            with pytest.raises(UnsupportedFeatureError):
+                img.read(0, 512)
+
+    def test_check_reports_refcount_mismatch(self, image_path):
+        header = Qcow2Image.peek_header(image_path)
+        # Zero out the refcount table: every cluster becomes
+        # "in use by metadata but refcount 0".
+        patch_file(image_path, header.refcount_table_offset,
+                   b"\0" * 4096)
+        with Qcow2Image.open(image_path) as img:
+            report = img.check()
+        assert not report.ok
+        assert any("refcount is 0" in e for e in report.errors)
+
+
+class TestChainDamage:
+    def test_missing_backing_at_open(self, tmp_path, small_base):
+        cow_p = str(tmp_path / "cow.qcow2")
+        chain = create_cache_chain(small_base,
+                                   str(tmp_path / "cache.qcow2"),
+                                   cow_p, quota=MiB)
+        chain.close()
+        os.unlink(small_base)
+        from repro.errors import BackingChainError
+
+        with pytest.raises(BackingChainError):
+            Qcow2Image.open(cow_p, read_only=False)
+
+    def test_cache_deleted_under_cow(self, tmp_path, small_base):
+        cache_p = str(tmp_path / "cache.qcow2")
+        cow_p = str(tmp_path / "cow.qcow2")
+        create_cache_chain(small_base, cache_p, cow_p,
+                           quota=MiB).close()
+        os.unlink(cache_p)
+        from repro.errors import BackingChainError
+
+        with pytest.raises(BackingChainError):
+            Qcow2Image.open(cow_p, read_only=False)
+
+    def test_quota_field_tampered_to_zero_demotes_cache(
+            self, tmp_path, small_base):
+        """A cache whose quota extension reads zero is just a plain
+        image again (backward compatibility of the extension)."""
+        cache_p = str(tmp_path / "cache.qcow2")
+        cow_p = str(tmp_path / "cow.qcow2")
+        create_cache_chain(small_base, cache_p, cow_p,
+                           quota=MiB).close()
+        header = Qcow2Image.peek_header(cache_p)
+        header.cache_ext.quota = 0
+        blob = header.encode()
+        patch_file(cache_p, 0, blob)
+        with Qcow2Image.open(cow_p, read_only=False) as cow:
+            cache = cow.backing
+            assert not cache.cache_runtime.quota_policy.is_cache
+            # Reads still work (no CoR, plain passthrough).
+            assert cow.read(0, 1000) == pattern(0, 1000)

@@ -1,0 +1,139 @@
+"""Tests for the §8 deduplication analysis over cache images."""
+
+import pytest
+
+from repro.imagefmt.chain import create_cache_chain
+from repro.imagefmt.dedup import (
+    analyze_dedup,
+    content_fingerprints,
+    cross_image_shared_bytes,
+)
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.imagefmt.raw import RawImage
+from repro.units import KiB, MiB
+
+from tests.conftest import pattern
+
+CHUNK = 4096
+
+
+def warmed_cache(tmp_path, base_path, tag, ranges, quota=4 * MiB):
+    """Create a cache and warm it by reading given (offset, len) ranges."""
+    cache_p = str(tmp_path / f"cache-{tag}.qcow2")
+    cow_p = str(tmp_path / f"cow-{tag}.qcow2")
+    with create_cache_chain(base_path, cache_p, cow_p,
+                            quota=quota) as chain:
+        for offset, length in ranges:
+            chain.read(offset, length)
+    return Qcow2Image.open(cache_p, read_only=True, open_backing=False)
+
+
+@pytest.fixture
+def shared_base(tmp_path):
+    """A base image with a repetitive 'distro' region and a unique one."""
+    p = str(tmp_path / "base.raw")
+    img = RawImage.create(p, 4 * MiB)
+    img.write(0, bytes(range(256)) * (256 * KiB // 256))   # repetitive
+    img.write(1 * MiB, pattern(1 * MiB, 256 * KiB))        # unique
+    img.close()
+    return p
+
+
+class TestFingerprints:
+    def test_counts_only_allocated(self, tmp_path, shared_base):
+        cache = warmed_cache(tmp_path, shared_base, "a",
+                             [(0, 64 * KiB)])
+        with cache:
+            fps = content_fingerprints(cache, CHUNK)
+        assert sum(fps.values()) == 64 * KiB // CHUNK
+
+    def test_repetitive_content_collapses(self, tmp_path, shared_base):
+        cache = warmed_cache(tmp_path, shared_base, "b",
+                             [(0, 64 * KiB)])  # 256-byte period data
+        with cache:
+            fps = content_fingerprints(cache, CHUNK)
+        # All chunks identical -> one unique digest.
+        assert len(fps) == 1
+
+    def test_unique_content_does_not(self, tmp_path, shared_base):
+        cache = warmed_cache(tmp_path, shared_base, "c",
+                             [(1 * MiB, 64 * KiB)])
+        with cache:
+            fps = content_fingerprints(cache, CHUNK)
+        assert len(fps) == 64 * KiB // CHUNK
+
+    def test_invalid_chunk_size(self, tmp_path, shared_base):
+        cache = warmed_cache(tmp_path, shared_base, "d", [(0, CHUNK)])
+        with cache:
+            with pytest.raises(ValueError):
+                content_fingerprints(cache, 3000)
+
+
+class TestAnalyzeDedup:
+    def test_two_caches_of_same_vmi_fully_shared(self, tmp_path,
+                                                 shared_base):
+        a = warmed_cache(tmp_path, shared_base, "x",
+                         [(1 * MiB, 128 * KiB)])
+        b = warmed_cache(tmp_path, shared_base, "y",
+                         [(1 * MiB, 128 * KiB)])
+        with a, b:
+            report = analyze_dedup([a, b], CHUNK)
+        # Same VMI, same boot -> the second copy is pure duplication.
+        assert report.total_bytes == 2 * report.unique_bytes
+        assert report.dedup_ratio == pytest.approx(2.0)
+        assert report.savings_fraction == pytest.approx(0.5)
+
+    def test_disjoint_content_no_savings(self, tmp_path, shared_base):
+        a = warmed_cache(tmp_path, shared_base, "p",
+                         [(1 * MiB, 64 * KiB)])
+        b = warmed_cache(tmp_path, shared_base, "q",
+                         [(1 * MiB + 128 * KiB, 64 * KiB)])
+        with a, b:
+            report = analyze_dedup([a, b], CHUNK)
+        assert report.duplicate_bytes == 0
+        assert report.dedup_ratio == 1.0
+
+    def test_per_image_accounting(self, tmp_path, shared_base):
+        a = warmed_cache(tmp_path, shared_base, "r",
+                         [(1 * MiB, 64 * KiB)])
+        with a:
+            report = analyze_dedup([a], CHUNK)
+            assert report.per_image_allocated[a.path] == 64 * KiB
+
+    def test_empty_input(self):
+        with pytest.raises(ValueError):
+            analyze_dedup([])
+
+
+class TestCrossImage:
+    def test_overlap_measured(self, tmp_path, shared_base):
+        a = warmed_cache(tmp_path, shared_base, "m",
+                         [(1 * MiB, 128 * KiB)])
+        b = warmed_cache(tmp_path, shared_base, "n",
+                         [(1 * MiB + 64 * KiB, 128 * KiB)])
+        with a, b:
+            shared = cross_image_shared_bytes(a, b, CHUNK)
+        assert shared == 64 * KiB
+
+    def test_distro_siblings_share_template_content(self, tmp_path):
+        """Two 'VMIs derived from the same distribution' (§7.3): their
+        caches share the template part of the content."""
+        template = bytes(range(256)) * (512 * KiB // 256)
+        bases = []
+        for i in range(2):
+            p = str(tmp_path / f"distro{i}.raw")
+            img = RawImage.create(p, 4 * MiB)
+            img.write(0, template)                  # shared distro files
+            img.write(2 * MiB, pattern(0, 128 * KiB, seed=i))  # user data
+            img.close()
+            bases.append(p)
+        caches = [
+            warmed_cache(tmp_path, bases[i], f"d{i}",
+                         [(0, 512 * KiB), (2 * MiB, 128 * KiB)])
+            for i in range(2)
+        ]
+        with caches[0], caches[1]:
+            report = analyze_dedup(caches, CHUNK)
+        # The 512 KiB template appears in both caches and is internally
+        # repetitive; the per-user 128 KiB parts are unique.
+        assert report.savings_fraction > 0.5

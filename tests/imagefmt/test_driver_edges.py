@@ -1,0 +1,84 @@
+"""Edge cases of the driver base layer and format registry."""
+
+import pytest
+
+from repro.errors import InvalidImageError
+from repro.imagefmt.driver import open_image, probe_format
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.imagefmt.raw import RawImage
+from repro.units import KiB, MiB
+
+
+class TestRegistry:
+    def test_probe_qcow2(self, tmp_path):
+        p = str(tmp_path / "a.qcow2")
+        Qcow2Image.create(p, MiB).close()
+        assert probe_format(p) == "qcow2"
+
+    def test_open_image_autodetects(self, tmp_path):
+        p = str(tmp_path / "a.qcow2")
+        Qcow2Image.create(p, MiB).close()
+        with open_image(p) as img:
+            assert img.format_name == "qcow2"
+
+    def test_explicit_format_honoured(self, tmp_path):
+        # A qcow2 file force-opened as raw: its literal bytes.
+        p = str(tmp_path / "a.qcow2")
+        Qcow2Image.create(p, MiB).close()
+        with open_image(p, "raw") as img:
+            assert img.format_name == "raw"
+            assert img.read(0, 4)[:4] == b"QFI\xfb"
+
+    def test_unknown_format_rejected(self, tmp_path, small_base):
+        with pytest.raises(InvalidImageError):
+            open_image(small_base, "vhdx")
+
+    def test_raw_driver_rejects_stray_options(self, small_base):
+        with pytest.raises(InvalidImageError):
+            open_image(small_base, "raw", open_backing=True)
+
+    def test_empty_file_probes_as_raw(self, tmp_path):
+        p = str(tmp_path / "empty")
+        open(p, "wb").close()
+        assert probe_format(p) == "raw"
+
+
+class TestVirtualSizeEdges:
+    def test_zero_size_image(self, tmp_path):
+        p = str(tmp_path / "zero.qcow2")
+        with Qcow2Image.create(p, 0) as img:
+            assert img.size == 0
+            assert img.read(0, 0) == b""
+        with Qcow2Image.open(p) as img:
+            assert img.check().ok
+
+    def test_one_byte_image(self, tmp_path):
+        p = str(tmp_path / "one.qcow2")
+        with Qcow2Image.create(p, 1, cluster_size=512) as img:
+            img.write(0, b"Z")
+            assert img.read(0, 1) == b"Z"
+
+    def test_non_cluster_multiple_size(self, tmp_path):
+        size = 3 * 64 * KiB + 777
+        p = str(tmp_path / "odd.qcow2")
+        with Qcow2Image.create(p, size) as img:
+            img.write(size - 10, b"0123456789")
+        with Qcow2Image.open(p) as img:
+            assert img.read(size - 10, 10) == b"0123456789"
+            assert img.check().ok
+
+    def test_raw_zero_size(self, tmp_path):
+        with RawImage.create(str(tmp_path / "z.raw"), 0) as img:
+            assert img.size == 0
+
+
+class TestReprs:
+    def test_driver_repr_states(self, tmp_path):
+        p = str(tmp_path / "a.raw")
+        img = RawImage.create(p, 1024)
+        assert "rw" in repr(img)
+        img.close()
+        assert "closed" in repr(img)
+        ro = RawImage.open(p)
+        assert "ro" in repr(ro)
+        ro.close()

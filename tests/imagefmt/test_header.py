@@ -1,0 +1,149 @@
+"""Tests for QCowHeader serialization and the cache header extension."""
+
+import struct
+
+import pytest
+
+from repro.errors import InvalidImageError, UnsupportedFeatureError
+from repro.imagefmt.constants import (
+    HEADER_SIZE_V2,
+    HEXT_VMI_CACHE,
+    QCOW_MAGIC,
+    QCOW_VERSION,
+)
+from repro.imagefmt.header import (
+    CacheExtension,
+    HeaderExtension,
+    QCowHeader,
+)
+
+
+def roundtrip(header: QCowHeader) -> QCowHeader:
+    return QCowHeader.decode(header.encode() + b"\0" * 64)
+
+
+class TestHeaderRoundtrip:
+    def test_minimal(self):
+        h = QCowHeader(size=1 << 30, cluster_bits=16, l1_size=16,
+                       l1_table_offset=65536,
+                       refcount_table_offset=131072,
+                       refcount_table_clusters=1)
+        out = roundtrip(h)
+        assert out.size == h.size
+        assert out.cluster_bits == 16
+        assert out.l1_size == 16
+        assert out.l1_table_offset == 65536
+        assert out.backing_file is None
+        assert out.cache_ext is None
+
+    def test_with_backing(self):
+        h = QCowHeader(size=123456, cluster_bits=9,
+                       backing_file="/some/dir/base.raw",
+                       backing_format="raw")
+        out = roundtrip(h)
+        assert out.backing_file == "/some/dir/base.raw"
+        assert out.backing_format == "raw"
+
+    def test_with_cache_extension(self):
+        h = QCowHeader(size=1 << 30, cluster_bits=9,
+                       backing_file="base.raw",
+                       cache_ext=CacheExtension(quota=200_000_000,
+                                                current_size=4096))
+        out = roundtrip(h)
+        assert out.is_cache
+        assert out.cache_ext.quota == 200_000_000
+        assert out.cache_ext.current_size == 4096
+
+    def test_unicode_backing_name(self):
+        h = QCowHeader(size=512, cluster_bits=9,
+                       backing_file="bäse-ïmage.qcow2")
+        assert roundtrip(h).backing_file == "bäse-ïmage.qcow2"
+
+    def test_unknown_extension_preserved(self):
+        h = QCowHeader(size=512, cluster_bits=9)
+        h.unknown_extensions.append(HeaderExtension(0xDEADBEEF, b"xyzzy"))
+        out = roundtrip(h)
+        assert out.unknown_extensions == [
+            HeaderExtension(0xDEADBEEF, b"xyzzy")]
+
+    def test_is_cache_property(self):
+        h = QCowHeader(size=512, cluster_bits=9)
+        assert not h.is_cache
+        h.cache_ext = CacheExtension(quota=1, current_size=0)
+        assert h.is_cache
+
+    def test_magic_and_version_on_disk(self):
+        blob = QCowHeader(size=512, cluster_bits=9).encode()
+        magic, version = struct.unpack_from(">II", blob, 0)
+        assert magic == QCOW_MAGIC
+        assert version == QCOW_VERSION
+
+    def test_cache_ext_on_disk_encoding(self):
+        """The extension must be exactly two big-endian u64 fields."""
+        blob = QCowHeader(
+            size=512, cluster_bits=9, backing_file="b",
+            cache_ext=CacheExtension(quota=0x0102030405060708,
+                                     current_size=0x1112131415161718),
+        ).encode()
+        idx = blob.find(struct.pack(">I", HEXT_VMI_CACHE))
+        assert idx >= HEADER_SIZE_V2
+        ext_len = struct.unpack_from(">I", blob, idx + 4)[0]
+        assert ext_len == 16
+        quota, cur = struct.unpack_from(">QQ", blob, idx + 8)
+        assert quota == 0x0102030405060708
+        assert cur == 0x1112131415161718
+
+
+class TestHeaderValidation:
+    def test_bad_magic(self):
+        blob = bytearray(QCowHeader(size=512, cluster_bits=9).encode())
+        blob[0] = 0x00
+        with pytest.raises(InvalidImageError):
+            QCowHeader.decode(bytes(blob))
+
+    def test_bad_version(self):
+        blob = bytearray(QCowHeader(size=512, cluster_bits=9).encode())
+        struct.pack_into(">I", blob, 4, 3)
+        with pytest.raises(UnsupportedFeatureError):
+            QCowHeader.decode(bytes(blob))
+
+    def test_bad_cluster_bits(self):
+        blob = bytearray(QCowHeader(size=512, cluster_bits=9).encode())
+        struct.pack_into(">I", blob, 20, 5)
+        with pytest.raises(InvalidImageError):
+            QCowHeader.decode(bytes(blob))
+
+    def test_truncated(self):
+        with pytest.raises(InvalidImageError):
+            QCowHeader.decode(b"\x51\x46\x49\xfb")
+
+    def test_encrypted_rejected(self):
+        blob = bytearray(QCowHeader(size=512, cluster_bits=9).encode())
+        struct.pack_into(">I", blob, 32, 1)  # crypt_method = AES
+        with pytest.raises(UnsupportedFeatureError):
+            QCowHeader.decode(bytes(blob))
+
+    def test_snapshots_rejected(self):
+        blob = bytearray(QCowHeader(size=512, cluster_bits=9).encode())
+        struct.pack_into(">I", blob, 60, 2)  # nb_snapshots
+        with pytest.raises(UnsupportedFeatureError):
+            QCowHeader.decode(bytes(blob))
+
+    def test_backing_name_out_of_bounds(self):
+        h = QCowHeader(size=512, cluster_bits=9, backing_file="base")
+        blob = h.encode()
+        with pytest.raises(InvalidImageError):
+            QCowHeader.decode(blob[:-2])
+
+    def test_malformed_cache_ext_length(self):
+        with pytest.raises(InvalidImageError):
+            CacheExtension.decode(b"\0" * 8)
+
+
+class TestCacheExtension:
+    def test_roundtrip(self):
+        ext = CacheExtension(quota=93 * 1000 * 1000, current_size=12345)
+        assert CacheExtension.decode(ext.encode()) == ext
+
+    def test_encode_size(self):
+        assert len(CacheExtension(quota=1, current_size=2).encode()) == 16

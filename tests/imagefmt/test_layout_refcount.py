@@ -1,0 +1,210 @@
+"""Unit tests for the cluster allocator, refcount machinery, and the
+positional-file wrapper."""
+
+import os
+
+import pytest
+
+from repro.imagefmt.fileio import PositionalFile
+from repro.imagefmt.layout import ClusterAllocator
+from repro.imagefmt.refcount import (
+    RefcountGeometry,
+    read_refcount_block,
+    read_refcount_table,
+    write_refcount_block,
+    write_refcount_table,
+)
+from repro.units import KiB
+
+
+class TestPositionalFile:
+    def test_create_write_read(self, tmp_path):
+        p = str(tmp_path / "f.bin")
+        f = PositionalFile.create(p)
+        f.pwrite(b"hello", 100)
+        assert f.pread(5, 100) == b"hello"
+        assert f.size() == 105
+        f.close()
+
+    def test_read_past_eof_is_short(self, tmp_path):
+        p = str(tmp_path / "f.bin")
+        f = PositionalFile.create(p)
+        f.pwrite(b"abc", 0)
+        assert f.pread(10, 0) == b"abc"
+        assert f.pread(10, 100) == b""
+        f.close()
+
+    def test_truncate_extends_sparse(self, tmp_path):
+        p = str(tmp_path / "f.bin")
+        f = PositionalFile.create(p)
+        f.truncate(1 << 20)
+        assert f.size() == 1 << 20
+        assert f.pread(16, 12345) == b"\0" * 16
+        f.close()
+
+    def test_open_read_only(self, tmp_path):
+        p = str(tmp_path / "f.bin")
+        f = PositionalFile.create(p)
+        f.pwrite(b"data", 0)
+        f.close()
+        ro = PositionalFile.open(p, read_only=True)
+        assert ro.pread(4, 0) == b"data"
+        with pytest.raises(OSError):
+            ro.pwrite(b"x", 0)
+        ro.close()
+
+    def test_double_close(self, tmp_path):
+        f = PositionalFile.create(str(tmp_path / "f.bin"))
+        f.close()
+        f.close()  # idempotent
+
+    def test_create_truncates_existing(self, tmp_path):
+        p = str(tmp_path / "f.bin")
+        with open(p, "wb") as f:
+            f.write(b"old content")
+        f = PositionalFile.create(p)
+        assert f.size() == 0
+        f.close()
+
+
+class TestRefcountGeometry:
+    def test_paper_cluster_sizes(self):
+        g512 = RefcountGeometry(9)
+        assert g512.block_entries == 256      # 512 / 2
+        assert g512.table_entries_per_cluster == 64
+        g64k = RefcountGeometry(16)
+        assert g64k.block_entries == 32768
+
+    def test_indexing(self):
+        g = RefcountGeometry(9)
+        assert g.table_index(0) == 0
+        assert g.table_index(255) == 0
+        assert g.table_index(256) == 1
+        assert g.block_index(257) == 1
+
+    def test_coverage_roundtrip(self):
+        g = RefcountGeometry(12)
+        for n in (1, 100, 10_000):
+            tables = g.table_clusters_for(n)
+            assert g.clusters_covered(tables) >= n
+
+    def test_minimum_one_table_cluster(self):
+        assert RefcountGeometry(9).table_clusters_for(1) == 1
+
+
+class TestRefcountIO:
+    def test_table_roundtrip(self, tmp_path):
+        f = PositionalFile.create(str(tmp_path / "t.bin"))
+        write_refcount_table(f, 0, [512, 1024, 0, 2048], 1, 512)
+        out = read_refcount_table(f, 0, 1, 512)
+        assert out[:4] == [512, 1024, 0, 2048]
+        assert len(out) == 64
+        f.close()
+
+    def test_table_overflow_rejected(self, tmp_path):
+        f = PositionalFile.create(str(tmp_path / "t.bin"))
+        with pytest.raises(ValueError):
+            write_refcount_table(f, 0, [0] * 100, 1, 512)
+        f.close()
+
+    def test_sparse_table_reads_zero(self, tmp_path):
+        f = PositionalFile.create(str(tmp_path / "t.bin"))
+        f.truncate(100)  # shorter than one cluster
+        out = read_refcount_table(f, 0, 1, 512)
+        assert out == [0] * 64
+        f.close()
+
+    def test_block_roundtrip(self, tmp_path):
+        f = PositionalFile.create(str(tmp_path / "b.bin"))
+        counts = [0] * 256
+        counts[3] = 7
+        write_refcount_block(f, 512, counts, 512)
+        assert read_refcount_block(f, 512, 512) == counts
+        f.close()
+
+    def test_block_wrong_length(self, tmp_path):
+        f = PositionalFile.create(str(tmp_path / "b.bin"))
+        with pytest.raises(ValueError):
+            write_refcount_block(f, 0, [1, 2, 3], 512)
+        f.close()
+
+
+class TestClusterAllocator:
+    def make(self, tmp_path, cluster_bits=9, rt_clusters=1):
+        f = PositionalFile.create(str(tmp_path / "img.bin"))
+        cs = 1 << cluster_bits
+        initial = (1 + rt_clusters) * cs  # header + refcount table
+        f.truncate(initial)
+        alloc = ClusterAllocator(f, cluster_bits, initial, cs,
+                                 rt_clusters)
+        alloc._loaded = True
+        alloc.mark_allocated(0, 1)
+        alloc.mark_allocated(cs, rt_clusters)
+        return f, alloc
+
+    def test_alloc_is_sequential_at_eof(self, tmp_path):
+        f, alloc = self.make(tmp_path)
+        a = alloc.alloc(1)
+        b = alloc.alloc(2)
+        assert b == a + 512
+        assert alloc.physical_size == b + 2 * 512
+
+    def test_refcounts_tracked(self, tmp_path):
+        f, alloc = self.make(tmp_path)
+        off = alloc.alloc(3)
+        first = off // 512
+        for i in range(first, first + 3):
+            assert alloc.refcount(i) == 1
+        assert alloc.refcount(first + 3) == 0
+
+    def test_alloc_zero_rejected(self, tmp_path):
+        f, alloc = self.make(tmp_path)
+        with pytest.raises(ValueError):
+            alloc.alloc(0)
+
+    def test_flush_persists_and_reloads(self, tmp_path):
+        f, alloc = self.make(tmp_path)
+        alloc.alloc(5)
+        alloc.flush_refcounts()
+        n_allocated = alloc.allocated_clusters()
+        # Fresh allocator over the same file must agree.
+        alloc2 = ClusterAllocator(f, 9, alloc.physical_size,
+                                  alloc.refcount_table_offset,
+                                  alloc.refcount_table_clusters)
+        assert alloc2.allocated_clusters() == n_allocated
+        f.close()
+
+    def test_flush_idempotent(self, tmp_path):
+        f, alloc = self.make(tmp_path)
+        alloc.alloc(1)
+        alloc.flush_refcounts()
+        size = alloc.physical_size
+        assert alloc.flush_refcounts() is False  # nothing dirty
+        assert alloc.physical_size == size
+
+    def test_table_growth(self, tmp_path):
+        """Allocating past the initial table's coverage must grow it."""
+        f, alloc = self.make(tmp_path, cluster_bits=9, rt_clusters=1)
+        g = RefcountGeometry(9)
+        coverage = g.clusters_covered(1)  # 64 * 256 clusters
+        # Allocate past the coverage boundary.
+        needed = coverage - alloc.physical_clusters + 10
+        alloc.alloc(needed)
+        changed = alloc.flush_refcounts()
+        assert changed  # header must be rewritten
+        assert alloc.refcount_table_clusters > 1
+        assert g.clusters_covered(alloc.refcount_table_clusters) \
+            >= alloc.physical_clusters
+        # And the state is still self-consistent on reload.
+        alloc2 = ClusterAllocator(f, 9, alloc.physical_size,
+                                  alloc.refcount_table_offset,
+                                  alloc.refcount_table_clusters)
+        assert alloc2.allocated_clusters() > needed
+        f.close()
+
+    def test_file_size_settled_after_flush(self, tmp_path):
+        f, alloc = self.make(tmp_path)
+        alloc.alloc(7)
+        alloc.flush_refcounts()
+        assert f.size() == alloc.physical_size
+        assert os.path.getsize(f.path) == alloc.physical_size

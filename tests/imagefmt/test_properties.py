@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) on image-format invariants.
+
+Core invariants:
+* read-after-write: an image behaves like a flat byte array, regardless
+  of cluster size, operation order, or backing chains;
+* chain transparency: a CoW or cache overlay never changes what the
+  guest observes;
+* quota safety: a cache file never outgrows its quota, no matter the
+  read pattern;
+* cache immutability: populating a cache never changes guest-visible
+  content.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.imagefmt.chain import create_cache_chain, create_cow_chain
+from repro.imagefmt.header import CacheExtension, QCowHeader
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.imagefmt.raw import RawImage
+from repro.units import KiB
+
+from tests.conftest import pattern
+
+VIRTUAL_SIZE = 256 * KiB
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write"]),
+        st.integers(min_value=0, max_value=VIRTUAL_SIZE - 1),
+        st.integers(min_value=0, max_value=4 * KiB),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+cluster_sizes = st.sampled_from([512, 1024, 4096, 64 * KiB])
+
+
+def clamp(offset: int, length: int) -> int:
+    return min(length, VIRTUAL_SIZE - offset)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(ops=ops, cluster_size=cluster_sizes, data=st.data())
+def test_image_behaves_like_flat_bytearray(tmp_path, ops, cluster_size,
+                                           data):
+    """Oracle test: qcow2 vs a plain bytearray under random op sequences."""
+    path = str(tmp_path / f"img-{os.getpid()}-{id(ops)}.qcow2")
+    oracle = bytearray(VIRTUAL_SIZE)
+    with Qcow2Image.create(path, VIRTUAL_SIZE,
+                           cluster_size=cluster_size) as img:
+        for kind, offset, length in ops:
+            length = clamp(offset, length)
+            if kind == "read":
+                assert img.read(offset, length) == \
+                    bytes(oracle[offset: offset + length])
+            else:
+                payload = bytes(data.draw(st.binary(
+                    min_size=length, max_size=length)))
+                img.write(offset, payload)
+                oracle[offset: offset + length] = payload
+        # Full sweep at the end.
+        assert img.read(0, VIRTUAL_SIZE) == bytes(oracle)
+    os.unlink(path)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(reads=st.lists(
+    st.tuples(st.integers(0, VIRTUAL_SIZE - 1),
+              st.integers(1, 8 * KiB)),
+    min_size=1, max_size=20),
+    cache_cluster=st.sampled_from([512, 4096, 64 * KiB]))
+def test_chain_transparency(tmp_path, reads, cache_cluster):
+    """Reading through base ← cache ← CoW equals reading the base,
+    for any read pattern and any cache cluster size."""
+    tag = f"{abs(hash((tuple(reads), cache_cluster)))}"
+    base_p = str(tmp_path / f"base-{tag}.raw")
+    base = RawImage.create(base_p, VIRTUAL_SIZE)
+    base.write(0, pattern(0, VIRTUAL_SIZE, seed=7))
+    base.close()
+    cow = create_cache_chain(
+        base_p,
+        str(tmp_path / f"cache-{tag}.qcow2"),
+        str(tmp_path / f"cow-{tag}.qcow2"),
+        quota=VIRTUAL_SIZE * 2,
+        cache_cluster_size=cache_cluster,
+    )
+    with cow:
+        for offset, length in reads:
+            length = clamp(offset, length)
+            assert cow.read(offset, length) == \
+                pattern(offset, length, seed=7)
+    for f in os.listdir(tmp_path):
+        if tag in f:
+            os.unlink(os.path.join(tmp_path, f))
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(reads=st.lists(
+    st.tuples(st.integers(0, VIRTUAL_SIZE - 1),
+              st.integers(1, 16 * KiB)),
+    min_size=1, max_size=25),
+    quota_kib=st.integers(min_value=24, max_value=256))
+def test_quota_never_exceeded(tmp_path, reads, quota_kib):
+    """However the guest reads, the cache file stays within quota and
+    the data stays correct."""
+    tag = f"{abs(hash((tuple(reads), quota_kib)))}"
+    base_p = str(tmp_path / f"base-{tag}.raw")
+    base = RawImage.create(base_p, VIRTUAL_SIZE)
+    base.write(0, pattern(0, VIRTUAL_SIZE, seed=3))
+    base.close()
+    quota = quota_kib * KiB
+    cache_p = str(tmp_path / f"cache-{tag}.qcow2")
+    cow = create_cache_chain(
+        base_p, cache_p, str(tmp_path / f"cow-{tag}.qcow2"),
+        quota=quota,
+    )
+    with cow:
+        for offset, length in reads:
+            length = clamp(offset, length)
+            assert cow.read(offset, length) == \
+                pattern(offset, length, seed=3)
+    assert os.path.getsize(cache_p) <= quota
+    for f in os.listdir(tmp_path):
+        if tag in f:
+            os.unlink(os.path.join(tmp_path, f))
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(boot_reads=st.lists(
+    st.tuples(st.integers(0, VIRTUAL_SIZE - 1),
+              st.integers(1, 4 * KiB)),
+    min_size=1, max_size=15),
+    guest_writes=st.lists(
+    st.tuples(st.integers(0, VIRTUAL_SIZE - 1),
+              st.integers(1, 4 * KiB)),
+    min_size=1, max_size=10))
+def test_cache_immutable_under_guest_writes(tmp_path, boot_reads,
+                                            guest_writes):
+    """Guest writes through the CoW never alter the cache image; a fresh
+    VM chained to the same cache sees pristine base content."""
+    tag = f"{abs(hash((tuple(boot_reads), tuple(guest_writes))))}"
+    base_p = str(tmp_path / f"base-{tag}.raw")
+    base = RawImage.create(base_p, VIRTUAL_SIZE)
+    base.write(0, pattern(0, VIRTUAL_SIZE, seed=9))
+    base.close()
+    cache_p = str(tmp_path / f"cache-{tag}.qcow2")
+    with create_cache_chain(
+            base_p, cache_p, str(tmp_path / f"cow1-{tag}.qcow2"),
+            quota=VIRTUAL_SIZE * 2) as cow1:
+        for offset, length in boot_reads:
+            cow1.read(offset, clamp(offset, length))
+        for offset, length in guest_writes:
+            cow1.write(offset, b"\xAA" * clamp(offset, length))
+    with create_cache_chain(
+            base_p, cache_p, str(tmp_path / f"cow2-{tag}.qcow2"),
+            quota=VIRTUAL_SIZE * 2) as cow2:
+        assert cow2.read(0, VIRTUAL_SIZE) == \
+            pattern(0, VIRTUAL_SIZE, seed=9)
+    for f in os.listdir(tmp_path):
+        if tag in f:
+            os.unlink(os.path.join(tmp_path, f))
+
+
+@given(quota=st.integers(0, 2**63 - 1),
+       current=st.integers(0, 2**63 - 1),
+       size=st.integers(0, 2**40),
+       cluster_bits=st.integers(9, 21))
+@settings(max_examples=100, deadline=None)
+def test_header_roundtrip_property(quota, current, size, cluster_bits):
+    h = QCowHeader(size=size, cluster_bits=cluster_bits,
+                   backing_file="b.raw",
+                   cache_ext=CacheExtension(quota=quota,
+                                            current_size=current))
+    out = QCowHeader.decode(h.encode())
+    assert out.size == size
+    assert out.cluster_bits == cluster_bits
+    assert out.cache_ext.quota == quota
+    assert out.cache_ext.current_size == current

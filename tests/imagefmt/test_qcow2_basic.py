@@ -1,0 +1,256 @@
+"""Tests for the QCOW2 driver without cache semantics: creation, COW
+reads/writes, backing chains, persistence, metadata integrity."""
+
+import os
+
+import pytest
+
+from repro.errors import (
+    BackingChainError,
+    OutOfBoundsError,
+    ReadOnlyImageError,
+)
+from repro.imagefmt.chain import create_cow_chain
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.units import KiB, MiB
+
+from tests.conftest import make_patterned_base, pattern
+
+
+class TestCreate:
+    def test_standalone(self, tmp_path):
+        with Qcow2Image.create(str(tmp_path / "a.qcow2"), 16 * MiB) as img:
+            assert img.size == 16 * MiB
+            assert img.cluster_size == 64 * KiB
+            assert not img.is_cache
+            assert img.backing is None
+
+    def test_custom_cluster_size(self, tmp_path):
+        with Qcow2Image.create(str(tmp_path / "a.qcow2"), MiB,
+                               cluster_size=512) as img:
+            assert img.cluster_size == 512
+
+    def test_inherits_size_from_backing(self, tmp_path, small_base):
+        with Qcow2Image.create(str(tmp_path / "c.qcow2"),
+                               backing_file=small_base) as img:
+            assert img.size == 4 * MiB
+
+    def test_size_required_without_backing(self, tmp_path):
+        with pytest.raises(ValueError):
+            Qcow2Image.create(str(tmp_path / "a.qcow2"))
+
+    def test_negative_size(self, tmp_path):
+        with pytest.raises(ValueError):
+            Qcow2Image.create(str(tmp_path / "a.qcow2"), -1)
+
+    def test_fresh_image_reads_zero(self, tmp_path):
+        with Qcow2Image.create(str(tmp_path / "a.qcow2"), MiB) as img:
+            assert img.read(0, 4096) == b"\0" * 4096
+            assert img.read(MiB - 100, 100) == b"\0" * 100
+
+    def test_initial_check_is_clean(self, tmp_path):
+        p = str(tmp_path / "a.qcow2")
+        Qcow2Image.create(p, MiB).close()
+        with Qcow2Image.open(p) as img:
+            report = img.check()
+            assert report.ok, report.errors
+            assert report.leaked_clusters == 0
+
+
+class TestReadWrite:
+    @pytest.mark.parametrize("cluster_size", [512, 4096, 64 * KiB])
+    def test_roundtrip_various_clusters(self, tmp_path, cluster_size):
+        p = str(tmp_path / "a.qcow2")
+        with Qcow2Image.create(p, 2 * MiB,
+                               cluster_size=cluster_size) as img:
+            data = pattern(0, 3 * cluster_size + 17)
+            img.write(100, data)
+            assert img.read(100, len(data)) == data
+
+    def test_unaligned_write_within_cluster(self, tmp_path):
+        with Qcow2Image.create(str(tmp_path / "a.qcow2"), MiB) as img:
+            img.write(1000, b"abc")
+            assert img.read(999, 5) == b"\0abc\0"
+
+    def test_overwrite_in_place(self, tmp_path):
+        with Qcow2Image.create(str(tmp_path / "a.qcow2"), MiB) as img:
+            img.write(0, b"A" * 1024)
+            before = img.physical_size
+            img.write(512, b"B" * 256)
+            assert img.physical_size == before  # no new allocation
+            assert img.read(0, 1024) == b"A" * 512 + b"B" * 256 + b"A" * 256
+
+    def test_write_at_virtual_end(self, tmp_path):
+        size = MiB + 300  # not cluster aligned
+        with Qcow2Image.create(str(tmp_path / "a.qcow2"), size) as img:
+            img.write(size - 10, b"0123456789")
+            assert img.read(size - 10, 10) == b"0123456789"
+            with pytest.raises(OutOfBoundsError):
+                img.write(size - 5, b"0123456789")
+
+    def test_sparse_allocation(self, tmp_path):
+        """Only touched clusters are allocated."""
+        with Qcow2Image.create(str(tmp_path / "a.qcow2"), 512 * MiB) as img:
+            img.write(300 * MiB, b"x")
+            assert img.allocated_data_bytes() == 64 * KiB
+
+    def test_read_only_write_rejected(self, tmp_path):
+        p = str(tmp_path / "a.qcow2")
+        Qcow2Image.create(p, MiB).close()
+        with Qcow2Image.open(p, read_only=True) as img:
+            with pytest.raises(ReadOnlyImageError):
+                img.write(0, b"x")
+
+
+class TestPersistence:
+    def test_data_survives_reopen(self, tmp_path):
+        p = str(tmp_path / "a.qcow2")
+        data = pattern(0, 200 * KiB)
+        with Qcow2Image.create(p, 4 * MiB) as img:
+            img.write(64 * KiB, data)
+        with Qcow2Image.open(p) as img:
+            assert img.read(64 * KiB, len(data)) == data
+            assert img.read(0, 64 * KiB) == b"\0" * 64 * KiB
+
+    def test_many_open_cycles(self, tmp_path):
+        p = str(tmp_path / "a.qcow2")
+        Qcow2Image.create(p, 8 * MiB, cluster_size=4096).close()
+        for i in range(5):
+            with Qcow2Image.open(p, read_only=False) as img:
+                img.write(i * 100 * KiB, pattern(i * 100 * KiB, 5000, seed=i))
+        with Qcow2Image.open(p) as img:
+            for i in range(5):
+                assert img.read(i * 100 * KiB, 5000) == \
+                    pattern(i * 100 * KiB, 5000, seed=i)
+            assert img.check().ok
+
+    def test_check_after_heavy_io(self, tmp_path):
+        p = str(tmp_path / "a.qcow2")
+        with Qcow2Image.create(p, 16 * MiB, cluster_size=512) as img:
+            for i in range(200):
+                img.write((i * 37117) % (16 * MiB - 600), pattern(i, 300))
+        with Qcow2Image.open(p) as img:
+            report = img.check()
+            assert report.ok, report.errors[:5]
+
+
+class TestBackingChain:
+    def test_cow_reads_from_base(self, tmp_path, small_base):
+        cow = create_cow_chain(small_base, str(tmp_path / "cow.qcow2"))
+        with cow:
+            assert cow.read(0, 1000) == pattern(0, 1000)
+            assert cow.read(MiB + 5, 1234) == pattern(MiB + 5, 1234)
+
+    def test_writes_stay_local(self, tmp_path, small_base):
+        cow_p = str(tmp_path / "cow.qcow2")
+        with create_cow_chain(small_base, cow_p) as cow:
+            cow.write(1000, b"LOCAL")
+            assert cow.read(998, 9) == pattern(998, 2) + b"LOCAL" + \
+                pattern(1005, 2)
+        # Base is untouched.
+        from repro.imagefmt.raw import RawImage
+
+        with RawImage.open(small_base) as base:
+            assert base.read(1000, 5) == pattern(1000, 5)
+
+    def test_partial_cluster_cow_fill(self, tmp_path, small_base):
+        """Writing part of a cluster pulls the rest from the base."""
+        with create_cow_chain(small_base, str(tmp_path / "c.qcow2")) as cow:
+            cow.write(70 * KiB, b"Z" * 10)
+            # The rest of that 64 KiB cluster must still show base data.
+            assert cow.read(64 * KiB, 6 * KiB) == pattern(64 * KiB, 6 * KiB)
+            assert cow.read(70 * KiB + 10, 100) == \
+                pattern(70 * KiB + 10, 100)
+
+    def test_backing_smaller_than_cow(self, tmp_path, small_base):
+        cow_p = str(tmp_path / "c.qcow2")
+        with Qcow2Image.create(cow_p, 8 * MiB,
+                               backing_file=small_base) as cow:
+            assert cow.size == 8 * MiB
+            # Beyond the 4 MiB base: zeros.
+            assert cow.read(6 * MiB, 100) == b"\0" * 100
+            # Straddling the end of the base.
+            got = cow.read(4 * MiB - 50, 100)
+            assert got == pattern(4 * MiB - 50, 50) + b"\0" * 50
+
+    def test_backing_stats_accumulate(self, tmp_path, small_base):
+        with create_cow_chain(small_base, str(tmp_path / "c.qcow2")) as cow:
+            cow.read(0, 10 * KiB)
+            assert cow.stats.backing_bytes_read == 10 * KiB
+            assert cow.backing.stats.bytes_read == 10 * KiB
+
+    def test_three_level_chain(self, tmp_path, small_base):
+        mid_p = str(tmp_path / "mid.qcow2")
+        top_p = str(tmp_path / "top.qcow2")
+        with create_cow_chain(small_base, mid_p) as mid:
+            mid.write(2000, b"MIDDLE")
+        with Qcow2Image.create(top_p, backing_file=mid_p,
+                               backing_format="qcow2") as top:
+            assert top.chain_depth() == 3
+            assert top.read(2000, 6) == b"MIDDLE"
+            assert top.read(0, 100) == pattern(0, 100)
+            top.write(2000, b"TOPTOP")
+            assert top.read(2000, 6) == b"TOPTOP"
+        with Qcow2Image.open(mid_p) as mid:
+            assert mid.read(2000, 6) == b"MIDDLE"
+
+    def test_missing_backing_file(self, tmp_path):
+        with pytest.raises(BackingChainError):
+            Qcow2Image.create(str(tmp_path / "c.qcow2"), MiB,
+                              backing_file=str(tmp_path / "nope.raw"))
+
+    def test_relative_backing_path(self, tmp_path):
+        make_patterned_base(tmp_path / "rel_base.raw", size=MiB)
+        cow_p = str(tmp_path / "c.qcow2")
+        Qcow2Image.create(cow_p, backing_file=str(tmp_path / "rel_base.raw"),
+                          ).close()
+        # Rewrite header with a relative name to test resolution.
+        with Qcow2Image.open(cow_p, read_only=False,
+                             open_backing=False) as img:
+            img.header.backing_file = "rel_base.raw"
+            img._rewrite_header()
+        with Qcow2Image.open(cow_p) as img:
+            assert img.backing is not None
+            assert img.read(0, 64) == pattern(0, 64)
+
+    def test_close_closes_chain(self, tmp_path, small_base):
+        cow = create_cow_chain(small_base, str(tmp_path / "c.qcow2"))
+        base = cow.backing
+        cow.close()
+        assert base.closed
+
+
+class TestIntrospection:
+    def test_image_info(self, tmp_path, small_base):
+        with create_cow_chain(small_base, str(tmp_path / "c.qcow2")) as cow:
+            info = cow.image_info()
+            assert info["format"] == "qcow2"
+            assert info["virtual_size"] == 4 * MiB
+            assert info["backing_file"] == small_base
+            assert info["is_cache"] is False
+
+    def test_map_clusters(self, tmp_path):
+        with Qcow2Image.create(str(tmp_path / "a.qcow2"), MiB,
+                               cluster_size=4096) as img:
+            img.write(8192, b"x" * 4096)
+            runs = list(img.map_clusters())
+        covered = sum(length for _, length, _ in runs)
+        assert covered == MiB
+        allocated = [(o, l) for o, l, a in runs if a]
+        assert allocated == [(8192, 4096)]
+
+    def test_is_allocated(self, tmp_path):
+        with Qcow2Image.create(str(tmp_path / "a.qcow2"), MiB,
+                               cluster_size=4096) as img:
+            assert not img.is_allocated(0)
+            img.write(0, b"x")
+            assert img.is_allocated(0)
+            assert img.is_allocated(4095)
+            assert not img.is_allocated(4096)
+
+    def test_physical_size_tracks_file(self, tmp_path):
+        p = str(tmp_path / "a.qcow2")
+        with Qcow2Image.create(p, MiB) as img:
+            img.write(0, b"x" * 128 * KiB)
+            img.flush()
+            assert img.physical_size == os.path.getsize(p)

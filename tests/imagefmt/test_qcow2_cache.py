@@ -1,0 +1,278 @@
+"""Tests for the VMI-cache extension semantics (paper Sections 3 and 4.3).
+
+The three design requirements of Section 3:
+1. the cache is a VMI itself (standalone bootable, recurses to base);
+2. quota support with fine-grained accounting;
+3. immutability with respect to the base image.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import QuotaExceededError, ReadOnlyImageError
+from repro.imagefmt.chain import (
+    create_cache_chain,
+    create_cache_image,
+    find_cache_layer,
+)
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.units import KiB, MB, MiB
+
+from tests.conftest import make_patterned_base, pattern
+
+
+@pytest.fixture
+def chain(tmp_path, small_base):
+    """base ← cache(512 B clusters, 1 MiB quota) ← CoW, opened rw."""
+    cow = create_cache_chain(
+        small_base,
+        str(tmp_path / "cache.qcow2"),
+        str(tmp_path / "cow.qcow2"),
+        quota=1 * MiB,
+    )
+    yield cow
+    if not cow.closed:
+        cow.close()
+
+
+class TestCacheCreation:
+    def test_cache_flag_via_quota(self, tmp_path, small_base):
+        cache = create_cache_image(small_base,
+                                   str(tmp_path / "c.qcow2"),
+                                   quota=MiB)
+        with cache:
+            assert cache.is_cache
+            assert cache.cache_quota == MiB
+            assert cache.cluster_size == 512  # paper's final choice
+
+    def test_cache_requires_backing(self, tmp_path):
+        with pytest.raises(ValueError):
+            Qcow2Image.create(str(tmp_path / "c.qcow2"), MiB,
+                              cache_quota=MiB)
+
+    def test_cache_requires_positive_quota(self, tmp_path, small_base):
+        with pytest.raises(ValueError):
+            create_cache_image(small_base, str(tmp_path / "c.qcow2"),
+                               quota=0)
+
+    def test_initial_current_size_is_header_and_tables(
+            self, tmp_path, small_base):
+        """§4.3: current size starts as 'size of the header and initial
+        tables'."""
+        p = str(tmp_path / "c.qcow2")
+        create_cache_image(small_base, p, quota=MiB).close()
+        header = Qcow2Image.peek_header(p)
+        assert header.cache_ext.current_size == os.path.getsize(p)
+        assert header.cache_ext.current_size < 64 * KiB
+
+    def test_chain_shape(self, chain):
+        cache = chain.backing
+        assert not chain.is_cache
+        assert cache.is_cache
+        assert cache.backing.format_name == "raw"
+        assert chain.chain_depth() == 3
+
+
+class TestCopyOnRead:
+    def test_cold_read_populates_cache(self, chain):
+        cache = chain.backing
+        assert chain.read(0, 4096) == pattern(0, 4096)
+        # The cache now holds those clusters: re-reads do not hit base.
+        base_before = cache.backing.stats.bytes_read
+        assert chain.read(0, 4096) == pattern(0, 4096)
+        assert cache.backing.stats.bytes_read == base_before
+
+    def test_cold_read_traffic_is_cluster_granular(self, chain):
+        cache = chain.backing
+        chain.read(100, 10)  # inside one 512 B cache cluster
+        assert cache.backing.stats.bytes_read == 512
+
+    def test_warm_hit_counters(self, chain):
+        cache = chain.backing
+        chain.read(0, 512)
+        assert cache.stats.cache_miss_bytes == 512
+        chain.read(0, 512)
+        assert cache.stats.cache_hit_bytes == 512
+
+    def test_cache_standalone_boots(self, tmp_path, small_base):
+        """Requirement 1 of §3: the cache is a VMI by itself — reads
+        through *just* the cache (no CoW on top) must return base data."""
+        cache_p = str(tmp_path / "c.qcow2")
+        cache = create_cache_image(small_base, cache_p, quota=MiB)
+        with cache:
+            assert cache.read(10_000, 300) == pattern(10_000, 300)
+
+    def test_persistence_of_warm_content(self, tmp_path, small_base):
+        cache_p = str(tmp_path / "c.qcow2")
+        with create_cache_image(small_base, cache_p, quota=MiB) as cache:
+            cache.read(0, 100 * KiB)
+        # Reopen; warm content must be served without base traffic.
+        with Qcow2Image.open(cache_p, read_only=False) as cache:
+            data = cache.read(0, 100 * KiB)
+            assert data == pattern(0, 100 * KiB)
+            assert cache.backing.stats.bytes_read == 0
+
+    def test_read_only_open_disables_cor(self, tmp_path, small_base):
+        cache_p = str(tmp_path / "c.qcow2")
+        create_cache_image(small_base, cache_p, quota=MiB).close()
+        with Qcow2Image.open(cache_p, read_only=True) as cache:
+            assert not cache.cor_enabled
+            assert cache.read(0, 512) == pattern(0, 512)
+            # Nothing was cached.
+            assert cache.stats.cor_bytes_written == 0
+
+
+class TestQuota:
+    def test_quota_stops_population_not_reads(self, tmp_path, small_base):
+        """§4.3 read: on space error 'we stop writing to the cache for
+        the future cold reads' — guest reads keep working."""
+        cache_p = str(tmp_path / "c.qcow2")
+        quota = 64 * KiB
+        with create_cache_image(small_base, cache_p,
+                                quota=quota) as cache:
+            data = cache.read(0, 512 * KiB)  # far more than the quota
+            assert data == pattern(0, 512 * KiB)
+            assert not cache.cache_runtime.cor.enabled
+            assert cache.cache_runtime.cor.space_errors == 1
+        assert os.path.getsize(cache_p) <= quota
+
+    def test_file_size_never_exceeds_quota(self, tmp_path, small_base):
+        for quota in [32 * KiB, 100 * KiB, 1 * MiB]:
+            cache_p = str(tmp_path / f"c{quota}.qcow2")
+            with create_cache_image(small_base, cache_p,
+                                    quota=quota) as cache:
+                cache.read(0, 2 * MiB)
+            assert os.path.getsize(cache_p) <= quota
+
+    def test_direct_write_space_error(self, tmp_path, small_base):
+        """§4.3 write: explicit writes to a full cache raise the space
+        error."""
+        cache_p = str(tmp_path / "c.qcow2")
+        with create_cache_image(small_base, cache_p,
+                                quota=48 * KiB) as cache:
+            with pytest.raises(QuotaExceededError):
+                cache.write(0, pattern(0, 256 * KiB))
+
+    def test_quota_error_reports_numbers(self, tmp_path, small_base):
+        cache_p = str(tmp_path / "c.qcow2")
+        with create_cache_image(small_base, cache_p,
+                                quota=48 * KiB) as cache:
+            with pytest.raises(QuotaExceededError) as ei:
+                cache.write(0, pattern(0, 256 * KiB))
+            assert ei.value.quota == 48 * KiB
+            assert ei.value.used > 0
+
+    def test_current_size_written_back_on_close(self, tmp_path,
+                                                small_base):
+        cache_p = str(tmp_path / "c.qcow2")
+        with create_cache_image(small_base, cache_p,
+                                quota=MiB) as cache:
+            cache.read(0, 128 * KiB)
+        header = Qcow2Image.peek_header(cache_p)
+        assert header.cache_ext.current_size == os.path.getsize(cache_p)
+
+    def test_warm_cache_size_close_to_working_set(self, tmp_path,
+                                                  small_base):
+        """Table 2 vs Table 1: the cache file is the working set plus a
+        modest metadata overhead (a few percent at 512 B clusters)."""
+        cache_p = str(tmp_path / "c.qcow2")
+        ws = 512 * KiB
+        with create_cache_image(small_base, cache_p,
+                                quota=4 * MiB) as cache:
+            cache.read(0, ws)
+        size = os.path.getsize(cache_p)
+        assert ws < size < ws * 1.10
+
+
+class TestImmutability:
+    def test_guest_writes_do_not_reach_cache(self, chain):
+        """Requirement 3 of §3: only base data enters the cache; all VM
+        writes go to the CoW image."""
+        cache = chain.backing
+        chain.write(0, b"GUEST-WRITE" * 100)
+        assert cache.stats.bytes_written == 0
+        # The cache, read standalone, still shows base content.
+        assert cache.read(0, 11) == pattern(0, 11)
+
+    def test_cache_reusable_across_vms(self, tmp_path, small_base):
+        """Two successive VMs (CoW overlays) share one warm cache."""
+        cache_p = str(tmp_path / "cache.qcow2")
+        cow1 = create_cache_chain(small_base, cache_p,
+                                  str(tmp_path / "cow1.qcow2"),
+                                  quota=2 * MiB)
+        with cow1:
+            cow1.read(0, 256 * KiB)
+            cow1.write(0, b"VM1 was here")
+        cow2 = create_cache_chain(small_base, cache_p,
+                                  str(tmp_path / "cow2.qcow2"),
+                                  quota=2 * MiB)
+        with cow2:
+            # VM2 must see pristine base data, served from the warm cache.
+            base = cow2.backing.backing
+            assert cow2.read(0, 256 * KiB) == pattern(0, 256 * KiB)
+            assert base.stats.bytes_read == 0
+
+    def test_base_opened_read_only_cache_read_write(self, chain):
+        """The §4.3 permission dance: backing base is read-only, backing
+        cache is read-write."""
+        cache = chain.backing
+        base = cache.backing
+        assert not cache.read_only
+        assert base.read_only
+        with pytest.raises(ReadOnlyImageError):
+            base.write(0, b"x")
+
+
+class TestClusterSizeEffects:
+    """Figure 9: cache cluster size drives base-image traffic."""
+
+    def _boot_traffic(self, tmp_path, base, cluster_size, tag):
+        cow = create_cache_chain(
+            base,
+            str(tmp_path / f"cache-{tag}.qcow2"),
+            str(tmp_path / f"cow-{tag}.qcow2"),
+            quota=4 * MiB,
+            cache_cluster_size=cluster_size,
+        )
+        with cow:
+            # Scattered small reads, like a boot: 200 reads of 1 KiB.
+            for i in range(200):
+                offset = (i * 7919 * 1024) % (4 * MiB - 2 * KiB)
+                cow.read(offset, KiB)
+            base_drv = cow.backing.backing
+            return base_drv.stats.bytes_read
+
+    def test_small_clusters_reduce_cold_cache_traffic(
+            self, tmp_path, small_base):
+        t512 = self._boot_traffic(tmp_path, small_base, 512, "512")
+        t64k = self._boot_traffic(tmp_path, small_base, 64 * KiB, "64k")
+        # 64 KiB cache clusters amplify traffic well beyond 512 B ones.
+        assert t64k > 3 * t512
+
+    def test_512_cluster_traffic_close_to_plain_qcow2(
+            self, tmp_path, small_base):
+        from repro.imagefmt.chain import create_cow_chain
+
+        t512 = self._boot_traffic(tmp_path, small_base, 512, "x512")
+        with create_cow_chain(small_base,
+                              str(tmp_path / "plain.qcow2")) as cow:
+            for i in range(200):
+                offset = (i * 7919 * 1024) % (4 * MiB - 2 * KiB)
+                cow.read(offset, KiB)
+            plain = cow.backing.stats.bytes_read
+        # 512 B granularity rounds each read up to sectors only.
+        assert t512 <= plain * 1.05 + 512 * 200
+
+
+class TestFindCacheLayer:
+    def test_found(self, chain):
+        layer = find_cache_layer(chain)
+        assert layer is chain.backing
+
+    def test_absent(self, tmp_path, small_base):
+        from repro.imagefmt.chain import create_cow_chain
+
+        with create_cow_chain(small_base,
+                              str(tmp_path / "c.qcow2")) as cow:
+            assert find_cache_layer(cow) is None

@@ -1,0 +1,233 @@
+"""Tests for the repro-img CLI facade."""
+
+import json
+
+import pytest
+
+from repro.imagefmt.qemu_img import main
+from repro.units import KiB, MiB
+
+from tests.conftest import pattern
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+class TestCreate:
+    def test_create_raw(self, tmp_path, capsys):
+        p = str(tmp_path / "a.raw")
+        code, out, _ = run(capsys, "create", "-f", "raw", p, "4M")
+        assert code == 0
+        import os
+
+        assert os.path.getsize(p) == 4 * MiB
+
+    def test_create_qcow2(self, tmp_path, capsys):
+        p = str(tmp_path / "a.qcow2")
+        code, out, _ = run(capsys, "create", p, "16M")
+        assert code == 0
+        assert "Formatting" in out
+
+    def test_create_cache(self, tmp_path, small_base, capsys):
+        p = str(tmp_path / "cache.qcow2")
+        code, _, _ = run(capsys, "create", "-b", small_base,
+                         "-c", "512", "--cache-quota", "1M", p)
+        assert code == 0
+        from repro.imagefmt.qcow2 import Qcow2Image
+
+        header = Qcow2Image.peek_header(p)
+        assert header.is_cache
+        assert header.cache_ext.quota == MiB
+
+    def test_create_raw_with_backing_fails(self, tmp_path, small_base,
+                                           capsys):
+        code, _, err = run(capsys, "create", "-f", "raw",
+                           "-b", small_base,
+                           str(tmp_path / "a.raw"), "1M")
+        assert code == 1
+        assert "raw" in err
+
+    def test_create_raw_without_size_fails(self, tmp_path, capsys):
+        code, _, err = run(capsys, "create", "-f", "raw",
+                           str(tmp_path / "a.raw"))
+        assert code == 1
+
+
+class TestInfo:
+    def test_info_qcow2(self, tmp_path, small_base, capsys):
+        p = str(tmp_path / "c.qcow2")
+        run(capsys, "create", "-b", small_base, p)
+        code, out, _ = run(capsys, "info", p)
+        assert code == 0
+        assert "file format: qcow2" in out
+        assert small_base in out
+
+    def test_info_cache_shows_quota(self, tmp_path, small_base, capsys):
+        p = str(tmp_path / "c.qcow2")
+        run(capsys, "create", "-b", small_base,
+            "--cache-quota", "2M", p)
+        code, out, _ = run(capsys, "info", p)
+        assert code == 0
+        assert "cache quota: 2.1 MB" in out
+
+    def test_info_json(self, tmp_path, small_base, capsys):
+        p = str(tmp_path / "c.qcow2")
+        run(capsys, "create", "-b", small_base,
+            "--cache-quota", "2M", p)
+        code, out, _ = run(capsys, "info", "--json", p)
+        info = json.loads(out)
+        assert info["is_cache"] is True
+        assert info["cache_quota"] == 2 * MiB
+
+    def test_info_raw(self, small_base, capsys):
+        code, out, _ = run(capsys, "info", small_base)
+        assert code == 0
+        assert "file format: raw" in out
+
+
+class TestCheckMapChain:
+    def test_check_clean(self, tmp_path, capsys):
+        p = str(tmp_path / "a.qcow2")
+        run(capsys, "create", p, "4M")
+        code, out, _ = run(capsys, "check", p)
+        assert code == 0
+        assert "No errors" in out
+
+    def test_map(self, tmp_path, capsys):
+        p = str(tmp_path / "a.qcow2")
+        run(capsys, "create", p, "1M")
+        from repro.imagefmt.qcow2 import Qcow2Image
+
+        with Qcow2Image.open(p, read_only=False) as img:
+            img.write(0, pattern(0, 64 * KiB))
+        code, out, _ = run(capsys, "map", p)
+        assert code == 0
+        assert "true" in out and "false" in out
+
+    def test_chain_command(self, tmp_path, small_base, capsys):
+        cache_p = str(tmp_path / "cache.qcow2")
+        cow_p = str(tmp_path / "cow.qcow2")
+        run(capsys, "create", "-b", small_base,
+            "--cache-quota", "1M", cache_p)
+        run(capsys, "create", "-b", cache_p, "-F", "qcow2", cow_p)
+        code, out, _ = run(capsys, "chain", cow_p)
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0].strip() == cow_p
+        assert lines[2].strip() == small_base
+
+    def test_missing_file_error(self, capsys):
+        with pytest.raises(FileNotFoundError):
+            run(capsys, "info", "/nonexistent/image.qcow2")
+
+
+class TestDedupCommand:
+    def test_dedup_two_caches(self, tmp_path, small_base, capsys):
+        from repro.imagefmt.chain import create_cache_chain
+        from repro.units import MiB
+
+        for tag in ("a", "b"):
+            chain = create_cache_chain(
+                small_base, str(tmp_path / f"cache-{tag}.qcow2"),
+                str(tmp_path / f"cow-{tag}.qcow2"), quota=4 * MiB)
+            with chain:
+                chain.read(0, 256 * 1024)  # identical warm content
+        code, out, _ = run(capsys, "dedup",
+                           str(tmp_path / "cache-a.qcow2"),
+                           str(tmp_path / "cache-b.qcow2"))
+        assert code == 0
+        assert "duplicate:" in out
+        assert "50.0% saved" in out
+
+    def test_dedup_single_image(self, tmp_path, small_base, capsys):
+        from repro.imagefmt.chain import create_cache_chain
+        from repro.units import MiB
+
+        chain = create_cache_chain(
+            small_base, str(tmp_path / "cache.qcow2"),
+            str(tmp_path / "cow.qcow2"), quota=4 * MiB)
+        with chain:
+            chain.read(0, 128 * 1024)
+        code, out, _ = run(capsys, "dedup", "--chunk-size", "8K",
+                           str(tmp_path / "cache.qcow2"))
+        assert code == 0
+        assert "chunk size: 8192" in out
+
+
+class TestCommitRebaseCommands:
+    def test_commit_cli(self, tmp_path, small_base, capsys):
+        from repro.imagefmt.chain import create_cow_chain
+        from repro.imagefmt.raw import RawImage
+
+        cow_p = str(tmp_path / "cow.qcow2")
+        with create_cow_chain(small_base, cow_p) as cow:
+            cow.write(0, b"VIA-CLI")
+        code, out, _ = run(capsys, "commit", cow_p)
+        assert code == 0
+        assert "Committed" in out
+        assert "stale" in out  # the cache-invalidation warning
+        with RawImage.open(small_base) as base:
+            assert base.read(0, 7) == b"VIA-CLI"
+
+    def test_rebase_unsafe_cli(self, tmp_path, small_base, capsys):
+        import shutil
+
+        from repro.imagefmt.chain import create_cow_chain
+        from repro.imagefmt.qcow2 import Qcow2Image
+
+        cow_p = str(tmp_path / "cow.qcow2")
+        create_cow_chain(small_base, cow_p).close()
+        moved = str(tmp_path / "moved.raw")
+        shutil.copy(small_base, moved)
+        code, out, _ = run(capsys, "rebase", "-u", "-b", moved, cow_p)
+        assert code == 0
+        assert Qcow2Image.peek_header(cow_p).backing_file == moved
+
+    def test_rebase_flatten_cli(self, tmp_path, small_base, capsys):
+        from repro.imagefmt.chain import create_cow_chain
+        from repro.imagefmt.qcow2 import Qcow2Image
+
+        cow_p = str(tmp_path / "cow.qcow2")
+        create_cow_chain(small_base, cow_p).close()
+        code, out, _ = run(capsys, "rebase", cow_p)
+        assert code == 0
+        assert "standalone" in out
+        assert Qcow2Image.peek_header(cow_p).backing_file is None
+
+
+class TestBootBenchCommand:
+    def test_boot_bench_on_cache_chain(self, tmp_path, small_base,
+                                       capsys):
+        from repro.bootmodel.generator import generate_boot_trace
+        from repro.bootmodel.profiles import tiny_profile
+        from repro.imagefmt.chain import create_cache_chain
+        from repro.units import MiB
+
+        profile = tiny_profile(vmi_size=4 * MiB, working_set=512 * 1024,
+                               boot_time=1.0)
+        trace = generate_boot_trace(profile, seed=1)
+        trace_p = str(tmp_path / "trace.json")
+        trace.save(trace_p)
+        create_cache_chain(small_base, str(tmp_path / "cache.qcow2"),
+                           str(tmp_path / "cow.qcow2"),
+                           quota=2 * MiB).close()
+        code, out, _ = run(capsys, "boot-bench", "--trace", trace_p,
+                           str(tmp_path / "cow.qcow2"))
+        assert code == 0
+        assert "base fetched:" in out
+        assert "cache size:" in out
+
+    def test_boot_bench_missing_trace(self, tmp_path, small_base,
+                                      capsys):
+        from repro.imagefmt.chain import create_cow_chain
+
+        create_cow_chain(small_base,
+                         str(tmp_path / "cow.qcow2")).close()
+        with pytest.raises(FileNotFoundError):
+            run(capsys, "boot-bench", "--trace",
+                str(tmp_path / "none.json"),
+                str(tmp_path / "cow.qcow2"))

@@ -1,0 +1,243 @@
+"""Tests for the raw driver and the block-driver base behaviour."""
+
+import pytest
+
+from repro.errors import (
+    ImageClosedError,
+    OutOfBoundsError,
+    ReadOnlyImageError,
+)
+from repro.imagefmt.driver import RangeSet, open_image, probe_format
+from repro.imagefmt.raw import RawImage
+from repro.units import MiB
+
+from tests.conftest import pattern
+
+
+class TestRawBasics:
+    def test_create_and_size(self, tmp_path):
+        with RawImage.create(str(tmp_path / "a.raw"), 4 * MiB) as img:
+            assert img.size == 4 * MiB
+            assert not img.read_only
+
+    def test_sparse_reads_zero(self, tmp_path):
+        with RawImage.create(str(tmp_path / "a.raw"), MiB) as img:
+            assert img.read(0, 4096) == b"\0" * 4096
+            assert img.read(MiB - 10, 10) == b"\0" * 10
+
+    def test_write_read_roundtrip(self, tmp_path):
+        with RawImage.create(str(tmp_path / "a.raw"), MiB) as img:
+            data = pattern(1000, 5000)
+            img.write(1000, data)
+            assert img.read(1000, 5000) == data
+            # Unwritten neighbours stay zero.
+            assert img.read(0, 1000) == b"\0" * 1000
+
+    def test_reopen_read_only(self, tmp_path):
+        p = str(tmp_path / "a.raw")
+        with RawImage.create(p, MiB) as img:
+            img.write(0, b"abc")
+        with RawImage.open(p) as img:
+            assert img.read_only
+            assert img.read(0, 3) == b"abc"
+            with pytest.raises(ReadOnlyImageError):
+                img.write(0, b"x")
+
+    def test_zero_length_ops(self, tmp_path):
+        with RawImage.create(str(tmp_path / "a.raw"), MiB) as img:
+            assert img.read(0, 0) == b""
+            img.write(0, b"")  # no-op, no error
+            assert img.stats.read_ops == 0
+            assert img.stats.write_ops == 0
+
+
+class TestBoundsAndState:
+    def test_read_past_end(self, tmp_path):
+        with RawImage.create(str(tmp_path / "a.raw"), 1000) as img:
+            with pytest.raises(OutOfBoundsError):
+                img.read(990, 20)
+
+    def test_write_past_end(self, tmp_path):
+        with RawImage.create(str(tmp_path / "a.raw"), 1000) as img:
+            with pytest.raises(OutOfBoundsError):
+                img.write(999, b"ab")
+
+    def test_negative_offset(self, tmp_path):
+        with RawImage.create(str(tmp_path / "a.raw"), 1000) as img:
+            with pytest.raises(OutOfBoundsError):
+                img.read(-1, 10)
+
+    def test_use_after_close(self, tmp_path):
+        img = RawImage.create(str(tmp_path / "a.raw"), 1000)
+        img.close()
+        with pytest.raises(ImageClosedError):
+            img.read(0, 1)
+        with pytest.raises(ImageClosedError):
+            img.write(0, b"x")
+        with pytest.raises(ImageClosedError):
+            img.flush()
+
+    def test_double_close_is_idempotent(self, tmp_path):
+        img = RawImage.create(str(tmp_path / "a.raw"), 1000)
+        img.close()
+        img.close()
+
+
+class TestStats:
+    def test_counters(self, tmp_path):
+        with RawImage.create(str(tmp_path / "a.raw"), MiB) as img:
+            img.write(0, b"x" * 100)
+            img.read(0, 50)
+            img.read(50, 50)
+            assert img.stats.write_ops == 1
+            assert img.stats.bytes_written == 100
+            assert img.stats.read_ops == 2
+            assert img.stats.bytes_read == 100
+
+    def test_range_tracking(self, tmp_path):
+        with RawImage.create(str(tmp_path / "a.raw"), MiB) as img:
+            img.enable_range_tracking()
+            img.read(0, 100)
+            img.read(50, 100)  # overlaps
+            img.read(1000, 10)
+            assert img.stats.touched.total() == 150 + 10
+
+    def test_range_tracking_off_by_default(self, tmp_path):
+        with RawImage.create(str(tmp_path / "a.raw"), MiB) as img:
+            img.read(0, 100)
+            assert img.stats.touched.total() == 0
+
+
+class TestProbeAndOpen:
+    def test_probe_raw(self, tmp_path, small_base):
+        assert probe_format(small_base) == "raw"
+
+    def test_open_image_raw(self, small_base):
+        with open_image(small_base) as img:
+            assert img.format_name == "raw"
+            assert img.read(0, 16) == pattern(0, 16)
+
+    def test_backing_of_raw_is_none(self, small_base):
+        with open_image(small_base) as img:
+            assert img.backing is None
+            assert img.chain_depth() == 1
+
+
+class TestRangeSet:
+    def test_empty(self):
+        rs = RangeSet()
+        assert rs.total() == 0
+        assert len(rs) == 0
+        assert not rs.contains(0)
+
+    def test_disjoint(self):
+        rs = RangeSet()
+        rs.add(10, 5)
+        rs.add(100, 5)
+        assert rs.total() == 10
+        assert rs.intervals() == [(10, 15), (100, 105)]
+
+    def test_merge_overlap(self):
+        rs = RangeSet()
+        rs.add(10, 10)
+        rs.add(15, 10)
+        assert rs.intervals() == [(10, 25)]
+
+    def test_merge_adjacent(self):
+        rs = RangeSet()
+        rs.add(10, 10)
+        rs.add(20, 10)
+        assert rs.intervals() == [(10, 30)]
+
+    def test_merge_bridging(self):
+        rs = RangeSet()
+        rs.add(0, 10)
+        rs.add(20, 10)
+        rs.add(5, 20)  # bridges both
+        assert rs.intervals() == [(0, 30)]
+
+    def test_subsumed(self):
+        rs = RangeSet()
+        rs.add(0, 100)
+        rs.add(10, 5)
+        assert rs.intervals() == [(0, 100)]
+
+    def test_zero_length_ignored(self):
+        rs = RangeSet()
+        rs.add(10, 0)
+        assert rs.total() == 0
+
+    def test_contains(self):
+        rs = RangeSet()
+        rs.add(10, 10)
+        assert rs.contains(10)
+        assert rs.contains(19)
+        assert not rs.contains(20)
+        assert not rs.contains(9)
+
+    def test_many_unordered_adds(self):
+        rs = RangeSet()
+        import random
+
+        rng = random.Random(42)
+        spans = [(rng.randrange(0, 10000), rng.randrange(1, 50))
+                 for _ in range(500)]
+        covered = set()
+        for start, ln in spans:
+            rs.add(start, ln)
+            covered.update(range(start, start + ln))
+        assert rs.total() == len(covered)
+        ivs = rs.intervals()
+        for (s1, e1), (s2, e2) in zip(ivs, ivs[1:]):
+            assert e1 < s2  # sorted and disjoint (not even adjacent)
+
+
+class TestRangeSetGaps:
+    def test_gaps_of_empty_set(self):
+        rs = RangeSet()
+        assert rs.gaps(10, 20) == [(10, 20)]
+
+    def test_no_gaps_when_covered(self):
+        rs = RangeSet()
+        rs.add(0, 100)
+        assert rs.gaps(10, 20) == []
+
+    def test_partial_overlap(self):
+        rs = RangeSet()
+        rs.add(20, 10)   # [20, 30)
+        assert rs.gaps(10, 30) == [(10, 10), (30, 10)]
+
+    def test_multiple_islands(self):
+        rs = RangeSet()
+        rs.add(10, 5)
+        rs.add(25, 5)
+        assert rs.gaps(0, 40) == [(0, 10), (15, 10), (30, 10)]
+
+    def test_zero_length(self):
+        rs = RangeSet()
+        assert rs.gaps(5, 0) == []
+
+    def test_covered_in(self):
+        rs = RangeSet()
+        rs.add(10, 10)
+        assert rs.covered_in(0, 40) == 10
+        assert rs.covered_in(15, 100) == 5
+        assert rs.covered_in(30, 5) == 0
+
+    def test_add_returns_new_bytes(self):
+        rs = RangeSet()
+        assert rs.add(0, 10) == 10
+        assert rs.add(5, 10) == 5
+        assert rs.add(0, 15) == 0
+        assert rs.add(100, 1) == 1
+
+    def test_gaps_and_add_agree(self):
+        import random
+
+        rng = random.Random(7)
+        rs = RangeSet()
+        for _ in range(300):
+            s = rng.randrange(0, 5000)
+            ln = rng.randrange(1, 100)
+            expected_new = sum(l for _, l in rs.gaps(s, ln))
+            assert rs.add(s, ln) == expected_new

@@ -1,0 +1,154 @@
+"""Tests for the L1/L2 address arithmetic (paper Section 4.1)."""
+
+import pytest
+
+from repro.imagefmt.tables import (
+    AddressSplit,
+    cluster_size_to_bits,
+    iter_cluster_chunks,
+    l2_tables_needed,
+)
+from repro.units import GiB, KiB, MiB
+
+
+class TestAddressSplitPaperExample:
+    """The worked example from Section 4.1 (64 KiB clusters)."""
+
+    def setup_method(self):
+        self.split = AddressSplit(cluster_bits=16)
+
+    def test_cluster_size(self):
+        assert self.split.cluster_size == 64 * KiB
+
+    def test_l2_bits_is_cluster_bits_minus_address_size(self):
+        # m = cluster_bits - 3 (8-byte entries)
+        assert self.split.l2_bits == 13
+
+    def test_l1_bits_is_the_remainder(self):
+        # n = 64 - (d + m)
+        assert self.split.l1_bits == 64 - 16 - 13
+
+    def test_l2_entries(self):
+        assert self.split.l2_entries == 8192
+
+    def test_bytes_per_l2(self):
+        assert self.split.bytes_covered_per_l2() == 8192 * 64 * KiB
+
+
+class TestAddressSplit512:
+    """The paper's cache cluster size: 512 bytes (Section 5.1)."""
+
+    def setup_method(self):
+        self.split = AddressSplit(cluster_bits=9)
+
+    def test_l2_entries(self):
+        assert self.split.l2_entries == 64
+
+    def test_l2_metadata_for_200mb_cache(self):
+        # §5.1: "For a cache quota of 200 MB, only 3.1 MB is necessary
+        # for L2-tables."  Check our geometry reproduces that figure.
+        quota = 200_000_000
+        clusters = quota // 512
+        l2_tables = -(-clusters // self.split.l2_entries)
+        l2_bytes = l2_tables * 512
+        assert 2_900_000 < l2_bytes < 3_300_000
+
+    def test_roundtrip_indexing(self):
+        for vba in [0, 511, 512, 12345678, 2**40 + 7]:
+            l1 = self.split.l1_index(vba)
+            l2 = self.split.l2_index(vba)
+            off = self.split.in_cluster(vba)
+            reconstructed = (
+                ((l1 << self.split.l2_bits) + l2) << self.split.cluster_bits
+            ) + off
+            assert reconstructed == vba
+
+
+class TestAddressSplitValidation:
+    def test_rejects_too_small(self):
+        with pytest.raises(ValueError):
+            AddressSplit(cluster_bits=8)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            AddressSplit(cluster_bits=22)
+
+    def test_required_l1_entries(self):
+        split = AddressSplit(cluster_bits=16)
+        assert split.required_l1_entries(0) == 0
+        assert split.required_l1_entries(1) == 1
+        per_l2 = split.bytes_covered_per_l2()
+        assert split.required_l1_entries(per_l2) == 1
+        assert split.required_l1_entries(per_l2 + 1) == 2
+        assert split.required_l1_entries(10 * GiB) == \
+            -(-10 * GiB // per_l2)
+
+    def test_required_l1_entries_negative(self):
+        with pytest.raises(ValueError):
+            AddressSplit(cluster_bits=16).required_l1_entries(-1)
+
+
+class TestClusterSizeToBits:
+    def test_valid_sizes(self):
+        assert cluster_size_to_bits(512) == 9
+        assert cluster_size_to_bits(64 * KiB) == 16
+        assert cluster_size_to_bits(2 * MiB) == 21
+
+    def test_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            cluster_size_to_bits(1000)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            cluster_size_to_bits(256)
+        with pytest.raises(ValueError):
+            cluster_size_to_bits(4 * MiB)
+
+
+class TestIterClusterChunks:
+    def test_single_cluster_aligned(self):
+        chunks = list(iter_cluster_chunks(0, 512, 512))
+        assert chunks == [(0, 0, 512)]
+
+    def test_crosses_boundary(self):
+        chunks = list(iter_cluster_chunks(500, 24, 512))
+        assert chunks == [(0, 500, 12), (1, 0, 12)]
+
+    def test_spans_many(self):
+        chunks = list(iter_cluster_chunks(100, 2000, 512))
+        total = sum(c for _, _, c in chunks)
+        assert total == 2000
+        assert chunks[0] == (0, 100, 412)
+        assert chunks[-1][0] == (100 + 2000 - 1) // 512
+
+    def test_zero_length(self):
+        assert list(iter_cluster_chunks(100, 0, 512)) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_cluster_chunks(-1, 10, 512))
+        with pytest.raises(ValueError):
+            list(iter_cluster_chunks(0, -10, 512))
+
+    def test_chunks_are_contiguous(self):
+        pos = 777
+        for idx, inc, ln in iter_cluster_chunks(777, 99999, 4096):
+            assert idx * 4096 + inc == pos
+            pos += ln
+        assert pos == 777 + 99999
+
+
+class TestL2TablesNeeded:
+    def test_within_one_table(self):
+        split = AddressSplit(cluster_bits=16)
+        assert list(l2_tables_needed(split, 0, 1000)) == [0]
+
+    def test_spanning(self):
+        split = AddressSplit(cluster_bits=9)
+        per = split.bytes_covered_per_l2()  # 64 * 512 = 32 KiB
+        r = l2_tables_needed(split, per - 10, 20)
+        assert list(r) == [0, 1]
+
+    def test_empty(self):
+        split = AddressSplit(cluster_bits=16)
+        assert len(l2_tables_needed(split, 0, 0)) == 0

@@ -1,0 +1,111 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro.units import (
+    GiB,
+    KiB,
+    MB,
+    MiB,
+    SECTOR_SIZE,
+    align_down,
+    align_up,
+    div_round_up,
+    format_size,
+    format_time,
+    is_power_of_two,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_integer_string(self):
+        assert parse_size("512") == 512
+
+    def test_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_binary_suffixes(self):
+        assert parse_size("64K") == 64 * KiB
+        assert parse_size("16M") == 16 * MiB
+        assert parse_size("2G") == 2 * GiB
+
+    def test_explicit_iec(self):
+        assert parse_size("64KiB") == 64 * KiB
+        assert parse_size("1MiB") == MiB
+
+    def test_decimal_mode(self):
+        assert parse_size("85.2M", decimal=True) == 85_200_000
+        assert parse_size("200M", decimal=True) == 200 * MB
+
+    def test_decimal_mode_iec_stays_binary(self):
+        assert parse_size("1MiB", decimal=True) == MiB
+
+    def test_lowercase(self):
+        assert parse_size("64k") == 64 * KiB
+
+    def test_trailing_b(self):
+        assert parse_size("512B") == 512
+        assert parse_size("64KB") == 64 * KiB  # qemu convention: binary
+
+    def test_fractional_binary_rejected_when_not_whole(self):
+        with pytest.raises(ValueError):
+            parse_size("0.3")
+
+    def test_garbage_rejected(self):
+        for bad in ["", "abc", "12Q", "--5", "1.2.3M"]:
+            with pytest.raises(ValueError):
+                parse_size(bad)
+
+    def test_fractional_k_whole(self):
+        assert parse_size("1.5K") == 1536
+
+
+class TestFormatters:
+    def test_format_size_decimal(self):
+        assert format_size(85_200_000) == "85.2 MB"
+        assert format_size(512) == "512 B"
+        assert format_size(0) == "0 B"
+
+    def test_format_size_binary(self):
+        assert format_size(64 * KiB, decimal=False) == "64.0 KiB"
+
+    def test_format_size_negative(self):
+        assert format_size(-1000) == "-1.0 KB"
+
+    def test_format_time_ranges(self):
+        assert format_time(5e-7) == "0.5 us"
+        assert format_time(0.0083) == "8.3 ms"
+        assert format_time(35.2) == "35.2 s"
+        assert format_time(895) == "14:55.0 min"
+
+    def test_format_time_negative(self):
+        assert format_time(-2.0) == "-2.0 s"
+
+
+class TestAlignment:
+    def test_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(512)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+
+    def test_align_down(self):
+        assert align_down(1000, 512) == 512
+        assert align_down(512, 512) == 512
+        assert align_down(0, 512) == 0
+
+    def test_align_up(self):
+        assert align_up(1000, 512) == 1024
+        assert align_up(512, 512) == 512
+        assert align_up(0, 512) == 0
+
+    def test_div_round_up(self):
+        assert div_round_up(0, 512) == 0
+        assert div_round_up(1, 512) == 1
+        assert div_round_up(512, 512) == 1
+        assert div_round_up(513, 512) == 2
+
+    def test_sector_size(self):
+        assert SECTOR_SIZE == 512

@@ -1,0 +1,69 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.metrics.ascii_plot import plot_log, plot_series
+from repro.metrics.collectors import ExperimentLog, Series
+
+
+def fig2_like():
+    gbe = Series("QCOW2 - 1GbE")
+    ib = Series("QCOW2 - 32GbIB")
+    for x, (y1, y2) in zip([1, 4, 8, 16, 32, 64],
+                           [(45, 43), (46, 42), (47, 43),
+                            (53, 41), (65, 42), (87, 43)]):
+        gbe.add(x, y1)
+        ib.add(x, y2)
+    return [gbe, ib]
+
+
+class TestPlotSeries:
+    def test_contains_markers_and_legend(self):
+        out = plot_series(fig2_like(), x_label="# nodes")
+        assert "x" in out and "o" in out
+        assert "legend: x QCOW2 - 1GbE   o QCOW2 - 32GbIB" in out
+        assert "(# nodes)" in out
+
+    def test_axis_labels_show_extremes(self):
+        out = plot_series(fig2_like())
+        assert "87.0" in out   # y max
+        assert "0.0" in out    # y min (clamped at zero)
+        assert "64" in out     # last x tick
+
+    def test_rising_series_rises(self):
+        """The 1GbE marker must appear higher (earlier row) at x=64
+        than at x=1."""
+        out = plot_series([fig2_like()[0]])
+        rows = out.splitlines()
+        first_col = min(i for i, row in enumerate(rows) if "x" in row)
+        # The top of the plot belongs to the big values at the right.
+        top_row = rows[first_col]
+        assert top_row.rstrip().endswith("x")
+
+    def test_dimensions(self):
+        out = plot_series(fig2_like(), width=40, height=10)
+        plot_rows = [ln for ln in out.splitlines() if "|" in ln]
+        assert len(plot_rows) == 10
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            plot_series(fig2_like(), width=5)
+
+    def test_single_point(self):
+        s = Series("dot")
+        s.add(1, 10)
+        out = plot_series([s])
+        assert "x" in out
+
+    def test_empty(self):
+        assert plot_series([Series("void")]) == "(no data)"
+
+
+class TestPlotLog:
+    def test_from_experiment_log(self):
+        log = ExperimentLog("fig02", "Boot time")
+        for s in fig2_like():
+            log.series.append(s)
+        out = plot_log(log, x_label="# nodes")
+        assert "legend:" in out
+        assert "[s]" in out

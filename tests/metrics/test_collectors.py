@@ -1,0 +1,92 @@
+"""Tests for Series and ExperimentLog."""
+
+import pytest
+
+from repro.metrics.collectors import ExperimentLog, Series
+
+
+class TestSeries:
+    def test_add_and_access(self):
+        s = Series("boot")
+        s.add(1, 35.0)
+        s.add(64, 140.0)
+        assert s.xs() == [1, 64]
+        assert s.ys() == [35.0, 140.0]
+        assert s.y_at(64) == 140.0
+
+    def test_y_at_missing(self):
+        s = Series("boot")
+        s.add(1, 35.0)
+        with pytest.raises(KeyError):
+            s.y_at(2)
+
+    def test_monotonic(self):
+        s = Series("m")
+        for i, y in enumerate([1.0, 2.0, 3.0]):
+            s.add(i, y)
+        assert s.is_monotonic_increasing()
+        s.add(3, 2.9)
+        assert not s.is_monotonic_increasing()
+        assert s.is_monotonic_increasing(tolerance=0.05)
+
+    def test_flat(self):
+        s = Series("f")
+        for i, y in enumerate([10.0, 10.5, 9.8]):
+            s.add(i, y)
+        assert s.is_flat(tolerance=0.1)
+        s.add(3, 15.0)
+        assert not s.is_flat(tolerance=0.1)
+
+    def test_growth_factor(self):
+        s = Series("g")
+        s.add(1, 35.0)
+        s.add(64, 140.0)
+        assert s.growth_factor() == pytest.approx(4.0)
+
+    def test_growth_factor_empty_or_zero(self):
+        assert Series("e").growth_factor() == float("inf")
+        s = Series("z")
+        s.add(0, 0.0)
+        s.add(1, 5.0)
+        assert s.growth_factor() == float("inf")
+
+    def test_empty_is_flat_and_monotonic(self):
+        s = Series("e")
+        assert s.is_flat()
+        assert s.is_monotonic_increasing()
+
+
+class TestExperimentLog:
+    def make(self):
+        log = ExperimentLog("figX", "a test figure")
+        s = log.new_series("curve-a")
+        s.add(1, 10)
+        s.add(2, 20)
+        log.new_series("curve-b", unit="MB").add(1, 5)
+        log.record_scalar("anchor", 42.5)
+        log.note("hello")
+        return log
+
+    def test_get(self):
+        log = self.make()
+        assert log.get("curve-a").y_at(2) == 20
+        with pytest.raises(KeyError):
+            log.get("nope")
+
+    def test_roundtrip_via_file(self, tmp_path):
+        log = self.make()
+        path = log.save(str(tmp_path))
+        out = ExperimentLog.load(path)
+        assert out.experiment_id == "figX"
+        assert out.get("curve-a").points == [(1.0, 10.0), (2.0, 20.0)]
+        assert out.get("curve-b").unit == "MB"
+        assert out.scalars == {"anchor": 42.5}
+        assert out.notes == ["hello"]
+
+    def test_save_creates_directory(self, tmp_path):
+        log = self.make()
+        target = str(tmp_path / "deep" / "dir")
+        path = log.save(target)
+        import os
+
+        assert os.path.exists(path)

@@ -1,0 +1,91 @@
+"""Tests for paper-style formatting and shape checks."""
+
+import pytest
+
+from repro.metrics.collectors import ExperimentLog, Series
+from repro.metrics.reporting import (
+    crossover_x,
+    format_comparison,
+    format_series_table,
+    relative_error,
+    shape_check,
+)
+
+
+class TestFormatSeriesTable:
+    def test_basic_layout(self):
+        log = ExperimentLog("fig02", "Booting time")
+        a = log.new_series("QCOW2 - 1GbE")
+        a.add(1, 35.0)
+        a.add(64, 140.0)
+        b = log.new_series("QCOW2 - 32GbIB")
+        b.add(1, 35.0)
+        out = format_series_table(log, "# nodes")
+        assert "fig02" in out
+        assert "QCOW2 - 1GbE" in out
+        assert "140.0" in out
+        lines = out.splitlines()
+        # one row per x value (1 and 64) below the header + rule
+        assert len([ln for ln in lines if ln.lstrip().startswith(
+            ("1 ", "64 "))]) == 2
+
+    def test_missing_points_blank(self):
+        log = ExperimentLog("f", "t")
+        a = log.new_series("a")
+        a.add(1, 1.0)
+        b = log.new_series("b")
+        b.add(2, 2.0)
+        out = format_series_table(log)
+        assert out.count("1.0") == 1
+        assert out.count("2.0") == 1
+
+    def test_scalars_and_notes_rendered(self):
+        log = ExperimentLog("f", "t")
+        log.record_scalar("x_paper", 93.0)
+        log.note("metadata overhead included")
+        out = format_series_table(log)
+        assert "x_paper: 93.00" in out
+        assert "note: metadata overhead included" in out
+
+
+class TestComparisonHelpers:
+    def test_format_comparison(self):
+        line = format_comparison("centos", 93.0, 89.2, " MB")
+        assert "paper=93 MB" in line
+        assert "measured=89.2 MB" in line
+        assert "x0.96" in line
+
+    def test_relative_error(self):
+        assert relative_error(100, 85) == pytest.approx(0.15)
+        assert relative_error(0, 5) == float("inf")
+
+    def test_shape_check_pass_and_fail(self):
+        shape_check(True, "fine")
+        with pytest.raises(AssertionError, match="paper claim"):
+            shape_check(False, "paper claim")
+
+
+class TestCrossover:
+    def test_found(self):
+        a = Series("disk")
+        b = Series("net")
+        for x, (ya, yb) in zip([1, 8, 16, 64],
+                               [(10, 50), (40, 55), (80, 60), (300, 70)]):
+            a.add(x, ya)
+            b.add(x, yb)
+        assert crossover_x(a, b) == 16
+
+    def test_none_when_never_crosses(self):
+        a = Series("a")
+        b = Series("b")
+        for x in (1, 2):
+            a.add(x, 1)
+            b.add(x, 2)
+        assert crossover_x(a, b) is None
+
+    def test_disjoint_axes(self):
+        a = Series("a")
+        a.add(1, 10)
+        b = Series("b")
+        b.add(2, 1)
+        assert crossover_x(a, b) is None

@@ -1,0 +1,101 @@
+"""Unit tests for the wire protocol (socket-pair based)."""
+
+import socket
+
+import pytest
+
+from repro.remote import protocol as wire
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestHandshake:
+    def test_roundtrip(self, pair):
+        c, s = pair
+        wire.send_handshake_request(c, "images/centos")
+        assert wire.recv_handshake_request(s) == "images/centos"
+        wire.send_handshake_response(s, size=123456)
+        assert wire.recv_handshake_response(c) == 123456
+
+    def test_refusal(self, pair):
+        c, s = pair
+        wire.send_handshake_response(s, error=True)
+        with pytest.raises(wire.ProtocolError):
+            wire.recv_handshake_response(c)
+
+    def test_unicode_export_name(self, pair):
+        c, s = pair
+        wire.send_handshake_request(c, "imágé")
+        assert wire.recv_handshake_request(s) == "imágé"
+
+    def test_bad_magic(self, pair):
+        c, s = pair
+        s.sendall(b"\x00" * 14)
+        with pytest.raises(wire.ProtocolError, match="magic"):
+            wire.recv_handshake_response(c)
+
+    def test_name_too_long(self, pair):
+        c, _ = pair
+        with pytest.raises(ValueError):
+            wire.send_handshake_request(c, "x" * 70000)
+
+
+class TestRequests:
+    def test_read_roundtrip(self, pair):
+        c, s = pair
+        wire.send_request(c, wire.Request(wire.REQ_READ, 4096, 512))
+        req = wire.recv_request(s)
+        assert req == wire.Request(wire.REQ_READ, 4096, 512, b"")
+
+    def test_write_carries_payload(self, pair):
+        c, s = pair
+        wire.send_request(c, wire.Request(wire.REQ_WRITE, 0, 5,
+                                          b"hello"))
+        req = wire.recv_request(s)
+        assert req.payload == b"hello"
+
+    def test_oversized_rejected_on_send(self, pair):
+        c, _ = pair
+        with pytest.raises(ValueError):
+            wire.send_request(c, wire.Request(
+                wire.REQ_READ, 0, wire.MAX_PAYLOAD + 1))
+
+    def test_oversized_rejected_on_recv(self, pair):
+        c, s = pair
+        import struct
+
+        s.sendall(struct.pack(">IBQI", wire.MAGIC, wire.REQ_READ, 0,
+                              wire.MAX_PAYLOAD + 1))
+        with pytest.raises(wire.ProtocolError, match="oversized"):
+            wire.recv_request(c)
+
+    def test_eof_mid_message(self, pair):
+        c, s = pair
+        s.sendall(b"\x52")
+        s.close()
+        with pytest.raises(wire.ProtocolError, match="closed"):
+            wire.recv_request(c)
+
+
+class TestResponses:
+    def test_payload_roundtrip(self, pair):
+        c, s = pair
+        wire.send_response(s, payload=b"data-bytes")
+        assert wire.recv_response(c) == b"data-bytes"
+
+    def test_empty_payload(self, pair):
+        c, s = pair
+        wire.send_response(s)
+        assert wire.recv_response(c) == b""
+
+    def test_error_raises_with_message(self, pair):
+        c, s = pair
+        wire.send_response(s, error="disk on fire")
+        with pytest.raises(wire.ProtocolError, match="disk on fire"):
+            wire.recv_response(c)

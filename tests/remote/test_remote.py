@@ -1,0 +1,160 @@
+"""Tests for the NBD-style block server and client."""
+
+import threading
+
+import pytest
+
+from repro.errors import ReadOnlyImageError
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.imagefmt.raw import RawImage
+from repro.remote import BlockServer, RemoteImage, parse_url
+from repro.remote.protocol import ProtocolError
+from repro.units import KiB, MiB
+
+from tests.conftest import pattern
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+@pytest.fixture
+def served_base(tmp_path, small_base):
+    base = RawImage.open(small_base)
+    with BlockServer() as server:
+        server.add_export("base", base)
+        yield server, base
+    base.close()
+
+
+class TestUrlParsing:
+    def test_roundtrip(self):
+        host, port, export = parse_url("nbd://10.0.0.1:9000/images/a")
+        assert (host, port, export) == ("10.0.0.1", 9000, "images/a")
+
+    def test_rejects_garbage(self):
+        from repro.errors import InvalidImageError
+
+        for bad in ("http://x/y", "nbd://hostonly/", "nbd://h:x/e"):
+            with pytest.raises(InvalidImageError):
+                parse_url(bad)
+
+
+class TestClientServer:
+    def test_size_from_handshake(self, served_base):
+        server, base = served_base
+        with RemoteImage.connect(server.url("base")) as img:
+            assert img.size == base.size
+
+    def test_reads_match_local(self, served_base):
+        server, _ = served_base
+        with RemoteImage.connect(server.url("base")) as img:
+            assert img.read(0, 1000) == pattern(0, 1000)
+            assert img.read(MiB + 7, 4097) == pattern(MiB + 7, 4097)
+
+    def test_large_read_chunked(self, served_base):
+        server, _ = served_base
+        with RemoteImage.connect(server.url("base")) as img:
+            big = img.read(0, 4 * MiB)  # spans no chunk boundary here,
+            assert big == pattern(0, 4 * MiB)
+
+    def test_unknown_export_refused(self, served_base):
+        server, _ = served_base
+        with pytest.raises(ProtocolError):
+            RemoteImage.connect(server.url("nope"))
+
+    def test_read_only_export_rejects_writes(self, served_base):
+        server, _ = served_base
+        with RemoteImage.connect(server.url("base"),
+                                 read_only=False) as img:
+            with pytest.raises(ProtocolError, match="read-only"):
+                img.write(0, b"x")
+            # The connection survives the error.
+            assert img.read(0, 8) == pattern(0, 8)
+
+    def test_writable_export(self, tmp_path):
+        p = str(tmp_path / "rw.raw")
+        backing = RawImage.create(p, MiB)
+        with BlockServer() as server:
+            server.add_export("rw", backing, writable=True)
+            with RemoteImage.connect(server.url("rw"),
+                                     read_only=False) as img:
+                img.write(100, b"remote write")
+                assert img.read(100, 12) == b"remote write"
+                img.flush()
+        backing.close()
+        with RawImage.open(p) as check:
+            assert check.read(100, 12) == b"remote write"
+
+    def test_concurrent_clients(self, served_base):
+        server, _ = served_base
+        errors = []
+
+        def reader(tag):
+            try:
+                with RemoteImage.connect(server.url("base")) as img:
+                    for i in range(20):
+                        off = (tag * 13 + i) * 4096
+                        assert img.read(off, 4096) == pattern(off, 4096)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader, args=(t,))
+                   for t in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert server.export_stats("base").connections == 6
+
+    def test_duplicate_export_rejected(self, served_base):
+        server, base = served_base
+        with pytest.raises(ValueError):
+            server.add_export("base", base)
+
+
+class TestRemoteBackingChain:
+    def test_cache_chain_over_the_wire(self, tmp_path, small_base):
+        """The paper's full setup with a real network in the middle:
+        remote base <- local cache <- local CoW."""
+        base = RawImage.open(small_base)
+        with BlockServer() as server:
+            server.add_export("centos", base)
+            url = server.url("centos")
+            cache_p = str(tmp_path / "cache.qcow2")
+            cow_p = str(tmp_path / "cow.qcow2")
+            cache = Qcow2Image.create(
+                cache_p, backing_file=url, cluster_size=512,
+                cache_quota=2 * MiB)
+            cache.close()
+            cow = Qcow2Image.create(cow_p, backing_file=cache_p,
+                                    backing_format="qcow2")
+            with cow:
+                # Cold boot over the socket.
+                assert cow.read(0, 256 * KiB) == pattern(0, 256 * KiB)
+            cold_bytes = server.export_stats("centos").bytes_read
+            assert cold_bytes >= 256 * KiB
+
+            # Warm boot: a new CoW on the warm cache — no server reads.
+            cow2 = Qcow2Image.create(str(tmp_path / "cow2.qcow2"),
+                                     backing_file=cache_p,
+                                     backing_format="qcow2")
+            with cow2:
+                assert cow2.read(0, 256 * KiB) == pattern(0, 256 * KiB)
+            assert server.export_stats("centos").bytes_read == \
+                cold_bytes
+        base.close()
+
+    def test_remote_url_survives_in_header(self, tmp_path, small_base):
+        base = RawImage.open(small_base)
+        with BlockServer() as server:
+            server.add_export("b", base)
+            url = server.url("b")
+            p = str(tmp_path / "c.qcow2")
+            Qcow2Image.create(p, backing_file=url).close()
+            header = Qcow2Image.peek_header(p)
+            assert header.backing_file == url
+            # Reopening reconnects through the URL.
+            with Qcow2Image.open(p, read_only=False) as img:
+                assert img.backing.format_name == "remote"
+                assert img.read(0, 64) == pattern(0, 64)
+        base.close()

@@ -1,0 +1,233 @@
+"""Tests for SimImage: the in-memory image model must reproduce the
+file-backed driver's allocation, CoR, and quota behaviour."""
+
+import pytest
+
+from repro.errors import OutOfBoundsError
+from repro.sim.blockio import (
+    IORequest,
+    Location,
+    SimImage,
+    initial_metadata_bytes,
+    sim_cache_chain,
+)
+from repro.units import KiB, MiB
+
+NFS = Location("nfs", "storage", "base.raw")
+CDISK = Location("compute-disk", "node00", "cache.qcow2")
+CMEM = Location("compute-mem", "node00", "cow.qcow2")
+
+SIZE = 16 * MiB
+
+
+def make_chain(quota=4 * MiB, cache_cluster_bits=9):
+    base = SimImage("base", SIZE, NFS, preallocated=True)
+    cow, cache = sim_cache_chain(
+        base, cache_location=CDISK, cow_location=CMEM, quota=quota,
+        cache_cluster_bits=cache_cluster_bits)
+    return cow, cache, base
+
+
+def total_bytes(plan, *, kind=None, location_kind=None):
+    out = 0
+    for req in plan:
+        if kind and req.kind != kind:
+            continue
+        if location_kind and req.location.kind != location_kind:
+            continue
+        out += req.nbytes
+    return out
+
+
+class TestPreallocatedBase:
+    def test_reads_hit_own_location(self):
+        base = SimImage("base", SIZE, NFS, preallocated=True)
+        plan = []
+        base.read(100, 1000, plan)
+        assert plan == [IORequest(NFS, "read", 1000,
+                                  stream="base.raw", offset=100)]
+
+    def test_bounds(self):
+        base = SimImage("base", SIZE, NFS, preallocated=True)
+        with pytest.raises(OutOfBoundsError):
+            base.read(SIZE - 10, 20, [])
+
+    def test_zero_length_no_plan(self):
+        base = SimImage("base", SIZE, NFS, preallocated=True)
+        plan = []
+        base.read(0, 0, plan)
+        assert plan == []
+
+
+class TestCopyOnRead:
+    def test_cold_read_fetches_and_populates(self):
+        cow, cache, base = make_chain()
+        plan = []
+        cow.read(0, 4 * KiB, plan)
+        # NFS fetch of the covering clusters + population write to the
+        # cache's local disk, plus one metadata update (L2/header).
+        assert total_bytes(plan, location_kind="nfs") == 4 * KiB
+        assert total_bytes(plan, kind="write",
+                           location_kind="compute-disk") == \
+            4 * KiB + cache.cluster_size
+        meta_writes = [r for r in plan if r.stream.endswith(".meta")]
+        assert len(meta_writes) == 1
+        assert cache.stats.cor_bytes_written == 4 * KiB
+
+    def test_warm_read_stays_local(self):
+        cow, cache, base = make_chain()
+        cow.read(0, 4 * KiB, [])
+        plan = []
+        cow.read(0, 4 * KiB, plan)
+        assert total_bytes(plan, location_kind="nfs") == 0
+        assert total_bytes(plan, kind="read",
+                           location_kind="compute-disk") == 4 * KiB
+        assert cache.stats.cache_hit_bytes == 4 * KiB
+
+    def test_cluster_alignment_amplifies_64k(self):
+        """Figure 9: a small read on a 64 KiB-cluster cache pulls the
+        whole cluster from the base."""
+        cow, cache, base = make_chain(cache_cluster_bits=16)
+        plan = []
+        cow.read(100 * KiB, 512, plan)
+        assert total_bytes(plan, location_kind="nfs") == 64 * KiB
+
+    def test_512_cluster_minimal_amplification(self):
+        cow, cache, base = make_chain(cache_cluster_bits=9)
+        plan = []
+        cow.read(100 * KiB + 7, 100, plan)
+        assert total_bytes(plan, location_kind="nfs") == 512
+
+    def test_partial_overlap_fetches_only_gaps(self):
+        cow, cache, base = make_chain()
+        cow.read(0, 8 * KiB, [])
+        plan = []
+        cow.read(4 * KiB, 8 * KiB, plan)   # first half warm
+        assert total_bytes(plan, location_kind="nfs") == 4 * KiB
+
+    def test_phys_cursor_makes_hits_sequential(self):
+        cow, cache, base = make_chain()
+        cow.read(0, 8 * KiB, [])
+        cow.read(1 * MiB, 8 * KiB, [])
+        plan = []
+        cow.read(0, 8 * KiB, plan)
+        cow.read(1 * MiB, 8 * KiB, plan)
+        disk_reads = [r for r in plan if r.kind == "read"
+                      and r.location.kind == "compute-disk"]
+        # Hits advance monotonically: replay order == population order
+        # means physically sequential reads.
+        assert disk_reads[0].offset < disk_reads[1].offset
+
+
+class TestQuota:
+    def test_quota_stops_population(self):
+        quota = 256 * KiB
+        cow, cache, base = make_chain(quota=quota)
+        plan = []
+        cow.read(0, 2 * MiB, plan)
+        assert not cache.cor_enabled
+        assert cache.cache_runtime.cor.space_errors == 1
+        assert cache.physical_bytes <= quota
+        # The guest still got its data (reads pass through to NFS).
+        assert total_bytes(plan, location_kind="nfs") >= 2 * MiB
+
+    def test_subsequent_reads_skip_cache(self):
+        cow, cache, base = make_chain(quota=64 * KiB)
+        cow.read(0, MiB, [])
+        before = cache.physical_bytes
+        plan = []
+        cow.read(2 * MiB, 64 * KiB, plan)
+        assert cache.physical_bytes == before
+        assert total_bytes(plan, kind="write") == 0
+
+    def test_metadata_counted_against_quota(self):
+        cow, cache, base = make_chain(quota=4 * MiB)
+        meta0 = cache.physical_bytes
+        assert meta0 == initial_metadata_bytes(SIZE, 9, 4 * MiB)
+        cow.read(0, MiB, [])
+        # data + L2 tables on top of the initial metadata
+        assert cache.physical_bytes > meta0 + MiB
+
+
+class TestGuestWrites:
+    def test_writes_stay_in_cow(self):
+        cow, cache, base = make_chain()
+        plan = []
+        cow.write(0, 64 * KiB, plan)   # exactly one CoW cluster
+        assert cache.stats.bytes_written == 0
+        assert total_bytes(plan, kind="write",
+                           location_kind="compute-mem") == 64 * KiB
+        assert total_bytes(plan, location_kind="nfs") == 0  # no fill
+
+    def test_partial_write_fills_from_backing(self):
+        cow, cache, base = make_chain()
+        plan = []
+        cow.write(10 * KiB, 512, plan)
+        # One 64 KiB CoW cluster is filled through cache -> base.
+        assert total_bytes(plan, location_kind="nfs") >= 512
+        assert cow.physical_bytes > initial_metadata_bytes(SIZE, 16)
+
+    def test_overwrite_no_new_allocation(self):
+        cow, cache, base = make_chain()
+        cow.write(0, 64 * KiB, [])
+        phys = cow.physical_bytes
+        cow.write(0, 4 * KiB, [])
+        assert cow.physical_bytes == phys
+
+    def test_write_then_read_is_local(self):
+        cow, cache, base = make_chain()
+        cow.write(0, 64 * KiB, [])
+        plan = []
+        cow.read(0, 64 * KiB, plan)
+        assert total_bytes(plan, location_kind="nfs") == 0
+
+
+class TestChainConstruction:
+    def test_chain_shape(self):
+        cow, cache, base = make_chain()
+        assert cow.chain_depth() == 3
+        assert cache.is_cache
+        assert not cow.is_cache
+        assert cache.cluster_size == 512
+        assert cow.cluster_size == 64 * KiB
+
+    def test_existing_cache_reused(self):
+        cow1, cache, base = make_chain()
+        cow1.read(0, MiB, [])
+        cow2, cache2 = sim_cache_chain(
+            base, cache_location=CDISK, cow_location=CMEM,
+            quota=4 * MiB, existing_cache=cache, vm_name="vm2")
+        assert cache2 is cache
+        plan = []
+        cow2.read(0, MiB, plan)
+        assert total_bytes(plan, location_kind="nfs") == 0
+
+    def test_cache_requires_backing(self):
+        with pytest.raises(ValueError):
+            SimImage("c", SIZE, CDISK, cache_quota=MiB)
+
+
+class TestMetadataAgreesWithRealFormat:
+    """The sim's metadata math must equal the real driver's on-disk
+    footprint — same code path, same numbers."""
+
+    @pytest.mark.parametrize("cluster_bits,quota", [
+        (9, 1 * MiB), (9, 0), (12, 0), (16, 0), (16, 8 * MiB)])
+    def test_initial_size_matches_real_create(self, tmp_path,
+                                              cluster_bits, quota):
+        import os
+
+        from repro.imagefmt.qcow2 import Qcow2Image
+        from repro.imagefmt.raw import RawImage
+
+        base_p = str(tmp_path / "b.raw")
+        RawImage.create(base_p, SIZE).close()
+        p = str(tmp_path / f"img{cluster_bits}-{quota}.qcow2")
+        img = Qcow2Image.create(
+            p, SIZE if not quota else None,
+            backing_file=base_p if quota else None,
+            cluster_size=1 << cluster_bits,
+            cache_quota=quota)
+        img.close()
+        assert os.path.getsize(p) == \
+            initial_metadata_bytes(SIZE, cluster_bits, quota)

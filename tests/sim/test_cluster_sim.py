@@ -1,0 +1,234 @@
+"""Integration tests: the simulated testbed must reproduce the paper's
+qualitative results at small scale (fast profiles, few nodes)."""
+
+import pytest
+
+from repro.bootmodel.generator import generate_boot_trace
+from repro.bootmodel.profiles import tiny_profile
+from repro.errors import SimulationError
+from repro.sim.blockio import IORequest, Location, SimImage, sim_cache_chain
+from repro.sim.cluster_sim import BootJob, Testbed, boot_vms
+from repro.units import MiB
+
+
+PROFILE = tiny_profile(vmi_size=64 * MiB, working_set=4 * MiB,
+                       boot_time=3.0)
+TRACE = generate_boot_trace(PROFILE, seed=5)
+
+
+def plain_job(tb, i, base):
+    node = tb.computes[i]
+    cow = SimImage(f"vm{i}.cow", base.size,
+                   tb.compute_mem_location(node, f"vm{i}.cow"),
+                   backing=base)
+    return BootJob(f"vm{i:02d}", node, cow, TRACE)
+
+
+def warm_cache_with_trace(cache, trace):
+    """Populate a cache exactly as a sample boot would (§3.2)."""
+    for op in trace.reads():
+        length = min(op.length, cache.size - min(op.offset, cache.size))
+        if length > 0:
+            cache.read(op.offset, length, [])
+
+
+def cached_job(tb, i, base, quota=16 * MiB, warm_cache=None,
+               cache_kind="compute-disk"):
+    node = tb.computes[i]
+    if cache_kind == "compute-disk":
+        cache_loc = tb.compute_disk_location(node, f"vm{i}.cache")
+    elif cache_kind == "compute-mem":
+        cache_loc = tb.compute_mem_location(node, f"vm{i}.cache")
+    else:
+        cache_loc = tb.storage_mem_location(f"{base.name}.cache")
+    cow, cache = sim_cache_chain(
+        base,
+        cache_location=cache_loc,
+        cow_location=tb.compute_mem_location(node, f"vm{i}.cow"),
+        quota=quota, vm_name=f"vm{i}", existing_cache=warm_cache)
+    return BootJob(f"vm{i:02d}", node, cow, TRACE), cache
+
+
+class TestSingleBoot:
+    def test_boot_time_anatomy(self):
+        tb = Testbed(n_compute=1, network="1gbe")
+        base = tb.make_base("base.raw", PROFILE.vmi_size)
+        res = boot_vms(tb, [plain_job(tb, 0, base)])
+        boot = res.records[0].boot_time
+        # At least VMM overhead + think time; bounded by a sane ceiling.
+        assert boot > tb.vmm_overhead + PROFILE.cpu_time * 0.8
+        assert boot < PROFILE.single_boot_time * 3
+
+    def test_traffic_accounted(self):
+        tb = Testbed(n_compute=1, network="1gbe")
+        base = tb.make_base("base.raw", PROFILE.vmi_size)
+        res = boot_vms(tb, [plain_job(tb, 0, base)])
+        assert res.storage_nfs_bytes >= TRACE.unique_read_bytes()
+        assert res.network_bytes_down == res.storage_nfs_bytes
+
+    def test_determinism(self):
+        def once():
+            tb = Testbed(n_compute=2, network="1gbe")
+            base = tb.make_base("base.raw", PROFILE.vmi_size)
+            return boot_vms(tb, [plain_job(tb, i, base)
+                                 for i in range(2)])
+
+        a, b = once(), once()
+        assert [r.boot_time for r in a.records] == \
+            [r.boot_time for r in b.records]
+
+
+class TestPaperShapes:
+    def test_fig2_1gbe_saturates_ib_does_not(self):
+        """Figure 2: boot time grows with node count on 1 GbE, stays
+        flat on InfiniBand."""
+        means = {}
+        for net in ("1gbe", "ib"):
+            for n in (1, 16):
+                tb = Testbed(n_compute=n, network=net)
+                base = tb.make_base("base.raw", PROFILE.vmi_size)
+                res = boot_vms(tb, [plain_job(tb, i, base)
+                                    for i in range(n)])
+                means[(net, n)] = res.mean_boot_time
+        # For the tiny profile the effect is milder than CentOS but the
+        # ordering must hold.
+        assert means[("1gbe", 16)] > means[("1gbe", 1)] * 1.05
+        assert means[("ib", 16)] < means[("ib", 1)] * 1.15
+
+    def test_fig3_many_vmis_hit_the_disk(self):
+        """Figure 3: with one VMI the page cache absorbs re-reads; with
+        k VMIs the storage disk does k times the work and boots slow
+        down."""
+        means = {}
+        for k in (1, 8):
+            tb = Testbed(n_compute=8, network="ib")
+            bases = [tb.make_base(f"b{j}.raw", PROFILE.vmi_size)
+                     for j in range(k)]
+            res = boot_vms(tb, [plain_job(tb, i, bases[i % k])
+                                for i in range(8)])
+            means[k] = (res.mean_boot_time, res.storage_disk_bytes)
+        assert means[8][1] == pytest.approx(8 * means[1][1], rel=0.05)
+        assert means[8][0] > means[1][0]
+
+    def test_fig11_warm_cache_beats_cold_network(self):
+        """Figure 11: warm compute-disk caches make 16 simultaneous
+        boots on 1 GbE as fast as a single boot."""
+        n = 16
+        # Cold pass on node-local caches.
+        tb = Testbed(n_compute=n, network="1gbe")
+        base = tb.make_base("base.raw", PROFILE.vmi_size)
+        jobs = []
+        for i in range(n):
+            job, _cache = cached_job(tb, i, base,
+                                     cache_kind="compute-mem")
+            jobs.append(job)
+        cold = boot_vms(tb, jobs)
+
+        # Warm pass: fresh testbed, caches pre-populated.
+        tb2 = Testbed(n_compute=n, network="1gbe")
+        base2 = tb2.make_base("base.raw", PROFILE.vmi_size)
+        jobs2 = []
+        for i in range(n):
+            job, cache = cached_job(tb2, i, base2,
+                                    cache_kind="compute-disk")
+            warm_cache_with_trace(cache, TRACE)
+            jobs2.append(job)
+        # Drop the warming traffic from the books.
+        tb2.nfs.stats.bytes_served = 0
+        warm = boot_vms(tb2, jobs2)
+
+        # Single-VM reference.
+        tb3 = Testbed(n_compute=1, network="1gbe")
+        base3 = tb3.make_base("base.raw", PROFILE.vmi_size)
+        single = boot_vms(tb3, [plain_job(tb3, 0, base3)])
+
+        # Warm boots only touch the base for guest-write CoW fills
+        # (a few partial clusters) — a rounding error next to cold.
+        assert warm.storage_nfs_bytes < 0.05 * cold.storage_nfs_bytes
+        assert warm.mean_boot_time < cold.mean_boot_time
+        assert warm.mean_boot_time < single.mean_boot_time * 1.35
+
+    def test_storage_mem_cache_skips_disk(self):
+        """Figure 14: a warm cache in the storage node's memory removes
+        the disk from the path entirely."""
+        n = 4
+        tb = Testbed(n_compute=n, network="ib")
+        base = tb.make_base("base.raw", PROFILE.vmi_size)
+        shared_cache = None
+        jobs = []
+        for i in range(n):
+            job, cache = cached_job(tb, i, base, warm_cache=shared_cache,
+                                    cache_kind="storage-mem")
+            shared_cache = cache
+            jobs.append(job)
+        warm_cache_with_trace(shared_cache, TRACE)
+        res = boot_vms(tb, jobs)
+        # Boot reads come from tmpfs; the only disk touches are the
+        # guest-write CoW fills outside the cached working set.
+        assert res.storage_disk_bytes < res.storage_mem_read_bytes
+        assert res.storage_mem_read_bytes > 0
+
+
+class TestExecuteDispatch:
+    def test_guest_write_to_nfs_rejected(self):
+        tb = Testbed(n_compute=1)
+        req = IORequest(tb.nfs_location("f"), "write", 512, "f", 0)
+
+        def proc():
+            yield from tb.execute(req, tb.computes[0])
+
+        p = tb.env.process(proc())
+        with pytest.raises(SimulationError):
+            tb.env.run(until=p)
+
+    def test_cross_node_io_rejected(self):
+        tb = Testbed(n_compute=2)
+        req = IORequest(
+            Location("compute-disk", "node01", "f"), "read", 512, "f", 0)
+
+        def proc():
+            yield from tb.execute(req, tb.computes[0])
+
+        p = tb.env.process(proc())
+        with pytest.raises(SimulationError):
+            tb.env.run(until=p)
+
+    def test_unknown_network(self):
+        with pytest.raises(ValueError):
+            Testbed(n_compute=1, network="carrier-pigeon")
+
+
+class TestDeploymentTransfers:
+    def test_flush_cache_to_local_disk(self):
+        tb = Testbed(n_compute=1)
+        base = tb.make_base("base.raw", PROFILE.vmi_size)
+        job, cache = cached_job(tb, 0, base, cache_kind="compute-mem")
+        boot_vms(tb, [job])
+        assert cache.location.kind == "compute-mem"
+
+        def flush():
+            yield from tb.flush_cache_to_local_disk(tb.computes[0], cache)
+
+        p = tb.env.process(flush())
+        tb.env.run(until=p)
+        assert cache.location.kind == "compute-disk"
+        assert tb.computes[0].disk.stats.bytes_written == \
+            cache.physical_bytes
+        # §5.1: "the transfer to the disk takes less than one second".
+        assert cache.physical_bytes / \
+            tb.computes[0].disk.profile.bandwidth < 1.0
+
+    def test_copy_cache_to_storage_memory(self):
+        tb = Testbed(n_compute=1)
+        base = tb.make_base("base.raw", PROFILE.vmi_size)
+        job, cache = cached_job(tb, 0, base, cache_kind="compute-mem")
+        boot_vms(tb, [job])
+
+        def copy():
+            yield from tb.copy_cache_to_storage_memory(cache)
+
+        p = tb.env.process(copy())
+        tb.env.run(until=p)
+        assert cache.location.kind == "storage-mem"
+        assert tb.up.stats.bytes_moved == cache.physical_bytes
+        assert tb.storage.memory.used_bytes == cache.physical_bytes

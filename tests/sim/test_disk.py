@@ -1,0 +1,157 @@
+"""Tests for the rotational-disk and memory-store models."""
+
+import pytest
+
+from repro.sim.calibration import (
+    COMPUTE_DISK,
+    NODE_MEMORY,
+    STORAGE_RAID0,
+    DiskProfile,
+)
+from repro.sim.disk import MemoryStore, RotationalDisk
+from repro.sim.engine import Environment
+
+FAST = DiskProfile(name="t", seek_time=0.010, sequential_gap=0.001,
+                   bandwidth=1_000_000.0, spindles=1, readahead=65536)
+
+
+def run_reads(profile, reads):
+    """reads: list of (stream, offset, nbytes); one process, in order."""
+    env = Environment()
+    disk = RotationalDisk(env, profile)
+    times = []
+
+    def proc():
+        for stream, offset, nbytes in reads:
+            t0 = env.now
+            yield from disk.read(nbytes, stream=stream, offset=offset)
+            times.append(env.now - t0)
+
+    env.process(proc())
+    env.run()
+    return times, disk
+
+
+class TestServiceTimes:
+    def test_first_access_seeks(self):
+        times, disk = run_reads(FAST, [("a", 0, 100_000)])
+        assert times[0] == pytest.approx(0.010 + 0.1)
+        assert disk.stats.seeks == 1
+
+    def test_sequential_continuation_is_cheap(self):
+        times, disk = run_reads(FAST, [
+            ("a", 0, 100_000),
+            ("a", 100_000, 100_000),   # continues the stream
+        ])
+        assert times[1] == pytest.approx(0.001 + 0.1)
+        assert disk.stats.sequential_hits == 1
+
+    def test_gap_within_readahead_still_sequential(self):
+        times, _ = run_reads(FAST, [
+            ("a", 0, 1000),
+            ("a", 1000 + 30_000, 1000),  # 30 kB gap < 64 kB window
+        ])
+        assert times[1] == pytest.approx(0.001 + 0.001)
+
+    def test_other_stream_forces_seek(self):
+        times, disk = run_reads(FAST, [
+            ("a", 0, 1000),
+            ("b", 1000, 1000),    # different stream, same offsets
+        ])
+        assert times[1] == pytest.approx(0.010 + 0.001)
+        assert disk.stats.seeks == 2
+
+    def test_backward_jump_seeks(self):
+        times, _ = run_reads(FAST, [
+            ("a", 100_000, 1000),
+            ("a", 0, 1000),
+        ])
+        assert times[1] == pytest.approx(0.010 + 0.001)
+
+    def test_interleaving_destroys_locality(self):
+        """Two interleaved sequential streams: every access seeks —
+        the §3.3 many-VMI pathologie."""
+        reads = []
+        for i in range(5):
+            reads.append(("a", i * 1000, 1000))
+            reads.append(("b", i * 1000, 1000))
+        _, disk = run_reads(FAST, reads)
+        assert disk.stats.seeks == 10
+        assert disk.stats.sequential_hits == 0
+
+
+class TestQueueing:
+    def test_spindles_parallelize(self):
+        env = Environment()
+        two = RotationalDisk(env, DiskProfile(
+            name="r0", seek_time=0.010, sequential_gap=0.001,
+            bandwidth=1e6, spindles=2, readahead=0))
+        done = []
+
+        def client(i):
+            yield from two.read(10_000, stream=f"s{i}", offset=0)
+            done.append(env.now)
+
+        for i in range(4):
+            env.process(client(i))
+        env.run()
+        # Pairs of requests run concurrently: 2 waves of 20 ms each.
+        assert done[0] == pytest.approx(0.020)
+        assert done[1] == pytest.approx(0.020)
+        assert done[3] == pytest.approx(0.040)
+
+    def test_queue_grows_under_load(self):
+        env = Environment()
+        disk = RotationalDisk(env, FAST)
+
+        def client(i):
+            yield from disk.read(1000, stream=f"s{i}", offset=0)
+
+        for i in range(10):
+            env.process(client(i))
+        env.run()
+        assert disk.queue.stats.max_queue_len == 9
+        assert disk.stats.read_ops == 10
+
+
+class TestCalibrationProfiles:
+    def test_paper_hardware_shapes(self):
+        # RAID-0 of two spindles (§5).
+        assert STORAGE_RAID0.spindles == 2
+        assert COMPUTE_DISK.spindles == 1
+        # Random access costs milliseconds; streaming costs far less.
+        for p in (STORAGE_RAID0, COMPUTE_DISK):
+            assert p.seek_time > 10 * p.sequential_gap
+
+    def test_storage_random_iops_anchor(self):
+        """~200 IOPS/spindle era disks: seek time in [4, 10] ms."""
+        assert 0.004 <= STORAGE_RAID0.seek_time <= 0.010
+
+
+class TestMemoryStore:
+    def test_fast_reads(self):
+        env = Environment()
+        mem = MemoryStore(env, NODE_MEMORY)
+        done = []
+
+        def proc():
+            yield from mem.read(1_000_000)
+            done.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert done[0] < 0.001  # ~160 µs for 1 MB at 6 GiB/s
+
+    def test_capacity_accounting(self):
+        env = Environment()
+        mem = MemoryStore(env, NODE_MEMORY)
+
+        def proc():
+            yield from mem.write(1_000_000)
+
+        env.process(proc())
+        env.run()
+        assert mem.used_bytes == 1_000_000
+        mem.free(400_000)
+        assert mem.used_bytes == 600_000
+        assert mem.available == NODE_MEMORY.capacity - 600_000

@@ -1,0 +1,277 @@
+"""Tests for the discrete-event core."""
+
+import pytest
+
+from repro.errors import SimDeadlockError, SimInterrupt
+from repro.sim.engine import Environment
+
+
+class TestTimeouts:
+    def test_clock_advances(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(1.5)
+            log.append(env.now)
+            yield env.timeout(2.0)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [1.5, 3.5]
+
+    def test_timeout_value(self):
+        env = Environment()
+        got = []
+
+        def proc():
+            v = yield env.timeout(1, value="hello")
+            got.append(v)
+
+        env.process(proc())
+        env.run()
+        assert got == ["hello"]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_zero_delay_ordering_is_fifo(self):
+        env = Environment()
+        order = []
+
+        def proc(tag):
+            yield env.timeout(0)
+            order.append(tag)
+
+        for i in range(5):
+            env.process(proc(i))
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_run_until_time(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            for _ in range(10):
+                yield env.timeout(1)
+                log.append(env.now)
+
+        env.process(proc())
+        env.run(until=3.5)
+        assert log == [1, 2, 3]
+        assert env.now == 3.5
+
+
+class TestProcesses:
+    def test_process_return_value(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(2)
+            return 42
+
+        def parent(results):
+            v = yield env.process(child())
+            results.append(v)
+
+        results = []
+        env.process(parent(results))
+        env.run()
+        assert results == [42]
+
+    def test_run_until_process(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(5)
+            return "done"
+
+        p = env.process(proc())
+        assert env.run(until=p) == "done"
+        assert env.now == 5
+
+    def test_exception_propagates_to_waiter(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(1)
+            raise ValueError("boom")
+
+        def parent(log):
+            try:
+                yield env.process(child())
+            except ValueError as exc:
+                log.append(str(exc))
+
+        log = []
+        env.process(parent(log))
+        env.run()
+        assert log == ["boom"]
+
+    def test_unhandled_failure_raises_at_run(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1)
+            raise RuntimeError("unhandled")
+
+        p = env.process(proc())
+        with pytest.raises(RuntimeError, match="unhandled"):
+            env.run(until=p)
+
+    def test_yield_non_event_is_error(self):
+        env = Environment()
+
+        def proc():
+            yield 5
+
+        p = env.process(proc())
+        with pytest.raises(TypeError):
+            env.run(until=p)
+
+    def test_waiting_on_processed_event(self):
+        env = Environment()
+        ev = env.event()
+        log = []
+
+        def early():
+            yield env.timeout(1)
+            ev.succeed("v")
+
+        def late():
+            yield env.timeout(10)
+            got = yield ev  # long since processed
+            log.append((env.now, got))
+
+        env.process(early())
+        env.process(late())
+        env.run()
+        assert log == [(10, "v")]
+
+    def test_many_waiters_one_event(self):
+        env = Environment()
+        ev = env.event()
+        log = []
+
+        def waiter(tag):
+            v = yield ev
+            log.append((tag, v))
+
+        for i in range(4):
+            env.process(waiter(i))
+
+        def firer():
+            yield env.timeout(3)
+            ev.succeed("x")
+
+        env.process(firer())
+        env.run()
+        assert log == [(i, "x") for i in range(4)]
+
+
+class TestEvents:
+    def test_double_succeed_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed(1)
+        with pytest.raises(RuntimeError):
+            ev.succeed(2)
+
+    def test_value_before_trigger(self):
+        env = Environment()
+        with pytest.raises(RuntimeError):
+            env.event().value
+
+    def test_deadlock_detected(self):
+        env = Environment()
+
+        def proc():
+            yield env.event()  # never fires
+
+        p = env.process(proc())
+        with pytest.raises(SimDeadlockError):
+            env.run(until=p)
+
+
+class TestAllOf:
+    def test_barrier(self):
+        env = Environment()
+
+        def child(d, v):
+            yield env.timeout(d)
+            return v
+
+        def parent(log):
+            vals = yield env.all_of(
+                [env.process(child(3, "a")), env.process(child(1, "b"))])
+            log.append((env.now, vals))
+
+        log = []
+        env.process(parent(log))
+        env.run()
+        assert log == [(3, ["a", "b"])]
+
+    def test_empty_barrier(self):
+        env = Environment()
+
+        def parent(log):
+            yield env.all_of([])
+            log.append(env.now)
+
+        log = []
+        env.process(parent(log))
+        env.run()
+        assert log == [0]
+
+    def test_barrier_failure(self):
+        env = Environment()
+
+        def bad():
+            yield env.timeout(1)
+            raise KeyError("nope")
+
+        def parent(log):
+            try:
+                yield env.all_of([env.process(bad())])
+            except KeyError:
+                log.append("failed")
+
+        log = []
+        env.process(parent(log))
+        env.run()
+        assert log == ["failed"]
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_process(self):
+        env = Environment()
+        log = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100)
+            except SimInterrupt as si:
+                log.append((env.now, si.cause))
+
+        def killer(p):
+            yield env.timeout(2)
+            p.interrupt("stop")
+
+        p = env.process(sleeper())
+        env.process(killer(p))
+        env.run()
+        assert log == [(2, "stop")]
+
+    def test_interrupt_finished_process_is_noop(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(1)
+
+        p = env.process(quick())
+        env.run()
+        p.interrupt()  # no error

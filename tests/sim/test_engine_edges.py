@@ -1,0 +1,140 @@
+"""Edge cases of the event engine and resources not covered elsewhere."""
+
+import pytest
+
+from repro.errors import SimDeadlockError
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+
+
+class TestNestedProcesses:
+    def test_three_levels(self):
+        env = Environment()
+
+        def leaf():
+            yield env.timeout(1)
+            return "leaf"
+
+        def middle():
+            v = yield env.process(leaf())
+            yield env.timeout(1)
+            return v + "+middle"
+
+        def root(out):
+            v = yield env.process(middle())
+            out.append((env.now, v))
+
+        out = []
+        env.process(root(out))
+        env.run()
+        assert out == [(2.0, "leaf+middle")]
+
+    def test_process_waiting_on_itself_impossible(self):
+        """A process cannot observe its own completion event before it
+        completes — but another process can hold its handle."""
+        env = Environment()
+
+        def quick():
+            yield env.timeout(1)
+            return 5
+
+        p = env.process(quick())
+
+        def watcher(out):
+            out.append((yield p))
+            out.append((yield p))  # already processed: proxy path
+
+        out = []
+        env.process(watcher(out))
+        env.run()
+        assert out == [5, 5]
+
+    def test_generator_exhausted_before_first_yield(self):
+        env = Environment()
+
+        def empty():
+            return 42
+            yield  # pragma: no cover
+
+        p = env.process(empty())
+        assert env.run(until=p) == 42
+        assert env.now == 0.0
+
+
+class TestRunSemantics:
+    def test_run_until_zero(self):
+        env = Environment()
+        fired = []
+
+        def proc():
+            yield env.timeout(0)
+            fired.append(env.now)
+            yield env.timeout(1)
+            fired.append(env.now)
+
+        env.process(proc())
+        env.run(until=0)
+        assert fired == [0.0]
+        env.run()
+        assert fired == [0.0, 1.0]
+
+    def test_run_empty_environment(self):
+        env = Environment()
+        env.run()          # no-op
+        env.run(until=5)   # clock jumps to the deadline
+        assert env.now == 5
+
+    def test_deadlock_message_names_the_problem(self):
+        env = Environment()
+
+        def stuck():
+            yield env.event()
+
+        p = env.process(stuck())
+        with pytest.raises(SimDeadlockError, match="drained"):
+            env.run(until=p)
+
+
+class TestResourceEdge:
+    def test_release_from_finally_on_failure(self):
+        """hold() releases even when the holder's body raises."""
+        env = Environment()
+        res = Resource(env, capacity=1)
+        sequence = []
+
+        def bad():
+            req = res.request()
+            yield req
+            try:
+                yield env.timeout(1)
+                raise RuntimeError("boom")
+            finally:
+                res.release(req)
+
+        def good():
+            yield env.timeout(0.5)
+            yield from res.hold(1)
+            sequence.append(env.now)
+
+        p = env.process(bad())
+        env.process(good())
+        with pytest.raises(RuntimeError):
+            env.run(until=p)
+        env.run()
+        assert sequence == [2.0]
+        assert res.users == 0
+
+    def test_many_waiters_drain_in_order(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        done = []
+
+        def worker(i):
+            yield from res.hold(1.0)
+            done.append(i)
+
+        for i in range(7):
+            env.process(worker(i))
+        env.run()
+        assert done == list(range(7))
+        assert env.now == pytest.approx(4.0)  # ceil(7/2) waves

@@ -1,0 +1,129 @@
+"""Tests for the fair-share link model."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.network import DuplexLink, FairShareLink
+
+
+def run_transfers(bandwidth, latency, jobs):
+    """jobs: list of (start_time, nbytes); returns completion times."""
+    env = Environment()
+    link = FairShareLink(env, bandwidth, latency)
+    done = {}
+
+    def client(tag, start, nbytes):
+        yield env.timeout(start)
+        yield from link.transfer(nbytes)
+        done[tag] = env.now
+
+    for i, (start, nbytes) in enumerate(jobs):
+        env.process(client(i, start, nbytes))
+    env.run()
+    return done, link
+
+
+class TestSingleFlow:
+    def test_full_bandwidth(self):
+        done, _ = run_transfers(100.0, 0.0, [(0.0, 1000)])
+        assert done[0] == pytest.approx(10.0)
+
+    def test_latency_added_once(self):
+        done, _ = run_transfers(100.0, 0.5, [(0.0, 1000)])
+        assert done[0] == pytest.approx(10.5)
+
+    def test_zero_bytes_costs_latency_only(self):
+        done, _ = run_transfers(100.0, 0.25, [(0.0, 0)])
+        assert done[0] == pytest.approx(0.25)
+
+    def test_negative_rejected(self):
+        env = Environment()
+        link = FairShareLink(env, 100.0, 0.0)
+
+        def proc():
+            yield from link.transfer(-1)
+
+        p = env.process(proc())
+        with pytest.raises(ValueError):
+            env.run(until=p)
+
+
+class TestFairSharing:
+    def test_two_equal_flows_halve_bandwidth(self):
+        done, _ = run_transfers(100.0, 0.0,
+                                [(0.0, 1000), (0.0, 1000)])
+        assert done[0] == pytest.approx(20.0)
+        assert done[1] == pytest.approx(20.0)
+
+    def test_n_flows_scale_linearly(self):
+        for n in (4, 8):
+            done, _ = run_transfers(
+                100.0, 0.0, [(0.0, 1000)] * n)
+            for i in range(n):
+                assert done[i] == pytest.approx(10.0 * n)
+
+    def test_short_flow_finishes_first_long_flow_speeds_up(self):
+        # A 1000-byte and a 200-byte flow at bandwidth 100:
+        # both run at 50 until the short one finishes at t=4 (200/50);
+        # the long one then has 800 left at full rate → t = 4 + 8 = 12.
+        done, _ = run_transfers(100.0, 0.0, [(0.0, 1000), (0.0, 200)])
+        assert done[1] == pytest.approx(4.0)
+        assert done[0] == pytest.approx(12.0)
+
+    def test_staggered_arrival(self):
+        # Flow A (1000 B) alone from t=0..5 moves 500.  Flow B (250 B)
+        # arrives at t=5: both at rate 50.  B done at t=10; A has 250
+        # left, full rate → t = 10 + 2.5.
+        done, _ = run_transfers(100.0, 0.0, [(0.0, 1000), (5.0, 250)])
+        assert done[1] == pytest.approx(10.0)
+        assert done[0] == pytest.approx(12.5)
+
+    def test_conservation(self):
+        """Total bytes / bandwidth = makespan when always busy."""
+        jobs = [(0.0, 500), (0.0, 1500), (0.0, 1000)]
+        done, link = run_transfers(100.0, 0.0, jobs)
+        assert max(done.values()) == pytest.approx(3000 / 100.0)
+        assert link.stats.bytes_moved == 3000
+        assert link.stats.peak_flows == 3
+
+
+class TestStatsAndState:
+    def test_idle_link_full_rate(self):
+        env = Environment()
+        link = FairShareLink(env, 200.0, 0.0)
+        assert link.current_rate() == 200.0
+        assert link.active_flows == 0
+
+    def test_busy_time(self):
+        done, link = run_transfers(100.0, 0.0, [(0.0, 1000)])
+        assert link.stats.busy_time == pytest.approx(10.0)
+
+    def test_invalid_parameters(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            FairShareLink(env, 0, 0.0)
+        with pytest.raises(ValueError):
+            FairShareLink(env, 100, -1)
+
+
+class TestDuplex:
+    def test_directions_independent(self):
+        env = Environment()
+        duplex = DuplexLink(env, 100.0, 0.1, "nic")
+        done = {}
+
+        def up():
+            yield from duplex.up.transfer(1000)
+            done["up"] = env.now
+
+        def down():
+            yield from duplex.down.transfer(1000)
+            done["down"] = env.now
+
+        env.process(up())
+        env.process(down())
+        env.run()
+        # No contention between directions.
+        assert done["up"] == pytest.approx(10.1)
+        assert done["down"] == pytest.approx(10.1)
+        assert duplex.rtt() == pytest.approx(0.2)

@@ -1,0 +1,186 @@
+"""Tests for the storage node (page cache, fetch merging) and NFS."""
+
+import pytest
+
+from repro.sim.calibration import GBE_1, NFS_RWSIZE
+from repro.sim.engine import Environment
+from repro.sim.network import FairShareLink
+from repro.sim.nfs import NFSService
+from repro.sim.node import ComputeNode, PageCache, StorageNode
+from repro.units import KiB, MiB
+
+
+class TestPageCache:
+    def test_miss_then_hit(self):
+        pc = PageCache(capacity=MiB)
+        cached, gaps = pc.lookup("f", 0, 1000)
+        assert cached == 0 and gaps == [(0, 1000)]
+        pc.insert("f", 0, 1000)
+        cached, gaps = pc.lookup("f", 0, 1000)
+        assert cached == 1000 and gaps == []
+
+    def test_partial(self):
+        pc = PageCache(capacity=MiB)
+        pc.insert("f", 0, 500)
+        cached, gaps = pc.lookup("f", 0, 1000)
+        assert cached == 500 and gaps == [(500, 500)]
+
+    def test_files_are_independent(self):
+        pc = PageCache(capacity=MiB)
+        pc.insert("a", 0, 1000)
+        cached, _ = pc.lookup("b", 0, 1000)
+        assert cached == 0
+
+    def test_lru_eviction_by_file(self):
+        pc = PageCache(capacity=1000)
+        pc.insert("a", 0, 600)
+        pc.insert("b", 0, 600)   # overflows: evicts a
+        assert pc.cached_bytes("a") == 0
+        assert pc.cached_bytes("b") == 600
+        assert pc.stats.evicted_files == 1
+
+    def test_lookup_refreshes_lru(self):
+        pc = PageCache(capacity=1000)
+        pc.insert("a", 0, 400)
+        pc.insert("b", 0, 400)
+        pc.lookup("a", 0, 400)       # a becomes most recent
+        pc.insert("c", 0, 400)       # evicts b, not a
+        assert pc.cached_bytes("a") == 400
+        assert pc.cached_bytes("b") == 0
+
+    def test_stats(self):
+        pc = PageCache(capacity=MiB)
+        pc.insert("f", 0, 500)
+        pc.lookup("f", 0, 1000)
+        assert pc.stats.hit_bytes == 500
+        assert pc.stats.miss_bytes == 500
+
+
+class TestStorageNodeReads:
+    def test_first_read_hits_disk_second_hits_cache(self):
+        env = Environment()
+        node = StorageNode(env)
+        times = []
+
+        def proc():
+            t0 = env.now
+            yield from node.read_file("f", 0, 64 * KiB)
+            times.append(env.now - t0)
+            t0 = env.now
+            yield from node.read_file("f", 0, 64 * KiB)
+            times.append(env.now - t0)
+
+        env.process(proc())
+        env.run()
+        assert times[0] > 0.005   # disk seek
+        assert times[1] < 0.001   # page cache
+        assert node.disk.stats.read_ops == 1
+
+    def test_concurrent_identical_misses_merge(self):
+        env = Environment()
+        node = StorageNode(env)
+        done = []
+
+        def reader(tag):
+            yield from node.read_file("f", 0, 64 * KiB)
+            done.append((tag, env.now))
+
+        for i in range(8):
+            env.process(reader(i))
+        env.run()
+        assert len(done) == 8
+        # One disk I/O served everyone.
+        assert node.disk.stats.read_ops == 1
+        assert node.page_cache.stats.merged_fetches == 7
+        # Waiters finish when the single fetch lands, not 8x later.
+        assert max(t for _, t in done) < 0.050
+
+    def test_different_files_do_not_merge(self):
+        env = Environment()
+        node = StorageNode(env)
+
+        def reader(f):
+            yield from node.read_file(f, 0, 4 * KiB)
+
+        for f in ("a", "b", "c"):
+            env.process(reader(f))
+        env.run()
+        assert node.disk.stats.read_ops == 3
+
+
+class TestNFS:
+    def make(self, n_threads=8):
+        env = Environment()
+        storage = StorageNode(env)
+        link = FairShareLink(env, GBE_1.bandwidth, GBE_1.latency)
+        nfs = NFSService(env, storage, link, threads=n_threads)
+        return env, storage, nfs
+
+    def test_read_costs_disk_then_network(self):
+        env, storage, nfs = self.make()
+        times = []
+
+        def proc():
+            t0 = env.now
+            yield from nfs.read("f", 0, 128 * KiB)
+            times.append(env.now - t0)
+
+        env.process(proc())
+        env.run()
+        # seek (~7 ms) + transfer over 105 MiB/s (~1.2 ms) + latencies
+        assert 0.007 < times[0] < 0.050
+        assert nfs.stats.bytes_served == 128 * KiB
+
+    def test_warm_read_is_network_bound(self):
+        env, storage, nfs = self.make()
+        times = []
+
+        def proc():
+            yield from nfs.read("f", 0, 128 * KiB)
+            t0 = env.now
+            yield from nfs.read("f", 0, 128 * KiB)
+            times.append(env.now - t0)
+
+        env.process(proc())
+        env.run()
+        expected = 128 * KiB / GBE_1.bandwidth
+        assert times[0] == pytest.approx(expected, rel=0.5)
+
+    def test_rwsize_chunking_charges_cpu(self):
+        env, storage, nfs = self.make()
+
+        def proc():
+            yield from nfs.read("f", 0, 4 * NFS_RWSIZE)
+
+        env.process(proc())
+        env.run()
+        assert nfs.cpu.stats.busy_time == pytest.approx(
+            4 * nfs.request_cpu)
+
+    def test_zero_read_noop(self):
+        env, storage, nfs = self.make()
+
+        def proc():
+            yield from nfs.read("f", 0, 0)
+            return None
+            yield  # pragma: no cover
+
+        p = env.process(proc())
+        env.run(until=p)
+        assert nfs.stats.read_requests == 0
+
+    def test_invalid_rwsize(self):
+        env = Environment()
+        storage = StorageNode(env)
+        link = FairShareLink(env, 1e6, 0.0)
+        with pytest.raises(ValueError):
+            NFSService(env, storage, link, rwsize=0)
+
+
+class TestComputeNode:
+    def test_composition(self):
+        env = Environment()
+        node = ComputeNode(env, "node00")
+        assert node.disk.profile.spindles == 1
+        assert node.memory.profile.capacity > 0
+        assert "node00" in repr(node)

@@ -1,0 +1,60 @@
+"""Tests for the §7.3 prefetch boot mode."""
+
+import pytest
+
+from repro.bootmodel.generator import generate_boot_trace
+from repro.bootmodel.profiles import tiny_profile
+from repro.sim.blockio import SimImage
+from repro.sim.cluster_sim import BootJob, Testbed, boot_vms
+from repro.units import MiB
+
+PROFILE = tiny_profile(vmi_size=64 * MiB, working_set=8 * MiB,
+                       boot_time=4.0)
+TRACE = generate_boot_trace(PROFILE, seed=7)
+
+
+def boot_once(prefetch: bool, network: str = "1gbe") -> float:
+    tb = Testbed(n_compute=1, network=network)
+    node = tb.computes[0]
+    base = tb.make_base("base.raw", PROFILE.vmi_size)
+    chain = SimImage("vm.cow", base.size,
+                     tb.compute_mem_location(node, "vm.cow"),
+                     backing=base)
+    res = boot_vms(tb, [BootJob("vm", node, chain, TRACE,
+                                prefetch=prefetch)])
+    return res.records[0].boot_time
+
+
+class TestPrefetch:
+    def test_prefetch_never_slower(self):
+        assert boot_once(True) <= boot_once(False) * 1.01
+
+    def test_gain_bounded_by_read_wait(self):
+        """§7.3: 'prefetching can only mask' the read-wait share —
+        bounded by the plain boot's actual I/O portion (everything that
+        is not CPU work or VMM overhead)."""
+        plain = boot_once(False)
+        prefetched = boot_once(True)
+        gain = (plain - prefetched) / plain
+        cpu_floor = PROFILE.cpu_time * 0.85  # jitter lower bound
+        max_maskable = (plain - cpu_floor - 0.5) / plain
+        assert 0 <= gain <= max_maskable + 0.02
+
+    def test_prefetch_floor_is_cpu_time(self):
+        """With perfect prefetching the boot cannot beat its CPU work
+        plus the VMM overhead."""
+        tb_floor = PROFILE.cpu_time * (1 - 0.15)  # jitter lower bound
+        assert boot_once(True) >= tb_floor
+
+    def test_same_data_moved(self):
+        tb1 = Testbed(n_compute=1, network="ib")
+        tb2 = Testbed(n_compute=1, network="ib")
+        for tb, pf in ((tb1, False), (tb2, True)):
+            node = tb.computes[0]
+            base = tb.make_base("base.raw", PROFILE.vmi_size)
+            chain = SimImage("vm.cow", base.size,
+                             tb.compute_mem_location(node, "vm.cow"),
+                             backing=base)
+            boot_vms(tb, [BootJob("vm", node, chain, TRACE,
+                                  prefetch=pf)])
+        assert tb1.nfs.stats.bytes_served == tb2.nfs.stats.bytes_served

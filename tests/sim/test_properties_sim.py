@@ -1,0 +1,113 @@
+"""Property-based tests on the simulation core (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.network import FairShareLink
+from repro.sim.resources import Resource
+
+transfers = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=50.0),   # start time
+        st.integers(min_value=1, max_value=100_000),  # bytes
+    ),
+    min_size=1, max_size=12,
+)
+
+
+@given(jobs=transfers,
+       bandwidth=st.floats(min_value=10.0, max_value=1e9))
+@settings(max_examples=80, deadline=None)
+def test_fairshare_conservation(jobs, bandwidth):
+    """Work conservation: the link is never idle while flows exist, so
+    the last completion is bounded by latest-start + total/bandwidth,
+    and no flow finishes before its own solo transfer time."""
+    env = Environment()
+    link = FairShareLink(env, bandwidth, 0.0)
+    done: dict[int, float] = {}
+
+    def client(i, start, nbytes):
+        yield env.timeout(start)
+        yield from link.transfer(nbytes)
+        done[i] = env.now
+
+    for i, (start, nbytes) in enumerate(jobs):
+        env.process(client(i, start, nbytes))
+    env.run()
+
+    assert len(done) == len(jobs)
+    total = sum(n for _, n in jobs)
+    latest_start = max(s for s, _ in jobs)
+    makespan = max(done.values())
+    assert makespan <= latest_start + total / bandwidth + 1e-6
+    for i, (start, nbytes) in enumerate(jobs):
+        solo = nbytes / bandwidth
+        assert done[i] >= start + solo - max(1e-9 * start, 1e-9)
+
+
+@given(jobs=transfers)
+@settings(max_examples=50, deadline=None)
+def test_fairshare_accounting(jobs):
+    """Every byte handed to the link is accounted exactly once."""
+    env = Environment()
+    link = FairShareLink(env, 1000.0, 0.0)
+
+    def client(start, nbytes):
+        yield env.timeout(start)
+        yield from link.transfer(nbytes)
+
+    for start, nbytes in jobs:
+        env.process(client(start, nbytes))
+    env.run()
+    assert link.stats.bytes_moved == sum(n for _, n in jobs)
+    assert link.active_flows == 0
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0),
+                       min_size=1, max_size=30))
+@settings(max_examples=80, deadline=None)
+def test_engine_fires_in_time_order(delays):
+    """Events fire in non-decreasing time order, ties FIFO."""
+    env = Environment()
+    fired: list[tuple[float, int]] = []
+
+    def proc(i, d):
+        yield env.timeout(d)
+        fired.append((env.now, i))
+
+    for i, d in enumerate(delays):
+        env.process(proc(i, d))
+    env.run()
+    assert len(fired) == len(delays)
+    times = [t for t, _ in fired]
+    assert times == sorted(times)
+    # Equal delays fire in creation order.
+    for t in set(times):
+        idxs = [i for ft, i in fired if ft == t]
+        assert idxs == sorted(idxs)
+
+
+@given(holds=st.lists(st.floats(min_value=0.01, max_value=5.0),
+                      min_size=1, max_size=15),
+       capacity=st.integers(min_value=1, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_resource_utilization_bound(holds, capacity):
+    """A FIFO resource's makespan is at least total/capacity and at
+    most the serial total."""
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+
+    def worker(d):
+        yield from res.hold(d)
+
+    for d in holds:
+        env.process(worker(d))
+    env.run()
+    total = sum(holds)
+    assert env.now >= total / capacity - 1e-9
+    assert env.now <= total + 1e-9
+    assert res.users == 0
+    assert res.stats.busy_time == pytest.approx(total)

@@ -1,0 +1,130 @@
+"""Tests for FIFO resources."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+
+
+class TestResource:
+    def test_capacity_one_serializes(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def worker(tag):
+            yield from res.hold(2.0)
+            log.append((tag, env.now))
+
+        for i in range(3):
+            env.process(worker(i))
+        env.run()
+        assert log == [(0, 2.0), (1, 4.0), (2, 6.0)]
+
+    def test_capacity_two_pairs(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        log = []
+
+        def worker(tag):
+            yield from res.hold(2.0)
+            log.append((tag, env.now))
+
+        for i in range(4):
+            env.process(worker(i))
+        env.run()
+        assert log == [(0, 2.0), (1, 2.0), (2, 4.0), (3, 4.0)]
+
+    def test_fifo_order(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def worker(tag, start):
+            yield env.timeout(start)
+            req = res.request()
+            yield req
+            order.append(tag)
+            yield env.timeout(1)
+            res.release(req)
+
+        env.process(worker("a", 0.0))
+        env.process(worker("b", 0.1))
+        env.process(worker("c", 0.2))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Environment(), capacity=0)
+
+    def test_stats(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def worker():
+            yield from res.hold(1.0)
+
+        for _ in range(3):
+            env.process(worker())
+        env.run()
+        assert res.stats.total_requests == 3
+        # Second waits 1 s, third waits 2 s.
+        assert res.stats.total_wait_time == pytest.approx(3.0)
+        assert res.stats.mean_wait == pytest.approx(1.0)
+        assert res.stats.busy_time == pytest.approx(3.0)
+        assert res.stats.max_queue_len == 2
+
+    def test_release_while_queued_withdraws(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def holder():
+            yield from res.hold(5.0)
+            log.append(("holder", env.now))
+
+        def impatient():
+            yield env.timeout(1)
+            req = res.request()
+            # Give up immediately without waiting for the grant.
+            res.release(req)
+
+        def patient():
+            yield env.timeout(2)
+            yield from res.hold(1.0)
+            log.append(("patient", env.now))
+
+        env.process(holder())
+        env.process(impatient())
+        env.process(patient())
+        env.run()
+        # The withdrawn request must not consume the freed slot.
+        assert log == [("holder", 5.0), ("patient", 6.0)]
+
+    def test_exception_during_hold_releases(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def failing():
+            try:
+                yield from res.hold(100.0)
+            except Exception:
+                raise
+
+        def killer(p):
+            yield env.timeout(1)
+            p.interrupt()
+
+        def successor():
+            yield env.timeout(2)
+            yield from res.hold(1.0)
+            log.append(env.now)
+
+        p = env.process(failing())
+        env.process(killer(p))
+        env.process(successor())
+        env.run()
+        assert log == [3.0]  # slot was freed at t=1 by the interrupt
+        assert res.users == 0

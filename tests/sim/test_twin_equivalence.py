@@ -1,0 +1,148 @@
+"""Twin-equivalence: SimImage must mirror the real driver exactly.
+
+The scalability conclusions stand on the in-memory image model
+behaving like the file-backed driver.  These property tests run the
+same random operation sequences through both and require *exact*
+agreement on:
+
+* bytes fetched from the backing image (the storage-traffic measure
+  behind Figures 9/10/12/14),
+* guest-data bytes allocated in the overlay,
+* copy-on-read enablement after quota pressure.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.imagefmt.chain import create_cache_chain, create_cow_chain
+from repro.imagefmt.raw import RawImage
+from repro.sim.blockio import Location, SimImage, sim_cache_chain
+from repro.units import KiB, MiB
+
+from tests.conftest import pattern
+
+SIZE = 512 * KiB
+
+NFS = Location("nfs", "storage", "base")
+CDISK = Location("compute-disk", "node00", "cache")
+CMEM = Location("compute-mem", "node00", "cow")
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "read", "read", "write"]),
+        st.integers(min_value=0, max_value=SIZE - 1),
+        st.integers(min_value=1, max_value=32 * KiB),
+    ),
+    min_size=1, max_size=25,
+)
+
+
+def run_real(tmp_path, ops, *, quota, cache_bits, tag):
+    base_p = str(tmp_path / f"base-{tag}.raw")
+    img = RawImage.create(base_p, SIZE)
+    img.write(0, pattern(0, SIZE))
+    img.close()
+    if quota:
+        chain = create_cache_chain(
+            base_p, str(tmp_path / f"cache-{tag}.qcow2"),
+            str(tmp_path / f"cow-{tag}.qcow2"), quota=quota,
+            cache_cluster_size=1 << cache_bits)
+    else:
+        chain = create_cow_chain(base_p,
+                                 str(tmp_path / f"cow-{tag}.qcow2"))
+    with chain:
+        for kind, offset, length in ops:
+            length = min(length, SIZE - offset)
+            if length <= 0:
+                continue
+            if kind == "read":
+                chain.read(offset, length)
+            else:
+                chain.write(offset, b"\xEE" * length)
+        base = chain.backing
+        while base.backing is not None:
+            base = base.backing
+        cache = chain.backing if quota else None
+        result = {
+            "backing_traffic": base.stats.bytes_read,
+            "cow_data": chain.allocated_data_bytes(),
+            "cor_enabled": (cache.cor_enabled if cache is not None
+                            else None),
+            "cache_data": (cache.allocated_data_bytes()
+                           if cache is not None else None),
+        }
+    for f in os.listdir(tmp_path):
+        if tag in f:
+            os.unlink(os.path.join(tmp_path, f))
+    return result
+
+
+def run_sim(ops, *, quota, cache_bits):
+    base = SimImage("base", SIZE, NFS, preallocated=True)
+    if quota:
+        chain, cache = sim_cache_chain(
+            base, cache_location=CDISK, cow_location=CMEM,
+            quota=quota, cache_cluster_bits=cache_bits)
+    else:
+        chain = SimImage("cow", SIZE, CMEM, backing=base)
+        cache = None
+    for kind, offset, length in ops:
+        length = min(length, SIZE - offset)
+        if length <= 0:
+            continue
+        if kind == "read":
+            chain.read(offset, length, [])
+        else:
+            chain.write(offset, length, [])
+    return {
+        "backing_traffic": base.stats.bytes_read,
+        "cow_data": chain.allocated.total(),
+        "cor_enabled": cache.cor_enabled if cache is not None else None,
+        "cache_data": (cache.allocated.total()
+                       if cache is not None else None),
+    }
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(ops=ops_strategy)
+def test_plain_cow_twins_agree(tmp_path, ops):
+    tag = f"p{abs(hash(tuple(ops)))}"
+    real = run_real(tmp_path, ops, quota=0, cache_bits=9, tag=tag)
+    sim = run_sim(ops, quota=0, cache_bits=9)
+    assert sim["backing_traffic"] == real["backing_traffic"]
+    assert sim["cow_data"] == real["cow_data"]
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(ops=ops_strategy, cache_bits=st.sampled_from([9, 12, 16]))
+def test_cache_chain_twins_agree(tmp_path, ops, cache_bits):
+    quota = 2 * MiB  # ample: no quota pressure in this test
+    tag = f"c{abs(hash((tuple(ops), cache_bits)))}"
+    real = run_real(tmp_path, ops, quota=quota, cache_bits=cache_bits,
+                    tag=tag)
+    sim = run_sim(ops, quota=quota, cache_bits=cache_bits)
+    assert sim["backing_traffic"] == real["backing_traffic"]
+    assert sim["cache_data"] == real["cache_data"]
+    assert sim["cow_data"] == real["cow_data"]
+    assert sim["cor_enabled"] == real["cor_enabled"]
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(ops=ops_strategy, quota_kib=st.integers(32, 128))
+def test_quota_pressure_twins_agree(tmp_path, ops, quota_kib):
+    """Under quota pressure the twins must disable CoR at the same
+    point and end with the same cache payload."""
+    quota = quota_kib * KiB
+    tag = f"q{abs(hash((tuple(ops), quota_kib)))}"
+    real = run_real(tmp_path, ops, quota=quota, cache_bits=9, tag=tag)
+    sim = run_sim(ops, quota=quota, cache_bits=9)
+    assert sim["cor_enabled"] == real["cor_enabled"]
+    assert sim["cache_data"] == real["cache_data"]
+    assert sim["backing_traffic"] == real["backing_traffic"]

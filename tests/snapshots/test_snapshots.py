@@ -1,0 +1,80 @@
+"""Tests for the memory-snapshot cache extension."""
+
+import pytest
+
+from repro.snapshots.experiment import run_snapshot_resume
+from repro.snapshots.resume_model import (
+    CENTOS_SNAPSHOT,
+    ResumeProfile,
+    generate_resume_trace,
+)
+from repro.units import GiB, MB, MiB
+
+
+class TestResumeProfile:
+    def test_bridge_to_os_profile(self):
+        os_profile = CENTOS_SNAPSHOT.as_os_profile()
+        assert os_profile.vmi_size == CENTOS_SNAPSHOT.memory_size
+        assert os_profile.read_working_set == \
+            CENTOS_SNAPSHOT.resume_working_set
+        assert os_profile.write_fraction == 0.0
+
+    def test_resume_is_io_dominated(self):
+        """Resume CPU time is a fraction of a boot's ~30 s."""
+        assert CENTOS_SNAPSHOT.resume_cpu_time < 5.0
+
+    def test_working_set_is_small_fraction_of_ram(self):
+        frac = CENTOS_SNAPSHOT.resume_working_set \
+            / CENTOS_SNAPSHOT.memory_size
+        assert frac < 0.25
+
+
+class TestResumeTrace:
+    def test_working_set_target(self):
+        trace = generate_resume_trace(CENTOS_SNAPSHOT, seed=1)
+        ws = trace.unique_read_bytes()
+        target = CENTOS_SNAPSHOT.resume_working_set
+        assert abs(ws - target) < 0.02 * target
+
+    def test_no_writes(self):
+        trace = generate_resume_trace(CENTOS_SNAPSHOT, seed=1)
+        assert trace.total_write_bytes() == 0
+
+    def test_more_sequential_than_boot(self):
+        """Page restore streams: larger reads than a disk boot."""
+        trace = generate_resume_trace(CENTOS_SNAPSHOT, seed=1)
+        sizes = sorted(op.length for op in trace.reads())
+        median = sizes[len(sizes) // 2]
+        assert median >= 32 * 1024
+
+    def test_deterministic(self):
+        a = generate_resume_trace(CENTOS_SNAPSHOT, seed=4)
+        b = generate_resume_trace(CENTOS_SNAPSHOT, seed=4)
+        assert a.ops == b.ops
+
+
+class TestResumeExperiment:
+    @pytest.fixture(scope="class")
+    def log(self):
+        tiny = ResumeProfile(name="tiny", memory_size=256 * MiB,
+                             resume_working_set=16 * MB,
+                             resume_cpu_time=1.0)
+        return run_snapshot_resume([1, 8], profile=tiny)
+
+    def test_series_present(self, log):
+        names = {s.name for s in log.series}
+        assert names == {"Cold boot (QCOW2)", "Snapshot resume",
+                         "Snapshot resume - warm cache"}
+
+    def test_cached_resume_fastest_at_scale(self, log):
+        cached = log.get("Snapshot resume - warm cache")
+        resume = log.get("Snapshot resume")
+        assert cached.y_at(8) <= resume.y_at(8)
+
+    def test_cached_resume_flat(self, log):
+        assert log.get("Snapshot resume - warm cache").is_flat(
+            tolerance=0.25)
+
+    def test_single_resume_beats_boot(self, log):
+        assert log.get("Snapshot resume").y_at(1) < \
+            log.get("Cold boot (QCOW2)").y_at(1)

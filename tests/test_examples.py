@@ -1,0 +1,52 @@
+"""Smoke tests: the fast examples must run end to end.
+
+The cluster-scale examples (parameter sweep, scale-out, multi-tenant,
+resume) take minutes and are exercised by the benchmark layer's
+equivalent runners; here we run the two file/socket-level examples,
+which double as integration tests of the real-I/O stack.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_example(name: str, timeout: float = 120.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, os.path.join(ROOT, "examples", name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "cold boot" in out
+        assert "warm boot: fetched 0 B" in out
+        assert "100.0%" in out
+
+    def test_remote_storage_node(self):
+        out = run_example("remote_storage_node.py")
+        assert "storage node serving nbd://" in out
+        assert "warm boot pulled 0 B" in out
+
+    @pytest.mark.parametrize("name", [
+        "quickstart.py",
+        "elastic_web_scaleout.py",
+        "hpc_parameter_sweep.py",
+        "multi_tenant_iaas.py",
+        "fast_vm_resume.py",
+        "remote_storage_node.py",
+    ])
+    def test_example_exists_and_compiles(self, name):
+        path = os.path.join(ROOT, "examples", name)
+        assert os.path.exists(path)
+        import py_compile
+
+        py_compile.compile(path, doraise=True)
