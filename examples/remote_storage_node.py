@@ -8,6 +8,10 @@ sockets, real bytes — and shows the cache absorbing the traffic:
     storage process:  BlockServer exporting base.raw
     compute process:  nbd://... <- cache.qcow2 <- vm.qcow2
 
+It ends with the hardened-transport features: injected connection
+drops that the client's reconnect-and-retry absorbs transparently,
+and a graceful server shutdown.
+
 Run:  python examples/remote_storage_node.py
 """
 
@@ -18,7 +22,7 @@ from repro.bootmodel import generate_boot_trace
 from repro.bootmodel.profiles import tiny_profile
 from repro.bootmodel.vm import replay_through_chain
 from repro.imagefmt import Qcow2Image, RawImage
-from repro.remote import BlockServer
+from repro.remote import BlockServer, FaultInjector, RemoteImage
 from repro.units import MiB, format_size
 
 
@@ -63,6 +67,23 @@ def main() -> None:
         print(f"\n=> the cache image kept "
               f"{(1 - warm / max(cold, 1)):.1%} of the boot off the "
               f"storage node's network link")
+
+        # --- fault tolerance: the storage node drops connections ---
+        injector = FaultInjector()
+        injector.inject("drop", "drop")
+        server.set_fault_injector(injector)
+        with RemoteImage.connect(url, max_retries=3,
+                                 backoff_base=0.01) as probe:
+            data = probe.read(0, MiB)
+            stats = probe.transport_stats
+        print(f"\ninjected {injector.stats.dropped} connection drops; "
+              f"the client retried {stats.retries}x and reconnected "
+              f"{stats.reconnects}x — the read still returned "
+              f"{format_size(len(data))} intact")
+        server.set_fault_injector(None)
+    # Leaving the `with` block is a graceful shutdown: accept loop
+    # stopped, in-flight requests drained, serving threads joined.
+    print("storage node shut down gracefully")
     base.close()
 
 

@@ -73,6 +73,41 @@ class QuotaExceededError(ImageError):
 
 
 # --------------------------------------------------------------------------
+# Remote transport layer
+# --------------------------------------------------------------------------
+
+
+class RemoteError(ImageError):
+    """Base class for remote block-transport failures.
+
+    Raised by :class:`~repro.remote.client.RemoteImage` when an
+    operation cannot be completed even after its bounded
+    reconnect-and-retry loop.  Subclasses distinguish *deadline
+    exceeded* from *peer unreachable*; both subclass
+    :class:`ImageError` because a remote image is just another block
+    driver in a backing chain.
+    """
+
+
+class RemoteTimeoutError(RemoteError):
+    """A remote operation exceeded its deadline (after all retries).
+
+    Each wire round-trip is bounded by the client's ``op_timeout``; a
+    timeout abandons the connection (the framing can no longer be
+    trusted) and triggers a reconnect-and-retry.  This error surfaces
+    only once the retry budget is exhausted.
+    """
+
+
+class RemoteDisconnectedError(RemoteError):
+    """The server connection was lost and could not be re-established.
+
+    Raised when the peer closes mid-stream, resets, or refuses new
+    connections for longer than the client's retry budget allows.
+    """
+
+
+# --------------------------------------------------------------------------
 # Simulation layer
 # --------------------------------------------------------------------------
 

@@ -11,6 +11,29 @@ Statistics matter here: the paper's Figures 9 and 10 plot *observed
 traffic at the storage node*, which in this reproduction is simply the
 ``stats.bytes_read`` of the base image's driver, and Table 1's "size of
 unique reads" is the measure of its ``stats.touched`` range set.
+
+Locking contract.  Drivers are single-threaded by default: nothing in
+this layer takes locks, and callers that share a driver across threads
+must serialize access themselves (the block server does this with a
+per-export reader-writer lock).  A driver whose *read path* is safe to
+run from several threads at once declares it via
+:attr:`BlockDriver.supports_concurrent_reads`; the block server then
+dispatches ``REQ_READ`` under a shared lock.  The declaration means:
+
+* ``_read_impl`` performs no writes to the image and tolerates
+  concurrent invocations (positional I/O, no shared file offset;
+  internal metadata caches may race only benignly — e.g. two threads
+  parsing the same L2 table produce identical entries);
+* :class:`DriverStats` counters are plain unsynchronized attributes,
+  so under concurrent reads they are best-effort — the server-side
+  :class:`~repro.remote.server.ExportStats` (mutex-guarded) are the
+  authoritative traffic numbers in that mode;
+* range tracking (``enable_range_tracking``) must not be enabled on a
+  driver served concurrently: :class:`RangeSet` mutation is not
+  thread-safe.
+
+Writes, flushes, and reads that may populate state (copy-on-read
+caches) are never concurrency-safe and always need exclusive access.
 """
 
 from __future__ import annotations
@@ -218,6 +241,15 @@ class BlockDriver(ABC):
     def backing(self) -> "BlockDriver | None":
         """The backing image, if any (None for raw images)."""
         return None
+
+    @property
+    def supports_concurrent_reads(self) -> bool:
+        """True when ``_read_impl`` may run from several threads at once.
+
+        See the locking contract in this module's docstring.  The
+        conservative default is False; formats opt in explicitly.
+        """
+        return False
 
     # -- helpers -----------------------------------------------------------
 

@@ -127,16 +127,25 @@ class Qcow2Image(BlockDriver):
         image's").  ``cache_quota > 0`` makes the image a cache.
         """
         cluster_bits = cluster_size_to_bits(cluster_size)
+        # When the size must be inherited, the backing image opened to
+        # read it is kept and reused below — opening twice would mean
+        # two TCP connections for an nbd:// backing path.
+        backing: BlockDriver | None = None
         if size is None:
             if backing_file is None:
                 raise ValueError(
                     "size is required when there is no backing file")
-            with cls._open_backing(backing_file, backing_format) as b:
-                size = b.size
-        if size < 0:
-            raise ValueError("size must be non-negative")
-        if cache_quota and backing_file is None:
-            raise ValueError("a cache image requires a backing file")
+            backing = cls._open_backing(backing_file, backing_format)
+            size = backing.size
+        try:
+            if size < 0:
+                raise ValueError("size must be non-negative")
+            if cache_quota and backing_file is None:
+                raise ValueError("a cache image requires a backing file")
+        except BaseException:
+            if backing is not None:
+                backing.close()
+            raise
 
         split = AddressSplit(cluster_bits)
         l1_entries = max(1, split.required_l1_entries(size))
@@ -184,11 +193,16 @@ class Qcow2Image(BlockDriver):
         allocator.mark_allocated(rt_offset, rt_clusters)
         allocator.mark_allocated(l1_offset, l1_clusters)
 
-        backing = None
         if backing_file is not None and open_backing:
-            backing = cls._open_backing(backing_file, backing_format)
+            if backing is None:
+                backing = cls._open_backing(backing_file, backing_format)
             if backing.size < size:
                 pass  # legal: reads beyond the backing return zeros
+        elif backing is not None:
+            # Only peeked at for the size; the caller asked for no
+            # open backing on the returned image.
+            backing.close()
+            backing = None
         img = cls(
             path, f, header, allocator,
             l1_table=[0] * l1_entries,
@@ -316,6 +330,15 @@ class Qcow2Image(BlockDriver):
         return self._alloc.physical_size
 
     @property
+    def supports_concurrent_reads(self) -> bool:
+        # Read-only images never mutate data clusters and CoR is
+        # disabled at open; the L2-table cache can only race benignly
+        # (two threads parse identical on-disk bytes).  Anything
+        # writable — including every CoR cache — needs exclusive
+        # access.  See the locking contract in repro.imagefmt.driver.
+        return self.read_only
+
+    @property
     def cor_enabled(self) -> bool:
         # Note cache_runtime (quota > 0), not the bare header extension:
         # "if the quota passed ... is not zero, it is assumed that the
@@ -440,8 +463,6 @@ class Qcow2Image(BlockDriver):
             blob = self._read_from_backing(first_vba, span)
             try:
                 self._write_impl(first_vba, blob, _cor=True)
-                self.stats.cor_write_ops += 1
-                self.stats.cor_bytes_written += len(blob)
             except QuotaExceededError:
                 self.cache_runtime.cor.record_space_error()
             start = first_in
@@ -470,8 +491,11 @@ class Qcow2Image(BlockDriver):
                     _cor: bool = False) -> None:
         # Quota check happens before any mutation (§4.3: "we check whether
         # there is enough space left ... if not, we return with a space
-        # error").  Internal CoR writes and external warming writes are
-        # charged identically.
+        # error").  Internal CoR writes (``_cor=True``, issued by
+        # ``_read_cold_run``) and external warming writes are charged
+        # identically against the quota; the flag only routes the
+        # accounting to the cor_* counters so Figure 9-style traffic
+        # breakdowns can tell population apart from guest writes.
         chunks = list(iter_cluster_chunks(offset, len(data),
                                           self.cluster_size))
         if self.is_cache:
@@ -487,6 +511,9 @@ class Qcow2Image(BlockDriver):
             self._write_cluster(
                 vba, in_cluster, data[pos: pos + chunk])
             pos += chunk
+        if _cor:
+            self.stats.cor_write_ops += 1
+            self.stats.cor_bytes_written += len(data)
 
     def _estimate_new_clusters(
             self, chunks: list[tuple[int, int, int]]) -> int:
@@ -674,8 +701,11 @@ class Qcow2Image(BlockDriver):
 
         # Refcount blocks and the allocator's own bookkeeping clusters:
         # everything with a stored refcount that metadata does not claim
-        # is either a refblock (fine) or leaked.
+        # is either a refblock (fine) or leaked.  The refcount table is
+        # read from disk once for the whole check, not once per surplus
+        # cluster (which made check() O(clusters²) on large images).
         self._alloc.load()
+        refblock_clusters = self._refblock_clusters()
         for ci, count in sorted(self._alloc._refcounts.items()):
             want = expected.get(ci, 0)
             if count > 0:
@@ -685,7 +715,7 @@ class Qcow2Image(BlockDriver):
                     f"cluster {ci}: referenced {want} times but "
                     f"refcount is {count}")
             elif count > want:
-                if self._is_refblock_cluster(ci):
+                if ci in refblock_clusters:
                     continue
                 report.leaked_clusters += count - want
         for ci, want in sorted(expected.items()):
@@ -694,7 +724,8 @@ class Qcow2Image(BlockDriver):
                     f"cluster {ci}: in use by metadata but refcount is 0")
         return report
 
-    def _is_refblock_cluster(self, cluster_index: int) -> bool:
+    def _refblock_clusters(self) -> set[int]:
+        """Cluster indices holding refcount blocks, per the on-disk table."""
         from repro.imagefmt.refcount import read_refcount_table
 
         table = read_refcount_table(
@@ -703,8 +734,7 @@ class Qcow2Image(BlockDriver):
             self._alloc.refcount_table_clusters,
             self.cluster_size,
         )
-        offset = cluster_index * self.cluster_size
-        return offset in table
+        return {offset // self.cluster_size for offset in table if offset}
 
 
 def _probe_qcow2(head: bytes) -> bool:

@@ -41,6 +41,12 @@ class RawImage(BlockDriver):
 
     # -- driver hooks --------------------------------------------------------
 
+    @property
+    def supports_concurrent_reads(self) -> bool:
+        # Pure os.pread on a shared fd: no file offset, no metadata
+        # caches, nothing mutated on the read path.
+        return True
+
     def _read_impl(self, offset: int, length: int) -> bytes:
         data = self._f.pread(length, offset)
         if len(data) < length:

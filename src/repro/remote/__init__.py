@@ -12,9 +12,28 @@ real sockets and real bytes:
   so a CoW or cache chain can use ``nbd://host:port/export`` as its
   backing file and everything — copy-on-read, quotas, tooling — works
   unchanged over the network.
+
+The substrate is built for the paper's scale-out case: the server
+dispatches reads of one export concurrently (reader-writer locking;
+see :mod:`repro.remote.server`), the client has per-operation
+deadlines with bounded reconnect-and-retry (see
+:mod:`repro.remote.client`), and
+:class:`~repro.remote.fault.FaultInjector` lets tests exercise the
+failure paths deterministically.
 """
 
-from repro.remote.client import RemoteImage, parse_url
-from repro.remote.server import BlockServer
+from repro.remote.client import RemoteImage, TransportStats, parse_url
+from repro.remote.fault import FaultInjector, FaultStats
+from repro.remote.rwlock import RWLock
+from repro.remote.server import BlockServer, ExportStats
 
-__all__ = ["BlockServer", "RemoteImage", "parse_url"]
+__all__ = [
+    "BlockServer",
+    "ExportStats",
+    "FaultInjector",
+    "FaultStats",
+    "RemoteImage",
+    "RWLock",
+    "TransportStats",
+    "parse_url",
+]

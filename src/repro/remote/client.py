@@ -4,14 +4,39 @@ Chains treat it like any other image, so
 ``base(remote) ← cache(local) ← CoW(local)`` moves real bytes over a
 real socket — the closest this environment gets to the paper's NFS
 mount, and a drop-in backing via ``nbd://host:port/export`` URLs.
+
+Failure model.  Every wire round-trip is bounded by a per-operation
+deadline (``op_timeout``; the old implementation left the *connect*
+timeout armed on every subsequent recv).  A timeout or a mid-stream
+disconnect leaves the framing in an unknown state, so the client never
+tries to resynchronize: it abandons the socket, reconnects (handshake
+included) with exponential backoff, and re-issues the request — block
+reads/writes/flushes are idempotent, so replay is safe.  After
+``max_retries`` failed re-attempts the error surfaces as
+:class:`~repro.errors.RemoteTimeoutError` or
+:class:`~repro.errors.RemoteDisconnectedError`.  Server-*reported*
+errors (:class:`~repro.remote.protocol.RemoteOpError`, e.g. a write to
+a read-only export) arrive on a healthy connection and are raised
+immediately, never retried.
+
+Thread-safety: one ``RemoteImage`` is one connection with strictly
+alternating request/response framing, so it must not be shared across
+threads (``supports_concurrent_reads`` stays False); open one
+connection per client thread instead.
 """
 
 from __future__ import annotations
 
 import re
 import socket
+import time
+from dataclasses import dataclass
 
-from repro.errors import InvalidImageError
+from repro.errors import (
+    InvalidImageError,
+    RemoteDisconnectedError,
+    RemoteTimeoutError,
+)
 from repro.imagefmt.driver import BlockDriver
 from repro.remote import protocol as wire
 
@@ -31,6 +56,16 @@ def is_remote_url(path: str) -> bool:
     return path.startswith("nbd://")
 
 
+@dataclass
+class TransportStats:
+    """Failure/recovery counters for one RemoteImage connection."""
+
+    requests: int = 0     # wire round-trips attempted
+    retries: int = 0      # re-attempts after a transport failure
+    reconnects: int = 0   # successful re-handshakes
+    timeouts: int = 0     # round-trips that hit the op deadline
+
+
 class RemoteImage(BlockDriver):
     """One connection to one export."""
 
@@ -41,23 +76,130 @@ class RemoteImage(BlockDriver):
     _CHUNK = 4 * 1024 * 1024
 
     def __init__(self, sock: socket.socket, url: str, size: int,
-                 read_only: bool) -> None:
+                 read_only: bool, *,
+                 connect_timeout: float = 10.0,
+                 op_timeout: float = 30.0,
+                 max_retries: int = 3,
+                 backoff_base: float = 0.05,
+                 backoff_max: float = 2.0) -> None:
         super().__init__(url, size, read_only)
-        self._sock = sock
+        self._sock: socket.socket | None = sock
+        self._host, self._port, self._export = parse_url(url)
+        self._connect_timeout = connect_timeout
+        self._op_timeout = op_timeout
+        self._max_retries = max_retries
+        self._backoff_base = backoff_base
+        self._backoff_max = backoff_max
+        self.transport_stats = TransportStats()
 
     @classmethod
     def connect(cls, url: str, *, read_only: bool = True,
-                timeout: float = 10.0) -> "RemoteImage":
+                timeout: float = 10.0,
+                op_timeout: float = 30.0,
+                max_retries: int = 3,
+                backoff_base: float = 0.05,
+                backoff_max: float = 2.0) -> "RemoteImage":
+        """Connect and handshake.
+
+        ``timeout`` bounds connection establishment; ``op_timeout``
+        bounds every subsequent wire round-trip.  ``max_retries``
+        re-attempts (reconnect + replay, exponential backoff from
+        ``backoff_base`` capped at ``backoff_max``) are made per
+        operation before a failure surfaces.
+        """
         host, port, export = parse_url(url)
-        sock = socket.create_connection((host, port), timeout=timeout)
+        sock, size = cls._dial(host, port, export, timeout, op_timeout)
+        return cls(sock, url, size, read_only,
+                   connect_timeout=timeout, op_timeout=op_timeout,
+                   max_retries=max_retries, backoff_base=backoff_base,
+                   backoff_max=backoff_max)
+
+    @staticmethod
+    def _dial(host: str, port: int, export: str,
+              connect_timeout: float,
+              op_timeout: float) -> tuple[socket.socket, int]:
+        try:
+            sock = socket.create_connection((host, port),
+                                            timeout=connect_timeout)
+        except TimeoutError as exc:
+            raise RemoteTimeoutError(
+                f"connecting to {host}:{port} timed out after "
+                f"{connect_timeout:g}s") from exc
+        except OSError as exc:
+            raise RemoteDisconnectedError(
+                f"cannot connect to {host}:{port}: {exc}") from exc
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # Re-arm from the connect timeout to the per-round-trip
+        # deadline (the handshake below is the first round-trip).
+        sock.settimeout(op_timeout)
         try:
             wire.send_handshake_request(sock, export)
             size = wire.recv_handshake_response(sock)
+        except TimeoutError as exc:
+            sock.close()
+            raise RemoteTimeoutError(
+                f"handshake with {host}:{port} timed out after "
+                f"{op_timeout:g}s") from exc
         except Exception:
             sock.close()
             raise
-        return cls(sock, url, size, read_only)
+        return sock, size
+
+    # -- transport ----------------------------------------------------------
+
+    def _drop_connection(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _reconnect(self) -> None:
+        sock, size = self._dial(self._host, self._port, self._export,
+                                self._connect_timeout, self._op_timeout)
+        if size != self.size:
+            sock.close()
+            raise RemoteDisconnectedError(
+                f"export {self._export!r} changed size across "
+                f"reconnect ({self.size} -> {size})")
+        self._sock = sock
+        self.transport_stats.reconnects += 1
+
+    def _roundtrip(self, req: wire.Request) -> bytes:
+        """One request/response exchange, with reconnect-and-retry."""
+        attempts = self._max_retries + 1
+        last: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                self.transport_stats.retries += 1
+                time.sleep(min(self._backoff_max,
+                               self._backoff_base * 2 ** (attempt - 1)))
+            try:
+                if self._sock is None:
+                    self._reconnect()
+                self.transport_stats.requests += 1
+                wire.send_request(self._sock, req)
+                return wire.recv_response(self._sock)
+            except wire.RemoteOpError:
+                raise  # server-side failure on a healthy connection
+            except (RemoteTimeoutError, RemoteDisconnectedError) as exc:
+                last = exc  # reconnect itself failed; keep backing off
+            except TimeoutError as exc:
+                self.transport_stats.timeouts += 1
+                self._drop_connection()
+                last = RemoteTimeoutError(
+                    f"{self.path}: request type {req.req_type} at "
+                    f"offset {req.offset} exceeded the {self._op_timeout:g}s "
+                    f"deadline (attempt {attempt + 1}/{attempts})")
+                last.__cause__ = exc
+            except (wire.ProtocolError, OSError) as exc:
+                self._drop_connection()
+                last = RemoteDisconnectedError(
+                    f"{self.path}: connection lost: {exc}")
+                last.__cause__ = exc
+        assert last is not None
+        raise last
 
     # -- driver hooks -------------------------------------------------------
 
@@ -67,9 +209,8 @@ class RemoteImage(BlockDriver):
         end = offset + length
         while pos < end:
             n = min(self._CHUNK, end - pos)
-            wire.send_request(self._sock,
-                              wire.Request(wire.REQ_READ, pos, n))
-            parts.append(wire.recv_response(self._sock))
+            parts.append(self._roundtrip(
+                wire.Request(wire.REQ_READ, pos, n)))
             pos += n
         return b"".join(parts)
 
@@ -77,22 +218,21 @@ class RemoteImage(BlockDriver):
         pos = 0
         while pos < len(data):
             chunk = data[pos: pos + self._CHUNK]
-            wire.send_request(
-                self._sock,
+            self._roundtrip(
                 wire.Request(wire.REQ_WRITE, offset + pos,
                              len(chunk), chunk))
-            wire.recv_response(self._sock)
             pos += len(chunk)
 
     def _flush_impl(self) -> None:
-        wire.send_request(self._sock,
-                          wire.Request(wire.REQ_FLUSH, 0, 0))
-        wire.recv_response(self._sock)
+        self._roundtrip(wire.Request(wire.REQ_FLUSH, 0, 0))
 
     def _close_impl(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is None:
+            return
         try:
-            wire.send_request(self._sock,
+            wire.send_request(sock,
                               wire.Request(wire.REQ_DISCONNECT, 0, 0))
         except OSError:
             pass
-        self._sock.close()
+        sock.close()

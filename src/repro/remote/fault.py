@@ -1,0 +1,119 @@
+"""Fault injection for the block server.
+
+Tests and benchmarks need to exercise the client's deadline/retry
+machinery *deterministically*: a dropped connection at a known request,
+a delay long enough to trip a deadline, a server-side error response.
+:class:`FaultInjector` provides that as a hook the server consults
+once per data request (handshakes are never faulted, so a reconnecting
+client can always get back in).
+
+Two modes compose:
+
+* **one-shot queue** — ``inject("drop", "delay", ...)`` schedules
+  exact faults for the next requests, in order (fully deterministic);
+* **rates** — ``drop_rate``/``delay_rate``/``error_rate`` fractions
+  drawn from a seeded RNG, for soak-style benchmarks.
+
+Actions:
+
+``drop``
+    Close the connection without responding.  The client observes EOF
+    mid-message and reconnects.
+``delay``
+    Sleep ``delay_seconds`` before serving the request normally.  With
+    a delay longer than the client's ``op_timeout`` this forces the
+    timeout path.
+``error``
+    Answer the request with a ``STATUS_ERROR`` response (surfaced to
+    the caller as :class:`~repro.remote.protocol.RemoteOpError`; the
+    connection stays up and is *not* retried).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+ACTION_DROP = "drop"
+ACTION_DELAY = "delay"
+ACTION_ERROR = "error"
+_ACTIONS = (ACTION_DROP, ACTION_DELAY, ACTION_ERROR)
+
+
+@dataclass
+class FaultStats:
+    """Counts of faults actually injected."""
+
+    dropped: int = 0
+    delayed: int = 0
+    errored: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.dropped + self.delayed + self.errored
+
+
+class FaultInjector:
+    """Decides, per request, whether to misbehave and how."""
+
+    def __init__(self, *, drop_rate: float = 0.0,
+                 delay_rate: float = 0.0,
+                 error_rate: float = 0.0,
+                 delay_seconds: float = 0.05,
+                 seed: int = 0) -> None:
+        for name, rate in (("drop_rate", drop_rate),
+                           ("delay_rate", delay_rate),
+                           ("error_rate", error_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if drop_rate + delay_rate + error_rate > 1.0:
+            raise ValueError("fault rates must sum to at most 1")
+        self._drop_rate = drop_rate
+        self._delay_rate = delay_rate
+        self._error_rate = error_rate
+        self.delay_seconds = delay_seconds
+        self._rng = random.Random(seed)
+        self._queue: deque[str] = deque()
+        self._lock = threading.Lock()
+        self.stats = FaultStats()
+
+    def inject(self, *actions: str) -> None:
+        """Queue one-shot faults, consumed before any random rates."""
+        for action in actions:
+            if action not in _ACTIONS:
+                raise ValueError(
+                    f"unknown fault action {action!r}; "
+                    f"expected one of {_ACTIONS}")
+        with self._lock:
+            self._queue.extend(actions)
+
+    def pending(self) -> int:
+        """One-shot faults not yet consumed."""
+        with self._lock:
+            return len(self._queue)
+
+    def next_action(self) -> str | None:
+        """The fault to apply to the next request, or None."""
+        with self._lock:
+            if self._queue:
+                action = self._queue.popleft()
+            else:
+                r = self._rng.random()
+                if r < self._drop_rate:
+                    action = ACTION_DROP
+                elif r < self._drop_rate + self._delay_rate:
+                    action = ACTION_DELAY
+                elif r < (self._drop_rate + self._delay_rate
+                          + self._error_rate):
+                    action = ACTION_ERROR
+                else:
+                    return None
+            if action == ACTION_DROP:
+                self.stats.dropped += 1
+            elif action == ACTION_DELAY:
+                self.stats.delayed += 1
+            else:
+                self.stats.errored += 1
+            return action

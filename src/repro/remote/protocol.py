@@ -40,7 +40,22 @@ MAX_PAYLOAD = 32 * 1024 * 1024  # sanity bound for one request
 
 
 class ProtocolError(Exception):
-    """Malformed or unexpected wire data."""
+    """Malformed or unexpected wire data.
+
+    After a ProtocolError the stream position is unknown, so the
+    connection cannot be reused; the client's retry loop abandons the
+    socket and reconnects.  :class:`RemoteOpError` is the exception to
+    that rule.
+    """
+
+
+class RemoteOpError(ProtocolError):
+    """The server reported a per-request error (``STATUS_ERROR``).
+
+    Unlike a bare :class:`ProtocolError`, the wire framing is intact
+    and the connection remains usable, so the client re-raises this
+    immediately instead of reconnecting and retrying.
+    """
 
 
 def recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -141,6 +156,6 @@ def recv_response(sock: socket.socket) -> bytes:
         raise ProtocolError(f"oversized response ({length} bytes)")
     payload = recv_exact(sock, length) if length else b""
     if status != STATUS_OK:
-        raise ProtocolError(
+        raise RemoteOpError(
             f"remote error: {payload.decode('utf-8', 'replace')}")
     return payload

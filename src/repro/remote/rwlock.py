@@ -1,0 +1,96 @@
+"""A writer-preferring reader-writer lock for the block server.
+
+The server's old per-export mutex serialized every client of an
+export — exactly the many-VMs-one-VMI scenario the paper scales.
+:class:`RWLock` lets any number of ``REQ_READ`` handlers run
+concurrently while keeping writes (and CoR-populating reads, which
+mutate the image) exclusive.
+
+Writer preference: once a writer is waiting, new readers queue behind
+it.  Under the paper's read-mostly boot storms writers are rare, so
+this avoids writer starvation without measurably delaying readers.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class RWLock:
+    """Shared/exclusive lock.  Not reentrant in either mode."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition(threading.Lock())
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- shared (read) side -------------------------------------------------
+
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: not self._writer_active
+                and not self._writers_waiting,
+                timeout)
+            if not ok:
+                return False
+            self._readers += 1
+            return True
+
+    def release_read(self) -> None:
+        with self._cond:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without acquire_read")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- exclusive (write) side ---------------------------------------------
+
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                ok = self._cond.wait_for(
+                    lambda: not self._writer_active
+                    and self._readers == 0,
+                    timeout)
+                if not ok:
+                    return False
+                self._writer_active = True
+                return True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write without acquire_write")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # -- context managers ---------------------------------------------------
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:
+        return (f"<RWLock readers={self._readers} "
+                f"writer={self._writer_active} "
+                f"writers_waiting={self._writers_waiting}>")

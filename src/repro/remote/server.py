@@ -1,24 +1,60 @@
 """The block server: export local images over TCP.
 
-One thread per connection; each export's driver is guarded by a lock
-(our drivers are not thread-safe, and concurrent clients of one export
-are exactly the paper's many-VMs-one-VMI scenario).  The server is a
-context manager; tests and examples run it on an ephemeral localhost
-port.
+One thread per connection.  Dispatch is export-scoped and
+reader-writer locked:
+
+* ``REQ_READ`` takes the export's **shared** lock when the driver
+  declares :attr:`~repro.imagefmt.driver.BlockDriver.supports_concurrent_reads`
+  (raw files, read-only QCOW2) — concurrent clients of one export, the
+  paper's many-VMs-one-VMI scenario, then proceed in parallel;
+* ``REQ_WRITE``/``REQ_FLUSH`` — and *all* requests against drivers
+  whose read path may mutate state (cache images with copy-on-read,
+  anything opened read-write) — take the **exclusive** lock.
+
+The parallel/exclusive decision is made once per export at
+:meth:`BlockServer.add_export` time from the driver's declared
+contract (see the locking-contract notes in
+:mod:`repro.imagefmt.driver`); ``parallel_reads=False`` on the server
+forces the old fully-serialized behaviour for A/B benchmarking.
+Per-export :class:`ExportStats` are the authoritative traffic measure
+under concurrency and are guarded by their own mutex.
+
+:meth:`BlockServer.close` is a graceful shutdown: it stops the accept
+loop, half-closes live connections so in-flight requests drain their
+responses, joins the serving threads, and force-closes anything that
+outlives the drain timeout.  A :class:`~repro.remote.fault.FaultInjector`
+can be attached to drop/delay/error a deterministic or random subset
+of requests, which is how the client's retry path is tested.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.imagefmt.driver import BlockDriver
 from repro.remote import protocol as wire
+from repro.remote.fault import (
+    ACTION_DELAY,
+    ACTION_DROP,
+    ACTION_ERROR,
+    FaultInjector,
+)
+from repro.remote.rwlock import RWLock
 
 
 @dataclass
 class ExportStats:
+    """Traffic counters for one export.
+
+    All fields — including ``connections`` — are mutated only under
+    the export's stats mutex, so they are exact even with many
+    parallel readers (the per-driver ``DriverStats`` make no such
+    guarantee; see :mod:`repro.imagefmt.driver`).
+    """
+
     connections: int = 0
     read_ops: int = 0
     bytes_read: int = 0
@@ -31,24 +67,36 @@ class ExportStats:
 class _Export:
     driver: BlockDriver
     writable: bool
-    lock: threading.Lock = field(default_factory=threading.Lock)
+    parallel_reads: bool
+    lock: RWLock = field(default_factory=RWLock)
+    stats_lock: threading.Lock = field(default_factory=threading.Lock)
     stats: ExportStats = field(default_factory=ExportStats)
 
 
 class BlockServer:
     """Serves registered images until closed."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 parallel_reads: bool = True,
+                 fault_injector: FaultInjector | None = None,
+                 drain_timeout: float = 5.0) -> None:
         self._exports: dict[str, _Export] = {}
+        self._parallel_reads = parallel_reads
+        self._fault = fault_injector
+        self._drain_timeout = drain_timeout
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
-        self._sock.listen(16)
+        self._sock.listen(64)
         self.host, self.port = self._sock.getsockname()
         self._closing = False
+        # Guards _conns/_workers/_closing; never held while blocking.
+        self._state_lock = threading.Lock()
+        self._conns: set[socket.socket] = set()
+        self._workers: set[threading.Thread] = set()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, daemon=True,
-            name=f"blockserver-{self.port}")
+            name=f"blockserver-{self.port}-accept")
         self._accept_thread.start()
 
     # -- exports -----------------------------------------------------------
@@ -59,10 +107,15 @@ class BlockServer:
 
         The server takes ownership for serving purposes only; the
         caller still closes the driver after the server shuts down.
+        Whether reads of this export run in parallel is decided here,
+        once, from ``driver.supports_concurrent_reads`` — a driver that
+        is unsafe for concurrent reads (read-write QCOW2, CoR caches,
+        remote connections) is served fully serialized.
         """
         if name in self._exports:
             raise ValueError(f"export {name!r} already registered")
-        self._exports[name] = _Export(driver, writable)
+        parallel = self._parallel_reads and driver.supports_concurrent_reads
+        self._exports[name] = _Export(driver, writable, parallel)
 
     def export_stats(self, name: str) -> ExportStats:
         return self._exports[name].stats
@@ -70,16 +123,32 @@ class BlockServer:
     def url(self, name: str) -> str:
         return f"nbd://{self.host}:{self.port}/{name}"
 
+    def set_fault_injector(self, injector: FaultInjector | None) -> None:
+        """Attach (or detach) a fault injector for subsequent requests."""
+        self._fault = injector
+
     # -- serving -----------------------------------------------------------
 
     def _accept_loop(self) -> None:
-        while not self._closing:
+        n = 0
+        while True:
             try:
                 conn, _addr = self._sock.accept()
             except OSError:
-                return  # socket closed
-            threading.Thread(target=self._serve_connection,
-                             args=(conn,), daemon=True).start()
+                return  # socket closed by close()
+            with self._state_lock:
+                if self._closing:
+                    conn.close()
+                    return
+                self._workers = {t for t in self._workers if t.is_alive()}
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(conn,),
+                    daemon=True,
+                    name=f"blockserver-{self.port}-conn{n}")
+                self._conns.add(conn)
+                self._workers.add(thread)
+            thread.start()
+            n += 1
 
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
@@ -88,13 +157,16 @@ class BlockServer:
             if export is None:
                 wire.send_handshake_response(conn, error=True)
                 return
-            export.stats.connections += 1
+            with export.stats_lock:
+                export.stats.connections += 1
             wire.send_handshake_response(conn,
                                          size=export.driver.size)
             self._request_loop(conn, export)
         except (wire.ProtocolError, OSError):
             pass  # client went away or spoke garbage: drop it
         finally:
+            with self._state_lock:
+                self._conns.discard(conn)
             conn.close()
 
     def _request_loop(self, conn: socket.socket,
@@ -103,42 +175,104 @@ class BlockServer:
             req = wire.recv_request(conn)
             if req.req_type == wire.REQ_DISCONNECT:
                 return
+            if self._fault is not None:
+                action = self._fault.next_action()
+                if action == ACTION_DROP:
+                    return  # close without responding: client sees EOF
+                if action == ACTION_DELAY:
+                    time.sleep(self._fault.delay_seconds)
+                elif action == ACTION_ERROR:
+                    wire.send_response(conn, error="injected fault")
+                    continue
             try:
                 payload = self._dispatch(export, req)
             except Exception as exc:  # surfaced to the client
-                export.stats.errors += 1
+                with export.stats_lock:
+                    export.stats.errors += 1
                 wire.send_response(conn, error=str(exc))
                 continue
             wire.send_response(conn, payload=payload)
 
     def _dispatch(self, export: _Export, req: wire.Request) -> bytes:
-        with export.lock:
-            if req.req_type == wire.REQ_READ:
+        if req.req_type == wire.REQ_READ:
+            ctx = (export.lock.read_locked() if export.parallel_reads
+                   else export.lock.write_locked())
+            with ctx:
                 data = export.driver.read(req.offset, req.length)
+            with export.stats_lock:
                 export.stats.read_ops += 1
                 export.stats.bytes_read += len(data)
-                return data
-            if req.req_type == wire.REQ_WRITE:
-                if not export.writable:
-                    raise PermissionError("export is read-only")
+            return data
+        if req.req_type == wire.REQ_WRITE:
+            if not export.writable:
+                raise PermissionError("export is read-only")
+            with export.lock.write_locked():
                 export.driver.write(req.offset, req.payload)
+            with export.stats_lock:
                 export.stats.write_ops += 1
                 export.stats.bytes_written += len(req.payload)
-                return b""
-            if req.req_type == wire.REQ_FLUSH:
+            return b""
+        if req.req_type == wire.REQ_FLUSH:
+            with export.lock.write_locked():
                 export.driver.flush()
-                return b""
+            return b""
         raise wire.ProtocolError(
             f"unknown request type {req.req_type}")
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        self._closing = True
+        """Graceful shutdown: stop accepting, drain, join, force-close.
+
+        In-flight requests finish and send their responses (connections
+        are only half-closed at first); anything still alive after
+        ``drain_timeout`` has its socket torn down.  After close()
+        returns, no serving thread of this server is left running.
+        """
+        with self._state_lock:
+            if self._closing:
+                return
+            self._closing = True
+            conns = list(self._conns)
+            workers = list(self._workers)
+        # A blocked accept() is not interrupted by closing the listen
+        # socket from another thread on Linux; wake it with a throwaway
+        # connection, which the loop sees, closes, and exits on.
+        try:
+            with socket.create_connection((self.host, self.port),
+                                          timeout=1.0):
+                pass
+        except OSError:
+            pass
         try:
             self._sock.close()
         except OSError:
             pass
+        self._accept_thread.join(timeout=self._drain_timeout)
+        # Drain phase: stop reading further requests, let in-flight
+        # dispatches send their responses.
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
+        deadline = time.monotonic() + self._drain_timeout
+        for t in workers:
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
+        # Cancel phase: tear down whatever outlived the drain window.
+        with self._state_lock:
+            leftovers = list(self._conns)
+        for conn in leftovers:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for t in workers:
+            t.join(timeout=1.0)
 
     def __enter__(self) -> "BlockServer":
         return self

@@ -2,11 +2,57 @@
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+
 import numpy as np
 import pytest
 
 from repro.imagefmt.raw import RawImage
 from repro.units import MiB
+
+# Per-test wedge watchdog.  The remote-layer tests move real bytes over
+# real sockets; a regression there wedges in recv() forever instead of
+# failing.  When pytest-timeout is installed it owns enforcement
+# (config via its own options); offline containers fall back to the
+# SIGALRM watchdog below so a hung test still fails fast.
+DEFAULT_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "90"))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test if it runs longer than this "
+        "(enforced by pytest-timeout when installed, else by the "
+        "SIGALRM watchdog in tests/conftest.py)")
+
+
+@pytest.fixture(autouse=True)
+def _wedge_watchdog(request):
+    if request.config.pluginmanager.hasplugin("timeout"):
+        yield  # pytest-timeout is installed and owns enforcement
+        return
+    marker = request.node.get_closest_marker("timeout")
+    seconds = float(marker.args[0]) if marker and marker.args \
+        else DEFAULT_TEST_TIMEOUT
+    if seconds <= 0 or not hasattr(signal, "SIGALRM") \
+            or threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {seconds:g}s wedge watchdog "
+            f"(REPRO_TEST_TIMEOUT or @pytest.mark.timeout to adjust)")
+
+    old_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, old_handler)
 
 
 def pattern(offset: int, length: int, seed: int = 0) -> bytes:

@@ -1,0 +1,111 @@
+"""Regression tests for the ISSUE 1 satellite bugfixes.
+
+* ``Qcow2Image.create(size=None, backing_file=...)`` opened the
+  backing image twice (two TCP connections for nbd:// backings);
+* the ``_cor`` keyword on ``_write_impl`` was declared and passed but
+  never read;
+* ``check()`` re-read the whole refcount table from disk once per
+  surplus cluster (O(clusters²)).
+"""
+
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.units import KiB, MiB
+
+from tests.conftest import pattern
+
+
+def _count_backing_opens(monkeypatch):
+    """Patch _open_backing to count calls and capture returned drivers."""
+    opened = []
+    orig = Qcow2Image._open_backing.__func__
+
+    def counting(cls, backing_path, backing_format):
+        drv = orig(cls, backing_path, backing_format)
+        opened.append(drv)
+        return drv
+
+    monkeypatch.setattr(Qcow2Image, "_open_backing", classmethod(counting))
+    return opened
+
+
+class TestCreateSingleBackingOpen:
+    def test_size_inherited_with_one_open(self, tmp_path, small_base,
+                                          monkeypatch):
+        opened = _count_backing_opens(monkeypatch)
+        img = Qcow2Image.create(str(tmp_path / "c.qcow2"),
+                                backing_file=small_base)
+        assert img.size == 4 * MiB
+        assert len(opened) == 1          # was 2 before the fix
+        assert img.backing is opened[0]  # ...and it is reused as-is
+        img.close()
+
+    def test_peeked_backing_closed_when_not_wanted(self, tmp_path,
+                                                   small_base,
+                                                   monkeypatch):
+        opened = _count_backing_opens(monkeypatch)
+        img = Qcow2Image.create(str(tmp_path / "c.qcow2"),
+                                backing_file=small_base,
+                                open_backing=False)
+        assert img.size == 4 * MiB
+        assert img.backing is None
+        assert len(opened) == 1
+        assert opened[0].closed  # the size-peek open must not leak
+        img.close()
+
+    def test_explicit_size_still_single_open(self, tmp_path, small_base,
+                                             monkeypatch):
+        opened = _count_backing_opens(monkeypatch)
+        img = Qcow2Image.create(str(tmp_path / "c.qcow2"), size=2 * MiB,
+                                backing_file=small_base)
+        assert img.size == 2 * MiB
+        assert len(opened) == 1
+        img.close()
+
+
+class TestCorAccounting:
+    def test_cor_stats_recorded_by_write_impl(self, tmp_path, small_base):
+        """CoR population is accounted where it happens (_write_impl with
+        _cor=True), and only CoR writes land in the cor_* counters."""
+        cache_p = str(tmp_path / "cache.qcow2")
+        Qcow2Image.create(cache_p, backing_file=small_base,
+                          cluster_size=512,
+                          cache_quota=2 * MiB).close()
+        with Qcow2Image.open(cache_p, read_only=False) as cache:
+            assert cache.read(0, 64 * KiB) == pattern(0, 64 * KiB)
+            assert cache.stats.cor_write_ops >= 1
+            assert cache.stats.cor_bytes_written >= 64 * KiB
+            cor_before = cache.stats.cor_bytes_written
+            # An external (guest) write must not count as CoR.
+            cache.write(512 * KiB, b"\xaa" * 512)
+            assert cache.stats.cor_bytes_written == cor_before
+
+
+class TestCheckReadsRefcountTableOnce:
+    def test_single_table_read_per_check(self, tmp_path, small_base,
+                                         monkeypatch):
+        import repro.imagefmt.refcount as refcount_mod
+
+        cache_p = str(tmp_path / "cache.qcow2")
+        Qcow2Image.create(cache_p, backing_file=small_base,
+                          cluster_size=512,
+                          cache_quota=2 * MiB).close()
+        with Qcow2Image.open(cache_p, read_only=False) as cache:
+            cache.read(0, 256 * KiB)  # populate plenty of clusters
+            cache.flush()
+
+            calls = []
+            orig = refcount_mod.read_refcount_table
+
+            def counting(*args, **kwargs):
+                calls.append(1)
+                return orig(*args, **kwargs)
+
+            monkeypatch.setattr(refcount_mod, "read_refcount_table",
+                                counting)
+            report = cache.check()
+            assert report.ok, report.errors
+            # One read for the check itself (plus whatever the
+            # allocator's load() does internally through its own path),
+            # not one per allocated cluster.
+            assert len(calls) <= 2
+            assert report.allocated_clusters > 100

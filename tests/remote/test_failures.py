@@ -1,0 +1,330 @@
+"""Failure-path and concurrency tests for the remote block layer.
+
+Covers the hardening work of ISSUE 1: parallel dispatch of reads on
+one export, client deadlines + reconnect-and-retry over injected
+faults, graceful server shutdown with in-flight requests, and quota
+exhaustion mid-cold-run over a remote backing chain.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    RemoteDisconnectedError,
+    RemoteError,
+    RemoteTimeoutError,
+)
+from repro.imagefmt.driver import BlockDriver
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.imagefmt.raw import RawImage
+from repro.remote import BlockServer, FaultInjector, RemoteImage
+from repro.remote.protocol import ProtocolError, RemoteOpError
+from repro.units import KiB, MiB
+
+from tests.conftest import pattern
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+FAST_RETRY = dict(max_retries=2, backoff_base=0.01, backoff_max=0.05)
+
+
+class _BarrierReads(BlockDriver):
+    """A driver whose reads only complete when N run simultaneously."""
+
+    format_name = "barrier"
+
+    def __init__(self, parties: int, wait: float = 10.0,
+                 size: int = MiB) -> None:
+        super().__init__("<barrier>", size, True)
+        self._barrier = threading.Barrier(parties)
+        self._wait = wait
+
+    @property
+    def supports_concurrent_reads(self) -> bool:
+        return True
+
+    def _read_impl(self, offset: int, length: int) -> bytes:
+        self._barrier.wait(timeout=self._wait)
+        return b"\x5a" * length
+
+    def _write_impl(self, offset: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _close_impl(self) -> None:
+        pass
+
+
+class _SlowReads(BlockDriver):
+    """A driver with a fixed per-read latency."""
+
+    format_name = "slow"
+
+    def __init__(self, delay: float, size: int = MiB) -> None:
+        super().__init__("<slow>", size, True)
+        self._delay = delay
+
+    @property
+    def supports_concurrent_reads(self) -> bool:
+        return True
+
+    def _read_impl(self, offset: int, length: int) -> bytes:
+        time.sleep(self._delay)
+        return b"\x07" * length
+
+    def _write_impl(self, offset: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _close_impl(self) -> None:
+        pass
+
+
+def _server_threads(server: BlockServer) -> list[threading.Thread]:
+    prefix = f"blockserver-{server.port}"
+    return [t for t in threading.enumerate()
+            if t.name.startswith(prefix) and t.is_alive()]
+
+
+class TestParallelDispatch:
+    def test_reads_of_one_export_run_in_parallel(self):
+        """N clients must be inside _read_impl simultaneously, which the
+        old export-wide mutex made impossible."""
+        parties = 4
+        driver = _BarrierReads(parties)
+        results = []
+        with BlockServer() as server:
+            server.add_export("b", driver)
+
+            def reader():
+                with RemoteImage.connect(server.url("b")) as img:
+                    results.append(img.read(0, 4096))
+
+            threads = [threading.Thread(target=reader)
+                       for _ in range(parties)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+        assert results == [b"\x5a" * 4096] * parties
+
+    def test_serialized_baseline_cannot_rendezvous(self):
+        """With parallel_reads=False the same barrier read deadlocks and
+        times out — proving the knob really serializes."""
+        driver = _BarrierReads(2, wait=0.3)
+        errors = []
+        with BlockServer(parallel_reads=False) as server:
+            server.add_export("b", driver)
+
+            def reader():
+                try:
+                    with RemoteImage.connect(server.url("b"),
+                                             **FAST_RETRY) as img:
+                        img.read(0, 64)
+                except ProtocolError as exc:
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=reader) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+        assert len(errors) == 2  # both reads got BrokenBarrierError
+
+    def test_many_clients_bytes_and_stats_exact(self, small_base):
+        """Correct bytes under concurrency, and ExportStats — now fully
+        mutex-guarded, including `connections` — stay exact."""
+        n_clients, n_reads = 8, 25
+        base = RawImage.open(small_base)
+        failures = []
+        with BlockServer() as server:
+            server.add_export("base", base)
+
+            def reader(tag: int):
+                try:
+                    with RemoteImage.connect(server.url("base")) as img:
+                        for i in range(n_reads):
+                            off = ((tag * 131 + i * 17) % 1000) * 4096
+                            got = img.read(off, 4096)
+                            if got != pattern(off, 4096):
+                                failures.append((tag, i))
+                except Exception as exc:  # pragma: no cover
+                    failures.append(exc)
+
+            threads = [threading.Thread(target=reader, args=(t,))
+                       for t in range(n_clients)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not failures
+            stats = server.export_stats("base")
+            assert stats.connections == n_clients
+            assert stats.read_ops == n_clients * n_reads
+            assert stats.bytes_read == n_clients * n_reads * 4096
+        base.close()
+
+
+class TestRetry:
+    def test_read_survives_injected_drop(self, small_base):
+        base = RawImage.open(small_base)
+        fi = FaultInjector()
+        fi.inject("drop")
+        with BlockServer(fault_injector=fi) as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"),
+                                     **FAST_RETRY) as img:
+                assert img.read(0, 64 * KiB) == pattern(0, 64 * KiB)
+                stats = img.transport_stats
+                assert stats.retries == 1
+                assert stats.reconnects == 1
+            assert fi.stats.dropped == 1
+            assert server.export_stats("base").connections == 2
+        base.close()
+
+    def test_read_survives_deadline_timeout(self, small_base):
+        base = RawImage.open(small_base)
+        fi = FaultInjector(delay_seconds=0.6)
+        fi.inject("delay")
+        with BlockServer(fault_injector=fi) as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"), op_timeout=0.15,
+                                     **FAST_RETRY) as img:
+                assert img.read(0, 4096) == pattern(0, 4096)
+                assert img.transport_stats.timeouts == 1
+                assert img.transport_stats.retries == 1
+        base.close()
+
+    def test_injected_error_is_not_retried(self, small_base):
+        """Server-reported errors arrive on a healthy connection: they
+        surface immediately and the connection keeps working."""
+        base = RawImage.open(small_base)
+        fi = FaultInjector()
+        fi.inject("error")
+        with BlockServer(fault_injector=fi) as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"),
+                                     **FAST_RETRY) as img:
+                with pytest.raises(RemoteOpError, match="injected"):
+                    img.read(0, 64)
+                assert img.transport_stats.retries == 0
+                assert img.read(0, 64) == pattern(0, 64)
+        base.close()
+
+    def test_retries_exhausted_raises_remote_error(self, small_base):
+        base = RawImage.open(small_base)
+        server = BlockServer()
+        server.add_export("base", base)
+        img = RemoteImage.connect(server.url("base"), max_retries=1,
+                                  backoff_base=0.01, backoff_max=0.02)
+        assert img.read(0, 64) == pattern(0, 64)
+        server.close()
+        with pytest.raises(RemoteError):
+            img.read(0, 64)
+        img.close()
+        base.close()
+
+    def test_connect_to_dead_server_raises(self, small_base):
+        base = RawImage.open(small_base)
+        server = BlockServer()
+        server.add_export("base", base)
+        url = server.url("base")
+        server.close()
+        with pytest.raises(RemoteDisconnectedError):
+            RemoteImage.connect(url)
+        base.close()
+
+    def test_random_drop_rate_is_transparent(self, small_base):
+        """A lossy server (seeded, 20% drops) still serves every byte."""
+        base = RawImage.open(small_base)
+        fi = FaultInjector(drop_rate=0.2, seed=7)
+        with BlockServer(fault_injector=fi) as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"), max_retries=6,
+                                     backoff_base=0.005,
+                                     backoff_max=0.02) as img:
+                for i in range(40):
+                    off = i * 8192
+                    assert img.read(off, 4096) == pattern(off, 4096)
+                assert img.transport_stats.retries >= 1
+            assert fi.stats.dropped >= 1
+        base.close()
+
+
+class TestGracefulShutdown:
+    def test_close_drains_in_flight_request(self):
+        driver = _SlowReads(0.6)
+        server = BlockServer()
+        server.add_export("slow", driver)
+        img = RemoteImage.connect(server.url("slow"), max_retries=0)
+        result: dict = {}
+
+        def reader():
+            try:
+                result["data"] = img.read(0, 4096)
+            except Exception as exc:
+                result["exc"] = exc
+
+        t = threading.Thread(target=reader)
+        t.start()
+        time.sleep(0.2)  # the read is now in flight inside dispatch
+        server.close()
+        t.join(timeout=10)
+        assert result.get("data") == b"\x07" * 4096, result
+        img.close()
+        assert _server_threads(server) == []
+
+    def test_close_leaves_no_live_threads(self, small_base):
+        base = RawImage.open(small_base)
+        server = BlockServer()
+        server.add_export("base", base)
+        imgs = [RemoteImage.connect(server.url("base")) for _ in range(3)]
+        for img in imgs:
+            assert img.read(0, 512) == pattern(0, 512)
+        # Clients left connected and idle: their workers are blocked in
+        # recv and must still be unblocked, joined, and cleaned up.
+        server.close()
+        assert _server_threads(server) == []
+        assert not any(t.is_alive() for t in threading.enumerate()
+                       if t.name.startswith(f"blockserver-{server.port}"))
+        server.close()  # idempotent
+        for img in imgs:
+            img.close()
+        base.close()
+
+    def test_connect_after_close_refused(self, small_base):
+        base = RawImage.open(small_base)
+        server = BlockServer()
+        server.add_export("base", base)
+        url = server.url("base")
+        server.close()
+        with pytest.raises(RemoteError):
+            RemoteImage.connect(url, timeout=1.0)
+        base.close()
+
+
+class TestRemoteQuotaExhaustion:
+    def test_quota_exhaustion_mid_cold_run(self, tmp_path, small_base):
+        """A cache over an nbd:// backing hits its quota mid-cold-run:
+        the guest read still returns correct bytes, CoR turns off, and
+        the file stays within quota."""
+        quota = 96 * KiB
+        base = RawImage.open(small_base)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            cache_p = str(tmp_path / "cache.qcow2")
+            Qcow2Image.create(cache_p, backing_file=server.url("base"),
+                              cluster_size=512,
+                              cache_quota=quota).close()
+            cow = Qcow2Image.create(str(tmp_path / "cow.qcow2"),
+                                    backing_file=cache_p,
+                                    backing_format="qcow2")
+            with cow:
+                data = cow.read(0, 512 * KiB)
+                assert data == pattern(0, 512 * KiB)
+                cache = cow.backing
+                assert cache.is_cache
+                assert cache.cache_runtime.cor.space_errors >= 1
+                assert not cache.cache_runtime.cor.enabled
+                assert cache.physical_size <= quota
+        base.close()

@@ -1,0 +1,88 @@
+"""Semantics of the server's reader-writer lock."""
+
+import threading
+import time
+
+import pytest
+
+from repro.remote.rwlock import RWLock
+
+
+class TestRWLock:
+    def test_readers_share(self):
+        lock = RWLock()
+        inside = threading.Barrier(3)
+
+        def reader():
+            with lock.read_locked():
+                inside.wait(timeout=5)  # needs all 3 in at once
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_writer_excludes_readers(self):
+        lock = RWLock()
+        lock.acquire_write()
+        assert not lock.acquire_read(timeout=0.05)
+        lock.release_write()
+        assert lock.acquire_read(timeout=1)
+        lock.release_read()
+
+    def test_writers_exclude_each_other(self):
+        lock = RWLock()
+        lock.acquire_write()
+        assert not lock.acquire_write(timeout=0.05)
+        lock.release_write()
+        assert lock.acquire_write(timeout=1)
+        lock.release_write()
+
+    def test_reader_excludes_writer(self):
+        lock = RWLock()
+        lock.acquire_read()
+        assert not lock.acquire_write(timeout=0.05)
+        lock.release_read()
+        assert lock.acquire_write(timeout=1)
+        lock.release_write()
+
+    def test_writer_preference(self):
+        """A waiting writer blocks new readers (no writer starvation)."""
+        lock = RWLock()
+        lock.acquire_read()
+        got_write = threading.Event()
+
+        def writer():
+            lock.acquire_write()
+            got_write.set()
+            time.sleep(0.05)
+            lock.release_write()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        time.sleep(0.05)  # writer is now queued
+        assert not lock.acquire_read(timeout=0.05)  # reader must wait
+        lock.release_read()
+        assert got_write.wait(timeout=5)
+        t.join(timeout=5)
+        assert lock.acquire_read(timeout=1)
+        lock.release_read()
+
+    def test_release_without_acquire_raises(self):
+        lock = RWLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+    def test_context_managers(self):
+        lock = RWLock()
+        with lock.read_locked():
+            pass
+        with lock.write_locked():
+            pass
+        # Fully released afterwards:
+        assert lock.acquire_write(timeout=0.5)
+        lock.release_write()

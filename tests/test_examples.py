@@ -35,6 +35,8 @@ class TestExamples:
         out = run_example("remote_storage_node.py")
         assert "storage node serving nbd://" in out
         assert "warm boot pulled 0 B" in out
+        assert "injected 2 connection drops" in out
+        assert "shut down gracefully" in out
 
     @pytest.mark.parametrize("name", [
         "quickstart.py",
