@@ -30,7 +30,14 @@ dispatches ``REQ_READ`` under a shared lock.  The declaration means:
   authoritative traffic numbers in that mode;
 * range tracking (``enable_range_tracking``) must not be enabled on a
   driver served concurrently: :class:`RangeSet` mutation is not
-  thread-safe.
+  thread-safe.  The block server enforces this at ``add_export`` time
+  by serializing any export whose backing chain has tracking enabled;
+  enable tracking *before* registering the export.
+
+A driver with a backing chain may declare concurrent-read support only
+if every image in the chain does — a read-only overlay still forwards
+cold reads to its backing, so a remote or writable-cache backing
+poisons the whole chain.
 
 Writes, flushes, and reads that may populate state (copy-on-read
 caches) are never concurrency-safe and always need exclusive access.

@@ -335,8 +335,14 @@ class Qcow2Image(BlockDriver):
         # disabled at open; the L2-table cache can only race benignly
         # (two threads parse identical on-disk bytes).  Anything
         # writable — including every CoR cache — needs exclusive
-        # access.  See the locking contract in repro.imagefmt.driver.
-        return self.read_only
+        # access.  The whole backing chain must agree: a read-only
+        # overlay still forwards cold reads to its backing, which may
+        # be a RemoteImage (one socket, strictly alternating frames)
+        # or a cache opened read-write whose read path does CoR.
+        # See the locking contract in repro.imagefmt.driver.
+        return self.read_only and (
+            self._backing is None
+            or self._backing.supports_concurrent_reads)
 
     @property
     def cor_enabled(self) -> bool:

@@ -53,17 +53,24 @@ class RWLock:
     def acquire_write(self, timeout: float | None = None) -> bool:
         with self._cond:
             self._writers_waiting += 1
+            acquired = False
             try:
-                ok = self._cond.wait_for(
+                acquired = self._cond.wait_for(
                     lambda: not self._writer_active
                     and self._readers == 0,
                     timeout)
-                if not ok:
-                    return False
-                self._writer_active = True
-                return True
+                if acquired:
+                    self._writer_active = True
+                return acquired
             finally:
                 self._writers_waiting -= 1
+                if not acquired and not self._writers_waiting \
+                        and not self._writer_active:
+                    # Readers queue behind waiting writers; if the last
+                    # waiting writer gives up (timeout or interrupt)
+                    # nobody releases anything afterwards, so wake the
+                    # queued readers or they block forever.
+                    self._cond.notify_all()
 
     def release_write(self) -> None:
         with self._cond:

@@ -14,8 +14,10 @@ reader-writer locked:
 The parallel/exclusive decision is made once per export at
 :meth:`BlockServer.add_export` time from the driver's declared
 contract (see the locking-contract notes in
-:mod:`repro.imagefmt.driver`); ``parallel_reads=False`` on the server
-forces the old fully-serialized behaviour for A/B benchmarking.
+:mod:`repro.imagefmt.driver`); chains with range tracking enabled are
+always serialized (RangeSet mutation is not thread-safe), and
+``parallel_reads=False`` on the server forces the old fully-serialized
+behaviour for A/B benchmarking.
 Per-export :class:`ExportStats` are the authoritative traffic measure
 under concurrency and are guarded by their own mutex.
 
@@ -43,6 +45,16 @@ from repro.remote.fault import (
     FaultInjector,
 )
 from repro.remote.rwlock import RWLock
+
+
+def _chain_range_tracked(driver: BlockDriver) -> bool:
+    """True if any image in the backing chain records touched ranges."""
+    img: BlockDriver | None = driver
+    while img is not None:
+        if img.stats.track_ranges:
+            return True
+        img = img.backing
+    return False
 
 
 @dataclass
@@ -110,11 +122,17 @@ class BlockServer:
         Whether reads of this export run in parallel is decided here,
         once, from ``driver.supports_concurrent_reads`` — a driver that
         is unsafe for concurrent reads (read-write QCOW2, CoR caches,
-        remote connections) is served fully serialized.
+        remote connections) is served fully serialized.  A chain with
+        range tracking enabled (``enable_range_tracking``, the Table 1
+        unique-reads measurement) is likewise serialized: RangeSet
+        mutation is not thread-safe.  Enable tracking *before*
+        registering the export; the decision is not revisited.
         """
         if name in self._exports:
             raise ValueError(f"export {name!r} already registered")
-        parallel = self._parallel_reads and driver.supports_concurrent_reads
+        parallel = (self._parallel_reads
+                    and driver.supports_concurrent_reads
+                    and not _chain_range_tracked(driver))
         self._exports[name] = _Export(driver, writable, parallel)
 
     def export_stats(self, name: str) -> ExportStats:

@@ -165,6 +165,72 @@ class TestParallelDispatch:
         base.close()
 
 
+class TestConcurrencyContract:
+    """The parallel-dispatch decision must respect the whole backing
+    chain and the range-tracking contract, not just the top driver."""
+
+    def test_ro_overlay_over_local_ro_backing_is_concurrent(
+            self, tmp_path, small_base):
+        p = str(tmp_path / "ov.qcow2")
+        Qcow2Image.create(p, backing_file=small_base).close()
+        with Qcow2Image.open(p, read_only=True) as ov:
+            assert ov.backing.supports_concurrent_reads
+            assert ov.supports_concurrent_reads
+
+    def test_ro_overlay_over_remote_backing_serialized(
+            self, tmp_path, small_base):
+        """An nbd:// backing is one socket with strictly alternating
+        frames — the overlay must veto parallel reads for the chain."""
+        base = RawImage.open(small_base)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            p = str(tmp_path / "ov.qcow2")
+            Qcow2Image.create(p, backing_file=server.url("base")).close()
+            with Qcow2Image.open(p, read_only=True) as ov:
+                assert ov.read_only
+                assert not ov.supports_concurrent_reads
+                server.add_export("ov", ov)
+                assert not server._exports["ov"].parallel_reads
+        base.close()
+
+    def test_ro_overlay_over_cache_backing_serialized(
+            self, tmp_path, small_base):
+        """A cache backing is opened read-write and its read path does
+        CoR writes, so the read-only overlay is still not safe."""
+        cache_p = str(tmp_path / "cache.qcow2")
+        Qcow2Image.create(cache_p, backing_file=small_base,
+                          cache_quota=2 * MiB).close()
+        ov_p = str(tmp_path / "ov.qcow2")
+        Qcow2Image.create(ov_p, backing_file=cache_p,
+                          backing_format="qcow2").close()
+        with Qcow2Image.open(ov_p, read_only=True) as ov:
+            assert not ov.backing.read_only  # cache opened rw for CoR
+            assert not ov.supports_concurrent_reads
+
+    def test_range_tracked_export_serialized(self, small_base):
+        """Range tracking (Table 1 unique reads) mutates a RangeSet on
+        every read; add_export must fall back to serialized dispatch."""
+        tracked = RawImage.open(small_base)
+        tracked.enable_range_tracking()
+        clean = RawImage.open(small_base)
+        with BlockServer() as server:
+            server.add_export("tracked", tracked)
+            server.add_export("clean", clean)
+            assert not server._exports["tracked"].parallel_reads
+            assert server._exports["clean"].parallel_reads
+        tracked.close()
+        clean.close()
+
+    def test_range_tracked_backing_serialized(self, tmp_path, small_base):
+        p = str(tmp_path / "ov.qcow2")
+        Qcow2Image.create(p, backing_file=small_base).close()
+        with Qcow2Image.open(p, read_only=True) as ov:
+            ov.backing.enable_range_tracking()
+            with BlockServer() as server:
+                server.add_export("ov", ov)
+                assert not server._exports["ov"].parallel_reads
+
+
 class TestRetry:
     def test_read_survives_injected_drop(self, small_base):
         base = RawImage.open(small_base)

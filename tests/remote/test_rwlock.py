@@ -70,6 +70,36 @@ class TestRWLock:
         assert lock.acquire_read(timeout=1)
         lock.release_read()
 
+    def test_writer_timeout_wakes_queued_readers(self):
+        """A timed-out writer must re-notify readers queued behind it
+        (writer preference), not leave them blocked until some
+        unrelated release happens."""
+        lock = RWLock()
+        lock.acquire_read()  # keeps the writer from ever acquiring
+        reader_got = threading.Event()
+
+        def writer():
+            assert not lock.acquire_write(timeout=0.2)
+
+        def late_reader():
+            if lock.acquire_read(timeout=10):
+                reader_got.set()
+                lock.release_read()
+
+        wt = threading.Thread(target=writer)
+        wt.start()
+        time.sleep(0.05)  # writer is now queued
+        rt = threading.Thread(target=late_reader)
+        rt.start()
+        time.sleep(0.05)  # reader is now queued behind the writer
+        wt.join(timeout=5)
+        assert not wt.is_alive()
+        # Well before the reader's own 10 s deadline: it must have
+        # been woken by the timed-out writer's notify.
+        assert reader_got.wait(timeout=2)
+        rt.join(timeout=5)
+        lock.release_read()
+
     def test_release_without_acquire_raises(self):
         lock = RWLock()
         with pytest.raises(RuntimeError):
