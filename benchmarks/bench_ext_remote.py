@@ -219,6 +219,101 @@ def _run_retry() -> ExperimentLog:
     return log
 
 
+def _run_pipeline(quick: bool = False) -> ExperimentLog:
+    """Latency-shaped A/B of the v2 pipelined client vs lock-step v1.
+
+    Every request pays a fixed injected wire delay, so a lock-step
+    client pays it once per chunk while a depth-8 window overlaps
+    them — the speedup is the depth, minus scheduling overhead.  A
+    second stage checks the parallel cache warmer lands byte-for-byte
+    the same working set the serial sample-boot path would.
+    """
+    from repro.bootmodel.generator import generate_boot_trace
+    from repro.bootmodel.profiles import tiny_profile
+    from repro.bootmodel.vm import warm_cache_by_boot
+    from repro.cluster.warmer import (
+        checksum_extents,
+        warm_cache,
+        working_set_extents,
+    )
+    from repro.remote import BlockServer, FaultInjector, RemoteImage
+
+    log = ExperimentLog(
+        "BENCH_remote_pipeline",
+        "Tagged multi-in-flight requests vs lock-step v1 under "
+        "per-request wire latency")
+    delay = 0.003 if quick else 0.005
+    chunk = 128 * KiB
+    size = (2 * MiB) if quick else (8 * MiB)
+    base_dir = "/dev/shm" if os.path.isdir("/dev/shm") else None
+    workdir = tempfile.mkdtemp(prefix="repro-remote-pipe-", dir=base_dir)
+    try:
+        content = random.Random(7).randbytes(size)
+        base_path = os.path.join(workdir, "base.raw")
+        base = RawImage.create(base_path, size)
+        base.write(0, content)
+        base.flush()
+
+        fi = FaultInjector(delay_rate=1.0, delay_seconds=delay)
+        mismatches = 0
+        with BlockServer(fault_injector=fi) as server:
+            server.add_export("base", base)
+            url = server.url("base")
+            for label, kwargs in (("v1", {"protocol": 1}),
+                                  ("v2", {"depth": 8})):
+                with RemoteImage.connect(url, chunk_size=chunk,
+                                         **kwargs) as img:
+                    t0 = time.perf_counter()
+                    blob = img.read(0, size)
+                    log.record_scalar(f"{label}_s",
+                                      time.perf_counter() - t0)
+                    if blob != content:
+                        mismatches += 1
+                    if label == "v2":
+                        log.record_scalar(
+                            "v2_inflight_hwm",
+                            img.transport_stats.inflight_hwm)
+
+            # Parallel warmer vs serial sample boot, over the same
+            # latency-shaped wire.
+            profile = tiny_profile(
+                vmi_size=size,
+                working_set=(256 * KiB) if quick else MiB,
+                boot_time=1.0)
+            trace = generate_boot_trace(profile, seed=5)
+            quota = 2 * size
+            warm_p = os.path.join(workdir, "warmed.qcow2")
+            Qcow2Image.create(warm_p, backing_file=url,
+                              cluster_size=512,
+                              cache_quota=quota).close()
+            t0 = time.perf_counter()
+            with Qcow2Image.open(warm_p, read_only=False) as cache:
+                warm_report = warm_cache(cache, trace)
+                extents = working_set_extents(
+                    trace, size=cache.size, align=cache.cluster_size)
+                warm_sum = checksum_extents(cache, extents)
+            warm_s = time.perf_counter() - t0
+        base.close()
+
+        serial_p = os.path.join(workdir, "serial.qcow2")
+        warm_cache_by_boot(trace, base_path, serial_p, quota=quota)
+        with Qcow2Image.open(serial_p) as serial:
+            serial_sum = checksum_extents(serial, extents)
+
+        log.record_scalar("chunks", size // chunk)
+        log.record_scalar("delay_ms", delay * 1e3)
+        log.record_scalar("speedup",
+                          log.scalars["v1_s"] / log.scalars["v2_s"])
+        log.record_scalar("mismatched_reads", mismatches)
+        log.record_scalar("warm_s", warm_s)
+        log.record_scalar("warm_mb", warm_report.bytes_written / MB)
+        log.record_scalar("warm_checksum_ok",
+                          1.0 if warm_sum == serial_sum else 0.0)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return log
+
+
 def test_ext_remote_transparency(benchmark, report):
     log = run_once(benchmark, _run)
     report(log, "case")
@@ -249,3 +344,21 @@ def test_ext_remote_retry_transparency(benchmark, report):
                 "every byte survives the injected connection drops")
     shape_check(log.scalars["retries"] >= log.scalars["injected_drops"],
                 "each drop was absorbed by a client retry")
+
+
+def test_ext_remote_pipelining(benchmark, report, request):
+    quick = request.config.getoption("--quick")
+    log = run_once(benchmark, _run_pipeline, quick=quick)
+    report(log, "case")
+
+    floor = 2.0 if quick else 3.0
+    shape_check(
+        log.scalars["speedup"] >= floor,
+        f"a depth-8 window amortizes per-request latency "
+        f">= {floor}x over lock-step v1")
+    shape_check(log.scalars["mismatched_reads"] == 0,
+                "pipelined reassembly is byte-exact")
+    shape_check(log.scalars["v2_inflight_hwm"] >= 4,
+                "the window actually keeps several requests in flight")
+    shape_check(log.scalars["warm_checksum_ok"] == 1.0,
+                "the parallel warmer lands the serial boot's exact bytes")

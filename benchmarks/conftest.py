@@ -33,6 +33,13 @@ from repro.metrics import format_series_table
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="smoke-scale axes for CI: smaller transfers and shorter "
+             "injected delays, relaxed shape-check floors")
+
+
 def full_scale() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
 

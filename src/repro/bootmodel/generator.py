@@ -14,6 +14,8 @@ be modelled by reusing one trace per VMI copy.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from repro.bootmodel.profiles import OSProfile
@@ -39,8 +41,11 @@ def generate_boot_trace(
     set, used by tests and by quota-sweep experiments that need smaller
     boots.
     """
+    # crc32, not hash(): the builtin is salted per process
+    # (PYTHONHASHSEED), which would make "a pure function of
+    # (profile, seed)" silently false across runs.
     rng = np.random.default_rng(
-        np.random.SeedSequence([abs(hash(profile.name)) % 2**32, seed]))
+        np.random.SeedSequence([zlib.crc32(profile.name.encode()), seed]))
     target_ws = working_set_override if working_set_override is not None \
         else profile.read_working_set
     if target_ws <= 0:
@@ -55,8 +60,18 @@ def generate_boot_trace(
     cursor = int(zones[0])
 
     # Phase 1: unique reads until the working set is reached.
+    stalls = 0
     while covered_bytes < target_ws:
-        if ops and rng.random() < profile.sequential_fraction:
+        if stalls >= 8:
+            # The zone-biased draws keep landing on covered ranges —
+            # with a small image the reachable zone span can be smaller
+            # than the target working set, which would stall this loop
+            # near-forever.  Jump to the first uncovered gap instead.
+            gaps = covered.gaps(0, profile.vmi_size)
+            offset = align_down(gaps[0][0], _SECTOR) if gaps \
+                else cursor
+            stalls = 0
+        elif ops and rng.random() < profile.sequential_fraction:
             offset = cursor
         else:
             zone = int(zones[rng.integers(len(zones))])
@@ -77,9 +92,11 @@ def generate_boot_trace(
         if covered_bytes == before:
             # Fully re-read range: keep it (counts as natural re-read),
             # but bump the cursor so sequential runs escape the overlap.
+            stalls += 1
             cursor = offset + length
             ops.append(TraceOp("read", offset, length, 0.0))
             continue
+        stalls = 0
         ops.append(TraceOp("read", offset, length, 0.0))
         cursor = offset + length
 

@@ -18,6 +18,12 @@ from repro.cluster.scheduler import (
     PackingStrategy,
     StripingStrategy,
 )
+from repro.cluster.warmer import (
+    WarmReport,
+    checksum_extents,
+    warm_cache,
+    working_set_extents,
+)
 
 __all__ = [
     "CachePool",
@@ -32,4 +38,8 @@ __all__ = [
     "DeploymentResult",
     "Cloud",
     "VMIDescriptor",
+    "WarmReport",
+    "checksum_extents",
+    "warm_cache",
+    "working_set_extents",
 ]

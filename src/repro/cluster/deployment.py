@@ -34,6 +34,7 @@ from typing import Literal
 from repro.bootmodel.trace import BootTrace
 from repro.cluster.cache_manager import CacheRegistry
 from repro.cluster.placement import PlacementPlan, plan_chain
+from repro.cluster.warmer import working_set_extents
 from repro.sim.blockio import SimImage
 from repro.sim.cluster_sim import (
     BootJob,
@@ -105,6 +106,58 @@ class Deployment:
         self.bases[vmi_id] = base
         self.traces[vmi_id] = trace
         return base
+
+    def prewarm(self, vmi_id: str, node_id: str, *,
+                register: Literal["storage", "node"] = "storage") -> float:
+        """Warm a VMI cache from its trace's working set, ahead of any
+        wave — the simulated counterpart of
+        :func:`repro.cluster.warmer.warm_cache`.
+
+        Instead of booting a sample VM (which serializes cold reads in
+        boot order), the working set is read cluster-aligned through a
+        fresh cache staged in ``node_id``'s memory, then the populated
+        cache is registered: ``register="storage"`` ships it to the
+        storage node's tmpfs (Figure 13 arrangement), ``"node"``
+        flushes it to the compute node's local disk (Figure 7).
+        Subsequent waves then take the warm-cache path.  Returns the
+        simulated seconds the warm-up took.
+        """
+        if register not in ("storage", "node"):
+            raise ValueError(f"unknown register target {register!r}")
+        tb = self.testbed
+        base = self.bases[vmi_id]
+        trace = self.traces[vmi_id]
+        node = tb.node_by_id(node_id)
+        cache = SimImage(
+            f"{vmi_id}.prewarm", base.size,
+            tb.compute_mem_location(node, f"{vmi_id}.prewarm"),
+            cluster_bits=self.cache_cluster_bits,
+            backing=base,
+            cache_quota=self.cache_quota,
+        )
+        extents = working_set_extents(trace, size=cache.size,
+                                      align=cache.cluster_size)
+        t0 = tb.env.now
+
+        def warm():
+            plan = []
+            for offset, length in extents:
+                cache.read(offset, length, plan)
+            for req in plan:
+                yield from tb.execute(req, node)
+            if register == "storage":
+                yield from tb.copy_cache_to_storage_memory(cache)
+            else:
+                yield from tb.flush_cache_to_local_disk(node, cache)
+
+        tb.env.run(until=tb.env.process(warm()))
+        if register == "storage":
+            evicted = self.registry.storage_pool.put(vmi_id, cache)
+            for victim in evicted:
+                tb.storage.memory.free(victim.physical_bytes)
+        else:
+            self.registry.node_pool(node_id).put(vmi_id, cache)
+        return tb.env.now - t0
 
     # -- wave execution -------------------------------------------------------
 

@@ -219,6 +219,17 @@ class BlockDriver(ABC):
         self._write_impl(offset, bytes(data))
         self.stats.record_write(offset, len(data))
 
+    def read_batch(self, extents: list[tuple[int, int]]) -> list[bytes]:
+        """Read several ``(offset, length)`` extents, results in order.
+
+        The default is a serial loop; transports that can overlap
+        requests (the pipelined remote client) override this so a
+        batch costs far fewer round-trips than N serial reads.  Bulk
+        consumers — the cache warmer populating a working set — should
+        prefer this over per-extent ``read`` calls.
+        """
+        return [self.read(offset, length) for offset, length in extents]
+
     def flush(self) -> None:
         self._check_open()
         self.stats.flush_ops += 1
@@ -248,6 +259,14 @@ class BlockDriver(ABC):
     def backing(self) -> "BlockDriver | None":
         """The backing image, if any (None for raw images)."""
         return None
+
+    def image_info(self) -> dict:
+        """qemu-img-info-style summary; formats extend this dict."""
+        return {
+            "format": self.format_name,
+            "virtual_size": self.size,
+            "is_cache": False,
+        }
 
     @property
     def supports_concurrent_reads(self) -> bool:

@@ -414,39 +414,50 @@ class Qcow2Image(BlockDriver):
     def _read_impl(self, offset: int, length: int) -> bytes:
         # Group the per-cluster chunks into maximal warm/cold runs so
         # that a read crossing many cold clusters turns into one backing
-        # fetch and one populating write, not one per cluster.
+        # fetch and one populating write, not one per cluster.  The
+        # physical offset resolved here rides along in the run tuples,
+        # so serving a warm run never re-walks the L1/L2 tables.
         out = bytearray(length)
         pos = 0
-        run: list[tuple[int, int, int]] = []
+        run: list[tuple[int, int, int, int]] = []
         run_cold: bool | None = None
         for index, in_cluster, chunk in iter_cluster_chunks(
                 offset, length, self.cluster_size):
             vba = index * self.cluster_size
-            cold = self._lookup(vba) == 0
+            phys = self._lookup(vba)
+            cold = phys == 0
             if run and cold != run_cold:
                 pos = self._serve_run(run, run_cold, out, pos)
                 run = []
-            run.append((vba, in_cluster, chunk))
+            run.append((vba, in_cluster, chunk, phys))
             run_cold = cold
         if run:
             self._serve_run(run, run_cold, out, pos)
         return bytes(out)
 
-    def _serve_run(self, run: list[tuple[int, int, int]], cold: bool,
-                   out: bytearray, pos: int) -> int:
+    def _serve_run(self, run: list[tuple[int, int, int, int]],
+                   cold: bool, out: bytearray, pos: int) -> int:
         if cold:
             data = self._read_cold_run(run)
         else:
+            # Adjacent virtual clusters often sit in adjacent physical
+            # clusters (sequential allocation); coalesce each maximal
+            # physically-contiguous extent into a single pread.
             parts = []
-            for vba, in_cluster, chunk in run:
-                phys = self._lookup(vba)
-                piece = self._f.pread(chunk, phys + in_cluster)
-                if len(piece) != chunk:
-                    raise CorruptImageError(
-                        f"{self.path}: short read of allocated cluster")
-                parts.append(piece)
+            ext_off = -1
+            ext_len = 0
+            for _vba, in_cluster, chunk, phys in run:
+                at = phys + in_cluster
+                if ext_len and at == ext_off + ext_len:
+                    ext_len += chunk
+                    continue
+                if ext_len:
+                    parts.append(self._pread_exact(ext_len, ext_off))
+                ext_off, ext_len = at, chunk
+            if ext_len:
+                parts.append(self._pread_exact(ext_len, ext_off))
             data = b"".join(parts)
-        total = sum(chunk for _, _, chunk in run)
+        total = sum(chunk for _, _, chunk, _ in run)
         if self.is_cache:
             if cold:
                 self.stats.cache_miss_bytes += total
@@ -455,14 +466,22 @@ class Qcow2Image(BlockDriver):
         out[pos: pos + total] = data
         return pos + total
 
-    def _read_cold_run(self, run: list[tuple[int, int, int]]) -> bytes:
+    def _pread_exact(self, length: int, offset: int) -> bytes:
+        piece = self._f.pread(length, offset)
+        if len(piece) != length:
+            raise CorruptImageError(
+                f"{self.path}: short read of allocated cluster")
+        return piece
+
+    def _read_cold_run(self,
+                       run: list[tuple[int, int, int, int]]) -> bytes:
         """Serve a read of consecutive unallocated clusters (§4.3 cold
         path): recurse to the backing image, and — with copy-on-read
         enabled — store the fetched clusters before returning."""
-        first_vba, first_in, _ = run[0]
-        last_vba, last_in, last_chunk = run[-1]
+        first_vba, first_in, _, _ = run[0]
+        last_vba, last_in, last_chunk, _ = run[-1]
         if self._backing is None:
-            return b"\0" * sum(chunk for _, _, chunk in run)
+            return b"\0" * sum(chunk for _, _, chunk, _ in run)
         if self.cor_enabled:
             # Fetch the covering clusters in full, populate, slice.
             span = last_vba + self.cluster_size - first_vba
@@ -502,66 +521,96 @@ class Qcow2Image(BlockDriver):
         # identically against the quota; the flag only routes the
         # accounting to the cor_* counters so Figure 9-style traffic
         # breakdowns can tell population apart from guest writes.
-        chunks = list(iter_cluster_chunks(offset, len(data),
-                                          self.cluster_size))
+        # Each target cluster is resolved through L1/L2 exactly once;
+        # both the quota estimate and the per-cluster writes below
+        # consume that resolution (``iter_cluster_chunks`` yields each
+        # cluster at most once per write, so a resolved physical
+        # offset cannot go stale within the loop).
+        sites = self._resolve_write(offset, len(data))
         if self.is_cache:
-            upcoming = self._estimate_new_clusters(chunks)
+            upcoming = self._estimate_new_clusters(sites)
             self.cache_runtime.quota_policy.check(
                 self._alloc.physical_size,
                 upcoming * self.cluster_size,
                 self.header.cluster_bits,
             )
         pos = 0
-        for index, in_cluster, chunk in chunks:
-            vba = index * self.cluster_size
+        for vba, in_cluster, chunk, phys in sites:
             self._write_cluster(
-                vba, in_cluster, data[pos: pos + chunk])
+                vba, in_cluster, data[pos: pos + chunk], phys)
             pos += chunk
         if _cor:
             self.stats.cor_write_ops += 1
             self.stats.cor_bytes_written += len(data)
 
+    def _resolve_write(self, offset: int,
+                       length: int) -> list[tuple[int, int, int, int]]:
+        """Resolve every cluster a write touches in one L1/L2 walk.
+
+        Returns ``(vba, in_cluster, chunk, phys)`` per cluster, with
+        ``phys == 0`` for clusters not yet allocated.  The L2 table is
+        fetched once per L1 slot, not once per cluster.
+        """
+        sites: list[tuple[int, int, int, int]] = []
+        table: list[int] | None = None
+        cur_l1 = -1
+        for index, in_cluster, chunk in iter_cluster_chunks(
+                offset, length, self.cluster_size):
+            vba = index * self.cluster_size
+            l1_index = self._split.l1_index(vba)
+            if l1_index != cur_l1:
+                table = self._load_l2(l1_index)
+                cur_l1 = l1_index
+            if table is None:
+                phys = 0
+            else:
+                entry = table[self._split.l2_index(vba)]
+                if entry & C.OFLAG_COMPRESSED:
+                    raise UnsupportedFeatureError(
+                        f"{self.path}: compressed clusters are "
+                        f"unsupported")
+                phys = entry & C.L2E_OFFSET_MASK
+            sites.append((vba, in_cluster, chunk, phys))
+        return sites
+
     def _estimate_new_clusters(
-            self, chunks: list[tuple[int, int, int]]) -> int:
+            self, sites: list[tuple[int, int, int, int]]) -> int:
         """Clusters this write would newly allocate (data + L2 tables)."""
         new = 0
         seen_l1: set[int] = set()
-        for index, _in_cluster, _chunk in chunks:
-            vba = index * self.cluster_size
+        for vba, _in_cluster, _chunk, phys in sites:
             l1_index = self._split.l1_index(vba)
             if l1_index not in seen_l1:
                 seen_l1.add(l1_index)
-                if l1_index >= len(self._l1) or (
-                        self._l1[l1_index] & C.L1E_OFFSET_MASK) == 0:
+                if (self._l1[l1_index] & C.L1E_OFFSET_MASK) == 0:
                     new += 1
-            if self._lookup(vba) == 0:
+            if phys == 0:
                 new += 1
         return new
 
     def _write_cluster(self, cluster_vba: int, in_cluster: int,
-                       data: bytes) -> None:
+                       data: bytes, phys: int) -> None:
+        if phys != 0:
+            # Already allocated: no metadata touched at all.
+            self._f.pwrite(data, phys + in_cluster)
+            return
         l1_index = self._split.l1_index(cluster_vba)
         table = self._ensure_l2(l1_index)
         l2_index = self._split.l2_index(cluster_vba)
-        entry = table[l2_index]
-        phys = entry & C.L2E_OFFSET_MASK
-        if phys == 0:
-            phys = self._alloc.alloc(1)
-            full = in_cluster == 0 and len(data) == self.cluster_size
-            if not full:
-                # Copy-on-write fill: bring in the rest of the cluster
-                # from the backing chain (or zeros).  On a 64 KiB-cluster
-                # cache this is what amplifies storage-node traffic
-                # (Figure 9).
-                merged = bytearray(self._backing_cluster(cluster_vba))
-                merged[in_cluster: in_cluster + len(data)] = data
-                self._f.pwrite(bytes(merged), phys)
-            else:
-                self._f.pwrite(data, phys)
-            table[l2_index] = phys | C.OFLAG_COPIED
-            self._l2_dirty.add(l1_index)
+        phys = self._alloc.alloc(1)
+        full = in_cluster == 0 and len(data) == self.cluster_size
+        if not full:
+            # Copy-on-write fill: bring in the rest of the cluster
+            # from the backing chain (or zeros).  On a 64 KiB-cluster
+            # cache this is what amplifies storage-node traffic
+            # (Figure 9).
+            merged = bytearray(self._backing_cluster(cluster_vba))
+            merged[in_cluster: in_cluster + len(data)] = data
+            self._f.pwrite(bytes(merged), phys)
         else:
-            self._f.pwrite(data, phys + in_cluster)
+            self._f.pwrite(data, phys)
+        table[l2_index] = phys | C.OFLAG_COPIED
+        self._l2_dirty.add(l1_index)
 
     def _backing_cluster(self, cluster_vba: int) -> bytes:
         """Full cluster contents as seen through the backing chain."""

@@ -68,11 +68,7 @@ def cmd_info(args: argparse.Namespace) -> int:
             info = img.image_info()
     else:
         with open_image(args.path, fmt) as img:
-            info = {
-                "format": fmt,
-                "virtual_size": img.size,
-                "is_cache": False,
-            }
+            info = img.image_info()
     if args.json:
         print(json.dumps(info, indent=2))
         return 0

@@ -6,7 +6,7 @@ x-axis point) and to record paper-vs-measured comparisons for
 EXPERIMENTS.md.
 """
 
-from repro.metrics.collectors import ExperimentLog, Series
+from repro.metrics.collectors import ExperimentLog, LatencyHistogram, Series
 from repro.metrics.reporting import (
     format_comparison,
     format_series_table,
@@ -16,6 +16,7 @@ from repro.metrics.reporting import (
 __all__ = [
     "Series",
     "ExperimentLog",
+    "LatencyHistogram",
     "format_series_table",
     "format_comparison",
     "shape_check",

@@ -1,10 +1,80 @@
-"""Series and experiment-log containers for benchmark results."""
+"""Series and experiment-log containers for benchmark results, plus
+the :class:`LatencyHistogram` primitive the transport layers feed."""
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass, field
+
+
+class LatencyHistogram:
+    """Thread-safe log2-bucketed histogram of durations.
+
+    Observations are bucketed by microsecond magnitude (bucket *i*
+    covers ``(2^(i-1), 2^i]`` µs), which is coarse but constant-space
+    and lock-cheap — suitable for per-request accounting on the remote
+    datapath.  Quantiles are reported as the upper bound of the bucket
+    the quantile falls in.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._buckets: dict[int, int] = {}
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        us = max(1, int(seconds * 1e6))
+        idx = us.bit_length()
+        with self._lock:
+            self._buckets[idx] = self._buckets.get(idx, 0) + 1
+            self.count += 1
+            self.total_seconds += seconds
+            if seconds > self.max_seconds:
+                self.max_seconds = seconds
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the q-quantile, in seconds."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            target = q * self.count
+            seen = 0
+            for idx in sorted(self._buckets):
+                seen += self._buckets[idx]
+                if seen >= target:
+                    return (1 << idx) / 1e6
+            return (1 << max(self._buckets)) / 1e6
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """Plain-dict summary (milliseconds) for logs and image_info."""
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean_seconds * 1e3, 3),
+            "p50_ms": round(self.quantile(0.5) * 1e3, 3),
+            "p90_ms": round(self.quantile(0.9) * 1e3, 3),
+            "p99_ms": round(self.quantile(0.99) * 1e3, 3),
+            "max_ms": round(self.max_seconds * 1e3, 3),
+        }
+
+    def __repr__(self) -> str:
+        return (f"LatencyHistogram(count={self.count}, "
+                f"mean={self.mean_seconds * 1e3:.3f}ms)")
+
+
+def op_latency_histograms() -> dict[str, LatencyHistogram]:
+    """Pre-created per-op-kind histograms (no creation races)."""
+    return {kind: LatencyHistogram()
+            for kind in ("read", "write", "flush", "other")}
 
 
 @dataclass

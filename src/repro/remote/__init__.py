@@ -13,10 +13,14 @@ real sockets and real bytes:
   backing file and everything — copy-on-read, quotas, tooling — works
   unchanged over the network.
 
-The substrate is built for the paper's scale-out case: the server
-dispatches reads of one export concurrently (reader-writer locking;
-see :mod:`repro.remote.server`), the client has per-operation
-deadlines with bounded reconnect-and-retry (see
+The substrate is built for the paper's scale-out case: the wire
+protocol is versioned — v2 (negotiated at connect) tags requests so a
+single connection keeps a bounded window of them in flight and the
+server completes them out of order, v1 lock-step remains as the
+fallback and A/B baseline (see :mod:`repro.remote.protocol`) — the
+server dispatches reads of one export concurrently (reader-writer
+locking; see :mod:`repro.remote.server`), the client has per-operation
+deadlines with bounded reconnect-and-replay (see
 :mod:`repro.remote.client`), and
 :class:`~repro.remote.fault.FaultInjector` lets tests exercise the
 failure paths deterministically.
@@ -24,16 +28,28 @@ failure paths deterministically.
 
 from repro.remote.client import RemoteImage, TransportStats, parse_url
 from repro.remote.fault import FaultInjector, FaultStats
+from repro.remote.protocol import (
+    VERSION_1,
+    VERSION_2,
+    ExportRefusedError,
+    ProtocolError,
+    RemoteOpError,
+)
 from repro.remote.rwlock import RWLock
 from repro.remote.server import BlockServer, ExportStats
 
 __all__ = [
     "BlockServer",
+    "ExportRefusedError",
     "ExportStats",
     "FaultInjector",
     "FaultStats",
+    "ProtocolError",
     "RemoteImage",
+    "RemoteOpError",
     "RWLock",
     "TransportStats",
+    "VERSION_1",
+    "VERSION_2",
     "parse_url",
 ]

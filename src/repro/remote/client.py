@@ -5,32 +5,45 @@ Chains treat it like any other image, so
 real socket — the closest this environment gets to the paper's NFS
 mount, and a drop-in backing via ``nbd://host:port/export`` URLs.
 
+Pipelining.  With a v2 server (negotiated at connect; see
+:mod:`repro.remote.protocol`) the connection keeps up to ``depth``
+tagged requests in flight: the caller fans chunked reads/writes into a
+bounded window, a demultiplexing reader thread matches responses to
+requests by tag, and a latency-shaped link stays full instead of
+paying one round-trip per chunk.  ``protocol=1`` forces the old
+lock-step framing (the A/B baseline), and connecting to a pre-v2
+server falls back to it automatically.
+
 Failure model.  Every wire round-trip is bounded by a per-operation
-deadline (``op_timeout``; the old implementation left the *connect*
-timeout armed on every subsequent recv).  A timeout or a mid-stream
+deadline (``op_timeout``; in the pipelined path the deadline applies
+to the *oldest* outstanding request).  A timeout or a mid-stream
 disconnect leaves the framing in an unknown state, so the client never
 tries to resynchronize: it abandons the socket, reconnects (handshake
-included) with exponential backoff, and re-issues the request — block
-reads/writes/flushes are idempotent, so replay is safe.  After
-``max_retries`` failed re-attempts the error surfaces as
+included) with exponential backoff, and re-issues only the requests
+that were never acknowledged — block reads/writes/flushes are
+idempotent, so replay is safe.  After ``max_retries`` failed
+re-attempts the error surfaces as
 :class:`~repro.errors.RemoteTimeoutError` or
 :class:`~repro.errors.RemoteDisconnectedError`.  Server-*reported*
 errors (:class:`~repro.remote.protocol.RemoteOpError`, e.g. a write to
 a read-only export) arrive on a healthy connection and are raised
 immediately, never retried.
 
-Thread-safety: one ``RemoteImage`` is one connection with strictly
-alternating request/response framing, so it must not be shared across
-threads (``supports_concurrent_reads`` stays False); open one
-connection per client thread instead.
+Thread-safety: one ``RemoteImage`` is one connection and one caller.
+The internal reader thread only demultiplexes; the public interface
+must still be driven by a single thread at a time
+(``supports_concurrent_reads`` stays False); open one connection per
+client thread instead.
 """
 
 from __future__ import annotations
 
 import re
 import socket
+import threading
 import time
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, field
 
 from repro.errors import (
     InvalidImageError,
@@ -38,10 +51,14 @@ from repro.errors import (
     RemoteTimeoutError,
 )
 from repro.imagefmt.driver import BlockDriver
+from repro.metrics.collectors import LatencyHistogram, op_latency_histograms
 from repro.remote import protocol as wire
 
 _URL_RE = re.compile(
     r"^nbd://(?P<host>[^:/]+):(?P<port>\d+)/(?P<export>.+)$")
+
+_OP_KINDS = {wire.REQ_READ: "read", wire.REQ_WRITE: "write",
+             wire.REQ_FLUSH: "flush"}
 
 
 def parse_url(url: str) -> tuple[str, int, str]:
@@ -58,12 +75,48 @@ def is_remote_url(path: str) -> bool:
 
 @dataclass
 class TransportStats:
-    """Failure/recovery counters for one RemoteImage connection."""
+    """Traffic and failure/recovery counters for one connection."""
 
-    requests: int = 0     # wire round-trips attempted
+    requests: int = 0     # wire requests sent (including replays)
     retries: int = 0      # re-attempts after a transport failure
     reconnects: int = 0   # successful re-handshakes
-    timeouts: int = 0     # round-trips that hit the op deadline
+    timeouts: int = 0     # operations that hit the op deadline
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    inflight_hwm: int = 0  # most requests simultaneously unacknowledged
+    latency: dict[str, LatencyHistogram] = field(
+        default_factory=op_latency_histograms)
+
+    def summary(self) -> dict:
+        """Plain-dict view for ``image_info()`` and experiment logs."""
+        return {
+            "requests": self.requests,
+            "retries": self.retries,
+            "reconnects": self.reconnects,
+            "timeouts": self.timeouts,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "inflight_hwm": self.inflight_hwm,
+            "latency": {kind: h.summary()
+                        for kind, h in self.latency.items() if h.count},
+        }
+
+
+class _Pending:
+    """One request of a pipelined exchange: its tag, completion event,
+    and eventual result or error."""
+
+    __slots__ = ("req", "tag", "event", "result", "error", "done",
+                 "sent_at")
+
+    def __init__(self, req: wire.Request) -> None:
+        self.req = req
+        self.tag = -1
+        self.event = threading.Event()
+        self.result = b""
+        self.error: Exception | None = None
+        self.done = False
+        self.sent_at = 0.0
 
 
 class RemoteImage(BlockDriver):
@@ -73,15 +126,20 @@ class RemoteImage(BlockDriver):
 
     # Large guest reads are split so a single request never exceeds
     # the protocol bound (and the server stays responsive to others).
-    _CHUNK = 4 * 1024 * 1024
+    _DEFAULT_CHUNK = 4 * 1024 * 1024
+    _DEFAULT_DEPTH = 8
 
     def __init__(self, sock: socket.socket, url: str, size: int,
                  read_only: bool, *,
+                 version: int = wire.VERSION_1,
                  connect_timeout: float = 10.0,
                  op_timeout: float = 30.0,
                  max_retries: int = 3,
                  backoff_base: float = 0.05,
-                 backoff_max: float = 2.0) -> None:
+                 backoff_max: float = 2.0,
+                 protocol: int | None = None,
+                 depth: int = _DEFAULT_DEPTH,
+                 chunk_size: int = _DEFAULT_CHUNK) -> None:
         super().__init__(url, size, read_only)
         self._sock: socket.socket | None = sock
         self._host, self._port, self._export = parse_url(url)
@@ -90,7 +148,30 @@ class RemoteImage(BlockDriver):
         self._max_retries = max_retries
         self._backoff_base = backoff_base
         self._backoff_max = backoff_max
+        self._version = version
+        self._depth = max(1, depth)
+        self._chunk = chunk_size
+        # Which version to ask for on (re)connects: an explicit
+        # ``protocol`` wins; otherwise negotiate, but remember a v1
+        # fallback so every reconnect doesn't re-pay the failed probe.
+        if protocol is not None:
+            self._protocol_pref: int | None = protocol
+        elif version == wire.VERSION_1:
+            self._protocol_pref = wire.VERSION_1
+        else:
+            self._protocol_pref = None
         self.transport_stats = TransportStats()
+        # Pipelining state (v2): requests keyed by tag, a demux reader
+        # per live socket, and a generation counter so a reader of an
+        # abandoned socket can never poison its successor.
+        self._plock = threading.Lock()
+        self._pending: dict[int, _Pending] = {}
+        self._next_tag = 0
+        self._gen = 0
+        self._dead: Exception | None = None
+        self._reader: threading.Thread | None = None
+        if self._version >= wire.VERSION_2 and self._sock is not None:
+            self._start_reader()
 
     @classmethod
     def connect(cls, url: str, *, read_only: bool = True,
@@ -98,7 +179,10 @@ class RemoteImage(BlockDriver):
                 op_timeout: float = 30.0,
                 max_retries: int = 3,
                 backoff_base: float = 0.05,
-                backoff_max: float = 2.0) -> "RemoteImage":
+                backoff_max: float = 2.0,
+                protocol: int | None = None,
+                depth: int = _DEFAULT_DEPTH,
+                chunk_size: int = _DEFAULT_CHUNK) -> "RemoteImage":
         """Connect and handshake.
 
         ``timeout`` bounds connection establishment; ``op_timeout``
@@ -106,18 +190,74 @@ class RemoteImage(BlockDriver):
         re-attempts (reconnect + replay, exponential backoff from
         ``backoff_base`` capped at ``backoff_max``) are made per
         operation before a failure surfaces.
+
+        ``protocol`` pins the wire protocol version (1 = lock-step,
+        2 = pipelined); the default negotiates v2 and falls back to v1
+        against an old server.  ``depth`` bounds how many tagged
+        requests a v2 connection keeps in flight; large guest I/O is
+        split into ``chunk_size`` requests that fill that window.
         """
+        if protocol is not None and protocol not in (wire.VERSION_1,
+                                                     wire.VERSION_2):
+            raise ValueError(f"unsupported protocol version {protocol}")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
         host, port, export = parse_url(url)
-        sock, size = cls._dial(host, port, export, timeout, op_timeout)
-        return cls(sock, url, size, read_only,
+        sock, size, version = cls._dial(host, port, export,
+                                        timeout, op_timeout, protocol)
+        return cls(sock, url, size, read_only, version=version,
                    connect_timeout=timeout, op_timeout=op_timeout,
                    max_retries=max_retries, backoff_base=backoff_base,
-                   backoff_max=backoff_max)
+                   backoff_max=backoff_max, protocol=protocol,
+                   depth=depth, chunk_size=chunk_size)
+
+    @property
+    def protocol_version(self) -> int:
+        """The wire protocol version this connection negotiated."""
+        return self._version
+
+    @property
+    def pipeline_depth(self) -> int:
+        """Maximum tagged requests kept in flight (1 under v1)."""
+        return self._depth if self._version >= wire.VERSION_2 else 1
+
+    @classmethod
+    def _dial(cls, host: str, port: int, export: str,
+              connect_timeout: float, op_timeout: float,
+              prefer: int | None) -> tuple[socket.socket, int, int]:
+        """Connect and negotiate; returns (socket, size, version).
+
+        A v2 hello to a pre-v2 server is answered by dropping the
+        connection (unknown magic), which we observe as a protocol or
+        connection error and retry once with the v1 hello.  An export
+        refusal is a definitive answer on either version and is never
+        retried.
+        """
+        if prefer is None or prefer >= wire.VERSION_2:
+            try:
+                return cls._dial_version(host, port, export,
+                                         connect_timeout, op_timeout,
+                                         wire.VERSION_2)
+            except wire.ExportRefusedError:
+                raise
+            except (wire.ProtocolError, ConnectionError) as exc:
+                if prefer is not None:
+                    # v2 was pinned; no fallback — but surface the
+                    # reset as a RemoteError like every other failure.
+                    if isinstance(exc, ConnectionError):
+                        raise RemoteDisconnectedError(
+                            f"{host}:{port} closed the connection "
+                            f"during the v2 handshake "
+                            f"(pre-v2 server?)") from exc
+                    raise
+        return cls._dial_version(host, port, export,
+                                 connect_timeout, op_timeout,
+                                 wire.VERSION_1)
 
     @staticmethod
-    def _dial(host: str, port: int, export: str,
-              connect_timeout: float,
-              op_timeout: float) -> tuple[socket.socket, int]:
+    def _dial_version(host: str, port: int, export: str,
+                      connect_timeout: float, op_timeout: float,
+                      version: int) -> tuple[socket.socket, int, int]:
         try:
             sock = socket.create_connection((host, port),
                                             timeout=connect_timeout)
@@ -133,8 +273,12 @@ class RemoteImage(BlockDriver):
         # deadline (the handshake below is the first round-trip).
         sock.settimeout(op_timeout)
         try:
-            wire.send_handshake_request(sock, export)
-            size = wire.recv_handshake_response(sock)
+            if version >= wire.VERSION_2:
+                wire.send_handshake_request_v2(sock, export)
+                version, size = wire.recv_handshake_response_v2(sock)
+            else:
+                wire.send_handshake_request(sock, export)
+                size = wire.recv_handshake_response(sock)
         except TimeoutError as exc:
             sock.close()
             raise RemoteTimeoutError(
@@ -143,28 +287,259 @@ class RemoteImage(BlockDriver):
         except Exception:
             sock.close()
             raise
-        return sock, size
+        return sock, size, version
 
     # -- transport ----------------------------------------------------------
 
     def _drop_connection(self) -> None:
         sock, self._sock = self._sock, None
+        with self._plock:
+            # Retire the current reader: whatever it observes on the
+            # dying socket no longer concerns the next connection.
+            self._gen += 1
         if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)  # wake a blocked recv
+            except OSError:
+                pass
             try:
                 sock.close()
             except OSError:
                 pass
 
     def _reconnect(self) -> None:
-        sock, size = self._dial(self._host, self._port, self._export,
-                                self._connect_timeout, self._op_timeout)
+        sock, size, version = self._dial(
+            self._host, self._port, self._export,
+            self._connect_timeout, self._op_timeout,
+            self._protocol_pref)
         if size != self.size:
             sock.close()
             raise RemoteDisconnectedError(
                 f"export {self._export!r} changed size across "
                 f"reconnect ({self.size} -> {size})")
+        with self._plock:
+            self._dead = None
         self._sock = sock
+        self._version = version
+        if version == wire.VERSION_1:
+            self._protocol_pref = wire.VERSION_1
         self.transport_stats.reconnects += 1
+        if version >= wire.VERSION_2:
+            self._start_reader()
+
+    # -- v2 demultiplexing reader -------------------------------------------
+
+    def _start_reader(self) -> None:
+        gen = self._gen
+        thread = threading.Thread(
+            target=self._reader_loop, args=(gen, self._sock),
+            daemon=True,
+            name=f"remoteimage-{self._export}-rx{gen}")
+        self._reader = thread
+        thread.start()
+
+    def _reader_loop(self, gen: int, sock: socket.socket) -> None:
+        """Read v2 responses and complete their pending requests.
+
+        The socket keeps the per-op timeout armed, so an idle
+        connection wakes the reader periodically; a timeout *between*
+        frames just means nothing was owed and the reader keeps
+        listening, while a stall *inside* a frame (or any other
+        failure) marks the connection dead.  The caller thread owns
+        all recovery — the reader only reports.
+        """
+        hdr_size = wire.RESPONSE2_HEADER_SIZE
+        while True:
+            buf = b""
+            try:
+                while len(buf) < hdr_size:
+                    chunk = sock.recv(hdr_size - len(buf))
+                    if not chunk:
+                        raise wire.ProtocolError(
+                            "connection closed mid-message")
+                    buf += chunk
+            except TimeoutError:
+                if buf:
+                    self._poison(gen, wire.ProtocolError(
+                        "response stalled mid-frame"))
+                    return
+                if not self._gen_current(gen):
+                    return
+                continue
+            except (wire.ProtocolError, OSError) as exc:
+                self._poison(gen, exc)
+                return
+            try:
+                status, tag, length = wire.decode_response_v2_header(buf)
+                payload = wire.recv_exact(sock, length) if length else b""
+            except (TimeoutError, wire.ProtocolError, OSError) as exc:
+                self._poison(gen, exc)
+                return
+            self._complete(gen, tag, status, payload)
+
+    def _gen_current(self, gen: int) -> bool:
+        with self._plock:
+            return gen == self._gen
+
+    def _poison(self, gen: int, exc: Exception) -> None:
+        """Reader-side: mark the connection dead, wake all waiters."""
+        with self._plock:
+            if gen != self._gen:
+                return
+            self._dead = exc
+            waiters = list(self._pending.values())
+        for p in waiters:
+            p.event.set()
+
+    def _complete(self, gen: int, tag: int, status: int,
+                  payload: bytes) -> None:
+        with self._plock:
+            if gen != self._gen:
+                return
+            p = self._pending.pop(tag, None)
+        if p is None:
+            return  # response to a request nobody waits on anymore
+        stats = self.transport_stats
+        stats.bytes_received += wire.RESPONSE2_HEADER_SIZE + len(payload)
+        kind = _OP_KINDS.get(p.req.req_type, "other")
+        stats.latency[kind].observe(time.monotonic() - p.sent_at)
+        if status == wire.STATUS_OK:
+            p.result = payload
+        else:
+            p.error = wire.RemoteOpError(
+                f"remote error: {payload.decode('utf-8', 'replace')}")
+        p.done = True
+        p.event.set()
+
+    # -- v2 pipelined exchange ----------------------------------------------
+
+    def _register(self, p: _Pending) -> None:
+        with self._plock:
+            if p.tag < 0:
+                p.tag = self._next_tag
+                self._next_tag = (self._next_tag + 1) & wire.MAX_TAG
+            self._pending[p.tag] = p
+            if len(self._pending) > self.transport_stats.inflight_hwm:
+                self.transport_stats.inflight_hwm = len(self._pending)
+
+    def _send_pending(self, p: _Pending) -> None:
+        p.event.clear()
+        p.sent_at = time.monotonic()
+        self.transport_stats.requests += 1
+        wire.send_request_v2(self._sock, p.tag, p.req)
+        self.transport_stats.bytes_sent += (
+            wire.REQUEST2_HEADER_SIZE + len(p.req.payload))
+
+    def _run_pipelined(self, reqs: list[wire.Request]) -> list[bytes]:
+        """Exchange a batch of requests through the tagged window.
+
+        Up to ``depth`` requests are unacknowledged at once; the
+        per-op deadline applies to the oldest.  On a transport failure
+        the whole window is replayed (only unacknowledged tags) after
+        a reconnect, which counts against the batch's shared retry
+        budget.  A server-reported error aborts the batch immediately
+        on the still-healthy connection, like the lock-step path.
+        """
+        batch = [_Pending(r) for r in reqs]
+        window: deque[_Pending] = deque()
+        next_i = 0
+        failures = 0
+        last: Exception | None = None
+        try:
+            while True:
+                # Harvest whatever finished at the head of the window.
+                while window and window[0].done:
+                    p = window.popleft()
+                    if p.error is not None:
+                        raise p.error
+                if next_i == len(batch) and not window:
+                    break
+                if self._sock is None or self._dead is not None:
+                    with self._plock:
+                        dead = self._dead
+                    if dead is not None:
+                        last = RemoteDisconnectedError(
+                            f"{self.path}: connection lost: {dead}")
+                        last.__cause__ = dead
+                    self._drop_connection()
+                    failures += 1
+                    if failures > self._max_retries:
+                        if last is None:
+                            last = RemoteDisconnectedError(
+                                f"{self.path}: connection lost")
+                        raise last
+                    self.transport_stats.retries += 1
+                    time.sleep(min(self._backoff_max,
+                                   self._backoff_base
+                                   * 2 ** (failures - 1)))
+                    try:
+                        self._reconnect()
+                    except (RemoteTimeoutError,
+                            RemoteDisconnectedError) as exc:
+                        last = exc
+                        continue
+                    if self._version < wire.VERSION_2:
+                        # The export moved to a lock-step v1 server
+                        # mid-batch: drain what is still owed serially.
+                        for p in list(window) + batch[next_i:]:
+                            if not p.done:
+                                p.result = self._roundtrip(p.req)
+                                p.done = True
+                        window.clear()
+                        next_i = len(batch)
+                        continue
+                    try:
+                        for p in window:
+                            if not p.done:
+                                self._send_pending(p)  # replay unacked
+                    except (TimeoutError, OSError) as exc:
+                        last = RemoteDisconnectedError(
+                            f"{self.path}: replay failed: {exc}")
+                        last.__cause__ = exc
+                        self._drop_connection()
+                        continue
+                # Keep the window full.
+                try:
+                    while (next_i < len(batch)
+                           and len(window) < self._depth):
+                        p = batch[next_i]
+                        self._register(p)
+                        self._send_pending(p)
+                        window.append(p)
+                        next_i += 1
+                except (TimeoutError, OSError) as exc:
+                    last = RemoteDisconnectedError(
+                        f"{self.path}: connection lost: {exc}")
+                    last.__cause__ = exc
+                    self._drop_connection()
+                    continue
+                if not window:
+                    continue
+                # The oldest outstanding request carries the deadline.
+                head = window[0]
+                if head.event.wait(self._op_timeout):
+                    continue  # done or poisoned; the loop top sorts it out
+                self.transport_stats.timeouts += 1
+                last = RemoteTimeoutError(
+                    f"{self.path}: request type {head.req.req_type} at "
+                    f"offset {head.req.offset} exceeded the "
+                    f"{self._op_timeout:g}s deadline")
+                self._drop_connection()
+        finally:
+            # Abandon whatever the batch still owns so late responses
+            # on a healthy connection are dropped, not misdelivered.
+            with self._plock:
+                for p in batch:
+                    if p.tag >= 0:
+                        self._pending.pop(p.tag, None)
+        return [p.result for p in batch]
+
+    def _exchange(self, reqs: list[wire.Request]) -> list[bytes]:
+        if self._version >= wire.VERSION_2:
+            return self._run_pipelined(reqs)
+        return [self._roundtrip(r) for r in reqs]
+
+    # -- v1 lock-step exchange ----------------------------------------------
 
     def _roundtrip(self, req: wire.Request) -> bytes:
         """One request/response exchange, with reconnect-and-retry."""
@@ -179,8 +554,17 @@ class RemoteImage(BlockDriver):
                 if self._sock is None:
                     self._reconnect()
                 self.transport_stats.requests += 1
+                started = time.monotonic()
                 wire.send_request(self._sock, req)
-                return wire.recv_response(self._sock)
+                self.transport_stats.bytes_sent += (
+                    wire.REQUEST_HEADER_SIZE + len(req.payload))
+                payload = wire.recv_response(self._sock)
+                self.transport_stats.bytes_received += (
+                    wire.RESPONSE_HEADER_SIZE + len(payload))
+                kind = _OP_KINDS.get(req.req_type, "other")
+                self.transport_stats.latency[kind].observe(
+                    time.monotonic() - started)
+                return payload
             except wire.RemoteOpError:
                 raise  # server-side failure on a healthy connection
             except (RemoteTimeoutError, RemoteDisconnectedError) as exc:
@@ -204,35 +588,92 @@ class RemoteImage(BlockDriver):
     # -- driver hooks -------------------------------------------------------
 
     def _read_impl(self, offset: int, length: int) -> bytes:
-        parts = []
+        reqs = []
         pos = offset
         end = offset + length
         while pos < end:
-            n = min(self._CHUNK, end - pos)
-            parts.append(self._roundtrip(
-                wire.Request(wire.REQ_READ, pos, n)))
+            n = min(self._chunk, end - pos)
+            reqs.append(wire.Request(wire.REQ_READ, pos, n))
             pos += n
-        return b"".join(parts)
+        return b"".join(self._exchange(reqs))
 
     def _write_impl(self, offset: int, data: bytes) -> None:
+        reqs = []
         pos = 0
         while pos < len(data):
-            chunk = data[pos: pos + self._CHUNK]
-            self._roundtrip(
-                wire.Request(wire.REQ_WRITE, offset + pos,
-                             len(chunk), chunk))
+            chunk = data[pos: pos + self._chunk]
+            reqs.append(wire.Request(wire.REQ_WRITE, offset + pos,
+                                     len(chunk), chunk))
             pos += len(chunk)
+        self._exchange(reqs)
 
     def _flush_impl(self) -> None:
-        self._roundtrip(wire.Request(wire.REQ_FLUSH, 0, 0))
+        self._exchange([wire.Request(wire.REQ_FLUSH, 0, 0)])
+
+    def read_batch(self, extents: list[tuple[int, int]]) -> list[bytes]:
+        """Read several extents through one pipelined window.
+
+        This is the bulk interface the cache warmer uses: all chunks
+        of all extents share the connection's in-flight window, so N
+        small extents cost ~N/depth round-trips instead of N.  Results
+        are returned in extent order.
+        """
+        self._check_open()
+        reqs: list[wire.Request] = []
+        spans: list[tuple[int, int]] = []  # (first request index, count)
+        for offset, length in extents:
+            self._check_bounds(offset, length)
+            first = len(reqs)
+            pos = offset
+            end = offset + length
+            while pos < end:
+                n = min(self._chunk, end - pos)
+                reqs.append(wire.Request(wire.REQ_READ, pos, n))
+                pos += n
+            spans.append((first, len(reqs) - first))
+        chunks = self._exchange(reqs)
+        out: list[bytes] = []
+        for (first, count), (offset, length) in zip(spans, extents):
+            data = b"".join(chunks[first:first + count])
+            if len(data) != length:
+                raise InvalidImageError(
+                    f"server returned {len(data)} bytes for a "
+                    f"{length}-byte read")
+            if length:
+                self.stats.record_read(offset, length)
+            out.append(data)
+        return out
+
+    def image_info(self) -> dict:
+        info = super().image_info()
+        info.update({
+            "url": self.path,
+            "protocol_version": self._version,
+            "pipeline_depth": self.pipeline_depth,
+            "transport": self.transport_stats.summary(),
+        })
+        return info
 
     def _close_impl(self) -> None:
         sock, self._sock = self._sock, None
-        if sock is None:
-            return
-        try:
-            wire.send_request(sock,
-                              wire.Request(wire.REQ_DISCONNECT, 0, 0))
-        except OSError:
-            pass
-        sock.close()
+        with self._plock:
+            self._gen += 1  # retire the reader; its reports are stale
+        reader = self._reader
+        self._reader = None
+        if sock is not None:
+            try:
+                if self._version >= wire.VERSION_2:
+                    wire.send_request_v2(
+                        sock, 0, wire.Request(wire.REQ_DISCONNECT, 0, 0))
+                else:
+                    wire.send_request(
+                        sock, wire.Request(wire.REQ_DISCONNECT, 0, 0))
+            except OSError:
+                pass
+            try:
+                sock.shutdown(socket.SHUT_RDWR)  # wake a blocked reader
+            except OSError:
+                pass
+            sock.close()
+        if reader is not None and reader.is_alive():
+            reader.join(timeout=1.0)

@@ -27,6 +27,12 @@ Actions:
     Answer the request with a ``STATUS_ERROR`` response (surfaced to
     the caller as :class:`~repro.remote.protocol.RemoteOpError`; the
     connection stays up and is *not* retried).
+``none``
+    Serve the request normally.  A queue placeholder so a fault can be
+    positioned at an exact request index — e.g. ``inject("none",
+    "drop")`` lets the first request of a pipelined window complete
+    and severs the connection on the second, while tagged requests
+    3..N are already in flight behind it.
 """
 
 from __future__ import annotations
@@ -39,7 +45,8 @@ from dataclasses import dataclass
 ACTION_DROP = "drop"
 ACTION_DELAY = "delay"
 ACTION_ERROR = "error"
-_ACTIONS = (ACTION_DROP, ACTION_DELAY, ACTION_ERROR)
+ACTION_NONE = "none"  # queue placeholder: serve normally
+_ACTIONS = (ACTION_DROP, ACTION_DELAY, ACTION_ERROR, ACTION_NONE)
 
 
 @dataclass
@@ -99,6 +106,8 @@ class FaultInjector:
         with self._lock:
             if self._queue:
                 action = self._queue.popleft()
+                if action == ACTION_NONE:
+                    return None
             else:
                 r = self._rng.random()
                 if r < self._drop_rate:

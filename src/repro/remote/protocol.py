@@ -1,14 +1,35 @@
 """Wire protocol for the block server (a compact NBD-alike).
 
-Handshake (client → server, then server → client)::
+Two protocol versions share one port; the client's hello magic picks
+the version and the server answers in kind (see *negotiation* below).
 
-    C: u32 magic | u16 name_len | name bytes
-    S: u32 magic | u8 status | u64 size          (status 0 = OK)
+Version 1 — lock-step (one request in flight)::
 
-Requests (client → server) and responses (server → client)::
+    C: u32 magic1 | u16 name_len | name bytes
+    S: u32 magic1 | u8 status | u64 size          (status 0 = OK)
 
-    C: u32 magic | u8 type | u64 offset | u32 length [| payload]
-    S: u32 magic | u8 status | u32 length [| payload]
+    C: u32 magic1 | u8 type | u64 offset | u32 length [| payload]
+    S: u32 magic1 | u8 status | u32 length [| payload]
+
+Version 2 — pipelined (tagged, multiple requests in flight)::
+
+    C: u32 magic2 | u8 version | u16 name_len | name bytes
+    S: u32 magic2 | u8 status | u8 version | u64 size
+
+    C: u32 magic2 | u8 type | u32 tag | u64 offset | u32 length [| payload]
+    S: u32 magic2 | u8 status | u32 tag | u32 length [| payload]
+
+The v2 ``tag`` is an opaque client-chosen identifier echoed verbatim in
+the response, so responses may arrive in any order and the client
+demultiplexes by tag.  A connection speaks exactly one version for its
+whole lifetime.
+
+Negotiation: a v2-capable client opens with the v2 hello.  A v2 server
+answers with a v2 handshake response; a v1-only server reads the
+unknown magic, closes the connection, and the client reconnects with a
+v1 hello (lock-step fallback).  A v1 client's hello is served by both.
+An export refusal is :class:`ExportRefusedError` — a definitive answer,
+never retried with the other version.
 
 Types: READ (server returns ``length`` payload bytes), WRITE (client
 sends payload; server returns empty), FLUSH, DISCONNECT.  All integers
@@ -21,7 +42,11 @@ import socket
 import struct
 from dataclasses import dataclass
 
-MAGIC = 0x52425331  # "RBS1"
+MAGIC = 0x52425331   # "RBS1"
+MAGIC2 = 0x52425332  # "RBS2"
+
+VERSION_1 = 1
+VERSION_2 = 2
 
 REQ_READ = 1
 REQ_WRITE = 2
@@ -36,7 +61,18 @@ _HANDSHAKE_RESP = struct.Struct(">IBQ")
 _REQUEST = struct.Struct(">IBQI")
 _RESPONSE = struct.Struct(">IBI")
 
+_HANDSHAKE2_REQ = struct.Struct(">IBH")
+_HANDSHAKE2_RESP = struct.Struct(">IBBQ")
+_REQUEST2 = struct.Struct(">IBIQI")
+_RESPONSE2 = struct.Struct(">IBII")
+
+REQUEST_HEADER_SIZE = _REQUEST.size
+RESPONSE_HEADER_SIZE = _RESPONSE.size
+REQUEST2_HEADER_SIZE = _REQUEST2.size
+RESPONSE2_HEADER_SIZE = _RESPONSE2.size
+
 MAX_PAYLOAD = 32 * 1024 * 1024  # sanity bound for one request
+MAX_TAG = 0xFFFFFFFF
 
 
 class ProtocolError(Exception):
@@ -55,6 +91,15 @@ class RemoteOpError(ProtocolError):
     Unlike a bare :class:`ProtocolError`, the wire framing is intact
     and the connection remains usable, so the client re-raises this
     immediately instead of reconnecting and retrying.
+    """
+
+
+class ExportRefusedError(ProtocolError):
+    """The server answered the handshake with a refusal.
+
+    A definitive application-level answer (unknown export name), as
+    opposed to a transport/framing failure: the client must not fall
+    back to another protocol version or retry.
     """
 
 
@@ -101,8 +146,62 @@ def recv_handshake_response(sock: socket.socket) -> int:
     if magic != MAGIC:
         raise ProtocolError(f"bad handshake magic 0x{magic:08x}")
     if status != STATUS_OK:
-        raise ProtocolError("server refused the export")
+        raise ExportRefusedError("server refused the export")
     return size
+
+
+def send_handshake_request_v2(sock: socket.socket, export: str) -> None:
+    name = export.encode("utf-8")
+    if len(name) > 0xFFFF:
+        raise ValueError("export name too long")
+    sock.sendall(_HANDSHAKE2_REQ.pack(MAGIC2, VERSION_2, len(name)) + name)
+
+
+def recv_handshake_request_any(
+        sock: socket.socket, *,
+        max_version: int = VERSION_2) -> tuple[int, str]:
+    """Server side: accept a v1 or v2 hello, return (version, export).
+
+    With ``max_version=1`` a v2 hello raises :class:`ProtocolError`
+    exactly as a genuine pre-v2 server would (unknown magic → drop the
+    connection), which is what the client's fallback path expects.
+    """
+    magic_raw = recv_exact(sock, 4)
+    (magic,) = struct.unpack(">I", magic_raw)
+    if magic == MAGIC:
+        (name_len,) = struct.unpack(
+            ">H", recv_exact(sock, _HANDSHAKE_REQ.size - 4))
+        return VERSION_1, recv_exact(sock, name_len).decode("utf-8")
+    if magic == MAGIC2 and max_version >= VERSION_2:
+        version, name_len = struct.unpack(
+            ">BH", recv_exact(sock, _HANDSHAKE2_REQ.size - 4))
+        if version < VERSION_2:
+            raise ProtocolError(
+                f"bad v2 hello: advertised version {version}")
+        # A future client may advertise >2; we answer with what we
+        # speak and the client is expected to clamp down to it.
+        return VERSION_2, recv_exact(sock, name_len).decode("utf-8")
+    raise ProtocolError(f"bad handshake magic 0x{magic:08x}")
+
+
+def send_handshake_response_v2(sock: socket.socket, *, size: int = 0,
+                               error: bool = False) -> None:
+    status = STATUS_ERROR if error else STATUS_OK
+    sock.sendall(_HANDSHAKE2_RESP.pack(MAGIC2, status, VERSION_2, size))
+
+
+def recv_handshake_response_v2(sock: socket.socket) -> tuple[int, int]:
+    """Client side: returns (version, size) from a v2 server."""
+    raw = recv_exact(sock, _HANDSHAKE2_RESP.size)
+    magic, status, version, size = _HANDSHAKE2_RESP.unpack(raw)
+    if magic != MAGIC2:
+        raise ProtocolError(f"bad handshake magic 0x{magic:08x}")
+    if status != STATUS_OK:
+        raise ExportRefusedError("server refused the export")
+    if version != VERSION_2:
+        raise ProtocolError(
+            f"server negotiated unsupported version {version}")
+    return version, size
 
 
 # -- requests ---------------------------------------------------------------
@@ -159,3 +258,69 @@ def recv_response(sock: socket.socket) -> bytes:
         raise RemoteOpError(
             f"remote error: {payload.decode('utf-8', 'replace')}")
     return payload
+
+
+# -- v2 (tagged) requests ----------------------------------------------------
+
+
+def send_request_v2(sock: socket.socket, tag: int, req: Request) -> None:
+    if len(req.payload) > MAX_PAYLOAD or req.length > MAX_PAYLOAD:
+        raise ValueError("request exceeds MAX_PAYLOAD")
+    if not 0 <= tag <= MAX_TAG:
+        raise ValueError(f"tag {tag} out of range")
+    sock.sendall(_REQUEST2.pack(MAGIC2, req.req_type, tag, req.offset,
+                                req.length) + req.payload)
+
+
+def recv_request_v2(sock: socket.socket) -> tuple[int, Request]:
+    raw = recv_exact(sock, _REQUEST2.size)
+    magic, req_type, tag, offset, length = _REQUEST2.unpack(raw)
+    if magic != MAGIC2:
+        raise ProtocolError(f"bad request magic 0x{magic:08x}")
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"oversized request ({length} bytes)")
+    payload = b""
+    if req_type == REQ_WRITE:
+        payload = recv_exact(sock, length)
+    return tag, Request(req_type, offset, length, payload)
+
+
+def send_response_v2(sock: socket.socket, tag: int, *,
+                     payload: bytes = b"",
+                     error: str | None = None) -> None:
+    if error is not None:
+        body = error.encode("utf-8")
+        sock.sendall(_RESPONSE2.pack(MAGIC2, STATUS_ERROR, tag, len(body))
+                     + body)
+        return
+    sock.sendall(_RESPONSE2.pack(MAGIC2, STATUS_OK, tag, len(payload))
+                 + payload)
+
+
+def decode_response_v2_header(raw: bytes) -> tuple[int, int, int]:
+    """Parse a v2 response header into (status, tag, payload length).
+
+    Split from the payload read so the client's demux reader can
+    tolerate idle timeouts *between* frames (header not yet started)
+    while treating a stall *inside* a frame as a dead connection.
+    """
+    magic, status, tag, length = _RESPONSE2.unpack(raw)
+    if magic != MAGIC2:
+        raise ProtocolError(f"bad response magic 0x{magic:08x}")
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"oversized response ({length} bytes)")
+    return status, tag, length
+
+
+def recv_response_v2(sock: socket.socket) -> tuple[int, bytes, str | None]:
+    """One-shot v2 response read: (tag, payload, error message or None).
+
+    The error is returned rather than raised so a demultiplexer can
+    route it to the owning request before surfacing it.
+    """
+    raw = recv_exact(sock, _RESPONSE2.size)
+    status, tag, length = decode_response_v2_header(raw)
+    payload = recv_exact(sock, length) if length else b""
+    if status != STATUS_OK:
+        return tag, b"", payload.decode("utf-8", "replace")
+    return tag, payload, None

@@ -1,7 +1,15 @@
 """The block server: export local images over TCP.
 
-One thread per connection.  Dispatch is export-scoped and
-reader-writer locked:
+One thread per connection; under the v2 (pipelined) protocol each
+connection additionally fans its tagged requests out to short-lived
+worker threads, so requests *on one socket* complete out of order —
+reads overlap through the export's shared lock and each response is
+serialized onto the wire by a per-connection send lock.  A
+``max_protocol=1`` server emulates a genuine pre-v2 deployment (it
+drops v2 hellos on the floor), which is how the client's negotiation
+fallback is exercised.
+
+Dispatch is export-scoped and reader-writer locked:
 
 * ``REQ_READ`` takes the export's **shared** lock when the driver
   declares :attr:`~repro.imagefmt.driver.BlockDriver.supports_concurrent_reads`
@@ -37,6 +45,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.imagefmt.driver import BlockDriver
+from repro.metrics.collectors import LatencyHistogram, op_latency_histograms
 from repro.remote import protocol as wire
 from repro.remote.fault import (
     ACTION_DELAY,
@@ -45,6 +54,9 @@ from repro.remote.fault import (
     FaultInjector,
 )
 from repro.remote.rwlock import RWLock
+
+_OP_KINDS = {wire.REQ_READ: "read", wire.REQ_WRITE: "write",
+             wire.REQ_FLUSH: "flush"}
 
 
 def _chain_range_tracked(driver: BlockDriver) -> bool:
@@ -73,6 +85,27 @@ class ExportStats:
     write_ops: int = 0
     bytes_written: int = 0
     errors: int = 0
+    wire_bytes_sent: int = 0      # response frames + payloads
+    wire_bytes_received: int = 0  # request frames + payloads
+    inflight_hwm: int = 0         # most requests dispatched at once
+    latency: dict[str, LatencyHistogram] = field(
+        default_factory=op_latency_histograms)
+
+    def summary(self) -> dict:
+        """Plain-dict view for reports and experiment logs."""
+        return {
+            "connections": self.connections,
+            "read_ops": self.read_ops,
+            "bytes_read": self.bytes_read,
+            "write_ops": self.write_ops,
+            "bytes_written": self.bytes_written,
+            "errors": self.errors,
+            "wire_bytes_sent": self.wire_bytes_sent,
+            "wire_bytes_received": self.wire_bytes_received,
+            "inflight_hwm": self.inflight_hwm,
+            "latency": {kind: h.summary()
+                        for kind, h in self.latency.items() if h.count},
+        }
 
 
 @dataclass
@@ -83,6 +116,7 @@ class _Export:
     lock: RWLock = field(default_factory=RWLock)
     stats_lock: threading.Lock = field(default_factory=threading.Lock)
     stats: ExportStats = field(default_factory=ExportStats)
+    inflight: int = 0  # guarded by stats_lock
 
 
 class BlockServer:
@@ -91,11 +125,18 @@ class BlockServer:
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  parallel_reads: bool = True,
                  fault_injector: FaultInjector | None = None,
-                 drain_timeout: float = 5.0) -> None:
+                 drain_timeout: float = 5.0,
+                 max_protocol: int = wire.VERSION_2,
+                 max_inflight_per_conn: int = 32) -> None:
+        if max_protocol not in (wire.VERSION_1, wire.VERSION_2):
+            raise ValueError(
+                f"unsupported max_protocol {max_protocol}")
         self._exports: dict[str, _Export] = {}
         self._parallel_reads = parallel_reads
         self._fault = fault_injector
         self._drain_timeout = drain_timeout
+        self._max_protocol = max_protocol
+        self._max_inflight_per_conn = max(1, max_inflight_per_conn)
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
@@ -170,16 +211,25 @@ class BlockServer:
 
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
-            name = wire.recv_handshake_request(conn)
+            version, name = wire.recv_handshake_request_any(
+                conn, max_version=self._max_protocol)
             export = self._exports.get(name)
             if export is None:
-                wire.send_handshake_response(conn, error=True)
+                if version >= wire.VERSION_2:
+                    wire.send_handshake_response_v2(conn, error=True)
+                else:
+                    wire.send_handshake_response(conn, error=True)
                 return
             with export.stats_lock:
                 export.stats.connections += 1
-            wire.send_handshake_response(conn,
-                                         size=export.driver.size)
-            self._request_loop(conn, export)
+            if version >= wire.VERSION_2:
+                wire.send_handshake_response_v2(
+                    conn, size=export.driver.size)
+                self._request_loop_v2(conn, export)
+            else:
+                wire.send_handshake_response(conn,
+                                             size=export.driver.size)
+                self._request_loop(conn, export)
         except (wire.ProtocolError, OSError):
             pass  # client went away or spoke garbage: drop it
         finally:
@@ -191,6 +241,7 @@ class BlockServer:
                       export: _Export) -> None:
         while True:
             req = wire.recv_request(conn)
+            self._count_received(export, wire.REQUEST_HEADER_SIZE, req)
             if req.req_type == wire.REQ_DISCONNECT:
                 return
             if self._fault is not None:
@@ -200,18 +251,152 @@ class BlockServer:
                 if action == ACTION_DELAY:
                     time.sleep(self._fault.delay_seconds)
                 elif action == ACTION_ERROR:
+                    # Count before sending: once the client has read
+                    # the frame the counters must already cover it.
+                    self._count_sent(export,
+                                     wire.RESPONSE_HEADER_SIZE,
+                                     len(b"injected fault"))
                     wire.send_response(conn, error="injected fault")
                     continue
+            self._enter_inflight(export)
+            try:
+                try:
+                    payload = self._dispatch(export, req)
+                except Exception as exc:  # surfaced to the client
+                    with export.stats_lock:
+                        export.stats.errors += 1
+                    self._count_sent(export, wire.RESPONSE_HEADER_SIZE,
+                                     len(str(exc).encode("utf-8")))
+                    wire.send_response(conn, error=str(exc))
+                    continue
+                self._count_sent(export, wire.RESPONSE_HEADER_SIZE,
+                                 len(payload))
+                wire.send_response(conn, payload=payload)
+            finally:
+                self._exit_inflight(export)
+
+    def _request_loop_v2(self, conn: socket.socket,
+                         export: _Export) -> None:
+        """Tagged loop: read requests, serve each in its own worker.
+
+        Workers dispatch through the same export RWLock as separate
+        connections do, so reads on one socket overlap; a send lock
+        keeps their response frames from interleaving on the wire.  A
+        semaphore bounds the per-connection worker fan-out — the
+        transport-level backpressure matching the client's window.
+        """
+        send_lock = threading.Lock()
+        limiter = threading.BoundedSemaphore(self._max_inflight_per_conn)
+        workers: list[threading.Thread] = []
+        prefix = threading.current_thread().name
+        try:
+            while True:
+                tag, req = wire.recv_request_v2(conn)
+                self._count_received(export, wire.REQUEST2_HEADER_SIZE,
+                                     req)
+                if req.req_type == wire.REQ_DISCONNECT:
+                    return
+                action = (self._fault.next_action()
+                          if self._fault is not None else None)
+                if action == ACTION_DROP:
+                    return  # close without responding: client sees EOF
+                limiter.acquire()
+                if len(workers) > 2 * self._max_inflight_per_conn:
+                    workers = [t for t in workers if t.is_alive()]
+                thread = threading.Thread(
+                    target=self._serve_request_v2,
+                    args=(conn, export, tag, req, send_lock, limiter,
+                          action),
+                    daemon=True,
+                    name=f"{prefix}-req{tag}")
+                workers.append(thread)
+                thread.start()
+        finally:
+            # Let in-flight workers send their responses before the
+            # connection is torn down (close() relies on this drain).
+            deadline = time.monotonic() + self._drain_timeout
+            for t in workers:
+                t.join(timeout=max(0.0, deadline - time.monotonic()))
+
+    def _serve_request_v2(self, conn: socket.socket, export: _Export,
+                          tag: int, req: wire.Request,
+                          send_lock: threading.Lock,
+                          limiter: threading.BoundedSemaphore,
+                          action: str | None) -> None:
+        self._enter_inflight(export)
+        try:
+            if action == ACTION_DELAY:
+                # Sleeping here (not in the reader loop) lets injected
+                # latency overlap across the window, which is the
+                # whole point of the pipelined protocol.
+                time.sleep(self._fault.delay_seconds)
+            elif action == ACTION_ERROR:
+                self._send_response_v2(conn, export, send_lock, tag,
+                                       error="injected fault")
+                return
             try:
                 payload = self._dispatch(export, req)
             except Exception as exc:  # surfaced to the client
                 with export.stats_lock:
                     export.stats.errors += 1
-                wire.send_response(conn, error=str(exc))
-                continue
-            wire.send_response(conn, payload=payload)
+                self._send_response_v2(conn, export, send_lock, tag,
+                                       error=str(exc))
+                return
+            self._send_response_v2(conn, export, send_lock, tag,
+                                   payload=payload)
+        except OSError:
+            pass  # client went away mid-response; reader loop notices
+        finally:
+            self._exit_inflight(export)
+            limiter.release()
+
+    def _send_response_v2(self, conn: socket.socket, export: _Export,
+                          send_lock: threading.Lock, tag: int, *,
+                          payload: bytes = b"",
+                          error: str | None = None) -> None:
+        body = (error.encode("utf-8") if error is not None else payload)
+        self._count_sent(export, wire.RESPONSE2_HEADER_SIZE, len(body))
+        with send_lock:
+            wire.send_response_v2(conn, tag, payload=payload,
+                                  error=error)
+
+    def _count_received(self, export: _Export, header: int,
+                        req: wire.Request) -> None:
+        with export.stats_lock:
+            export.stats.wire_bytes_received += header + len(req.payload)
+
+    def _count_sent(self, export: _Export, header: int,
+                    payload_len: int) -> None:
+        with export.stats_lock:
+            export.stats.wire_bytes_sent += header + payload_len
+
+    @staticmethod
+    def _enter_inflight(export: _Export) -> None:
+        """Start of one request's service time (delay, dispatch, and
+        response send all included — the high-water mark measures how
+        many requests a connection's window keeps concurrently in
+        service, which is what pipelining is supposed to raise)."""
+        with export.stats_lock:
+            export.inflight += 1
+            if export.inflight > export.stats.inflight_hwm:
+                export.stats.inflight_hwm = export.inflight
+
+    @staticmethod
+    def _exit_inflight(export: _Export) -> None:
+        with export.stats_lock:
+            export.inflight -= 1
 
     def _dispatch(self, export: _Export, req: wire.Request) -> bytes:
+        started = time.monotonic()
+        try:
+            return self._dispatch_inner(export, req)
+        finally:
+            kind = _OP_KINDS.get(req.req_type, "other")
+            export.stats.latency[kind].observe(
+                time.monotonic() - started)
+
+    def _dispatch_inner(self, export: _Export,
+                        req: wire.Request) -> bytes:
         if req.req_type == wire.REQ_READ:
             ctx = (export.lock.read_locked() if export.parallel_reads
                    else export.lock.write_locked())

@@ -1,0 +1,255 @@
+"""Parallel cache warming: working-set extraction, byte-for-byte
+equivalence with the serial sample-boot path, and the simulated
+Deployment.prewarm flow."""
+
+import pytest
+
+from repro.bootmodel.generator import generate_boot_trace
+from repro.bootmodel.profiles import tiny_profile
+from repro.bootmodel.trace import BootTrace, TraceOp
+from repro.bootmodel.vm import warm_cache_by_boot
+from repro.cluster.cache_manager import CacheRegistry
+from repro.cluster.deployment import Deployment, VMRequest
+from repro.cluster.warmer import (
+    checksum_extents,
+    warm_cache,
+    working_set_extents,
+)
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.remote import BlockServer, FaultInjector, RemoteImage
+from repro.sim.cluster_sim import Testbed
+from repro.units import KiB, MiB
+
+from tests.conftest import make_patterned_base, pattern
+
+
+def read_trace(extents, size=4 * MiB):
+    return BootTrace("synthetic", size, [
+        TraceOp("read", off, ln, 0.0) for off, ln in extents])
+
+
+class TestWorkingSetExtents:
+    def test_overlapping_and_adjacent_reads_merge(self):
+        trace = read_trace([(0, 4096), (4096, 4096), (2048, 8192),
+                            (64 * KiB, 512)])
+        assert working_set_extents(trace) == \
+            [(0, 10240), (64 * KiB, 512)]
+
+    def test_alignment_rounds_out(self):
+        trace = read_trace([(100, 50), (1536, 100)])
+        assert working_set_extents(trace, align=512) == \
+            [(0, 512), (1536, 512)]
+
+    def test_writes_ignored(self):
+        trace = BootTrace("t", MiB, [
+            TraceOp("write", 0, 4096, 0.0),
+            TraceOp("read", 8192, 512, 0.0),
+        ])
+        assert working_set_extents(trace) == [(8192, 512)]
+
+    def test_clipping_mirrors_replay(self):
+        """An op past the image end lands where the replayer puts it:
+        offset clamped to size-512, length clipped to what remains."""
+        size = 64 * KiB
+        trace = read_trace([(size + 4096, 4096), (0, 512)], size=size)
+        extents = working_set_extents(trace, size=size, align=512)
+        assert extents == [(0, 512), (size - 512, 512)]
+
+    def test_aligned_end_never_exceeds_size(self):
+        size = 10 * 512
+        trace = read_trace([(size - 100, 100)], size=size)
+        assert working_set_extents(trace, size=size, align=4096) == \
+            [(4096, size - 4096)]
+
+    def test_bad_align_rejected(self):
+        with pytest.raises(ValueError):
+            working_set_extents(read_trace([(0, 512)]), align=0)
+
+
+class TestWarmCache:
+    QUOTA = 8 * MiB
+
+    def _trace(self, size):
+        profile = tiny_profile(vmi_size=size, working_set=MiB,
+                               boot_time=1.0)
+        return generate_boot_trace(profile, seed=3)
+
+    def test_matches_serial_boot_byte_for_byte(self, tmp_path):
+        """The warmed cache must hold exactly the bytes a sample boot's
+        copy-on-read would have populated (checksummed over the working
+        set)."""
+        size = 4 * MiB
+        base_path = make_patterned_base(tmp_path / "base.raw", size=size)
+        trace = self._trace(size)
+
+        serial_p = str(tmp_path / "serial.qcow2")
+        warm_cache_by_boot(trace, base_path, serial_p, quota=self.QUOTA)
+
+        warmed_p = str(tmp_path / "warmed.qcow2")
+        Qcow2Image.create(warmed_p, backing_file=base_path,
+                          cluster_size=512,
+                          cache_quota=self.QUOTA).close()
+        with Qcow2Image.open(warmed_p, read_only=False) as cache:
+            report = warm_cache(cache, trace)
+            assert not report.quota_exhausted
+            assert report.bytes_written == report.bytes_requested > 0
+            extents = working_set_extents(trace, size=size,
+                                          align=cache.cluster_size)
+            warm_sum = checksum_extents(cache, extents)
+            warm_phys = cache.physical_size
+        with Qcow2Image.open(serial_p) as serial:
+            assert checksum_extents(serial, extents) == warm_sum
+
+        # Against a writes-free boot the two paths must also allocate
+        # the exact same physical clusters.  (The full trace's guest
+        # writes trigger CoW head/tail fills, whose backing reads CoR
+        # extra clusters into the serial cache — content over the read
+        # working set is identical either way, checked above.)
+        reads_only = BootTrace(trace.os_name, trace.vmi_size,
+                               [op for op in trace.ops
+                                if op.kind == "read"])
+        serial_ro_p = str(tmp_path / "serial-ro.qcow2")
+        warm_cache_by_boot(reads_only, base_path, serial_ro_p,
+                           quota=self.QUOTA)
+        with Qcow2Image.open(serial_ro_p) as serial:
+            assert checksum_extents(serial, extents) == warm_sum
+            assert serial.physical_size == warm_phys
+
+    def test_remote_backing_is_pipelined(self, tmp_path, small_base):
+        """Warming over nbd:// keeps several tagged requests in flight
+        and still lands the exact base bytes."""
+        trace = self._trace(4 * MiB)
+        from repro.imagefmt.raw import RawImage
+
+        base = RawImage.open(small_base)
+        fi = FaultInjector(delay_rate=1.0, delay_seconds=0.002)
+        with BlockServer(fault_injector=fi) as server:
+            server.add_export("base", base)
+            cache_p = str(tmp_path / "cache.qcow2")
+            Qcow2Image.create(cache_p, backing_file=server.url("base"),
+                              cluster_size=512,
+                              cache_quota=self.QUOTA).close()
+            with Qcow2Image.open(cache_p, read_only=False) as cache:
+                remote = cache.backing
+                assert isinstance(remote, RemoteImage)
+                assert remote.protocol_version == 2
+                report = warm_cache(cache, trace)
+                assert report.bytes_written > 0
+                assert remote.transport_stats.inflight_hwm >= 2
+                for off, ln in working_set_extents(
+                        trace, size=cache.size,
+                        align=cache.cluster_size):
+                    assert cache.read(off, ln) == pattern(off, ln)
+        base.close()
+
+    def test_quota_exhaustion_reported_not_raised(self, tmp_path):
+        size = 4 * MiB
+        base_path = make_patterned_base(tmp_path / "base.raw", size=size)
+        quota = 64 * KiB
+        cache_p = str(tmp_path / "cache.qcow2")
+        Qcow2Image.create(cache_p, backing_file=base_path,
+                          cluster_size=512, cache_quota=quota).close()
+        with Qcow2Image.open(cache_p, read_only=False) as cache:
+            report = warm_cache(cache, extents=[(0, MiB)])
+            assert report.quota_exhausted
+            assert report.bytes_written < MiB
+            assert cache.cache_runtime.cor.space_errors >= 1
+            assert not cache.cache_runtime.cor.enabled
+            assert cache.physical_size <= quota
+
+    def test_extent_list_and_trace_are_exclusive(self, tmp_path):
+        base_path = make_patterned_base(tmp_path / "base.raw")
+        cache_p = str(tmp_path / "cache.qcow2")
+        Qcow2Image.create(cache_p, backing_file=base_path,
+                          cache_quota=8 * MiB).close()
+        with Qcow2Image.open(cache_p, read_only=False) as cache:
+            with pytest.raises(ValueError):
+                warm_cache(cache)
+            with pytest.raises(ValueError):
+                warm_cache(cache, read_trace([(0, 512)]),
+                           extents=[(0, 512)])
+
+    def test_working_set_past_backing_end_zero_filled(self, tmp_path):
+        """A cache larger than its backing warms the overhang to
+        zeros, exactly as copy-on-read would."""
+        base_path = make_patterned_base(tmp_path / "base.raw",
+                                        size=1 * MiB)
+        cache_p = str(tmp_path / "cache.qcow2")
+        Qcow2Image.create(cache_p, size=2 * MiB,
+                          backing_file=base_path,
+                          cache_quota=8 * MiB).close()
+        with Qcow2Image.open(cache_p, read_only=False) as cache:
+            tail = MiB - 4096
+            report = warm_cache(cache,
+                                extents=[(tail, 8192)])
+            assert report.bytes_written == 8192
+            assert cache.read(tail, 4096) == pattern(tail, 4096)
+            assert cache.read(MiB, 4096) == b"\0" * 4096
+
+
+class TestDeploymentPrewarm:
+    SIZE = 64 * MiB
+    QUOTA = 16 * MiB
+
+    def _deployment(self, mode="storage-mem"):
+        tb = Testbed(n_compute=2)
+        node_ids = [n.node_id for n in tb.computes]
+        reg = CacheRegistry(node_ids,
+                            node_capacity_bytes=64 * MiB,
+                            storage_capacity_bytes=64 * MiB)
+        dep = Deployment(tb, reg, cache_mode=mode,
+                         cache_quota=self.QUOTA)
+        profile = tiny_profile(vmi_size=self.SIZE,
+                               working_set=4 * MiB, boot_time=2.0)
+        dep.register_vmi("tiny", self.SIZE,
+                         generate_boot_trace(profile, seed=11))
+        return dep
+
+    def test_storage_prewarm_takes_time_and_registers(self):
+        dep = self._deployment()
+        node = dep.testbed.computes[0]
+        elapsed = dep.prewarm("tiny", node.node_id)
+        assert elapsed > 0
+        cache = dep.registry.storage_pool.get("tiny")
+        assert cache is not None
+        assert cache.location.kind == "storage-mem"
+        assert cache.stats.cor_bytes_written > 0
+
+    def test_wave_after_prewarm_is_all_storage_warm(self):
+        dep = self._deployment()
+        dep.prewarm("tiny", dep.testbed.computes[0].node_id)
+        reqs = [VMRequest(f"vm{i}", "tiny",
+                          dep.testbed.computes[i % 2].node_id)
+                for i in range(4)]
+        res = dep.run_wave(reqs)
+        assert set(res.decisions.values()) == {"storage-warm"}
+
+    def test_prewarm_beats_no_cache_wave(self):
+        """Figure 13's point, front-loaded: a prewarmed wave boots
+        faster than the same wave without any cache."""
+        cold = self._deployment(mode="none")
+        reqs = [VMRequest(f"vm{i}", "tiny",
+                          cold.testbed.computes[i % 2].node_id)
+                for i in range(4)]
+        base_time = cold.run_wave(reqs).mean_boot_time
+
+        warm = self._deployment()
+        warm.prewarm("tiny", warm.testbed.computes[0].node_id)
+        warm_time = warm.run_wave(reqs).mean_boot_time
+        assert warm_time < base_time
+
+    def test_node_prewarm_registers_local_cache(self):
+        dep = self._deployment(mode="compute-disk")
+        node = dep.testbed.computes[1]
+        dep.prewarm("tiny", node.node_id, register="node")
+        cache = dep.registry.node_pool(node.node_id).get("tiny")
+        assert cache is not None
+        assert cache.location.kind == "compute-disk"
+        res = dep.run_wave([VMRequest("vm0", "tiny", node.node_id)])
+        assert res.decisions["vm0"] == "local-warm"
+
+    def test_bad_register_target_rejected(self):
+        dep = self._deployment()
+        with pytest.raises(ValueError):
+            dep.prewarm("tiny", dep.testbed.computes[0].node_id,
+                        register="moon")

@@ -26,6 +26,9 @@ def pytest_configure(config):
         "timeout(seconds): fail the test if it runs longer than this "
         "(enforced by pytest-timeout when installed, else by the "
         "SIGALRM watchdog in tests/conftest.py)")
+    config.addinivalue_line(
+        "markers",
+        "smoke: quick-scale benchmark run wired into the tier-1 suite")
 
 
 @pytest.fixture(autouse=True)

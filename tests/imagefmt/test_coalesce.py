@@ -1,0 +1,170 @@
+"""The coalesced qcow2 datapath: one pread per physically-contiguous
+warm run, and write-path cluster resolution done exactly once."""
+
+import pytest
+
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.units import KiB, MiB
+
+from tests.conftest import pattern
+
+CLUSTER = 512
+
+
+def count_file_io(img):
+    """Instrument the image's PositionalFile; returns (preads, pwrites)
+    lists that accumulate (offset, length) per call."""
+    preads, pwrites = [], []
+    orig_pread, orig_pwrite = img._f.pread, img._f.pwrite
+
+    def pread(length, offset):
+        preads.append((offset, length))
+        return orig_pread(length, offset)
+
+    def pwrite(data, offset):
+        pwrites.append((offset, len(data)))
+        return orig_pwrite(data, offset)
+
+    img._f.pread = pread
+    img._f.pwrite = pwrite
+    return preads, pwrites
+
+
+@pytest.fixture
+def warm_cache(tmp_path, small_base):
+    """A 512-byte-cluster cache whose first 64 KiB were populated by
+    one sequential copy-on-read pass (physically contiguous)."""
+    cache_p = str(tmp_path / "cache.qcow2")
+    Qcow2Image.create(cache_p, backing_file=small_base,
+                      cluster_size=CLUSTER,
+                      cache_quota=2 * MiB).close()
+    img = Qcow2Image.open(cache_p, read_only=False)
+    assert img.read(0, 64 * KiB) == pattern(0, 64 * KiB)
+    yield img
+    img.close()
+
+
+class TestWarmReadCoalescing:
+    def test_contiguous_run_is_one_pread(self, warm_cache):
+        """64 warm clusters populated sequentially must be served by a
+        single pread, not 64."""
+        preads, _ = count_file_io(warm_cache)
+        assert warm_cache.read(0, 32 * KiB) == pattern(0, 32 * KiB)
+        assert len(preads) == 1
+        assert preads[0][1] == 32 * KiB
+
+    def test_l2_table_gap_splits_run(self, warm_cache):
+        """With 512-byte clusters an L2 table covers 32 KiB, and the
+        next table is allocated mid-stream — so a 64 KiB sequential
+        read crosses exactly one physical gap: two preads, not 128."""
+        preads, _ = count_file_io(warm_cache)
+        assert warm_cache.read(0, 64 * KiB) == pattern(0, 64 * KiB)
+        assert len(preads) == 2
+
+    def test_misaligned_warm_read_still_one_pread(self, warm_cache):
+        offset, length = 100, 10 * CLUSTER + 37
+        preads, _ = count_file_io(warm_cache)
+        assert warm_cache.read(offset, length) == \
+            pattern(offset, length)
+        assert len(preads) == 1
+
+    def test_scattered_physical_runs_split(self, tmp_path, small_base):
+        """Clusters populated in reverse order are physically
+        discontiguous: each needs its own pread, contents still
+        exact."""
+        cache_p = str(tmp_path / "cache.qcow2")
+        Qcow2Image.create(cache_p, backing_file=small_base,
+                          cluster_size=CLUSTER,
+                          cache_quota=2 * MiB).close()
+        n = 8
+        with Qcow2Image.open(cache_p, read_only=False) as img:
+            for i in reversed(range(n)):
+                img.read(i * CLUSTER, CLUSTER)
+            preads, _ = count_file_io(img)
+            assert img.read(0, n * CLUSTER) == pattern(0, n * CLUSTER)
+            assert len(preads) == n
+
+    def test_mixed_warm_cold_runs(self, tmp_path, small_base):
+        """A read alternating warm and cold clusters serves each warm
+        run with one pread and each cold run with one backing fetch."""
+        cache_p = str(tmp_path / "cache.qcow2")
+        Qcow2Image.create(cache_p, backing_file=small_base,
+                          cluster_size=CLUSTER,
+                          cache_quota=2 * MiB).close()
+        with Qcow2Image.open(cache_p, read_only=False) as img:
+            # Populate clusters [4, 8) only.
+            img.read(4 * CLUSTER, 4 * CLUSTER)
+            backing_ops0 = img.stats.backing_read_ops
+            preads, _ = count_file_io(img)
+            got = img.read(0, 12 * CLUSTER)
+            assert got == pattern(0, 12 * CLUSTER)
+            # Warm middle run: one pread.  Cold runs [0,4) and [8,12):
+            # one backing fetch each (plus their populating writes).
+            data_preads = [p for p in preads if p[1] >= CLUSTER]
+            assert len(data_preads) == 1
+            assert img.stats.backing_read_ops - backing_ops0 == 2
+
+
+class TestWritePathResolveOnce:
+    def test_overwrite_is_pure_data_io(self, tmp_path):
+        """Overwriting an allocated region after the L2 cache is warm
+        does zero metadata reads and leaves no metadata dirty."""
+        p = str(tmp_path / "img.qcow2")
+        img = Qcow2Image.create(p, size=MiB, cluster_size=CLUSTER)
+        img.write(0, pattern(0, 32 * KiB))
+        img.flush()
+        preads, pwrites = count_file_io(img)
+        img.write(0, pattern(0, 32 * KiB, seed=1))
+        assert preads == []
+        assert img._l2_dirty == set()
+        # One pwrite per cluster, all in the data area (no header/L1
+        # writes mixed in).
+        assert len(pwrites) == 32 * KiB // CLUSTER
+        img.flush()
+        assert img.read(0, 32 * KiB) == pattern(0, 32 * KiB, seed=1)
+        img.close()
+
+    def test_fresh_open_resolves_l2_once(self, tmp_path):
+        """After a cold open, an overwrite spanning many clusters of
+        one L2 table costs exactly one metadata pread (the L2 load) —
+        not one lookup per cluster."""
+        p = str(tmp_path / "img.qcow2")
+        with Qcow2Image.create(p, size=MiB,
+                               cluster_size=CLUSTER) as img:
+            img.write(0, pattern(0, 16 * KiB))
+        with Qcow2Image.open(p, read_only=False) as img:
+            preads, _ = count_file_io(img)
+            img.write(0, pattern(0, 16 * KiB, seed=2))
+            assert len(preads) == 1  # the one L2 table
+            assert img.read(0, 16 * KiB) == pattern(0, 16 * KiB, seed=2)
+
+    def test_overwrite_does_not_grow_file(self, tmp_path):
+        p = str(tmp_path / "img.qcow2")
+        with Qcow2Image.create(p, size=MiB,
+                               cluster_size=CLUSTER) as img:
+            img.write(0, pattern(0, 32 * KiB))
+            img.flush()
+            before = img.physical_size
+            img.write(0, pattern(0, 32 * KiB, seed=3))
+            img.flush()
+            assert img.physical_size == before
+
+    def test_partial_cluster_overwrite_in_place(self, tmp_path,
+                                                small_base):
+        """A sub-cluster write to an allocated cluster must patch in
+        place — no CoW fill read, no new allocation."""
+        cache_p = str(tmp_path / "cache.qcow2")
+        Qcow2Image.create(cache_p, backing_file=small_base,
+                          cluster_size=CLUSTER,
+                          cache_quota=2 * MiB).close()
+        with Qcow2Image.open(cache_p, read_only=False) as img:
+            img.read(0, 4 * CLUSTER)  # populate
+            backing0 = img.stats.backing_read_ops
+            preads, pwrites = count_file_io(img)
+            img.write(100, b"\xaa" * 64)
+            assert preads == []
+            assert img.stats.backing_read_ops == backing0
+            assert len(pwrites) == 1 and pwrites[0][1] == 64
+            expect = bytearray(pattern(0, CLUSTER))
+            expect[100:164] = b"\xaa" * 64
+            assert img.read(0, CLUSTER) == bytes(expect)

@@ -1,0 +1,413 @@
+"""Pipelined wire protocol v2: negotiation, out-of-order completion,
+reconnect-and-replay with a window in flight, and transport stats."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import RemoteError
+from repro.imagefmt.driver import BlockDriver
+from repro.imagefmt.raw import RawImage
+from repro.remote import (
+    BlockServer,
+    ExportRefusedError,
+    FaultInjector,
+    RemoteImage,
+)
+from repro.remote import protocol as wire
+from repro.units import KiB, MiB
+
+from tests.conftest import pattern
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+FAST_RETRY = dict(max_retries=3, backoff_base=0.01, backoff_max=0.05)
+
+
+class TestNegotiation:
+    def test_default_negotiates_v2(self, small_base):
+        base = RawImage.open(small_base)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base")) as img:
+                assert img.protocol_version == wire.VERSION_2
+                assert img.pipeline_depth == 8
+                assert img.read(0, 4096) == pattern(0, 4096)
+        base.close()
+
+    def test_v1_client_against_v2_server(self, small_base):
+        base = RawImage.open(small_base)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"),
+                                     protocol=1) as img:
+                assert img.protocol_version == wire.VERSION_1
+                assert img.pipeline_depth == 1
+                assert img.read(0, 64 * KiB) == pattern(0, 64 * KiB)
+        base.close()
+
+    def test_v2_client_falls_back_against_old_server(self, small_base):
+        """A pre-v2 server drops the unknown-magic hello; the client
+        must silently retry with the v1 hello and work."""
+        base = RawImage.open(small_base)
+        with BlockServer(max_protocol=1) as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base")) as img:
+                assert img.protocol_version == wire.VERSION_1
+                assert img.read(0, 4096) == pattern(0, 4096)
+        base.close()
+
+    def test_pinned_v2_against_old_server_raises(self, small_base):
+        base = RawImage.open(small_base)
+        with BlockServer(max_protocol=1) as server:
+            server.add_export("base", base)
+            with pytest.raises((wire.ProtocolError, RemoteError)):
+                RemoteImage.connect(server.url("base"), protocol=2)
+        base.close()
+
+    def test_export_refusal_is_not_retried_as_v1(self, small_base):
+        """An unknown export is a definitive answer on v2 — the client
+        must not mask it behind a v1 fallback attempt."""
+        base = RawImage.open(small_base)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            with pytest.raises(ExportRefusedError):
+                RemoteImage.connect(server.url("nope"))
+            assert server.export_stats("base").connections == 0
+        base.close()
+
+    def test_downgrade_remembered_across_reconnects(self, small_base):
+        """After falling back to v1, a reconnect (drop injected) must
+        go straight to v1 — the old server would drop a v2 probe and
+        the op would pay an extra round of reconnects."""
+        base = RawImage.open(small_base)
+        fi = FaultInjector()
+        with BlockServer(max_protocol=1, fault_injector=fi) as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"),
+                                     **FAST_RETRY) as img:
+                assert img.protocol_version == wire.VERSION_1
+                fi.inject("drop")
+                assert img.read(0, 4096) == pattern(0, 4096)
+                assert img.protocol_version == wire.VERSION_1
+                assert img.transport_stats.reconnects == 1
+        base.close()
+
+    def test_invalid_protocol_and_depth_rejected(self, small_base):
+        base = RawImage.open(small_base)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            with pytest.raises(ValueError):
+                RemoteImage.connect(server.url("base"), protocol=3)
+            with pytest.raises(ValueError):
+                RemoteImage.connect(server.url("base"), depth=0)
+        base.close()
+
+    def test_server_validates_max_protocol(self):
+        with pytest.raises(ValueError):
+            BlockServer(max_protocol=9)
+
+
+class _BarrierReads(BlockDriver):
+    """Reads complete only when ``parties`` of them run simultaneously."""
+
+    format_name = "barrier"
+
+    def __init__(self, parties: int, size: int = MiB) -> None:
+        super().__init__("<barrier>", size, True)
+        self._barrier = threading.Barrier(parties)
+
+    @property
+    def supports_concurrent_reads(self) -> bool:
+        return True
+
+    def _read_impl(self, offset: int, length: int) -> bytes:
+        self._barrier.wait(timeout=10)
+        return b"\x5a" * length
+
+    def _write_impl(self, offset: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _close_impl(self) -> None:
+        pass
+
+
+class _StallFirst(BlockDriver):
+    """Offset-0 reads stall until a read of a higher offset finishes,
+    forcing the completion order to invert the submission order."""
+
+    format_name = "stall"
+
+    def __init__(self, size: int = MiB) -> None:
+        super().__init__("<stall>", size, True)
+        self._unblock = threading.Event()
+        self.completion_order: list[int] = []
+
+    @property
+    def supports_concurrent_reads(self) -> bool:
+        return True
+
+    def _read_impl(self, offset: int, length: int) -> bytes:
+        if offset == 0:
+            if not self._unblock.wait(timeout=10):
+                raise TimeoutError("offset-0 read never unblocked")
+        self.completion_order.append(offset)
+        if offset > 0:
+            self._unblock.set()
+        return pattern(offset, length)
+
+    def _write_impl(self, offset: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _close_impl(self) -> None:
+        pass
+
+
+class TestOutOfOrderCompletion:
+    def test_one_connection_overlaps_its_own_reads(self):
+        """Two tagged requests from a single connection must be inside
+        _read_impl simultaneously — impossible under v1 lock-step."""
+        driver = _BarrierReads(parties=2)
+        with BlockServer() as server:
+            server.add_export("b", driver)
+            with RemoteImage.connect(server.url("b"), depth=4) as img:
+                got = img.read_batch([(0, 4096), (8192, 4096)])
+        assert got == [b"\x5a" * 4096] * 2
+
+    def test_responses_demuxed_by_tag_not_order(self):
+        """The server answers the second request first; the client must
+        still hand each caller its own bytes."""
+        driver = _StallFirst()
+        with BlockServer() as server:
+            server.add_export("s", driver)
+            with RemoteImage.connect(server.url("s"), depth=4) as img:
+                got = img.read_batch([(0, 4096), (64 * KiB, 4096)])
+        assert driver.completion_order[0] == 64 * KiB
+        assert got[0] == pattern(0, 4096)
+        assert got[1] == pattern(64 * KiB, 4096)
+
+    def test_large_read_reassembled_across_chunks(self, small_base):
+        """A guest read split into many tagged chunks comes back intact
+        even when the server completes chunks out of order."""
+        base = RawImage.open(small_base)
+        fi = FaultInjector(delay_rate=1.0, delay_seconds=0.001)
+        with BlockServer(fault_injector=fi) as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"), depth=8,
+                                     chunk_size=64 * KiB) as img:
+                assert img.read(0, MiB) == pattern(0, MiB)
+                assert img.transport_stats.inflight_hwm >= 2
+        base.close()
+
+    def test_window_respects_depth(self, small_base):
+        base = RawImage.open(small_base)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"), depth=2,
+                                     chunk_size=4 * KiB) as img:
+                assert img.read(0, 256 * KiB) == pattern(0, 256 * KiB)
+                assert 2 <= img.transport_stats.inflight_hwm <= 2
+        base.close()
+
+    def test_read_batch_validates_and_handles_empty(self, small_base):
+        base = RawImage.open(small_base)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base")) as img:
+                assert img.read_batch([]) == []
+                assert img.read_batch([(0, 0)]) == [b""]
+                from repro.errors import OutOfBoundsError
+                with pytest.raises(OutOfBoundsError):
+                    img.read_batch([(0, 512), (img.size, 512)])
+        base.close()
+
+    def test_read_batch_works_over_v1_too(self, small_base):
+        """The bulk interface must be transport-agnostic: against a v1
+        connection it degrades to serial round-trips, same bytes."""
+        base = RawImage.open(small_base)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"),
+                                     protocol=1) as img:
+                got = img.read_batch([(0, 4096), (MiB, 4096)])
+        assert got == [pattern(0, 4096), pattern(MiB, 4096)]
+        base.close()
+
+
+class TestPipelinedRecovery:
+    def test_drop_with_window_in_flight_replays_unacked(self, small_base):
+        """Sever the connection while >= 2 tagged requests are in
+        flight: every extent must still come back correct, via one
+        reconnect that replays only the unacknowledged tags."""
+        base = RawImage.open(small_base)
+        fi = FaultInjector()
+        # Serve request 1 normally, cut the wire on request 2 while
+        # requests 3..N sit in the pipeline behind it.
+        fi.inject("none", "drop")
+        with BlockServer(fault_injector=fi) as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"), depth=4,
+                                     **FAST_RETRY) as img:
+                extents = [(i * 256 * KiB, 4 * KiB) for i in range(6)]
+                got = img.read_batch(extents)
+                stats = img.transport_stats
+                assert stats.retries >= 1
+                assert stats.reconnects >= 1
+        assert got == [pattern(off, ln) for off, ln in extents]
+        assert fi.stats.dropped == 1
+        base.close()
+
+    def test_pipelined_write_survives_drop(self, tmp_path):
+        size = 2 * MiB
+        target = RawImage.create(str(tmp_path / "t.raw"), size)
+        fi = FaultInjector()
+        fi.inject("none", "drop")
+        with BlockServer(fault_injector=fi) as server:
+            server.add_export("t", target, writable=True)
+            with RemoteImage.connect(server.url("t"), read_only=False,
+                                     depth=4, chunk_size=128 * KiB,
+                                     **FAST_RETRY) as img:
+                img.write(0, pattern(0, MiB))
+                img.flush()
+                assert img.transport_stats.reconnects >= 1
+        assert target.read(0, MiB) == pattern(0, MiB)
+        target.close()
+
+    def test_depth1_v2_equals_lockstep(self, small_base):
+        """depth=1 on v2 is the A/B control: still tagged frames, but
+        never more than one in flight."""
+        base = RawImage.open(small_base)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"),
+                                     depth=1) as img:
+                assert img.protocol_version == wire.VERSION_2
+                assert img.read(0, 128 * KiB) == pattern(0, 128 * KiB)
+                assert img.transport_stats.inflight_hwm == 1
+        base.close()
+
+    def test_retries_exhausted_mid_batch_raises(self, small_base):
+        base = RawImage.open(small_base)
+        fi = FaultInjector(drop_rate=1.0)
+        with BlockServer(fault_injector=fi) as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"), depth=4,
+                                     max_retries=2, backoff_base=0.01,
+                                     backoff_max=0.02) as img:
+                with pytest.raises(RemoteError):
+                    img.read_batch([(0, 4096), (8192, 4096)])
+                # The batch's pending entries must not leak.
+                assert img._pending == {}
+        base.close()
+
+
+class TestTransportObservability:
+    def test_client_counts_bytes_and_latency(self, small_base):
+        base = RawImage.open(small_base, read_only=False)
+        with BlockServer() as server:
+            server.add_export("base", base, writable=True)
+            with RemoteImage.connect(server.url("base"),
+                                     read_only=False) as img:
+                img.read(0, 64 * KiB)
+                img.write(0, pattern(0, 4096))
+                img.flush()
+                stats = img.transport_stats
+                assert stats.bytes_received >= 64 * KiB
+                assert stats.bytes_sent >= 4096
+                assert stats.latency["read"].count == 1
+                assert stats.latency["write"].count == 1
+                assert stats.latency["flush"].count == 1
+                summary = stats.summary()
+                assert summary["latency"]["read"]["count"] == 1
+                assert summary["inflight_hwm"] >= 1
+                info = img.image_info()
+                assert info["protocol_version"] == wire.VERSION_2
+                assert info["pipeline_depth"] == img.pipeline_depth
+                assert info["transport"]["bytes_received"] \
+                    >= 64 * KiB
+        base.close()
+
+    def test_server_counts_wire_bytes_and_inflight(self, small_base):
+        base = RawImage.open(small_base)
+        fi = FaultInjector(delay_rate=1.0, delay_seconds=0.002)
+        with BlockServer(fault_injector=fi) as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"), depth=8,
+                                     chunk_size=32 * KiB) as img:
+                img.read(0, 512 * KiB)
+            stats = server.export_stats("base")
+            assert stats.wire_bytes_sent >= 512 * KiB
+            assert stats.wire_bytes_received > 0
+            assert stats.inflight_hwm >= 2
+            assert stats.latency["read"].count == 16
+            assert stats.summary()["latency"]["read"]["p50_ms"] > 0
+        base.close()
+
+    def test_v1_accounting_still_works(self, small_base):
+        base = RawImage.open(small_base)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"),
+                                     protocol=1) as img:
+                img.read(0, 4096)
+                assert img.transport_stats.bytes_received >= 4096
+                assert img.transport_stats.latency["read"].count == 1
+            stats = server.export_stats("base")
+            assert stats.wire_bytes_sent >= 4096
+            assert stats.inflight_hwm == 1
+        base.close()
+
+
+class TestInteropSuiteParity:
+    """The same read/write/flush workload must behave identically on
+    every protocol pairing (acceptance: existing suite semantics hold
+    both across versions)."""
+
+    @pytest.mark.parametrize("server_max,client_pin", [
+        (2, None),   # v2 <-> v2
+        (2, 1),      # v1 client, v2 server
+        (1, None),   # v2 client falls back to v1 server
+    ])
+    def test_rw_workload_identical(self, tmp_path, server_max,
+                                   client_pin):
+        size = 2 * MiB
+        target = RawImage.create(
+            str(tmp_path / f"t{server_max}{client_pin}.raw"), size)
+        with BlockServer(max_protocol=server_max) as server:
+            server.add_export("t", target, writable=True)
+            with RemoteImage.connect(server.url("t"), read_only=False,
+                                     protocol=client_pin) as img:
+                img.write(4096, pattern(4096, 64 * KiB))
+                img.flush()
+                assert img.read(4096, 64 * KiB) \
+                    == pattern(4096, 64 * KiB)
+                assert img.read(0, 4096) == b"\0" * 4096
+                got = img.read_batch([(4096, 512), (MiB, 512)])
+        assert got == [pattern(4096, 512), b"\0" * 512]
+        target.close()
+
+
+class TestSequentialThroughput:
+    def test_depth8_beats_depth1_under_latency(self, small_base):
+        """The headline property at test scale: with per-request
+        latency injected, a pipelined sequential read wins clearly.
+        (The full-size A/B lives in benchmarks/bench_ext_remote.py.)"""
+        base = RawImage.open(small_base)
+        fi = FaultInjector(delay_rate=1.0, delay_seconds=0.002)
+        chunk = 128 * KiB
+        total = 2 * MiB  # 16 chunks
+        with BlockServer(fault_injector=fi) as server:
+            server.add_export("base", base)
+            times = {}
+            for label, kw in (("v1", dict(protocol=1)),
+                              ("v2", dict(depth=8))):
+                with RemoteImage.connect(server.url("base"),
+                                         chunk_size=chunk,
+                                         **kw) as img:
+                    t0 = time.perf_counter()
+                    data = img.read(0, total)
+                    times[label] = time.perf_counter() - t0
+                    assert data == pattern(0, total)
+        assert times["v2"] < times["v1"] / 2, times
+        base.close()

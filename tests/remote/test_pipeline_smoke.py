@@ -1,0 +1,30 @@
+"""Tier-1 smoke run of the pipelining benchmark.
+
+Runs ``benchmarks/bench_ext_remote._run_pipeline`` at quick scale so
+plain ``pytest`` exercises the latency-shaped v1-vs-v2 A/B (and the
+warmer equivalence check) on every run, and drops the same
+``BENCH_remote_pipeline.json`` artifact the full benchmark would.
+"""
+
+import pytest
+
+from benchmarks.bench_ext_remote import _run_pipeline
+from benchmarks.conftest import RESULTS_DIR
+
+pytestmark = [
+    pytest.mark.smoke,
+    pytest.mark.timeout(60),
+    pytest.mark.filterwarnings("ignore::ResourceWarning"),
+]
+
+
+def test_pipeline_smoke():
+    log = _run_pipeline(quick=True)
+    log.save(RESULTS_DIR)
+
+    assert log.scalars["mismatched_reads"] == 0
+    assert log.scalars["warm_checksum_ok"] == 1.0
+    assert log.scalars["v2_inflight_hwm"] >= 4
+    # Full scale demands >= 3x; at smoke scale fixed connection and
+    # scheduling overheads weigh more, so the floor is 2x.
+    assert log.scalars["speedup"] >= 2.0

@@ -99,3 +99,105 @@ class TestResponses:
         wire.send_response(s, error="disk on fire")
         with pytest.raises(wire.ProtocolError, match="disk on fire"):
             wire.recv_response(c)
+
+
+class TestHandshakeV2:
+    def test_v2_roundtrip(self, pair):
+        c, s = pair
+        wire.send_handshake_request_v2(c, "images/centos")
+        assert wire.recv_handshake_request_any(s) == \
+            (wire.VERSION_2, "images/centos")
+        wire.send_handshake_response_v2(s, size=654321)
+        assert wire.recv_handshake_response_v2(c) == \
+            (wire.VERSION_2, 654321)
+
+    def test_any_accepts_v1_hello(self, pair):
+        c, s = pair
+        wire.send_handshake_request(c, "old-school")
+        assert wire.recv_handshake_request_any(s) == \
+            (wire.VERSION_1, "old-school")
+
+    def test_old_server_rejects_v2_magic(self, pair):
+        """max_version=1 must behave exactly like a genuine pre-v2
+        server: unknown magic -> ProtocolError -> dropped connection."""
+        c, s = pair
+        wire.send_handshake_request_v2(c, "x")
+        with pytest.raises(wire.ProtocolError, match="magic"):
+            wire.recv_handshake_request_any(s, max_version=1)
+
+    def test_refusal_is_export_refused(self, pair):
+        c, s = pair
+        wire.send_handshake_response_v2(s, error=True)
+        with pytest.raises(wire.ExportRefusedError):
+            wire.recv_handshake_response_v2(c)
+
+    def test_v1_refusal_is_export_refused_too(self, pair):
+        c, s = pair
+        wire.send_handshake_response(s, error=True)
+        with pytest.raises(wire.ExportRefusedError):
+            wire.recv_handshake_response(c)
+
+    def test_unicode_export_name(self, pair):
+        c, s = pair
+        wire.send_handshake_request_v2(c, "imágé")
+        assert wire.recv_handshake_request_any(s)[1] == "imágé"
+
+
+class TestRequestsV2:
+    def test_read_roundtrip_carries_tag(self, pair):
+        c, s = pair
+        wire.send_request_v2(c, 7, wire.Request(wire.REQ_READ,
+                                                4096, 512))
+        assert wire.recv_request_v2(s) == \
+            (7, wire.Request(wire.REQ_READ, 4096, 512, b""))
+
+    def test_write_payload_roundtrip(self, pair):
+        c, s = pair
+        wire.send_request_v2(c, 41, wire.Request(wire.REQ_WRITE, 0, 5,
+                                                 b"hello"))
+        tag, req = wire.recv_request_v2(s)
+        assert (tag, req.payload) == (41, b"hello")
+
+    def test_max_tag_roundtrip(self, pair):
+        c, s = pair
+        wire.send_request_v2(c, wire.MAX_TAG,
+                             wire.Request(wire.REQ_FLUSH, 0, 0))
+        tag, _ = wire.recv_request_v2(s)
+        assert tag == wire.MAX_TAG
+
+    def test_oversized_rejected(self, pair):
+        c, _ = pair
+        with pytest.raises(ValueError):
+            wire.send_request_v2(c, 0, wire.Request(
+                wire.REQ_READ, 0, wire.MAX_PAYLOAD + 1))
+
+    def test_bad_magic_rejected(self, pair):
+        c, s = pair
+        import struct
+
+        c.sendall(struct.pack(">IBIQI", wire.MAGIC, wire.REQ_READ,
+                              0, 0, 512))
+        with pytest.raises(wire.ProtocolError, match="magic"):
+            wire.recv_request_v2(s)
+
+
+class TestResponsesV2:
+    def test_payload_echoes_tag(self, pair):
+        c, s = pair
+        wire.send_response_v2(s, 0xDEAD, payload=b"data-bytes")
+        assert wire.recv_response_v2(c) == (0xDEAD, b"data-bytes", None)
+
+    def test_error_carries_tag_and_message(self, pair):
+        c, s = pair
+        wire.send_response_v2(s, 3, error="disk on fire")
+        tag, payload, err = wire.recv_response_v2(c)
+        assert (tag, payload, err) == (3, b"", "disk on fire")
+
+    def test_out_of_order_tags_preserved(self, pair):
+        """Frames arrive in whatever order the server finished them;
+        each must carry its own tag for the demux."""
+        c, s = pair
+        wire.send_response_v2(s, 2, payload=b"second")
+        wire.send_response_v2(s, 1, payload=b"first")
+        assert wire.recv_response_v2(c)[0] == 2
+        assert wire.recv_response_v2(c)[0] == 1
