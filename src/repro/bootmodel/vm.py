@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from repro.bootmodel.trace import BootTrace
 from repro.imagefmt.chain import find_cache_layer
 from repro.imagefmt.driver import BlockDriver
+from repro.metrics.tracing import TRACER
 
 
 @dataclass
@@ -51,56 +52,105 @@ def bottom_layer(chain: BlockDriver) -> BlockDriver:
     return node
 
 
+def assign_trace_roles(chain: BlockDriver) -> list[BlockDriver]:
+    """Label each chain layer for trace attribution; returns the layers
+    top-to-bottom.
+
+    Roles follow the paper's chain shape: the bottom image is ``base``
+    (its ``block.read`` events are the storage-node traffic of Figures
+    9/10), cache images are ``cache``, and the guest-facing top overlay
+    is ``cow``.  A single-image chain is just ``base``.
+    """
+    layers: list[BlockDriver] = []
+    node: BlockDriver | None = chain
+    while node is not None:
+        layers.append(node)
+        node = node.backing
+    for i, layer in enumerate(layers):
+        if i == len(layers) - 1:
+            layer.trace_role = "base"
+        elif getattr(layer, "is_cache", False):
+            layer.trace_role = "cache"
+        elif i == 0:
+            layer.trace_role = "cow"
+        else:
+            layer.trace_role = "overlay"
+    return layers
+
+
 def replay_through_chain(
     trace: BootTrace,
     chain: BlockDriver,
     *,
     track_unique: bool = True,
+    vm_id: str | None = None,
 ) -> ReplayResult:
     """Replay every trace op against the top of an image chain.
 
     Reads and writes are clipped to the chain's virtual size (traces and
     images may disagree by a cluster when tests shrink things).  Returns
     the traffic accounting gathered from every layer's driver stats.
+
+    With tracing enabled the replay runs inside a wall-clock ``vm.boot``
+    span (named after ``vm_id`` when given), so every layer's
+    ``block.read`` events attach causally to this boot; a final
+    ``replay.summary`` event carries the same per-layer totals the
+    returned :class:`ReplayResult` reports.
     """
     base = bottom_layer(chain)
+    assign_trace_roles(chain)
     if track_unique:
         base.enable_range_tracking()
     base_read0 = base.stats.bytes_read
     base_ops0 = base.stats.read_ops
 
     result = ReplayResult(os_name=trace.os_name)
-    for op in trace:
-        offset = min(op.offset, max(chain.size - 512, 0))
-        length = min(op.length, chain.size - offset)
-        if length <= 0:
-            continue
-        if op.kind == "read":
-            chain.read(offset, length)
-            result.guest_bytes_read += length
-        else:
-            chain.write(offset, b"\0" * length)
-            result.guest_bytes_written += length
-        result.ops_replayed += 1
+    with TRACER.span("vm.boot", vm_id=vm_id or trace.os_name,
+                     os_name=trace.os_name):
+        for op in trace:
+            offset = min(op.offset, max(chain.size - 512, 0))
+            length = min(op.length, chain.size - offset)
+            if length <= 0:
+                continue
+            if op.kind == "read":
+                chain.read(offset, length)
+                result.guest_bytes_read += length
+            else:
+                chain.write(offset, b"\0" * length)
+                result.guest_bytes_written += length
+            result.ops_replayed += 1
 
-    result.base_bytes_read = base.stats.bytes_read - base_read0
-    result.base_read_ops = base.stats.read_ops - base_ops0
-    if track_unique:
-        result.unique_base_bytes = base.stats.touched.total()
+        result.base_bytes_read = base.stats.bytes_read - base_read0
+        result.base_read_ops = base.stats.read_ops - base_ops0
+        if track_unique:
+            result.unique_base_bytes = base.stats.touched.total()
 
-    node: BlockDriver | None = chain
-    while node is not None:
-        result.layers.append(node.path)
-        node = node.backing
+        node: BlockDriver | None = chain
+        while node is not None:
+            result.layers.append(node.path)
+            node = node.backing
 
-    cache = find_cache_layer(chain)
-    if cache is not None:
-        result.cache_hit_bytes = cache.stats.cache_hit_bytes
-        result.cache_miss_bytes = cache.stats.cache_miss_bytes
-        result.cor_bytes_written = cache.stats.cor_bytes_written
-        result.cor_disabled = not cache.cache_runtime.cor.enabled
-        cache.flush()
-        result.cache_file_size = cache.physical_size
+        cache = find_cache_layer(chain)
+        if cache is not None:
+            result.cache_hit_bytes = cache.stats.cache_hit_bytes
+            result.cache_miss_bytes = cache.stats.cache_miss_bytes
+            result.cor_bytes_written = cache.stats.cor_bytes_written
+            result.cor_disabled = not cache.cache_runtime.cor.enabled
+            cache.flush()
+            result.cache_file_size = cache.physical_size
+        if TRACER.enabled:
+            TRACER.event(
+                "replay.summary", vm_id=vm_id or trace.os_name,
+                os_name=trace.os_name, base_path=base.path,
+                ops_replayed=result.ops_replayed,
+                guest_bytes_read=result.guest_bytes_read,
+                guest_bytes_written=result.guest_bytes_written,
+                base_bytes_read=result.base_bytes_read,
+                unique_base_bytes=result.unique_base_bytes,
+                cache_hit_bytes=result.cache_hit_bytes,
+                cache_miss_bytes=result.cache_miss_bytes,
+                cor_bytes_written=result.cor_bytes_written,
+                cor_disabled=result.cor_disabled)
     return result
 
 

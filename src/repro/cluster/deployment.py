@@ -35,6 +35,8 @@ from repro.bootmodel.trace import BootTrace
 from repro.cluster.cache_manager import CacheRegistry
 from repro.cluster.placement import PlacementPlan, plan_chain
 from repro.cluster.warmer import working_set_extents
+from repro.metrics.registry import get_registry
+from repro.metrics.tracing import TRACER
 from repro.sim.blockio import SimImage
 from repro.sim.cluster_sim import (
     BootJob,
@@ -157,6 +159,11 @@ class Deployment:
                 tb.storage.memory.free(victim.physical_bytes)
         else:
             self.registry.node_pool(node_id).put(vmi_id, cache)
+        if TRACER.enabled:
+            TRACER.record_span(
+                "deploy.prewarm", t0, tb.env.now,
+                vmi_id=vmi_id, node=node_id, register=register,
+                extents=len(extents))
         return tb.env.now - t0
 
     # -- wave execution -------------------------------------------------------
@@ -168,6 +175,12 @@ class Deployment:
         cold_creator_per_vmi: dict[str, str] = {}
         cold_creator_per_node_vmi: set[tuple[str, str]] = set()
 
+        # The wave span's ids are allocated up front so every VM boot
+        # inside the wave can parent onto it (the span itself is
+        # recorded once the wave's virtual end time is known).
+        wave_ids = TRACER.allocate_ids() if TRACER.enabled else None
+        t0 = tb.env.now
+
         for req in requests:
             base = self.bases[req.vmi_id]
             node = tb.node_by_id(req.node_id)
@@ -175,6 +188,15 @@ class Deployment:
                                   cold_creator_per_vmi,
                                   cold_creator_per_node_vmi)
             plans.append((req, plan))
+            get_registry().counter(
+                "deploy_placements_total",
+                decision=plan.decision).inc()
+            if wave_ids is not None:
+                TRACER.record_span(
+                    "deploy.plan", tb.env.now, tb.env.now,
+                    trace_id=wave_ids[0], parent_id=wave_ids[1],
+                    vm_id=req.vm_id, vmi_id=req.vmi_id,
+                    node=req.node_id, decision=plan.decision)
 
         self._run_pre_boot(plans)
         jobs = []
@@ -197,7 +219,7 @@ class Deployment:
                                 self.traces[req.vmi_id],
                                 epilogue=epilogue))
 
-        scenario = boot_vms(tb, jobs)
+        scenario = boot_vms(tb, jobs, trace_parent=wave_ids)
         post_t0 = tb.env.now
         self._run_post_boot(plans)
         result = DeploymentResult(
@@ -205,6 +227,13 @@ class Deployment:
             decisions={req.vm_id: plan.decision for req, plan in plans},
             post_boot_seconds=tb.env.now - post_t0,
         )
+        if wave_ids is not None:
+            TRACER.record_span(
+                "deploy.wave", t0, tb.env.now,
+                trace_id=wave_ids[0], span_id=wave_ids[1],
+                vms=len(requests), cache_mode=self.cache_mode,
+                mean_boot_time=scenario.mean_boot_time,
+                post_boot_seconds=result.post_boot_seconds)
         return result
 
     # -- planning -------------------------------------------------------------

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.cache_manager import CacheRegistry
 from repro.errors import SchedulingError
+from repro.metrics.registry import get_registry
 
 
 @dataclass
@@ -127,6 +128,13 @@ class CacheAwareScheduler:
             self.stats.warm_placements += 1
         else:
             self.stats.cold_placements += 1
+        # Mirror the placement decision into the process-wide registry
+        # (per-scheduler SchedulerStats stay the per-run measure).
+        get_registry().counter(
+            "scheduler_placements_total",
+            strategy=self.strategy.name,
+            outcome="warm" if chosen_from_warm else "cold",
+        ).inc()
         return best.node_id
 
 

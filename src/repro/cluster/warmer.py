@@ -32,6 +32,8 @@ from dataclasses import dataclass
 from repro.bootmodel.trace import BootTrace
 from repro.errors import QuotaExceededError
 from repro.imagefmt.driver import BlockDriver, RangeSet
+from repro.metrics.registry import get_registry
+from repro.metrics.tracing import TRACER
 from repro.units import MiB, align_down, align_up
 
 
@@ -143,18 +145,30 @@ def warm_cache(
         batch_load = 0
         return True
 
-    for offset, length in extents:
-        report.bytes_requested += length
-        batch.append((offset, length))
-        batch_load += length
-        if batch_load >= batch_bytes:
-            if not run_batch():
-                break
-    else:
-        run_batch()
-    if flush and not cache.closed:
-        cache.flush()
+    with TRACER.span("cache.warm", path=cache.path) as span:
+        for offset, length in extents:
+            report.bytes_requested += length
+            batch.append((offset, length))
+            batch_load += length
+            if batch_load >= batch_bytes:
+                if not run_batch():
+                    break
+        else:
+            run_batch()
+        if flush and not cache.closed:
+            cache.flush()
+        span.attrs.update(
+            extents=report.extents, batches=report.batches,
+            bytes_requested=report.bytes_requested,
+            bytes_written=report.bytes_written,
+            quota_exhausted=report.quota_exhausted)
     report.seconds = time.perf_counter() - started
+    registry = get_registry()
+    registry.counter("warmer_runs_total").inc()
+    registry.counter("warmer_bytes_written_total").inc(
+        report.bytes_written)
+    if report.quota_exhausted:
+        registry.counter("warmer_quota_exhausted_total").inc()
     return report
 
 

@@ -55,6 +55,7 @@ from repro.errors import (
     OutOfBoundsError,
     ReadOnlyImageError,
 )
+from repro.metrics.tracing import TRACER
 
 
 class RangeSet:
@@ -156,6 +157,11 @@ class DriverStats:
     ``backing_bytes_read`` additionally counts what this image pulled from
     its backing file (on-demand transfers), and ``cor_bytes_written``
     counts copy-on-read bytes stored into a cache image.
+    ``rmw_fill_bytes`` counts backing bytes fetched only to complete
+    partial-cluster writes (the Fig 9 read-modify-write amplification),
+    and ``quota_stops`` counts cache-quota space errors (each one is the
+    paper's "space error → stop caching" transition; only the first
+    actually disables CoR).
     """
 
     read_ops: int = 0
@@ -169,6 +175,9 @@ class DriverStats:
     cor_bytes_written: int = 0
     cache_hit_bytes: int = 0
     cache_miss_bytes: int = 0
+    rmw_fill_ops: int = 0
+    rmw_fill_bytes: int = 0
+    quota_stops: int = 0
     touched: RangeSet = field(default_factory=RangeSet)
     track_ranges: bool = False
 
@@ -194,6 +203,9 @@ class BlockDriver(ABC):
         self.read_only = read_only
         self.closed = False
         self.stats = DriverStats()
+        # Chain role for trace attribution ("base" / "cache" / "cow");
+        # assigned by chain builders, falls back to the format name.
+        self.trace_role: str | None = None
 
     # -- public checked interface -----------------------------------------
 
@@ -207,6 +219,13 @@ class BlockDriver(ABC):
             raise InvalidImageError(
                 f"driver returned {len(data)} bytes for a {length}-byte read")
         self.stats.record_read(offset, length)
+        # Emitted exactly where record_read runs, so per-layer event
+        # sums in a trace equal DriverStats by construction (the Fig 9
+        # invariant boot_report relies on).
+        if TRACER.enabled:
+            TRACER.event("block.read",
+                         layer=self.trace_role or self.format_name,
+                         path=self.path, offset=offset, length=length)
         return data
 
     def write(self, offset: int, data: bytes) -> None:
@@ -218,6 +237,10 @@ class BlockDriver(ABC):
             return
         self._write_impl(offset, bytes(data))
         self.stats.record_write(offset, len(data))
+        if TRACER.enabled:
+            TRACER.event("block.write",
+                         layer=self.trace_role or self.format_name,
+                         path=self.path, offset=offset, length=len(data))
 
     def read_batch(self, extents: list[tuple[int, int]]) -> list[bytes]:
         """Read several ``(offset, length)`` extents, results in order.

@@ -59,6 +59,8 @@ from repro.imagefmt.tables import (
     cluster_size_to_bits,
     iter_cluster_chunks,
 )
+from repro.metrics.registry import get_registry
+from repro.metrics.tracing import TRACER
 from repro.units import align_up, div_round_up
 
 
@@ -489,13 +491,37 @@ class Qcow2Image(BlockDriver):
             try:
                 self._write_impl(first_vba, blob, _cor=True)
             except QuotaExceededError:
-                self.cache_runtime.cor.record_space_error()
+                self._record_quota_stop(len(blob))
+            else:
+                if TRACER.enabled:
+                    TRACER.event("cache.cor_fill", path=self.path,
+                                 offset=first_vba, length=len(blob))
             start = first_in
             end = (last_vba - first_vba) + last_in + last_chunk
             return blob[start:end]
         start_off = first_vba + first_in
         end_off = last_vba + last_in + last_chunk
         return self._read_from_backing(start_off, end_off - start_off)
+
+    def _record_quota_stop(self, attempted_bytes: int) -> None:
+        """Account the §4.3 "space error → stop caching" transition.
+
+        Counted (``stats.quota_stops``, a registry counter) and traced
+        instead of being a silent state flip, so Fig 9-style runs can
+        see exactly when — and with how much in flight — CoR stopped.
+        """
+        self.cache_runtime.cor.record_space_error()
+        self.stats.quota_stops += 1
+        get_registry().counter(
+            "cache_quota_stops_total",
+            image=os.path.basename(self.path)).inc()
+        if TRACER.enabled:
+            TRACER.event(
+                "cache.quota_stop", path=self.path,
+                attempted_bytes=attempted_bytes,
+                quota=self.cache_quota,
+                current_size=self.physical_size,
+                space_errors=self.cache_runtime.cor.space_errors)
 
     def _read_from_backing(self, offset: int, length: int) -> bytes:
         """Read from the backing image, zero-padded past its end."""
@@ -607,6 +633,12 @@ class Qcow2Image(BlockDriver):
             merged = bytearray(self._backing_cluster(cluster_vba))
             merged[in_cluster: in_cluster + len(data)] = data
             self._f.pwrite(bytes(merged), phys)
+            fill = self.cluster_size - len(data)
+            self.stats.rmw_fill_ops += 1
+            self.stats.rmw_fill_bytes += fill
+            if TRACER.enabled:
+                TRACER.event("cache.rmw_fill", path=self.path,
+                             offset=cluster_vba, fill_bytes=fill)
         else:
             self._f.pwrite(data, phys)
         table[l2_index] = phys | C.OFLAG_COPIED
@@ -711,6 +743,16 @@ class Qcow2Image(BlockDriver):
             info["cache_quota"] = self.header.cache_ext.quota
             info["cache_current_size"] = self.header.cache_ext.current_size
             info["cor_enabled"] = self.cor_enabled
+            # Quota exhaustion is an observable event, not a silent
+            # state flip: how many space errors occurred, why CoR is
+            # off, and the traffic counters that explain Fig 9 runs.
+            cor = self.cache_runtime.cor
+            info["cor_space_errors"] = cor.space_errors
+            info["cor_disabled_reason"] = cor.disabled_reason
+            info["quota_stops"] = self.stats.quota_stops
+            info["cache_hit_bytes"] = self.stats.cache_hit_bytes
+            info["cache_miss_bytes"] = self.stats.cache_miss_bytes
+            info["rmw_fill_bytes"] = self.stats.rmw_fill_bytes
         return info
 
     def check(self) -> CheckReport:

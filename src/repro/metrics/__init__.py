@@ -1,16 +1,38 @@
-"""Result collection and paper-style reporting.
+"""Result collection, paper-style reporting, and live observability.
 
 The benchmark harness uses these helpers to print each experiment the
 way the paper presents it (one series per line/curve, one row per
 x-axis point) and to record paper-vs-measured comparisons for
 EXPERIMENTS.md.
+
+Live telemetry lives next door: :mod:`repro.metrics.registry` is the
+process-wide metrics registry every layer publishes into, and
+:mod:`repro.metrics.tracing` is the span/event bus whose JSONL traces
+:mod:`repro.metrics.boot_report` turns back into per-VM boot timelines
+and per-layer byte attribution (DESIGN.md §8).
 """
 
 from repro.metrics.collectors import ExperimentLog, LatencyHistogram, Series
+from repro.metrics.registry import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
 from repro.metrics.reporting import (
     format_comparison,
     format_series_table,
     shape_check,
+)
+from repro.metrics.tracing import (
+    TRACER,
+    JsonlSink,
+    ListSink,
+    Tracer,
+    get_tracer,
+    load_trace,
+    validate_trace,
 )
 
 __all__ = [
@@ -20,4 +42,16 @@ __all__ = [
     "format_series_table",
     "format_comparison",
     "shape_check",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "TRACER",
+    "Tracer",
+    "get_tracer",
+    "JsonlSink",
+    "ListSink",
+    "load_trace",
+    "validate_trace",
 ]

@@ -1,0 +1,290 @@
+"""Reconstruct boot timelines and byte attribution from trace files.
+
+The inverse of :mod:`repro.metrics.tracing`: given the JSONL records of
+a traced run, rebuild the causal picture — which deployment waves ran,
+when each VM booted and what its boot phases were, and how many bytes
+each chain layer (base / cache / cow) served.  The per-layer table is
+the live counterpart of the paper's Figure 9 / Table 1 breakdowns:
+``block.read`` events are emitted exactly where ``DriverStats`` counts,
+so the ``base`` row's byte total equals the replayer's
+``base_bytes_read`` ("observed traffic at the storage node") for the
+same run by construction.
+
+``tools/boot_report.py`` is the CLI wrapper; tests import this module
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.tracing import load_trace
+from repro.units import format_size
+
+#: Chain-layer display order for attribution tables (unknown layers
+#: sort after these, alphabetically).
+_LAYER_ORDER = {"cow": 0, "overlay": 1, "cache": 2, "base": 3}
+
+
+@dataclass
+class PhaseSpan:
+    """One boot phase (vmm / replay / epilogue) of a VM boot."""
+
+    phase: str
+    start: float
+    end: float
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class VMBoot:
+    """One reconstructed VM boot."""
+
+    vm_id: str
+    node: str | None
+    start: float
+    end: float
+    clock: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    phases: list[PhaseSpan] = field(default_factory=list)
+
+    @property
+    def boot_time(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class LayerTraffic:
+    """Byte attribution for one chain layer."""
+
+    layer: str
+    read_ops: int = 0
+    bytes_read: int = 0
+    write_ops: int = 0
+    bytes_written: int = 0
+    paths: dict[str, int] = field(default_factory=dict)
+    """Per-image bytes read, for layers with several images."""
+
+
+@dataclass
+class BootReport:
+    """Everything reconstructed from one trace."""
+
+    boots: list[VMBoot] = field(default_factory=list)
+    waves: list[dict] = field(default_factory=list)
+    attribution: dict[str, LayerTraffic] = field(default_factory=dict)
+    cor_fill_bytes: int = 0
+    cor_fills: int = 0
+    rmw_fill_bytes: int = 0
+    rmw_fills: int = 0
+    quota_stops: int = 0
+    summaries: list[dict] = field(default_factory=list)
+    """The ``replay.summary`` events' attrs (per-replay totals as the
+    replayer itself accounted them — the cross-check for the
+    event-derived attribution)."""
+
+    warm_runs: list[dict] = field(default_factory=list)
+    record_count: int = 0
+
+    def layer_bytes(self, layer: str) -> int:
+        traffic = self.attribution.get(layer)
+        return traffic.bytes_read if traffic else 0
+
+
+def build_report(records: list[dict]) -> BootReport:
+    """Reconstruct a :class:`BootReport` from parsed trace records."""
+    report = BootReport(record_count=len(records))
+    boots_by_id: dict[str, VMBoot] = {}
+    orphan_phases: list[tuple[str | None, PhaseSpan]] = []
+
+    for rec in records:
+        kind = rec.get("type")
+        name = rec.get("name")
+        attrs = rec.get("attrs", {})
+        if kind == "span":
+            if name == "vm.boot":
+                boot = VMBoot(
+                    vm_id=str(attrs.get("vm_id", "?")),
+                    node=attrs.get("node"),
+                    start=rec["start"], end=rec["end"],
+                    clock=rec.get("clock", "wall"),
+                    trace_id=rec["trace_id"], span_id=rec["span_id"],
+                    parent_id=rec.get("parent_id"),
+                )
+                boots_by_id[boot.span_id] = boot
+                report.boots.append(boot)
+            elif name == "boot.phase":
+                phase = PhaseSpan(str(attrs.get("phase", "?")),
+                                  rec["start"], rec["end"])
+                parent = rec.get("parent_id")
+                owner = boots_by_id.get(parent) if parent else None
+                if owner is not None:
+                    owner.phases.append(phase)
+                else:
+                    orphan_phases.append((parent, phase))
+            elif name in ("deploy.wave", "deploy.prewarm"):
+                report.waves.append({
+                    "name": name,
+                    "start": rec["start"], "end": rec["end"],
+                    "clock": rec.get("clock", "wall"),
+                    "span_id": rec["span_id"],
+                    **attrs,
+                })
+            elif name == "cache.warm":
+                report.warm_runs.append(dict(attrs))
+        elif kind == "event":
+            if name in ("block.read", "block.write"):
+                layer = str(attrs.get("layer", "?"))
+                traffic = report.attribution.get(layer)
+                if traffic is None:
+                    traffic = LayerTraffic(layer)
+                    report.attribution[layer] = traffic
+                length = int(attrs.get("length", 0))
+                if name == "block.read":
+                    traffic.read_ops += 1
+                    traffic.bytes_read += length
+                    path = str(attrs.get("path", "?"))
+                    traffic.paths[path] = \
+                        traffic.paths.get(path, 0) + length
+                else:
+                    traffic.write_ops += 1
+                    traffic.bytes_written += length
+            elif name == "cache.cor_fill":
+                report.cor_fills += 1
+                report.cor_fill_bytes += int(attrs.get("length", 0))
+            elif name == "cache.rmw_fill":
+                report.rmw_fills += 1
+                report.rmw_fill_bytes += int(attrs.get("fill_bytes", 0))
+            elif name == "cache.quota_stop":
+                report.quota_stops += 1
+            elif name == "replay.summary":
+                report.summaries.append(dict(attrs))
+
+    # Late-arriving parents: a phase span may be flushed before its
+    # vm.boot span (the boot span is recorded after its children).
+    for parent, phase in orphan_phases:
+        owner = boots_by_id.get(parent) if parent else None
+        if owner is not None:
+            owner.phases.append(phase)
+    for boot in report.boots:
+        boot.phases.sort(key=lambda p: p.start)
+    report.boots.sort(key=lambda b: (b.clock, b.start, b.vm_id))
+    return report
+
+
+def load_report(path: str) -> BootReport:
+    """Parse a JSONL trace file and build its report."""
+    return build_report(load_trace(path))
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def format_timeline(report: BootReport, *, width: int = 28) -> str:
+    """The per-VM boot timeline, one section per clock domain."""
+    if not report.boots:
+        return "no vm.boot spans in trace\n"
+    lines: list[str] = []
+    for clock in ("sim", "wall"):
+        boots = [b for b in report.boots if b.clock == clock]
+        if not boots:
+            continue
+        t0 = min(b.start for b in boots)
+        t_end = max(b.end for b in boots)
+        span = max(t_end - t0, 1e-9)
+        unit = "s (virtual)" if clock == "sim" else "s"
+        lines.append(f"VM boot timeline — {clock} clock, "
+                     f"{len(boots)} boot(s), "
+                     f"makespan {t_end - t0:.3f}{unit}")
+        lines.append(f"{'vm':<10} {'node':<8} {'start':>8} {'end':>8} "
+                     f"{'boot':>8}  {'timeline':<{width}}  phases")
+        for boot in boots:
+            lo = int(round((boot.start - t0) / span * width))
+            hi = max(int(round((boot.end - t0) / span * width)), lo + 1)
+            bar = " " * lo + "#" * (hi - lo)
+            phases = " | ".join(
+                f"{p.phase} {p.seconds:.3f}" for p in boot.phases) \
+                or "-"
+            lines.append(
+                f"{boot.vm_id:<10} {(boot.node or '-'):<8} "
+                f"{boot.start - t0:>8.3f} {boot.end - t0:>8.3f} "
+                f"{boot.boot_time:>8.3f}  {bar:<{width}}  {phases}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_attribution(report: BootReport) -> str:
+    """The per-layer byte-attribution table (the Fig 9 breakdown)."""
+    if not report.attribution:
+        return "no block.read/block.write events in trace\n"
+    lines = ["Per-layer byte attribution (from block.* events)"]
+    lines.append(f"{'layer':<8} {'reads':>7} {'bytes read':>12} "
+                 f"{'writes':>7} {'bytes written':>14}")
+    layers = sorted(report.attribution.values(),
+                    key=lambda t: (_LAYER_ORDER.get(t.layer, 99),
+                                   t.layer))
+    for traffic in layers:
+        lines.append(
+            f"{traffic.layer:<8} {traffic.read_ops:>7} "
+            f"{format_size(traffic.bytes_read):>12} "
+            f"{traffic.write_ops:>7} "
+            f"{format_size(traffic.bytes_written):>14}")
+        if len(traffic.paths) > 1:
+            for path, nbytes in sorted(traffic.paths.items()):
+                lines.append(f"  {_basename(path):<20} "
+                             f"{format_size(nbytes):>12} read")
+    extras: list[str] = []
+    if report.cor_fills:
+        extras.append(f"CoR fills: {report.cor_fills} "
+                      f"({format_size(report.cor_fill_bytes)})")
+    if report.rmw_fills:
+        extras.append(f"RMW fills: {report.rmw_fills} "
+                      f"({format_size(report.rmw_fill_bytes)})")
+    if report.quota_stops:
+        extras.append(f"quota stops: {report.quota_stops}")
+    if extras:
+        lines.append("  " + "; ".join(extras))
+    return "\n".join(lines) + "\n"
+
+
+def format_report(report: BootReport) -> str:
+    """Timeline + attribution + reconciliation against the replayer's
+    own ``replay.summary`` accounting, as one printable block."""
+    parts = [format_timeline(report), format_attribution(report)]
+    if report.summaries:
+        total_base = sum(s.get("base_bytes_read", 0)
+                         for s in report.summaries)
+        # Compare against the block.read bytes of exactly the base
+        # images those replays used (a trace may also contain sim or
+        # other base traffic the replayer never saw).
+        base_layer = report.attribution.get("base")
+        replay_paths = {s.get("base_path") for s in report.summaries}
+        event_base = sum(
+            nbytes for path, nbytes in base_layer.paths.items()
+            if path in replay_paths) if base_layer else 0
+        verdict = "match" if total_base == event_base else "MISMATCH"
+        parts.append(
+            f"replayer accounting: base_bytes_read="
+            f"{format_size(total_base)} across "
+            f"{len(report.summaries)} replay(s) — event-derived base "
+            f"traffic {format_size(event_base)} ({verdict})\n")
+    if report.waves:
+        for wave in report.waves:
+            dur = wave["end"] - wave["start"]
+            extra = ", ".join(
+                f"{k}={v}" for k, v in sorted(wave.items())
+                if k not in ("name", "start", "end", "clock", "span_id"))
+            parts.append(f"{wave['name']}: {dur:.3f}s ({extra})")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def _basename(path: str) -> str:
+    return path.rstrip("/").rsplit("/", 1)[-1]

@@ -36,39 +36,63 @@ class LatencyHistogram:
             if seconds > self.max_seconds:
                 self.max_seconds = seconds
 
+    def _snapshot(self) -> tuple[int, float, float, dict[int, int]]:
+        """One consistent (count, total, max, buckets) view."""
+        with self._lock:
+            return (self.count, self.total_seconds, self.max_seconds,
+                    dict(self._buckets))
+
+    @staticmethod
+    def _quantile_of(buckets: dict[int, int], count: int,
+                     q: float) -> float:
+        if count == 0:
+            return 0.0
+        target = q * count
+        seen = 0
+        for idx in sorted(buckets):
+            seen += buckets[idx]
+            if seen >= target:
+                return (1 << idx) / 1e6
+        return (1 << max(buckets)) / 1e6
+
     def quantile(self, q: float) -> float:
         """Upper-bound estimate of the q-quantile, in seconds."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
-        with self._lock:
-            if self.count == 0:
-                return 0.0
-            target = q * self.count
-            seen = 0
-            for idx in sorted(self._buckets):
-                seen += self._buckets[idx]
-                if seen >= target:
-                    return (1 << idx) / 1e6
-            return (1 << max(self._buckets)) / 1e6
+        count, _total, _mx, buckets = self._snapshot()
+        return self._quantile_of(buckets, count, q)
 
     @property
     def mean_seconds(self) -> float:
-        return self.total_seconds / self.count if self.count else 0.0
+        with self._lock:
+            return self.total_seconds / self.count if self.count else 0.0
 
     def summary(self) -> dict:
-        """Plain-dict summary (milliseconds) for logs and image_info."""
+        """Plain-dict summary (milliseconds) for logs and image_info.
+
+        Taken from a single locked snapshot, so count / mean / max /
+        quantiles are mutually consistent even while ``observe()`` is
+        running on other threads.
+        """
+        count, total, mx, buckets = self._snapshot()
+        mean = total / count if count else 0.0
         return {
-            "count": self.count,
-            "mean_ms": round(self.mean_seconds * 1e3, 3),
-            "p50_ms": round(self.quantile(0.5) * 1e3, 3),
-            "p90_ms": round(self.quantile(0.9) * 1e3, 3),
-            "p99_ms": round(self.quantile(0.99) * 1e3, 3),
-            "max_ms": round(self.max_seconds * 1e3, 3),
+            "count": count,
+            "mean_ms": round(mean * 1e3, 3),
+            "p50_ms": round(
+                self._quantile_of(buckets, count, 0.5) * 1e3, 3),
+            "p90_ms": round(
+                self._quantile_of(buckets, count, 0.9) * 1e3, 3),
+            "p99_ms": round(
+                self._quantile_of(buckets, count, 0.99) * 1e3, 3),
+            "max_ms": round(mx * 1e3, 3),
         }
 
     def __repr__(self) -> str:
-        return (f"LatencyHistogram(count={self.count}, "
-                f"mean={self.mean_seconds * 1e3:.3f}ms)")
+        count, total, _mx, _b = self._snapshot()
+        mean = total / count if count else 0.0
+        return (f"LatencyHistogram(count={count}, "
+                f"mean={mean * 1e3:.3f}ms)")
 
 
 def op_latency_histograms() -> dict[str, LatencyHistogram]:

@@ -1,0 +1,306 @@
+"""A process-wide, thread-safe metrics registry.
+
+The paper's claims are accounting claims — working-set sizes (Table 1),
+cache-creation overhead (Figure 8), per-layer storage traffic and the
+partial-cluster RMW pathology (Figure 9) — and before this module each
+layer kept its own ad-hoc counters (``DriverStats``, ``TransportStats``,
+``ExportStats``).  The registry is the single surface those numbers are
+published through: benchmarks, experiment logs, and the live exporters
+all read the same families.
+
+Two integration styles coexist on purpose:
+
+* **primitives** (:class:`Counter`, :class:`Gauge`,
+  :class:`~repro.metrics.collectors.LatencyHistogram`) for code that is
+  not on a datapath hot loop — schedulers, warmers, quota events.  Each
+  primitive has its own lock; ``inc()`` is safe from any thread.
+* **collectors** for the existing per-instance stats objects on hot
+  paths (``transport_stats``, ``ExportStats``, ``DriverStats``).  Those
+  keep their plain-attribute speed; a collector is a zero-argument
+  callable the registry invokes at scrape time to turn the live object
+  into samples.  Collectors hold weak references to their subjects, so
+  registering an image or server never extends its lifetime — a dead
+  collector (returns ``None``) is pruned at the next scrape.
+
+Exporters: :meth:`MetricsRegistry.snapshot` (plain dicts, feeds
+experiment logs) and :meth:`MetricsRegistry.render_prometheus`
+(text exposition format).
+
+Label sets are immutable per metric instance: ``counter(name, **labels)``
+is get-or-create keyed on ``(name, sorted labels)``, the Prometheus
+family model.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable
+
+from repro.metrics.collectors import LatencyHistogram
+
+#: One exported measurement: (metric name, label dict, value).
+Sample = tuple[str, dict[str, str], float]
+
+#: A scrape-time adapter: returns samples, or None once its subject died
+#: (the registry then unregisters it).
+Collector = Callable[[], "Iterable[Sample] | None"]
+
+
+class Counter:
+    """A monotonically increasing, thread-safe counter."""
+
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, labels: dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name} cannot decrease (inc {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}{self.labels}={self.value})"
+
+
+class Gauge:
+    """A thread-safe gauge: settable, incrementable, decrementable."""
+
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, labels: dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}{self.labels}={self.value})"
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge,
+          "histogram": LatencyHistogram}
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted(labels.items()))
+
+
+class MetricsRegistry:
+    """Families of named, labeled metrics plus scrape-time collectors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        # name -> (kind, {label_key -> metric instance})
+        self._families: dict[str, tuple[str, dict]] = {}
+        self._collectors: list[Collector] = []
+
+    # -- primitives ------------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get_or_create(name, "counter", labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get_or_create(name, "gauge", labels)
+
+    def histogram(self, name: str, **labels: str) -> LatencyHistogram:
+        return self._get_or_create(name, "histogram", labels)
+
+    def _get_or_create(self, name: str, kind: str, labels: dict):
+        labels = {k: str(v) for k, v in labels.items()}
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = (kind, {})
+                self._families[name] = family
+            elif family[0] != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{family[0]}, not {kind}")
+            metric = family[1].get(key)
+            if metric is None:
+                if kind == "histogram":
+                    metric = LatencyHistogram()
+                else:
+                    metric = _KINDS[kind](name, labels)
+                family[1][key] = metric
+            return metric
+
+    # -- collectors ------------------------------------------------------
+
+    def register_collector(self, fn: Collector) -> Collector:
+        """Add a scrape-time sample source; returns ``fn`` as a handle
+        for :meth:`unregister_collector`."""
+        with self._lock:
+            self._collectors.append(fn)
+        return fn
+
+    def unregister_collector(self, fn: Collector) -> None:
+        with self._lock:
+            try:
+                self._collectors.remove(fn)
+            except ValueError:
+                pass
+
+    # -- export ----------------------------------------------------------
+
+    def samples(self) -> list[Sample]:
+        """Every current sample: primitives expanded (histograms become
+        ``_count``/``_sum_seconds``/quantile series) plus whatever the
+        live collectors report.  Dead collectors are pruned here."""
+        out: list[Sample] = []
+        with self._lock:
+            families = [(name, kind, dict(metrics))
+                        for name, (kind, metrics)
+                        in sorted(self._families.items())]
+            collectors = list(self._collectors)
+        for name, kind, metrics in families:
+            for key, metric in sorted(metrics.items()):
+                labels = dict(key)
+                if kind == "histogram":
+                    out.extend(_histogram_samples(name, labels, metric))
+                else:
+                    out.append((name, labels, metric.value))
+        dead: list[Collector] = []
+        for fn in collectors:
+            produced = fn()
+            if produced is None:
+                dead.append(fn)
+                continue
+            for name, labels, value in produced:
+                out.append((name, dict(labels), float(value)))
+        for fn in dead:
+            self.unregister_collector(fn)
+        return out
+
+    def snapshot(self) -> dict:
+        """Nested plain-dict view: name -> list of {labels, value}."""
+        grouped: dict[str, list[dict]] = {}
+        for name, labels, value in self.samples():
+            grouped.setdefault(name, []).append(
+                {"labels": labels, "value": value})
+        return grouped
+
+    def render_prometheus(self) -> str:
+        """Text exposition format (one sample per line)."""
+        lines: list[str] = []
+        seen_types: set[str] = set()
+        with self._lock:
+            types = {name: kind
+                     for name, (kind, _m) in self._families.items()}
+        for name, labels, value in self.samples():
+            family = _family_of(name)
+            kind = types.get(family)
+            if kind in ("counter", "gauge") and family not in seen_types:
+                seen_types.add(family)
+                lines.append(f"# TYPE {family} {kind}")
+            if labels:
+                rendered = ",".join(
+                    f'{k}="{_escape(v)}"'
+                    for k, v in sorted(labels.items()))
+                lines.append(f"{name}{{{rendered}}} {_fmt(value)}")
+            else:
+                lines.append(f"{name} {_fmt(value)}")
+        return "\n".join(lines) + "\n"
+
+    def reset(self) -> None:
+        """Drop every family and collector (test isolation)."""
+        with self._lock:
+            self._families.clear()
+            self._collectors.clear()
+
+
+def _histogram_samples(name: str, labels: dict[str, str],
+                       hist: LatencyHistogram) -> list[Sample]:
+    summ = hist.summary()
+    out: list[Sample] = [
+        (f"{name}_count", labels, float(summ["count"])),
+        (f"{name}_mean_ms", labels, summ["mean_ms"]),
+        (f"{name}_max_ms", labels, summ["max_ms"]),
+    ]
+    for q in ("p50", "p90", "p99"):
+        qlabels = dict(labels)
+        qlabels["quantile"] = q
+        out.append((f"{name}_ms", qlabels, summ[f"{q}_ms"]))
+    return out
+
+
+def latency_samples(name: str, labels: dict[str, str],
+                    hists: "dict[str, LatencyHistogram]") -> list[Sample]:
+    """Scrape-time samples for a per-op-kind histogram dict (the
+    ``op_latency_histograms()`` shape the transports keep)."""
+    out: list[Sample] = []
+    for kind, hist in hists.items():
+        summ = hist.summary()
+        if not summ["count"]:
+            continue
+        kl = dict(labels, op=kind)
+        out.append((f"{name}_count", kl, float(summ["count"])))
+        out.append((f"{name}_mean_ms", kl, summ["mean_ms"]))
+        out.append((f"{name}_p99_ms", kl, summ["p99_ms"]))
+    return out
+
+
+def _family_of(name: str) -> str:
+    for suffix in ("_count", "_mean_ms", "_max_ms", "_ms"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def _escape(value: str) -> str:
+    return str(value).replace("\\", r"\\").replace('"', r"\"") \
+        .replace("\n", r"\n")
+
+
+def _fmt(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+# -- the process-wide default registry --------------------------------------
+
+_REGISTRY = MetricsRegistry()
+_REGISTRY_LOCK = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry every layer publishes into."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry (tests); returns the old one."""
+    global _REGISTRY
+    with _REGISTRY_LOCK:
+        old, _REGISTRY = _REGISTRY, registry
+    return old

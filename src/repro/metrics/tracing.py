@@ -1,0 +1,452 @@
+"""A low-overhead structured event/span bus with causal IDs.
+
+Every layer of the stack reports into one tracer: a deployment wave
+opens a span, each VM boot is a child span (with per-phase children),
+and the block layer underneath emits per-read events that inherit the
+enclosing span — so one JSONL trace file can be reconstructed into the
+full causal chain *deploy → node → VM → chain → individual reads*
+(:mod:`repro.metrics.boot_report` does exactly that).
+
+Overhead contract (the observability budget of DESIGN.md §8):
+
+* **disabled** (the default), the only cost at an instrumentation site
+  is ``if TRACER.enabled:`` — one attribute load and a branch, no
+  allocation, no call.  A regression test asserts the qcow2 read hot
+  path allocates nothing extra per read with tracing off.
+* **enabled**, an event is one clock read, one small dict, and one
+  bare (GIL-atomic) list append; serialization to JSON is deferred to
+  ``flush()``/``close()`` and buffer bounding to span closes, so the
+  qcow2 read hot path stays within a ≤5 % slowdown budget — tracked by
+  ``benchmarks/bench_ext_tracing.py``.
+
+Clocks.  Wall-clock spans use ``time.perf_counter`` via the
+:meth:`Tracer.span` context manager.  The simulator records spans with
+*virtual* timestamps instead: :meth:`Tracer.record_span` takes explicit
+``start``/``end`` values (``env.now``) and an explicit parent, because
+simulated VM boots interleave on one thread and context-manager nesting
+would lie about causality.  Records carry a ``clock`` attribute
+(``"wall"`` or ``"sim"``) so consumers never compare timestamps across
+domains.
+
+IDs are deterministic counters (``t0001``/``s0001``…), not random —
+traces of identical runs are diffable.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from threading import get_ident
+from typing import Any, Callable, Iterable, Iterator
+
+#: Flush the in-memory buffer to disk once it holds this many records
+#: (checked at span closes, not per event).
+_AUTOFLUSH_RECORDS = 65536
+
+CLOCK_WALL = "wall"
+CLOCK_SIM = "sim"
+
+
+# ---------------------------------------------------------------------------
+# sinks
+# ---------------------------------------------------------------------------
+
+
+class ListSink:
+    """Collect records in memory (tests, report building).
+
+    ``append`` is a bare ``list.append`` — atomic under the GIL, so no
+    lock is needed on the instrumented path.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+        self.append = self.records.append
+
+    def maybe_autoflush(self) -> None:
+        pass  # in-memory, unbounded by design
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Buffer records and write them as JSON Lines on flush/close.
+
+    ``append`` is a bare, lock-free ``list.append`` (atomic under the
+    GIL) so the instrumented path pays no method call and no lock; JSON
+    encoding and file I/O happen at flush.  Memory stays bounded via
+    :meth:`maybe_autoflush`, which the tracer calls at span closes —
+    off the per-event hot path.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._buffer: list[dict] = []
+        self.append = self._buffer.append
+        # Truncate up front so a crash mid-run leaves a (possibly
+        # empty) file, not a stale previous trace.
+        with open(path, "w", encoding="utf-8"):
+            pass
+
+    def maybe_autoflush(self) -> None:
+        if len(self._buffer) >= _AUTOFLUSH_RECORDS:
+            self.flush()
+
+    def flush(self) -> None:
+        with self._lock:
+            buf = self._buffer
+            if not buf:
+                return
+            lines = [json.dumps(rec, separators=(",", ":"),
+                                sort_keys=True) for rec in buf]
+            # Clear in place: the tracer holds a bound append to this
+            # exact list, so its identity must survive the flush.  (A
+            # record appended concurrently with the clear can be lost;
+            # flushes happen at quiescent points.)
+            del buf[:]
+            with open(self.path, "a", encoding="utf-8") as f:
+                f.write("\n".join(lines) + "\n")
+
+    def close(self) -> None:
+        self.flush()
+
+
+# ---------------------------------------------------------------------------
+# the tracer
+# ---------------------------------------------------------------------------
+
+
+class Span:
+    """An open span on the per-thread context stack."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "start",
+                 "attrs")
+
+    def __init__(self, name: str, trace_id: str, span_id: str,
+                 parent_id: str | None, start: float,
+                 attrs: dict[str, Any]) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.attrs = attrs
+
+
+class Tracer:
+    """The event/span bus.  One instance (:data:`TRACER`) is global.
+
+    ``enabled`` is a plain attribute on purpose: instrumentation sites
+    guard with ``if TRACER.enabled:`` and must pay nothing else when
+    tracing is off.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._sink: ListSink | JsonlSink | None = None
+        self._append: Callable[[dict], None] | None = None
+        self._clock: Callable[[], float] = time.perf_counter
+        # Per-thread span stacks, keyed by thread id.  A plain dict +
+        # get_ident() costs ~1/4 of a threading.local attribute lookup
+        # on the event hot path; individual get/set are GIL-atomic.
+        # Entries for finished threads linger as empty lists (bounded
+        # by thread count; cleared on disable()).
+        self._stacks: dict[int, list[Span]] = {}
+        self._id_lock = threading.Lock()
+        self._next_trace = 0
+        self._next_span = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def enable(self, sink: "ListSink | JsonlSink",
+               clock: Callable[[], float] | None = None) -> None:
+        """Start recording into ``sink``.  ``clock`` overrides the
+        wall clock (rarely needed; the simulator passes explicit
+        timestamps to :meth:`record_span` instead)."""
+        self._sink = sink
+        self._append = sink.append  # bound once, saves a lookup/event
+        if clock is not None:
+            self._clock = clock
+        self.enabled = True
+
+    def disable(self) -> "ListSink | JsonlSink | None":
+        """Stop recording; flushes and returns the sink."""
+        self.enabled = False
+        sink, self._sink = self._sink, None
+        self._append = None
+        self._clock = time.perf_counter
+        # Open spans keep their list reference and unwind safely; new
+        # threads start clean.
+        self._stacks = {}
+        if sink is not None:
+            sink.flush()
+        return sink
+
+    def flush(self) -> None:
+        sink = self._sink
+        if sink is not None:
+            sink.flush()
+
+    # -- ids and context -------------------------------------------------
+
+    def _new_trace_id(self) -> str:
+        with self._id_lock:
+            self._next_trace += 1
+            return f"t{self._next_trace:04d}"
+
+    def _new_span_id(self) -> str:
+        with self._id_lock:
+            self._next_span += 1
+            return f"s{self._next_span:06d}"
+
+    def _stack(self) -> list[Span]:
+        stacks = self._stacks
+        tid = get_ident()
+        stack = stacks.get(tid)
+        if stack is None:
+            stack = stacks[tid] = []
+        return stack
+
+    def current_span(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stacks.get(get_ident())
+        return stack[-1] if stack else None
+
+    # -- spans -----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a wall-clock span; nests via the per-thread stack."""
+        if not self.enabled:
+            # A fresh throwaway span, so callers may still annotate
+            # ``span.attrs`` unconditionally (span call sites are off
+            # the hot path; the per-event zero-allocation contract is
+            # the callers' ``if TRACER.enabled:`` guard).
+            yield Span(name, "", "", None, 0.0, attrs)
+            return
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        span = Span(
+            name,
+            parent.trace_id if parent else self._new_trace_id(),
+            self._new_span_id(),
+            parent.span_id if parent else None,
+            self._clock(),
+            attrs,
+        )
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            stack.pop()
+            self._emit_span(span, self._clock(), CLOCK_WALL)
+
+    def allocate_ids(self,
+                     trace_id: str | None = None) -> tuple[str, str]:
+        """Pre-allocate ``(trace_id, span_id)`` for a span that will be
+        recorded later via :meth:`record_span` with ``span_id=``.
+
+        The simulator needs this inversion: a deployment wave's span
+        only completes after every interleaved VM boot inside it, yet
+        those boots must record child spans parented on the wave.
+        """
+        return (trace_id or self._new_trace_id(), self._new_span_id())
+
+    def record_span(self, name: str, start: float, end: float, *,
+                    trace_id: str | None = None,
+                    span_id: str | None = None,
+                    parent_id: str | None = None,
+                    clock: str = CLOCK_SIM,
+                    **attrs: Any) -> tuple[str, str]:
+        """Record a completed span with explicit timestamps.
+
+        This is the simulator's interface: boots interleave on one
+        thread under virtual time, so causality is passed explicitly.
+        Returns ``(trace_id, span_id)`` for parenting further records.
+        """
+        if not self.enabled:
+            return ("", "")
+        if trace_id is None:
+            cur = self.current_span()
+            if parent_id is None and cur is not None:
+                trace_id, parent_id = cur.trace_id, cur.span_id
+            else:
+                trace_id = cur.trace_id if cur else self._new_trace_id()
+        if span_id is None:
+            span_id = self._new_span_id()
+        span = Span(name, trace_id, span_id, parent_id, start, attrs)
+        self._emit_span(span, end, clock)
+        return (trace_id, span_id)
+
+    def _emit_span(self, span: Span, end: float, clock: str) -> None:
+        sink = self._sink
+        if sink is None:
+            return
+        sink.append({
+            "type": "span",
+            "name": span.name,
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "start": span.start,
+            "end": end,
+            "clock": clock,
+            "attrs": span.attrs,
+        })
+        # Span closes are off the per-event hot path — the right place
+        # to bound the sink's buffer.
+        sink.maybe_autoflush()
+
+    # -- events ----------------------------------------------------------
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """A point event, causally attached to the enclosing span.
+
+        Callers on hot paths must guard with ``if TRACER.enabled:`` —
+        this method assumes tracing is on.
+        """
+        append = self._append
+        if append is None:
+            return
+        stack = self._stacks.get(get_ident())  # current_span, inlined
+        cur = stack[-1] if stack else None
+        append({
+            "type": "event",
+            "name": name,
+            "trace_id": cur.trace_id if cur else None,
+            "parent_id": cur.span_id if cur else None,
+            "ts": self._clock(),
+            "attrs": attrs,
+        })
+
+
+#: The process-wide tracer.  Hot paths guard on ``TRACER.enabled``.
+TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    return TRACER
+
+
+# ---------------------------------------------------------------------------
+# trace file schema and validation
+# ---------------------------------------------------------------------------
+
+#: JSON Schema (draft-07 subset) for one JSONL trace record.  The CI
+#: smoke test validates every record of a traced quickstart run against
+#: this; :func:`validate_record` implements the same rules without the
+#: ``jsonschema`` dependency for offline environments.
+TRACE_RECORD_SCHEMA: dict = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro trace record",
+    "oneOf": [
+        {
+            "type": "object",
+            "properties": {
+                "type": {"const": "span"},
+                "name": {"type": "string", "minLength": 1},
+                "trace_id": {"type": "string", "minLength": 1},
+                "span_id": {"type": "string", "minLength": 1},
+                "parent_id": {"type": ["string", "null"]},
+                "start": {"type": "number"},
+                "end": {"type": "number"},
+                "clock": {"enum": [CLOCK_WALL, CLOCK_SIM]},
+                "attrs": {"type": "object"},
+            },
+            "required": ["type", "name", "trace_id", "span_id",
+                         "start", "end", "clock", "attrs"],
+            "additionalProperties": False,
+        },
+        {
+            "type": "object",
+            "properties": {
+                "type": {"const": "event"},
+                "name": {"type": "string", "minLength": 1},
+                "trace_id": {"type": ["string", "null"]},
+                "parent_id": {"type": ["string", "null"]},
+                "ts": {"type": "number"},
+                "attrs": {"type": "object"},
+            },
+            "required": ["type", "name", "ts", "attrs"],
+            "additionalProperties": False,
+        },
+    ],
+}
+
+_SPAN_REQUIRED = {"type", "name", "trace_id", "span_id", "start",
+                  "end", "clock", "attrs"}
+_SPAN_ALLOWED = _SPAN_REQUIRED | {"parent_id"}
+_EVENT_REQUIRED = {"type", "name", "ts", "attrs"}
+_EVENT_ALLOWED = _EVENT_REQUIRED | {"trace_id", "parent_id"}
+
+
+def validate_record(rec: object) -> list[str]:
+    """Validation errors for one trace record ([] when valid).
+
+    Implements :data:`TRACE_RECORD_SCHEMA` without third-party
+    dependencies so validation also runs where ``jsonschema`` is
+    unavailable.
+    """
+    if not isinstance(rec, dict):
+        return [f"record is {type(rec).__name__}, not an object"]
+    errors: list[str] = []
+    kind = rec.get("type")
+    if kind == "span":
+        required, allowed = _SPAN_REQUIRED, _SPAN_ALLOWED
+    elif kind == "event":
+        required, allowed = _EVENT_REQUIRED, _EVENT_ALLOWED
+    else:
+        return [f"unknown record type {kind!r}"]
+    for field in sorted(required - rec.keys()):
+        errors.append(f"{kind}: missing field {field!r}")
+    for field in sorted(rec.keys() - allowed):
+        errors.append(f"{kind}: unexpected field {field!r}")
+    for field in ("name", "trace_id", "span_id"):
+        if field in rec and field in required \
+                and not (isinstance(rec[field], str) and rec[field]):
+            errors.append(f"{kind}: {field!r} must be a non-empty string")
+    for field in ("start", "end", "ts"):
+        if field in rec and field in required \
+                and not isinstance(rec[field], (int, float)):
+            errors.append(f"{kind}: {field!r} must be a number")
+    if "parent_id" in rec and rec["parent_id"] is not None \
+            and not isinstance(rec["parent_id"], str):
+        errors.append(f"{kind}: 'parent_id' must be a string or null")
+    if kind == "span" and rec.get("clock") not in (CLOCK_WALL, CLOCK_SIM):
+        errors.append(f"span: 'clock' must be one of "
+                      f"({CLOCK_WALL!r}, {CLOCK_SIM!r})")
+    if "attrs" in rec and not isinstance(rec["attrs"], dict):
+        errors.append(f"{kind}: 'attrs' must be an object")
+    return errors
+
+
+def validate_trace(records: Iterable[object]) -> list[str]:
+    """Validate many records; errors are prefixed with their index."""
+    errors: list[str] = []
+    for i, rec in enumerate(records):
+        for err in validate_record(rec):
+            errors.append(f"record {i}: {err}")
+    return errors
+
+
+def load_trace(path: str) -> list[dict]:
+    """Parse a JSONL trace file into records (no validation)."""
+    records: list[dict] = []
+    with open(path, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: not valid JSON: {exc}") from exc
+    return records

@@ -38,10 +38,12 @@ client thread instead.
 
 from __future__ import annotations
 
+import itertools
 import re
 import socket
 import threading
 import time
+import weakref
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -52,6 +54,8 @@ from repro.errors import (
 )
 from repro.imagefmt.driver import BlockDriver
 from repro.metrics.collectors import LatencyHistogram, op_latency_histograms
+from repro.metrics.registry import get_registry, latency_samples
+from repro.metrics.tracing import TRACER
 from repro.remote import protocol as wire
 
 _URL_RE = re.compile(
@@ -100,6 +104,45 @@ class TransportStats:
             "latency": {kind: h.summary()
                         for kind, h in self.latency.items() if h.count},
         }
+
+
+_CONN_SEQ = itertools.count(1)
+
+
+def _register_transport_collector(img: "RemoteImage"):
+    """Publish a connection's ``transport_stats`` through the registry.
+
+    The collector holds only a weak reference — registering never
+    extends the image's lifetime — and is scrape-time only, so the
+    datapath keeps its plain-attribute counters.  Returns the handle
+    for :meth:`MetricsRegistry.unregister_collector` (also pruned
+    automatically once the image is gone or closed).
+    """
+    ref = weakref.ref(img)
+    labels = {"export": img._export, "conn": str(next(_CONN_SEQ))}
+
+    def collect():
+        live = ref()
+        if live is None or live.closed:
+            return None
+        s = live.transport_stats
+        out = [
+            ("remote_client_requests_total", labels, float(s.requests)),
+            ("remote_client_retries_total", labels, float(s.retries)),
+            ("remote_client_reconnects_total", labels,
+             float(s.reconnects)),
+            ("remote_client_timeouts_total", labels, float(s.timeouts)),
+            ("remote_client_bytes_sent_total", labels,
+             float(s.bytes_sent)),
+            ("remote_client_bytes_received_total", labels,
+             float(s.bytes_received)),
+            ("remote_client_inflight_hwm", labels, float(s.inflight_hwm)),
+        ]
+        out.extend(latency_samples(
+            "remote_client_op_latency", labels, s.latency))
+        return out
+
+    return get_registry().register_collector(collect)
 
 
 class _Pending:
@@ -161,6 +204,7 @@ class RemoteImage(BlockDriver):
         else:
             self._protocol_pref = None
         self.transport_stats = TransportStats()
+        self._metrics_collector = _register_transport_collector(self)
         # Pipelining state (v2): requests keyed by tag, a demux reader
         # per live socket, and a generation counter so a reader of an
         # abandoned socket can never poison its successor.
@@ -641,6 +685,11 @@ class RemoteImage(BlockDriver):
                     f"{length}-byte read")
             if length:
                 self.stats.record_read(offset, length)
+                if TRACER.enabled:
+                    TRACER.event(
+                        "block.read",
+                        layer=self.trace_role or self.format_name,
+                        path=self.path, offset=offset, length=length)
             out.append(data)
         return out
 
@@ -655,6 +704,7 @@ class RemoteImage(BlockDriver):
         return info
 
     def _close_impl(self) -> None:
+        get_registry().unregister_collector(self._metrics_collector)
         sock, self._sock = self._sock, None
         with self._plock:
             self._gen += 1  # retire the reader; its reports are stale

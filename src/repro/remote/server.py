@@ -42,10 +42,12 @@ from __future__ import annotations
 import socket
 import threading
 import time
+import weakref
 from dataclasses import dataclass, field
 
 from repro.imagefmt.driver import BlockDriver
 from repro.metrics.collectors import LatencyHistogram, op_latency_histograms
+from repro.metrics.registry import get_registry, latency_samples
 from repro.remote import protocol as wire
 from repro.remote.fault import (
     ACTION_DELAY,
@@ -117,6 +119,50 @@ class _Export:
     stats_lock: threading.Lock = field(default_factory=threading.Lock)
     stats: ExportStats = field(default_factory=ExportStats)
     inflight: int = 0  # guarded by stats_lock
+    collector: object | None = None  # registry handle, removed on close
+
+
+def _register_export_collector(name: str, export: _Export):
+    """Publish an export's :class:`ExportStats` through the registry.
+
+    Weakref-backed and scrape-time only: the mutex-guarded counters on
+    the datapath are untouched, and a dropped export prunes itself at
+    the next scrape.  The handle is kept on the export so
+    :meth:`BlockServer.close` can unregister eagerly.
+    """
+    ref = weakref.ref(export)
+    labels = {"export": name}
+
+    def collect():
+        live = ref()
+        if live is None:
+            return None
+        with live.stats_lock:
+            s = live.stats
+            out = [
+                ("block_export_connections_total", labels,
+                 float(s.connections)),
+                ("block_export_read_ops_total", labels, float(s.read_ops)),
+                ("block_export_bytes_read_total", labels,
+                 float(s.bytes_read)),
+                ("block_export_write_ops_total", labels,
+                 float(s.write_ops)),
+                ("block_export_bytes_written_total", labels,
+                 float(s.bytes_written)),
+                ("block_export_errors_total", labels, float(s.errors)),
+                ("block_export_wire_bytes_sent_total", labels,
+                 float(s.wire_bytes_sent)),
+                ("block_export_wire_bytes_received_total", labels,
+                 float(s.wire_bytes_received)),
+                ("block_export_inflight_hwm", labels,
+                 float(s.inflight_hwm)),
+            ]
+            hists = dict(s.latency)
+        out.extend(latency_samples(
+            "block_export_op_latency", labels, hists))
+        return out
+
+    return get_registry().register_collector(collect)
 
 
 class BlockServer:
@@ -174,7 +220,9 @@ class BlockServer:
         parallel = (self._parallel_reads
                     and driver.supports_concurrent_reads
                     and not _chain_range_tracked(driver))
-        self._exports[name] = _Export(driver, writable, parallel)
+        export = _Export(driver, writable, parallel)
+        export.collector = _register_export_collector(name, export)
+        self._exports[name] = export
 
     def export_stats(self, name: str) -> ExportStats:
         return self._exports[name].stats
@@ -438,6 +486,11 @@ class BlockServer:
             self._closing = True
             conns = list(self._conns)
             workers = list(self._workers)
+        registry = get_registry()
+        for export in self._exports.values():
+            if export.collector is not None:
+                registry.unregister_collector(export.collector)
+                export.collector = None
         # A blocked accept() is not interrupted by closing the listen
         # socket from another thread on Linux; wake it with a throwaway
         # connection, which the loop sees, closes, and exits on.

@@ -26,6 +26,8 @@ from repro.imagefmt.driver import DriverStats, RangeSet
 from repro.imagefmt.header import CacheExtension, QCowHeader
 from repro.imagefmt.refcount import RefcountGeometry
 from repro.imagefmt.tables import AddressSplit
+from repro.metrics.registry import get_registry
+from repro.metrics.tracing import TRACER
 from repro.units import align_down, align_up, div_round_up
 
 LocationKind = Literal[
@@ -135,6 +137,12 @@ class SimImage:
         self.physical_bytes = initial_metadata_bytes(
             size, cluster_bits, cache_quota)
         self.stats = DriverStats()
+        # Trace-attribution role, mirroring BlockDriver.trace_role.
+        # The default classification matches how deployments build
+        # chains: preallocated base on NFS, quota'd caches, CoW tops.
+        self.trace_role: str | None = (
+            "base" if preallocated
+            else "cache" if cache_quota else "cow")
         # Monotone physical cursor: cache/CoW files are laid out in
         # allocation order, so replaying reads in population order is
         # physically sequential on disk.  Hits advance this cursor.
@@ -200,6 +208,9 @@ class SimImage:
         if length == 0:
             return
         self.stats.record_read(offset, length)
+        if TRACER.enabled:
+            TRACER.event("block.read", layer=self.trace_role or "sim",
+                         path=self.name, offset=offset, length=length)
         if self.preallocated:
             plan.append(IORequest(self.location, "read", length,
                                   stream=self.location.file_id,
@@ -238,6 +249,16 @@ class SimImage:
                 # write — the fetch of this one request is therefore
                 # still cluster-aligned (twin-equivalence demands it).
                 self.cache_runtime.cor.record_space_error()
+                self.stats.quota_stops += 1
+                get_registry().counter(
+                    "cache_quota_stops_total", image=self.name).inc()
+                if TRACER.enabled:
+                    TRACER.event(
+                        "cache.quota_stop", path=self.name,
+                        attempted_bytes=span,
+                        quota=self.cache_runtime.quota_policy.quota,
+                        current_size=self.physical_bytes,
+                        space_errors=self.cache_runtime.cor.space_errors)
                 self._fetch_from_backing(start, span, plan)
                 return
             self._fetch_from_backing(start, span, plan)
@@ -308,9 +329,10 @@ class SimImage:
         self._count_new_l2(offset, length)
         if self.backing is not None:
             for fill_off, fill_len in fill_ranges:
-                self._fetch_from_backing(
-                    fill_off, min(fill_len, self.size - fill_off),
-                    plan)
+                fetch_len = min(fill_len, self.size - fill_off)
+                self.stats.rmw_fill_ops += 1
+                self.stats.rmw_fill_bytes += fetch_len
+                self._fetch_from_backing(fill_off, fetch_len, plan)
         self.stats.record_write(offset, length)
         plan.append(IORequest(self.location, "write",
                               max(length, new_alloc),

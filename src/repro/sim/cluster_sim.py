@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.bootmodel.trace import BootTrace
 from repro.errors import SimulationError
+from repro.metrics.tracing import TRACER
 from repro.sim import calibration as cal
 from repro.sim.blockio import IORequest, Location, SimImage
 from repro.sim.engine import Environment
@@ -224,7 +225,9 @@ class BootJob:
 
 def boot_vms(testbed: Testbed, jobs: list[BootJob],
              *, stagger: float = 0.0,
-             think_jitter: float = 0.15) -> ScenarioResult:
+             think_jitter: float = 0.15,
+             trace_parent: tuple[str, str] | None = None
+             ) -> ScenarioResult:
     """Boot all jobs simultaneously; return per-VM and aggregate stats.
 
     ``stagger`` optionally offsets successive VM starts (0 = the paper's
@@ -234,6 +237,14 @@ def boot_vms(testbed: Testbed, jobs: list[BootJob],
     perfect lockstep on real hardware (scheduler noise, cache state),
     and exact phase alignment is a simulation artifact that distorts
     fair-share contention.
+
+    When tracing is enabled, every boot records a ``vm.boot`` span with
+    ``boot.phase`` children (vmm / replay / epilogue) carrying
+    *virtual* timestamps (``clock="sim"``).  Boots interleave on one
+    thread, so spans are recorded with explicit causality rather than
+    context-manager nesting; ``trace_parent`` is the ``(trace_id,
+    span_id)`` of an enclosing span (e.g. a deployment wave's,
+    pre-allocated via :meth:`~repro.metrics.tracing.Tracer.allocate_ids`).
     """
     import random
 
@@ -273,6 +284,7 @@ def boot_vms(testbed: Testbed, jobs: list[BootJob],
             yield env.timeout(delay)
         start = env.now
         yield env.timeout(testbed.vmm_overhead)
+        t_vmm = env.now
         if job.prefetch:
             io_proc = env.process(io_stream(job))
             for op in job.trace:
@@ -287,11 +299,28 @@ def boot_vms(testbed: Testbed, jobs: list[BootJob],
                     yield env.timeout(op.think_time * factor)
                 for req in run_op(job, op):
                     yield from testbed.execute(req, job.node)
+        t_replay = env.now
         if job.epilogue is not None:
             yield from job.epilogue()
         records.append(BootRecord(job.vm_id, job.node.node_id,
                                   start, env.now))
         job.node.stats.vms_booted += 1
+        if TRACER.enabled:
+            tid, sid = TRACER.record_span(
+                "vm.boot", start, env.now,
+                trace_id=trace_parent[0] if trace_parent else None,
+                parent_id=trace_parent[1] if trace_parent else None,
+                vm_id=job.vm_id, node=job.node.node_id)
+            TRACER.record_span("boot.phase", start, t_vmm,
+                               trace_id=tid, parent_id=sid,
+                               vm_id=job.vm_id, phase="vmm")
+            TRACER.record_span("boot.phase", t_vmm, t_replay,
+                               trace_id=tid, parent_id=sid,
+                               vm_id=job.vm_id, phase="replay")
+            if job.epilogue is not None:
+                TRACER.record_span("boot.phase", t_replay, env.now,
+                                   trace_id=tid, parent_id=sid,
+                                   vm_id=job.vm_id, phase="epilogue")
 
     procs = [env.process(one_boot(job, i * stagger))
              for i, job in enumerate(jobs)]

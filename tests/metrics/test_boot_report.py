@@ -1,0 +1,134 @@
+"""boot_report reconstruction: JSONL round-trip and rendering."""
+
+import pytest
+
+from repro.metrics.boot_report import (
+    build_report,
+    format_attribution,
+    format_report,
+    format_timeline,
+    load_report,
+)
+from repro.metrics.tracing import JsonlSink, ListSink, Tracer
+
+
+def synth_trace(tracer: Tracer) -> None:
+    """A miniature deployment: one sim wave of two boots with phases,
+    one wall-clock replay with per-layer reads and cache events."""
+    trace_id, wave_id = tracer.allocate_ids()
+    for i, node in enumerate(["n0", "n1"]):
+        _, boot_id = tracer.record_span(
+            "vm.boot", 0.0, 5.0 + i, trace_id=trace_id,
+            parent_id=wave_id, vm_id=f"vm{i}", node=node)
+        tracer.record_span("boot.phase", 0.0, 0.5, trace_id=trace_id,
+                           parent_id=boot_id, phase="vmm")
+        tracer.record_span("boot.phase", 0.5, 5.0 + i,
+                           trace_id=trace_id, parent_id=boot_id,
+                           phase="replay")
+    tracer.record_span("deploy.wave", 0.0, 6.5, trace_id=trace_id,
+                       span_id=wave_id, vms=2)
+
+    with tracer.span("vm.boot", vm_id="real1"):
+        tracer.event("block.read", layer="cow", path="/t/cow.qcow2",
+                     offset=0, length=4096)
+        tracer.event("block.read", layer="cache",
+                     path="/t/cache.qcow2", offset=0, length=4096)
+        tracer.event("block.read", layer="base", path="/t/base.raw",
+                     offset=0, length=1024)
+        tracer.event("cache.cor_fill", path="/t/cache.qcow2",
+                     offset=0, length=1024)
+        tracer.event("cache.rmw_fill", path="/t/cache.qcow2",
+                     fill_bytes=512)
+        tracer.event("cache.quota_stop", path="/t/cache.qcow2",
+                     attempted_bytes=512)
+        tracer.event("replay.summary", vm_id="real1",
+                     base_path="/t/base.raw", base_bytes_read=1024,
+                     ops_replayed=3)
+
+
+@pytest.fixture
+def report():
+    tracer = Tracer()
+    sink = ListSink()
+    tracer.enable(sink)
+    synth_trace(tracer)
+    tracer.disable()
+    return build_report(sink.records)
+
+
+class TestBuildReport:
+    def test_boots_with_phases_reconstructed(self, report):
+        assert [b.vm_id for b in report.boots] == \
+            ["vm0", "vm1", "real1"]
+        vm1 = report.boots[1]
+        assert vm1.node == "n1"
+        assert vm1.clock == "sim"
+        assert vm1.boot_time == 6.0
+        assert [p.phase for p in vm1.phases] == ["vmm", "replay"]
+        assert report.boots[2].clock == "wall"
+
+    def test_boots_parent_onto_the_wave(self, report):
+        wave = next(w for w in report.waves
+                    if w["name"] == "deploy.wave")
+        assert report.boots[0].parent_id == wave["span_id"]
+        assert wave["vms"] == 2
+
+    def test_layer_attribution_sums_reads(self, report):
+        assert report.layer_bytes("cow") == 4096
+        assert report.layer_bytes("cache") == 4096
+        assert report.layer_bytes("base") == 1024
+        assert report.attribution["base"].read_ops == 1
+        assert report.attribution["base"].paths == \
+            {"/t/base.raw": 1024}
+
+    def test_cache_events_counted(self, report):
+        assert report.cor_fills == 1
+        assert report.cor_fill_bytes == 1024
+        assert report.rmw_fills == 1
+        assert report.rmw_fill_bytes == 512
+        assert report.quota_stops == 1
+
+    def test_summaries_collected(self, report):
+        assert len(report.summaries) == 1
+        assert report.summaries[0]["base_bytes_read"] == 1024
+
+
+class TestJsonlRoundTrip:
+    def test_file_report_equals_in_memory_report(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer()
+        tracer.enable(JsonlSink(path))
+        synth_trace(tracer)
+        tracer.disable()
+
+        report = load_report(path)
+        assert [b.vm_id for b in report.boots] == \
+            ["vm0", "vm1", "real1"]
+        assert report.layer_bytes("base") == 1024
+        assert report.record_count == 15
+
+
+class TestRendering:
+    def test_timeline_lists_every_vm_by_clock(self, report):
+        text = format_timeline(report)
+        assert "sim clock, 2 boot(s)" in text
+        assert "wall clock, 1 boot(s)" in text
+        for vm in ("vm0", "vm1", "real1"):
+            assert vm in text
+        assert "replay 5.500" in text  # vm1's phase duration
+
+    def test_attribution_table_orders_layers_top_down(self, report):
+        text = format_attribution(report)
+        assert text.index("cow") < text.index("cache") \
+            < text.index("base")
+        assert "quota stops: 1" in text
+
+    def test_full_report_reconciles_replayer_accounting(self, report):
+        text = format_report(report)
+        assert "(match)" in text
+        assert "MISMATCH" not in text
+
+    def test_empty_trace_renders_gracefully(self):
+        empty = build_report([])
+        assert "no vm.boot spans" in format_timeline(empty)
+        assert "no block.read" in format_attribution(empty)

@@ -1,0 +1,187 @@
+"""The metrics registry: families, thread safety, collectors, export."""
+
+import threading
+
+import pytest
+
+from repro.metrics.registry import (
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestFamilies:
+    def test_counter_get_or_create_is_keyed_on_labels(self, registry):
+        a = registry.counter("reads_total", layer="base")
+        b = registry.counter("reads_total", layer="base")
+        c = registry.counter("reads_total", layer="cache")
+        assert a is b
+        assert a is not c
+
+    def test_label_order_does_not_matter(self, registry):
+        a = registry.counter("x_total", a="1", b="2")
+        b = registry.counter("x_total", b="2", a="1")
+        assert a is b
+
+    def test_kind_mismatch_rejected(self, registry):
+        registry.counter("boots_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("boots_total")
+
+    def test_counter_cannot_decrease(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("n_total").inc(-1)
+
+    def test_gauge_set_inc_dec(self, registry):
+        g = registry.gauge("inflight")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value == 4
+
+
+class TestThreadSafety:
+    def test_concurrent_counter_increments_are_exact(self, registry):
+        counter = registry.counter("hits_total", layer="cache")
+        n_threads, n_incs = 8, 5000
+        start = threading.Barrier(n_threads)
+
+        def worker():
+            start.wait()
+            for _ in range(n_incs):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == n_threads * n_incs
+
+    def test_concurrent_get_or_create_returns_one_instance(
+            self, registry):
+        instances = []
+        start = threading.Barrier(8)
+
+        def worker():
+            start.wait()
+            instances.append(registry.counter("raced_total", k="v"))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(i) for i in instances}) == 1
+
+    def test_concurrent_histogram_observes_and_reads(self, registry):
+        hist = registry.histogram("op_latency", op="read")
+        n_threads, n_obs = 6, 2000
+        # Parties: the observers, the reader, and the main thread.
+        start = threading.Barrier(n_threads + 2)
+        done = threading.Event()
+
+        def observer(scale):
+            start.wait()
+            for i in range(n_obs):
+                hist.observe(0.001 * scale * (1 + i % 10))
+
+        def reader():
+            # Summaries taken mid-update must be internally
+            # consistent (the ISSUE 3 satellite: summary() used to
+            # read unlocked).
+            start.wait()
+            while not done.is_set():
+                summ = hist.summary()
+                assert summ["count"] >= 0
+                if summ["count"]:
+                    assert summ["max_ms"] >= summ["mean_ms"] > 0
+
+        threads = [threading.Thread(target=observer, args=(s,))
+                   for s in range(1, n_threads + 1)]
+        rt = threading.Thread(target=reader)
+        rt.start()
+        for t in threads:
+            t.start()
+        start.wait()
+        for t in threads:
+            t.join()
+        done.set()
+        rt.join()
+        assert hist.summary()["count"] == n_threads * n_obs
+
+
+class TestCollectors:
+    def test_collector_samples_appear_and_dead_is_pruned(
+            self, registry):
+        alive = [True]
+
+        def collector():
+            if not alive[0]:
+                return None
+            return [("live_metric", {"src": "test"}, 42.0)]
+
+        registry.register_collector(collector)
+        assert ("live_metric", {"src": "test"}, 42.0) \
+            in registry.samples()
+
+        alive[0] = False
+        registry.samples()  # observes None -> prunes
+        assert all(name != "live_metric"
+                   for name, _l, _v in registry.samples())
+
+    def test_unregister_is_idempotent(self, registry):
+        fn = registry.register_collector(lambda: [])
+        registry.unregister_collector(fn)
+        registry.unregister_collector(fn)
+        assert registry.samples() == []
+
+
+class TestExport:
+    def test_prometheus_rendering(self, registry):
+        registry.counter("boots_total", node="n1").inc(3)
+        registry.gauge("slots_free").set(7)
+        text = registry.render_prometheus()
+        assert "# TYPE boots_total counter" in text
+        assert 'boots_total{node="n1"} 3' in text
+        assert "# TYPE slots_free gauge" in text
+        assert "slots_free 7" in text
+
+    def test_histogram_expansion(self, registry):
+        hist = registry.histogram("lat")
+        for _ in range(10):
+            hist.observe(0.002)
+        names = {name for name, _l, _v in registry.samples()}
+        assert {"lat_count", "lat_mean_ms", "lat_max_ms", "lat_ms"} \
+            <= names
+
+    def test_snapshot_groups_by_name(self, registry):
+        registry.counter("c_total", k="a").inc()
+        registry.counter("c_total", k="b").inc(2)
+        snap = registry.snapshot()
+        assert len(snap["c_total"]) == 2
+        assert sum(s["value"] for s in snap["c_total"]) == 3
+
+    def test_reset_drops_everything(self, registry):
+        registry.counter("gone_total").inc()
+        registry.register_collector(lambda: [("x", {}, 1.0)])
+        registry.reset()
+        assert registry.samples() == []
+
+
+class TestProcessWide:
+    def test_set_registry_swaps_and_restores(self):
+        mine = MetricsRegistry()
+        old = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(old)
+        assert get_registry() is old

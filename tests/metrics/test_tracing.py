@@ -1,0 +1,231 @@
+"""The event/span bus: causality, clocks, schema, and the no-op path."""
+
+import gc
+import json
+import sys
+
+import pytest
+
+from repro.metrics import tracing
+from repro.metrics.tracing import (
+    CLOCK_SIM,
+    CLOCK_WALL,
+    TRACER,
+    JsonlSink,
+    ListSink,
+    Tracer,
+    load_trace,
+    validate_record,
+    validate_trace,
+)
+from repro.units import KiB, MiB
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    """Tests share the global TRACER; always leave it disabled."""
+    TRACER.disable()
+    yield
+    TRACER.disable()
+
+
+class TestCausalIds:
+    def test_nested_spans_share_trace_and_chain_parents(self):
+        tracer = Tracer()
+        sink = ListSink()
+        tracer.enable(sink)
+        with tracer.span("deploy") as outer:
+            with tracer.span("boot") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        spans = {r["name"]: r for r in sink.records}
+        assert spans["deploy"]["parent_id"] is None
+        assert spans["boot"]["parent_id"] == spans["deploy"]["span_id"]
+        assert spans["boot"]["trace_id"] == spans["deploy"]["trace_id"]
+
+    def test_ids_are_deterministic_counters(self):
+        tracer = Tracer()
+        tracer.enable(ListSink())
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        records = tracer.disable().records
+        assert [r["span_id"] for r in records] == ["s000001", "s000002"]
+        assert [r["trace_id"] for r in records] == ["t0001", "t0002"]
+
+    def test_event_attaches_to_enclosing_span(self):
+        tracer = Tracer()
+        sink = ListSink()
+        tracer.enable(sink)
+        with tracer.span("boot") as span:
+            tracer.event("block.read", layer="base", length=4096)
+        event = next(r for r in sink.records if r["type"] == "event")
+        assert event["parent_id"] == span.span_id
+        assert event["trace_id"] == span.trace_id
+        assert event["attrs"]["layer"] == "base"
+
+    def test_record_span_with_preallocated_ids(self):
+        # The simulator's inversion: children parent onto a wave span
+        # that is recorded after them.
+        tracer = Tracer()
+        sink = ListSink()
+        tracer.enable(sink)
+        trace_id, wave_id = tracer.allocate_ids()
+        tracer.record_span("vm.boot", 0.0, 9.0, trace_id=trace_id,
+                           parent_id=wave_id, vm_id="vm0")
+        tracer.record_span("deploy.wave", 0.0, 9.5, trace_id=trace_id,
+                           span_id=wave_id, vms=1)
+        spans = {r["name"]: r for r in sink.records}
+        assert spans["deploy.wave"]["span_id"] == wave_id
+        assert spans["vm.boot"]["parent_id"] == wave_id
+        assert spans["vm.boot"]["clock"] == CLOCK_SIM
+        assert spans["vm.boot"]["start"] == 0.0
+        assert spans["vm.boot"]["end"] == 9.0
+
+    def test_wall_spans_carry_wall_clock(self):
+        tracer = Tracer()
+        sink = ListSink()
+        tracer.enable(sink)
+        with tracer.span("x"):
+            pass
+        assert sink.records[0]["clock"] == CLOCK_WALL
+        assert sink.records[0]["end"] >= sink.records[0]["start"]
+
+
+class TestDisabledPath:
+    def test_disabled_span_yields_isolated_fresh_span(self):
+        tracer = Tracer()
+        seen = []
+        for i in range(2):
+            with tracer.span("warm", run=i) as span:
+                span.attrs.update(extra=i)
+                seen.append(span)
+        assert seen[0] is not seen[1]
+        assert seen[0].attrs == {"run": 0, "extra": 0}
+        assert seen[1].attrs == {"run": 1, "extra": 1}
+
+    def test_disabled_record_span_returns_empty_ids(self):
+        tracer = Tracer()
+        assert tracer.record_span("x", 0.0, 1.0) == ("", "")
+
+    def test_qcow2_read_hot_path_allocates_nothing_when_disabled(
+            self, tmp_path):
+        # The ISSUE 3 regression gate: with tracing off, the per-read
+        # instrumentation must be one attribute check — steady-state
+        # reads may not grow the allocated-block count.
+        from repro.imagefmt import RawImage, create_cache_chain
+
+        size = 1 * MiB
+        base_path = str(tmp_path / "base.raw")
+        RawImage.create(base_path, size).close()
+        chain = create_cache_chain(
+            base_path, str(tmp_path / "cache.qcow2"),
+            str(tmp_path / "cow.qcow2"), quota=2 * size)
+        with chain:
+            def read_loop(n):
+                for i in range(n):
+                    chain.read((i * 4 * KiB) % (size - 4 * KiB),
+                               4 * KiB)
+
+            read_loop(300)  # warm caches, allocate lazy structures
+            gc.collect()
+            before = sys.getallocatedblocks()
+            read_loop(300)
+            gc.collect()
+            grown = sys.getallocatedblocks() - before
+        assert grown < 50, (
+            f"disabled tracing grew allocations by {grown} blocks "
+            f"over 300 steady-state reads")
+
+
+class TestSinks:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer()
+        tracer.enable(JsonlSink(path))
+        with tracer.span("boot", vm_id="vm1"):
+            tracer.event("block.read", layer="base", offset=0,
+                         length=512)
+        tracer.disable()
+        records = load_trace(path)
+        assert validate_trace(records) == []
+        assert [r["type"] for r in records] == ["event", "span"]
+        assert records[1]["attrs"] == {"vm_id": "vm1"}
+
+    def test_jsonl_truncates_previous_trace(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with open(path, "w") as f:
+            f.write("stale\n")
+        JsonlSink(path).close()
+        assert load_trace(path) == []
+
+    def test_autoflush_bounds_the_buffer_at_span_close(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setattr(tracing, "_AUTOFLUSH_RECORDS", 4)
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer()
+        sink = JsonlSink(path)
+        tracer.enable(sink)
+        with tracer.span("boot"):
+            for _ in range(10):
+                tracer.event("block.read", length=1)
+        # The span close crossed the threshold -> records on disk
+        # without an explicit flush.
+        assert len(load_trace(path)) == 11
+        assert sink._buffer == []
+        tracer.disable()
+
+    def test_load_trace_reports_bad_json_with_line(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        with open(path, "w") as f:
+            f.write('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_trace(path)
+
+
+class TestSchema:
+    def test_valid_records_pass(self):
+        tracer = Tracer()
+        sink = ListSink()
+        tracer.enable(sink)
+        with tracer.span("a"):
+            tracer.event("e")
+        tracer.record_span("s", 1.0, 2.0)
+        assert validate_trace(sink.records) == []
+
+    @pytest.mark.parametrize("rec, fragment", [
+        ("text", "not an object"),
+        ({"type": "bogus"}, "unknown record type"),
+        ({"type": "event", "name": "e", "attrs": {}}, "missing field"),
+        ({"type": "span", "name": "s", "trace_id": "t1",
+          "span_id": "s1", "start": 0, "end": 1, "clock": "lunar",
+          "attrs": {}}, "clock"),
+        ({"type": "event", "name": "e", "ts": 0.0, "attrs": {},
+          "surprise": 1}, "unexpected field"),
+        ({"type": "event", "name": "", "ts": 0.0, "attrs": {}},
+         "non-empty"),
+    ])
+    def test_invalid_records_are_rejected(self, rec, fragment):
+        errors = validate_record(rec)
+        assert errors and any(fragment in e for e in errors)
+
+    def test_validate_trace_prefixes_index(self):
+        errors = validate_trace([{"type": "event", "name": "e",
+                                  "ts": 0.0, "attrs": {}},
+                                 {"type": "nope"}])
+        assert len(errors) == 1
+        assert errors[0].startswith("record 1:")
+
+    def test_schema_dict_matches_jsonschema_if_available(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        tracer = Tracer()
+        sink = ListSink()
+        tracer.enable(sink)
+        with tracer.span("boot", vm_id="v"):
+            tracer.event("block.read", layer="base", length=512)
+        tracer.record_span("sim", 0.0, 1.0, node="n1")
+        validator = jsonschema.Draft7Validator(
+            tracing.TRACE_RECORD_SCHEMA)
+        for rec in json.loads(json.dumps(sink.records)):
+            validator.validate(rec)

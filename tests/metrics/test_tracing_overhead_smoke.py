@@ -1,0 +1,25 @@
+"""Tier-1 smoke run of the tracing-overhead micro-benchmark.
+
+Runs ``benchmarks/bench_ext_tracing._run_tracing_overhead`` at quick
+scale so plain ``pytest`` guards the observability budget on every run,
+and drops the same ``BENCH_tracing_overhead.json`` artifact the full
+benchmark would.
+"""
+
+import pytest
+
+from benchmarks.bench_ext_tracing import _run_tracing_overhead
+from benchmarks.conftest import RESULTS_DIR
+
+pytestmark = [pytest.mark.smoke, pytest.mark.timeout(90)]
+
+
+def test_tracing_overhead_smoke():
+    log = _run_tracing_overhead(quick=True)
+    log.save(RESULTS_DIR)
+
+    assert log.scalars["events_per_round"] >= \
+        2 * log.scalars["reads"]
+    # Full scale demands <= 5%; the quick arms time ~1/3 of the reads,
+    # so fixed jitter weighs more and the smoke ceiling is looser.
+    assert log.scalars["overhead_pct"] <= 10.0

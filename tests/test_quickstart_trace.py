@@ -1,0 +1,80 @@
+"""Tier-1 smoke: a traced quickstart run yields a valid, coherent trace.
+
+Runs ``examples/quickstart.py --trace`` in a subprocess (the exact
+user-facing flow), then checks the whole observability contract on the
+artifact: every record passes the JSON schema, boot_report reconstructs
+the expected boots, and the per-layer byte attribution reconciles with
+the replayer's own accounting — the Fig 9 "events match the counters"
+invariant.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.metrics.boot_report import build_report, format_report
+from repro.metrics.tracing import load_trace, validate_trace
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+pytestmark = [pytest.mark.smoke, pytest.mark.timeout(120)]
+
+
+@pytest.fixture(scope="module")
+def trace_records(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("trace") / "boot.jsonl")
+    proc = subprocess.run(
+        [sys.executable,
+         os.path.join(ROOT, "examples", "quickstart.py"),
+         "--trace", path],
+        capture_output=True, text=True, timeout=110,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "trace written to" in proc.stdout
+    return load_trace(path)
+
+
+def test_every_record_passes_the_schema(trace_records):
+    assert validate_trace(trace_records) == []
+
+
+def test_report_reconstructs_all_boots(trace_records):
+    report = build_report(trace_records)
+    by_clock = {"wall": [], "sim": []}
+    for boot in report.boots:
+        by_clock[boot.clock].append(boot.vm_id)
+    # Two real replays + the 4-VM simulated deploy.
+    assert by_clock["wall"] == ["vm1", "vm2"]
+    assert len(by_clock["sim"]) == 4
+    sim = next(b for b in report.boots if b.clock == "sim")
+    assert [p.phase for p in sim.phases] == ["vmm", "replay"]
+    wave = next(w for w in report.waves
+                if w["name"] == "deploy.wave")
+    assert wave["vms"] == 4
+
+
+def test_attribution_covers_every_chain_layer(trace_records):
+    report = build_report(trace_records)
+    assert {"cow", "cache", "base"} <= set(report.attribution)
+    # The demo warms an 8 MiB working set via copy-on-read.
+    assert report.cor_fill_bytes > 0
+    assert report.quota_stops == 0
+
+
+def test_event_totals_match_replayer_accounting(trace_records):
+    # The Fig 9 invariant: block.read events are emitted exactly where
+    # DriverStats counts, so the trace-derived base traffic equals the
+    # ReplayResult totals the quickstart itself printed.
+    report = build_report(trace_records)
+    total_replayed = sum(s["base_bytes_read"]
+                         for s in report.summaries)
+    replay_paths = {s["base_path"] for s in report.summaries}
+    event_bytes = sum(
+        nbytes for path, nbytes
+        in report.attribution["base"].paths.items()
+        if path in replay_paths)
+    assert total_replayed == event_bytes > 0
+    text = format_report(report)
+    assert "(match)" in text and "MISMATCH" not in text

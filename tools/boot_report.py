@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Render a traced run as a boot timeline + byte-attribution report.
+
+Produce a trace first (any run works; the quickstart has a flag):
+
+    PYTHONPATH=src python examples/quickstart.py --trace /tmp/boot.jsonl
+    python tools/boot_report.py /tmp/boot.jsonl
+
+All reconstruction logic lives in :mod:`repro.metrics.boot_report`;
+this is the thin CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.metrics.boot_report import (  # noqa: E402
+    build_report,
+    format_report,
+)
+from repro.metrics.tracing import load_trace, validate_trace  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="JSONL trace file to report on")
+    parser.add_argument("--validate", action="store_true",
+                        help="schema-check every record before reporting")
+    args = parser.parse_args(argv)
+
+    try:
+        records = load_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.validate:
+        errors = validate_trace(records)
+        if errors:
+            for err in errors:
+                print(f"schema error: {err}", file=sys.stderr)
+            return 1
+
+    report = build_report(records)
+    print(f"trace: {args.trace} ({report.record_count} records)")
+    print()
+    print(format_report(report), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
