@@ -36,11 +36,19 @@ def main() -> None:
     parser.add_argument(
         "--trace", metavar="PATH", default=None,
         help="write a JSONL boot trace (see tools/boot_report.py)")
+    parser.add_argument(
+        "--workdir", metavar="DIR", default=None,
+        help="directory for the produced images (default: a fresh "
+             "temp dir) — handy for running tools/img_check.py on them")
     args = parser.parse_args()
     if args.trace:
         TRACER.enable(JsonlSink(args.trace))
 
-    workdir = tempfile.mkdtemp(prefix="repro-quickstart-")
+    if args.workdir:
+        workdir = args.workdir
+        os.makedirs(workdir, exist_ok=True)
+    else:
+        workdir = tempfile.mkdtemp(prefix="repro-quickstart-")
     base_path = os.path.join(workdir, "base.raw")
     cache_path = os.path.join(workdir, "cache.qcow2")
 

@@ -82,6 +82,7 @@ class WarmReport:
     bytes_written: int = 0    # bytes stored into the cache
     seconds: float = 0.0
     quota_exhausted: bool = False
+    fsync_ops: int = 0        # durability barriers the final flush cost
 
 
 def warm_cache(
@@ -156,12 +157,18 @@ def warm_cache(
         else:
             run_batch()
         if flush and not cache.closed:
+            # A warmed cache is only *durably* warm after its ordered
+            # flush; count what the barriers cost so Figure 8-style
+            # runs can separate fetch time from durability time.
+            fsyncs_before = cache.stats.fsync_ops
             cache.flush()
+            report.fsync_ops = cache.stats.fsync_ops - fsyncs_before
         span.attrs.update(
             extents=report.extents, batches=report.batches,
             bytes_requested=report.bytes_requested,
             bytes_written=report.bytes_written,
-            quota_exhausted=report.quota_exhausted)
+            quota_exhausted=report.quota_exhausted,
+            fsync_ops=report.fsync_ops)
     report.seconds = time.perf_counter() - started
     registry = get_registry()
     registry.counter("warmer_runs_total").inc()

@@ -32,10 +32,13 @@ def create_cow_chain(
     *,
     base_format: str | None = None,
     cluster_size: int = DEFAULT_CLUSTER_SIZE,
+    sync: str | None = None,
 ) -> Qcow2Image:
     """State of the art (§2): a CoW overlay directly on the base image.
 
     Returns the CoW image opened read-write, ready to boot from.
+    ``sync`` defaults to the crash-safe ``barrier`` mode (DESIGN.md §9);
+    benchmarks pass ``sync="none"`` to opt out.
     """
     if base_format is None:
         base_format = probe_format(base_path)
@@ -44,6 +47,7 @@ def create_cow_chain(
         backing_file=base_path,
         backing_format=base_format,
         cluster_size=cluster_size,
+        sync=sync,
     )
 
 
@@ -54,6 +58,7 @@ def create_cache_image(
     quota: int,
     base_format: str | None = None,
     cluster_size: int = SECTOR_SIZE,
+    sync: str | None = None,
 ) -> Qcow2Image:
     """Step 1 of §4.4: a cache image backed by the base.
 
@@ -70,6 +75,7 @@ def create_cache_image(
         backing_format=base_format,
         cluster_size=cluster_size,
         cache_quota=quota,
+        sync=sync,
     )
 
 
@@ -82,6 +88,7 @@ def create_cache_chain(
     base_format: str | None = None,
     cache_cluster_size: int = SECTOR_SIZE,
     cow_cluster_size: int = DEFAULT_CLUSTER_SIZE,
+    sync: str | None = None,
 ) -> Qcow2Image:
     """The full §4.4 workflow: base ← cache ← CoW.
 
@@ -97,6 +104,7 @@ def create_cache_chain(
             quota=quota,
             base_format=base_format,
             cluster_size=cache_cluster_size,
+            sync=sync,
         )
         cache.close()
     return Qcow2Image.create(
@@ -104,6 +112,7 @@ def create_cache_chain(
         backing_file=cache_path,
         backing_format=FORMAT_QCOW2,
         cluster_size=cow_cluster_size,
+        sync=sync,
     )
 
 

@@ -45,6 +45,23 @@ HEXT_BACKING_FORMAT = 0xE2792ACA  # standard: backing file format name
 # "two more 8-byte fields" of Section 4.3.  The type code spells "VMIC".
 HEXT_VMI_CACHE = 0x564D4943
 VMI_CACHE_EXT_SIZE = 16
+# Incompatible-feature bits (the v2 header has no feature fields, so we
+# carry them in an extension; the type code spells "FEAT").  An open()
+# that sees a bit it does not know must refuse the image.
+HEXT_FEATURES = 0x46454154
+FEATURES_EXT_SIZE = 8
+FEATURE_DIRTY = 1 << 0  # image was not cleanly closed; recover on open
+KNOWN_INCOMPATIBLE_FEATURES = FEATURE_DIRTY
+
+# Durability modes for writable qcow2 images (the ``sync=`` knob).
+# ``barrier`` orders metadata flushes behind fsync barriers (data
+# clusters -> refcounts/L2 -> L1 -> header) and maintains the dirty
+# bit durably; ``none`` is the pre-crash-consistency behaviour for
+# benchmarks that measure pure datapath cost.  The default may be
+# overridden process-wide with the REPRO_IMG_SYNC environment variable.
+SYNC_NONE = "none"
+SYNC_BARRIER = "barrier"
+SYNC_MODES = (SYNC_NONE, SYNC_BARRIER)
 
 # Sanity bound used by open(): refuse absurd virtual sizes (the spec has
 # no limit, but a corrupt header should not make us allocate petabytes).

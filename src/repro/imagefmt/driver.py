@@ -161,7 +161,8 @@ class DriverStats:
     partial-cluster writes (the Fig 9 read-modify-write amplification),
     and ``quota_stops`` counts cache-quota space errors (each one is the
     paper's "space error → stop caching" transition; only the first
-    actually disables CoR).
+    actually disables CoR).  ``fsync_ops`` counts durability barriers
+    issued by the ordered flush (zero in ``sync="none"`` mode).
     """
 
     read_ops: int = 0
@@ -178,6 +179,7 @@ class DriverStats:
     rmw_fill_ops: int = 0
     rmw_fill_bytes: int = 0
     quota_stops: int = 0
+    fsync_ops: int = 0
     touched: RangeSet = field(default_factory=RangeSet)
     track_ranges: bool = False
 

@@ -1,0 +1,247 @@
+"""Kill-point fault injection for crash-consistency tests.
+
+:class:`CrashFile` wraps a :class:`~repro.imagefmt.fileio.PositionalFile`
+and simulates what a real crash does to a file: writes that were never
+fsynced may be lost, partially applied (torn), or applied out of order.
+The OS page cache makes a naive "kill the process" test useless — every
+buffered write is still visible afterwards — so the shim keeps a journal
+of *unsynced* writes (old bytes, new bytes, pre-op file size) and, at
+``crash()``, rolls them all back and re-applies only the subset a chosen
+crash model says survived:
+
+``drop-all``
+    nothing unsynced reached the platter (writeback never ran);
+``keep-all``
+    everything reached the platter (writeback just finished) — the
+    same bytes a plain process kill would leave;
+``keep-last``
+    only the most recent write survived (writeback reordered);
+``subset``
+    a seeded pseudo-random subset survived, optionally tearing the
+    last surviving write at an 8-byte boundary.
+
+Torn writes keep a prefix aligned to 8 bytes — the qcow2 format (like
+QEMU's implementation) assumes the disk does not tear *within* one
+64-bit table entry; tearing inside an entry could fabricate a
+valid-looking mapping that no format-level recovery can detect.
+
+A kill point is armed with ``kill_after_writes=N`` (the Nth ``pwrite``
+performs, then raises :class:`CrashPoint`) or ``kill_on_sync=N`` (the
+Nth fsync/fdatasync raises *before* taking effect, so its writes stay
+unsynced).  The harness in ``tests/imagefmt/test_crash_matrix.py``
+counts the ops of an un-killed run first, then sweeps N.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.imagefmt.fileio import PositionalFile
+
+TEAR_ALIGN = 8  # qcow2 table entries are u64; never tear inside one
+
+CRASH_MODES = ("drop-all", "keep-all", "keep-last", "subset")
+
+
+class CrashPoint(Exception):
+    """Raised by :class:`CrashFile` when the armed kill point fires."""
+
+
+@dataclass
+class _JournalEntry:
+    offset: int
+    old: bytes        # bytes previously on disk (may be short at EOF)
+    new: bytes
+    pre_size: int     # file size before this write
+
+
+class CrashFile:
+    """A ``PositionalFile`` proxy that journals unsynced writes.
+
+    Satisfies the same interface the qcow2 driver and the allocator
+    use (``pread``/``pwrite``/``truncate``/``size``/``fsync``/
+    ``datasync``/``close``), so it can be swapped in for ``img._f``.
+    """
+
+    def __init__(
+        self,
+        inner: PositionalFile,
+        *,
+        kill_after_writes: int | None = None,
+        kill_on_sync: int | None = None,
+    ) -> None:
+        self._inner = inner
+        self.path = inner.path
+        self.kill_after_writes = kill_after_writes
+        self.kill_on_sync = kill_on_sync
+        self.write_count = 0
+        self.sync_count = 0
+        self.fired = False
+        self._journal: list[_JournalEntry] = []
+        self._truncates: list[tuple[int, bytes]] = []  # (pre_size, cut tail)
+
+    @property
+    def closed(self) -> bool:
+        return self._inner.closed
+
+    # -- passthrough reads --------------------------------------------
+
+    def pread(self, length: int, offset: int) -> bytes:
+        return self._inner.pread(length, offset)
+
+    def size(self) -> int:
+        return self._inner.size()
+
+    # -- journaled mutations ------------------------------------------
+
+    def pwrite(self, data: bytes, offset: int) -> None:
+        pre_size = self._inner.size()
+        old = self._inner.pread(len(data), offset)
+        self._inner.pwrite(data, offset)
+        self._journal.append(_JournalEntry(
+            offset=offset, old=old, new=bytes(data), pre_size=pre_size))
+        self.write_count += 1
+        if (not self.fired and self.kill_after_writes is not None
+                and self.write_count >= self.kill_after_writes):
+            self.fired = True
+            raise CrashPoint(
+                f"kill point: after pwrite #{self.write_count}")
+
+    def truncate(self, new_size: int) -> None:
+        pre_size = self._inner.size()
+        tail = b""
+        if new_size < pre_size:
+            tail = self._inner.pread(pre_size - new_size, new_size)
+        self._inner.truncate(new_size)
+        self._truncates.append((pre_size, tail))
+
+    # -- sync points ---------------------------------------------------
+
+    def _sync(self, op) -> None:
+        self.sync_count += 1
+        if (not self.fired and self.kill_on_sync is not None
+                and self.sync_count >= self.kill_on_sync):
+            # The crash interrupts the barrier itself: nothing that was
+            # pending becomes durable, the journal stays live.
+            self.fired = True
+            raise CrashPoint(
+                f"kill point: during sync #{self.sync_count}")
+        op()
+        self._journal.clear()
+        self._truncates.clear()
+
+    def fsync(self) -> None:
+        self._sync(self._inner.fsync)
+
+    def datasync(self) -> None:
+        self._sync(self._inner.datasync)
+
+    # -- crash simulation ----------------------------------------------
+
+    def crash(self, mode: str = "drop-all", *, seed: int = 0,
+              torn: bool = False) -> int:
+        """Rewrite the file to a plausible post-crash state.
+
+        Rolls back every unsynced write (restoring old bytes and the
+        smallest pre-op file size), then re-applies the subset of
+        journaled writes selected by ``mode`` in their original order.
+        Returns the number of writes that survived.
+        """
+        if mode not in CRASH_MODES:
+            raise ValueError(
+                f"unknown crash mode {mode!r}; expected {CRASH_MODES}")
+        journal = self._journal
+        # Roll back in reverse so overlapping writes unwind correctly
+        # and the file size shrinks monotonically to its pre-op floor.
+        for entry in reversed(journal):
+            if entry.old:
+                self._inner.pwrite(entry.old, entry.offset)
+            # old never extends past pre_size (it was read from the
+            # pre-op file), so one truncate undoes any growth.
+            self._inner.truncate(entry.pre_size)
+        for pre_size, tail in reversed(self._truncates):
+            cur = self._inner.size()
+            if pre_size > cur:
+                if tail:
+                    self._inner.pwrite(tail, cur)
+                self._inner.truncate(pre_size)
+
+        if mode == "drop-all":
+            keep: list[_JournalEntry] = []
+        elif mode == "keep-all":
+            keep = list(journal)
+        elif mode == "keep-last":
+            keep = journal[-1:]
+        else:  # subset
+            rng = random.Random(seed)
+            keep = [e for e in journal if rng.random() < 0.5]
+
+        for i, entry in enumerate(keep):
+            data = entry.new
+            if torn and i == len(keep) - 1 and len(data) > TEAR_ALIGN:
+                cut = (len(data) // 2) & ~(TEAR_ALIGN - 1)
+                data = data[:max(cut, TEAR_ALIGN)]
+            self._inner.pwrite(data, entry.offset)
+        self._journal = []
+        self._truncates = []
+        self._inner.fsync()
+        return len(keep)
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+def arm(img, **kwargs) -> CrashFile:
+    """Swap a :class:`CrashFile` into an open qcow2 image.
+
+    Both the driver and its allocator share the one file handle, so
+    both references are replaced.  Returns the shim.
+    """
+    shim = CrashFile(img._f, **kwargs)
+    img._f = shim
+    img._alloc._f = shim
+    return shim
+
+
+def abandon(img) -> None:
+    """Drop an image whose process "died": close fds, flush nothing.
+
+    After a :class:`CrashPoint` the in-memory driver state is
+    inconsistent by design; ``img.close()`` would flush it and defeat
+    the simulation.
+    """
+    img._f.close()
+    if img.backing is not None:
+        img.backing.close()
+    img.closed = True
+
+
+def count_ops(scenario, make_image) -> tuple[int, int]:
+    """Dry-run ``scenario`` against a fresh image; return (pwrites, syncs).
+
+    ``make_image`` builds and returns the image (on a path the caller
+    owns); ``scenario(img)`` performs the workload including any final
+    ``flush()``.  The counts bound the kill-point sweep.
+    """
+    img = make_image()
+    shim = arm(img)
+    try:
+        scenario(img)
+    finally:
+        writes, syncs = shim.write_count, shim.sync_count
+        img._f = shim._inner
+        img._alloc._f = shim._inner
+        img.close()
+    return writes, syncs
+
+
+__all__ = [
+    "CRASH_MODES",
+    "CrashFile",
+    "CrashPoint",
+    "TEAR_ALIGN",
+    "abandon",
+    "arm",
+    "count_ops",
+]

@@ -65,7 +65,32 @@ class PositionalFile:
     def fsync(self) -> None:
         os.fsync(self._fd)
 
+    def datasync(self) -> None:
+        """Durability barrier for file *contents* only.
+
+        Used for the intermediate stages of the ordered qcow2 flush,
+        where inode metadata (mtime) need not reach the platter;
+        falls back to a full fsync where fdatasync is unavailable.
+        """
+        if hasattr(os, "fdatasync"):
+            os.fdatasync(self._fd)
+        else:  # pragma: no cover - non-POSIX fallback
+            os.fsync(self._fd)
+
     def close(self) -> None:
         if not self.closed:
             os.close(self._fd)
             self.closed = True
+
+
+def fsync_directory(path: str) -> None:
+    """fsync the directory containing ``path`` so a rename into it is
+    durable (the last step of create-via-temp-file-and-rename)."""
+    dirpath = os.path.dirname(os.path.abspath(path)) or "."
+    fd = os.open(dirpath, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - some filesystems refuse
+        pass
+    finally:
+        os.close(fd)

@@ -15,10 +15,14 @@ from dataclasses import dataclass, field
 
 from repro.errors import InvalidImageError, UnsupportedFeatureError
 from repro.imagefmt.constants import (
+    FEATURE_DIRTY,
+    FEATURES_EXT_SIZE,
     HEADER_SIZE_V2,
     HEXT_BACKING_FORMAT,
     HEXT_END,
+    HEXT_FEATURES,
     HEXT_VMI_CACHE,
+    KNOWN_INCOMPATIBLE_FEATURES,
     MAX_CLUSTER_BITS,
     MAX_VIRTUAL_SIZE,
     MIN_CLUSTER_BITS,
@@ -33,6 +37,7 @@ assert _HEADER_STRUCT.size == HEADER_SIZE_V2
 
 _EXT_HEADER = struct.Struct(">II")
 _CACHE_EXT = struct.Struct(">QQ")
+_FEATURES_EXT = struct.Struct(">Q")
 
 
 @dataclass
@@ -91,6 +96,7 @@ class QCowHeader:
     nb_snapshots: int = 0
     snapshots_offset: int = 0
     cache_ext: CacheExtension | None = None
+    incompatible_features: int = 0
     unknown_extensions: list[HeaderExtension] = field(default_factory=list)
 
     @property
@@ -101,6 +107,12 @@ class QCowHeader:
     def is_cache(self) -> bool:
         """True when the image carries the VMI-cache extension."""
         return self.cache_ext is not None
+
+    @property
+    def is_dirty(self) -> bool:
+        """True when the image was not cleanly closed (crash recovery
+        must run before its metadata can be trusted)."""
+        return bool(self.incompatible_features & FEATURE_DIRTY)
 
     # -- serialization ----------------------------------------------------
 
@@ -132,6 +144,12 @@ class QCowHeader:
 
     def _encode_extensions(self) -> bytes:
         parts: list[bytes] = []
+        # Always emitted (even when zero) so the encoded header size does
+        # not change when the dirty bit flips: the dirty-bit write must be
+        # an in-place header rewrite, never a relayout.
+        parts.append(_encode_one_ext(
+            HEXT_FEATURES,
+            _FEATURES_EXT.pack(self.incompatible_features)))
         if self.backing_format is not None:
             parts.append(_encode_one_ext(
                 HEXT_BACKING_FORMAT, self.backing_format.encode("utf-8")))
@@ -230,6 +248,17 @@ class QCowHeader:
                 self.backing_format = data.decode("utf-8")
             elif ext_type == HEXT_VMI_CACHE:
                 self.cache_ext = CacheExtension.decode(data)
+            elif ext_type == HEXT_FEATURES:
+                if len(data) != FEATURES_EXT_SIZE:
+                    raise InvalidImageError(
+                        f"features extension has {len(data)} bytes, "
+                        f"expected {FEATURES_EXT_SIZE}")
+                (self.incompatible_features,) = _FEATURES_EXT.unpack(data)
+                unknown = self.incompatible_features \
+                    & ~KNOWN_INCOMPATIBLE_FEATURES
+                if unknown:
+                    raise UnsupportedFeatureError(
+                        f"unknown incompatible feature bits 0x{unknown:x}")
             else:
                 # Unknown extensions are preserved verbatim so that
                 # rewriting the header round-trips foreign images.

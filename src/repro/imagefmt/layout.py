@@ -87,6 +87,11 @@ class ClusterAllocator:
         return sum(1 for c in self._refcounts.values() if c > 0)
 
     @property
+    def pending(self) -> bool:
+        """True when in-memory refcounts have not been flushed to disk."""
+        return self._dirty
+
+    @property
     def physical_clusters(self) -> int:
         return self.physical_size // self.cluster_size
 
@@ -123,6 +128,39 @@ class ClusterAllocator:
             self.physical_size,
             offset + n_clusters * self.cluster_size,
         )
+        self._dirty = True
+
+    # -- recovery / repair ------------------------------------------------
+
+    def set_refcount(self, cluster_index: int, count: int) -> None:
+        """Overwrite one cluster's refcount (``check --repair``)."""
+        self.load()
+        if count <= 0:
+            self._refcounts.pop(cluster_index, None)
+        else:
+            self._refcounts[cluster_index] = count
+        self._dirty = True
+
+    def replace_refcounts(self, counts: dict[int, int]) -> None:
+        """Replace the whole in-memory refcount map (crash recovery:
+        counts rebuilt from the L1/L2 walk are authoritative, whatever
+        the possibly-torn on-disk refcount structure says)."""
+        self._refcounts = {ci: c for ci, c in counts.items() if c > 0}
+        self._loaded = True
+        self._dirty = True
+
+    def truncate_to_clusters(self, n_clusters: int) -> None:
+        """Shrink the image file to ``n_clusters``, dropping refcounts
+        beyond it (reclaims the allocated-but-unreferenced tail a crash
+        or a repaired leak leaves behind)."""
+        self.load()
+        new_size = n_clusters * self.cluster_size
+        if new_size >= self.physical_size:
+            return
+        self._refcounts = {
+            ci: c for ci, c in self._refcounts.items() if ci < n_clusters}
+        self.physical_size = new_size
+        self._f.truncate(new_size)
         self._dirty = True
 
     # -- flushing ---------------------------------------------------------

@@ -33,6 +33,18 @@ driver entry points behave as the paper specifies:
 ``close``
     Writes the (new) current size of the cache back into the header
     extension, flushes dirty L2 tables, the L1 table and refcounts.
+
+Crash consistency (DESIGN.md §9): writable images default to
+``sync="barrier"``, which (a) durably sets a *dirty* incompatible-feature
+bit in the header before the first mutation touches disk, (b) orders
+every flush as data clusters → refcounts/L2 tables → L1 table → header
+with an fsync barrier between stages, and (c) clears the dirty bit only
+after a completed flush.  ``open()`` of a dirty image triggers automatic
+recovery (:mod:`repro.imagefmt.recovery`): invalid L1/L2 entries are
+dropped, refcounts are rebuilt from the metadata walk, the
+allocated-but-unreferenced tail is truncated, and the cache's current
+size is recomputed.  ``sync="none"`` (or ``REPRO_IMG_SYNC=none``)
+restores the paper-prototype behaviour for benchmarks.
 """
 
 from __future__ import annotations
@@ -46,12 +58,13 @@ from repro.errors import (
     CorruptImageError,
     InvalidImageError,
     QuotaExceededError,
+    ReadOnlyImageError,
     UnsupportedFeatureError,
 )
 from repro.imagefmt import constants as C
 from repro.imagefmt.cache_policy import CacheRuntime, QuotaPolicy
 from repro.imagefmt.driver import BlockDriver, open_image, register_format
-from repro.imagefmt.fileio import PositionalFile
+from repro.imagefmt.fileio import PositionalFile, fsync_directory
 from repro.imagefmt.header import CacheExtension, QCowHeader
 from repro.imagefmt.layout import ClusterAllocator
 from repro.imagefmt.tables import (
@@ -64,13 +77,34 @@ from repro.metrics.tracing import TRACER
 from repro.units import align_up, div_round_up
 
 
+def _resolve_sync_mode(sync: str | None) -> str:
+    """Validate a ``sync=`` argument, defaulting from the environment.
+
+    ``None`` resolves to ``$REPRO_IMG_SYNC`` or ``barrier`` — writable
+    images are crash-consistent unless a benchmark explicitly opts out.
+    """
+    if sync is None:
+        sync = os.environ.get("REPRO_IMG_SYNC", C.SYNC_BARRIER)
+    if sync not in C.SYNC_MODES:
+        raise ValueError(
+            f"unknown sync mode {sync!r}; expected one of {C.SYNC_MODES}")
+    return sync
+
+
 @dataclass
 class CheckReport:
-    """Result of an integrity check (``repro-img check``)."""
+    """Result of an integrity check (``repro-img check``).
+
+    ``errors`` lists every problem *found*; with ``repair=True`` the
+    fixes applied are listed in ``repairs`` (re-run ``check()`` to
+    confirm the image is clean afterwards — a found-and-fixed problem
+    stays in ``errors`` so reports are honest about what was wrong).
+    """
 
     errors: list[str] = field(default_factory=list)
     leaked_clusters: int = 0
     allocated_clusters: int = 0
+    repairs: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -91,6 +125,7 @@ class Qcow2Image(BlockDriver):
         l1_table: list[int],
         backing: BlockDriver | None,
         read_only: bool,
+        sync: str = C.SYNC_BARRIER,
     ) -> None:
         super().__init__(path, header.size, read_only)
         self._f = f
@@ -104,6 +139,14 @@ class Qcow2Image(BlockDriver):
         self._backing = backing
         quota = header.cache_ext.quota if header.cache_ext else 0
         self.cache_runtime = CacheRuntime(QuotaPolicy(quota))
+        self.sync_mode = sync
+        # True while the on-disk header carries the dirty bit; mirrors
+        # (and is initialized from) the header so a clean flush knows it
+        # must rewrite the header to clear it.
+        self._dirty_on_disk = header.is_dirty
+        self._data_dirty = False  # data clusters written since last flush
+        # Filled by recovery when open() found the dirty bit set.
+        self.last_recovery = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -120,6 +163,7 @@ class Qcow2Image(BlockDriver):
         cluster_size: int = C.DEFAULT_CLUSTER_SIZE,
         cache_quota: int = 0,
         open_backing: bool = True,
+        sync: str | None = None,
     ) -> "Qcow2Image":
         """Create a new image and return it opened read-write.
 
@@ -127,92 +171,114 @@ class Qcow2Image(BlockDriver):
         backing file (the common case for both CoW overlays and caches —
         §4.3 notes the size field "has to be the same as the base
         image's").  ``cache_quota > 0`` makes the image a cache.
+
+        The image is built in a temp file and renamed into place only
+        once fully written, so a failed create (e.g. the backing open
+        raising) never leaves a half-written image at ``path`` — and
+        never destroys a pre-existing image there either.
         """
+        sync = _resolve_sync_mode(sync)
         cluster_bits = cluster_size_to_bits(cluster_size)
+        tmp_path = f"{path}.creating-{os.getpid()}"
         # When the size must be inherited, the backing image opened to
         # read it is kept and reused below — opening twice would mean
         # two TCP connections for an nbd:// backing path.
         backing: BlockDriver | None = None
-        if size is None:
-            if backing_file is None:
-                raise ValueError(
-                    "size is required when there is no backing file")
-            backing = cls._open_backing(backing_file, backing_format)
-            size = backing.size
+        f: PositionalFile | None = None
         try:
+            if size is None:
+                if backing_file is None:
+                    raise ValueError(
+                        "size is required when there is no backing file")
+                backing = cls._open_backing(backing_file, backing_format)
+                size = backing.size
             if size < 0:
                 raise ValueError("size must be non-negative")
             if cache_quota and backing_file is None:
                 raise ValueError("a cache image requires a backing file")
+
+            split = AddressSplit(cluster_bits)
+            l1_entries = max(1, split.required_l1_entries(size))
+            l1_bytes = l1_entries * 8
+            l1_clusters = div_round_up(l1_bytes, cluster_size)
+
+            header = QCowHeader(
+                size=size,
+                cluster_bits=cluster_bits,
+                backing_file=backing_file,
+                backing_format=backing_format,
+                l1_size=l1_entries,
+            )
+            if cache_quota:
+                header.cache_ext = CacheExtension(
+                    quota=cache_quota, current_size=0)
+
+            header_clusters = div_round_up(
+                header.encoded_size(), cluster_size)
+            # Size the initial refcount table to cover the quota (for
+            # caches) or a modest initial footprint; the allocator grows
+            # it on demand.
+            from repro.imagefmt.refcount import RefcountGeometry
+
+            geo = RefcountGeometry(cluster_bits)
+            expect_clusters = div_round_up(
+                max(cache_quota, 16 * cluster_size), cluster_size)
+            rt_clusters = geo.table_clusters_for(expect_clusters * 2)
+
+            # Fixed layout: [header][refcount table][L1 table].
+            rt_offset = header_clusters * cluster_size
+            l1_offset = rt_offset + rt_clusters * cluster_size
+            initial_size = l1_offset + l1_clusters * cluster_size
+
+            header.refcount_table_offset = rt_offset
+            header.refcount_table_clusters = rt_clusters
+            header.l1_table_offset = l1_offset
+
+            f = PositionalFile.create(tmp_path)
+            f.truncate(initial_size)  # sparse zeros for tables
+            f.pwrite(header.encode(), 0)
+
+            allocator = ClusterAllocator(
+                f, cluster_bits, initial_size, rt_offset, rt_clusters)
+            allocator._loaded = True  # brand-new file: nothing on disk
+            allocator.mark_allocated(0, header_clusters)
+            allocator.mark_allocated(rt_offset, rt_clusters)
+            allocator.mark_allocated(l1_offset, l1_clusters)
+
+            if backing_file is not None and open_backing:
+                if backing is None:
+                    backing = cls._open_backing(
+                        backing_file, backing_format)
+                if backing.size < size:
+                    pass  # legal: reads beyond the backing return zeros
+            elif backing is not None:
+                # Only peeked at for the size; the caller asked for no
+                # open backing on the returned image.
+                backing.close()
+                backing = None
+            img = cls(
+                path, f, header, allocator,
+                l1_table=[0] * l1_entries,
+                backing=backing,
+                read_only=False,
+                sync=sync,
+            )
+            img.flush()
+            os.replace(tmp_path, path)
+            f.path = path
+            if img._barriers:
+                fsync_directory(path)
+            return img
         except BaseException:
             if backing is not None:
                 backing.close()
+            if f is not None:
+                f.close()
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
             raise
-
-        split = AddressSplit(cluster_bits)
-        l1_entries = max(1, split.required_l1_entries(size))
-        l1_bytes = l1_entries * 8
-        l1_clusters = div_round_up(l1_bytes, cluster_size)
-
-        header = QCowHeader(
-            size=size,
-            cluster_bits=cluster_bits,
-            backing_file=backing_file,
-            backing_format=backing_format,
-            l1_size=l1_entries,
-        )
-        if cache_quota:
-            header.cache_ext = CacheExtension(
-                quota=cache_quota, current_size=0)
-
-        header_clusters = div_round_up(header.encoded_size(), cluster_size)
-        # Size the initial refcount table to cover the quota (for caches)
-        # or a modest initial footprint; the allocator grows it on demand.
-        from repro.imagefmt.refcount import RefcountGeometry
-
-        geo = RefcountGeometry(cluster_bits)
-        expect_clusters = div_round_up(
-            max(cache_quota, 16 * cluster_size), cluster_size)
-        rt_clusters = geo.table_clusters_for(expect_clusters * 2)
-
-        # Fixed layout: [header][refcount table][L1 table].
-        rt_offset = header_clusters * cluster_size
-        l1_offset = rt_offset + rt_clusters * cluster_size
-        initial_size = l1_offset + l1_clusters * cluster_size
-
-        header.refcount_table_offset = rt_offset
-        header.refcount_table_clusters = rt_clusters
-        header.l1_table_offset = l1_offset
-
-        f = PositionalFile.create(path)
-        f.truncate(initial_size)  # sparse zeros for tables
-        f.pwrite(header.encode(), 0)
-
-        allocator = ClusterAllocator(
-            f, cluster_bits, initial_size, rt_offset, rt_clusters)
-        allocator._loaded = True  # brand-new file: nothing on disk yet
-        allocator.mark_allocated(0, header_clusters)
-        allocator.mark_allocated(rt_offset, rt_clusters)
-        allocator.mark_allocated(l1_offset, l1_clusters)
-
-        if backing_file is not None and open_backing:
-            if backing is None:
-                backing = cls._open_backing(backing_file, backing_format)
-            if backing.size < size:
-                pass  # legal: reads beyond the backing return zeros
-        elif backing is not None:
-            # Only peeked at for the size; the caller asked for no
-            # open backing on the returned image.
-            backing.close()
-            backing = None
-        img = cls(
-            path, f, header, allocator,
-            l1_table=[0] * l1_entries,
-            backing=backing,
-            read_only=False,
-        )
-        img.flush()
-        return img
 
     @classmethod
     def open(
@@ -221,7 +287,9 @@ class Qcow2Image(BlockDriver):
         *,
         read_only: bool = True,
         open_backing: bool = True,
+        sync: str | None = None,
     ) -> "Qcow2Image":
+        sync = _resolve_sync_mode(sync)
         header = cls.peek_header(path)
         if header.is_cache and read_only:
             # A cache needs write permission to keep warming itself; the
@@ -247,13 +315,30 @@ class Qcow2Image(BlockDriver):
             header.refcount_table_clusters,
         )
         backing = None
-        if header.backing_file is not None and open_backing:
-            backing_path = cls._resolve_backing_path(
-                path, header.backing_file)
-            backing = cls._open_backing(backing_path, header.backing_format)
-        img = cls(path, f, header, allocator, l1, backing, read_only)
+        try:
+            if header.backing_file is not None and open_backing:
+                backing_path = cls._resolve_backing_path(
+                    path, header.backing_file)
+                backing = cls._open_backing(
+                    backing_path, header.backing_format)
+            img = cls(path, f, header, allocator, l1, backing,
+                      read_only, sync=sync)
+        except BaseException:
+            if backing is not None:
+                backing.close()
+            f.close()
+            raise
         if read_only:
             img.cache_runtime.cor.disable("image opened read-only")
+        if header.is_dirty:
+            # The image was not cleanly closed: rebuild refcounts and
+            # the cache size from the (authoritative) L1/L2 metadata.
+            # A read-only open recovers in memory only, leaving the
+            # dirty bit on disk for the next writable open to clear.
+            from repro.imagefmt.recovery import recover_image
+
+            img.last_recovery = recover_image(
+                img, persist=not read_only)
         return img
 
     @staticmethod
@@ -347,6 +432,11 @@ class Qcow2Image(BlockDriver):
             or self._backing.supports_concurrent_reads)
 
     @property
+    def _barriers(self) -> bool:
+        """True when flushes must be ordered with fsync barriers."""
+        return self.sync_mode == C.SYNC_BARRIER and not self.read_only
+
+    @property
     def cor_enabled(self) -> bool:
         # Note cache_runtime (quota > 0), not the bare header extension:
         # "if the quota passed ... is not zero, it is assumed that the
@@ -376,6 +466,10 @@ class Qcow2Image(BlockDriver):
             raise CorruptImageError(
                 f"{self.path}: L2 table at {offset} beyond end of file")
         raw = self._f.pread(self.cluster_size, offset)
+        if len(raw) != self.cluster_size:
+            raise CorruptImageError(
+                f"{self.path}: L2 table at {offset} truncated "
+                f"({len(raw)} of {self.cluster_size} bytes)")
         table = list(struct.unpack(f">{self._split.l2_entries}Q", raw))
         self._l2_cache[l1_index] = table
         return table
@@ -560,6 +654,11 @@ class Qcow2Image(BlockDriver):
                 upcoming * self.cluster_size,
                 self.header.cluster_bits,
             )
+        # The dirty bit must be durable *before* the first mutation hits
+        # the file — a quota failure above mutates nothing, so marking
+        # here keeps clean-but-full caches clean on disk.
+        self._mark_dirty()
+        self._data_dirty = True
         pos = 0
         for vba, in_cluster, chunk, phys in sites:
             self._write_cluster(
@@ -659,19 +758,79 @@ class Qcow2Image(BlockDriver):
     # flush / close
     # ------------------------------------------------------------------
 
+    def _sync_file(self, *, data_only: bool = False) -> None:
+        """One fsync barrier, skipped entirely in ``sync="none"``."""
+        if not self._barriers:
+            return
+        if data_only:
+            self._f.datasync()
+        else:
+            self._f.fsync()
+        self.stats.fsync_ops += 1
+
+    def _mark_dirty(self) -> None:
+        """Durably set the dirty bit before the first mutation.
+
+        Idempotent per flush interval: once the bit is on disk nothing
+        more is written until a clean flush clears it again.
+        """
+        if self._dirty_on_disk or self.read_only:
+            return
+        self.header.incompatible_features |= C.FEATURE_DIRTY
+        self._rewrite_header()
+        self._sync_file()
+        self._dirty_on_disk = True
+
     def _flush_impl(self) -> None:
+        """Ordered metadata flush (DESIGN.md §9).
+
+        Stages, each behind an fsync barrier in ``barrier`` mode:
+
+        1. data clusters written since the last flush;
+        2. dirty L2 tables and the refcount blocks/table;
+        3. the L1 table;
+        4. the header (refcount table location, cache current size,
+           dirty bit cleared).
+
+        Each stage only references clusters the previous stages made
+        durable, so a crash between any two barriers leaves at worst
+        leaked clusters — never a pointer to unwritten data.
+        """
+        if self.read_only:
+            return
+        if not (self._l2_dirty or self._l1_dirty or self._alloc.pending
+                or self._data_dirty or self._dirty_on_disk):
+            return  # nothing written since the last flush
+
+        # Stage 1: data clusters.
+        if self._data_dirty:
+            self._sync_file(data_only=True)
+            self._data_dirty = False
+
+        # Stage 2: L2 tables + refcounts.
+        wrote_tables = bool(self._l2_dirty) or self._alloc.pending
         for l1_index in sorted(self._l2_dirty):
             offset = self._l1[l1_index] & C.L1E_OFFSET_MASK
-            assert offset, "dirty L2 table without an L1 pointer"
+            if not offset:
+                raise CorruptImageError(
+                    f"{self.path}: dirty L2 table #{l1_index} "
+                    f"without an L1 pointer")
             self._f.pwrite(struct.pack(
                 f">{self._split.l2_entries}Q",
                 *self._l2_cache[l1_index]), offset)
         self._l2_dirty.clear()
+        header_changed = self._alloc.flush_refcounts()
+        if wrote_tables:
+            self._sync_file(data_only=True)
+
+        # Stage 3: the L1 table.
         if self._l1_dirty:
             self._f.pwrite(struct.pack(f">{len(self._l1)}Q", *self._l1),
                            self.header.l1_table_offset)
             self._l1_dirty = False
-        header_changed = self._alloc.flush_refcounts()
+            self._sync_file(data_only=True)
+
+        # Stage 4: the header.
         if header_changed:
             self.header.refcount_table_offset = \
                 self._alloc.refcount_table_offset
@@ -680,11 +839,27 @@ class Qcow2Image(BlockDriver):
         if self.header.cache_ext is not None:
             self.header.cache_ext.current_size = self._alloc.physical_size
             header_changed = True
-        if header_changed and not self.read_only:
+        if self._dirty_on_disk:
+            self.header.incompatible_features &= ~C.FEATURE_DIRTY
+            header_changed = True
+        if header_changed:
             self._rewrite_header()
+            self._sync_file()
+            self._dirty_on_disk = False
+
+    def _header_capacity(self) -> int:
+        """Bytes available for the header area before other structures."""
+        candidates = [o for o in (self.header.refcount_table_offset,
+                                  self.header.l1_table_offset) if o > 0]
+        return min(candidates) if candidates else 1 << 62
 
     def _rewrite_header(self) -> None:
-        self._f.pwrite(self.header.encode(), 0)
+        blob = self.header.encode()
+        if len(blob) > self._header_capacity():
+            raise CorruptImageError(
+                f"{self.path}: header area overflow "
+                f"({len(blob)} bytes > {self._header_capacity()})")
+        self._f.pwrite(blob, 0)
 
     def _close_impl(self) -> None:
         if not self.read_only:
@@ -738,7 +913,12 @@ class Qcow2Image(BlockDriver):
             "backing_file": self.header.backing_file,
             "backing_format": self.header.backing_format,
             "is_cache": self.is_cache,
+            "sync_mode": self.sync_mode,
+            "dirty": self.header.is_dirty,
         }
+        if self.last_recovery is not None:
+            info["recovered"] = True
+            info["recovery"] = self.last_recovery.as_dict()
         if self.header.cache_ext is not None:
             info["cache_quota"] = self.header.cache_ext.quota
             info["cache_current_size"] = self.header.cache_ext.current_size
@@ -755,8 +935,18 @@ class Qcow2Image(BlockDriver):
             info["rmw_fill_bytes"] = self.stats.rmw_fill_bytes
         return info
 
-    def check(self) -> CheckReport:
-        """Verify metadata consistency against the stored refcounts."""
+    def check(self, *, repair: bool = False) -> CheckReport:
+        """Verify metadata consistency against the stored refcounts.
+
+        With ``repair=True`` (writable images only) every repairable
+        problem — leaked clusters, refcount drift, a stale or
+        over-quota cache size, torn table entries, the dirty bit — is
+        fixed by rebuilding derived metadata from the L1/L2 walk
+        (:func:`repro.imagefmt.recovery.recover_image`) and flushing.
+        """
+        if repair and self.read_only:
+            raise ReadOnlyImageError(
+                f"cannot repair {self.path}: image is opened read-only")
         report = CheckReport()
         expected: dict[int, int] = {}
 
@@ -788,7 +978,13 @@ class Qcow2Image(BlockDriver):
             if l2_offset == 0:
                 continue
             expect(l2_offset, 1, f"L2 table #{l1_index}")
-            table = self._load_l2(l1_index)
+            try:
+                table = self._load_l2(l1_index)
+            except CorruptImageError as exc:
+                # Keep checking the rest of the image rather than
+                # aborting at the first truncated/bad L2 table.
+                report.errors.append(f"L2 table #{l1_index}: {exc}")
+                continue
             assert table is not None
             for l2_index, l2e in enumerate(table):
                 data_offset = l2e & C.L2E_OFFSET_MASK
@@ -819,6 +1015,41 @@ class Qcow2Image(BlockDriver):
             if self._alloc.refcount(ci) == 0:
                 report.errors.append(
                     f"cluster {ci}: in use by metadata but refcount is 0")
+
+        if self.header.is_dirty:
+            report.errors.append(
+                "image is marked dirty (not cleanly closed)")
+        if self.header.cache_ext is not None:
+            ext = self.header.cache_ext
+            quota = ext.quota
+            # Only compare the stored size against the file while no
+            # unflushed state is pending — mid-session the header field
+            # legitimately lags the in-memory allocator.
+            pending = bool(self._l2_dirty or self._l1_dirty
+                           or self._alloc.pending or self._data_dirty)
+            if not pending and ext.current_size != self._alloc.physical_size:
+                report.errors.append(
+                    f"cache current_size {ext.current_size} != physical "
+                    f"size {self._alloc.physical_size} (stale)")
+            if quota and ext.current_size > quota:
+                report.errors.append(
+                    f"cache current_size {ext.current_size} exceeds "
+                    f"quota {quota}")
+
+        if repair and (report.errors or report.leaked_clusters):
+            from repro.imagefmt.recovery import recover_image
+
+            rec = recover_image(self, persist=True, reason="repair")
+            report.repairs.extend(rec.actions)
+            if report.leaked_clusters and not rec.actions:
+                # Leaks inside the file (not at the tail) are reclaimed
+                # by the refcount rebuild without a named action.
+                report.repairs.append(
+                    f"reclaimed {report.leaked_clusters} leaked "
+                    f"cluster(s) via refcount rebuild")
+            if not rec.actions and not report.repairs:
+                report.repairs.append("rebuilt refcounts and header")
+            self.last_recovery = rec
         return report
 
     def _refblock_clusters(self) -> set[int]:

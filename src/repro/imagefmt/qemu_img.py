@@ -92,18 +92,37 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    with Qcow2Image.open(args.path, read_only=True,
+    repair = getattr(args, "repair", False)
+    with Qcow2Image.open(args.path, read_only=not repair,
                          open_backing=False) as img:
-        report = img.check()
-    for err in report.errors:
-        print(f"ERROR: {err}")
-    if report.leaked_clusters:
-        print(f"{report.leaked_clusters} leaked clusters")
-    print(f"{report.allocated_clusters} clusters in use")
-    if report.ok:
-        print("No errors were found on the image.")
+        report = img.check(repair=repair)
+        # After a repair, re-check so the verdict reflects the image
+        # as it now is on disk, not as it was found.
+        post = img.check() if repair else report
+    if getattr(args, "json", False):
+        print(json.dumps({
+            "path": args.path,
+            "errors": report.errors,
+            "leaked_clusters": report.leaked_clusters,
+            "allocated_clusters": report.allocated_clusters,
+            "repairs": report.repairs,
+            "clean_after": post.ok and post.leaked_clusters == 0,
+        }, indent=2))
+    else:
+        for err in report.errors:
+            print(f"ERROR: {err}")
+        if report.leaked_clusters:
+            print(f"{report.leaked_clusters} leaked clusters")
+        for fix in report.repairs:
+            print(f"REPAIRED: {fix}")
+        print(f"{report.allocated_clusters} clusters in use")
+        if report.ok:
+            print("No errors were found on the image.")
+    if report.ok and not report.leaked_clusters:
         return 0
-    return 2
+    if repair and post.ok and post.leaked_clusters == 0:
+        return 0  # everything found was fixed
+    return 2 if not report.ok else 3
 
 
 def cmd_map(args: argparse.Namespace) -> int:
@@ -237,6 +256,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_info)
 
     p = sub.add_parser("check", help="check image consistency")
+    p.add_argument("--repair", action="store_true",
+                   help="repair repairable problems (opens read-write)")
+    p.add_argument("--json", action="store_true")
     p.add_argument("path")
     p.set_defaults(func=cmd_check)
 

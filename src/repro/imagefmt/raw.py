@@ -59,7 +59,9 @@ class RawImage(BlockDriver):
         self._f.pwrite(data, offset)
 
     def _flush_impl(self) -> None:
-        self._f.fsync()
+        if not self.read_only:
+            self._f.fsync()
+            self.stats.fsync_ops += 1
 
     def _close_impl(self) -> None:
         self._f.close()

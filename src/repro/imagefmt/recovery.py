@@ -1,0 +1,245 @@
+"""Crash recovery for QCOW2 cache images (DESIGN.md §9).
+
+An image whose header carries the dirty incompatible-feature bit was not
+cleanly closed: its refcount structure, cache current-size field, and
+trailing clusters cannot be trusted.  The L1/L2 metadata *can* be — the
+ordered flush writes data clusters before L2 tables, L2 tables before
+the L1 table, and the L1 table before the header, each behind an fsync
+barrier, so every table pointer that made it to disk refers to clusters
+that are already durable.
+
+Recovery therefore treats the L1/L2 walk as authoritative:
+
+1. drop L1/L2 entries that cannot be valid (unaligned, beyond end of
+   file, or carrying the compressed flag we never write) — these are
+   torn or partially-applied table writes;
+2. rebuild the full refcount map from the surviving metadata (header,
+   refcount table, L1, L2 tables, data clusters), keeping refcount
+   blocks the on-disk table still points at so the next flush reuses
+   them;
+3. truncate the allocated-but-unreferenced tail (clusters a crashed
+   write had appended but no table ever came to reference);
+4. recompute the cache's ``current_size`` as the physical file size,
+   so a recovered cache can never account more space than it holds.
+
+A writable open persists all of this and clears the dirty bit; a
+read-only open applies the same corrections in memory only, leaving the
+bit on disk for the next writable open.  ``check(repair=True)`` reuses
+the same rebuild for non-crash damage (leaked clusters, refcount
+drift, stale cache size).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass, field
+
+from repro.imagefmt import constants as C
+from repro.imagefmt.refcount import (
+    read_refcount_table,
+    write_refcount_table,
+)
+from repro.metrics.registry import get_registry
+from repro.metrics.tracing import TRACER
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery (or repair) pass found and did."""
+
+    path: str
+    persisted: bool
+    reason: str = "dirty-open"
+    dropped_l1_entries: int = 0
+    dropped_l2_entries: int = 0
+    dropped_refblocks: int = 0
+    rebuilt_refcounts: int = 0
+    truncated_bytes: int = 0
+    cache_size_before: int | None = None
+    cache_size_after: int | None = None
+    actions: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "persisted": self.persisted,
+            "reason": self.reason,
+            "dropped_l1_entries": self.dropped_l1_entries,
+            "dropped_l2_entries": self.dropped_l2_entries,
+            "dropped_refblocks": self.dropped_refblocks,
+            "rebuilt_refcounts": self.rebuilt_refcounts,
+            "truncated_bytes": self.truncated_bytes,
+            "cache_size_before": self.cache_size_before,
+            "cache_size_after": self.cache_size_after,
+            "actions": list(self.actions),
+        }
+
+
+def recover_image(img, *, persist: bool, reason: str = "dirty-open"):
+    """Rebuild a (possibly crash-damaged) image's derived metadata.
+
+    ``img`` is an open :class:`~repro.imagefmt.qcow2.Qcow2Image`; this
+    module is a friend of the driver and reaches into its internals.
+    With ``persist=True`` the corrections are flushed to disk (ordered,
+    clearing the dirty bit); with ``persist=False`` (read-only opens)
+    they live only in memory and nothing is written.
+    """
+    report = RecoveryReport(path=img.path, persisted=persist,
+                            reason=reason)
+    if persist:
+        # A crash mid-recovery must itself be recoverable: make sure
+        # the dirty bit is durably set before any on-disk mutation
+        # below (no-op when the image is already marked dirty).
+        img._mark_dirty()
+    f = img._f
+    cluster_size = img.cluster_size
+    file_size = f.size()
+    split = img._split
+
+    def valid_cluster(offset: int) -> bool:
+        return (offset % cluster_size == 0
+                and 0 < offset
+                and offset + cluster_size <= file_size)
+
+    # The rebuilt refcount map: cluster index -> count.  Fixed metadata
+    # first; its placement comes from the header, which is only ever
+    # rewritten in place (never moved), so it survives any crash.
+    counts: dict[int, int] = {}
+
+    def claim(offset: int, n_clusters: int) -> None:
+        first = offset // cluster_size
+        for ci in range(first, first + n_clusters):
+            counts[ci] = counts.get(ci, 0) + 1
+
+    header_clusters = -(-img.header.encoded_size() // cluster_size)
+    claim(0, header_clusters)
+    claim(img.header.refcount_table_offset,
+          img.header.refcount_table_clusters)
+    l1_clusters = -(-max(1, img.header.l1_size) * 8 // cluster_size)
+    claim(img.header.l1_table_offset, l1_clusters)
+
+    # Pass 1: the L1/L2 walk.  Entries that cannot be valid are torn
+    # table writes from the crash; drop them (the data they would have
+    # mapped was never reachable, so dropping loses nothing durable).
+    for l1_index in range(len(img._l1)):
+        l2_offset = img._l1[l1_index] & C.L1E_OFFSET_MASK
+        if l2_offset == 0:
+            continue
+        if not valid_cluster(l2_offset):
+            img._l1[l1_index] = 0
+            img._l1_dirty = True
+            img._l2_cache.pop(l1_index, None)
+            img._l2_dirty.discard(l1_index)
+            report.dropped_l1_entries += 1
+            report.actions.append(
+                f"dropped L1[{l1_index}]: invalid L2 offset {l2_offset}")
+            continue
+        claim(l2_offset, 1)
+        raw = f.pread(cluster_size, l2_offset)
+        if len(raw) < cluster_size:  # can't happen after valid_cluster
+            raw += b"\0" * (cluster_size - len(raw))
+        table = list(struct.unpack(f">{split.l2_entries}Q", raw))
+        changed = False
+        for l2_index, entry in enumerate(table):
+            if entry == 0:
+                continue
+            data_offset = entry & C.L2E_OFFSET_MASK
+            bad = (entry & C.OFLAG_COMPRESSED) \
+                or not valid_cluster(data_offset)
+            if bad:
+                table[l2_index] = 0
+                changed = True
+                report.dropped_l2_entries += 1
+                report.actions.append(
+                    f"dropped L2 entry [{l1_index}][{l2_index}]: "
+                    f"invalid mapping 0x{entry:x}")
+            else:
+                claim(data_offset, 1)
+        img._l2_cache[l1_index] = table
+        if changed and persist:
+            img._l2_dirty.add(l1_index)
+
+    # Pass 2: sanitize the on-disk refcount table.  Entries that are
+    # torn (unaligned, beyond EOF) or cross-linked into clusters the
+    # metadata walk claims must be zeroed — the next flush would
+    # otherwise write a refcount block straight over live data.  Valid
+    # refcount blocks stay claimed so the flush reuses them in place.
+    table = read_refcount_table(
+        f, img.header.refcount_table_offset,
+        img.header.refcount_table_clusters, cluster_size)
+    table_changed = False
+    for ti, block_offset in enumerate(table):
+        if block_offset == 0:
+            continue
+        ci = block_offset // cluster_size
+        if not valid_cluster(block_offset) or counts.get(ci, 0) > 0:
+            table[ti] = 0
+            table_changed = True
+            report.dropped_refblocks += 1
+            report.actions.append(
+                f"dropped refcount block #{ti}: "
+                f"invalid or cross-linked offset {block_offset}")
+        else:
+            counts[ci] = 1
+    if table_changed and persist:
+        write_refcount_table(
+            f, img.header.refcount_table_offset, table,
+            img.header.refcount_table_clusters, cluster_size)
+
+    # Pass 3: the rebuilt map replaces whatever the (untrusted) on-disk
+    # refcounts said, and the unreferenced tail is cut off.
+    report.rebuilt_refcounts = len(counts)
+    img._alloc.physical_size = file_size
+    img._alloc.replace_refcounts(counts)
+    referenced_clusters = max(counts) + 1 if counts else 0
+    tail = file_size - referenced_clusters * cluster_size
+    if tail > 0:
+        report.truncated_bytes = tail
+        report.actions.append(
+            f"truncated {tail} unreferenced trailing bytes")
+        if persist:
+            img._alloc.truncate_to_clusters(referenced_clusters)
+        else:
+            # Read-only: cannot ftruncate; account the tail as gone so
+            # the recomputed cache size matches what repair would give.
+            img._alloc.physical_size = \
+                referenced_clusters * cluster_size
+
+    # Pass 4: the cache's current size is, by definition, the physical
+    # size of the file (§4.3); recompute rather than trust the header.
+    if img.header.cache_ext is not None:
+        report.cache_size_before = img.header.cache_ext.current_size
+        img.header.cache_ext.current_size = img._alloc.physical_size
+        report.cache_size_after = img._alloc.physical_size
+        if report.cache_size_before != report.cache_size_after:
+            report.actions.append(
+                f"cache current_size {report.cache_size_before} -> "
+                f"{report.cache_size_after}")
+
+    if persist:
+        # The ordered flush persists the rebuilt refcounts, rewritten
+        # tables, recomputed cache size — and clears the dirty bit last.
+        img.flush()
+    else:
+        # In-memory only: nothing pending, nothing to write.
+        img._alloc._dirty = False
+        img._l1_dirty = False
+        img._l2_dirty.clear()
+
+    get_registry().counter(
+        "image_recoveries_total",
+        image=os.path.basename(img.path),
+        persisted=str(persist).lower()).inc()
+    if report.dropped_l1_entries or report.dropped_l2_entries:
+        get_registry().counter(
+            "image_recovery_dropped_entries_total",
+            image=os.path.basename(img.path)).inc(
+                report.dropped_l1_entries + report.dropped_l2_entries)
+    if TRACER.enabled:
+        TRACER.event("image.recovery", path=img.path, reason=reason,
+                     persisted=persist,
+                     dropped_l1=report.dropped_l1_entries,
+                     dropped_l2=report.dropped_l2_entries,
+                     truncated_bytes=report.truncated_bytes)
+    return report

@@ -83,6 +83,27 @@ def write_refcount_table(
     f.pwrite(struct.pack(f">{total_entries}Q", *padded), offset)
 
 
+def refblock_offsets(
+    f: PositionalFile, table_offset: int, table_clusters: int,
+    cluster_size: int, *, file_size: int | None = None,
+) -> set[int]:
+    """Byte offsets of all refcount blocks the on-disk table points at.
+
+    Offsets that are unaligned or (when ``file_size`` is given) beyond
+    the end of the file are skipped — after a crash the table may be
+    partially written, and recovery must not trust such entries.
+    """
+    out: set[int] = set()
+    for offset in read_refcount_table(
+            f, table_offset, table_clusters, cluster_size):
+        if offset == 0 or offset % cluster_size:
+            continue
+        if file_size is not None and offset + cluster_size > file_size:
+            continue
+        out.add(offset)
+    return out
+
+
 def read_refcount_block(
     f: PositionalFile, offset: int, cluster_size: int
 ) -> list[int]:

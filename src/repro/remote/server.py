@@ -120,6 +120,7 @@ class _Export:
     stats: ExportStats = field(default_factory=ExportStats)
     inflight: int = 0  # guarded by stats_lock
     collector: object | None = None  # registry handle, removed on close
+    owned: bool = False  # server opened the driver and closes it too
 
 
 def _register_export_collector(name: str, export: _Export):
@@ -223,6 +224,46 @@ class BlockServer:
         export = _Export(driver, writable, parallel)
         export.collector = _register_export_collector(name, export)
         self._exports[name] = export
+
+    def add_export_path(self, name: str, path: str, *,
+                        writable: bool = False,
+                        verify: bool = True) -> BlockDriver:
+        """Open an image file and export it, owning the driver.
+
+        This is the crash-safe way to (re)export images after a node
+        restart: the open runs dirty-bit recovery automatically
+        (DESIGN.md §9), and with ``verify=True`` a qcow2 image is
+        additionally ``check()``-ed — an export that would serve
+        corrupt metadata is refused with
+        :class:`~repro.errors.CorruptImageError` instead of quietly
+        going live.  Unlike :meth:`add_export`, the server closes the
+        driver on :meth:`close`.  Returns the opened driver.
+        """
+        from repro.errors import CorruptImageError
+        from repro.imagefmt.chain import open_chain
+        from repro.imagefmt.qcow2 import Qcow2Image
+
+        driver = open_chain(path, read_only=not writable)
+        try:
+            if verify and isinstance(driver, Qcow2Image):
+                report = driver.check()
+                errors = report.errors
+                if driver.last_recovery is not None:
+                    # A read-only open recovers in memory but cannot
+                    # clear the on-disk dirty bit; the recovered state
+                    # is safe to serve, so don't refuse over the bit.
+                    errors = [e for e in errors
+                              if "marked dirty" not in e]
+                if errors:
+                    raise CorruptImageError(
+                        f"refusing to export {path}: "
+                        f"{'; '.join(errors[:3])}")
+            self.add_export(name, driver, writable=writable)
+        except BaseException:
+            driver.close()
+            raise
+        self._exports[name].owned = True
+        return driver
 
     def export_stats(self, name: str) -> ExportStats:
         return self._exports[name].stats
@@ -529,6 +570,12 @@ class BlockServer:
                 pass
         for t in workers:
             t.join(timeout=1.0)
+        # Drivers the server opened itself (add_export_path) are closed
+        # last, after every serving thread is gone — their close() is a
+        # flush, and flushing under a live dispatcher would race.
+        for export in self._exports.values():
+            if export.owned:
+                export.driver.close()
 
     def __enter__(self) -> "BlockServer":
         return self

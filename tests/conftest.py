@@ -29,6 +29,10 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "smoke: quick-scale benchmark run wired into the tier-1 suite")
+    config.addinivalue_line(
+        "markers",
+        "crashmatrix: exhaustive kill-point sweep; skipped unless "
+        "REPRO_CRASH_MATRIX=1 (a strided smoke subset always runs)")
 
 
 @pytest.fixture(autouse=True)

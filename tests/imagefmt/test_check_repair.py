@@ -1,0 +1,233 @@
+"""check(repair=True) against a corpus of hand-corrupted images.
+
+Each test damages a real image file in one targeted way, then asserts
+the full repair contract:
+
+1. ``check()`` *detects* the damage (reports errors or leaks);
+2. ``check(repair=True)`` fixes it;
+3. a fresh ``check()`` on the repaired image is clean;
+4. for recoverable damage, the repaired image still reads correctly.
+
+Plus the recovery-on-open round trip: an image left dirty by a crash
+recovers automatically at open time, with the same end state repair
+would produce.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.errors import ReadOnlyImageError
+from repro.imagefmt import constants as C
+from repro.imagefmt.header import QCowHeader
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.units import KiB, MiB
+
+from tests.conftest import make_patterned_base, pattern
+
+CLUSTER = 512
+QUOTA = 1 * MiB
+
+
+def patch_file(path, offset, data):
+    with open(path, "r+b") as f:
+        f.seek(offset)
+        f.write(data)
+
+
+@pytest.fixture
+def warm_cache(tmp_path):
+    """A cleanly closed cache with 32 KiB of CoR-populated content."""
+    base = make_patterned_base(tmp_path / "base.raw", size=128 * KiB)
+    p = str(tmp_path / "cache.qcow2")
+    Qcow2Image.create(p, backing_file=base, cluster_size=CLUSTER,
+                      cache_quota=QUOTA).close()
+    with Qcow2Image.open(p, read_only=False) as img:
+        img.read(0, 32 * KiB)
+    return p
+
+
+def first_l2_info(path):
+    """(l2_table_offset, first_data_cluster_offset) of an image."""
+    with Qcow2Image.open(path, open_backing=False) as img:
+        l1e = next(e for e in img._l1 if e)
+        l2_off = l1e & C.L1E_OFFSET_MASK
+        table = img._load_l2(img._l1.index(l1e))
+        data_off = next(e & C.L2E_OFFSET_MASK for e in table if e)
+    return l2_off, data_off
+
+
+def assert_detect_repair_verify(path, *, expect_error: str | None = None,
+                                expect_leaks: bool = False,
+                                readable: bool = True):
+    """The shared detect → repair → re-check-clean sequence."""
+    with Qcow2Image.open(path, read_only=False, open_backing=False) as img:
+        found = img.check()
+        if expect_error is not None:
+            assert any(expect_error in e for e in found.errors), \
+                (expect_error, found.errors)
+        if expect_leaks:
+            assert found.leaked_clusters > 0
+        assert not found.ok or found.leaked_clusters > 0
+
+        repaired = img.check(repair=True)
+        assert repaired.repairs, "repair must report what it did"
+
+        post = img.check()
+        assert post.ok, post.errors
+        assert post.leaked_clusters == 0
+    # Clean when reopened from disk too, and readable through the chain.
+    with Qcow2Image.open(path, read_only=False) as img:
+        post = img.check()
+        assert post.ok and post.leaked_clusters == 0, post.errors
+        if readable:
+            assert img.read(0, 32 * KiB) == pattern(0, 32 * KiB)
+
+
+class TestCorruptionCorpus:
+    def test_refcount_undercount(self, warm_cache):
+        """A data cluster whose refcount was zeroed: metadata references
+        it but the refcounts deny it."""
+        _l2_off, data_off = first_l2_info(warm_cache)
+        with Qcow2Image.open(warm_cache, read_only=False,
+                             open_backing=False) as img:
+            img._alloc.set_refcount(data_off // CLUSTER, 0)
+            img._alloc.flush_refcounts()
+            # Bypass check-aware close paths: write refcounts only.
+            img._f.fsync()
+            img.closed = True
+            img._f.close()
+        assert_detect_repair_verify(
+            warm_cache, expect_error="refcount is 0")
+
+    def test_refcount_overcount_leak(self, warm_cache):
+        """Clusters with refcounts but no referencing metadata: leaks."""
+        with Qcow2Image.open(warm_cache, read_only=False,
+                             open_backing=False) as img:
+            end = img._alloc.physical_clusters
+            for ci in (end, end + 1, end + 2):
+                img._alloc.set_refcount(ci, 1)
+            img._alloc.physical_size += 3 * CLUSTER
+            img._f.truncate(img._alloc.physical_size)
+            img._alloc.flush_refcounts()
+            img._f.fsync()
+            img.closed = True
+            img._f.close()
+        assert_detect_repair_verify(warm_cache, expect_leaks=True)
+
+    def test_stale_cache_size(self, warm_cache):
+        """The header's current_size disagrees with the physical size."""
+        header = Qcow2Image.peek_header(warm_cache)
+        ext = header.cache_ext
+        ext.current_size = ext.current_size + 7 * CLUSTER
+        patch_file(warm_cache, 0, header.encode())
+        assert_detect_repair_verify(warm_cache, expect_error="stale")
+
+    def test_cache_size_over_quota(self, warm_cache):
+        header = Qcow2Image.peek_header(warm_cache)
+        header.cache_ext.current_size = QUOTA + CLUSTER
+        patch_file(warm_cache, 0, header.encode())
+        assert_detect_repair_verify(warm_cache,
+                                    expect_error="exceeds quota")
+
+    def test_cross_linked_clusters(self, warm_cache):
+        """Two L2 entries pointing at the same physical cluster."""
+        l2_off, data_off = first_l2_info(warm_cache)
+        # Point entry #1 at entry #0's cluster (both COPIED-flagged).
+        entry = struct.pack(">Q", data_off | C.OFLAG_COPIED)
+        patch_file(warm_cache, l2_off + 8, entry)
+        assert_detect_repair_verify(
+            warm_cache, expect_error="referenced 2 times",
+            readable=False)  # repair keeps one mapping; bytes differ
+
+    def test_truncated_l2_table(self, warm_cache):
+        """The file ends in the middle of where an L2 table should be."""
+        l2_off, _ = first_l2_info(warm_cache)
+        import os
+        size = os.path.getsize(warm_cache)
+        assert l2_off < size
+        with open(warm_cache, "r+b") as f:
+            f.truncate(l2_off + CLUSTER // 2)
+        with Qcow2Image.open(warm_cache, read_only=False,
+                             open_backing=False) as img:
+            found = img.check()
+            assert not found.ok
+            img.check(repair=True)
+            post = img.check()
+            assert post.ok, post.errors
+        # The truncated table's mappings are gone; the data must come
+        # from the backing chain again, byte-identical.
+        with Qcow2Image.open(warm_cache, read_only=False) as img:
+            assert img.read(0, 32 * KiB) == pattern(0, 32 * KiB)
+
+    def test_repair_requires_writable(self, warm_cache):
+        with Qcow2Image.open(warm_cache, read_only=True,
+                             open_backing=False) as img:
+            with pytest.raises(ReadOnlyImageError):
+                img.check(repair=True)
+
+    def test_clean_image_repair_is_noop(self, warm_cache):
+        with Qcow2Image.open(warm_cache, read_only=False,
+                             open_backing=False) as img:
+            report = img.check(repair=True)
+            assert report.ok
+            assert report.repairs == []
+
+
+class TestRecoveryRoundTrip:
+    def _make_dirty(self, warm_cache) -> None:
+        """Set the dirty bit as a crash would have left it."""
+        header = Qcow2Image.peek_header(warm_cache)
+        header.incompatible_features |= C.FEATURE_DIRTY
+        patch_file(warm_cache, 0, header.encode())
+
+    def test_writable_open_recovers_and_persists(self, warm_cache):
+        self._make_dirty(warm_cache)
+        assert Qcow2Image.peek_header(warm_cache).is_dirty
+        with Qcow2Image.open(warm_cache, read_only=False) as img:
+            assert img.last_recovery is not None
+            assert img.last_recovery.persisted
+            assert img.check().ok
+            assert img.read(0, 32 * KiB) == pattern(0, 32 * KiB)
+        # The recovery was durable: clean header, clean image.
+        assert not Qcow2Image.peek_header(warm_cache).is_dirty
+        with Qcow2Image.open(warm_cache) as img:
+            assert img.last_recovery is None
+
+    def test_read_only_open_recovers_in_memory_only(self, warm_cache):
+        self._make_dirty(warm_cache)
+        with Qcow2Image.open(warm_cache, read_only=True) as img:
+            assert img.last_recovery is not None
+            assert not img.last_recovery.persisted
+            assert img.read(0, 32 * KiB) == pattern(0, 32 * KiB)
+        # Nothing persisted: the bit survives for a writable open.
+        assert Qcow2Image.peek_header(warm_cache).is_dirty
+
+    def test_recovery_equals_repair(self, tmp_path, warm_cache):
+        """Open-recovery and check(repair=True) reach the same state."""
+        import shutil
+
+        self._make_dirty(warm_cache)
+        twin = str(tmp_path / "twin.qcow2")
+        shutil.copyfile(warm_cache, twin)
+
+        with Qcow2Image.open(warm_cache, read_only=False,
+                             open_backing=False):
+            pass  # recovery-on-open
+        with Qcow2Image.open(twin, read_only=False,
+                             open_backing=False) as img:
+            img.check(repair=True)
+
+        a = Qcow2Image.peek_header(warm_cache)
+        b = Qcow2Image.peek_header(twin)
+        assert not a.is_dirty and not b.is_dirty
+        assert a.cache_ext.current_size == b.cache_ext.current_size
+
+    def test_info_reports_recovery(self, warm_cache):
+        self._make_dirty(warm_cache)
+        with Qcow2Image.open(warm_cache, read_only=False) as img:
+            info = img.image_info()
+            assert info["recovered"] is True
+            assert info["recovery"]["reason"] == "dirty-open"

@@ -1,0 +1,207 @@
+"""Kill-point crash matrix: every crash must recover to a clean image.
+
+The harness counts the pwrites/fsyncs of an un-killed scenario run,
+then replays the scenario against a fresh image with a kill point armed
+at each position, simulates the crash (unsynced writes lost, reordered
+or torn — see :mod:`repro.imagefmt.faultio`), reopens, and asserts the
+recovery invariants:
+
+* the image opens and recovers automatically (no manual repair step);
+* ``check()`` is clean afterwards;
+* every read through the chain is byte-identical to the base content
+  (the scenarios only ever store base-identical bytes, so the answer
+  does not depend on which unsynced writes survived);
+* a cache's recorded current size never exceeds its quota.
+
+Tier-1 runs a strided subset of kill points with the cheap crash modes;
+the exhaustive sweep (every kill point x every mode x torn variants) is
+opt-in: ``REPRO_CRASH_MATRIX=1 pytest -m crashmatrix``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.imagefmt import faultio
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.units import KiB, MiB
+
+from tests.conftest import make_patterned_base, pattern
+
+CLUSTER = 512
+QUOTA = 1 * MiB
+BASE_SIZE = 256 * KiB
+IO_SPAN = 16 * KiB  # bytes each scenario touches
+
+FULL_SWEEP = os.environ.get("REPRO_CRASH_MATRIX") == "1"
+
+
+# -- scenarios -------------------------------------------------------------
+# Each writes only base-identical bytes, so the post-recovery oracle is
+# simply "reads match the base pattern" regardless of what survived.
+
+def scenario_cor_fill(img) -> None:
+    """Cold reads populate the cache via copy-on-read, then flush."""
+    img.read(0, IO_SPAN)
+    img.flush()
+
+
+def scenario_alloc_writes(img) -> None:
+    """Allocating writes (cache warming path), partial and full
+    clusters, then flush."""
+    img.write(0, pattern(0, IO_SPAN))
+    img.write(IO_SPAN + 100, pattern(IO_SPAN + 100, 3 * CLUSTER))
+    img.flush()
+
+
+def scenario_two_flushes(img) -> None:
+    """Mutations spanning two flush intervals (dirty bit set, cleared,
+    set again)."""
+    img.read(0, 4 * KiB)
+    img.flush()
+    img.write(8 * KiB, pattern(8 * KiB, 4 * KiB))
+    img.flush()
+
+
+SCENARIOS = {
+    "cor-fill": scenario_cor_fill,
+    "alloc-writes": scenario_alloc_writes,
+    "two-flushes": scenario_two_flushes,
+}
+
+
+@pytest.fixture(scope="module")
+def crash_base(tmp_path_factory):
+    path = tmp_path_factory.mktemp("crash") / "base.raw"
+    return make_patterned_base(path, size=BASE_SIZE)
+
+
+def make_cache(tmp_path, crash_base, tag: str) -> str:
+    path = str(tmp_path / f"cache-{tag}.qcow2")
+    Qcow2Image.create(path, backing_file=crash_base,
+                      cluster_size=CLUSTER, cache_quota=QUOTA,
+                      sync="barrier").close()
+    return path
+
+
+def run_killed(cache_path: str, scenario, *, mode: str = "drop-all",
+               seed: int = 0, torn: bool = False, **kill) -> None:
+    """Run ``scenario`` until the armed kill point fires, then apply
+    the crash model and drop the image without flushing."""
+    img = Qcow2Image.open(cache_path, read_only=False, sync="barrier")
+    shim = faultio.arm(img, **kill)
+    with pytest.raises(faultio.CrashPoint):
+        scenario(img)
+    shim.crash(mode, seed=seed, torn=torn)
+    faultio.abandon(img)
+
+
+def assert_recovers(cache_path: str, context: str) -> None:
+    """The post-crash invariants, checked on a fresh open."""
+    with Qcow2Image.open(cache_path, read_only=False) as img:
+        report = img.check()
+        assert report.ok, (context, report.errors[:3])
+        got = img.read(0, BASE_SIZE)
+        assert got == pattern(0, BASE_SIZE), (context, "data mismatch")
+        assert img.physical_size <= QUOTA, context
+        ext = img.header.cache_ext
+        assert ext.current_size <= QUOTA, context
+    # And the image it left behind is clean for the next open too.
+    assert not Qcow2Image.peek_header(cache_path).is_dirty, context
+
+
+def sweep_points(total: int) -> list[int]:
+    """Kill points to test: all of them in the full sweep, a strided
+    sample (ends always included) in the tier-1 smoke run."""
+    if total <= 0:
+        return []
+    if FULL_SWEEP:
+        return list(range(1, total + 1))
+    stride = max(1, total // 6)
+    points = sorted({1, 2, total - 1, total,
+                     *range(1, total + 1, stride)})
+    return [p for p in points if 1 <= p <= total]
+
+
+class TestCrashMatrixSmoke:
+    """Tier-1: strided kill points, cheap modes — always runs."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_write_kill_points(self, tmp_path, crash_base, name):
+        scenario = SCENARIOS[name]
+        writes, _syncs = faultio.count_ops(
+            scenario,
+            lambda: Qcow2Image.open(
+                make_cache(tmp_path, crash_base, f"{name}-dry"),
+                read_only=False, sync="barrier"))
+        assert writes > 0
+        for k in sweep_points(writes):
+            for mode in ("drop-all", "keep-last"):
+                tag = f"{name}-w{k}-{mode}"
+                path = make_cache(tmp_path, crash_base, tag)
+                run_killed(path, scenario, mode=mode,
+                           kill_after_writes=k)
+                assert_recovers(path, tag)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_sync_kill_points_with_torn_writes(self, tmp_path,
+                                               crash_base, name):
+        scenario = SCENARIOS[name]
+        _writes, syncs = faultio.count_ops(
+            scenario,
+            lambda: Qcow2Image.open(
+                make_cache(tmp_path, crash_base, f"{name}-sdry"),
+                read_only=False, sync="barrier"))
+        assert syncs > 0  # barrier mode must be issuing barriers
+        for s in range(1, syncs + 1):
+            tag = f"{name}-s{s}"
+            path = make_cache(tmp_path, crash_base, tag)
+            run_killed(path, scenario, mode="keep-last", torn=True,
+                       kill_on_sync=s)
+            assert_recovers(path, tag)
+
+    def test_crash_before_any_sync_leaves_base_intact(self, tmp_path,
+                                                      crash_base):
+        """Kill at the very first write: recovery must yield an image
+        indistinguishable from a never-used cache."""
+        path = make_cache(tmp_path, crash_base, "first")
+        run_killed(path, scenario_cor_fill, mode="drop-all",
+                   kill_after_writes=1)
+        assert_recovers(path, "first-write")
+
+
+@pytest.mark.crashmatrix
+@pytest.mark.skipif(not FULL_SWEEP,
+                    reason="set REPRO_CRASH_MATRIX=1 for the full sweep")
+class TestCrashMatrixFull:
+    """Exhaustive: every kill point x every crash mode x torn/seeded."""
+
+    @pytest.mark.timeout(600)
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_exhaustive(self, tmp_path, crash_base, name):
+        scenario = SCENARIOS[name]
+        writes, syncs = faultio.count_ops(
+            scenario,
+            lambda: Qcow2Image.open(
+                make_cache(tmp_path, crash_base, f"{name}-dry"),
+                read_only=False, sync="barrier"))
+        for k in range(1, writes + 1):
+            for mode in faultio.CRASH_MODES:
+                for torn in (False, True):
+                    seeds = (0, 1) if mode == "subset" else (0,)
+                    for seed in seeds:
+                        tag = f"{name}-w{k}-{mode}-t{torn}-{seed}"
+                        path = make_cache(tmp_path, crash_base, tag)
+                        run_killed(path, scenario, mode=mode,
+                                   seed=seed, torn=torn,
+                                   kill_after_writes=k)
+                        assert_recovers(path, tag)
+        for s in range(1, syncs + 1):
+            for mode in faultio.CRASH_MODES:
+                tag = f"{name}-s{s}-{mode}"
+                path = make_cache(tmp_path, crash_base, tag)
+                run_killed(path, scenario, mode=mode, seed=s,
+                           torn=True, kill_on_sync=s)
+                assert_recovers(path, tag)

@@ -1,0 +1,171 @@
+"""tools/img_check.py: the fsck CLI over real image files.
+
+Runs the tool as a subprocess (exactly as an operator would) and
+asserts the exit-code contract: 0 clean, 1 unopenable, 2 corruption,
+3 leaks — and that ``--repair`` turns a 2 into a later 0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import subprocess
+import sys
+
+import pytest
+
+from repro.imagefmt import constants as C
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.imagefmt.raw import RawImage
+from repro.units import KiB, MiB
+
+from tests.conftest import make_patterned_base, pattern
+
+ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+TOOL = os.path.join(ROOT, "tools", "img_check.py")
+
+
+def run_tool(*args: str) -> tuple[int, str]:
+    proc = subprocess.run(
+        [sys.executable, TOOL, *args],
+        capture_output=True, text=True, timeout=60)
+    return proc.returncode, proc.stdout
+
+
+@pytest.fixture
+def clean_image(tmp_path):
+    p = str(tmp_path / "clean.qcow2")
+    with Qcow2Image.create(p, 1 * MiB) as img:
+        img.write(0, pattern(0, 16 * KiB))
+    return p
+
+
+class TestImgCheckTool:
+    def test_clean_qcow2_exits_zero(self, clean_image):
+        code, out = run_tool(clean_image)
+        assert code == 0, out
+        assert "clean" in out
+
+    def test_raw_image_handled(self, tmp_path):
+        p = str(tmp_path / "base.raw")
+        RawImage.create(p, 64 * KiB).close()
+        code, out = run_tool(p)
+        assert code == 0, out
+        assert "clean (raw)" in out
+
+    def test_many_images_one_run(self, tmp_path, clean_image):
+        raw = str(tmp_path / "b.raw")
+        RawImage.create(raw, 64 * KiB).close()
+        code, out = run_tool(clean_image, raw)
+        assert code == 0
+        assert out.count(": clean (") == 2
+
+    def test_unopenable_exits_one(self, tmp_path):
+        p = str(tmp_path / "gone.qcow2")
+        code, out = run_tool(p)
+        assert code == 1
+        assert "OPEN FAILED" in out
+
+    def test_dirty_image_exits_two_then_repair(self, tmp_path):
+        base = make_patterned_base(tmp_path / "b.raw", size=64 * KiB)
+        p = str(tmp_path / "cache.qcow2")
+        Qcow2Image.create(p, backing_file=base, cluster_size=512,
+                          cache_quota=MiB).close()
+        with Qcow2Image.open(p, read_only=False) as img:
+            img.read(0, 8 * KiB)
+        header = Qcow2Image.peek_header(p)
+        header.incompatible_features |= C.FEATURE_DIRTY
+        with open(p, "r+b") as f:
+            f.write(header.encode())
+
+        code, out = run_tool(p)
+        assert code == 2
+        assert "dirty" in out
+
+        code, out = run_tool("--repair", p)
+        assert code == 0, out
+
+        code, _ = run_tool(p)
+        assert code == 0
+
+    def test_corrupt_refcount_detect_and_repair_json(self, clean_image):
+        with Qcow2Image.open(clean_image, read_only=False,
+                             open_backing=False) as img:
+            data_off = next(
+                e & C.L2E_OFFSET_MASK
+                for e in img._load_l2(0) if e)
+            img._alloc.set_refcount(
+                data_off // img.cluster_size, 0)
+            img._alloc.flush_refcounts()
+            img.closed = True
+            img._f.close()
+
+        code, out = run_tool("--json", clean_image)
+        assert code == 2
+        doc = json.loads(out)
+        assert doc["clean"] is False
+        assert doc["images"][0]["errors"]
+
+        code, out = run_tool("--json", "--repair", clean_image)
+        assert code == 0, out
+        doc = json.loads(out)
+        assert doc["clean"] is True
+        assert doc["images"][0]["repairs"]
+
+    def test_stale_cache_size_detected(self, tmp_path):
+        base = make_patterned_base(tmp_path / "b.raw", size=64 * KiB)
+        p = str(tmp_path / "cache.qcow2")
+        Qcow2Image.create(p, backing_file=base, cluster_size=512,
+                          cache_quota=MiB).close()
+        header = Qcow2Image.peek_header(p)
+        header.cache_ext.current_size += 512
+        with open(p, "r+b") as f:
+            f.write(header.encode())
+        code, out = run_tool(p)
+        assert code == 2
+        assert "stale" in out
+        code, _ = run_tool("--repair", p)
+        assert code == 0
+
+
+class TestRepairViaReproImg:
+    """The same knobs through the ``repro-img check`` subcommand."""
+
+    def run_cli(self, capsys, *argv):
+        from repro.imagefmt.qemu_img import main
+
+        code = main(list(argv))
+        out = capsys.readouterr().out
+        return code, out
+
+    def test_check_json(self, clean_image, capsys):
+        code, out = self.run_cli(capsys, "check", "--json", clean_image)
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["errors"] == []
+        assert doc["clean_after"] is True
+
+    def test_check_repair(self, clean_image, capsys):
+        # Cross-link two L2 entries, then repair through the CLI.
+        with Qcow2Image.open(clean_image, read_only=False,
+                             open_backing=False) as img:
+            l2_off = img._l1[0] & C.L1E_OFFSET_MASK
+            data_off = next(
+                e & C.L2E_OFFSET_MASK for e in img._load_l2(0) if e)
+        with open(clean_image, "r+b") as f:
+            f.seek(l2_off + 8)
+            f.write(struct.pack(">Q", data_off | C.OFLAG_COPIED))
+
+        code, out = self.run_cli(capsys, "check", clean_image)
+        assert code == 2
+        assert "ERROR" in out
+
+        code, out = self.run_cli(
+            capsys, "check", "--repair", clean_image)
+        assert code == 0
+        assert "REPAIRED" in out
+
+        code, _ = self.run_cli(capsys, "check", clean_image)
+        assert code == 0

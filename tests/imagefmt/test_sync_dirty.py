@@ -1,0 +1,197 @@
+"""Sync modes, the dirty-bit lifecycle, and atomic image creation.
+
+The crash-consistency knobs (DESIGN.md §9): ``sync="barrier"`` is the
+default and issues ordered fsyncs; ``sync="none"`` restores the
+paper-prototype behaviour for benchmarks; the dirty bit brackets every
+interval of unflushed mutation; ``create`` builds in a temp file and
+renames, so a failed create never leaves (or destroys) anything.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro.errors import BackingChainError, CorruptImageError
+from repro.imagefmt import constants as C
+from repro.imagefmt.qcow2 import Qcow2Image, _resolve_sync_mode
+from repro.units import KiB, MiB
+
+from tests.conftest import make_patterned_base, pattern
+
+
+class TestSyncModes:
+    def test_default_is_barrier(self, tmp_path):
+        p = str(tmp_path / "a.qcow2")
+        with Qcow2Image.create(p, 1 * MiB) as img:
+            assert img.sync_mode == C.SYNC_BARRIER
+            assert img.image_info()["sync_mode"] == "barrier"
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_IMG_SYNC", "none")
+        p = str(tmp_path / "a.qcow2")
+        with Qcow2Image.create(p, 1 * MiB) as img:
+            assert img.sync_mode == C.SYNC_NONE
+
+    def test_explicit_arg_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_IMG_SYNC", "none")
+        p = str(tmp_path / "a.qcow2")
+        with Qcow2Image.create(p, 1 * MiB, sync="barrier") as img:
+            assert img.sync_mode == C.SYNC_BARRIER
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown sync mode"):
+            _resolve_sync_mode("sometimes")
+
+    def test_barrier_counts_fsyncs_none_does_not(self, tmp_path):
+        for mode, expect_fsyncs in (("barrier", True), ("none", False)):
+            p = str(tmp_path / f"img-{mode}.qcow2")
+            with Qcow2Image.create(p, 1 * MiB, sync=mode) as img:
+                img.write(0, pattern(0, 64 * KiB))
+                img.flush()
+                if expect_fsyncs:
+                    assert img.stats.fsync_ops > 0
+                else:
+                    assert img.stats.fsync_ops == 0
+
+    def test_none_mode_still_writes_correct_data(self, tmp_path):
+        p = str(tmp_path / "a.qcow2")
+        with Qcow2Image.create(p, 1 * MiB, sync="none") as img:
+            img.write(0, pattern(0, 64 * KiB))
+        with Qcow2Image.open(p) as img:
+            assert img.read(0, 64 * KiB) == pattern(0, 64 * KiB)
+            assert not img.header.is_dirty
+
+
+class TestDirtyBit:
+    def test_set_during_mutation_cleared_by_flush(self, tmp_path):
+        p = str(tmp_path / "a.qcow2")
+        with Qcow2Image.create(p, 1 * MiB) as img:
+            assert not Qcow2Image.peek_header(p).is_dirty
+            img.write(0, pattern(0, 4 * KiB))
+            # Durably dirty while mutations are unflushed...
+            assert Qcow2Image.peek_header(p).is_dirty
+            assert img.image_info()["dirty"]
+            img.flush()
+            # ...and durably clean right after the flush completes.
+            assert not Qcow2Image.peek_header(p).is_dirty
+        assert not Qcow2Image.peek_header(p).is_dirty
+
+    def test_one_header_write_per_interval(self, tmp_path):
+        """The bit is written once per dirty interval, not per write."""
+        p = str(tmp_path / "a.qcow2")
+        with Qcow2Image.create(p, 1 * MiB) as img:
+            img.write(0, pattern(0, 4 * KiB))
+            fsyncs = img.stats.fsync_ops
+            img.write(8 * KiB, pattern(8 * KiB, 4 * KiB))
+            img.write(64 * KiB, pattern(64 * KiB, 4 * KiB))
+            assert img.stats.fsync_ops == fsyncs  # no new barriers
+
+    def test_clean_close_after_reads_only(self, tmp_path):
+        base = make_patterned_base(tmp_path / "b.raw", size=64 * KiB)
+        p = str(tmp_path / "c.qcow2")
+        Qcow2Image.create(p, backing_file=base, cluster_size=512,
+                          cache_quota=MiB).close()
+        # CoR populates (mutates) the cache: dirty mid-session.
+        with Qcow2Image.open(p, read_only=False) as img:
+            img.read(0, 8 * KiB)
+            assert Qcow2Image.peek_header(p).is_dirty
+        assert not Qcow2Image.peek_header(p).is_dirty
+
+    def test_read_only_open_never_dirties(self, tmp_path):
+        p = str(tmp_path / "a.qcow2")
+        with Qcow2Image.create(p, 1 * MiB) as img:
+            img.write(0, pattern(0, 4 * KiB))
+        before = open(p, "rb").read()
+        with Qcow2Image.open(p, read_only=True) as img:
+            img.read(0, 4 * KiB)
+        assert open(p, "rb").read() == before
+
+    def test_unknown_feature_bit_refused(self, tmp_path):
+        from repro.errors import UnsupportedFeatureError
+
+        p = str(tmp_path / "a.qcow2")
+        Qcow2Image.create(p, 1 * MiB).close()
+        header = Qcow2Image.peek_header(p)
+        header.incompatible_features |= 1 << 13
+        with open(p, "r+b") as f:
+            f.write(header.encode())
+        with pytest.raises(UnsupportedFeatureError,
+                           match="incompatible feature"):
+            Qcow2Image.open(p)
+
+
+class TestFlushBranches:
+    def test_orphan_dirty_l2_raises_corrupt_not_assert(self, tmp_path):
+        """A dirty L2 table whose L1 pointer vanished is an ImageError
+        (reachable via bugs or concurrent tampering), not an assert."""
+        p = str(tmp_path / "a.qcow2")
+        img = Qcow2Image.create(p, 1 * MiB)
+        try:
+            img.write(0, pattern(0, 4 * KiB))
+            assert img._l2_dirty
+            img._l1[0] = 0  # simulate the lost pointer
+            with pytest.raises(CorruptImageError,
+                               match="without an L1 pointer"):
+                img.flush()
+        finally:
+            img._l2_dirty.clear()
+            img.close()
+
+    def test_normal_flush_path(self, tmp_path):
+        p = str(tmp_path / "a.qcow2")
+        with Qcow2Image.create(p, 1 * MiB) as img:
+            img.write(0, pattern(0, 4 * KiB))
+            img.flush()  # the healthy branch of the same code path
+        with Qcow2Image.open(p) as img:
+            assert img.read(0, 4 * KiB) == pattern(0, 4 * KiB)
+            assert img.check().ok
+
+    def test_flush_on_clean_image_is_noop(self, tmp_path):
+        p = str(tmp_path / "a.qcow2")
+        with Qcow2Image.create(p, 1 * MiB) as img:
+            img.write(0, pattern(0, 4 * KiB))
+            img.flush()
+            fsyncs = img.stats.fsync_ops
+            img.flush()
+            img.flush()
+            assert img.stats.fsync_ops == fsyncs
+
+
+class TestAtomicCreate:
+    def test_failed_create_leaves_nothing(self, tmp_path):
+        """A create whose backing open fails must not leave any file."""
+        p = str(tmp_path / "new.qcow2")
+        with pytest.raises(BackingChainError):
+            Qcow2Image.create(
+                p, backing_file=str(tmp_path / "missing.raw"))
+        assert not os.path.exists(p)
+        assert glob.glob(str(tmp_path / "*.creating-*")) == []
+
+    def test_failed_create_preserves_existing_image(self, tmp_path):
+        """Re-creating over a live image must not destroy it on error."""
+        p = str(tmp_path / "img.qcow2")
+        with Qcow2Image.create(p, 1 * MiB) as img:
+            img.write(0, pattern(0, 8 * KiB))
+        with pytest.raises(BackingChainError):
+            Qcow2Image.create(
+                p, backing_file=str(tmp_path / "missing.raw"))
+        # The original is intact, not truncated or half-overwritten.
+        with Qcow2Image.open(p) as img:
+            assert img.read(0, 8 * KiB) == pattern(0, 8 * KiB)
+            assert img.check().ok
+
+    def test_invalid_argument_leaves_nothing(self, tmp_path):
+        p = str(tmp_path / "new.qcow2")
+        with pytest.raises(ValueError):
+            Qcow2Image.create(p, size=-1)
+        assert not os.path.exists(p)
+        assert glob.glob(str(tmp_path / "*.creating-*")) == []
+
+    def test_successful_create_leaves_no_temp(self, tmp_path):
+        p = str(tmp_path / "img.qcow2")
+        Qcow2Image.create(p, 1 * MiB).close()
+        assert os.path.exists(p)
+        assert glob.glob(str(tmp_path / "*.creating-*")) == []

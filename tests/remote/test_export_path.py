@@ -1,0 +1,120 @@
+"""BlockServer.add_export_path: crash-safe (re)export of image files.
+
+The path-based export is what a storage node uses after a restart: the
+open runs dirty-bit recovery, ``verify=True`` refuses corrupt images,
+and the server owns (and closes) the driver.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CorruptImageError
+from repro.imagefmt import constants as C
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.remote import BlockServer, RemoteImage
+from repro.units import KiB, MiB
+
+from tests.conftest import make_patterned_base, pattern
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+CLUSTER = 512
+
+
+@pytest.fixture
+def warm_cache(tmp_path):
+    base = make_patterned_base(tmp_path / "base.raw", size=128 * KiB)
+    p = str(tmp_path / "cache.qcow2")
+    Qcow2Image.create(p, backing_file=base, cluster_size=CLUSTER,
+                      cache_quota=MiB).close()
+    with Qcow2Image.open(p, read_only=False) as img:
+        img.read(0, 32 * KiB)
+    return p
+
+
+def set_dirty_bit(path: str) -> None:
+    header = Qcow2Image.peek_header(path)
+    header.incompatible_features |= C.FEATURE_DIRTY
+    with open(path, "r+b") as f:
+        f.write(header.encode())
+
+
+class TestAddExportPath:
+    def test_serves_reads_end_to_end(self, warm_cache):
+        with BlockServer() as server:
+            server.add_export_path("cache", warm_cache)
+            with RemoteImage.connect(server.url("cache")) as img:
+                assert img.read(0, 32 * KiB) == pattern(0, 32 * KiB)
+
+    def test_owned_driver_closed_on_server_close(self, warm_cache):
+        server = BlockServer()
+        driver = server.add_export_path("cache", warm_cache)
+        assert not driver.closed
+        server.close()
+        assert driver.closed
+
+    def test_writable_export_recovers_dirty_image(self, warm_cache):
+        set_dirty_bit(warm_cache)
+        with BlockServer() as server:
+            driver = server.add_export_path("cache", warm_cache,
+                                            writable=True)
+            # Recovery ran at open and was persisted before serving.
+            assert driver.last_recovery is not None
+            assert driver.last_recovery.persisted
+            with RemoteImage.connect(server.url("cache")) as img:
+                assert img.read(0, 32 * KiB) == pattern(0, 32 * KiB)
+        assert not Qcow2Image.peek_header(warm_cache).is_dirty
+
+    def test_read_only_export_of_dirty_image_serves(self, warm_cache):
+        """A read-only node can serve a dirty image: recovery happens
+        in memory, and the surviving on-disk bit is not a refusal."""
+        set_dirty_bit(warm_cache)
+        with BlockServer() as server:
+            driver = server.add_export_path("cache", warm_cache)
+            assert driver.last_recovery is not None
+            assert not driver.last_recovery.persisted
+            with RemoteImage.connect(server.url("cache")) as img:
+                assert img.read(0, 32 * KiB) == pattern(0, 32 * KiB)
+        # Read-only: the bit stays for the next writable open.
+        assert Qcow2Image.peek_header(warm_cache).is_dirty
+
+    def test_corrupt_image_refused(self, warm_cache):
+        # Zero the refcount of a mapped data cluster: real corruption
+        # that recovery-at-open does not see (the bit is not set).
+        with Qcow2Image.open(warm_cache, read_only=False,
+                             open_backing=False) as img:
+            data_off = next(
+                e & C.L2E_OFFSET_MASK
+                for e in img._load_l2(0) if e)
+            img._alloc.set_refcount(data_off // CLUSTER, 0)
+            img._alloc.flush_refcounts()
+            img.closed = True
+            img._f.close()
+        with BlockServer() as server:
+            with pytest.raises(CorruptImageError,
+                               match="refusing to export"):
+                server.add_export_path("cache", warm_cache)
+            # The refused export is not registered...
+            assert "cache" not in server._exports
+        # ...and the driver was closed, so a repair can reopen it.
+        with Qcow2Image.open(warm_cache, read_only=False,
+                             open_backing=False) as img:
+            img.check(repair=True)
+            assert img.check().ok
+
+    def test_verify_false_skips_check(self, warm_cache):
+        with Qcow2Image.open(warm_cache, read_only=False,
+                             open_backing=False) as img:
+            data_off = next(
+                e & C.L2E_OFFSET_MASK
+                for e in img._load_l2(0) if e)
+            img._alloc.set_refcount(data_off // CLUSTER, 0)
+            img._alloc.flush_refcounts()
+            img.closed = True
+            img._f.close()
+        with BlockServer() as server:
+            driver = server.add_export_path("cache", warm_cache,
+                                            verify=False)
+            assert "cache" in server._exports
+            assert not driver.closed

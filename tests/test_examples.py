@@ -6,6 +6,8 @@ equivalent runners; here we run the two file/socket-level examples,
 which double as integration tests of the real-I/O stack.
 """
 
+import glob
+import json
 import os
 import subprocess
 import sys
@@ -15,21 +17,40 @@ import pytest
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
-def run_example(name: str, timeout: float = 120.0) -> str:
+def run_example(name: str, *args: str, timeout: float = 120.0) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src")
     proc = subprocess.run(
-        [sys.executable, os.path.join(ROOT, "examples", name)],
-        capture_output=True, text=True, timeout=timeout,
+        [sys.executable, os.path.join(ROOT, "examples", name), *args],
+        capture_output=True, text=True, timeout=timeout, env=env,
     )
     assert proc.returncode == 0, proc.stderr
     return proc.stdout
 
 
 class TestExamples:
-    def test_quickstart(self):
-        out = run_example("quickstart.py")
+    def test_quickstart(self, tmp_path):
+        workdir = str(tmp_path / "quickstart")
+        out = run_example("quickstart.py", "--workdir", workdir)
         assert "cold boot" in out
         assert "warm boot: fetched 0 B" in out
         assert "100.0%" in out
+
+        # Every image the example produced must pass the fsck tool:
+        # cleanly closed caches, no leaks, no dirty bits left behind.
+        images = sorted(
+            glob.glob(os.path.join(workdir, "*.qcow2"))
+            + glob.glob(os.path.join(workdir, "*.raw")))
+        assert images, "quickstart left no images to check"
+        proc = subprocess.run(
+            [sys.executable, os.path.join(ROOT, "tools", "img_check.py"),
+             "--json", *images],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        doc = json.loads(proc.stdout)
+        assert doc["clean"] is True
+        assert len(doc["images"]) == len(images)
 
     def test_remote_storage_node(self):
         out = run_example("remote_storage_node.py")
