@@ -11,15 +11,19 @@ Walks the paper's §4.4 workflow end to end:
    that reached the base image;
 5. deploy 4 VMs of the same VMI on a simulated 2-node cluster.
 
-Run:  python examples/quickstart.py [--trace PATH]
+Run:  python examples/quickstart.py [--trace PATH] [--telemetry]
 
 With ``--trace`` every step writes structured spans/events to a JSONL
-file; render it with ``python tools/boot_report.py PATH``.
+file; render it with ``python tools/boot_report.py PATH``.  With
+``--telemetry`` the run hosts the embedded HTTP telemetry endpoint
+(DESIGN.md §10) and scrapes its /metrics and /healthz at the end, the
+way an operator's ``curl`` would.
 """
 
 import argparse
 import os
 import tempfile
+import urllib.request
 
 from repro.bootmodel import generate_boot_trace
 from repro.bootmodel.profiles import tiny_profile
@@ -40,9 +44,19 @@ def main() -> None:
         "--workdir", metavar="DIR", default=None,
         help="directory for the produced images (default: a fresh "
              "temp dir) — handy for running tools/img_check.py on them")
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="host the embedded /metrics + /healthz endpoint on an "
+             "ephemeral port for the duration of the run")
     args = parser.parse_args()
     if args.trace:
         TRACER.enable(JsonlSink(args.trace))
+    telemetry = None
+    if args.telemetry:
+        from repro.metrics.telemetry_server import TelemetryServer
+        telemetry = TelemetryServer(port=0)
+        print(f"telemetry endpoint at {telemetry.url} "
+              f"(/metrics /healthz)\n")
 
     if args.workdir:
         workdir = args.workdir
@@ -111,6 +125,20 @@ def main() -> None:
 
     print(f"\n(images left in {workdir} — inspect them with "
           f"`repro-img info/check/map <file>`)")
+    if telemetry is not None:
+        with urllib.request.urlopen(f"{telemetry.url}/healthz",
+                                    timeout=5) as resp:
+            print(f"\n$ curl {telemetry.url}/healthz\n"
+                  f"{resp.read().decode('utf-8').strip()}")
+        with urllib.request.urlopen(f"{telemetry.url}/metrics",
+                                    timeout=5) as resp:
+            lines = resp.read().decode("utf-8").splitlines()
+        samples = [ln for ln in lines if ln and not ln.startswith("#")]
+        print(f"\n$ curl {telemetry.url}/metrics   "
+              f"# {len(samples)} series; a taste:")
+        for line in samples[:6]:
+            print(line)
+        telemetry.close()
     if args.trace:
         TRACER.disable()
         print(f"trace written to {args.trace} — render it with "

@@ -12,18 +12,33 @@ It ends with the hardened-transport features: injected connection
 drops that the client's reconnect-and-retry absorbs transparently,
 and a graceful server shutdown.
 
+The server also runs the embedded telemetry plane (DESIGN.md §10):
+``telemetry_port=0`` starts an HTTP endpoint on an ephemeral port
+serving ``/metrics`` (Prometheus text format), ``/healthz`` (JSON,
+200/503) and ``/traces`` (recent spans from the in-process flight
+recorder).  The demo scrapes all three the way an operator's ``curl``
+would.
+
 Run:  python examples/remote_storage_node.py
 """
 
 import os
 import tempfile
+import urllib.request
 
 from repro.bootmodel import generate_boot_trace
 from repro.bootmodel.profiles import tiny_profile
 from repro.bootmodel.vm import replay_through_chain
 from repro.imagefmt import Qcow2Image, RawImage
+from repro.metrics.flight_recorder import FlightRecorder
+from repro.metrics.tracing import TRACER
 from repro.remote import BlockServer, FaultInjector, RemoteImage
 from repro.units import MiB, format_size
+
+
+def scrape(url: str) -> str:
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.read().decode("utf-8")
 
 
 def main() -> None:
@@ -32,15 +47,24 @@ def main() -> None:
                            working_set=8 * MiB, boot_time=2.0)
     trace = generate_boot_trace(profile, seed=0)
 
+    # A flight recorder keeps the last spans/events in memory; the
+    # telemetry endpoint's /traces tails it, and install() arms the
+    # black-box behaviour: a dump on SIGUSR2 or unhandled exception.
+    recorder = FlightRecorder(capacity=4096)
+    recorder.install()
+    TRACER.enable(recorder)
+
     # --- the storage node ---
     base_path = os.path.join(workdir, "base.raw")
     base = RawImage.create(base_path, profile.vmi_size)
     base.write(0, os.urandom(MiB))
-    with BlockServer() as server:
+    with BlockServer(telemetry_port=0) as server:
         server.add_export("demo-os", base)
         url = server.url("demo-os")
         print(f"storage node serving {url} "
-              f"({format_size(base.size)} image)\n")
+              f"({format_size(base.size)} image)")
+        print(f"telemetry endpoint at {server.telemetry.url} "
+              f"(/metrics /healthz /traces)\n")
 
         # --- the compute node: cold boot over the socket ---
         cache_p = os.path.join(workdir, "cache.qcow2")
@@ -81,9 +105,27 @@ def main() -> None:
               f"{stats.reconnects}x — the read still returned "
               f"{format_size(len(data))} intact")
         server.set_fault_injector(None)
+
+        # --- operating the node: scrape the telemetry endpoint ------
+        tele = server.telemetry.url
+        health = scrape(f"{tele}/healthz")
+        print(f"\n$ curl {tele}/healthz\n{health.strip()}")
+        metrics = [line for line in scrape(f"{tele}/metrics").splitlines()
+                   if line.startswith("block_export_")]
+        print(f"\n$ curl {tele}/metrics   # block_export_* series")
+        for line in metrics[:8]:
+            print(line)
+        traces = scrape(f"{tele}/traces?n=3").strip().splitlines()
+        print(f"\n$ curl '{tele}/traces?n=3'   "
+              f"# last spans from the flight recorder")
+        for line in traces:
+            print(line[:76] + ("…" if len(line) > 76 else ""))
     # Leaving the `with` block is a graceful shutdown: accept loop
-    # stopped, in-flight requests drained, serving threads joined.
+    # stopped, in-flight requests drained, serving threads joined, and
+    # the telemetry endpoint's thread stopped with them.
     print("storage node shut down gracefully")
+    TRACER.disable()
+    recorder.uninstall()
     base.close()
 
 

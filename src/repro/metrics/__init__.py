@@ -9,10 +9,16 @@ Live telemetry lives next door: :mod:`repro.metrics.registry` is the
 process-wide metrics registry every layer publishes into, and
 :mod:`repro.metrics.tracing` is the span/event bus whose JSONL traces
 :mod:`repro.metrics.boot_report` turns back into per-VM boot timelines
-and per-layer byte attribution (DESIGN.md §8).
+and per-layer byte attribution (DESIGN.md §8).  The operational plane
+on top (DESIGN.md §10): :mod:`repro.metrics.telemetry_server` embeds a
+``/metrics`` + ``/healthz`` + ``/traces`` HTTP endpoint, and
+:mod:`repro.metrics.flight_recorder` keeps a black-box ring of the
+most recent trace records for crash postmortems.
 """
 
+from repro.metrics.boot_report import merge_traces
 from repro.metrics.collectors import ExperimentLog, LatencyHistogram, Series
+from repro.metrics.flight_recorder import FlightRecorder, get_recorder
 from repro.metrics.registry import (
     Counter,
     Gauge,
@@ -25,6 +31,7 @@ from repro.metrics.reporting import (
     format_series_table,
     shape_check,
 )
+from repro.metrics.telemetry_server import TelemetryServer
 from repro.metrics.tracing import (
     TRACER,
     JsonlSink,
@@ -54,4 +61,8 @@ __all__ = [
     "ListSink",
     "load_trace",
     "validate_trace",
+    "merge_traces",
+    "FlightRecorder",
+    "get_recorder",
+    "TelemetryServer",
 ]

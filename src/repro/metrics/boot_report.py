@@ -10,6 +10,13 @@ so the ``base`` row's byte total equals the replayer's
 ``base_bytes_read`` ("observed traffic at the storage node") for the
 same run by construction.
 
+Cross-process runs produce *two* traces — the client's and the storage
+node's — linked by the trace context the v3 wire protocol propagates.
+:func:`merge_traces` stitches them into one causal timeline (rewriting
+colliding ids on the peer side), and the report then shows each served
+``export.read``/``export.write`` span under the client span that
+issued it.
+
 ``tools/boot_report.py`` is the CLI wrapper; tests import this module
 directly.
 """
@@ -72,12 +79,37 @@ class LayerTraffic:
 
 
 @dataclass
+class ServedTraffic:
+    """Server-side request accounting for one export, rebuilt from the
+    ``export.read``/``export.write`` spans a storage node records when
+    a v3 client propagates trace context (DESIGN.md §10)."""
+
+    export: str
+    read_ops: int = 0
+    bytes_read: int = 0
+    write_ops: int = 0
+    bytes_written: int = 0
+    linked: int = 0
+    """Spans whose ``parent_id`` resolves to a span present in the
+    (merged) trace — i.e. causally attached to the client request that
+    issued them."""
+    orphaned: int = 0
+    """Spans whose parent is missing — the client side of the trace was
+    not merged in, or ids collided unrewritten."""
+
+    @property
+    def spans(self) -> int:
+        return self.linked + self.orphaned
+
+
+@dataclass
 class BootReport:
     """Everything reconstructed from one trace."""
 
     boots: list[VMBoot] = field(default_factory=list)
     waves: list[dict] = field(default_factory=list)
     attribution: dict[str, LayerTraffic] = field(default_factory=dict)
+    served: dict[str, ServedTraffic] = field(default_factory=dict)
     cor_fill_bytes: int = 0
     cor_fills: int = 0
     rmw_fill_bytes: int = 0
@@ -101,12 +133,15 @@ def build_report(records: list[dict]) -> BootReport:
     report = BootReport(record_count=len(records))
     boots_by_id: dict[str, VMBoot] = {}
     orphan_phases: list[tuple[str | None, PhaseSpan]] = []
+    served_spans: list[dict] = []
+    span_ids: set[str] = set()
 
     for rec in records:
         kind = rec.get("type")
         name = rec.get("name")
         attrs = rec.get("attrs", {})
         if kind == "span":
+            span_ids.add(rec["span_id"])
             if name == "vm.boot":
                 boot = VMBoot(
                     vm_id=str(attrs.get("vm_id", "?")),
@@ -137,6 +172,8 @@ def build_report(records: list[dict]) -> BootReport:
                 })
             elif name == "cache.warm":
                 report.warm_runs.append(dict(attrs))
+            elif name in ("export.read", "export.write"):
+                served_spans.append(rec)
         elif kind == "event":
             if name in ("block.read", "block.write"):
                 layer = str(attrs.get("layer", "?"))
@@ -171,6 +208,32 @@ def build_report(records: list[dict]) -> BootReport:
         owner = boots_by_id.get(parent) if parent else None
         if owner is not None:
             owner.phases.append(phase)
+    # Served-span linking needs the full span-id set, so it runs after
+    # the pass: a served span is "linked" when its parent — the client
+    # span that issued the request — is present in this (merged) trace.
+    for rec in served_spans:
+        attrs = rec.get("attrs", {})
+        export = str(attrs.get("export", "?"))
+        traffic = report.served.get(export)
+        if traffic is None:
+            traffic = ServedTraffic(export)
+            report.served[export] = traffic
+        length = int(attrs.get("length", 0))
+        if rec.get("name") == "export.read":
+            traffic.read_ops += 1
+            traffic.bytes_read += length
+        else:
+            traffic.write_ops += 1
+            traffic.bytes_written += length
+        parent = rec.get("parent_id")
+        # A span can never be its own parent — an unmerged peer trace
+        # whose local ids collide with the propagated ones must not
+        # count as linked.
+        if parent is not None and parent != rec["span_id"] \
+                and parent in span_ids:
+            traffic.linked += 1
+        else:
+            traffic.orphaned += 1
     for boot in report.boots:
         boot.phases.sort(key=lambda p: p.start)
     report.boots.sort(key=lambda b: (b.clock, b.start, b.vm_id))
@@ -180,6 +243,107 @@ def build_report(records: list[dict]) -> BootReport:
 def load_report(path: str) -> BootReport:
     """Parse a JSONL trace file and build its report."""
     return build_report(load_trace(path))
+
+
+# ---------------------------------------------------------------------------
+# cross-process merging
+# ---------------------------------------------------------------------------
+
+
+def merge_traces(primary: list[dict], secondary: list[dict], *,
+                 prefix: str = "peer-") -> list[dict]:
+    """Merge two single-process traces into one causal timeline.
+
+    ``primary`` is the trace of the process that *originated* the
+    propagated context (the client); ``secondary`` is the peer that
+    received it over the wire (the storage node).  Both tracers count
+    ids from ``t0001``/``s000001``, so unless the peer was enabled with
+    an ``id_prefix``, its locally generated ids collide with the
+    client's.  This rewrites the secondary side deterministically:
+
+    - a secondary span/trace id is rewritten to ``prefix + id`` only
+      when the same id also appears in the primary trace (prefixed
+      peers merge unchanged — the rewrite is a no-op on non-colliding
+      ids);
+    - records in a *propagated subtree* (a span with the
+      ``propagated: true`` attr, anything nested under one, and their
+      events) keep their trace id — it is the client's own id and is
+      exactly what links the two processes.  Membership follows the
+      parent chain, not the id string, so a server-local trace that
+      merely *collides* with a propagated trace id is still rewritten;
+    - a ``propagated`` span's ``parent_id`` names a *primary* span and
+      is kept verbatim; every other parent reference is local to the
+      secondary and follows its span's rewrite.
+
+    Records are returned primary-first, then the rewritten secondary.
+    Timestamps are not touched: the two processes' ``perf_counter``
+    domains are not comparable, and the report layer never compares
+    across them — causality comes from the ids.
+    """
+    primary_span_ids = {rec["span_id"] for rec in primary
+                        if rec.get("type") == "span"}
+    primary_trace_ids = {rec["trace_id"] for rec in primary
+                         if rec.get("type") == "span"
+                         and rec.get("trace_id")}
+    secondary_spans = [rec for rec in secondary
+                       if rec.get("type") == "span"]
+    span_map = {
+        rec["span_id"]: (f"{prefix}{rec['span_id']}"
+                         if rec["span_id"] in primary_span_ids
+                         else rec["span_id"])
+        for rec in secondary_spans}
+    # Which secondary spans sit in a propagated subtree?  Seeded by the
+    # propagated spans themselves, closed over local parent links
+    # (children are emitted before their parents, so iterate to a
+    # fixpoint rather than relying on record order).
+    in_propagated: set[str] = {
+        rec["span_id"] for rec in secondary_spans
+        if rec.get("attrs", {}).get("propagated")}
+    changed = True
+    while changed:
+        changed = False
+        for rec in secondary_spans:
+            if rec["span_id"] not in in_propagated \
+                    and rec.get("parent_id") in in_propagated:
+                in_propagated.add(rec["span_id"])
+                changed = True
+
+    def map_trace(tid: str | None) -> str | None:
+        if tid is None:
+            return None
+        return f"{prefix}{tid}" if tid in primary_trace_ids else tid
+
+    merged = list(primary)
+    for rec in secondary:
+        rec = dict(rec)
+        kind = rec.get("type")
+        if kind == "span":
+            propagated_tree = rec["span_id"] in in_propagated
+            rec["span_id"] = span_map[rec["span_id"]]
+            if not propagated_tree:
+                rec["trace_id"] = map_trace(rec.get("trace_id"))
+            parent = rec.get("parent_id")
+            if parent is not None \
+                    and not rec.get("attrs", {}).get("propagated"):
+                rec["parent_id"] = span_map.get(parent, parent)
+        elif kind == "event":
+            parent = rec.get("parent_id")
+            if parent not in in_propagated:
+                rec["trace_id"] = map_trace(rec.get("trace_id"))
+            if parent is not None:
+                # An event's parent is its enclosing span on the peer's
+                # own thread — always a secondary-local span id.
+                rec["parent_id"] = span_map.get(parent, parent)
+        merged.append(rec)
+    return merged
+
+
+def load_merged_report(primary_path: str, secondary_path: str, *,
+                       prefix: str = "peer-") -> BootReport:
+    """Load two JSONL traces, merge, and build one report."""
+    return build_report(merge_traces(load_trace(primary_path),
+                                     load_trace(secondary_path),
+                                     prefix=prefix))
 
 
 # ---------------------------------------------------------------------------
@@ -254,10 +418,38 @@ def format_attribution(report: BootReport) -> str:
     return "\n".join(lines) + "\n"
 
 
+def format_served(report: BootReport) -> str:
+    """The storage-node-side request table: per-export served traffic
+    and how much of it is causally linked to client spans."""
+    if not report.served:
+        return ""
+    lines = ["Served requests (from export.* spans, storage-node side)"]
+    lines.append(f"{'export':<12} {'reads':>7} {'bytes read':>12} "
+                 f"{'writes':>7} {'bytes written':>14}  linked")
+    for export in sorted(report.served):
+        t = report.served[export]
+        link = (f"{t.linked}/{t.spans}"
+                if t.orphaned else f"all {t.linked}")
+        lines.append(
+            f"{t.export:<12} {t.read_ops:>7} "
+            f"{format_size(t.bytes_read):>12} {t.write_ops:>7} "
+            f"{format_size(t.bytes_written):>14}  {link}")
+    orphans = sum(t.orphaned for t in report.served.values())
+    if orphans:
+        lines.append(f"  {orphans} span(s) have no client parent in "
+                     f"this trace — merge the client trace "
+                     f"(tools/boot_report.py --merge) for the full "
+                     f"causal chain")
+    return "\n".join(lines) + "\n"
+
+
 def format_report(report: BootReport) -> str:
     """Timeline + attribution + reconciliation against the replayer's
     own ``replay.summary`` accounting, as one printable block."""
     parts = [format_timeline(report), format_attribution(report)]
+    served = format_served(report)
+    if served:
+        parts.append(served)
     if report.summaries:
         total_base = sum(s.get("base_bytes_read", 0)
                          for s in report.summaries)

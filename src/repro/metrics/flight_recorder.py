@@ -1,0 +1,206 @@
+"""A black-box flight recorder for the telemetry plane.
+
+Crash postmortems (the DESIGN.md §9 crash matrix) can replay every
+*on-disk* consequence of a kill, but the in-memory telemetry — the
+spans and events of the last few seconds before the process died — is
+exactly what a JSONL sink had not flushed yet.  The flight recorder
+closes that gap: a bounded ring buffer of the most recent trace
+records that can be dumped (records + a metrics-registry snapshot) on
+demand, on an unhandled exception, or on ``SIGUSR2`` — the black-box
+shape production block-storage daemons ship.
+
+A :class:`FlightRecorder` *is* a tracer sink (``append`` /
+``maybe_autoflush`` / ``flush`` / ``close``), so it can be enabled
+directly::
+
+    rec = FlightRecorder(capacity=4096)
+    TRACER.enable(rec)
+
+or tee into an existing durable sink, keeping the JSONL file as the
+full record and the ring as the crash tail::
+
+    TRACER.enable(FlightRecorder(inner=JsonlSink(path)))
+
+``install()`` registers the process-wide dump triggers;
+:func:`get_recorder` is how the telemetry endpoint's ``/traces`` route
+finds the ring.
+
+The hot-path contract matches the sinks in :mod:`repro.metrics.tracing`:
+``append`` is one (or, teed, two) GIL-atomic ``deque.append``/
+``list.append`` calls, no locks, no serialization.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import threading
+import time
+from collections import deque
+from typing import Any
+
+from repro.metrics.registry import get_registry
+
+_DEFAULT_CAPACITY = 4096
+
+
+class FlightRecorder:
+    """Bounded ring of recent trace records, dumpable on demand."""
+
+    def __init__(self, capacity: int = _DEFAULT_CAPACITY, *,
+                 inner: Any | None = None,
+                 dump_dir: str | None = None) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.inner = inner
+        self.dump_dir = dump_dir or "."
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self.seen = 0  # total records ever appended (ring may be full)
+        self.dumps = 0
+        self._dump_lock = threading.Lock()
+        self._prev_excepthook = None
+        self._prev_sig_handler = None
+        self._installed_signum: int | None = None
+        if inner is None:
+            self.append = self._append_ring_only
+        else:
+            self.append = self._append_teed
+
+    # -- sink protocol (hot path) ----------------------------------------
+
+    def _append_ring_only(self, rec: dict) -> None:
+        self.seen += 1
+        self._ring.append(rec)
+
+    def _append_teed(self, rec: dict) -> None:
+        self.seen += 1
+        self._ring.append(rec)
+        self.inner.append(rec)
+
+    def maybe_autoflush(self) -> None:
+        if self.inner is not None:
+            self.inner.maybe_autoflush()
+
+    def flush(self) -> None:
+        if self.inner is not None:
+            self.inner.flush()
+
+    def close(self) -> None:
+        if self.inner is not None:
+            self.inner.close()
+
+    # -- inspection ------------------------------------------------------
+
+    def records(self, n: int | None = None) -> list[dict]:
+        """The most recent records, oldest first (a consistent copy;
+        ``n`` limits to the last n)."""
+        out = list(self._ring)
+        if n is not None and n >= 0:
+            out = out[len(out) - min(n, len(out)):]
+        return out
+
+    def snapshot(self, *, reason: str = "manual") -> dict:
+        """The dump payload: recent records plus a metrics snapshot."""
+        return {
+            "reason": reason,
+            "pid": os.getpid(),
+            "unix_time": time.time(),
+            "capacity": self.capacity,
+            "records_seen": self.seen,
+            "records": self.records(),
+            "metrics": get_registry().snapshot(),
+        }
+
+    # -- dumping ---------------------------------------------------------
+
+    def dump(self, path: str | None = None, *,
+             reason: str = "manual") -> str:
+        """Write the snapshot as JSON; returns the path written.
+
+        Serialized under a lock so a signal-triggered dump and an
+        excepthook dump racing each other produce two whole files, not
+        one interleaved mess.
+        """
+        with self._dump_lock:
+            self.dumps += 1
+            if path is None:
+                path = os.path.join(
+                    self.dump_dir,
+                    f"flightrec-{os.getpid()}-{self.dumps:03d}.json")
+            snap = self.snapshot(reason=reason)
+            tmp = f"{path}.tmp"
+            with open(tmp, "w", encoding="utf-8") as f:
+                json.dump(snap, f, indent=2, sort_keys=True,
+                          default=str)
+                f.write("\n")
+            os.replace(tmp, path)  # a dump is all-or-nothing on disk
+            return path
+
+    # -- process-wide triggers -------------------------------------------
+
+    def install(self, *, signum: int | None = signal.SIGUSR2,
+                excepthook: bool = True) -> "FlightRecorder":
+        """Register this recorder process-wide: ``/traces`` finds it
+        via :func:`get_recorder`, ``signum`` (default ``SIGUSR2``;
+        None skips) triggers a dump, and with ``excepthook`` an
+        unhandled exception on the main thread dumps before the
+        traceback prints.  Returns self for chaining."""
+        global _RECORDER
+        _RECORDER = self
+        if signum is not None:
+            try:
+                self._prev_sig_handler = signal.signal(
+                    signum, self._on_signal)
+                self._installed_signum = signum
+            except ValueError:
+                # Not the main thread: signal triggers unavailable,
+                # manual dump() and the excepthook still work.
+                self._installed_signum = None
+        if excepthook:
+            self._prev_excepthook = sys.excepthook
+            sys.excepthook = self._on_exception
+        return self
+
+    def uninstall(self) -> None:
+        global _RECORDER
+        if _RECORDER is self:
+            _RECORDER = None
+        if self._installed_signum is not None:
+            try:
+                signal.signal(self._installed_signum,
+                              self._prev_sig_handler or signal.SIG_DFL)
+            except ValueError:
+                pass
+            self._installed_signum = None
+        if self._prev_excepthook is not None:
+            sys.excepthook = self._prev_excepthook
+            self._prev_excepthook = None
+
+    def _on_signal(self, signum, frame) -> None:
+        # Dump from the signal handler directly: the GIL makes the
+        # ring copy safe, and json/file I/O are re-entrant enough for
+        # a diagnostics path (the dump lock bounds the damage if a
+        # second signal lands mid-dump).
+        self.dump(reason=f"signal {signum}")
+
+    def _on_exception(self, exc_type, exc, tb) -> None:
+        try:
+            path = self.dump(reason=f"unhandled {exc_type.__name__}: "
+                                    f"{exc}")
+            print(f"flight recorder dumped to {path}",
+                  file=sys.stderr)
+        except Exception:  # never shadow the real traceback
+            pass
+        (self._prev_excepthook or sys.__excepthook__)(exc_type, exc, tb)
+
+
+_RECORDER: FlightRecorder | None = None
+
+
+def get_recorder() -> FlightRecorder | None:
+    """The installed process-wide recorder, if any (see
+    :meth:`FlightRecorder.install`)."""
+    return _RECORDER

@@ -121,6 +121,7 @@ class MetricsRegistry:
         # name -> (kind, {label_key -> metric instance})
         self._families: dict[str, tuple[str, dict]] = {}
         self._collectors: list[Collector] = []
+        self._help: dict[str, str] = {}
 
     # -- primitives ------------------------------------------------------
 
@@ -153,6 +154,13 @@ class MetricsRegistry:
                     metric = _KINDS[kind](name, labels)
                 family[1][key] = metric
             return metric
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a ``# HELP`` line to a series name (primitives and
+        collector-produced series alike).  Undescribed series render a
+        help line derived from the name."""
+        with self._lock:
+            self._help[name] = help_text
 
     # -- collectors ------------------------------------------------------
 
@@ -210,25 +218,39 @@ class MetricsRegistry:
         return grouped
 
     def render_prometheus(self) -> str:
-        """Text exposition format (one sample per line)."""
-        lines: list[str] = []
-        seen_types: set[str] = set()
+        """Prometheus text exposition format (version 0.0.4).
+
+        Valid exposition output, not just one line per sample: samples
+        are grouped so every series name forms one contiguous block
+        (primitives and collector-produced samples of the same name
+        merge into one), each block preceded by its ``# HELP`` and
+        ``# TYPE`` lines — a scraper that rejects interleaved families
+        or typeless series accepts this output.  Label values are
+        escaped per the spec (``\\``, ``\"``, ``\\n``); ``inf``/``nan``
+        render as ``+Inf``/``-Inf``/``NaN``.
+        """
         with self._lock:
-            types = {name: kind
+            kinds = {name: kind
                      for name, (kind, _m) in self._families.items()}
-        for name, labels, value in self.samples():
-            family = _family_of(name)
-            kind = types.get(family)
-            if kind in ("counter", "gauge") and family not in seen_types:
-                seen_types.add(family)
-                lines.append(f"# TYPE {family} {kind}")
-            if labels:
-                rendered = ",".join(
-                    f'{k}="{_escape(v)}"'
-                    for k, v in sorted(labels.items()))
-                lines.append(f"{name}{{{rendered}}} {_fmt(value)}")
-            else:
-                lines.append(f"{name} {_fmt(value)}")
+            help_texts = dict(self._help)
+        groups: dict[str, list[Sample]] = {}
+        for sample in self.samples():
+            groups.setdefault(sample[0], []).append(sample)
+        lines: list[str] = []
+        for name in sorted(groups):
+            help_text = help_texts.get(name) \
+                or help_texts.get(_family_of(name)) \
+                or name.replace("_", " ")
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+            lines.append(f"# TYPE {name} {_series_kind(name, kinds)}")
+            for _name, labels, value in groups[name]:
+                if labels:
+                    rendered = ",".join(
+                        f'{k}="{_escape(v)}"'
+                        for k, v in sorted(labels.items()))
+                    lines.append(f"{name}{{{rendered}}} {_fmt(value)}")
+                else:
+                    lines.append(f"{name} {_fmt(value)}")
         return "\n".join(lines) + "\n"
 
     def reset(self) -> None:
@@ -276,15 +298,48 @@ def _family_of(name: str) -> str:
     return name
 
 
+def _series_kind(name: str, kinds: dict[str, str]) -> str:
+    """The ``# TYPE`` for one series name.
+
+    Registered primitives know their kind; a histogram's derived
+    series are typed individually (``_count`` is monotonic, the rest
+    are point-in-time); collector-produced series fall back on the
+    naming convention (``_total``/``_count`` → counter).
+    """
+    kind = kinds.get(name)
+    if kind in ("counter", "gauge"):
+        return kind
+    if kinds.get(_family_of(name)) == "histogram":
+        return "counter" if name.endswith("_count") else "gauge"
+    if name.endswith(("_total", "_count")):
+        return "counter"
+    return "gauge"
+
+
 def _escape(value: str) -> str:
+    """Label-value escaping per the exposition format: backslash
+    first, then quote and newline (order matters — escaping the quote
+    introduces backslashes that must not be re-escaped)."""
     return str(value).replace("\\", r"\\").replace('"', r"\"") \
         .replace("\n", r"\n")
 
 
+def _escape_help(text: str) -> str:
+    # HELP lines escape backslash and newline, but NOT quotes.
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
 def _fmt(value: float) -> str:
-    if float(value).is_integer():
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value.is_integer():
         return str(int(value))
-    return repr(float(value))
+    return repr(value)
 
 
 # -- the process-wide default registry --------------------------------------

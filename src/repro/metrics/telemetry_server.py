@@ -1,0 +1,161 @@
+"""An embedded /metrics + /healthz + /traces endpoint.
+
+A storage node is only operable if a scraper and a load balancer can
+see inside it without a debugger.  :class:`TelemetryServer` is the
+smallest honest version of that: a stdlib ``http.server`` on a daemon
+thread (zero dependencies, one port) serving
+
+- ``GET /metrics`` — the registry's Prometheus text exposition
+  (``text/plain; version=0.0.4``), straight from
+  :meth:`MetricsRegistry.render_prometheus`;
+- ``GET /healthz`` — a JSON health document from a caller-supplied
+  callable (:meth:`repro.remote.server.BlockServer.health`), with the
+  HTTP status doing the load-balancer signalling: 200 when
+  ``status == "ok"``, 503 when degraded;
+- ``GET /traces?n=K`` — the last K records from a flight recorder or
+  trace sink as JSONL, for a quick "what was this node just doing"
+  without shelling in.
+
+Rendering happens on the HTTP thread at scrape time; the datapath
+never blocks on an observer (same weakref-collector contract as the
+registry itself).  ``close()`` is synchronous: after it returns, the
+port is released and the serving thread has exited.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+from urllib.parse import parse_qs, urlparse
+
+from repro.metrics.registry import MetricsRegistry, get_registry
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_DEFAULT_TRACE_TAIL = 256
+
+
+class TelemetryServer:
+    """Serve /metrics, /healthz, and /traces from a daemon thread.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port``
+    after construction — handy for tests).  ``health`` is a callable
+    returning a JSON-serializable dict with a top-level ``status``
+    key; ``traces`` is anything with a ``records(n)`` method (a
+    :class:`repro.metrics.flight_recorder.FlightRecorder`) and
+    defaults at request time to the installed process-wide recorder.
+    """
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
+                 registry: MetricsRegistry | None = None,
+                 health: Callable[[], dict] | None = None,
+                 traces: Any | None = None) -> None:
+        self.registry = registry if registry is not None else get_registry()
+        self.health = health
+        self.traces = traces
+        telemetry = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            # Telemetry must not spam the node's stderr per scrape.
+            def log_message(self, fmt, *args):  # noqa: ARG002
+                pass
+
+            def do_GET(self):
+                try:
+                    telemetry._handle(self)
+                except BrokenPipeError:
+                    pass  # scraper went away mid-response
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"telemetry-{self._httpd.server_address[1]}",
+            daemon=True)
+        self._thread.start()
+        self._closed = False
+
+    # -- address ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    # -- request handling ------------------------------------------------
+
+    def _handle(self, req: BaseHTTPRequestHandler) -> None:
+        parsed = urlparse(req.path)
+        if parsed.path == "/metrics":
+            body = self.registry.render_prometheus().encode("utf-8")
+            self._reply(req, 200, PROMETHEUS_CONTENT_TYPE, body)
+        elif parsed.path == "/healthz":
+            self._handle_healthz(req)
+        elif parsed.path == "/traces":
+            self._handle_traces(req, parsed.query)
+        else:
+            self._reply(req, 404, "text/plain; charset=utf-8",
+                        b"not found; try /metrics /healthz /traces\n")
+
+    def _handle_healthz(self, req: BaseHTTPRequestHandler) -> None:
+        if self.health is None:
+            doc = {"status": "ok", "detail": "no health callable wired"}
+        else:
+            try:
+                doc = self.health()
+            except Exception as exc:
+                doc = {"status": "degraded",
+                       "detail": f"health callable raised: {exc!r}"}
+        status = 200 if doc.get("status") == "ok" else 503
+        body = (json.dumps(doc, indent=2, sort_keys=True, default=str)
+                + "\n").encode("utf-8")
+        self._reply(req, status, "application/json; charset=utf-8", body)
+
+    def _handle_traces(self, req: BaseHTTPRequestHandler,
+                       query: str) -> None:
+        n = _DEFAULT_TRACE_TAIL
+        raw = parse_qs(query).get("n")
+        if raw:
+            try:
+                n = max(0, int(raw[0]))
+            except ValueError:
+                self._reply(req, 400, "text/plain; charset=utf-8",
+                            b"n must be an integer\n")
+                return
+        source = self.traces
+        if source is None:
+            from repro.metrics.flight_recorder import get_recorder
+            source = get_recorder()
+        if source is None:
+            self._reply(req, 503, "text/plain; charset=utf-8",
+                        b"no trace source wired\n")
+            return
+        lines = [json.dumps(rec, sort_keys=True, default=str)
+                 for rec in source.records(n)]
+        body = ("\n".join(lines) + ("\n" if lines else "")).encode("utf-8")
+        self._reply(req, 200, "application/jsonl; charset=utf-8", body)
+
+    @staticmethod
+    def _reply(req: BaseHTTPRequestHandler, status: int,
+               content_type: str, body: bytes) -> None:
+        req.send_response(status)
+        req.send_header("Content-Type", content_type)
+        req.send_header("Content-Length", str(len(body)))
+        req.end_headers()
+        req.wfile.write(body)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)

@@ -29,11 +29,24 @@ would lie about causality.  Records carry a ``clock`` attribute
 domains.
 
 IDs are deterministic counters (``t0001``/``s0001``…), not random —
-traces of identical runs are diffable.
+traces of identical runs are diffable.  Because two *processes* both
+start their counters at 1, cross-process deployments give each tracer
+an ``id_prefix`` (``enable(sink, id_prefix="srv-")``) so a storage
+node's ids can never collide with a client's; traces recorded without
+prefixes can still be merged after the fact
+(:func:`repro.metrics.boot_report.merge_traces` rewrites one side).
+
+Cross-process propagation: a span's ``(trace_id, span_id)`` travels
+over the v3 wire protocol (DESIGN.md §10), and the receiving server
+re-enters the trace with :meth:`Tracer.propagated_span` — a span whose
+trace id and parent are the *remote* caller's, pushed on the local
+thread's stack so everything underneath (driver ``block.read`` events,
+nested spans) attaches to the caller's causal chain.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import threading
 import time
@@ -127,7 +140,7 @@ class Span:
     """An open span on the per-thread context stack."""
 
     __slots__ = ("name", "trace_id", "span_id", "parent_id", "start",
-                 "attrs")
+                 "attrs", "ctx")
 
     def __init__(self, name: str, trace_id: str, span_id: str,
                  parent_id: str | None, start: float,
@@ -138,6 +151,10 @@ class Span:
         self.parent_id = parent_id
         self.start = start
         self.attrs = attrs
+        # Lazily built (trace_id, span_id) tuple, cached so every wire
+        # request issued under this span carries the *same* tuple
+        # object — the protocol's encode memo keys on identity.
+        self.ctx: tuple[str, str] | None = None
 
 
 class Tracer:
@@ -159,21 +176,28 @@ class Tracer:
         # Entries for finished threads linger as empty lists (bounded
         # by thread count; cleared on disable()).
         self._stacks: dict[int, list[Span]] = {}
-        self._id_lock = threading.Lock()
-        self._next_trace = 0
-        self._next_span = 0
+        # itertools.count: next() is a single GIL-atomic C call, so id
+        # allocation needs no lock on the propagated-span hot path.
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+        self._id_prefix = ""
 
     # -- lifecycle -------------------------------------------------------
 
     def enable(self, sink: "ListSink | JsonlSink",
-               clock: Callable[[], float] | None = None) -> None:
+               clock: Callable[[], float] | None = None, *,
+               id_prefix: str | None = None) -> None:
         """Start recording into ``sink``.  ``clock`` overrides the
         wall clock (rarely needed; the simulator passes explicit
-        timestamps to :meth:`record_span` instead)."""
+        timestamps to :meth:`record_span` instead).  ``id_prefix``
+        namespaces this process's generated ids (``srv-t0001``…) so
+        traces from several processes merge without collisions."""
         self._sink = sink
         self._append = sink.append  # bound once, saves a lookup/event
         if clock is not None:
             self._clock = clock
+        if id_prefix is not None:
+            self._id_prefix = id_prefix
         self.enabled = True
 
     def disable(self) -> "ListSink | JsonlSink | None":
@@ -182,6 +206,7 @@ class Tracer:
         sink, self._sink = self._sink, None
         self._append = None
         self._clock = time.perf_counter
+        self._id_prefix = ""
         # Open spans keep their list reference and unwind safely; new
         # threads start clean.
         self._stacks = {}
@@ -197,14 +222,10 @@ class Tracer:
     # -- ids and context -------------------------------------------------
 
     def _new_trace_id(self) -> str:
-        with self._id_lock:
-            self._next_trace += 1
-            return f"t{self._next_trace:04d}"
+        return f"{self._id_prefix}t{next(self._trace_ids):04d}"
 
     def _new_span_id(self) -> str:
-        with self._id_lock:
-            self._next_span += 1
-            return f"s{self._next_span:06d}"
+        return f"{self._id_prefix}s{next(self._span_ids):06d}"
 
     def _stack(self) -> list[Span]:
         stacks = self._stacks
@@ -247,6 +268,82 @@ class Tracer:
         finally:
             stack.pop()
             self._emit_span(span, self._clock(), CLOCK_WALL)
+
+    @contextmanager
+    def propagated_span(self, name: str, trace_id: str,
+                        parent_id: str | None,
+                        **attrs: Any) -> Iterator[Span]:
+        """Open a span whose trace and parent come from a *remote*
+        caller (the v3 wire protocol's trace-context field).
+
+        The span gets a locally generated id but the caller's trace id
+        and parent, and is pushed on this thread's stack like any other
+        span — driver events and nested spans underneath attach to the
+        remote caller's causal chain.  The record is marked with a
+        ``propagated: true`` attr so :func:`boot_report.merge_traces`
+        can tell remote-rooted server spans from server-local ones when
+        rewriting colliding ids.
+        """
+        if not self.enabled:
+            yield Span(name, "", "", None, 0.0, attrs)
+            return
+        span = self.begin_propagated(name, trace_id, parent_id, attrs)
+        try:
+            yield span
+        finally:
+            self.end_propagated(span)
+
+    def begin_propagated(self, name: str, trace_id: str,
+                         parent_id: str | None,
+                         attrs: dict[str, Any]) -> Span:
+        """Open a propagated span without the context-manager wrapper.
+
+        The explicit begin/end pair exists for per-request hot paths
+        (the block server opens one propagated span per served v3
+        request); the generator machinery behind ``@contextmanager``
+        costs several times the span bookkeeping itself.  Callers must
+        pair with :meth:`end_propagated` in a ``finally``.
+        """
+        attrs["propagated"] = True
+        span = Span(name, trace_id, self._new_span_id(), parent_id,
+                    self._clock(), attrs)
+        self._stack().append(span)
+        return span
+
+    def end_propagated(self, span: Span) -> None:
+        self._stack().pop()
+        self._emit_span(span, self._clock(), CLOCK_WALL)
+
+    def close_propagated(self, span: Span) -> float:
+        """Pop a propagated span and stamp its end time *without*
+        emitting the record yet.
+
+        The block server closes the span before sending the response
+        (so the recorded duration covers only the dispatch) but emits
+        the record after, where the ~1 µs of dict building and sink
+        append overlaps the client's next request instead of sitting
+        on the measured round trip.  Pair with :meth:`emit_closed`.
+        """
+        self._stack().pop()
+        return self._clock()
+
+    def emit_closed(self, span: Span, end: float) -> None:
+        """Emit the record for a span closed via
+        :meth:`close_propagated`."""
+        self._emit_span(span, end, CLOCK_WALL)
+
+    def propagation_context(self) -> tuple[str, str] | None:
+        """The ``(trace_id, span_id)`` a wire request should carry, or
+        None when tracing is off or no span is open on this thread."""
+        if not self.enabled:
+            return None
+        cur = self.current_span()
+        if cur is None or not cur.trace_id:
+            return None
+        ctx = cur.ctx
+        if ctx is None:
+            ctx = cur.ctx = (cur.trace_id, cur.span_id)
+        return ctx
 
     def allocate_ids(self,
                      trace_id: str | None = None) -> tuple[str, str]:

@@ -16,7 +16,9 @@ real sockets and real bytes:
 The substrate is built for the paper's scale-out case: the wire
 protocol is versioned — v2 (negotiated at connect) tags requests so a
 single connection keeps a bounded window of them in flight and the
-server completes them out of order, v1 lock-step remains as the
+server completes them out of order, v3 adds an optional trace-context
+field so a client's span ids travel with each request (DESIGN.md §10),
+and v1 lock-step remains as the
 fallback and A/B baseline (see :mod:`repro.remote.protocol`) — the
 server dispatches reads of one export concurrently (reader-writer
 locking; see :mod:`repro.remote.server`), the client has per-operation
@@ -29,8 +31,10 @@ failure paths deterministically.
 from repro.remote.client import RemoteImage, TransportStats, parse_url
 from repro.remote.fault import FaultInjector, FaultStats
 from repro.remote.protocol import (
+    MAX_VERSION,
     VERSION_1,
     VERSION_2,
+    VERSION_3,
     ExportRefusedError,
     ProtocolError,
     RemoteOpError,
@@ -49,7 +53,9 @@ __all__ = [
     "RemoteOpError",
     "RWLock",
     "TransportStats",
+    "MAX_VERSION",
     "VERSION_1",
     "VERSION_2",
+    "VERSION_3",
     "parse_url",
 ]

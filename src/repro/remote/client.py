@@ -14,6 +14,15 @@ paying one round-trip per chunk.  ``protocol=1`` forces the old
 lock-step framing (the A/B baseline), and connecting to a pre-v2
 server falls back to it automatically.
 
+Trace propagation.  Under v3 (the default advertisement; a pre-v3
+server transparently clamps the connection to v2) every request frame
+carries the ``(trace_id, span_id)`` of the span active on the calling
+thread when the operation was issued, so the storage node's per-request
+``export.*`` spans land in the *caller's* trace — see DESIGN.md §10.
+The context rides a fixed 64-byte header field (all zeroes when no
+span is active), so the request header stays a single read on the
+serving side whether or not tracing is on.
+
 Failure model.  Every wire round-trip is bounded by a per-operation
 deadline (``op_timeout``; in the pipelined path the deadline applies
 to the *oldest* outstanding request).  A timeout or a mid-stream
@@ -236,13 +245,16 @@ class RemoteImage(BlockDriver):
         operation before a failure surfaces.
 
         ``protocol`` pins the wire protocol version (1 = lock-step,
-        2 = pipelined); the default negotiates v2 and falls back to v1
-        against an old server.  ``depth`` bounds how many tagged
-        requests a v2 connection keeps in flight; large guest I/O is
-        split into ``chunk_size`` requests that fill that window.
+        2 = pipelined, 3 = pipelined + trace context); the default
+        negotiates v3, transparently accepts a pre-v3 server's v2
+        answer, and falls back to v1 against a pre-v2 server.
+        ``depth`` bounds how many tagged requests a v2/v3 connection
+        keeps in flight; large guest I/O is split into ``chunk_size``
+        requests that fill that window.
         """
         if protocol is not None and protocol not in (wire.VERSION_1,
-                                                     wire.VERSION_2):
+                                                     wire.VERSION_2,
+                                                     wire.VERSION_3):
             raise ValueError(f"unsupported protocol version {protocol}")
         if depth < 1:
             raise ValueError(f"depth must be >= 1, got {depth}")
@@ -271,27 +283,38 @@ class RemoteImage(BlockDriver):
               prefer: int | None) -> tuple[socket.socket, int, int]:
         """Connect and negotiate; returns (socket, size, version).
 
-        A v2 hello to a pre-v2 server is answered by dropping the
-        connection (unknown magic), which we observe as a protocol or
-        connection error and retry once with the v1 hello.  An export
-        refusal is a definitive answer on either version and is never
+        A v2-framed hello to a pre-v2 server is answered by dropping
+        the connection (unknown magic), which we observe as a protocol
+        or connection error and retry once with the v1 hello.  A v3
+        advertisement to a v2-only server needs no fallback at all —
+        the server clamps to 2 in the same handshake.  An export
+        refusal is a definitive answer on any version and is never
         retried.
         """
         if prefer is None or prefer >= wire.VERSION_2:
+            advertise = wire.MAX_VERSION if prefer is None else prefer
             try:
-                return cls._dial_version(host, port, export,
-                                         connect_timeout, op_timeout,
-                                         wire.VERSION_2)
+                sock, size, version = cls._dial_version(
+                    host, port, export, connect_timeout, op_timeout,
+                    advertise)
+                if prefer is not None and version != prefer:
+                    # Pinned v3 against a v2-only server: a definitive
+                    # mismatch, not a transport failure.
+                    sock.close()
+                    raise wire.ProtocolError(
+                        f"server negotiated v{version}, "
+                        f"v{prefer} was pinned")
+                return sock, size, version
             except wire.ExportRefusedError:
                 raise
             except (wire.ProtocolError, ConnectionError) as exc:
                 if prefer is not None:
-                    # v2 was pinned; no fallback — but surface the
+                    # v2/v3 was pinned; no fallback — but surface the
                     # reset as a RemoteError like every other failure.
                     if isinstance(exc, ConnectionError):
                         raise RemoteDisconnectedError(
                             f"{host}:{port} closed the connection "
-                            f"during the v2 handshake "
+                            f"during the v{prefer} handshake "
                             f"(pre-v2 server?)") from exc
                     raise
         return cls._dial_version(host, port, export,
@@ -318,8 +341,10 @@ class RemoteImage(BlockDriver):
         sock.settimeout(op_timeout)
         try:
             if version >= wire.VERSION_2:
-                wire.send_handshake_request_v2(sock, export)
-                version, size = wire.recv_handshake_response_v2(sock)
+                wire.send_handshake_request_v2(sock, export,
+                                               version=version)
+                version, size = wire.recv_handshake_response_v2(
+                    sock, max_version=version)
             else:
                 wire.send_handshake_request(sock, export)
                 size = wire.recv_handshake_response(sock)
@@ -470,9 +495,13 @@ class RemoteImage(BlockDriver):
         p.event.clear()
         p.sent_at = time.monotonic()
         self.transport_stats.requests += 1
-        wire.send_request_v2(self._sock, p.tag, p.req)
-        self.transport_stats.bytes_sent += (
-            wire.REQUEST2_HEADER_SIZE + len(p.req.payload))
+        if self._version >= wire.VERSION_3:
+            self.transport_stats.bytes_sent += \
+                wire.send_request_v3(self._sock, p.tag, p.req)
+        else:
+            wire.send_request_v2(self._sock, p.tag, p.req)
+            self.transport_stats.bytes_sent += (
+                wire.REQUEST2_HEADER_SIZE + len(p.req.payload))
 
     def _run_pipelined(self, reqs: list[wire.Request]) -> list[bytes]:
         """Exchange a batch of requests through the tagged window.
@@ -631,28 +660,44 @@ class RemoteImage(BlockDriver):
 
     # -- driver hooks -------------------------------------------------------
 
+    def _trace_ctx(self) -> tuple[str, str] | None:
+        """The span context to stamp on outgoing requests.
+
+        Captured once per driver-level operation (all chunks of one
+        guest I/O carry the same issuing span); only worth computing
+        when the negotiated protocol can carry it.
+        """
+        if self._version >= wire.VERSION_3 and TRACER.enabled:
+            return TRACER.propagation_context()
+        return None
+
     def _read_impl(self, offset: int, length: int) -> bytes:
+        ctx = self._trace_ctx()
         reqs = []
         pos = offset
         end = offset + length
         while pos < end:
             n = min(self._chunk, end - pos)
-            reqs.append(wire.Request(wire.REQ_READ, pos, n))
+            reqs.append(wire.Request(wire.REQ_READ, pos, n,
+                                     trace_ctx=ctx))
             pos += n
         return b"".join(self._exchange(reqs))
 
     def _write_impl(self, offset: int, data: bytes) -> None:
+        ctx = self._trace_ctx()
         reqs = []
         pos = 0
         while pos < len(data):
             chunk = data[pos: pos + self._chunk]
             reqs.append(wire.Request(wire.REQ_WRITE, offset + pos,
-                                     len(chunk), chunk))
+                                     len(chunk), chunk,
+                                     trace_ctx=ctx))
             pos += len(chunk)
         self._exchange(reqs)
 
     def _flush_impl(self) -> None:
-        self._exchange([wire.Request(wire.REQ_FLUSH, 0, 0)])
+        self._exchange([wire.Request(wire.REQ_FLUSH, 0, 0,
+                                     trace_ctx=self._trace_ctx())])
 
     def read_batch(self, extents: list[tuple[int, int]]) -> list[bytes]:
         """Read several extents through one pipelined window.
@@ -663,6 +708,7 @@ class RemoteImage(BlockDriver):
         are returned in extent order.
         """
         self._check_open()
+        ctx = self._trace_ctx()
         reqs: list[wire.Request] = []
         spans: list[tuple[int, int]] = []  # (first request index, count)
         for offset, length in extents:
@@ -672,7 +718,8 @@ class RemoteImage(BlockDriver):
             end = offset + length
             while pos < end:
                 n = min(self._chunk, end - pos)
-                reqs.append(wire.Request(wire.REQ_READ, pos, n))
+                reqs.append(wire.Request(wire.REQ_READ, pos, n,
+                                         trace_ctx=ctx))
                 pos += n
             spans.append((first, len(reqs) - first))
         chunks = self._exchange(reqs)
@@ -712,7 +759,10 @@ class RemoteImage(BlockDriver):
         self._reader = None
         if sock is not None:
             try:
-                if self._version >= wire.VERSION_2:
+                if self._version >= wire.VERSION_3:
+                    wire.send_request_v3(
+                        sock, 0, wire.Request(wire.REQ_DISCONNECT, 0, 0))
+                elif self._version >= wire.VERSION_2:
                     wire.send_request_v2(
                         sock, 0, wire.Request(wire.REQ_DISCONNECT, 0, 0))
                 else:

@@ -24,12 +24,42 @@ the response, so responses may arrive in any order and the client
 demultiplexes by tag.  A connection speaks exactly one version for its
 whole lifetime.
 
+Version 3 — pipelined with trace context (DESIGN.md §10)::
+
+    C: u32 magic2 | u8 version=3 | u16 name_len | name bytes
+    S: u32 magic2 | u8 status | u8 version=3 | u64 size
+
+    C: u32 magic2 | u8 type | u32 tag | u64 offset | u32 length
+       | 64-byte ctx field [| payload]
+    S: u32 magic2 | u8 status | u32 tag | u32 length [| payload]
+
+v3 shares the v2 framing and response format exactly; the only
+difference is the fixed 64-byte trace-context field on request frames.
+The context is ``trace_id NUL span_id`` (UTF-8, zero-padded to the
+field size) naming the client span that issued the request; an
+all-zero field means no context (tracing off, or no span open).  The
+field is fixed-size on purpose: the whole request header stays one
+``recv`` on the serving side, so carrying context never costs an extra
+syscall per request (the <= 5% propagation budget of
+``bench_ext_tracing``).  The server opens a child span per served
+request from it, so one merged trace file links a client's ``vm.boot``
+phase to the storage node's ``export.read`` work.
+
 Negotiation: a v2-capable client opens with the v2 hello.  A v2 server
 answers with a v2 handshake response; a v1-only server reads the
 unknown magic, closes the connection, and the client reconnects with a
 v1 hello (lock-step fallback).  A v1 client's hello is served by both.
 An export refusal is :class:`ExportRefusedError` — a definitive answer,
 never retried with the other version.
+
+v3 rides the version byte the v2 hello already carries: the client
+advertises 3, and the *server* answers with the highest version it
+speaks (``min(advertised, max)``), which the client clamps down to.  A
+pre-v3 server therefore answers 2 and the connection transparently
+runs plain v2 — no context field, no second round-trip, old peers
+untouched; a pre-v2 server drops the hello and the v1 fallback above
+takes over.  The same extension discipline as the qcow2 cache header
+extension: new field, old readers unaffected.
 
 Types: READ (server returns ``length`` payload bytes), WRITE (client
 sends payload; server returns empty), FLUSH, DISCONNECT.  All integers
@@ -47,6 +77,11 @@ MAGIC2 = 0x52425332  # "RBS2"
 
 VERSION_1 = 1
 VERSION_2 = 2
+VERSION_3 = 3
+
+#: Highest version this module implements (what a server answers to a
+#: future client advertising more).
+MAX_VERSION = VERSION_3
 
 REQ_READ = 1
 REQ_WRITE = 2
@@ -65,14 +100,17 @@ _HANDSHAKE2_REQ = struct.Struct(">IBH")
 _HANDSHAKE2_RESP = struct.Struct(">IBBQ")
 _REQUEST2 = struct.Struct(">IBIQI")
 _RESPONSE2 = struct.Struct(">IBII")
+_REQUEST3 = struct.Struct(">IBIQI64s")  # v2 request + fixed ctx field
 
 REQUEST_HEADER_SIZE = _REQUEST.size
 RESPONSE_HEADER_SIZE = _RESPONSE.size
 REQUEST2_HEADER_SIZE = _REQUEST2.size
 RESPONSE2_HEADER_SIZE = _RESPONSE2.size
+REQUEST3_HEADER_SIZE = _REQUEST3.size
 
 MAX_PAYLOAD = 32 * 1024 * 1024  # sanity bound for one request
 MAX_TAG = 0xFFFFFFFF
+MAX_TRACE_CTX = 64  # the fixed v3 trace-context field size
 
 
 class ProtocolError(Exception):
@@ -150,21 +188,27 @@ def recv_handshake_response(sock: socket.socket) -> int:
     return size
 
 
-def send_handshake_request_v2(sock: socket.socket, export: str) -> None:
+def send_handshake_request_v2(sock: socket.socket, export: str, *,
+                              version: int = VERSION_2) -> None:
+    """Send the v2-framed hello, advertising ``version`` (2 or 3)."""
     name = export.encode("utf-8")
     if len(name) > 0xFFFF:
         raise ValueError("export name too long")
-    sock.sendall(_HANDSHAKE2_REQ.pack(MAGIC2, VERSION_2, len(name)) + name)
+    sock.sendall(_HANDSHAKE2_REQ.pack(MAGIC2, version, len(name)) + name)
 
 
 def recv_handshake_request_any(
         sock: socket.socket, *,
-        max_version: int = VERSION_2) -> tuple[int, str]:
-    """Server side: accept a v1 or v2 hello, return (version, export).
+        max_version: int = MAX_VERSION) -> tuple[int, str]:
+    """Server side: accept a hello, return (negotiated version, export).
 
-    With ``max_version=1`` a v2 hello raises :class:`ProtocolError`
-    exactly as a genuine pre-v2 server would (unknown magic → drop the
-    connection), which is what the client's fallback path expects.
+    For a v2-framed hello the negotiated version is
+    ``min(advertised, max_version)`` — a v3 client against a
+    ``max_version=2`` server transparently runs v2, exactly as a
+    genuine pre-v3 server would answer.  With ``max_version=1`` a
+    v2-framed hello raises :class:`ProtocolError` exactly as a genuine
+    pre-v2 server would (unknown magic → drop the connection), which
+    is what the client's fallback path expects.
     """
     magic_raw = recv_exact(sock, 4)
     (magic,) = struct.unpack(">I", magic_raw)
@@ -178,27 +222,32 @@ def recv_handshake_request_any(
         if version < VERSION_2:
             raise ProtocolError(
                 f"bad v2 hello: advertised version {version}")
-        # A future client may advertise >2; we answer with what we
-        # speak and the client is expected to clamp down to it.
-        return VERSION_2, recv_exact(sock, name_len).decode("utf-8")
+        return (min(version, max_version),
+                recv_exact(sock, name_len).decode("utf-8"))
     raise ProtocolError(f"bad handshake magic 0x{magic:08x}")
 
 
 def send_handshake_response_v2(sock: socket.socket, *, size: int = 0,
-                               error: bool = False) -> None:
+                               error: bool = False,
+                               version: int = VERSION_2) -> None:
     status = STATUS_ERROR if error else STATUS_OK
-    sock.sendall(_HANDSHAKE2_RESP.pack(MAGIC2, status, VERSION_2, size))
+    sock.sendall(_HANDSHAKE2_RESP.pack(MAGIC2, status, version, size))
 
 
-def recv_handshake_response_v2(sock: socket.socket) -> tuple[int, int]:
-    """Client side: returns (version, size) from a v2 server."""
+def recv_handshake_response_v2(
+        sock: socket.socket, *,
+        max_version: int = VERSION_2) -> tuple[int, int]:
+    """Client side: returns (version, size) from a v2-framed server
+    reply.  ``max_version`` is what the client advertised; the server
+    may answer that or anything down to 2 (its own ceiling), never
+    more."""
     raw = recv_exact(sock, _HANDSHAKE2_RESP.size)
     magic, status, version, size = _HANDSHAKE2_RESP.unpack(raw)
     if magic != MAGIC2:
         raise ProtocolError(f"bad handshake magic 0x{magic:08x}")
     if status != STATUS_OK:
         raise ExportRefusedError("server refused the export")
-    if version != VERSION_2:
+    if not VERSION_2 <= version <= max_version:
         raise ProtocolError(
             f"server negotiated unsupported version {version}")
     return version, size
@@ -213,6 +262,10 @@ class Request:
     offset: int
     length: int
     payload: bytes = b""
+    #: ``(trace_id, span_id)`` of the client span that issued this
+    #: request; carried on the wire only under v3 (ignored by v1/v2
+    #: senders, so stamping it is always safe).
+    trace_ctx: "tuple[str, str] | None" = None
 
 
 def send_request(sock: socket.socket, req: Request) -> None:
@@ -310,6 +363,80 @@ def decode_response_v2_header(raw: bytes) -> tuple[int, int, int]:
     if length > MAX_PAYLOAD:
         raise ProtocolError(f"oversized response ({length} bytes)")
     return status, tag, length
+
+
+# -- v3 (tagged + trace context) requests ------------------------------------
+
+
+# One-slot encode memo: all chunk requests of one driver operation —
+# and usually many consecutive operations — carry the identical span
+# context, so the common case is a tuple-identity hit.  A stale entry
+# is impossible (the memo is keyed on the tuple itself) and the slot
+# is only ever replaced wholesale, which is GIL-atomic.
+_ctx_memo: "tuple[tuple[str, str], bytes] | None" = None
+
+
+def encode_trace_ctx(ctx: "tuple[str, str] | None") -> bytes:
+    """Pack ``(trace_id, span_id)`` into the wire context field
+    (unpadded; the frame struct zero-pads to the fixed field size)."""
+    global _ctx_memo
+    if ctx is None:
+        return b""
+    memo = _ctx_memo
+    if memo is not None and memo[0] is ctx:
+        return memo[1]
+    blob = ctx[0].encode("utf-8") + b"\x00" + ctx[1].encode("utf-8")
+    if len(blob) > MAX_TRACE_CTX:
+        raise ValueError(
+            f"trace context too long ({len(blob)} bytes)")
+    _ctx_memo = (ctx, blob)
+    return blob
+
+
+def decode_trace_ctx(blob: bytes) -> "tuple[str, str] | None":
+    """Unpack a wire context field (zero padding stripped); malformed
+    context is a protocol error (the sender always writes
+    ``trace NUL span``)."""
+    blob = blob.rstrip(b"\x00")
+    if not blob:
+        return None
+    trace, sep, span = blob.partition(b"\x00")
+    if not sep or not trace or not span:
+        raise ProtocolError("malformed trace context field")
+    try:
+        return (trace.decode("utf-8"), span.decode("utf-8"))
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"undecodable trace context: {exc}") from exc
+
+
+def send_request_v3(sock: socket.socket, tag: int, req: Request) -> int:
+    """Send one v3 frame; returns the wire bytes written (header incl.
+    context field + payload) for the sender's byte accounting."""
+    if len(req.payload) > MAX_PAYLOAD or req.length > MAX_PAYLOAD:
+        raise ValueError("request exceeds MAX_PAYLOAD")
+    if not 0 <= tag <= MAX_TAG:
+        raise ValueError(f"tag {tag} out of range")
+    frame = _REQUEST3.pack(MAGIC2, req.req_type, tag, req.offset,
+                           req.length,
+                           encode_trace_ctx(req.trace_ctx)) \
+        + req.payload
+    sock.sendall(frame)
+    return len(frame)
+
+
+def recv_request_v3(sock: socket.socket) -> tuple[int, Request]:
+    raw = recv_exact(sock, _REQUEST3.size)
+    magic, req_type, tag, offset, length, ctx_raw = \
+        _REQUEST3.unpack(raw)
+    if magic != MAGIC2:
+        raise ProtocolError(f"bad request magic 0x{magic:08x}")
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"oversized request ({length} bytes)")
+    ctx = decode_trace_ctx(ctx_raw)
+    payload = b""
+    if req_type == REQ_WRITE:
+        payload = recv_exact(sock, length)
+    return tag, Request(req_type, offset, length, payload, ctx)
 
 
 def recv_response_v2(sock: socket.socket) -> tuple[int, bytes, str | None]:

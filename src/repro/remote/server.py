@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 from repro.imagefmt.driver import BlockDriver
 from repro.metrics.collectors import LatencyHistogram, op_latency_histograms
 from repro.metrics.registry import get_registry, latency_samples
+from repro.metrics.tracing import TRACER
 from repro.remote import protocol as wire
 from repro.remote.fault import (
     ACTION_DELAY,
@@ -59,6 +60,9 @@ from repro.remote.rwlock import RWLock
 
 _OP_KINDS = {wire.REQ_READ: "read", wire.REQ_WRITE: "write",
              wire.REQ_FLUSH: "flush"}
+# Propagated span names, interned once — _serve_traced runs per
+# request.
+_OP_SPAN_NAMES = {op: f"export.{kind}" for op, kind in _OP_KINDS.items()}
 
 
 def _chain_range_tracked(driver: BlockDriver) -> bool:
@@ -112,6 +116,7 @@ class ExportStats:
 
 @dataclass
 class _Export:
+    name: str
     driver: BlockDriver
     writable: bool
     parallel_reads: bool
@@ -119,8 +124,14 @@ class _Export:
     stats_lock: threading.Lock = field(default_factory=threading.Lock)
     stats: ExportStats = field(default_factory=ExportStats)
     inflight: int = 0  # guarded by stats_lock
+    last_error: str | None = None  # guarded by stats_lock
     collector: object | None = None  # registry handle, removed on close
     owned: bool = False  # server opened the driver and closes it too
+
+    def record_error(self, exc: Exception) -> None:
+        with self.stats_lock:
+            self.stats.errors += 1
+            self.last_error = f"{type(exc).__name__}: {exc}"
 
 
 def _register_export_collector(name: str, export: _Export):
@@ -130,6 +141,13 @@ def _register_export_collector(name: str, export: _Export):
     the datapath are untouched, and a dropped export prunes itself at
     the next scrape.  The handle is kept on the export so
     :meth:`BlockServer.close` can unregister eagerly.
+
+    Besides the wire-traffic counters this also surfaces the export's
+    crash-consistency health (DESIGN.md §9) per scrape: the driver's
+    durability-barrier count (``fsync_ops``), whether the image is
+    currently dirty, and whether this open ran recovery — so a fleet
+    scraping ``/metrics`` sees a node serving a recovered or dirty
+    image without ssh-ing in.
     """
     ref = weakref.ref(export)
     labels = {"export": name}
@@ -138,9 +156,21 @@ def _register_export_collector(name: str, export: _Export):
         live = ref()
         if live is None:
             return None
+        driver = live.driver
+        consistency = []
+        if not driver.closed:
+            info = driver.image_info()
+            consistency = [
+                ("block_export_fsync_ops_total", labels,
+                 float(driver.stats.fsync_ops)),
+                ("block_export_image_dirty", labels,
+                 1.0 if info.get("dirty") else 0.0),
+                ("block_export_image_recovered", labels,
+                 1.0 if info.get("recovered") else 0.0),
+            ]
         with live.stats_lock:
             s = live.stats
-            out = [
+            out = consistency + [
                 ("block_export_connections_total", labels,
                  float(s.connections)),
                 ("block_export_read_ops_total", labels, float(s.read_ops)),
@@ -173,9 +203,16 @@ class BlockServer:
                  parallel_reads: bool = True,
                  fault_injector: FaultInjector | None = None,
                  drain_timeout: float = 5.0,
-                 max_protocol: int = wire.VERSION_2,
-                 max_inflight_per_conn: int = 32) -> None:
-        if max_protocol not in (wire.VERSION_1, wire.VERSION_2):
+                 max_protocol: int = wire.MAX_VERSION,
+                 max_inflight_per_conn: int = 32,
+                 telemetry_port: int | None = None) -> None:
+        """``telemetry_port`` opts in to the embedded HTTP telemetry
+        endpoint (``/metrics``, ``/healthz``, ``/traces``; DESIGN.md
+        §10) on that port — 0 picks an ephemeral port, None (default)
+        starts no endpoint.  The endpoint lives and dies with the
+        server: :meth:`close` shuts its thread down."""
+        if max_protocol not in (wire.VERSION_1, wire.VERSION_2,
+                                wire.VERSION_3):
             raise ValueError(
                 f"unsupported max_protocol {max_protocol}")
         self._exports: dict[str, _Export] = {}
@@ -194,6 +231,11 @@ class BlockServer:
         self._state_lock = threading.Lock()
         self._conns: set[socket.socket] = set()
         self._workers: set[threading.Thread] = set()
+        self.telemetry = None
+        if telemetry_port is not None:
+            from repro.metrics.telemetry_server import TelemetryServer
+            self.telemetry = TelemetryServer(
+                host=host, port=telemetry_port, health=self.health)
         self._accept_thread = threading.Thread(
             target=self._accept_loop, daemon=True,
             name=f"blockserver-{self.port}-accept")
@@ -221,7 +263,7 @@ class BlockServer:
         parallel = (self._parallel_reads
                     and driver.supports_concurrent_reads
                     and not _chain_range_tracked(driver))
-        export = _Export(driver, writable, parallel)
+        export = _Export(name, driver, writable, parallel)
         export.collector = _register_export_collector(name, export)
         self._exports[name] = export
 
@@ -271,6 +313,56 @@ class BlockServer:
     def url(self, name: str) -> str:
         return f"nbd://{self.host}:{self.port}/{name}"
 
+    def health(self) -> dict:
+        """Liveness/health snapshot, the ``/healthz`` payload.
+
+        Per export: open/dirty/recovered state (from the driver's
+        ``image_info()``), the current in-flight request depth, error
+        count and the last error surfaced to a client.  Overall
+        ``status`` is ``"ok"`` unless an export is closed, dirty, or
+        has erred since start — then ``"degraded"`` (the telemetry
+        endpoint answers 200 for ``"ok"`` and 503 for ``"degraded"``,
+        so a load balancer can act on status alone).
+        """
+        with self._state_lock:
+            closing = self._closing
+        exports: dict[str, dict] = {}
+        degraded = closing
+        for name, export in self._exports.items():
+            entry: dict = {
+                "writable": export.writable,
+                "parallel_reads": export.parallel_reads,
+                "open": not export.driver.closed,
+            }
+            if export.driver.closed:
+                degraded = True
+            else:
+                info = export.driver.image_info()
+                entry["format"] = info.get("format")
+                entry["virtual_size"] = info.get("virtual_size")
+                entry["dirty"] = bool(info.get("dirty", False))
+                entry["recovered"] = bool(info.get("recovered", False))
+                entry["fsync_ops"] = export.driver.stats.fsync_ops
+                if entry["dirty"] and not export.writable:
+                    # A read-only open of a dirty image serves the
+                    # in-memory recovered state (DESIGN.md §9) — worth
+                    # flagging, not healthy to stay in forever.
+                    degraded = True
+            with export.stats_lock:
+                entry["inflight"] = export.inflight
+                entry["connections"] = export.stats.connections
+                entry["errors"] = export.stats.errors
+                entry["last_error"] = export.last_error
+            if entry["errors"]:
+                degraded = True
+            exports[name] = entry
+        return {
+            "status": "degraded" if degraded else "ok",
+            "closing": closing,
+            "max_protocol": self._max_protocol,
+            "exports": exports,
+        }
+
     def set_fault_injector(self, injector: FaultInjector | None) -> None:
         """Attach (or detach) a fault injector for subsequent requests."""
         self._fault = injector
@@ -290,7 +382,7 @@ class BlockServer:
                     return
                 self._workers = {t for t in self._workers if t.is_alive()}
                 thread = threading.Thread(
-                    target=self._serve_connection, args=(conn,),
+                    target=self._serve_connection, args=(conn, n),
                     daemon=True,
                     name=f"blockserver-{self.port}-conn{n}")
                 self._conns.add(conn)
@@ -298,14 +390,16 @@ class BlockServer:
             thread.start()
             n += 1
 
-    def _serve_connection(self, conn: socket.socket) -> None:
+    def _serve_connection(self, conn: socket.socket,
+                          conn_id: int) -> None:
         try:
             version, name = wire.recv_handshake_request_any(
                 conn, max_version=self._max_protocol)
             export = self._exports.get(name)
             if export is None:
                 if version >= wire.VERSION_2:
-                    wire.send_handshake_response_v2(conn, error=True)
+                    wire.send_handshake_response_v2(
+                        conn, error=True, version=version)
                 else:
                     wire.send_handshake_response(conn, error=True)
                 return
@@ -313,8 +407,8 @@ class BlockServer:
                 export.stats.connections += 1
             if version >= wire.VERSION_2:
                 wire.send_handshake_response_v2(
-                    conn, size=export.driver.size)
-                self._request_loop_v2(conn, export)
+                    conn, size=export.driver.size, version=version)
+                self._request_loop_v2(conn, export, version, conn_id)
             else:
                 wire.send_handshake_response(conn,
                                              size=export.driver.size)
@@ -352,8 +446,7 @@ class BlockServer:
                 try:
                     payload = self._dispatch(export, req)
                 except Exception as exc:  # surfaced to the client
-                    with export.stats_lock:
-                        export.stats.errors += 1
+                    export.record_error(exc)
                     self._count_sent(export, wire.RESPONSE_HEADER_SIZE,
                                      len(str(exc).encode("utf-8")))
                     wire.send_response(conn, error=str(exc))
@@ -364,8 +457,8 @@ class BlockServer:
             finally:
                 self._exit_inflight(export)
 
-    def _request_loop_v2(self, conn: socket.socket,
-                         export: _Export) -> None:
+    def _request_loop_v2(self, conn: socket.socket, export: _Export,
+                         version: int, conn_id: int) -> None:
         """Tagged loop: read requests, serve each in its own worker.
 
         Workers dispatch through the same export RWLock as separate
@@ -373,16 +466,22 @@ class BlockServer:
         keeps their response frames from interleaving on the wire.  A
         semaphore bounds the per-connection worker fan-out — the
         transport-level backpressure matching the client's window.
+        v3 differs only in the request framing (a trace-context field
+        ahead of the payload); responses are identical.
         """
+        recv = (wire.recv_request_v3 if version >= wire.VERSION_3
+                else wire.recv_request_v2)
+        header = (wire.REQUEST3_HEADER_SIZE
+                  if version >= wire.VERSION_3
+                  else wire.REQUEST2_HEADER_SIZE)
         send_lock = threading.Lock()
         limiter = threading.BoundedSemaphore(self._max_inflight_per_conn)
         workers: list[threading.Thread] = []
         prefix = threading.current_thread().name
         try:
             while True:
-                tag, req = wire.recv_request_v2(conn)
-                self._count_received(export, wire.REQUEST2_HEADER_SIZE,
-                                     req)
+                tag, req = recv(conn)
+                self._count_received(export, header, req)
                 if req.req_type == wire.REQ_DISCONNECT:
                     return
                 action = (self._fault.next_action()
@@ -395,7 +494,7 @@ class BlockServer:
                 thread = threading.Thread(
                     target=self._serve_request_v2,
                     args=(conn, export, tag, req, send_lock, limiter,
-                          action),
+                          action, conn_id),
                     daemon=True,
                     name=f"{prefix}-req{tag}")
                 workers.append(thread)
@@ -411,7 +510,7 @@ class BlockServer:
                           tag: int, req: wire.Request,
                           send_lock: threading.Lock,
                           limiter: threading.BoundedSemaphore,
-                          action: str | None) -> None:
+                          action: str | None, conn_id: int) -> None:
         self._enter_inflight(export)
         try:
             if action == ACTION_DELAY:
@@ -423,21 +522,70 @@ class BlockServer:
                 self._send_response_v2(conn, export, send_lock, tag,
                                        error="injected fault")
                 return
+            span = end = None
             try:
-                payload = self._dispatch(export, req)
+                payload, span, end = self._serve_traced(
+                    export, req, conn_id)
             except Exception as exc:  # surfaced to the client
-                with export.stats_lock:
-                    export.stats.errors += 1
+                export.record_error(exc)
                 self._send_response_v2(conn, export, send_lock, tag,
                                        error=str(exc))
                 return
             self._send_response_v2(conn, export, send_lock, tag,
                                    payload=payload)
+            if span is not None:
+                # Attr building and record emission deliberately land
+                # after the send: they overlap the client's next
+                # request instead of adding to this one's round trip.
+                self._fill_span_attrs(span, export, req, conn_id)
+                TRACER.emit_closed(span, end)
         except OSError:
             pass  # client went away mid-response; reader loop notices
         finally:
             self._exit_inflight(export)
             limiter.release()
+
+    def _serve_traced(
+            self, export: _Export, req: wire.Request,
+            conn_id: int) -> tuple[bytes, object | None, float | None]:
+        """Dispatch one request, inside a propagated child span when
+        the frame carried trace context (v3) and tracing is on here.
+
+        The span re-roots this worker thread in the *caller's* trace:
+        the driver's own ``block.read`` events underneath attach to it,
+        so a merged client+server report shows the served bytes under
+        the client span that issued the request (DESIGN.md §10).
+
+        Returns ``(payload, span, end)``; the caller emits the span
+        record via ``TRACER.emit_closed`` after the response is on the
+        wire.  On a dispatch error the record is emitted here (errors
+        are the cold path, and the caller never sees the span).
+        """
+        ctx = req.trace_ctx
+        if ctx is None or not TRACER.enabled:
+            return self._dispatch(export, req), None, None
+        # Attrs are filled in by _fill_span_attrs after the response is
+        # sent — only the ids and start time must exist before dispatch
+        # (child events parent on them); everything else is deferrable.
+        span = TRACER.begin_propagated(
+            _OP_SPAN_NAMES.get(req.req_type, "export.other"),
+            ctx[0], ctx[1], {})
+        try:
+            payload = self._dispatch(export, req)
+        except BaseException:
+            end = TRACER.close_propagated(span)
+            self._fill_span_attrs(span, export, req, conn_id)
+            TRACER.emit_closed(span, end)
+            raise
+        return payload, span, TRACER.close_propagated(span)
+
+    @staticmethod
+    def _fill_span_attrs(span, export: _Export, req: wire.Request,
+                         conn_id: int) -> None:
+        span.attrs.update(
+            export=export.name, conn=conn_id, offset=req.offset,
+            length=(len(req.payload) if req.req_type == wire.REQ_WRITE
+                    else req.length))
 
     def _send_response_v2(self, conn: socket.socket, export: _Export,
                           send_lock: threading.Lock, tag: int, *,
@@ -527,6 +675,8 @@ class BlockServer:
             self._closing = True
             conns = list(self._conns)
             workers = list(self._workers)
+        if self.telemetry is not None:
+            self.telemetry.close()
         registry = get_registry()
         for export in self._exports.values():
             if export.collector is not None:

@@ -1,0 +1,127 @@
+"""The black-box flight recorder: ring bounding, sink teeing, dump
+contents, and the SIGUSR2 / excepthook triggers."""
+
+import json
+import os
+import signal
+import sys
+
+import pytest
+
+from repro.metrics.flight_recorder import FlightRecorder, get_recorder
+from repro.metrics.registry import MetricsRegistry, set_registry
+from repro.metrics.tracing import TRACER, ListSink
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    TRACER.disable()
+    mine = MetricsRegistry()
+    old = set_registry(mine)
+    yield
+    TRACER.disable()
+    set_registry(old)
+    rec = get_recorder()
+    if rec is not None:
+        rec.uninstall()
+
+
+def event(i):
+    return {"type": "event", "name": f"e{i}", "ts": float(i),
+            "attrs": {}}
+
+
+class TestRing:
+    def test_ring_keeps_only_the_tail(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.append(event(i))
+        assert rec.seen == 10
+        assert [r["name"] for r in rec.records()] \
+            == ["e6", "e7", "e8", "e9"]
+        assert [r["name"] for r in rec.records(2)] == ["e8", "e9"]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_is_a_tracer_sink(self):
+        rec = FlightRecorder(capacity=16)
+        TRACER.enable(rec)
+        with TRACER.span("wave"):
+            TRACER.event("block.read", layer="base", length=4096)
+        TRACER.disable()
+        names = [r["name"] for r in rec.records()]
+        assert names == ["block.read", "wave"]
+
+    def test_tee_preserves_inner_sink(self):
+        inner = ListSink()
+        rec = FlightRecorder(capacity=2, inner=inner)
+        for i in range(5):
+            rec.append(event(i))
+        assert len(inner.records) == 5  # full record survives the tee
+        assert len(rec.records()) == 2  # ring stays bounded
+        rec.flush()
+        rec.close()
+
+
+class TestDump:
+    def test_dump_contains_records_and_metrics(self, tmp_path,
+                                               registry=None):
+        from repro.metrics.registry import get_registry
+        get_registry().counter("boots_total").inc(7)
+        rec = FlightRecorder(capacity=8, dump_dir=str(tmp_path))
+        rec.append(event(1))
+        path = rec.dump(reason="test")
+        with open(path) as f:
+            snap = json.load(f)
+        assert snap["reason"] == "test"
+        assert snap["pid"] == os.getpid()
+        assert [r["name"] for r in snap["records"]] == ["e1"]
+        assert snap["metrics"]["boots_total"][0]["value"] == 7
+        # Auto-named dumps number themselves.
+        second = rec.dump()
+        assert second != path and os.path.exists(second)
+
+    def test_sigusr2_triggers_dump(self, tmp_path):
+        rec = FlightRecorder(capacity=8,
+                             dump_dir=str(tmp_path)).install()
+        try:
+            assert get_recorder() is rec
+            rec.append(event(1))
+            os.kill(os.getpid(), signal.SIGUSR2)
+            # Delivery is synchronous for a same-process kill on the
+            # main thread (the handler runs before kill returns).
+            assert rec.dumps == 1
+            dumps = [p for p in os.listdir(tmp_path)
+                     if p.startswith("flightrec-")]
+            assert len(dumps) == 1
+            with open(tmp_path / dumps[0]) as f:
+                assert "signal" in json.load(f)["reason"]
+        finally:
+            rec.uninstall()
+
+    def test_excepthook_dumps_then_chains(self, tmp_path, capsys):
+        rec = FlightRecorder(capacity=8,
+                             dump_dir=str(tmp_path)).install(
+                                 signum=None)
+        try:
+            rec.append(event(1))
+            seen = []
+            rec._prev_excepthook = \
+                lambda *a: seen.append(a[0].__name__)
+            sys.excepthook(ValueError, ValueError("x"), None)
+            assert rec.dumps == 1
+            assert seen == ["ValueError"]
+        finally:
+            rec.uninstall()
+
+    def test_uninstall_restores_hooks(self):
+        prev_hook = sys.excepthook
+        prev_sig = signal.getsignal(signal.SIGUSR2)
+        rec = FlightRecorder().install()
+        assert sys.excepthook is not prev_hook
+        rec.uninstall()
+        assert sys.excepthook is prev_hook
+        assert signal.getsignal(signal.SIGUSR2) == prev_sig
+        assert get_recorder() is None

@@ -176,6 +176,108 @@ class TestExport:
         assert registry.samples() == []
 
 
+def _parse_exposition(text):
+    """Parse the rendered text back into {name: {(label tuples): value}}
+    plus the HELP/TYPE maps — the round-trip half of the escaping
+    tests (a scraper-grade parser for exactly what we render)."""
+    import re
+    samples, helps, types = {}, {}, {}
+    label_re = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+    unescape = {r"\\": "\\", r"\"": '"', r"\n": "\n"}
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            _h, _k, name, help_text = line.split(" ", 3)
+            helps[name] = help_text
+        elif line.startswith("# TYPE "):
+            _h, _k, name, kind = line.split(" ", 3)
+            types[name] = kind
+        else:
+            metric, value = line.rsplit(" ", 1)
+            if "{" in metric:
+                name, _b, rest = metric.partition("{")
+                labels = tuple(
+                    (k, re.sub(r"\\.",
+                               lambda m: unescape.get(m.group(0),
+                                                      m.group(0)),
+                               v))
+                    for k, v in label_re.findall(rest[:-1]))
+            else:
+                name, labels = metric, ()
+            samples.setdefault(name, {})[labels] = float(value)
+    return samples, helps, types
+
+
+class TestExpositionFormat:
+    def test_label_values_round_trip_through_escaping(self, registry):
+        nasty = 'we"ird\\na\nme'
+        registry.counter("reads_total", export=nasty).inc(5)
+        samples, _h, _t = _parse_exposition(
+            registry.render_prometheus())
+        assert samples["reads_total"][(("export", nasty),)] == 5.0
+
+    def test_every_series_has_help_and_type_in_order(self, registry):
+        registry.counter("boots_total", node="n1").inc()
+        registry.gauge("slots_free").set(3)
+        registry.histogram("lat").observe(0.001)
+        registry.register_collector(
+            lambda: [("ext_bytes_total", {"src": "c"}, 9.0)])
+        text = registry.render_prometheus()
+        samples, helps, types = _parse_exposition(text)
+        for name in samples:
+            assert name in helps, f"{name} has no HELP"
+            assert name in types, f"{name} has no TYPE"
+        # HELP immediately precedes TYPE, which precedes the samples.
+        lines = text.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("# HELP "):
+                name = line.split()[2]
+                assert lines[i + 1].startswith(f"# TYPE {name} ")
+                assert lines[i + 2].startswith(name)
+
+    def test_series_kinds(self, registry):
+        registry.counter("boots_total").inc()
+        registry.gauge("slots_free").set(1)
+        registry.histogram("lat").observe(0.002)
+        registry.register_collector(
+            lambda: [("coll_bytes_total", {}, 1.0),
+                     ("coll_inflight", {}, 2.0)])
+        _s, _h, types = _parse_exposition(registry.render_prometheus())
+        assert types["boots_total"] == "counter"
+        assert types["slots_free"] == "gauge"
+        assert types["lat_count"] == "counter"
+        assert types["lat_ms"] == "gauge"
+        assert types["coll_bytes_total"] == "counter"
+        assert types["coll_inflight"] == "gauge"
+
+    def test_family_blocks_are_contiguous(self, registry):
+        """Primitive and collector samples of the same name must merge
+        into one block — interleaved families are invalid exposition
+        output."""
+        registry.counter("reads_total", src="prim").inc(1)
+        registry.counter("zz_total").inc(1)
+        registry.register_collector(
+            lambda: [("reads_total", {"src": "coll"}, 2.0)])
+        text = registry.render_prometheus()
+        starts = [i for i, line in enumerate(text.splitlines())
+                  if line.startswith("# TYPE reads_total ")]
+        assert len(starts) == 1
+        samples, _h, _t = _parse_exposition(text)
+        assert len(samples["reads_total"]) == 2
+
+    def test_describe_sets_help_text(self, registry):
+        registry.counter("boots_total").inc()
+        registry.describe("boots_total", "VM boots since start")
+        _s, helps, _t = _parse_exposition(registry.render_prometheus())
+        assert helps["boots_total"] == "VM boots since start"
+
+    def test_special_float_values(self, registry):
+        registry.gauge("weird").set(float("inf"))
+        registry.gauge("weirder").set(float("nan"))
+        text = registry.render_prometheus()
+        assert "weird +Inf" in text
+        assert "weirder NaN" in text
+
+
 class TestProcessWide:
     def test_set_registry_swaps_and_restores(self):
         mine = MetricsRegistry()

@@ -1,0 +1,200 @@
+"""The embedded telemetry endpoint: /metrics, /healthz, /traces.
+
+The tier-1 smoke path starts a real :class:`BlockServer` with a
+telemetry port, scrapes both endpoints over actual HTTP, validates the
+Prometheus exposition format line by line, and asserts the endpoint
+thread shuts down cleanly with the server.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.imagefmt.raw import RawImage
+from repro.metrics.flight_recorder import FlightRecorder
+from repro.metrics.registry import MetricsRegistry, set_registry
+from repro.metrics.telemetry_server import TelemetryServer
+from repro.remote import BlockServer
+from repro.units import KiB
+
+
+@pytest.fixture
+def registry():
+    mine = MetricsRegistry()
+    old = set_registry(mine)
+    yield mine
+    set_registry(old)
+
+
+def fetch(url):
+    try:
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            return resp.status, resp.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8")
+
+
+def assert_valid_exposition(text):
+    """Line-by-line structural check of the 0.0.4 text format: every
+    series introduced by HELP-then-TYPE, samples contiguous per
+    name, names never revisited."""
+    seen = set()
+    lines = text.splitlines()
+    assert lines, "empty exposition"
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        assert line.startswith("# HELP "), f"line {i}: expected HELP"
+        name = line.split()[2]
+        assert name not in seen, f"{name} appears twice"
+        seen.add(name)
+        type_line = lines[i + 1]
+        assert type_line.startswith(f"# TYPE {name} ")
+        kind = type_line.split()[3]
+        assert kind in ("counter", "gauge", "histogram",
+                        "summary", "untyped")
+        i += 2
+        saw_sample = False
+        while i < len(lines) and not lines[i].startswith("#"):
+            sample = lines[i]
+            assert sample.startswith(name), \
+                f"line {i}: {sample!r} outside its {name} block"
+            rest = sample[len(name):]
+            assert rest.startswith((" ", "{")), \
+                f"line {i}: name mismatch in {sample!r}"
+            value = sample.rsplit(" ", 1)[1]
+            if value not in ("+Inf", "-Inf", "NaN"):
+                float(value)
+            saw_sample = True
+            i += 1
+        assert saw_sample, f"{name}: headers without samples"
+
+
+class TestStandalone:
+    def test_metrics_endpoint_renders_registry(self, registry):
+        registry.counter("boots_total", node="n1").inc(3)
+        srv = TelemetryServer(port=0)
+        try:
+            status, body = fetch(f"{srv.url}/metrics")
+            assert status == 200
+            assert 'boots_total{node="n1"} 3' in body
+            assert_valid_exposition(body)
+        finally:
+            srv.close()
+
+    def test_healthz_without_callable_is_ok(self, registry):
+        srv = TelemetryServer(port=0)
+        try:
+            status, body = fetch(f"{srv.url}/healthz")
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+        finally:
+            srv.close()
+
+    def test_healthz_degraded_maps_to_503(self, registry):
+        srv = TelemetryServer(
+            port=0, health=lambda: {"status": "degraded",
+                                    "why": "disk on fire"})
+        try:
+            status, body = fetch(f"{srv.url}/healthz")
+            assert status == 503
+            assert json.loads(body)["why"] == "disk on fire"
+        finally:
+            srv.close()
+
+    def test_healthz_exception_is_degraded_not_500(self, registry):
+        def broken():
+            raise RuntimeError("boom")
+        srv = TelemetryServer(port=0, health=broken)
+        try:
+            status, body = fetch(f"{srv.url}/healthz")
+            assert status == 503
+            assert "boom" in json.loads(body)["detail"]
+        finally:
+            srv.close()
+
+    def test_traces_tails_the_recorder(self, registry):
+        rec = FlightRecorder(capacity=8)
+        for i in range(12):
+            rec.append({"type": "event", "name": f"e{i}", "ts": 0.0,
+                        "attrs": {}})
+        srv = TelemetryServer(port=0, traces=rec)
+        try:
+            status, body = fetch(f"{srv.url}/traces?n=3")
+            assert status == 200
+            names = [json.loads(line)["name"]
+                     for line in body.splitlines()]
+            assert names == ["e9", "e10", "e11"]
+            status, _ = fetch(f"{srv.url}/traces?n=bogus")
+            assert status == 400
+        finally:
+            srv.close()
+
+    def test_unknown_path_is_404(self, registry):
+        srv = TelemetryServer(port=0)
+        try:
+            status, _ = fetch(f"{srv.url}/nope")
+            assert status == 404
+        finally:
+            srv.close()
+
+
+class TestBlockServerIntegration:
+    def test_smoke_scrape_and_clean_shutdown(self, registry,
+                                             small_base):
+        """ISSUE acceptance: BlockServer with a telemetry port, both
+        endpoints scraped for real, exposition validated line by
+        line, endpoint thread gone after close()."""
+        base = RawImage.open(small_base)
+        before = threading.active_count()
+        server = BlockServer(telemetry_port=0)
+        server.add_export("base", base)
+        url = server.telemetry.url
+        from repro.remote import RemoteImage
+        with RemoteImage.connect(server.url("base")) as img:
+            img.read(0, 64 * KiB)
+
+        status, metrics = fetch(f"{url}/metrics")
+        assert status == 200
+        assert_valid_exposition(metrics)
+        assert "block_export_bytes_read_total" in metrics
+        # Crash-consistency health is on the scrape surface.
+        assert "block_export_fsync_ops_total" in metrics
+        assert "block_export_image_dirty" in metrics
+
+        status, body = fetch(f"{url}/healthz")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["status"] == "ok"
+        exp = doc["exports"]["base"]
+        assert exp["open"] and not exp["dirty"]
+        assert exp["errors"] == 0 and exp["last_error"] is None
+        assert exp["connections"] == 1
+
+        server.close()
+        with pytest.raises(OSError):
+            fetch(f"{url}/healthz")
+        # The daemon thread pool must drain back to where we started.
+        for _ in range(50):
+            if threading.active_count() <= before:
+                break
+            threading.Event().wait(0.05)
+        assert threading.active_count() <= before
+        base.close()
+
+    def test_healthz_degrades_on_closed_driver(self, registry,
+                                               small_base):
+        base = RawImage.open(small_base)
+        server = BlockServer(telemetry_port=0)
+        server.add_export("base", base)
+        url = server.telemetry.url
+        base.close()
+        status, body = fetch(f"{url}/healthz")
+        assert status == 503
+        doc = json.loads(body)
+        assert doc["status"] == "degraded"
+        assert doc["exports"]["base"]["open"] is False
+        server.close()

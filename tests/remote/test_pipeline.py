@@ -26,12 +26,12 @@ FAST_RETRY = dict(max_retries=3, backoff_base=0.01, backoff_max=0.05)
 
 
 class TestNegotiation:
-    def test_default_negotiates_v2(self, small_base):
+    def test_default_negotiates_max(self, small_base):
         base = RawImage.open(small_base)
         with BlockServer() as server:
             server.add_export("base", base)
             with RemoteImage.connect(server.url("base")) as img:
-                assert img.protocol_version == wire.VERSION_2
+                assert img.protocol_version == wire.MAX_VERSION
                 assert img.pipeline_depth == 8
                 assert img.read(0, 4096) == pattern(0, 4096)
         base.close()
@@ -99,7 +99,7 @@ class TestNegotiation:
         with BlockServer() as server:
             server.add_export("base", base)
             with pytest.raises(ValueError):
-                RemoteImage.connect(server.url("base"), protocol=3)
+                RemoteImage.connect(server.url("base"), protocol=4)
             with pytest.raises(ValueError):
                 RemoteImage.connect(server.url("base"), depth=0)
         base.close()
@@ -282,7 +282,7 @@ class TestPipelinedRecovery:
             server.add_export("base", base)
             with RemoteImage.connect(server.url("base"),
                                      depth=1) as img:
-                assert img.protocol_version == wire.VERSION_2
+                assert img.protocol_version == wire.MAX_VERSION
                 assert img.read(0, 128 * KiB) == pattern(0, 128 * KiB)
                 assert img.transport_stats.inflight_hwm == 1
         base.close()
@@ -322,7 +322,7 @@ class TestTransportObservability:
                 assert summary["latency"]["read"]["count"] == 1
                 assert summary["inflight_hwm"] >= 1
                 info = img.image_info()
-                assert info["protocol_version"] == wire.VERSION_2
+                assert info["protocol_version"] == wire.MAX_VERSION
                 assert info["pipeline_depth"] == img.pipeline_depth
                 assert info["transport"]["bytes_received"] \
                     >= 64 * KiB

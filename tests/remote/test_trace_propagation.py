@@ -1,0 +1,351 @@
+"""Trace-context propagation over wire protocol v3.
+
+Covers the negotiation matrix (context-enabled peers against
+context-less v2 and v1 peers), reconnect stability of propagated ids,
+the v3 frame codec itself, and the cross-process merge: a storage node
+in a real child process records its own trace, and the merged
+client+server boot report must show every served ``export.read`` span
+parented under the client span that issued it, with byte attribution
+reconciling exactly with the client driver's own accounting.
+"""
+
+import os
+import socket
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.errors import RemoteError
+from repro.imagefmt.raw import RawImage
+from repro.metrics.boot_report import build_report, merge_traces
+from repro.metrics.tracing import TRACER, ListSink, Tracer, load_trace
+from repro.remote import BlockServer, FaultInjector, RemoteImage
+from repro.remote import protocol as wire
+from repro.units import KiB
+
+from tests.conftest import pattern
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+FAST_RETRY = dict(max_retries=3, backoff_base=0.01, backoff_max=0.05)
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    TRACER.disable()
+    yield
+    TRACER.disable()
+
+
+def export_spans(sink):
+    return [r for r in sink.records if r["type"] == "span"
+            and r["name"].startswith("export.")]
+
+
+class TestWireCodec:
+    def test_trace_ctx_roundtrip(self):
+        blob = wire.encode_trace_ctx(("t0001", "s000042"))
+        assert wire.decode_trace_ctx(blob) == ("t0001", "s000042")
+        assert wire.decode_trace_ctx(b"") is None
+
+    def test_trace_ctx_malformed_rejected(self):
+        with pytest.raises(wire.ProtocolError):
+            wire.decode_trace_ctx(b"no-separator")
+        with pytest.raises(wire.ProtocolError):
+            wire.decode_trace_ctx(b"\xfftid\x00sid")
+
+    def test_trace_ctx_oversize_rejected(self):
+        with pytest.raises(ValueError):
+            wire.encode_trace_ctx(("t" * 600, "s1"))
+
+    def test_request_frame_roundtrip_with_and_without_ctx(self):
+        a, b = socket.socketpair()
+        try:
+            for ctx in (("t0007", "s000009"), None):
+                req = wire.Request(wire.REQ_READ, offset=123,
+                                   length=456, trace_ctx=ctx)
+                wire.send_request_v3(a, 42, req)
+                tag, got = wire.recv_request_v3(b)
+                assert tag == 42
+                assert got.offset == 123 and got.length == 456
+                assert got.trace_ctx == ctx
+        finally:
+            a.close()
+            b.close()
+
+
+class TestNegotiationMatrix:
+    def test_context_client_against_v2_server(self, small_base):
+        """A v3-capable, tracing-enabled client against a v2-only
+        server: transparent clamp, no context on the wire, no
+        errors."""
+        sink = ListSink()
+        TRACER.enable(sink)
+        base = RawImage.open(small_base)
+        with BlockServer(max_protocol=2) as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base")) as img:
+                assert img.protocol_version == wire.VERSION_2
+                with TRACER.span("client.op"):
+                    assert img.read(0, 64 * KiB) == pattern(0, 64 * KiB)
+        assert export_spans(sink) == []
+        base.close()
+
+    def test_context_client_against_v1_server(self, small_base):
+        sink = ListSink()
+        TRACER.enable(sink)
+        base = RawImage.open(small_base)
+        with BlockServer(max_protocol=1) as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base")) as img:
+                assert img.protocol_version == wire.VERSION_1
+                with TRACER.span("client.op"):
+                    assert img.read(0, 4096) == pattern(0, 4096)
+        assert export_spans(sink) == []
+        base.close()
+
+    def test_contextless_client_against_context_server(self, small_base):
+        """v3 negotiated but the client has no span open: requests
+        carry an empty context and the server opens no export
+        spans."""
+        sink = ListSink()
+        TRACER.enable(sink)
+        base = RawImage.open(small_base)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base")) as img:
+                assert img.protocol_version == wire.VERSION_3
+                assert img.read(0, 4096) == pattern(0, 4096)
+        assert export_spans(sink) == []
+        base.close()
+
+    def test_tracing_disabled_on_v3_is_clean(self, small_base):
+        base = RawImage.open(small_base)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base")) as img:
+                assert img.protocol_version == wire.VERSION_3
+                assert img.read(0, 64 * KiB) == pattern(0, 64 * KiB)
+        base.close()
+
+    def test_pinned_v3_against_v2_server_raises(self, small_base):
+        base = RawImage.open(small_base)
+        with BlockServer(max_protocol=2) as server:
+            server.add_export("base", base)
+            with pytest.raises((wire.ProtocolError, RemoteError)):
+                RemoteImage.connect(server.url("base"), protocol=3,
+                                    **FAST_RETRY)
+        base.close()
+
+
+class TestPropagationEndToEnd:
+    def test_served_spans_parent_under_client_span(self, small_base):
+        sink = ListSink()
+        TRACER.enable(sink)
+        base = RawImage.open(small_base, read_only=False)
+        with BlockServer() as server:
+            server.add_export("base", base, writable=True)
+            with RemoteImage.connect(server.url("base"),
+                                     read_only=False) as img:
+                with TRACER.span("client.op") as op:
+                    img.read(0, 128 * KiB)
+                    img.write(0, pattern(0, 4096))
+                client_trace = op.trace_id
+                client_span = op.span_id
+        spans = export_spans(sink)
+        reads = [s for s in spans if s["name"] == "export.read"]
+        writes = [s for s in spans if s["name"] == "export.write"]
+        assert reads and writes
+        for span in spans:
+            assert span["trace_id"] == client_trace
+            assert span["parent_id"] == client_span
+            assert span["attrs"]["propagated"] is True
+            assert span["attrs"]["export"] == "base"
+            assert "conn" in span["attrs"]
+        # Byte attribution reconciles exactly with the client driver's
+        # own accounting (chunking may split one read into several
+        # served spans; the totals must still match).
+        assert sum(s["attrs"]["length"] for s in reads) == 128 * KiB
+        assert sum(s["attrs"]["length"] for s in writes) == 4096
+        base.close()
+
+    def test_reconnect_keeps_trace_ids_stable(self, small_base):
+        """A drop mid-window forces reconnect-and-replay; the replayed
+        requests must still carry the same propagated trace id."""
+        sink = ListSink()
+        TRACER.enable(sink)
+        base = RawImage.open(small_base)
+        fi = FaultInjector()
+        with BlockServer(fault_injector=fi) as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"),
+                                     **FAST_RETRY) as img:
+                with TRACER.span("client.op") as op:
+                    img.read(0, 4096)
+                    fi.inject("drop")
+                    img.read(8192, 4096)
+                assert img.transport_stats.reconnects >= 1
+                client_trace = op.trace_id
+        spans = export_spans(sink)
+        assert spans
+        assert {s["trace_id"] for s in spans} == {client_trace}
+        base.close()
+
+    def test_batch_ctx_spans_one_parent(self, small_base):
+        sink = ListSink()
+        TRACER.enable(sink)
+        base = RawImage.open(small_base)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"),
+                                     depth=4) as img:
+                with TRACER.span("client.batch") as op:
+                    img.read_batch([(0, 4096), (8192, 4096),
+                                    (64 * KiB, 4096)])
+        spans = export_spans(sink)
+        assert len(spans) >= 3
+        assert {s["parent_id"] for s in spans} == {op.span_id}
+        base.close()
+
+
+class TestMergeTraces:
+    def _two_process_traces(self, *, id_prefix=""):
+        """Simulate a client and a storage node with separate tracers
+        (separate processes in miniature: both count ids from 1)."""
+        client, server = Tracer(), Tracer()
+        client_sink, server_sink = ListSink(), ListSink()
+        client.enable(client_sink)
+        server.enable(server_sink, id_prefix=id_prefix or None)
+        # A server-local span first, so local ids collide with the
+        # client's if unprefixed.
+        with server.span("node.startup"):
+            pass
+        with client.span("client.op") as op:
+            ctx = client.propagation_context()
+            assert ctx == (op.trace_id, op.span_id)
+            with server.propagated_span("export.read", ctx[0], ctx[1],
+                                        export="base", conn=0,
+                                        offset=0, length=4096):
+                server.event("block.read", layer="base",
+                             path="/img/base.raw", offset=0,
+                             length=4096)
+        client.disable()
+        server.disable()
+        return client_sink.records, server_sink.records
+
+    def test_colliding_ids_rewritten_and_linked(self):
+        primary, secondary = self._two_process_traces()
+        merged = merge_traces(primary, secondary)
+        span_ids = [r["span_id"] for r in merged
+                    if r["type"] == "span"]
+        assert len(span_ids) == len(set(span_ids))
+        report = build_report(merged)
+        served = report.served["base"]
+        assert served.linked == 1 and served.orphaned == 0
+        # The propagated span and its nested event stay in the
+        # client's trace.
+        exp = next(r for r in merged if r.get("name") == "export.read")
+        ev = next(r for r in merged if r.get("name") == "block.read")
+        client_op = next(r for r in merged
+                         if r.get("name") == "client.op")
+        assert exp["trace_id"] == client_op["trace_id"]
+        assert exp["parent_id"] == client_op["span_id"]
+        assert ev["trace_id"] == client_op["trace_id"]
+        assert ev["parent_id"] == exp["span_id"]
+        # The server-local span was rewritten out of collision.
+        local = next(r for r in merged
+                     if r.get("name") == "node.startup")
+        assert local["span_id"].startswith("peer-")
+        assert local["trace_id"] != client_op["trace_id"]
+
+    def test_prefixed_peer_merges_unchanged(self):
+        primary, secondary = self._two_process_traces(id_prefix="srv-")
+        merged = merge_traces(primary, secondary)
+        assert merged[len(primary):] == secondary
+
+    def test_merged_report_equals_sum_of_parts(self):
+        primary, secondary = self._two_process_traces()
+        merged_report = build_report(merge_traces(primary, secondary))
+        part_a = build_report(primary)
+        part_b = build_report(secondary)
+        assert merged_report.record_count \
+            == part_a.record_count + part_b.record_count
+        assert merged_report.layer_bytes("base") \
+            == part_a.layer_bytes("base") + part_b.layer_bytes("base")
+        served = merged_report.served["base"]
+        assert served.bytes_read \
+            == part_b.served["base"].bytes_read
+        assert served.orphaned == 0
+
+    def test_unmerged_server_trace_reports_orphans(self):
+        server = Tracer()
+        sink = ListSink()
+        server.enable(sink)
+        with server.propagated_span("export.read", "t0001", "s000001",
+                                    export="base", conn=0, offset=0,
+                                    length=4096):
+            pass
+        server.disable()
+        report = build_report(sink.records)
+        assert report.served["base"].orphaned == 1
+        assert report.served["base"].linked == 0
+
+
+_NODE_SCRIPT = textwrap.dedent("""\
+    import sys
+    from repro.imagefmt.raw import RawImage
+    from repro.metrics.tracing import TRACER, JsonlSink
+    from repro.remote import BlockServer
+
+    base_path, trace_path = sys.argv[1], sys.argv[2]
+    TRACER.enable(JsonlSink(trace_path))
+    base = RawImage.open(base_path)
+    server = BlockServer()
+    server.add_export("base", base)
+    print(server.port, flush=True)
+    sys.stdin.readline()  # parent closes stdin to stop us
+    server.close()
+    base.close()
+    TRACER.disable()
+""")
+
+
+class TestCrossProcessMerge:
+    def test_merged_report_links_every_served_span(self, small_base,
+                                                   tmp_path):
+        """The acceptance check: storage node in a real child process,
+        one trace per process, merged report shows every served span
+        under its client span and reconciles byte-for-byte with the
+        client driver's stats."""
+        node_trace = str(tmp_path / "node.jsonl")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(
+            os.path.dirname(__file__), "..", "..", "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _NODE_SCRIPT, small_base,
+             node_trace],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            env=env, text=True)
+        try:
+            port = int(proc.stdout.readline())
+            sink = ListSink()
+            TRACER.enable(sink)
+            with RemoteImage.connect(
+                    f"nbd://127.0.0.1:{port}/base") as img:
+                assert img.protocol_version == wire.VERSION_3
+                with TRACER.span("client.op"):
+                    img.read(0, 256 * KiB)
+                    img.read(512 * KiB, 64 * KiB)
+                client_bytes = img.stats.bytes_read
+            TRACER.disable()
+        finally:
+            proc.stdin.close()
+            proc.wait(timeout=10)
+        report = build_report(
+            merge_traces(sink.records, load_trace(node_trace)))
+        served = report.served["base"]
+        assert served.orphaned == 0 and served.linked == served.spans
+        assert served.spans >= 2
+        assert served.bytes_read == client_bytes == 320 * KiB

@@ -6,6 +6,12 @@ Produce a trace first (any run works; the quickstart has a flag):
     PYTHONPATH=src python examples/quickstart.py --trace /tmp/boot.jsonl
     python tools/boot_report.py /tmp/boot.jsonl
 
+A cross-process run (v3 wire protocol with trace propagation) leaves
+two traces — merge the storage node's into the client's for one causal
+timeline:
+
+    python tools/boot_report.py /tmp/client.jsonl --merge /tmp/node.jsonl
+
 All reconstruction logic lives in :mod:`repro.metrics.boot_report`;
 this is the thin CLI.
 """
@@ -21,6 +27,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro.metrics.boot_report import (  # noqa: E402
     build_report,
     format_report,
+    merge_traces,
 )
 from repro.metrics.tracing import load_trace, validate_trace  # noqa: E402
 
@@ -28,25 +35,42 @@ from repro.metrics.tracing import load_trace, validate_trace  # noqa: E402
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("trace", help="JSONL trace file to report on")
+    parser.add_argument("--merge", metavar="PEER_TRACE", default=None,
+                        help="merge a peer process's trace (e.g. the "
+                             "storage node's) into the causal timeline")
+    parser.add_argument("--merge-prefix", default="peer-",
+                        help="id prefix for colliding peer ids "
+                             "(default: %(default)s)")
     parser.add_argument("--validate", action="store_true",
                         help="schema-check every record before reporting")
     args = parser.parse_args(argv)
 
     try:
         records = load_trace(args.trace)
+        peer_records = (load_trace(args.merge)
+                        if args.merge is not None else None)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
     if args.validate:
         errors = validate_trace(records)
+        if peer_records is not None:
+            errors += [f"peer {e}" for e in validate_trace(peer_records)]
         if errors:
             for err in errors:
                 print(f"schema error: {err}", file=sys.stderr)
             return 1
 
+    if peer_records is not None:
+        records = merge_traces(records, peer_records,
+                               prefix=args.merge_prefix)
+        source = f"{args.trace} + {args.merge}"
+    else:
+        source = args.trace
+
     report = build_report(records)
-    print(f"trace: {args.trace} ({report.record_count} records)")
+    print(f"trace: {source} ({report.record_count} records)")
     print()
     print(format_report(report), end="")
     return 0
