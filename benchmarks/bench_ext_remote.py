@@ -314,6 +314,139 @@ def _run_pipeline(quick: bool = False) -> ExperimentLog:
     return log
 
 
+def _run_c10k(quick: bool = False) -> ExperimentLog:
+    """Connection-count sweep of the event-loop engine, 1 -> 256.
+
+    Each client is one raw v2 lock-step socket (no client-side worker
+    threads), so N clients means exactly N concurrent requests against
+    a storage-latency-shaped driver.  The threaded engine is measured
+    once, at its comfortable 6-client point, as the A/B baseline; the
+    event loop must match or beat that absolute throughput even at its
+    largest client count, while accounting zero payload copies.
+    """
+    import socket as socketmod
+
+    from repro.remote import BlockServer
+    from repro.remote import protocol as wire
+
+    log = ExperimentLog(
+        "BENCH_remote_c10k",
+        "Event-loop engine throughput vs concurrent connection count")
+    sweep = [1, 8, 32] if quick else [1, 2, 4, 8, 16, 32, 64, 128, 256]
+    window = 0.6 if quick else 1.5
+    delay, read_size, size, workers = 0.002, 4 * KiB, 8 * MiB, 16
+    base_dir = "/dev/shm" if os.path.isdir("/dev/shm") else None
+    workdir = tempfile.mkdtemp(prefix="repro-remote-c10k-", dir=base_dir)
+    try:
+        base_path = make_sparse_base(
+            os.path.join(workdir, "base.raw"), size)
+        base = RawImage.open(base_path)
+        slow = _SlowReads(base, delay)
+
+        def measure(server: "BlockServer", n_clients: int) -> float:
+            """Ops/s summed over n lock-step clients in a time box."""
+            start = threading.Barrier(n_clients + 1)
+            counts = [0] * n_clients
+            failures: list[BaseException] = []
+
+            def client(i: int) -> None:
+                try:
+                    sock = socketmod.create_connection(
+                        (server.host, server.port))
+                    sock.settimeout(30)
+                    try:
+                        wire.send_handshake_request_v2(sock, "base")
+                        wire.recv_handshake_response_v2(sock)
+                        start.wait(timeout=60)
+                        deadline = time.monotonic() + window
+                        tag = 0
+                        while time.monotonic() < deadline:
+                            off = ((i * 131 + tag) * read_size) \
+                                % (size - read_size)
+                            wire.send_request_v2(sock, tag, wire.Request(
+                                wire.REQ_READ, off, read_size, b""))
+                            rtag, payload, err = \
+                                wire.recv_response_v2(sock)
+                            if err is not None or rtag != tag \
+                                    or len(payload) != read_size:
+                                raise AssertionError("bad response")
+                            counts[i] += 1
+                            tag = (tag + 1) & 0xFFFF
+                    finally:
+                        sock.close()
+                except BaseException as exc:  # pragma: no cover
+                    failures.append(exc)
+                    try:
+                        start.abort()
+                    except Exception:
+                        pass
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(n_clients)]
+            for t in threads:
+                t.start()
+            start.wait(timeout=60)
+            for t in threads:
+                t.join(timeout=120)
+            assert not failures, failures
+            return sum(counts) / window
+
+        # The A/B baseline: the threaded engine where it is happy.
+        with BlockServer(threaded=True, workers=workers) as server:
+            server.add_export("base", slow)
+            threaded_ops = measure(server, 6)
+            snap = server.export_stats("base").summary()
+            threaded_copies = snap["bytes_copied"] / max(
+                snap["read_ops"], 1)
+            log.record_scalar("threaded_errors", snap["errors"])
+
+        series = log.new_series("eventloop_ops_s", unit="ops/s")
+        eventloop_copies = 0.0
+        errors = 0
+        for n in sweep:
+            with BlockServer(workers=workers) as server:
+                server.add_export("base", slow)
+                ops_s = measure(server, n)
+                snap = server.export_stats("base").summary()
+            series.add(n, ops_s)
+            eventloop_copies = snap["bytes_copied"] / max(
+                snap["read_ops"], 1)
+            errors += snap["errors"]
+        base.close()
+
+        log.record_scalar("threaded_6_ops_s", threaded_ops)
+        log.record_scalar("eventloop_max_clients", sweep[-1])
+        log.record_scalar("eventloop_max_ops_s", series.ys()[-1])
+        log.record_scalar("threaded_copies_per_read", threaded_copies)
+        log.record_scalar("eventloop_copies_per_read", eventloop_copies)
+        log.record_scalar("eventloop_errors", errors)
+        log.record_scalar("delay_ms", delay * 1e3)
+        log.note(f"lock-step raw v2 clients, {window:g}s window per "
+                 f"point, {workers} server workers, {delay * 1e3:g}ms "
+                 f"driver latency")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return log
+
+
+def check_c10k_shape(log: ExperimentLog) -> None:
+    """The sweep's qualitative claims, shared by bench and smoke."""
+    shape_check(
+        log.scalars["eventloop_max_ops_s"]
+        >= log.scalars["threaded_6_ops_s"],
+        f"the event loop at {log.scalars['eventloop_max_clients']:g} "
+        "clients sustains at least the threaded engine's 6-client "
+        "throughput")
+    shape_check(log.scalars["eventloop_errors"] == 0
+                and log.scalars["threaded_errors"] == 0,
+                "no request errored anywhere in the sweep")
+    shape_check(
+        log.scalars["eventloop_copies_per_read"]
+        < log.scalars["threaded_copies_per_read"],
+        "the zero-copy datapath performs fewer payload copies per "
+        "read than the threaded engine")
+
+
 def test_ext_remote_transparency(benchmark, report):
     log = run_once(benchmark, _run)
     report(log, "case")
@@ -362,3 +495,10 @@ def test_ext_remote_pipelining(benchmark, report, request):
                 "the window actually keeps several requests in flight")
     shape_check(log.scalars["warm_checksum_ok"] == 1.0,
                 "the parallel warmer lands the serial boot's exact bytes")
+
+
+def test_ext_remote_c10k(benchmark, report, request):
+    quick = request.config.getoption("--quick")
+    log = run_once(benchmark, _run_c10k, quick=quick)
+    report(log, "clients")
+    check_c10k_shape(log)

@@ -62,7 +62,8 @@ def main() -> None:
         server.add_export("demo-os", base)
         url = server.url("demo-os")
         print(f"storage node serving {url} "
-              f"({format_size(base.size)} image)")
+              f"({format_size(base.size)} image, "
+              f"{server.engine} engine)")
         print(f"telemetry endpoint at {server.telemetry.url} "
               f"(/metrics /healthz /traces)\n")
 

@@ -96,6 +96,7 @@ class TransportStats:
     timeouts: int = 0     # operations that hit the op deadline
     bytes_sent: int = 0
     bytes_received: int = 0
+    bytes_copied: int = 0  # payload bytes memcpy'd reassembling chunks
     inflight_hwm: int = 0  # most requests simultaneously unacknowledged
     latency: dict[str, LatencyHistogram] = field(
         default_factory=op_latency_histograms)
@@ -109,6 +110,7 @@ class TransportStats:
             "timeouts": self.timeouts,
             "bytes_sent": self.bytes_sent,
             "bytes_received": self.bytes_received,
+            "bytes_copied": self.bytes_copied,
             "inflight_hwm": self.inflight_hwm,
             "latency": {kind: h.summary()
                         for kind, h in self.latency.items() if h.count},
@@ -145,6 +147,8 @@ def _register_transport_collector(img: "RemoteImage"):
              float(s.bytes_sent)),
             ("remote_client_bytes_received_total", labels,
              float(s.bytes_received)),
+            ("remote_client_bytes_copied_total", labels,
+             float(s.bytes_copied)),
             ("remote_client_inflight_hwm", labels, float(s.inflight_hwm)),
         ]
         out.extend(latency_samples(
@@ -588,10 +592,23 @@ class RemoteImage(BlockDriver):
                     continue
                 if not window:
                     continue
-                # The oldest outstanding request carries the deadline.
+                # The oldest outstanding request carries the deadline —
+                # measured from when *it* was last transmitted, not
+                # from when it became head.  Waiting a full op_timeout
+                # per head change would let a stalled request sent
+                # ``depth`` positions back linger ~depth x op_timeout
+                # before timing out.  (A replay resets ``sent_at``, so
+                # every transmission gets one full deadline.)
                 head = window[0]
-                if head.event.wait(self._op_timeout):
+                remaining = (head.sent_at + self._op_timeout
+                             - time.monotonic())
+                if remaining > 0 and head.event.wait(remaining):
                     continue  # done or poisoned; the loop top sorts it out
+                if head.done:
+                    continue  # finished right on the deadline
+                with self._plock:
+                    if self._dead is not None:
+                        continue  # poisoned, not stalled: reconnect path
                 self.transport_stats.timeouts += 1
                 last = RemoteTimeoutError(
                     f"{self.path}: request type {head.req.req_type} at "
@@ -681,7 +698,12 @@ class RemoteImage(BlockDriver):
             reqs.append(wire.Request(wire.REQ_READ, pos, n,
                                      trace_ctx=ctx))
             pos += n
-        return b"".join(self._exchange(reqs))
+        chunks = self._exchange(reqs)
+        if len(chunks) > 1:
+            # Multi-chunk reads pay one reassembly copy; single-chunk
+            # reads return the wire buffer as-is.
+            self.transport_stats.bytes_copied += sum(map(len, chunks))
+        return b"".join(chunks)
 
     def _write_impl(self, offset: int, data: bytes) -> None:
         ctx = self._trace_ctx()
@@ -725,6 +747,9 @@ class RemoteImage(BlockDriver):
         chunks = self._exchange(reqs)
         out: list[bytes] = []
         for (first, count), (offset, length) in zip(spans, extents):
+            if count > 1:
+                self.transport_stats.bytes_copied += sum(
+                    map(len, chunks[first:first + count]))
             data = b"".join(chunks[first:first + count])
             if len(data) != length:
                 raise InvalidImageError(

@@ -1,0 +1,641 @@
+"""Single-threaded event-loop serving engine for the block server.
+
+This is the C10k datapath (DESIGN.md §11): one ``selectors`` loop owns
+every socket, each connection is a small state machine, and the only
+threads are a fixed worker pool that runs the blocking
+``driver.read``/``write``/``flush`` calls so the loop itself never
+blocks.  Contrast with the legacy threaded engine (one thread per
+connection plus a short-lived thread per pipelined request): a boot
+storm of N clients costs N + N×inflight threads there, and a constant
+``1 + workers`` threads here.
+
+Zero-copy framing
+-----------------
+
+The loop never assembles a frame in an intermediate buffer:
+
+* request headers are ``recv_into`` a preallocated per-connection
+  scratch buffer (one buffer, reused for every header — the header is
+  fully parsed before the next one arrives, so reuse is safe) and
+  parsed in place with ``struct.unpack_from``;
+* a write request's payload is ``recv_into`` a fresh ``bytearray``
+  sized from the header (fresh per request — pipelining means the
+  previous payload may still be in a worker's hands), then handed to
+  the driver as a ``memoryview`` — the payload is copied exactly zero
+  times between the socket and the driver;
+* responses go out as ``sendmsg([header, payload])`` scatter-gather —
+  header and payload are never concatenated, and a short write just
+  advances the iovec (memoryview slices, still no copy).
+
+So a request's payload crosses user space exactly once in each
+direction, and the ``bytes_copied`` counter on
+:class:`~repro.remote.server.ExportStats` — which the threaded engine
+increments at its join/concat sites — stays at zero here.  That
+difference is asserted by ``tools/copy_audit.py`` and the C10k bench.
+
+Concurrency model
+-----------------
+
+All connection and framing state is owned by the loop thread; workers
+only ever see immutable job tuples and post ``(conn, tag, payload,
+error)`` completions to a deque drained by the loop (a socketpair wakes
+the selector).  Export stats/inflight accounting uses the same
+mutex-guarded helpers as the threaded engine, so ``ExportStats`` stay
+exact under either engine.  Backpressure is per-connection: v1
+connections allow one request in flight (lock-step by construction),
+v2/v3 connections allow ``max_inflight_per_conn``; at the limit the
+loop simply stops reading from that socket until a response finishes
+sending, which pushes back through TCP exactly like the threaded
+engine's bounded semaphore.
+
+``close()`` mirrors the threaded drain: stop accepting and reading,
+let in-flight dispatches finish and flush their responses, then tear
+down whatever outlives the drain timeout.
+"""
+
+from __future__ import annotations
+
+import collections
+import queue
+import selectors
+import socket
+import threading
+import time
+
+from repro.metrics.tracing import TRACER
+from repro.remote import protocol as wire
+from repro.remote.fault import ACTION_DELAY, ACTION_DROP, ACTION_ERROR
+
+# Connection states: handshake (magic, then the version-specific rest,
+# then the export name), then request header / payload forever.
+_HS_MAGIC = 0
+_HS_V1_REST = 1
+_HS_V2_REST = 2
+_HS_NAME = 3
+_REQ_HEADER = 4
+_REQ_PAYLOAD = 5
+
+#: Scratch-buffer size: the largest fixed-size thing we ever read into
+#: it (a v3 request header; every handshake prefix is smaller).
+_SCRATCH = max(wire.REQUEST_HEADER_SIZE, wire.REQUEST2_HEADER_SIZE,
+               wire.REQUEST3_HEADER_SIZE)
+
+
+class _Drop(Exception):
+    """Internal: tear this connection down without responding."""
+
+
+class _OutUnit:
+    """One response (or handshake reply) queued for sending.
+
+    ``bufs`` is the remaining iovec list — memoryviews, consumed
+    destructively as ``sendmsg`` reports progress.  ``end_of_request``
+    marks units whose completion finishes one in-flight request
+    (handshake replies don't)."""
+
+    __slots__ = ("bufs", "end_of_request")
+
+    def __init__(self, bufs: list, end_of_request: bool) -> None:
+        self.bufs = [memoryview(b) for b in bufs if len(b)]
+        self.end_of_request = end_of_request
+
+
+class _Conn:
+    """Per-connection state machine, owned by the loop thread."""
+
+    __slots__ = ("sock", "conn_id", "state", "version", "export",
+                 "scratch", "buf", "have", "need",
+                 "req_type", "tag", "offset", "length", "trace_ctx",
+                 "payload", "out", "inflight", "limit", "events",
+                 "paused", "close_after_flush", "closed")
+
+    def __init__(self, sock: socket.socket, conn_id: int) -> None:
+        self.sock = sock
+        self.conn_id = conn_id
+        self.state = _HS_MAGIC
+        self.version = 0
+        self.export = None
+        self.scratch = bytearray(_SCRATCH)
+        self.buf = memoryview(self.scratch)  # current recv_into target
+        self.have = 0
+        self.need = 4  # the hello magic
+        self.req_type = 0
+        self.tag = 0
+        self.offset = 0
+        self.length = 0
+        self.trace_ctx = None
+        self.payload = None  # bytearray being filled for a write
+        self.out: collections.deque[_OutUnit] = collections.deque()
+        self.inflight = 0
+        self.limit = 1
+        self.events = 0
+        self.paused = False
+        self.close_after_flush = False
+        self.closed = False
+
+
+class EventLoopEngine:
+    """Owns the selector loop and worker pool for one ``BlockServer``.
+
+    The server keeps the public face (exports, stats, fault injector,
+    telemetry); the engine only moves bytes and schedules dispatches
+    through the server's existing ``_serve_traced``/``_dispatch``/
+    accounting helpers, so both engines share one source of truth for
+    semantics.
+    """
+
+    def __init__(self, server, lsock: socket.socket, *,
+                 workers: int = 8) -> None:
+        self._server = server
+        self._lsock = lsock
+        self._lsock.setblocking(False)
+        self._sel = selectors.DefaultSelector()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self._jobs: queue.SimpleQueue = queue.SimpleQueue()
+        self._completions: collections.deque = collections.deque()
+        self._jobs_outstanding = 0  # loop-thread-owned
+        self._conns: set[_Conn] = set()
+        self._next_conn_id = 0
+        self._closing = False
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._draining = False
+        self._drain_deadline = 0.0
+        self._sel.register(self._lsock, selectors.EVENT_READ,
+                           self._on_accept)
+        self._sel.register(self._wake_r, selectors.EVENT_READ,
+                           self._on_wakeup)
+        port = server.port
+        self._worker_threads = [
+            threading.Thread(target=self._worker_loop, daemon=True,
+                             name=f"blockserver-{port}-io{i}")
+            for i in range(max(1, workers))]
+        for t in self._worker_threads:
+            t.start()
+        self._thread = threading.Thread(
+            target=self._loop, daemon=True,
+            name=f"blockserver-{port}-loop")
+        self._thread.start()
+
+    # -- the loop ------------------------------------------------------------
+
+    def _loop(self) -> None:
+        try:
+            self._loop_inner()
+        finally:
+            # Whatever got us here (drain finished, drain timed out, or
+            # an unexpected loop error), leave no socket behind.
+            for conn in list(self._conns):
+                self._teardown(conn)
+            self._drain_completions()
+            try:
+                self._sel.close()
+            except OSError:
+                pass
+            for s in (self._lsock, self._wake_r):
+                try:
+                    s.close()
+                except OSError:
+                    pass
+
+    def _loop_inner(self) -> None:
+        while True:
+            if self._closing and not self._draining:
+                self._begin_drain()
+            if self._draining:
+                if self._drained() or \
+                        time.monotonic() >= self._drain_deadline:
+                    return
+                timeout = min(
+                    0.05, max(0.001,
+                              self._drain_deadline - time.monotonic()))
+            else:
+                timeout = None
+            for key, mask in self._sel.select(timeout):
+                data = key.data
+                if callable(data):
+                    data()
+                    continue
+                conn = data
+                if mask & selectors.EVENT_WRITE and not conn.closed:
+                    self._try_send(conn)
+                if mask & selectors.EVENT_READ and not conn.closed:
+                    self._on_readable(conn)
+            self._drain_completions()
+
+    def _drained(self) -> bool:
+        return (self._jobs_outstanding == 0
+                and not self._completions
+                and all(not c.out for c in self._conns))
+
+    def _begin_drain(self) -> None:
+        self._draining = True
+        self._drain_deadline = (time.monotonic()
+                                + self._server._drain_timeout)
+        try:
+            self._sel.unregister(self._lsock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            self._lsock.close()
+        except OSError:
+            pass
+        # Stop reading everywhere; queued/in-flight responses still go
+        # out (that is the drain).
+        for conn in list(self._conns):
+            self._update_events(conn)
+
+    def _on_wakeup(self) -> None:
+        while True:
+            try:
+                if not self._wake_r.recv(4096):
+                    return
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(b"\x00")
+        except (BlockingIOError, OSError):
+            pass  # pipe full means a wakeup is already pending
+
+    # -- accepting -----------------------------------------------------------
+
+    def _on_accept(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._lsock.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return  # listen socket closed under us
+            if self._closing:
+                sock.close()
+                continue
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+            conn = _Conn(sock, self._next_conn_id)
+            self._next_conn_id += 1
+            self._conns.add(conn)
+            self._sel.register(sock, selectors.EVENT_READ, conn)
+            conn.events = selectors.EVENT_READ
+
+    # -- reading -------------------------------------------------------------
+
+    def _fill(self, conn: _Conn) -> bool:
+        """recv_into toward ``conn.need``; True when the target is
+        complete, False when the socket would block."""
+        while conn.have < conn.need:
+            n = conn.sock.recv_into(conn.buf[conn.have:conn.need])
+            if n == 0:
+                raise _Drop  # orderly EOF from the peer
+            conn.have += n
+        return True
+
+    def _on_readable(self, conn: _Conn) -> None:
+        try:
+            while not (conn.paused or conn.close_after_flush
+                       or conn.closed or self._draining):
+                try:
+                    if not self._fill(conn):
+                        return
+                except (BlockingIOError, InterruptedError):
+                    return
+                self._advance(conn)
+        except (_Drop, wire.ProtocolError, UnicodeDecodeError,
+                OSError, ValueError):
+            # Peer went away, spoke garbage, or the fault injector said
+            # drop: same answer as the threaded engine — tear it down
+            # without a response.
+            self._teardown(conn)
+
+    def _advance(self, conn: _Conn) -> None:
+        """One completed read target → the next state."""
+        state = conn.state
+        if state == _REQ_HEADER:
+            self._on_request_header(conn)
+        elif state == _REQ_PAYLOAD:
+            payload = conn.payload
+            conn.payload = None
+            self._begin_request(conn, memoryview(payload))
+        elif state == _HS_MAGIC:
+            magic = wire.parse_hello_magic(conn.scratch)
+            if magic == wire.MAGIC:
+                conn.state = _HS_V1_REST
+                conn.need = wire.HANDSHAKE_REQ_SIZE
+            elif (magic == wire.MAGIC2
+                  and self._server._max_protocol >= wire.VERSION_2):
+                conn.state = _HS_V2_REST
+                conn.need = wire.HANDSHAKE2_REQ_SIZE
+            else:
+                # Unknown magic — or a v2 hello at a max_protocol=1
+                # server, which emulates a genuine pre-v2 deployment by
+                # dropping the connection (the client's fallback path).
+                raise wire.ProtocolError(
+                    f"bad handshake magic 0x{magic:08x}")
+        elif state == _HS_V1_REST:
+            conn.version = wire.VERSION_1
+            self._expect_name(conn, wire.parse_hello_rest_v1(conn.scratch))
+        elif state == _HS_V2_REST:
+            conn.version, name_len = wire.parse_hello_rest_v2(
+                conn.scratch, max_version=self._server._max_protocol)
+            self._expect_name(conn, name_len)
+        elif state == _HS_NAME:
+            self._on_hello(conn, bytes(conn.buf[:conn.need])
+                           .decode("utf-8"))
+        else:
+            raise wire.ProtocolError(f"bad connection state {state}")
+
+    def _expect_name(self, conn: _Conn, name_len: int) -> None:
+        conn.state = _HS_NAME
+        conn.have = 0
+        conn.need = name_len
+        if name_len > _SCRATCH:
+            conn.buf = memoryview(bytearray(name_len))
+        if name_len == 0:
+            self._advance(conn)
+
+    def _on_hello(self, conn: _Conn, name: str) -> None:
+        conn.buf = memoryview(conn.scratch)
+        server = self._server
+        export = server._exports.get(name)
+        if export is None:
+            if conn.version >= wire.VERSION_2:
+                reply = wire.pack_handshake_response_v2(
+                    error=True, version=conn.version)
+            else:
+                reply = wire.pack_handshake_response(error=True)
+            conn.close_after_flush = True
+            self._update_events(conn)
+            self._queue_unit(conn, [reply], end_of_request=False)
+            return
+        with export.stats_lock:
+            export.stats.connections += 1
+        conn.export = export
+        conn.limit = (1 if conn.version == wire.VERSION_1
+                      else server._max_inflight_per_conn)
+        if conn.version >= wire.VERSION_2:
+            reply = wire.pack_handshake_response_v2(
+                size=export.driver.size, version=conn.version)
+        else:
+            reply = wire.pack_handshake_response(
+                size=export.driver.size)
+        self._queue_unit(conn, [reply], end_of_request=False)
+        self._expect_header(conn)
+
+    def _expect_header(self, conn: _Conn) -> None:
+        conn.state = _REQ_HEADER
+        conn.have = 0
+        conn.need = wire.request_header_size(conn.version)
+
+    def _on_request_header(self, conn: _Conn) -> None:
+        buf = conn.scratch
+        if conn.version == wire.VERSION_1:
+            conn.req_type, conn.offset, conn.length = \
+                wire.parse_request_header(buf)
+            conn.tag = 0
+            conn.trace_ctx = None
+        elif conn.version == wire.VERSION_2:
+            conn.req_type, conn.tag, conn.offset, conn.length = \
+                wire.parse_request2_header(buf)
+            conn.trace_ctx = None
+        else:
+            (conn.req_type, conn.tag, conn.offset, conn.length,
+             conn.trace_ctx) = wire.parse_request3_header(buf)
+        if conn.req_type == wire.REQ_WRITE and conn.length > 0:
+            # Fresh buffer per write: under pipelining the previous
+            # payload may still be owned by a worker.  This very buffer
+            # reaches the driver — received once, copied never.
+            conn.payload = bytearray(conn.length)
+            conn.buf = memoryview(conn.payload)
+            conn.state = _REQ_PAYLOAD
+            conn.have = 0
+            conn.need = conn.length
+        else:
+            self._begin_request(conn, b"")
+
+    def _begin_request(self, conn: _Conn, payload) -> None:
+        conn.buf = memoryview(conn.scratch)
+        server = self._server
+        export = conn.export
+        req = wire.Request(conn.req_type, conn.offset, conn.length,
+                           payload, conn.trace_ctx)
+        server._count_received(
+            export, wire.request_header_size(conn.version), req)
+        self._expect_header(conn)
+        if req.req_type == wire.REQ_DISCONNECT:
+            conn.close_after_flush = True
+            self._update_events(conn)
+            self._maybe_finish_close(conn)
+            return
+        # Snapshot the injector once (same TOCTOU discipline as the
+        # threaded reader loop): action and delay come from one
+        # injector even if set_fault_injector races us.
+        fault = server._fault
+        action = fault.next_action() if fault is not None else None
+        if action == ACTION_DROP:
+            raise _Drop
+        server._enter_inflight(export)
+        conn.inflight += 1
+        if conn.inflight >= conn.limit:
+            conn.paused = True
+            self._update_events(conn)
+        if action == ACTION_ERROR:
+            self._queue_response(conn, conn.tag, b"", "injected fault")
+            return
+        delay = fault.delay_seconds if action == ACTION_DELAY else 0.0
+        self._jobs_outstanding += 1
+        self._jobs.put((conn, conn.tag, req, delay))
+
+    # -- workers -------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        server = self._server
+        while True:
+            job = self._jobs.get()
+            if job is None:
+                return
+            conn, tag, req, delay = job
+            export = conn.export
+            if delay:
+                # Sleeping here (not in the loop!) lets injected
+                # latency overlap across the window, matching the
+                # threaded engine's per-request workers.
+                time.sleep(delay)
+            payload: bytes = b""
+            error: str | None = None
+            try:
+                payload, span, end = server._serve_traced(
+                    export, req, conn.conn_id)
+            except Exception as exc:  # surfaced to the client
+                export.record_error(exc)
+                error = str(exc)
+            else:
+                if span is not None:
+                    server._fill_span_attrs(span, export, req,
+                                            conn.conn_id)
+                    TRACER.emit_closed(span, end)
+            self._completions.append((conn, tag, payload, error))
+            self._wake()
+
+    def _drain_completions(self) -> None:
+        while True:
+            try:
+                conn, tag, payload, error = self._completions.popleft()
+            except IndexError:
+                return
+            self._jobs_outstanding -= 1
+            if conn.closed:
+                # The response has nowhere to go, but the request is no
+                # longer in service.
+                self._server._exit_inflight(conn.export)
+                continue
+            self._queue_response(conn, tag, payload, error)
+
+    # -- sending -------------------------------------------------------------
+
+    def _queue_response(self, conn: _Conn, tag: int, payload,
+                        error: str | None) -> None:
+        body = error.encode("utf-8") if error is not None else payload
+        if conn.version == wire.VERSION_1:
+            header = wire.pack_response_header(
+                len(body), error=error is not None)
+            hsize = wire.RESPONSE_HEADER_SIZE
+        else:
+            header = wire.pack_response2_header(
+                tag, len(body), error=error is not None)
+            hsize = wire.RESPONSE2_HEADER_SIZE
+        # Count before the first byte can hit the wire: once the client
+        # has read the frame the counters must already cover it.
+        self._server._count_sent(conn.export, hsize, len(body))
+        self._queue_unit(conn, [header, body], end_of_request=True)
+
+    def _queue_unit(self, conn: _Conn, bufs: list,
+                    end_of_request: bool) -> None:
+        conn.out.append(_OutUnit(bufs, end_of_request))
+        self._try_send(conn)
+
+    def _try_send(self, conn: _Conn) -> None:
+        if conn.closed:
+            return
+        while conn.out:
+            unit = conn.out[0]
+            try:
+                sent = conn.sock.sendmsg(unit.bufs)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._teardown(conn)
+                return
+            while sent:
+                head = unit.bufs[0]
+                if sent >= len(head):
+                    sent -= len(head)
+                    unit.bufs.pop(0)
+                else:
+                    unit.bufs[0] = head[sent:]  # view slice — no copy
+                    sent = 0
+            if unit.bufs:
+                break  # short write: wait for EVENT_WRITE
+            conn.out.popleft()
+            if unit.end_of_request:
+                self._finish_request(conn)
+                if conn.closed:
+                    return
+        self._update_events(conn)
+        self._maybe_finish_close(conn)
+
+    def _finish_request(self, conn: _Conn) -> None:
+        self._server._exit_inflight(conn.export)
+        conn.inflight -= 1
+        if conn.paused and conn.inflight < conn.limit:
+            conn.paused = False
+            self._update_events(conn)
+
+    def _maybe_finish_close(self, conn: _Conn) -> None:
+        if (conn.close_after_flush and not conn.closed
+                and not conn.out and conn.inflight == 0):
+            self._teardown(conn)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _update_events(self, conn: _Conn) -> None:
+        if conn.closed:
+            return
+        want = 0
+        if not (conn.paused or conn.close_after_flush or self._draining):
+            want |= selectors.EVENT_READ
+        if conn.out:
+            want |= selectors.EVENT_WRITE
+        if want == conn.events:
+            return
+        try:
+            if conn.events == 0:
+                self._sel.register(conn.sock, want, conn)
+            elif want == 0:
+                self._sel.unregister(conn.sock)
+            else:
+                self._sel.modify(conn.sock, want, conn)
+        except (KeyError, ValueError, OSError):
+            pass
+        conn.events = want
+
+    def _teardown(self, conn: _Conn) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        if conn.events:
+            try:
+                self._sel.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):
+                pass
+            conn.events = 0
+        self._conns.discard(conn)
+        # Responses that were queued (or half-sent) but will never
+        # finish still end their requests' service time.
+        for unit in conn.out:
+            if unit.end_of_request:
+                self._server._exit_inflight(conn.export)
+        conn.out.clear()
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain and stop: called from ``BlockServer.close()``.
+
+        Blocks until the loop thread has drained (or timed out) and the
+        worker pool has exited; afterwards no engine thread is alive.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._closing = True
+        self._wake()
+        self._thread.join(self._server._drain_timeout + 2.0)
+        for _ in self._worker_threads:
+            self._jobs.put(None)
+        deadline = time.monotonic() + self._server._drain_timeout
+        for t in self._worker_threads:
+            t.join(max(0.1, deadline - time.monotonic()))
+        # Jobs that completed after the loop exited still carry
+        # inflight accounting; settle the books.
+        while self._completions:
+            conn, _tag, _payload, _error = self._completions.popleft()
+            if conn.export is not None:
+                self._server._exit_inflight(conn.export)
+        try:
+            self._wake_w.close()
+        except OSError:
+            pass

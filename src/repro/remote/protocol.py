@@ -451,3 +451,115 @@ def recv_response_v2(sock: socket.socket) -> tuple[int, bytes, str | None]:
     if status != STATUS_OK:
         return tag, b"", payload.decode("utf-8", "replace")
     return tag, payload, None
+
+
+# -- buffer-oriented codec ----------------------------------------------------
+#
+# The socket-oriented helpers above read and write through intermediate
+# bytes objects (``recv_exact`` joins chunks, ``send_*`` concatenates
+# header + payload).  The event-loop server engine instead fills
+# preallocated buffers with ``recv_into`` and sends header + payload as
+# separate iovecs via ``sendmsg``, so it needs parse/pack variants that
+# work on a caller-owned buffer and never touch a socket.  All parsers
+# accept any buffer-compatible object (bytes, bytearray, memoryview)
+# and read via ``unpack_from`` — no slicing, no copies.
+
+HANDSHAKE_REQ_SIZE = _HANDSHAKE_REQ.size
+HANDSHAKE2_REQ_SIZE = _HANDSHAKE2_REQ.size
+
+
+def parse_hello_magic(buf) -> int:
+    """Read the 4-byte hello magic from the start of ``buf``."""
+    (magic,) = struct.unpack_from(">I", buf, 0)
+    return magic
+
+
+def parse_hello_rest_v1(buf) -> int:
+    """Parse the v1 hello tail (after the magic): returns name_len."""
+    (name_len,) = struct.unpack_from(">H", buf, 4)
+    return name_len
+
+
+def parse_hello_rest_v2(buf, *, max_version: int = MAX_VERSION) -> tuple[int, int]:
+    """Parse the v2-framed hello tail: (negotiated version, name_len).
+
+    Mirrors :func:`recv_handshake_request_any` — the negotiated version
+    is ``min(advertised, max_version)`` and an advertised version below
+    2 inside v2 framing is a protocol error.
+    """
+    version, name_len = struct.unpack_from(">BH", buf, 4)
+    if version < VERSION_2:
+        raise ProtocolError(f"bad v2 hello: advertised version {version}")
+    return min(version, max_version), name_len
+
+
+def pack_handshake_response(*, size: int = 0, error: bool = False) -> bytes:
+    status = STATUS_ERROR if error else STATUS_OK
+    return _HANDSHAKE_RESP.pack(MAGIC, status, size)
+
+
+def pack_handshake_response_v2(*, size: int = 0, error: bool = False,
+                               version: int = VERSION_2) -> bytes:
+    status = STATUS_ERROR if error else STATUS_OK
+    return _HANDSHAKE2_RESP.pack(MAGIC2, status, version, size)
+
+
+def parse_request_header(buf) -> tuple[int, int, int]:
+    """Parse a v1 request header from ``buf``: (type, offset, length)."""
+    magic, req_type, offset, length = _REQUEST.unpack_from(buf, 0)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad request magic 0x{magic:08x}")
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"oversized request ({length} bytes)")
+    return req_type, offset, length
+
+
+def parse_request2_header(buf) -> tuple[int, int, int, int]:
+    """Parse a v2 request header: (type, tag, offset, length)."""
+    magic, req_type, tag, offset, length = _REQUEST2.unpack_from(buf, 0)
+    if magic != MAGIC2:
+        raise ProtocolError(f"bad request magic 0x{magic:08x}")
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"oversized request ({length} bytes)")
+    return req_type, tag, offset, length
+
+
+def parse_request3_header(
+        buf) -> tuple[int, int, int, int, "tuple[str, str] | None"]:
+    """Parse a v3 request header: (type, tag, offset, length, ctx).
+
+    The 64-byte context field is decoded in place (``bytes`` of the
+    field is unavoidable for the decode, but it is 64 bytes of header,
+    not payload)."""
+    magic, req_type, tag, offset, length, ctx_raw = \
+        _REQUEST3.unpack_from(buf, 0)
+    if magic != MAGIC2:
+        raise ProtocolError(f"bad request magic 0x{magic:08x}")
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"oversized request ({length} bytes)")
+    return req_type, tag, offset, length, decode_trace_ctx(ctx_raw)
+
+
+def pack_response_header(length: int, *, error: bool = False) -> bytes:
+    """Pack a v1 response header for a payload of ``length`` bytes.
+
+    The payload itself travels as its own iovec — never concatenated
+    onto this header."""
+    status = STATUS_ERROR if error else STATUS_OK
+    return _RESPONSE.pack(MAGIC, status, length)
+
+
+def pack_response2_header(tag: int, length: int, *,
+                          error: bool = False) -> bytes:
+    """Pack a v2/v3 response header (v3 responses are v2 responses)."""
+    status = STATUS_ERROR if error else STATUS_OK
+    return _RESPONSE2.pack(MAGIC2, status, tag, length)
+
+
+def request_header_size(version: int) -> int:
+    """Fixed request-header size for a negotiated protocol version."""
+    if version == VERSION_1:
+        return REQUEST_HEADER_SIZE
+    if version == VERSION_2:
+        return REQUEST2_HEADER_SIZE
+    return REQUEST3_HEADER_SIZE

@@ -1,11 +1,22 @@
 """The block server: export local images over TCP.
 
-One thread per connection; under the v2 (pipelined) protocol each
-connection additionally fans its tagged requests out to short-lived
-worker threads, so requests *on one socket* complete out of order —
-reads overlap through the export's shared lock and each response is
-serialized onto the wire by a per-connection send lock.  A
-``max_protocol=1`` server emulates a genuine pre-v2 deployment (it
+Two serving engines share this class (DESIGN.md §11):
+
+* the default **event-loop** engine
+  (:mod:`repro.remote.eventloop`) — a single-threaded
+  ``selectors`` loop doing zero-copy framing (``recv_into`` into
+  preallocated buffers, ``sendmsg`` scatter-gather responses) with a
+  small fixed worker pool for the blocking ``driver.read``/``write``
+  calls, built to survive hundreds of concurrent clients;
+* the legacy **threaded** engine (``BlockServer(threaded=True)``,
+  kept for A/B comparison) — one thread per connection; under the v2
+  (pipelined) protocol each connection additionally fans its tagged
+  requests out to short-lived worker threads, so requests *on one
+  socket* complete out of order — reads overlap through the export's
+  shared lock and each response is serialized onto the wire by a
+  per-connection send lock.
+
+A ``max_protocol=1`` server emulates a genuine pre-v2 deployment (it
 drops v2 hellos on the floor), which is how the client's negotiation
 fallback is exercised.
 
@@ -39,6 +50,7 @@ of requests, which is how the client's retry path is tested.
 
 from __future__ import annotations
 
+import os
 import socket
 import threading
 import time
@@ -80,9 +92,13 @@ class ExportStats:
     """Traffic counters for one export.
 
     All fields — including ``connections`` — are mutated only under
-    the export's stats mutex, so they are exact even with many
-    parallel readers (the per-driver ``DriverStats`` make no such
-    guarantee; see :mod:`repro.imagefmt.driver`).
+    :attr:`lock` (the export's stats mutex), so they are exact even
+    with many parallel readers (the per-driver ``DriverStats`` make no
+    such guarantee; see :mod:`repro.imagefmt.driver`).
+    :meth:`summary` takes the same lock, so a snapshot under load can
+    never pair a ``read_ops`` from before a request with a
+    ``bytes_read`` from after it — the byte-for-byte reconciliation
+    checks in the benchmarks rely on that.
     """
 
     connections: int = 0
@@ -93,25 +109,37 @@ class ExportStats:
     errors: int = 0
     wire_bytes_sent: int = 0      # response frames + payloads
     wire_bytes_received: int = 0  # request frames + payloads
+    bytes_copied: int = 0         # payload bytes memcpy'd in user space
     inflight_hwm: int = 0         # most requests dispatched at once
     latency: dict[str, LatencyHistogram] = field(
         default_factory=op_latency_histograms)
+    #: The stats mutex itself.  Living on the stats object (rather than
+    #: beside it on ``_Export``) lets bare ``ExportStats`` instances be
+    #: snapshotted consistently too.
+    lock: threading.Lock = field(default_factory=threading.Lock,
+                                 repr=False, compare=False)
 
     def summary(self) -> dict:
-        """Plain-dict view for reports and experiment logs."""
-        return {
-            "connections": self.connections,
-            "read_ops": self.read_ops,
-            "bytes_read": self.bytes_read,
-            "write_ops": self.write_ops,
-            "bytes_written": self.bytes_written,
-            "errors": self.errors,
-            "wire_bytes_sent": self.wire_bytes_sent,
-            "wire_bytes_received": self.wire_bytes_received,
-            "inflight_hwm": self.inflight_hwm,
-            "latency": {kind: h.summary()
-                        for kind, h in self.latency.items() if h.count},
-        }
+        """Plain-dict view for reports and experiment logs.
+
+        Taken under :attr:`lock` — the snapshot is atomic with respect
+        to every datapath mutation."""
+        with self.lock:
+            return {
+                "connections": self.connections,
+                "read_ops": self.read_ops,
+                "bytes_read": self.bytes_read,
+                "write_ops": self.write_ops,
+                "bytes_written": self.bytes_written,
+                "errors": self.errors,
+                "wire_bytes_sent": self.wire_bytes_sent,
+                "wire_bytes_received": self.wire_bytes_received,
+                "bytes_copied": self.bytes_copied,
+                "inflight_hwm": self.inflight_hwm,
+                "latency": {kind: h.summary()
+                            for kind, h in self.latency.items()
+                            if h.count},
+            }
 
 
 @dataclass
@@ -121,12 +149,17 @@ class _Export:
     writable: bool
     parallel_reads: bool
     lock: RWLock = field(default_factory=RWLock)
-    stats_lock: threading.Lock = field(default_factory=threading.Lock)
     stats: ExportStats = field(default_factory=ExportStats)
     inflight: int = 0  # guarded by stats_lock
     last_error: str | None = None  # guarded by stats_lock
     collector: object | None = None  # registry handle, removed on close
     owned: bool = False  # server opened the driver and closes it too
+
+    @property
+    def stats_lock(self) -> threading.Lock:
+        """The stats mutex (lives on :class:`ExportStats` so
+        ``summary()`` can be self-consistent; see there)."""
+        return self.stats.lock
 
     def record_error(self, exc: Exception) -> None:
         with self.stats_lock:
@@ -185,6 +218,8 @@ def _register_export_collector(name: str, export: _Export):
                  float(s.wire_bytes_sent)),
                 ("block_export_wire_bytes_received_total", labels,
                  float(s.wire_bytes_received)),
+                ("block_export_bytes_copied_total", labels,
+                 float(s.bytes_copied)),
                 ("block_export_inflight_hwm", labels,
                  float(s.inflight_hwm)),
             ]
@@ -205,16 +240,29 @@ class BlockServer:
                  drain_timeout: float = 5.0,
                  max_protocol: int = wire.MAX_VERSION,
                  max_inflight_per_conn: int = 32,
-                 telemetry_port: int | None = None) -> None:
+                 telemetry_port: int | None = None,
+                 threaded: bool | None = None,
+                 workers: int = 8) -> None:
         """``telemetry_port`` opts in to the embedded HTTP telemetry
         endpoint (``/metrics``, ``/healthz``, ``/traces``; DESIGN.md
         §10) on that port — 0 picks an ephemeral port, None (default)
         starts no endpoint.  The endpoint lives and dies with the
-        server: :meth:`close` shuts its thread down."""
+        server: :meth:`close` shuts its thread down.
+
+        ``threaded`` picks the serving engine: ``False`` (default) is
+        the single-threaded event loop with a fixed ``workers``-sized
+        dispatch pool (DESIGN.md §11); ``True`` keeps the old
+        thread-per-connection engine for A/B comparison.  ``None``
+        consults the ``REPRO_SERVER_ENGINE`` environment variable
+        (``"threaded"`` or ``"eventloop"``) so the whole test matrix
+        can be re-run against either engine without code changes."""
         if max_protocol not in (wire.VERSION_1, wire.VERSION_2,
                                 wire.VERSION_3):
             raise ValueError(
                 f"unsupported max_protocol {max_protocol}")
+        if threaded is None:
+            threaded = (os.environ.get("REPRO_SERVER_ENGINE", "")
+                        .strip().lower() == "threaded")
         self._exports: dict[str, _Export] = {}
         self._parallel_reads = parallel_reads
         self._fault = fault_injector
@@ -224,7 +272,10 @@ class BlockServer:
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
-        self._sock.listen(64)
+        # The event loop is built for boot storms; a deep backlog keeps
+        # a burst of hundreds of SYNs from seeing RSTs before the
+        # acceptor gets to them (the kernel clamps to somaxconn).
+        self._sock.listen(1024)
         self.host, self.port = self._sock.getsockname()
         self._closing = False
         # Guards _conns/_workers/_closing; never held while blocking.
@@ -236,10 +287,22 @@ class BlockServer:
             from repro.metrics.telemetry_server import TelemetryServer
             self.telemetry = TelemetryServer(
                 host=host, port=telemetry_port, health=self.health)
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, daemon=True,
-            name=f"blockserver-{self.port}-accept")
-        self._accept_thread.start()
+        self._engine = None
+        self._accept_thread = None
+        if threaded:
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, daemon=True,
+                name=f"blockserver-{self.port}-accept")
+            self._accept_thread.start()
+        else:
+            from repro.remote.eventloop import EventLoopEngine
+            self._engine = EventLoopEngine(self, self._sock,
+                                           workers=workers)
+
+    @property
+    def engine(self) -> str:
+        """``"eventloop"`` or ``"threaded"`` — which datapath serves."""
+        return "threaded" if self._engine is None else "eventloop"
 
     # -- exports -----------------------------------------------------------
 
@@ -258,14 +321,18 @@ class BlockServer:
         mutation is not thread-safe.  Enable tracking *before*
         registering the export; the decision is not revisited.
         """
-        if name in self._exports:
-            raise ValueError(f"export {name!r} already registered")
         parallel = (self._parallel_reads
                     and driver.supports_concurrent_reads
                     and not _chain_range_tracked(driver))
         export = _Export(name, driver, writable, parallel)
+        # Registration mutates the export dict while the telemetry
+        # thread may be scraping health(); both sides go through
+        # _state_lock so a scrape never sees the dict mid-mutation.
+        with self._state_lock:
+            if name in self._exports:
+                raise ValueError(f"export {name!r} already registered")
+            self._exports[name] = export
         export.collector = _register_export_collector(name, export)
-        self._exports[name] = export
 
     def add_export_path(self, name: str, path: str, *,
                         writable: bool = False,
@@ -324,11 +391,17 @@ class BlockServer:
         endpoint answers 200 for ``"ok"`` and 503 for ``"degraded"``,
         so a load balancer can act on status alone).
         """
+        # Snapshot under the state lock: add_export mutates the dict
+        # from arbitrary threads while the telemetry thread scrapes
+        # (iterating live would die with "dictionary changed size
+        # during iteration").  The snapshot is a point-in-time view; an
+        # export added mid-scrape shows up next scrape.
         with self._state_lock:
             closing = self._closing
+            snapshot = list(self._exports.items())
         exports: dict[str, dict] = {}
         degraded = closing
-        for name, export in self._exports.items():
+        for name, export in snapshot:
             entry: dict = {
                 "writable": export.writable,
                 "parallel_reads": export.parallel_reads,
@@ -337,16 +410,26 @@ class BlockServer:
             if export.driver.closed:
                 degraded = True
             else:
-                info = export.driver.image_info()
-                entry["format"] = info.get("format")
-                entry["virtual_size"] = info.get("virtual_size")
-                entry["dirty"] = bool(info.get("dirty", False))
-                entry["recovered"] = bool(info.get("recovered", False))
-                entry["fsync_ops"] = export.driver.stats.fsync_ops
-                if entry["dirty"] and not export.writable:
-                    # A read-only open of a dirty image serves the
-                    # in-memory recovered state (DESIGN.md §9) — worth
-                    # flagging, not healthy to stay in forever.
+                try:
+                    info = export.driver.image_info()
+                    entry["format"] = info.get("format")
+                    entry["virtual_size"] = info.get("virtual_size")
+                    entry["dirty"] = bool(info.get("dirty", False))
+                    entry["recovered"] = bool(
+                        info.get("recovered", False))
+                    entry["fsync_ops"] = export.driver.stats.fsync_ops
+                    if entry["dirty"] and not export.writable:
+                        # A read-only open of a dirty image serves the
+                        # in-memory recovered state (DESIGN.md §9) —
+                        # worth flagging, not healthy to stay in
+                        # forever.
+                        degraded = True
+                except Exception:
+                    # The driver closed (or otherwise failed) between
+                    # the `closed` check and the info call — a scrape
+                    # must report the degradation, never propagate it
+                    # to the telemetry thread.
+                    entry["open"] = False
                     degraded = True
             with export.stats_lock:
                 entry["inflight"] = export.inflight
@@ -359,6 +442,7 @@ class BlockServer:
         return {
             "status": "degraded" if degraded else "ok",
             "closing": closing,
+            "engine": self.engine,
             "max_protocol": self._max_protocol,
             "exports": exports,
         }
@@ -425,20 +509,29 @@ class BlockServer:
         while True:
             req = wire.recv_request(conn)
             self._count_received(export, wire.REQUEST_HEADER_SIZE, req)
+            # recv_request assembled any write payload via a
+            # join-of-chunks — one user-space copy of the payload.
+            self._count_copied(export, len(req.payload))
             if req.req_type == wire.REQ_DISCONNECT:
                 return
-            if self._fault is not None:
-                action = self._fault.next_action()
+            # Snapshot the injector once: set_fault_injector(None) may
+            # run concurrently, and the action chosen above must pair
+            # with *that* injector's delay (not whatever self._fault
+            # points at by the time we sleep).
+            fault = self._fault
+            if fault is not None:
+                action = fault.next_action()
                 if action == ACTION_DROP:
                     return  # close without responding: client sees EOF
                 if action == ACTION_DELAY:
-                    time.sleep(self._fault.delay_seconds)
+                    time.sleep(fault.delay_seconds)
                 elif action == ACTION_ERROR:
                     # Count before sending: once the client has read
                     # the frame the counters must already cover it.
                     self._count_sent(export,
                                      wire.RESPONSE_HEADER_SIZE,
                                      len(b"injected fault"))
+                    self._count_copied(export, len(b"injected fault"))
                     wire.send_response(conn, error="injected fault")
                     continue
             self._enter_inflight(export)
@@ -447,12 +540,18 @@ class BlockServer:
                     payload = self._dispatch(export, req)
                 except Exception as exc:  # surfaced to the client
                     export.record_error(exc)
+                    body = str(exc).encode("utf-8")
                     self._count_sent(export, wire.RESPONSE_HEADER_SIZE,
-                                     len(str(exc).encode("utf-8")))
+                                     len(body))
+                    self._count_copied(export, len(body))
                     wire.send_response(conn, error=str(exc))
                     continue
                 self._count_sent(export, wire.RESPONSE_HEADER_SIZE,
                                  len(payload))
+                # send_response concatenates header + payload into one
+                # buffer before sendall — the second copy the event
+                # loop's sendmsg avoids.
+                self._count_copied(export, len(payload))
                 wire.send_response(conn, payload=payload)
             finally:
                 self._exit_inflight(export)
@@ -482,10 +581,21 @@ class BlockServer:
             while True:
                 tag, req = recv(conn)
                 self._count_received(export, header, req)
+                # recv_request_v2/v3 assembled any write payload with a
+                # join — one user-space copy.
+                self._count_copied(export, len(req.payload))
                 if req.req_type == wire.REQ_DISCONNECT:
                     return
-                action = (self._fault.next_action()
-                          if self._fault is not None else None)
+                # Snapshot the injector once, here in the reader loop:
+                # the worker must see the same injector the action came
+                # from, or a concurrent set_fault_injector(None) turns
+                # its delay lookup into an AttributeError and the
+                # request dies unanswered.
+                fault = self._fault
+                action = (fault.next_action()
+                          if fault is not None else None)
+                delay = (fault.delay_seconds
+                         if action == ACTION_DELAY else 0.0)
                 if action == ACTION_DROP:
                     return  # close without responding: client sees EOF
                 limiter.acquire()
@@ -494,7 +604,7 @@ class BlockServer:
                 thread = threading.Thread(
                     target=self._serve_request_v2,
                     args=(conn, export, tag, req, send_lock, limiter,
-                          action, conn_id),
+                          action, delay, conn_id),
                     daemon=True,
                     name=f"{prefix}-req{tag}")
                 workers.append(thread)
@@ -510,14 +620,18 @@ class BlockServer:
                           tag: int, req: wire.Request,
                           send_lock: threading.Lock,
                           limiter: threading.BoundedSemaphore,
-                          action: str | None, conn_id: int) -> None:
+                          action: str | None, delay: float,
+                          conn_id: int) -> None:
         self._enter_inflight(export)
         try:
             if action == ACTION_DELAY:
                 # Sleeping here (not in the reader loop) lets injected
                 # latency overlap across the window, which is the
-                # whole point of the pipelined protocol.
-                time.sleep(self._fault.delay_seconds)
+                # whole point of the pipelined protocol.  The delay
+                # value was captured by the reader loop together with
+                # the action — self._fault may have been swapped or
+                # detached since.
+                time.sleep(delay)
             elif action == ACTION_ERROR:
                 self._send_response_v2(conn, export, send_lock, tag,
                                        error="injected fault")
@@ -593,6 +707,8 @@ class BlockServer:
                           error: str | None = None) -> None:
         body = (error.encode("utf-8") if error is not None else payload)
         self._count_sent(export, wire.RESPONSE2_HEADER_SIZE, len(body))
+        # send_response_v2 concatenates header + body before sendall.
+        self._count_copied(export, len(body))
         with send_lock:
             wire.send_response_v2(conn, tag, payload=payload,
                                   error=error)
@@ -606,6 +722,17 @@ class BlockServer:
                     payload_len: int) -> None:
         with export.stats_lock:
             export.stats.wire_bytes_sent += header + payload_len
+
+    def _count_copied(self, export: _Export, nbytes: int) -> None:
+        """Account payload bytes memcpy'd between user-space buffers.
+
+        Only *payload* copies count (header packing is O(16 bytes) and
+        unavoidable); the event-loop engine's recv_into/sendmsg
+        datapath accounts zero here, which is the measurable claim
+        behind its "zero-copy framing" (DESIGN.md §11)."""
+        if nbytes:
+            with export.stats_lock:
+                export.stats.bytes_copied += nbytes
 
     @staticmethod
     def _enter_inflight(export: _Export) -> None:
@@ -682,6 +809,22 @@ class BlockServer:
             if export.collector is not None:
                 registry.unregister_collector(export.collector)
                 export.collector = None
+        if self._engine is not None:
+            # Event-loop engine: the loop itself runs the drain (stop
+            # reading, flush queued responses, wait out in-flight
+            # dispatches) and joins its worker pool.
+            self._engine.close()
+        else:
+            self._close_threaded(conns, workers)
+        # Drivers the server opened itself (add_export_path) are closed
+        # last, after every serving thread is gone — their close() is a
+        # flush, and flushing under a live dispatcher would race.
+        for export in self._exports.values():
+            if export.owned:
+                export.driver.close()
+
+    def _close_threaded(self, conns: list[socket.socket],
+                        workers: list[threading.Thread]) -> None:
         # A blocked accept() is not interrupted by closing the listen
         # socket from another thread on Linux; wake it with a throwaway
         # connection, which the loop sees, closes, and exits on.
@@ -720,12 +863,6 @@ class BlockServer:
                 pass
         for t in workers:
             t.join(timeout=1.0)
-        # Drivers the server opened itself (add_export_path) are closed
-        # last, after every serving thread is gone — their close() is a
-        # flush, and flushing under a live dispatcher would race.
-        for export in self._exports.values():
-            if export.owned:
-                export.driver.close()
 
     def __enter__(self) -> "BlockServer":
         return self

@@ -33,6 +33,11 @@ def pytest_configure(config):
         "markers",
         "crashmatrix: exhaustive kill-point sweep; skipped unless "
         "REPRO_CRASH_MATRIX=1 (a strided smoke subset always runs)")
+    config.addinivalue_line(
+        "markers",
+        "remote_stress: long nondeterministic concurrency soaks for "
+        "the remote datapath; skipped unless REPRO_REMOTE_STRESS=1 "
+        "(the deterministic regression versions always run)")
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,25 @@
+"""Quick-scale run of the connection-count sweep, wired into tier-1.
+
+The full sweep (``pytest benchmarks/bench_ext_remote.py -k c10k``)
+climbs to 256 clients; this smoke keeps the 1 -> 32 prefix so every
+tier-1 run still proves the event loop beats the threaded baseline
+and copies nothing, in a few seconds.
+"""
+
+import pytest
+
+from benchmarks.bench_ext_remote import _run_c10k, check_c10k_shape
+from benchmarks.conftest import RESULTS_DIR
+
+pytestmark = [
+    pytest.mark.smoke,
+    pytest.mark.timeout(120),
+    pytest.mark.filterwarnings("ignore::ResourceWarning"),
+]
+
+
+def test_c10k_smoke():
+    log = _run_c10k(quick=True)
+    log.save(RESULTS_DIR)
+    check_c10k_shape(log)
+    assert log.scalars["eventloop_copies_per_read"] == 0.0

@@ -1,0 +1,310 @@
+"""Regression tests for the ISSUE 6 remote-datapath concurrency fixes.
+
+Each test is a deterministic reproduction of one of the four latent
+bugs fixed alongside the event-loop rearchitecture:
+
+1. fault-injector TOCTOU — the serving side consulted the injector for
+   an action, then dereferenced ``self._fault.delay_seconds`` later,
+   from a worker, after a concurrent ``set_fault_injector(None)`` had
+   already detached it (AttributeError; the request died unanswered);
+2. ``/healthz`` scraping ``self._exports`` unlocked while
+   ``add_export`` mutated it, and calling ``driver.image_info()``
+   without tolerating a driver that closes mid-scrape;
+3. ``ExportStats.summary()`` reading counters without the stats lock,
+   producing torn snapshots (``read_ops`` from before a request paired
+   with ``bytes_read`` from after it);
+4. the pipelined client restarting the full op deadline every time the
+   window head changed, so a stalled request sent ``depth`` positions
+   back waited ~``depth x op_timeout``.
+
+The heavier, nondeterministic stress versions of these live in
+``test_remote_stress.py`` behind ``REPRO_REMOTE_STRESS=1``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.imagefmt.driver import BlockDriver
+from repro.remote import BlockServer, FaultInjector, RemoteImage
+from repro.remote.fault import ACTION_DELAY
+from repro.remote.server import ExportStats
+from repro.units import KiB, MiB
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+FAST_RETRY = dict(max_retries=2, backoff_base=0.01, backoff_max=0.05)
+
+ENGINES = [pytest.param(False, id="eventloop"),
+           pytest.param(True, id="threaded")]
+
+
+class _FlatReads(BlockDriver):
+    """Constant-content reads, no delays: the minimal export."""
+
+    format_name = "flat"
+
+    def __init__(self, size: int = MiB) -> None:
+        super().__init__("<flat>", size, True)
+
+    @property
+    def supports_concurrent_reads(self) -> bool:
+        return True
+
+    def _read_impl(self, offset: int, length: int) -> bytes:
+        return b"\x2e" * length
+
+    def _write_impl(self, offset: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _close_impl(self) -> None:
+        pass
+
+
+# -- fix 1: fault-injector TOCTOU -------------------------------------------
+
+
+class _SelfDetachingInjector(FaultInjector):
+    """Detaches itself from the server inside ``next_action()``.
+
+    This is the TOCTOU race compressed to a deterministic point: the
+    serving side has just chosen ``delay`` from this injector, and by
+    the time it goes to sleep ``server._fault`` is already None.  The
+    unfixed worker then died on ``None.delay_seconds`` and the request
+    was never answered (surfacing as a client timeout + retry)."""
+
+    def __init__(self, server: BlockServer) -> None:
+        super().__init__(delay_seconds=0.02)
+        self._server = server
+
+    def next_action(self) -> str:
+        self._server.set_fault_injector(None)
+        self.stats.delayed += 1
+        return ACTION_DELAY
+
+
+class TestInjectorSwapRace:
+    @pytest.mark.parametrize("threaded", ENGINES)
+    def test_detach_between_action_and_delay(self, threaded):
+        """The delay must come from the injector that chose the action,
+        even if the server's injector slot is cleared concurrently."""
+        driver = _FlatReads()
+        with BlockServer(threaded=threaded) as server:
+            server.add_export("flat", driver)
+            server.set_fault_injector(_SelfDetachingInjector(server))
+            with RemoteImage.connect(server.url("flat"),
+                                     op_timeout=2.0,
+                                     **FAST_RETRY) as img:
+                data = img.read(0, 4 * KiB)
+            assert data == b"\x2e" * 4 * KiB
+            # The unfixed server never answers the delayed request: the
+            # client only recovers via timeout + reconnect, which these
+            # counters would show.
+            assert img.transport_stats.timeouts == 0
+            assert img.transport_stats.retries == 0
+            assert server.export_stats("flat").errors == 0
+
+
+# -- fix 2: /healthz scrape races -------------------------------------------
+
+
+class _HookedInfoDriver(BlockDriver):
+    """Runs an arbitrary hook (once) inside ``image_info()`` — lets a
+    test interleave at the exact point health() consults the driver."""
+
+    format_name = "hooked"
+
+    def __init__(self, size: int = MiB) -> None:
+        super().__init__("<hooked>", size, True)
+        self.on_info = None
+
+    @property
+    def supports_concurrent_reads(self) -> bool:
+        return True
+
+    def image_info(self) -> dict:
+        hook, self.on_info = self.on_info, None
+        if hook is not None:
+            hook()
+        return super().image_info()
+
+    def _read_impl(self, offset: int, length: int) -> bytes:
+        return b"\x00" * length
+
+    def _write_impl(self, offset: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _close_impl(self) -> None:
+        pass
+
+
+class _VanishingInfoDriver(_HookedInfoDriver):
+    """``image_info()`` always fails — a driver closing between the
+    ``closed`` check and the info call, compressed to a certainty."""
+
+    def image_info(self) -> dict:
+        raise OSError("backing store vanished mid-scrape")
+
+
+class TestHealthScrapeRaces:
+    def test_add_export_during_scrape(self):
+        """health() must iterate a snapshot: an export registered while
+        the scrape walks the dict (as the telemetry thread and a
+        provisioning thread genuinely interleave) used to raise
+        ``RuntimeError: dictionary changed size during iteration``."""
+        driver = _HookedInfoDriver()
+        with BlockServer() as server:
+            server.add_export("a", driver)
+            driver.on_info = lambda: server.add_export(
+                "late", _FlatReads())
+            payload = server.health()  # must not raise
+            assert "a" in payload["exports"]
+            # The export added mid-scrape shows up on the next one.
+            assert "late" in server.health()["exports"]
+
+    def test_driver_failing_mid_scrape_degrades(self):
+        """A driver erroring under health() marks the export down
+        instead of blowing up the telemetry thread."""
+        with BlockServer() as server:
+            server.add_export("doomed", _VanishingInfoDriver())
+            payload = server.health()  # must not raise
+            entry = payload["exports"]["doomed"]
+            assert entry["open"] is False
+            assert payload["status"] == "degraded"
+
+    def test_health_reports_engine(self):
+        with BlockServer() as server:
+            assert server.health()["engine"] == "eventloop"
+        with BlockServer(threaded=True) as server:
+            assert server.health()["engine"] == "threaded"
+
+
+# -- fix 3: torn ExportStats snapshots --------------------------------------
+
+
+class TestSummaryAtomicity:
+    def test_summary_respects_stats_lock(self):
+        """A snapshot taken while a request is mid-accounting must not
+        tear: it waits for the lock and sees both counters or neither.
+
+        The writer below holds the lock across the read_ops/bytes_read
+        pair exactly as the dispatch path does; the unfixed summary()
+        read between the two increments."""
+        stats = ExportStats()
+
+        def request_accounting():
+            with stats.lock:
+                stats.read_ops += 1
+                time.sleep(0.15)
+                stats.bytes_read += 4 * KiB
+
+        t = threading.Thread(target=request_accounting)
+        t.start()
+        time.sleep(0.05)  # land inside the critical section
+        snap = stats.summary()
+        t.join(timeout=5)
+        assert snap["bytes_read"] == snap["read_ops"] * 4 * KiB
+
+    def test_reconciliation_invariant_under_traffic(self):
+        """summary() snapshots taken while clients hammer the export
+        must always reconcile byte-for-byte (every read is 4 KiB)."""
+        driver = _FlatReads()
+        stop = threading.Event()
+        failures: list[Exception] = []
+
+        def reader(url: str):
+            try:
+                with RemoteImage.connect(url) as img:
+                    while not stop.is_set():
+                        img.read(0, 4 * KiB)
+            except Exception as exc:  # pragma: no cover - fail loudly
+                failures.append(exc)
+
+        with BlockServer() as server:
+            server.add_export("flat", driver)
+            threads = [threading.Thread(target=reader,
+                                        args=(server.url("flat"),))
+                       for _ in range(2)]
+            for t in threads:
+                t.start()
+            deadline = time.monotonic() + 0.5
+            stats = server.export_stats("flat")
+            while time.monotonic() < deadline:
+                snap = stats.summary()
+                assert snap["bytes_read"] == snap["read_ops"] * 4 * KiB
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+        assert not failures
+
+
+# -- fix 4: pipelined deadline measured from send time -----------------------
+
+
+class _StaggerReads(BlockDriver):
+    """Per-offset read latencies, with one offset stalling once.
+
+    Offsets 0..4 complete at 0.1 s, 0.2 s, ..., 0.5 s; the final
+    offset stalls 1.6 s on its first read and is instant on replay.
+    The head of the client's window therefore keeps completing right
+    up to the moment the stalled request becomes head — the exact
+    shape that let the unfixed client restart its deadline five
+    times."""
+
+    format_name = "stagger"
+
+    def __init__(self, chunk: int, stall_offset: int,
+                 size: int = MiB) -> None:
+        super().__init__("<stagger>", size, True)
+        self._chunk = chunk
+        self._stall_offset = stall_offset
+        self._stalled_once = threading.Event()
+
+    @property
+    def supports_concurrent_reads(self) -> bool:
+        return True
+
+    def _read_impl(self, offset: int, length: int) -> bytes:
+        if offset == self._stall_offset:
+            if not self._stalled_once.is_set():
+                self._stalled_once.set()
+                time.sleep(1.6)
+        else:
+            time.sleep(0.1 * (offset // self._chunk + 1))
+        return b"\x2e" * length
+
+    def _write_impl(self, offset: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _close_impl(self) -> None:
+        pass
+
+
+class TestPipelinedDeadline:
+    def test_deadline_counts_from_send_not_head_change(self):
+        """A stalled request deep in the window times out one
+        ``op_timeout`` after it was *sent*, not after it became head.
+
+        Six chunks go out together (depth 6).  Chunks 1-5 drain the
+        head at 0.1 s intervals; chunk 6 stalls.  Fixed client: times
+        out at ~0.7 s from send, replays, finishes ~0.8 s.  Unfixed
+        client: starts a fresh 0.7 s wait when chunk 6 becomes head at
+        ~0.5 s and finishes past ~1.2 s — over this test's ceiling."""
+        chunk = 64 * KiB
+        driver = _StaggerReads(chunk, stall_offset=5 * chunk)
+        with BlockServer() as server:
+            server.add_export("stagger", driver)
+            with RemoteImage.connect(server.url("stagger"),
+                                     op_timeout=0.7, depth=6,
+                                     chunk_size=chunk,
+                                     **FAST_RETRY) as img:
+                started = time.monotonic()
+                data = img.read(0, 6 * chunk)
+                elapsed = time.monotonic() - started
+            assert data == b"\x2e" * 6 * chunk
+            assert img.transport_stats.timeouts == 1
+            assert img.transport_stats.retries == 1
+            assert elapsed < 1.05, (
+                f"stalled head took {elapsed:.2f}s to time out — "
+                f"deadline drifted past op_timeout")

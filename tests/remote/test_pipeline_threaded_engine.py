@@ -1,0 +1,33 @@
+"""The interop/negotiation/recovery matrix against the threaded engine.
+
+The event loop is the default serving engine, so the whole suite —
+``test_pipeline.py`` in particular, which is the wire-contract suite —
+exercises it.  This module re-collects those same test classes with
+``REPRO_SERVER_ENGINE=threaded`` pinned, so the legacy A/B engine
+keeps passing the identical contract: negotiation across every
+server-max x client-pin combination, out-of-order completion,
+mid-window recovery, and transport observability.  One contract, two
+engines, zero duplicated test code.
+
+(``TestSequentialThroughput`` is deliberately left out: it is a timing
+assertion, not a contract, and running it twice doubles the slowest
+part of the remote suite for no added coverage.)
+"""
+
+import pytest
+
+from tests.remote.test_pipeline import (  # noqa: F401  (re-collected)
+    TestInteropSuiteParity,
+    TestNegotiation,
+    TestOutOfOrderCompletion,
+    TestPipelinedRecovery,
+    TestTransportObservability,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+@pytest.fixture(autouse=True)
+def _threaded_engine(monkeypatch):
+    """Every BlockServer in this module runs the legacy engine."""
+    monkeypatch.setenv("REPRO_SERVER_ENGINE", "threaded")

@@ -1,0 +1,236 @@
+"""Opt-in concurrency soaks for the remote datapath.
+
+The deterministic regression tests in ``test_concurrency_fixes.py``
+pin each fixed race with a scripted interleaving; these soaks hammer
+the same seams with real nondeterminism — many threads, thousands of
+iterations, wall-clock long enough that a reintroduced race has a
+fighting chance of firing.  They are too slow and too probabilistic
+for tier-1, so they only run under ``REPRO_REMOTE_STRESS=1``:
+
+    REPRO_REMOTE_STRESS=1 PYTHONPATH=src pytest -m remote_stress
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.imagefmt.raw import RawImage
+from repro.remote import BlockServer, FaultInjector, RemoteImage
+from repro.units import KiB, MiB
+
+from tests.conftest import pattern
+
+STRESS = os.environ.get("REPRO_REMOTE_STRESS") == "1"
+
+pytestmark = [
+    pytest.mark.remote_stress,
+    pytest.mark.skipif(not STRESS,
+                       reason="set REPRO_REMOTE_STRESS=1 for the soaks"),
+    pytest.mark.filterwarnings("ignore::ResourceWarning"),
+]
+
+FAST_RETRY = dict(max_retries=2, backoff_base=0.01, backoff_max=0.05)
+
+ENGINES = [pytest.param(False, id="eventloop"),
+           pytest.param(True, id="threaded")]
+
+
+@pytest.mark.timeout(300)
+@pytest.mark.parametrize("threaded", ENGINES)
+def test_injector_swap_storm(small_base, threaded):
+    """Main thread toggles the fault injector between a delaying one
+    and ``None`` as fast as it can while reader threads keep traffic
+    flowing.  The TOCTOU fix means no request may ever observe the
+    injector half-swapped (the pre-fix symptom: AttributeError in a
+    worker, surfacing as a client-visible I/O error)."""
+    duration = 8.0
+    n_readers = 4
+    base = RawImage.open(small_base)
+    failures: list[BaseException] = []
+    stop = threading.Event()
+
+    with BlockServer(threaded=threaded) as server:
+        server.add_export("base", base)
+        url = server.url("base")
+
+        def reader(i: int) -> None:
+            try:
+                with RemoteImage.connect(url, depth=4,
+                                         **FAST_RETRY) as img:
+                    while not stop.is_set():
+                        off = ((i * 31) % 60) * 64 * KiB
+                        if img.read(off, 4 * KiB) != pattern(off, 4 * KiB):
+                            raise AssertionError("corrupt read")
+            except BaseException as exc:  # pragma: no cover
+                failures.append(exc)
+
+        threads = [threading.Thread(target=reader, args=(i,))
+                   for i in range(n_readers)]
+        for t in threads:
+            t.start()
+        deadline = time.monotonic() + duration
+        swaps = 0
+        while time.monotonic() < deadline:
+            server.set_fault_injector(
+                FaultInjector(delay_rate=1.0, delay_seconds=0.001))
+            server.set_fault_injector(None)
+            swaps += 2
+        stop.set()
+        for t in threads:
+            t.join(timeout=60)
+        snap = server.export_stats("base").summary()
+    base.close()
+    assert not failures, failures
+    assert swaps > 100
+    assert snap["errors"] == 0
+
+
+@pytest.mark.timeout(300)
+@pytest.mark.parametrize("threaded", ENGINES)
+def test_health_scrape_storm(tmp_path, threaded):
+    """Scrape ``health()`` continuously while exports are added and
+    traffic flows; every scrape must return a coherent snapshot and
+    never raise."""
+    duration = 6.0
+    n_exports = 40
+    failures: list[BaseException] = []
+    stop = threading.Event()
+
+    with BlockServer(threaded=threaded) as server:
+        def scraper() -> None:
+            try:
+                while not stop.is_set():
+                    h = server.health()
+                    assert h["status"] in ("ok", "degraded")
+                    for entry in h["exports"].values():
+                        assert "open" in entry
+            except BaseException as exc:  # pragma: no cover
+                failures.append(exc)
+
+        scrapers = [threading.Thread(target=scraper) for _ in range(3)]
+        for t in scrapers:
+            t.start()
+        deadline = time.monotonic() + duration
+        i = 0
+        while time.monotonic() < deadline and i < n_exports:
+            p = str(tmp_path / f"img{i}.raw")
+            RawImage.create(p, 256 * KiB).close()
+            server.add_export_path(f"img{i}", p)
+            with RemoteImage.connect(server.url(f"img{i}")) as img:
+                img.read(0, 4 * KiB)
+            i += 1
+        stop.set()
+        for t in scrapers:
+            t.join(timeout=60)
+        final = server.health()
+    assert not failures, failures
+    assert len(final["exports"]) == i
+
+
+@pytest.mark.timeout(300)
+@pytest.mark.parametrize("threaded", ENGINES)
+def test_summary_reconciles_under_load(small_base, threaded):
+    """``summary()`` snapshots taken while clients hammer the export
+    must always reconcile internally: ops and bytes move together, and
+    no counter ever regresses between consecutive snapshots."""
+    duration = 6.0
+    n_clients = 3
+    base = RawImage.open(small_base)
+    failures: list[BaseException] = []
+    stop = threading.Event()
+
+    with BlockServer(threaded=threaded) as server:
+        server.add_export("base", base)
+        url = server.url("base")
+
+        def client(i: int) -> None:
+            try:
+                with RemoteImage.connect(url, **FAST_RETRY) as img:
+                    while not stop.is_set():
+                        img.read((i % 8) * 64 * KiB, 4 * KiB)
+            except BaseException as exc:  # pragma: no cover
+                failures.append(exc)
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(n_clients)]
+        for t in threads:
+            t.start()
+        prev_ops = prev_bytes = 0
+        deadline = time.monotonic() + duration
+        while time.monotonic() < deadline:
+            snap = server.export_stats("base").summary()
+            assert snap["read_ops"] >= prev_ops
+            assert snap["bytes_read"] >= prev_bytes
+            # A torn snapshot shows ops without their bytes (or the
+            # reverse); every op in this workload moves exactly 4 KiB.
+            assert snap["bytes_read"] == snap["read_ops"] * 4 * KiB
+            prev_ops, prev_bytes = snap["read_ops"], snap["bytes_read"]
+        stop.set()
+        for t in threads:
+            t.join(timeout=60)
+    base.close()
+    assert not failures, failures
+    assert prev_ops > 0
+
+
+@pytest.mark.timeout(600)
+def test_connection_storm_eventloop(small_base):
+    """Churn 300 short-lived connections through the event loop in
+    waves while a handful of long-lived clients stream continuously;
+    everything completes, every byte is right, nothing leaks."""
+    waves, per_wave = 6, 50
+    base = RawImage.open(small_base)
+    failures: list[BaseException] = []
+    stop = threading.Event()
+
+    with BlockServer(workers=8) as server:
+        server.add_export("base", base)
+        url = server.url("base")
+
+        def streamer(i: int) -> None:
+            try:
+                with RemoteImage.connect(url, depth=4) as img:
+                    while not stop.is_set():
+                        off = (i % 4) * MiB
+                        if img.read(off, 64 * KiB) != \
+                                pattern(off, 64 * KiB):
+                            raise AssertionError("corrupt stream read")
+            except BaseException as exc:  # pragma: no cover
+                failures.append(exc)
+
+        def burst(i: int) -> None:
+            try:
+                off = (i % 16) * 64 * KiB
+                with RemoteImage.connect(url) as img:
+                    if img.read(off, 4 * KiB) != pattern(off, 4 * KiB):
+                        raise AssertionError("corrupt burst read")
+            except BaseException as exc:  # pragma: no cover
+                failures.append(exc)
+
+        streams = [threading.Thread(target=streamer, args=(i,))
+                   for i in range(3)]
+        for t in streams:
+            t.start()
+        total = 0
+        for w in range(waves):
+            threads = [threading.Thread(target=burst,
+                                        args=(w * per_wave + i,))
+                       for i in range(per_wave)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            total += per_wave
+        stop.set()
+        for t in streams:
+            t.join(timeout=60)
+        snap = server.export_stats("base").summary()
+    base.close()
+    assert not failures, failures
+    assert snap["connections"] == total + len(streams)
+    assert snap["errors"] == 0
+    assert snap["bytes_copied"] == 0

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Audit payload-copy overhead of the remote datapath.
+
+Spins up both serving engines, runs identical read + write traffic
+through a real :class:`RemoteImage`, and reports each side's
+``bytes_copied / (wire_bytes_sent + wire_bytes_received)`` ratio — the
+fraction of wire traffic that was also memcpy'd between user-space
+buffers on the way through.  The event-loop engine's recv_into +
+sendmsg framing should keep its server-side ratio at (almost exactly)
+zero; the audit fails if it creeps above ``--budget``.
+
+    PYTHONPATH=src python tools/copy_audit.py
+    PYTHONPATH=src python tools/copy_audit.py --json --budget 0.02
+
+Exit status: 0 when the event-loop engine is within budget, 1 when it
+is not, 2 on usage/runtime errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.imagefmt.raw import RawImage  # noqa: E402
+from repro.remote import BlockServer, RemoteImage  # noqa: E402
+from repro.units import KiB, MiB  # noqa: E402
+
+
+def _drive_traffic(threaded: bool, path: str, size: int) -> dict:
+    """One engine, one connection, mixed read/write traffic."""
+    base = RawImage.open(path, read_only=False)
+    try:
+        with BlockServer(threaded=threaded) as server:
+            server.add_export("disk", base, writable=True)
+            with RemoteImage.connect(server.url("disk"),
+                                     read_only=False, depth=8,
+                                     chunk_size=64 * KiB) as img:
+                img.read(0, size)                    # sequential sweep
+                for off in range(0, size, 256 * KiB):
+                    img.read(off, 4 * KiB)           # small scattered
+                img.write(64 * KiB, b"\xa5" * (192 * KiB))
+                img.flush()
+                client_copied = img.transport_stats.bytes_copied
+            snap = server.export_stats("disk").summary()
+            engine = server.engine
+    finally:
+        base.close()
+    wire = snap["wire_bytes_sent"] + snap["wire_bytes_received"]
+    return {
+        "engine": engine,
+        "wire_bytes": wire,
+        "server_bytes_copied": snap["bytes_copied"],
+        "client_bytes_copied": client_copied,
+        "server_copy_ratio": snap["bytes_copied"] / wire if wire else 0.0,
+        "read_ops": snap["read_ops"],
+        "write_ops": snap["write_ops"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--budget", type=float, default=0.02,
+                        help="max allowed event-loop server copy ratio, "
+                             "bytes_copied / wire_bytes "
+                             "(default: %(default)s)")
+    parser.add_argument("--size-mib", type=int, default=4,
+                        help="image size driven through each engine "
+                             "(default: %(default)s)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the audit as JSON on stdout")
+    args = parser.parse_args(argv)
+    if args.budget < 0 or args.size_mib < 1:
+        parser.error("--budget must be >= 0 and --size-mib >= 1")
+
+    size = args.size_mib * MiB
+    results = []
+    try:
+        with tempfile.TemporaryDirectory(prefix="copy-audit-") as wd:
+            path = os.path.join(wd, "disk.raw")
+            img = RawImage.create(path, size)
+            step = 1 * MiB
+            for off in range(0, size, step):
+                img.write(off, os.urandom(step))
+            img.close()
+            for threaded in (False, True):
+                results.append(_drive_traffic(threaded, path, size))
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    eventloop = next(r for r in results if r["engine"] == "eventloop")
+    ok = eventloop["server_copy_ratio"] <= args.budget
+
+    if args.json:
+        print(json.dumps({"budget": args.budget, "ok": ok,
+                          "engines": results}, indent=2))
+    else:
+        for r in results:
+            print(f"{r['engine']:>9}: wire={r['wire_bytes']:>10,}  "
+                  f"srv_copied={r['server_bytes_copied']:>10,}  "
+                  f"cli_copied={r['client_bytes_copied']:>10,}  "
+                  f"ratio={r['server_copy_ratio']:.4f}")
+        verdict = "within" if ok else "OVER"
+        print(f"event-loop copy ratio "
+              f"{eventloop['server_copy_ratio']:.4f} is {verdict} the "
+              f"{args.budget:g} budget")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
