@@ -60,13 +60,22 @@ def quota_axis_mb() -> list[int]:
 
 
 @pytest.fixture
-def report():
-    """Print an ExperimentLog and persist it for EXPERIMENTS.md."""
+def report(request):
+    """Print an ExperimentLog and persist it for EXPERIMENTS.md.
+
+    Only full-scale runs may touch ``benchmarks/results/`` — that
+    directory is the committed paper-scale record.  ``--quick`` runs
+    land in the gitignored ``benchmarks/results/quick/`` scratch dir so
+    a CI smoke on a loaded machine can never overwrite the record.
+    """
+    quick = request.config.getoption("--quick")
 
     def _report(log, x_label: str):
         print()
         print(format_series_table(log, x_label))
-        path = log.save(RESULTS_DIR)
+        out_dir = (os.path.join(RESULTS_DIR, "quick") if quick
+                   else RESULTS_DIR)
+        path = log.save(out_dir)
         print(f"[saved {path}]")
         return log
 

@@ -2,14 +2,14 @@
 
 Runs ``benchmarks/bench_ext_remote._run_pipeline`` at quick scale so
 plain ``pytest`` exercises the latency-shaped v1-vs-v2 A/B (and the
-warmer equivalence check) on every run, and drops the same
-``BENCH_remote_pipeline.json`` artifact the full benchmark would.
+warmer equivalence check) on every run.  The log is saved to a scratch
+dir only — ``benchmarks/results/BENCH_remote_pipeline.json`` is the
+committed paper-scale record and stays untouched.
 """
 
 import pytest
 
 from benchmarks.bench_ext_remote import _run_pipeline
-from benchmarks.conftest import RESULTS_DIR
 
 pytestmark = [
     pytest.mark.smoke,
@@ -18,9 +18,11 @@ pytestmark = [
 ]
 
 
-def test_pipeline_smoke():
+def test_pipeline_smoke(tmp_path):
     log = _run_pipeline(quick=True)
-    log.save(RESULTS_DIR)
+    # Scratch dir, never benchmarks/results/: the committed artifact is
+    # the paper-scale record and only the full benchmark may write it.
+    log.save(str(tmp_path))
 
     assert log.scalars["mismatched_reads"] == 0
     assert log.scalars["warm_checksum_ok"] == 1.0
