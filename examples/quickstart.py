@@ -12,12 +12,17 @@ Walks the paper's §4.4 workflow end to end:
 5. deploy 4 VMs of the same VMI on a simulated 2-node cluster.
 
 Run:  python examples/quickstart.py [--trace PATH] [--telemetry]
+                                    [--prefetch]
 
 With ``--trace`` every step writes structured spans/events to a JSONL
 file; render it with ``python tools/boot_report.py PATH``.  With
 ``--telemetry`` the run hosts the embedded HTTP telemetry endpoint
 (DESIGN.md §10) and scrapes its /metrics and /healthz at the end, the
-way an operator's ``curl`` would.
+way an operator's ``curl`` would.  With ``--prefetch`` the demo adds
+the predictive-prefetch datapath (DESIGN.md §12): the base is served
+over a real socket with wire compression (protocol v4), a prefetch
+plan is mined from the first boot, and a fresh cold boot streams the
+plan into its cache ahead of the demand reads.
 """
 
 import argparse
@@ -48,6 +53,11 @@ def main() -> None:
         "--telemetry", action="store_true",
         help="host the embedded /metrics + /healthz endpoint on an "
              "ephemeral port for the duration of the run")
+    parser.add_argument(
+        "--prefetch", action="store_true",
+        help="demo the predictive-prefetch datapath: mine a plan from "
+             "the first boot, then cold-boot over a real socket with "
+             "the plan streaming ahead (wire compression on)")
     args = parser.parse_args()
     if args.trace:
         TRACER.enable(JsonlSink(args.trace))
@@ -110,6 +120,50 @@ def main() -> None:
     reduction = 1 - warm.base_bytes_read / max(cold.base_bytes_read, 1)
     print(f"\n=> the warm cache removed {reduction:.1%} of the boot's "
           f"storage-node traffic")
+
+    # 4½. (--prefetch) Predictive prefetch over a real socket: mine the
+    #     first boot's trace into a plan, then cold-boot a fresh cache
+    #     with the plan streaming in over a dedicated compressed
+    #     connection while the demand reads run.
+    if args.prefetch:
+        from repro.bootmodel import plan_from_trace
+        from repro.cluster import Prefetcher
+        from repro.remote import BlockServer, RemoteImage
+
+        plan = plan_from_trace(trace, align=512)
+        base_img = RawImage.open(base_path)
+        with BlockServer() as server:
+            server.add_export("demo-os", base_img)
+            url = server.url("demo-os")
+            pf_cache = os.path.join(workdir, "cache-prefetch.qcow2")
+            Qcow2Image.create(pf_cache, backing_file=url,
+                              cluster_size=512,
+                              cache_quota=32 * MiB).close()
+            cow = Qcow2Image.create(
+                os.path.join(workdir, "vm3.qcow2"),
+                backing_file=pf_cache, backing_format="qcow2")
+            with cow:
+                side = RemoteImage.connect(url, compress=True)
+                pf = Prefetcher(cow.backing, plan, source=side)
+                replay_through_chain(trace, cow, vm_id="vm3",
+                                     prefetcher=pf)
+                stats = side.transport_stats
+                side.close()
+        base_img.close()
+        rep = pf.report
+        print(f"\nprefetch boot (protocol v4, compression "
+              f"{'on' if stats.wire_compressed_bytes else 'off'}): "
+              f"plan {len(plan)} extents / "
+              f"{format_size(plan.total_bytes())}")
+        print(f"prefetched {format_size(rep.bytes_fetched)} "
+              f"({format_size(rep.hit_bytes)} hit by demand reads, "
+              f"{format_size(rep.wasted_bytes)} wasted, "
+              f"{rep.backoffs} backoffs)")
+        if stats.wire_compressed_bytes:
+            print(f"wire compression: "
+                  f"{format_size(stats.wire_compressed_bytes_raw)} -> "
+                  f"{format_size(stats.wire_compressed_bytes)} on the "
+                  f"prefetch stream")
 
     # 5. The same VMI at cluster scale: 4 VMs across 2 simulated nodes
     #    (virtual time — this step finishes in milliseconds of wall

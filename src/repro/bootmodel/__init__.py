@@ -16,6 +16,15 @@ a trace through a real image chain to measure traffic and working sets.
 """
 
 from repro.bootmodel.generator import generate_boot_trace
+from repro.bootmodel.prefetch import (
+    PlanExtent,
+    PlanStore,
+    PrefetchPlan,
+    default_plan,
+    merge_plans,
+    plan_from_jsonl,
+    plan_from_trace,
+)
 from repro.bootmodel.profiles import (
     CENTOS_63,
     DEBIAN_607,
@@ -37,4 +46,11 @@ __all__ = [
     "generate_boot_trace",
     "replay_through_chain",
     "ReplayResult",
+    "PlanExtent",
+    "PlanStore",
+    "PrefetchPlan",
+    "default_plan",
+    "merge_plans",
+    "plan_from_jsonl",
+    "plan_from_trace",
 ]

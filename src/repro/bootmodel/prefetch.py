@@ -1,0 +1,301 @@
+"""Mining boot traces into per-image prefetch plans.
+
+The paper's boot working sets are tiny (≤ 200 MB, Table 1) and highly
+repeatable per image — the property Micro-CernVM exploits with lazy
+fetch + aggressive caching (arXiv:1311.2426) and the memory-streaming
+work exploits by staying ahead of the consumer (arXiv:1406.5760).  A
+:class:`PrefetchPlan` captures that repeatability offline: the
+cluster-aligned extents a boot touches, *in boot order*, each with the
+cumulative guest think time before its first touch (its ``phase``).
+The executor (:mod:`repro.cluster.prefetch`) streams the plan into a
+node-local cache ahead of the demand reads; the simulator replays the
+same plan as its prefetch twin.
+
+Plans are mined from either source the tracing stack produces:
+
+* :class:`~repro.bootmodel.trace.BootTrace` objects
+  (:func:`plan_from_trace`) — the replayer's own workload;
+* JSONL trace files with ``block.read`` events
+  (:func:`plan_from_jsonl`) — what a traced production boot leaves
+  behind (DESIGN.md §10);
+
+merged across runs with :func:`merge_plans`, or synthesized from an
+:class:`~repro.bootmodel.profiles.OSProfile` when no observations
+exist yet (:func:`default_plan`).  :class:`PlanStore` persists plans
+as versioned JSON keyed by image name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+
+from repro.bootmodel.generator import generate_boot_trace
+from repro.bootmodel.profiles import OSProfile
+from repro.bootmodel.trace import BootTrace
+from repro.imagefmt.driver import RangeSet
+from repro.units import align_down, align_up
+
+#: Current on-disk plan format.  Readers refuse anything newer.
+PLAN_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PlanExtent:
+    """One cluster-aligned extent of a prefetch plan.
+
+    ``phase`` is the cumulative guest think time (seconds) that
+    precedes the extent's first touch — the executor can use it to
+    pace itself, the simulator uses it to order the twin stream.
+    """
+
+    offset: int
+    length: int
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.length <= 0 or self.phase < 0:
+            raise ValueError("bad plan extent "
+                             f"({self.offset}, {self.length}, {self.phase})")
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+
+@dataclass
+class PrefetchPlan:
+    """The mined boot working set of one image, in boot order."""
+
+    image: str
+    """Image/profile key the plan belongs to (e.g. ``centos-6.3``)."""
+
+    cluster_size: int
+    """Alignment granularity the extents were rounded out to — pass
+    the cache's cluster size so population matches copy-on-read."""
+
+    source: str = "trace"
+    """Where the plan came from: ``trace`` / ``jsonl`` / ``profile`` /
+    ``merged``."""
+
+    runs: int = 1
+    """How many observed boots were mined into this plan."""
+
+    extents: list[PlanExtent] = field(default_factory=list)
+    version: int = PLAN_VERSION
+
+    def total_bytes(self) -> int:
+        return sum(e.length for e in self.extents)
+
+    def __len__(self) -> int:
+        return len(self.extents)
+
+    def __iter__(self):
+        return iter(self.extents)
+
+    def clipped(self, size: int) -> "PrefetchPlan":
+        """The same plan restricted to the first ``size`` bytes, for
+        running against an image smaller than the mined one."""
+        out = []
+        for e in self.extents:
+            if e.offset >= size:
+                continue
+            out.append(PlanExtent(e.offset, min(e.length, size - e.offset),
+                                  e.phase))
+        return PrefetchPlan(self.image, self.cluster_size, self.source,
+                            self.runs, out, self.version)
+
+    # -- (de)serialization --------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "version": self.version,
+            "image": self.image,
+            "cluster_size": self.cluster_size,
+            "source": self.source,
+            "runs": self.runs,
+            "extents": [[e.offset, e.length, e.phase]
+                        for e in self.extents],
+        })
+
+    @classmethod
+    def from_json(cls, text: str) -> "PrefetchPlan":
+        raw = json.loads(text)
+        version = int(raw.get("version", 0))
+        if version > PLAN_VERSION:
+            raise ValueError(
+                f"prefetch plan version {version} is newer than "
+                f"supported version {PLAN_VERSION}")
+        extents = [PlanExtent(int(o), int(ln), float(ph))
+                   for o, ln, ph in raw["extents"]]
+        return cls(image=str(raw["image"]),
+                   cluster_size=int(raw["cluster_size"]),
+                   source=str(raw.get("source", "trace")),
+                   runs=int(raw.get("runs", 1)),
+                   extents=extents, version=version)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "PrefetchPlan":
+        with open(path, encoding="utf-8") as f:
+            return cls.from_json(f.read())
+
+
+def _mine(touches, image: str, cluster_size: int,
+          source: str) -> PrefetchPlan:
+    """First-touch accumulation: ``touches`` yields ``(offset, length,
+    phase)`` in boot order; only the not-yet-covered aligned parts of
+    each touch become plan extents (re-reads add nothing), contiguous
+    follow-ups extend the tail extent in place."""
+    if cluster_size < 1:
+        raise ValueError(f"cluster_size must be >= 1, got {cluster_size}")
+    covered = RangeSet()
+    extents: list[PlanExtent] = []
+    for offset, length, phase in touches:
+        if length <= 0:
+            continue
+        start = align_down(offset, cluster_size)
+        end = align_up(offset + length, cluster_size)
+        for gap_off, gap_len in covered.gaps(start, end - start):
+            covered.add(gap_off, gap_len)
+            tail = extents[-1] if extents else None
+            if tail is not None and tail.end == gap_off:
+                extents[-1] = PlanExtent(tail.offset,
+                                         tail.length + gap_len,
+                                         tail.phase)
+            else:
+                extents.append(PlanExtent(gap_off, gap_len, phase))
+    return PrefetchPlan(image=image, cluster_size=cluster_size,
+                        source=source, runs=1, extents=extents)
+
+
+def plan_from_trace(trace: BootTrace, *, align: int,
+                    image: str | None = None) -> PrefetchPlan:
+    """Mine one :class:`BootTrace` into a plan.
+
+    Extents appear in boot order (first touch wins), aligned out to
+    ``align`` bytes and clipped to the trace's VMI size; each carries
+    the cumulative think time up to its first touch.
+    """
+    def touches():
+        phase = 0.0
+        for op in trace:
+            phase += op.think_time
+            if op.kind != "read":
+                continue
+            offset = min(op.offset, trace.vmi_size)
+            length = min(op.length, trace.vmi_size - offset)
+            yield offset, length, phase
+
+    return _mine(touches(), image or trace.os_name, align, "trace")
+
+
+def plan_from_jsonl(path: str, *, align: int, image: str,
+                    layer: str = "base") -> PrefetchPlan:
+    """Mine a JSONL trace file's ``block.read`` events into a plan.
+
+    Only events whose ``layer`` attr matches (default ``base`` — the
+    storage-node traffic) contribute; phases are event timestamps
+    relative to the first matching read, so a wall-clock trace yields
+    wall-clock phases.
+    """
+    def touches():
+        t0 = None
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                rec = json.loads(line)
+                if rec.get("type") != "event" \
+                        or rec.get("name") != "block.read":
+                    continue
+                attrs = rec.get("attrs", {})
+                if str(attrs.get("layer")) != layer:
+                    continue
+                ts = float(rec.get("ts", 0.0))
+                if t0 is None:
+                    t0 = ts
+                yield (int(attrs.get("offset", 0)),
+                       int(attrs.get("length", 0)),
+                       max(0.0, ts - t0))
+
+    return _mine(touches(), image, align, "jsonl")
+
+
+def merge_plans(plans: list[PrefetchPlan]) -> PrefetchPlan:
+    """Merge plans mined from several boots of the same image.
+
+    The first plan's boot order wins; later plans only contribute
+    extents (or parts of extents) the earlier ones did not cover —
+    run-to-run jitter widens the plan without reordering it.  All
+    plans must agree on image and cluster size.
+    """
+    if not plans:
+        raise ValueError("nothing to merge")
+    first = plans[0]
+    for plan in plans[1:]:
+        if plan.image != first.image:
+            raise ValueError(
+                f"cannot merge plans for different images: "
+                f"{first.image!r} vs {plan.image!r}")
+        if plan.cluster_size != first.cluster_size:
+            raise ValueError(
+                f"cannot merge plans with different cluster sizes: "
+                f"{first.cluster_size} vs {plan.cluster_size}")
+    if len(plans) == 1:
+        return first
+
+    def touches():
+        for plan in plans:
+            for e in plan.extents:
+                yield e.offset, e.length, e.phase
+
+    merged = _mine(touches(), first.image, first.cluster_size, "merged")
+    merged.runs = sum(p.runs for p in plans)
+    return merged
+
+
+def default_plan(profile: OSProfile, *, align: int,
+                 seed: int = 0) -> PrefetchPlan:
+    """A plan synthesized from an OS profile, for images that have
+    never been observed booting: the deterministic generated trace
+    (the same one the experiments replay) is mined like a real one."""
+    plan = plan_from_trace(generate_boot_trace(profile, seed),
+                           align=align, image=profile.name)
+    plan.source = "profile"
+    return plan
+
+
+class PlanStore:
+    """Versioned JSON plan files keyed by image name, one per image."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def path_for(self, image: str) -> str:
+        safe = re.sub(r"[^A-Za-z0-9._-]", "_", image)
+        return os.path.join(self.directory, f"{safe}.plan.json")
+
+    def save(self, plan: PrefetchPlan) -> str:
+        path = self.path_for(plan.image)
+        plan.save(path)
+        return path
+
+    def load(self, image: str) -> PrefetchPlan | None:
+        path = self.path_for(image)
+        if not os.path.exists(path):
+            return None
+        return PrefetchPlan.load(path)
+
+    def images(self) -> list[str]:
+        return sorted(
+            name[:-len(".plan.json")]
+            for name in os.listdir(self.directory)
+            if name.endswith(".plan.json"))

@@ -11,6 +11,7 @@ unique working set (Table 1), and the resulting warm-cache file size
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 
 from repro.bootmodel.trace import BootTrace
@@ -84,6 +85,8 @@ def replay_through_chain(
     *,
     track_unique: bool = True,
     vm_id: str | None = None,
+    prefetcher=None,
+    time_scale: float = 0.0,
 ) -> ReplayResult:
     """Replay every trace op against the top of an image chain.
 
@@ -91,12 +94,29 @@ def replay_through_chain(
     images may disagree by a cluster when tests shrink things).  Returns
     the traffic accounting gathered from every layer's driver stats.
 
+    ``time_scale`` > 0 paces the replay against the trace's think
+    times: before each op the replay sleeps until ``time_scale`` times
+    the cumulative think time has elapsed on the wall clock (a deficit
+    clock, so many tiny think times cost one coarse sleep, and I/O
+    stalls eat into the think budget the way real guest compute
+    overlaps device waits).  The default replays at full speed —
+    pure data movement, as before.
+
     With tracing enabled the replay runs inside a wall-clock ``vm.boot``
     span (named after ``vm_id`` when given), so every layer's
     ``block.read`` events attach causally to this boot; a final
     ``replay.summary`` event carries the same per-layer totals the
     returned :class:`ReplayResult` reports.
+
+    ``prefetcher`` (a started-or-not
+    :class:`~repro.cluster.prefetch.Prefetcher`) runs concurrently
+    with the replay: it is started if needed, demand ops take its
+    shared lock (image drivers are not thread-safe), and after the
+    last op it is stopped, joined, and its hit/wasted accounting
+    settled against the demand read ranges.
     """
+    from contextlib import nullcontext
+
     base = bottom_layer(chain)
     assign_trace_roles(chain)
     if track_unique:
@@ -104,21 +124,50 @@ def replay_through_chain(
     base_read0 = base.stats.bytes_read
     base_ops0 = base.stats.read_ops
 
+    if prefetcher is not None and not prefetcher.started:
+        prefetcher.start()
+    demand_lock = prefetcher.lock if prefetcher is not None \
+        else nullcontext()
+    from repro.imagefmt.driver import RangeSet
+    demand_reads = RangeSet() if prefetcher is not None else None
+
+    if time_scale < 0:
+        raise ValueError(f"time_scale must be >= 0, got {time_scale}")
+    think_clock = 0.0
+    paced_start = time.perf_counter()
+
     result = ReplayResult(os_name=trace.os_name)
     with TRACER.span("vm.boot", vm_id=vm_id or trace.os_name,
                      os_name=trace.os_name):
         for op in trace:
+            if time_scale > 0:
+                think_clock += op.think_time * time_scale
+                deficit = think_clock \
+                    - (time.perf_counter() - paced_start)
+                if deficit > 0:
+                    time.sleep(deficit)
             offset = min(op.offset, max(chain.size - 512, 0))
             length = min(op.length, chain.size - offset)
             if length <= 0:
                 continue
             if op.kind == "read":
-                chain.read(offset, length)
+                with demand_lock:
+                    chain.read(offset, length)
+                if demand_reads is not None:
+                    demand_reads.add(offset, length)
                 result.guest_bytes_read += length
             else:
-                chain.write(offset, b"\0" * length)
+                with demand_lock:
+                    chain.write(offset, b"\0" * length)
                 result.guest_bytes_written += length
             result.ops_replayed += 1
+
+        if prefetcher is not None:
+            prefetcher.stop()
+            prefetcher.join()
+            prefetcher.account(
+                demand_reads,
+                align=getattr(prefetcher.cache, "cluster_size", None))
 
         result.base_bytes_read = base.stats.bytes_read - base_read0
         result.base_read_ops = base.stats.read_ops - base_ops0

@@ -12,6 +12,7 @@ from repro.cluster.cache_manager import CachePool, CacheRegistry
 from repro.cluster.deployment import Deployment, DeploymentResult
 from repro.cluster.middleware import Cloud, VMIDescriptor
 from repro.cluster.placement import PlacementPlan, plan_chain
+from repro.cluster.prefetch import Prefetcher, PrefetchReport
 from repro.cluster.scheduler import (
     CacheAwareScheduler,
     LoadAwareStrategy,
@@ -38,6 +39,8 @@ __all__ = [
     "DeploymentResult",
     "Cloud",
     "VMIDescriptor",
+    "Prefetcher",
+    "PrefetchReport",
     "WarmReport",
     "checksum_extents",
     "warm_cache",

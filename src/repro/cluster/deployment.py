@@ -110,7 +110,8 @@ class Deployment:
         return base
 
     def prewarm(self, vmi_id: str, node_id: str, *,
-                register: Literal["storage", "node"] = "storage") -> float:
+                register: Literal["storage", "node"] = "storage",
+                plan=None) -> float:
         """Warm a VMI cache from its trace's working set, ahead of any
         wave — the simulated counterpart of
         :func:`repro.cluster.warmer.warm_cache`.
@@ -123,6 +124,11 @@ class Deployment:
         flushes it to the compute node's local disk (Figure 7).
         Subsequent waves then take the warm-cache path.  Returns the
         simulated seconds the warm-up took.
+
+        ``plan`` (a :class:`~repro.bootmodel.prefetch.PrefetchPlan`)
+        substitutes a mined plan's extents for the trace-derived
+        working set — the plan-driven entry point matching the real
+        datapath's :class:`~repro.cluster.prefetch.Prefetcher`.
         """
         if register not in ("storage", "node"):
             raise ValueError(f"unknown register target {register!r}")
@@ -137,8 +143,12 @@ class Deployment:
             backing=base,
             cache_quota=self.cache_quota,
         )
-        extents = working_set_extents(trace, size=cache.size,
-                                      align=cache.cluster_size)
+        if plan is not None:
+            extents = [(e.offset, e.length)
+                       for e in plan.clipped(cache.size).extents]
+        else:
+            extents = working_set_extents(trace, size=cache.size,
+                                          align=cache.cluster_size)
         t0 = tb.env.now
 
         def warm():
@@ -168,8 +178,17 @@ class Deployment:
 
     # -- wave execution -------------------------------------------------------
 
-    def run_wave(self, requests: list[VMRequest]) -> DeploymentResult:
-        """Start all requested VMs simultaneously."""
+    def run_wave(self, requests: list[VMRequest],
+                 *, prefetch_plans: dict | None = None
+                 ) -> DeploymentResult:
+        """Start all requested VMs simultaneously.
+
+        ``prefetch_plans`` maps ``vmi_id`` to a
+        :class:`~repro.bootmodel.prefetch.PrefetchPlan`; matching VMs
+        boot with the plan-driven prefetch twin running alongside
+        their demand stream (``BootJob.prefetch_plan``) — the Figure
+        11-style ablation at cluster scale.
+        """
         tb = self.testbed
         plans: list[tuple[VMRequest, PlacementPlan]] = []
         cold_creator_per_vmi: dict[str, str] = {}
@@ -217,7 +236,9 @@ class Deployment:
 
             jobs.append(BootJob(req.vm_id, node, cow,
                                 self.traces[req.vmi_id],
-                                epilogue=epilogue))
+                                epilogue=epilogue,
+                                prefetch_plan=(prefetch_plans or {})
+                                .get(req.vmi_id)))
 
         scenario = boot_vms(tb, jobs, trace_parent=wave_ids)
         post_t0 = tb.env.now

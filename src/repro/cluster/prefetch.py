@@ -1,0 +1,272 @@
+"""Background prefetch of a boot plan into a node-local cache.
+
+The executor half of :mod:`repro.bootmodel.prefetch`: a
+:class:`Prefetcher` streams a mined :class:`~repro.bootmodel.prefetch.
+PrefetchPlan` from the backing image into the cache *while the VM
+boots*, so demand reads that would each pay a WAN round-trip find
+their clusters already local.  Contrast with
+:func:`repro.cluster.warmer.warm_cache`, which fills a cache ahead of
+any boot: the prefetcher runs concurrently with the demand stream and
+therefore must never get in its way.
+
+Priority rules (DESIGN.md §12):
+
+* the prefetch stream uses its **own** connection to the storage node
+  (``source=``), so its in-flight window never head-of-line blocks
+  the demand connection's;
+* its window stays small (``depth`` chunks of ``chunk_bytes``), and
+  between batches it checks the cache's demand read counter — any
+  demand activity observed triggers a backoff sleep before the next
+  batch;
+* cache writes take the shared ``lock`` the replayer holds around
+  demand operations (image drivers are not thread-safe);
+* quota exhaustion mirrors copy-on-read's §4.3 reaction: record the
+  space error, stop prefetching, never fail the boot.
+
+Like the warmer, prefetch populates whole cluster-aligned extents with
+backing bytes — exactly what copy-on-read would write for the same
+ranges — so a prefetched cache is checksum-identical to a
+``warm_cache`` fill of the same working set.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.bootmodel.prefetch import PrefetchPlan
+from repro.errors import QuotaExceededError
+from repro.imagefmt.driver import BlockDriver, RangeSet
+from repro.metrics.registry import get_registry
+from repro.metrics.tracing import TRACER
+from repro.units import KiB
+
+
+def intersect_bytes(a: RangeSet, b: RangeSet) -> int:
+    """Bytes covered by both range sets."""
+    total = 0
+    ai = a.intervals()
+    bi = b.intervals()
+    i = j = 0
+    while i < len(ai) and j < len(bi):
+        lo = max(ai[i][0], bi[j][0])
+        hi = min(ai[i][1], bi[j][1])
+        if lo < hi:
+            total += hi - lo
+        if ai[i][1] <= bi[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
+@dataclass
+class PrefetchReport:
+    """What one prefetch run did, and how much of it mattered."""
+
+    extents: int = 0
+    chunks_fetched: int = 0
+    batches: int = 0
+    bytes_fetched: int = 0
+    source_bytes: int = 0
+    """Bytes actually read from the source connection — differs from
+    ``bytes_fetched`` only when plan extents ran past a shorter
+    backing and the tail was zero-filled locally.  Equals the trace's
+    ``prefetch``-layer ``block.read`` byte sum by construction."""
+
+    backoffs: int = 0
+    seconds: float = 0.0
+    quota_exhausted: bool = False
+    stopped_early: bool = False
+    hit_bytes: int = 0
+    """Prefetched bytes the demand stream actually read (filled in by
+    :meth:`Prefetcher.account`)."""
+    wasted_bytes: int = 0
+    """Prefetched bytes no demand read ever touched."""
+
+
+class Prefetcher:
+    """Streams a plan's extents into ``cache`` on a background thread.
+
+    ``source`` is the dedicated low-priority connection to fetch from
+    (its ``trace_role`` is set to ``"prefetch"`` so its ``block.read``
+    events land in their own attribution row); when omitted, the
+    cache's own backing is used — correct, but then prefetch and
+    demand share one wire window.  ``lock`` serializes cache access
+    against the demand path; pass the same lock to the replayer.
+    """
+
+    def __init__(
+        self,
+        cache: BlockDriver,
+        plan: PrefetchPlan,
+        *,
+        source: BlockDriver | None = None,
+        depth: int = 4,
+        chunk_bytes: int = 256 * KiB,
+        backoff_seconds: float = 0.002,
+        lock: threading.Lock | None = None,
+    ) -> None:
+        if cache.backing is None and source is None:
+            raise ValueError(
+                f"{cache.path}: cache has no backing and no source= "
+                f"to prefetch from")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if chunk_bytes < 1:
+            raise ValueError(
+                f"chunk_bytes must be >= 1, got {chunk_bytes}")
+        self.cache = cache
+        self.plan = plan
+        self.source = source if source is not None else cache.backing
+        if source is not None and source.trace_role is None:
+            source.trace_role = "prefetch"
+        self.depth = depth
+        self.chunk_bytes = chunk_bytes
+        self.backoff_seconds = backoff_seconds
+        self.lock = lock if lock is not None else threading.Lock()
+        self.report = PrefetchReport()
+        self.prefetched = RangeSet()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._thread is not None
+
+    def start(self) -> "Prefetcher":
+        if self._thread is not None:
+            raise RuntimeError("prefetcher already started")
+        self._thread = threading.Thread(
+            target=self.run, name="prefetcher", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Ask the background run to stop after its current batch."""
+        self._stop.set()
+
+    def join(self, timeout: float | None = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    # -- the stream ---------------------------------------------------
+
+    def run(self) -> PrefetchReport:
+        """Fetch the plan; callable directly for a synchronous fill."""
+        cache = self.cache
+        plan = self.plan.clipped(cache.size)
+        self.report.extents = len(plan.extents)
+        chunks: list[tuple[int, int]] = []
+        for e in plan.extents:
+            offset, remaining = e.offset, e.length
+            while remaining > 0:
+                step = min(remaining, self.chunk_bytes)
+                chunks.append((offset, step))
+                offset += step
+                remaining -= step
+
+        started = time.perf_counter()
+        demand_ops = cache.stats.read_ops
+        with TRACER.span("cache.prefetch", path=cache.path,
+                         image=plan.image) as span:
+            i = 0
+            while i < len(chunks):
+                if self._stop.is_set():
+                    self.report.stopped_early = True
+                    break
+                # Demand wins: any demand reads since the last batch
+                # mean the guest is actively waiting on the cache —
+                # yield the floor before fetching more.
+                now_ops = cache.stats.read_ops
+                if now_ops != demand_ops:
+                    demand_ops = now_ops
+                    self.report.backoffs += 1
+                    time.sleep(self.backoff_seconds)
+                batch = chunks[i:i + self.depth]
+                i += self.depth
+                if not self._fetch_batch(batch):
+                    break
+            span.attrs.update(
+                extents=self.report.extents,
+                chunks_fetched=self.report.chunks_fetched,
+                batches=self.report.batches,
+                bytes_fetched=self.report.bytes_fetched,
+                source_bytes=self.report.source_bytes,
+                backoffs=self.report.backoffs,
+                quota_exhausted=self.report.quota_exhausted,
+                stopped_early=self.report.stopped_early)
+        self.report.seconds = time.perf_counter() - started
+        registry = get_registry()
+        registry.counter("prefetch_runs_total").inc()
+        registry.counter("prefetch_bytes_total").inc(
+            self.report.bytes_fetched)
+        if self.report.quota_exhausted:
+            registry.counter("prefetch_quota_exhausted_total").inc()
+        return self.report
+
+    def _fetch_batch(self, batch: list[tuple[int, int]]) -> bool:
+        source = self.source
+        # Plans may extend past a shorter backing: fetch what exists,
+        # zero-fill the rest locally — and never put a zero-length
+        # read on the wire.
+        clipped = [(min(off, source.size),
+                    max(0, min(ln, source.size - off)))
+                   for off, ln in batch]
+        reqs = [(off, ln) for off, ln in clipped if ln > 0]
+        fetched = iter(source.read_batch(reqs))
+        blobs = [next(fetched) if ln > 0 else b""
+                 for _off, ln in clipped]
+        self.report.batches += 1
+        self.report.source_bytes += sum(ln for _off, ln in reqs)
+        for (off, ln), blob in zip(batch, blobs):
+            if len(blob) < ln:
+                blob += b"\0" * (ln - len(blob))
+            with self.lock:
+                try:
+                    self.cache.write(off, blob)
+                except QuotaExceededError:
+                    # §4.3 semantics, same as inline CoR and the
+                    # warmer: remember the space error, stop filling,
+                    # let the boot proceed on demand reads.
+                    runtime = getattr(self.cache, "cache_runtime", None)
+                    if runtime is not None:
+                        runtime.cor.record_space_error()
+                    self.report.quota_exhausted = True
+                    return False
+            self.prefetched.add(off, ln)
+            self.report.chunks_fetched += 1
+            self.report.bytes_fetched += ln
+        return True
+
+    # -- effectiveness ------------------------------------------------
+
+    def account(self, demand: RangeSet, *,
+                align: int | None = None) -> PrefetchReport:
+        """Split the prefetched bytes into hit vs wasted against the
+        demand stream's read ranges.
+
+        Pass ``align`` (the cache cluster size) to round demand reads
+        out to the granularity prefetch populates at — a demand read
+        of any part of a prefetched cluster makes that cluster a hit,
+        matching how copy-on-read would have populated it anyway.
+        """
+        if align is not None and align > 1:
+            rounded = RangeSet()
+            for start, end in demand.intervals():
+                start = (start // align) * align
+                end = ((end + align - 1) // align) * align
+                rounded.add(start, end - start)
+            demand = rounded
+        self.report.hit_bytes = intersect_bytes(self.prefetched, demand)
+        self.report.wasted_bytes = (self.prefetched.total()
+                                    - self.report.hit_bytes)
+        registry = get_registry()
+        registry.counter("prefetch_hit_bytes_total").inc(
+            self.report.hit_bytes)
+        registry.counter("prefetch_wasted_bytes_total").inc(
+            self.report.wasted_bytes)
+        return self.report

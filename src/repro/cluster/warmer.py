@@ -125,11 +125,17 @@ def warm_cache(
         report.batches += 1
         # The working set may extend past a shorter backing image;
         # fetch what exists and zero-fill the tail (what CoR's
-        # ``_read_from_backing`` does).
-        reqs = [(min(off, backing.size),
-                 max(0, min(ln, backing.size - off)))
-                for off, ln in batch]
-        blobs = backing.read_batch(reqs)
+        # ``_read_from_backing`` does).  Extents lying wholly past the
+        # backing clip to zero length — those never go on the wire (a
+        # degenerate ``(backing.size, 0)`` read is a wasted round-trip
+        # per extent), they are zero-filled locally.
+        clipped = [(min(off, backing.size),
+                    max(0, min(ln, backing.size - off)))
+                   for off, ln in batch]
+        reqs = [(off, ln) for off, ln in clipped if ln > 0]
+        fetched = iter(backing.read_batch(reqs))
+        blobs = [next(fetched) if ln > 0 else b""
+                 for off, ln in clipped]
         for (off, ln), blob in zip(batch, blobs):
             if len(blob) < ln:
                 blob += b"\0" * (ln - len(blob))
@@ -180,10 +186,22 @@ def warm_cache(
 
 
 def checksum_extents(img: BlockDriver,
-                     extents: list[tuple[int, int]]) -> str:
+                     extents: list[tuple[int, int]],
+                     *, chunk_size: int = 4 * MiB) -> str:
     """SHA-256 over the given extents' contents, for byte-for-byte
-    equivalence checks between warmed caches."""
+    equivalence checks between warmed caches.
+
+    Large extents are streamed through the digest in ``chunk_size``
+    pieces so checksumming a multi-hundred-MB working set never
+    materializes a whole extent in memory.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     digest = hashlib.sha256()
     for offset, length in extents:
-        digest.update(img.read(offset, length))
+        while length > 0:
+            step = min(length, chunk_size)
+            digest.update(img.read(offset, step))
+            offset += step
+            length -= step
     return digest.hexdigest()

@@ -29,8 +29,12 @@ from repro.metrics.tracing import load_trace
 from repro.units import format_size
 
 #: Chain-layer display order for attribution tables (unknown layers
-#: sort after these, alphabetically).
-_LAYER_ORDER = {"cow": 0, "overlay": 1, "cache": 2, "base": 3}
+#: sort after these, alphabetically).  ``prefetch`` is the dedicated
+#: low-priority connection the Prefetcher reads through — its bytes
+#: get their own row so demand-stream base traffic stays exactly the
+#: replayer's ``base_bytes_read`` (the Fig 9 invariant).
+_LAYER_ORDER = {"cow": 0, "overlay": 1, "cache": 2, "base": 3,
+                "prefetch": 4}
 
 
 @dataclass
@@ -121,6 +125,10 @@ class BootReport:
     event-derived attribution)."""
 
     warm_runs: list[dict] = field(default_factory=list)
+    prefetch_runs: list[dict] = field(default_factory=list)
+    """The ``cache.prefetch`` spans' attrs (per-run executor totals —
+    the cross-check for the ``prefetch`` attribution row)."""
+
     record_count: int = 0
 
     def layer_bytes(self, layer: str) -> int:
@@ -172,6 +180,8 @@ def build_report(records: list[dict]) -> BootReport:
                 })
             elif name == "cache.warm":
                 report.warm_runs.append(dict(attrs))
+            elif name == "cache.prefetch":
+                report.prefetch_runs.append(dict(attrs))
             elif name in ("export.read", "export.write"):
                 served_spans.append(rec)
         elif kind == "event":
@@ -467,6 +477,23 @@ def format_report(report: BootReport) -> str:
             f"{format_size(total_base)} across "
             f"{len(report.summaries)} replay(s) — event-derived base "
             f"traffic {format_size(event_base)} ({verdict})\n")
+    if report.prefetch_runs:
+        # The prefetch stream reads over its own connection (layer
+        # "prefetch"), so its wire bytes never pollute the base row;
+        # the executor's own source_bytes total must equal the
+        # event-derived row exactly.
+        total_src = sum(r.get("source_bytes", 0)
+                        for r in report.prefetch_runs)
+        event_pf = report.layer_bytes("prefetch")
+        verdict = "match" if total_src == event_pf else "MISMATCH"
+        fill = sum(r.get("bytes_fetched", 0)
+                   for r in report.prefetch_runs)
+        parts.append(
+            f"prefetch accounting: source_bytes="
+            f"{format_size(total_src)} across "
+            f"{len(report.prefetch_runs)} run(s), cache fill "
+            f"{format_size(fill)} — event-derived prefetch traffic "
+            f"{format_size(event_pf)} ({verdict})\n")
     if report.waves:
         for wave in report.waves:
             dur = wave["end"] - wave["start"]

@@ -18,7 +18,8 @@ protocol is versioned — v2 (negotiated at connect) tags requests so a
 single connection keeps a bounded window of them in flight and the
 server completes them out of order, v3 adds an optional trace-context
 field so a client's span ids travel with each request (DESIGN.md §10),
-and v1 lock-step remains as the
+v4 adds negotiated per-chunk compression for WAN-shaped links
+(DESIGN.md §12), and v1 lock-step remains as the
 fallback and A/B baseline (see :mod:`repro.remote.protocol`) — the
 server dispatches reads of one export concurrently (reader-writer
 locking; see :mod:`repro.remote.server`), the client has per-operation
@@ -35,6 +36,7 @@ from repro.remote.protocol import (
     VERSION_1,
     VERSION_2,
     VERSION_3,
+    VERSION_4,
     ExportRefusedError,
     ProtocolError,
     RemoteOpError,
@@ -57,5 +59,6 @@ __all__ = [
     "VERSION_1",
     "VERSION_2",
     "VERSION_3",
+    "VERSION_4",
     "parse_url",
 ]

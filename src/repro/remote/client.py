@@ -98,8 +98,17 @@ class TransportStats:
     bytes_received: int = 0
     bytes_copied: int = 0  # payload bytes memcpy'd reassembling chunks
     inflight_hwm: int = 0  # most requests simultaneously unacknowledged
+    wire_compressed_bytes: int = 0  # compressed payload bytes on the wire
+    wire_compressed_bytes_raw: int = 0  # their inflated (logical) size
     latency: dict[str, LatencyHistogram] = field(
         default_factory=op_latency_histograms)
+
+    @property
+    def compression_ratio(self) -> float:
+        """wire/raw for payloads that shipped compressed (1.0 = none)."""
+        if not self.wire_compressed_bytes_raw:
+            return 1.0
+        return self.wire_compressed_bytes / self.wire_compressed_bytes_raw
 
     def summary(self) -> dict:
         """Plain-dict view for ``image_info()`` and experiment logs."""
@@ -112,6 +121,9 @@ class TransportStats:
             "bytes_received": self.bytes_received,
             "bytes_copied": self.bytes_copied,
             "inflight_hwm": self.inflight_hwm,
+            "wire_compressed_bytes": self.wire_compressed_bytes,
+            "wire_compressed_bytes_raw": self.wire_compressed_bytes_raw,
+            "compression_ratio": self.compression_ratio,
             "latency": {kind: h.summary()
                         for kind, h in self.latency.items() if h.count},
         }
@@ -150,6 +162,10 @@ def _register_transport_collector(img: "RemoteImage"):
             ("remote_client_bytes_copied_total", labels,
              float(s.bytes_copied)),
             ("remote_client_inflight_hwm", labels, float(s.inflight_hwm)),
+            ("remote_client_wire_compressed_bytes_total", labels,
+             float(s.wire_compressed_bytes)),
+            ("remote_client_wire_compressed_bytes_raw_total", labels,
+             float(s.wire_compressed_bytes_raw)),
         ]
         out.extend(latency_samples(
             "remote_client_op_latency", labels, s.latency))
@@ -195,7 +211,10 @@ class RemoteImage(BlockDriver):
                  backoff_max: float = 2.0,
                  protocol: int | None = None,
                  depth: int = _DEFAULT_DEPTH,
-                 chunk_size: int = _DEFAULT_CHUNK) -> None:
+                 chunk_size: int = _DEFAULT_CHUNK,
+                 compress: "bool | int" = False,
+                 compress_min_size: int = wire.DEFAULT_COMPRESS_MIN,
+                 compress_granted: bool = False) -> None:
         super().__init__(url, size, read_only)
         self._sock: socket.socket | None = sock
         self._host, self._port, self._export = parse_url(url)
@@ -207,6 +226,12 @@ class RemoteImage(BlockDriver):
         self._version = version
         self._depth = max(1, depth)
         self._chunk = chunk_size
+        # Compression preference (what we ask every (re)connect for)
+        # vs grant (what this connection negotiated).
+        self._compress_level = (wire.DEFAULT_COMPRESS_LEVEL
+                                if compress is True else int(compress))
+        self._compress_min = compress_min_size
+        self._wire_compress = compress_granted
         # Which version to ask for on (re)connects: an explicit
         # ``protocol`` wins; otherwise negotiate, but remember a v1
         # fallback so every reconnect doesn't re-pay the failed probe.
@@ -239,7 +264,10 @@ class RemoteImage(BlockDriver):
                 backoff_max: float = 2.0,
                 protocol: int | None = None,
                 depth: int = _DEFAULT_DEPTH,
-                chunk_size: int = _DEFAULT_CHUNK) -> "RemoteImage":
+                chunk_size: int = _DEFAULT_CHUNK,
+                compress: "bool | int" = False,
+                compress_min_size: int = wire.DEFAULT_COMPRESS_MIN,
+                ) -> "RemoteImage":
         """Connect and handshake.
 
         ``timeout`` bounds connection establishment; ``op_timeout``
@@ -249,27 +277,48 @@ class RemoteImage(BlockDriver):
         operation before a failure surfaces.
 
         ``protocol`` pins the wire protocol version (1 = lock-step,
-        2 = pipelined, 3 = pipelined + trace context); the default
-        negotiates v3, transparently accepts a pre-v3 server's v2
-        answer, and falls back to v1 against a pre-v2 server.
-        ``depth`` bounds how many tagged requests a v2/v3 connection
-        keeps in flight; large guest I/O is split into ``chunk_size``
-        requests that fill that window.
+        2 = pipelined, 3 = pipelined + trace context, 4 = pipelined +
+        compression); the default negotiates v4, transparently accepts
+        an older server's v3/v2 answer, and falls back to v1 against a
+        pre-v2 server.  ``depth`` bounds how many tagged requests a
+        v2+ connection keeps in flight; large guest I/O is split into
+        ``chunk_size`` requests that fill that window.
+
+        ``compress=True`` (or a zlib level 1-9) asks the server for
+        per-chunk payload compression — granted only on a v4
+        negotiation with a compression-willing server, silently
+        dropped against older peers.  Payloads under
+        ``compress_min_size``, and chunks that don't shrink, ship raw
+        either way.
         """
         if protocol is not None and protocol not in (wire.VERSION_1,
                                                      wire.VERSION_2,
-                                                     wire.VERSION_3):
+                                                     wire.VERSION_3,
+                                                     wire.VERSION_4):
             raise ValueError(f"unsupported protocol version {protocol}")
         if depth < 1:
             raise ValueError(f"depth must be >= 1, got {depth}")
+        if compress is not False and compress is not True \
+                and not 1 <= int(compress) <= 9:
+            raise ValueError(f"compress must be bool or 1..9, "
+                             f"got {compress!r}")
+        if compress and protocol is not None \
+                and protocol < wire.VERSION_4:
+            raise ValueError(
+                f"compression needs protocol v4, but v{protocol} "
+                f"was pinned")
         host, port, export = parse_url(url)
-        sock, size, version = cls._dial(host, port, export,
-                                        timeout, op_timeout, protocol)
+        sock, size, version, granted = cls._dial(
+            host, port, export, timeout, op_timeout, protocol,
+            bool(compress))
         return cls(sock, url, size, read_only, version=version,
                    connect_timeout=timeout, op_timeout=op_timeout,
                    max_retries=max_retries, backoff_base=backoff_base,
                    backoff_max=backoff_max, protocol=protocol,
-                   depth=depth, chunk_size=chunk_size)
+                   depth=depth, chunk_size=chunk_size,
+                   compress=compress,
+                   compress_min_size=compress_min_size,
+                   compress_granted=granted)
 
     @property
     def protocol_version(self) -> int:
@@ -281,39 +330,46 @@ class RemoteImage(BlockDriver):
         """Maximum tagged requests kept in flight (1 under v1)."""
         return self._depth if self._version >= wire.VERSION_2 else 1
 
+    @property
+    def compression_enabled(self) -> bool:
+        """True when this connection negotiated v4 compression."""
+        return self._wire_compress
+
     @classmethod
     def _dial(cls, host: str, port: int, export: str,
               connect_timeout: float, op_timeout: float,
-              prefer: int | None) -> tuple[socket.socket, int, int]:
-        """Connect and negotiate; returns (socket, size, version).
+              prefer: int | None, want_compress: bool = False,
+              ) -> tuple[socket.socket, int, int, bool]:
+        """Connect and negotiate; returns
+        (socket, size, version, compress_granted).
 
         A v2-framed hello to a pre-v2 server is answered by dropping
         the connection (unknown magic), which we observe as a protocol
-        or connection error and retry once with the v1 hello.  A v3
-        advertisement to a v2-only server needs no fallback at all —
-        the server clamps to 2 in the same handshake.  An export
+        or connection error and retry once with the v1 hello.  A v3/v4
+        advertisement to an older v2+ server needs no fallback at all —
+        the server clamps down in the same handshake.  An export
         refusal is a definitive answer on any version and is never
         retried.
         """
         if prefer is None or prefer >= wire.VERSION_2:
             advertise = wire.MAX_VERSION if prefer is None else prefer
             try:
-                sock, size, version = cls._dial_version(
+                sock, size, version, granted = cls._dial_version(
                     host, port, export, connect_timeout, op_timeout,
-                    advertise)
+                    advertise, want_compress)
                 if prefer is not None and version != prefer:
-                    # Pinned v3 against a v2-only server: a definitive
-                    # mismatch, not a transport failure.
+                    # Pinned v3/v4 against an older server: a
+                    # definitive mismatch, not a transport failure.
                     sock.close()
                     raise wire.ProtocolError(
                         f"server negotiated v{version}, "
                         f"v{prefer} was pinned")
-                return sock, size, version
+                return sock, size, version, granted
             except wire.ExportRefusedError:
                 raise
             except (wire.ProtocolError, ConnectionError) as exc:
                 if prefer is not None:
-                    # v2/v3 was pinned; no fallback — but surface the
+                    # v2+ was pinned; no fallback — but surface the
                     # reset as a RemoteError like every other failure.
                     if isinstance(exc, ConnectionError):
                         raise RemoteDisconnectedError(
@@ -323,12 +379,13 @@ class RemoteImage(BlockDriver):
                     raise
         return cls._dial_version(host, port, export,
                                  connect_timeout, op_timeout,
-                                 wire.VERSION_1)
+                                 wire.VERSION_1, False)
 
     @staticmethod
     def _dial_version(host: str, port: int, export: str,
                       connect_timeout: float, op_timeout: float,
-                      version: int) -> tuple[socket.socket, int, int]:
+                      version: int, want_compress: bool,
+                      ) -> tuple[socket.socket, int, int, bool]:
         try:
             sock = socket.create_connection((host, port),
                                             timeout=connect_timeout)
@@ -343,12 +400,19 @@ class RemoteImage(BlockDriver):
         # Re-arm from the connect timeout to the per-round-trip
         # deadline (the handshake below is the first round-trip).
         sock.settimeout(op_timeout)
+        granted = False
         try:
             if version >= wire.VERSION_2:
+                ask = want_compress and version >= wire.VERSION_4
                 wire.send_handshake_request_v2(sock, export,
-                                               version=version)
-                version, size = wire.recv_handshake_response_v2(
+                                               version=version,
+                                               compress=ask)
+                version, size, granted = wire.recv_handshake_response_ex(
                     sock, max_version=version)
+                if granted and not ask:
+                    raise wire.ProtocolError(
+                        "server granted compression that was never "
+                        "requested")
             else:
                 wire.send_handshake_request(sock, export)
                 size = wire.recv_handshake_response(sock)
@@ -360,7 +424,7 @@ class RemoteImage(BlockDriver):
         except Exception:
             sock.close()
             raise
-        return sock, size, version
+        return sock, size, version, granted
 
     # -- transport ----------------------------------------------------------
 
@@ -381,10 +445,10 @@ class RemoteImage(BlockDriver):
                 pass
 
     def _reconnect(self) -> None:
-        sock, size, version = self._dial(
+        sock, size, version, granted = self._dial(
             self._host, self._port, self._export,
             self._connect_timeout, self._op_timeout,
-            self._protocol_pref)
+            self._protocol_pref, bool(self._compress_level))
         if size != self.size:
             sock.close()
             raise RemoteDisconnectedError(
@@ -394,6 +458,11 @@ class RemoteImage(BlockDriver):
             self._dead = None
         self._sock = sock
         self._version = version
+        # The grant is per-connection: renegotiated on every reconnect
+        # from the same stored preference, so a mid-window reconnect
+        # keeps compressing iff the (possibly restarted) server still
+        # agrees.
+        self._wire_compress = granted
         if version == wire.VERSION_1:
             self._protocol_pref = wire.VERSION_1
         self.transport_stats.reconnects += 1
@@ -445,10 +514,24 @@ class RemoteImage(BlockDriver):
             try:
                 status, tag, length = wire.decode_response_v2_header(buf)
                 payload = wire.recv_exact(sock, length) if length else b""
+                wire_len = length
+                if status & wire.FLAG_COMPRESSED:
+                    if not self._wire_compress:
+                        raise wire.ProtocolError(
+                            "compressed response on a connection that "
+                            "negotiated no compression")
+                    status &= ~wire.FLAG_COMPRESSED
+                    # Inflate on the reader thread: it overlaps the
+                    # caller's next send, and a corrupt stream poisons
+                    # the connection like any other framing damage.
+                    payload = wire.decompress_payload(payload)
+                    stats = self.transport_stats
+                    stats.wire_compressed_bytes += wire_len
+                    stats.wire_compressed_bytes_raw += len(payload)
             except (TimeoutError, wire.ProtocolError, OSError) as exc:
                 self._poison(gen, exc)
                 return
-            self._complete(gen, tag, status, payload)
+            self._complete(gen, tag, status, payload, wire_len)
 
     def _gen_current(self, gen: int) -> bool:
         with self._plock:
@@ -465,7 +548,7 @@ class RemoteImage(BlockDriver):
             p.event.set()
 
     def _complete(self, gen: int, tag: int, status: int,
-                  payload: bytes) -> None:
+                  payload: bytes, wire_len: int | None = None) -> None:
         with self._plock:
             if gen != self._gen:
                 return
@@ -473,7 +556,8 @@ class RemoteImage(BlockDriver):
         if p is None:
             return  # response to a request nobody waits on anymore
         stats = self.transport_stats
-        stats.bytes_received += wire.RESPONSE2_HEADER_SIZE + len(payload)
+        stats.bytes_received += wire.RESPONSE2_HEADER_SIZE + (
+            len(payload) if wire_len is None else wire_len)
         kind = _OP_KINDS.get(p.req.req_type, "other")
         stats.latency[kind].observe(time.monotonic() - p.sent_at)
         if status == wire.STATUS_OK:
@@ -498,13 +582,23 @@ class RemoteImage(BlockDriver):
     def _send_pending(self, p: _Pending) -> None:
         p.event.clear()
         p.sent_at = time.monotonic()
-        self.transport_stats.requests += 1
-        if self._version >= wire.VERSION_3:
-            self.transport_stats.bytes_sent += \
+        stats = self.transport_stats
+        stats.requests += 1
+        if self._version >= wire.VERSION_4 and self._wire_compress:
+            sent, payload_wire, compressed = wire.send_request_v4(
+                self._sock, p.tag, p.req,
+                compress=True, level=self._compress_level,
+                min_size=self._compress_min)
+            stats.bytes_sent += sent
+            if compressed:
+                stats.wire_compressed_bytes += payload_wire
+                stats.wire_compressed_bytes_raw += len(p.req.payload)
+        elif self._version >= wire.VERSION_3:
+            stats.bytes_sent += \
                 wire.send_request_v3(self._sock, p.tag, p.req)
         else:
             wire.send_request_v2(self._sock, p.tag, p.req)
-            self.transport_stats.bytes_sent += (
+            stats.bytes_sent += (
                 wire.REQUEST2_HEADER_SIZE + len(p.req.payload))
 
     def _run_pipelined(self, reqs: list[wire.Request]) -> list[bytes]:
@@ -771,6 +865,7 @@ class RemoteImage(BlockDriver):
             "url": self.path,
             "protocol_version": self._version,
             "pipeline_depth": self.pipeline_depth,
+            "compression": self._wire_compress,
             "transport": self.transport_stats.summary(),
         })
         return info

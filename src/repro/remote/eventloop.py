@@ -107,7 +107,8 @@ class _Conn:
                  "scratch", "buf", "have", "need",
                  "req_type", "tag", "offset", "length", "trace_ctx",
                  "payload", "out", "inflight", "limit", "events",
-                 "paused", "close_after_flush", "closed")
+                 "paused", "close_after_flush", "closed",
+                 "compress_req", "compress", "req_compressed")
 
     def __init__(self, sock: socket.socket, conn_id: int) -> None:
         self.sock = sock
@@ -132,6 +133,9 @@ class _Conn:
         self.paused = False
         self.close_after_flush = False
         self.closed = False
+        self.compress_req = False  # hello asked for v4 compression
+        self.compress = False      # ...and the server granted it
+        self.req_compressed = False  # current write payload deflated
 
 
 class EventLoopEngine:
@@ -324,7 +328,17 @@ class EventLoopEngine:
         elif state == _REQ_PAYLOAD:
             payload = conn.payload
             conn.payload = None
-            self._begin_request(conn, memoryview(payload))
+            if conn.req_compressed:
+                # Compressed writes trade the zero-copy handoff for
+                # wire bytes by design; inflating here (loop thread)
+                # keeps the worker pool for driver I/O, and corrupt
+                # data tears the connection down like any framing
+                # damage.
+                self._begin_request(
+                    conn, wire.decompress_payload(payload),
+                    wire_len=len(payload))
+            else:
+                self._begin_request(conn, memoryview(payload))
         elif state == _HS_MAGIC:
             magic = wire.parse_hello_magic(conn.scratch)
             if magic == wire.MAGIC:
@@ -344,8 +358,10 @@ class EventLoopEngine:
             conn.version = wire.VERSION_1
             self._expect_name(conn, wire.parse_hello_rest_v1(conn.scratch))
         elif state == _HS_V2_REST:
-            conn.version, name_len = wire.parse_hello_rest_v2(
-                conn.scratch, max_version=self._server._max_protocol)
+            conn.version, name_len, conn.compress_req = \
+                wire.parse_hello_rest_ex(
+                    conn.scratch,
+                    max_version=self._server._max_protocol)
             self._expect_name(conn, name_len)
         elif state == _HS_NAME:
             self._on_hello(conn, bytes(conn.buf[:conn.need])
@@ -381,9 +397,13 @@ class EventLoopEngine:
         conn.export = export
         conn.limit = (1 if conn.version == wire.VERSION_1
                       else server._max_inflight_per_conn)
+        conn.compress = (conn.compress_req
+                         and conn.version >= wire.VERSION_4
+                         and server._compression)
         if conn.version >= wire.VERSION_2:
             reply = wire.pack_handshake_response_v2(
-                size=export.driver.size, version=conn.version)
+                size=export.driver.size, version=conn.version,
+                compress=conn.compress)
         else:
             reply = wire.pack_handshake_response(
                 size=export.driver.size)
@@ -397,6 +417,7 @@ class EventLoopEngine:
 
     def _on_request_header(self, conn: _Conn) -> None:
         buf = conn.scratch
+        conn.req_compressed = False
         if conn.version == wire.VERSION_1:
             conn.req_type, conn.offset, conn.length = \
                 wire.parse_request_header(buf)
@@ -406,9 +427,17 @@ class EventLoopEngine:
             conn.req_type, conn.tag, conn.offset, conn.length = \
                 wire.parse_request2_header(buf)
             conn.trace_ctx = None
-        else:
+        elif conn.version == wire.VERSION_3:
             (conn.req_type, conn.tag, conn.offset, conn.length,
              conn.trace_ctx) = wire.parse_request3_header(buf)
+        else:
+            (conn.req_type, conn.tag, conn.offset, conn.length,
+             conn.trace_ctx, conn.req_compressed) = \
+                wire.parse_request4_header(buf)
+            if conn.req_compressed and not conn.compress:
+                raise wire.ProtocolError(
+                    "compressed request on a connection that "
+                    "negotiated no compression")
         if conn.req_type == wire.REQ_WRITE and conn.length > 0:
             # Fresh buffer per write: under pipelining the previous
             # payload may still be owned by a worker.  This very buffer
@@ -421,14 +450,22 @@ class EventLoopEngine:
         else:
             self._begin_request(conn, b"")
 
-    def _begin_request(self, conn: _Conn, payload) -> None:
+    def _begin_request(self, conn: _Conn, payload,
+                       wire_len: int | None = None) -> None:
         conn.buf = memoryview(conn.scratch)
         server = self._server
         export = conn.export
-        req = wire.Request(conn.req_type, conn.offset, conn.length,
+        length = (len(payload) if conn.req_type == wire.REQ_WRITE
+                  else conn.length)
+        req = wire.Request(conn.req_type, conn.offset, length,
                            payload, conn.trace_ctx)
         server._count_received(
-            export, wire.request_header_size(conn.version), req)
+            export, wire.request_header_size(conn.version), req,
+            payload_wire_len=wire_len)
+        if wire_len is not None and wire_len != len(payload):
+            with export.stats_lock:
+                export.stats.wire_compressed_bytes += wire_len
+                export.stats.wire_compressed_bytes_raw += len(payload)
         self._expect_header(conn)
         if req.req_type == wire.REQ_DISCONNECT:
             conn.close_after_flush = True
@@ -482,13 +519,23 @@ class EventLoopEngine:
                     server._fill_span_attrs(span, export, req,
                                             conn.conn_id)
                     TRACER.emit_closed(span, end)
-            self._completions.append((conn, tag, payload, error))
+            compressed = False
+            raw_len = 0
+            if error is None and conn.compress and payload:
+                # Deflate in the worker so the loop thread only ever
+                # shuffles bytes; chunks that don't shrink ship raw.
+                raw_len = len(payload)
+                payload, compressed = wire.compress_payload(
+                    payload, server._compress_level, server._compress_min)
+            self._completions.append(
+                (conn, tag, payload, error, compressed, raw_len))
             self._wake()
 
     def _drain_completions(self) -> None:
         while True:
             try:
-                conn, tag, payload, error = self._completions.popleft()
+                (conn, tag, payload, error,
+                 compressed, raw_len) = self._completions.popleft()
             except IndexError:
                 return
             self._jobs_outstanding -= 1
@@ -497,12 +544,14 @@ class EventLoopEngine:
                 # longer in service.
                 self._server._exit_inflight(conn.export)
                 continue
-            self._queue_response(conn, tag, payload, error)
+            self._queue_response(conn, tag, payload, error,
+                                 compressed=compressed, raw_len=raw_len)
 
     # -- sending -------------------------------------------------------------
 
     def _queue_response(self, conn: _Conn, tag: int, payload,
-                        error: str | None) -> None:
+                        error: str | None, *, compressed: bool = False,
+                        raw_len: int = 0) -> None:
         body = error.encode("utf-8") if error is not None else payload
         if conn.version == wire.VERSION_1:
             header = wire.pack_response_header(
@@ -510,8 +559,14 @@ class EventLoopEngine:
             hsize = wire.RESPONSE_HEADER_SIZE
         else:
             header = wire.pack_response2_header(
-                tag, len(body), error=error is not None)
+                tag, len(body), error=error is not None,
+                compressed=compressed)
             hsize = wire.RESPONSE2_HEADER_SIZE
+        if compressed:
+            export = conn.export
+            with export.stats_lock:
+                export.stats.wire_compressed_bytes += len(body)
+                export.stats.wire_compressed_bytes_raw += raw_len
         # Count before the first byte can hit the wire: once the client
         # has read the frame the counters must already cover it.
         self._server._count_sent(conn.export, hsize, len(body))
@@ -632,7 +687,7 @@ class EventLoopEngine:
         # Jobs that completed after the loop exited still carry
         # inflight accounting; settle the books.
         while self._completions:
-            conn, _tag, _payload, _error = self._completions.popleft()
+            conn = self._completions.popleft()[0]
             if conn.export is not None:
                 self._server._exit_inflight(conn.export)
         try:

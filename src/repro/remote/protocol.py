@@ -61,6 +61,36 @@ untouched; a pre-v2 server drops the hello and the v1 fallback above
 takes over.  The same extension discipline as the qcow2 cache header
 extension: new field, old readers unaffected.
 
+Version 4 — pipelined with negotiated per-chunk compression
+(DESIGN.md §12)::
+
+    C: u32 magic2 | u8 version=4|COMPRESS? | u16 name_len | name bytes
+    S: u32 magic2 | u8 status | u8 version=4|COMPRESS? | u64 size
+
+    frames identical to v3, except the high bit of the request *type*
+    byte and of the response *status* byte may carry FLAG_COMPRESSED.
+
+v4 changes no struct layouts at all — a v4 request frame is a v3
+frame, a v4 response frame is a v2 response frame.  What v4 adds is
+*capability*: either payload direction may ship a zlib-compressed
+payload, marked by ``FLAG_COMPRESSED`` (0x80) on the request's type
+byte (compressed WRITE payload) or the response's status byte
+(compressed READ payload).  The header ``length`` field then counts
+the *wire* (compressed) bytes; the receiver inflates and validates
+against ``MAX_PAYLOAD``.  Chunks below the negotiated minimum size or
+that do not shrink ship raw with the flag clear, so the zero-copy
+``sendmsg`` fast path of the event-loop engine is untouched whenever
+compression does not pay.
+
+Compression is negotiated in the hello with the same high bit: a
+client that wants it advertises ``version|COMPRESS_FLAG``; the server
+echoes the flag in its answer only when it (a) negotiated v4 and (b)
+has compression enabled.  An old server masks nothing — it computes
+``min(advertised, max)`` on the raw byte, and since the flagged byte
+is numerically large the min clamps to the old server's own ceiling,
+exactly like a plain v4 advertisement.  An old client never sees the
+flag because the server only echoes what was requested.
+
 Types: READ (server returns ``length`` payload bytes), WRITE (client
 sends payload; server returns empty), FLUSH, DISCONNECT.  All integers
 are big-endian.  Errors carry a UTF-8 message as payload.
@@ -70,6 +100,7 @@ from __future__ import annotations
 
 import socket
 import struct
+import zlib
 from dataclasses import dataclass
 
 MAGIC = 0x52425331   # "RBS1"
@@ -78,10 +109,24 @@ MAGIC2 = 0x52425332  # "RBS2"
 VERSION_1 = 1
 VERSION_2 = 2
 VERSION_3 = 3
+VERSION_4 = 4
 
 #: Highest version this module implements (what a server answers to a
 #: future client advertising more).
-MAX_VERSION = VERSION_3
+MAX_VERSION = VERSION_4
+
+#: High bit of the hello version byte: compression requested (client)
+#: or granted (server).  Also the per-frame compressed-payload marker
+#: (:data:`FLAG_COMPRESSED`); both live in bytes whose defined values
+#: stay far below 0x80.
+COMPRESS_FLAG = 0x80
+FLAG_COMPRESSED = 0x80
+
+#: zlib defaults for the negotiated-compression path: level 6 is
+#: zlib's own default trade-off, and payloads under the minimum ship
+#: raw (small boot reads rarely shrink enough to pay for the inflate).
+DEFAULT_COMPRESS_LEVEL = 6
+DEFAULT_COMPRESS_MIN = 512
 
 REQ_READ = 1
 REQ_WRITE = 2
@@ -154,6 +199,53 @@ def recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(parts)
 
 
+# -- v4 payload compression --------------------------------------------------
+
+
+def compress_payload(payload, level: int = DEFAULT_COMPRESS_LEVEL,
+                     min_size: int = DEFAULT_COMPRESS_MIN,
+                     ) -> "tuple[bytes, bool]":
+    """Maybe deflate one payload: returns ``(wire_payload, compressed)``.
+
+    Payloads below ``min_size`` — or whose deflate does not actually
+    shrink them — are returned as-is with ``compressed=False``, so the
+    caller's raw path (and the event loop's zero-copy send) is taken
+    whenever compression would not pay.  Accepts any buffer (the event
+    loop hands driver ``bytes``, the client may hand ``memoryview``).
+    """
+    n = len(payload)
+    if n < min_size:
+        return payload, False
+    blob = zlib.compress(bytes(payload) if not isinstance(payload, bytes)
+                         else payload, level)
+    if len(blob) >= n:
+        return payload, False
+    return blob, True
+
+
+def decompress_payload(blob, expected_max: int = MAX_PAYLOAD) -> bytes:
+    """Inflate one compressed wire payload.
+
+    Corruption (zlib error, truncated stream) and decompression bombs
+    (inflated size beyond ``expected_max``) both surface as a clean
+    :class:`ProtocolError` — the receiver treats either as a broken
+    stream, never as data.
+    """
+    d = zlib.decompressobj()
+    try:
+        out = d.decompress(bytes(blob), expected_max + 1)
+    except zlib.error as exc:
+        raise ProtocolError(
+            f"corrupt compressed payload: {exc}") from exc
+    if len(out) > expected_max or d.unconsumed_tail:
+        raise ProtocolError(
+            f"compressed payload inflates past {expected_max} bytes")
+    if not d.eof:
+        raise ProtocolError(
+            "corrupt compressed payload: truncated stream")
+    return out
+
+
 # -- handshake ---------------------------------------------------------------
 
 
@@ -189,18 +281,26 @@ def recv_handshake_response(sock: socket.socket) -> int:
 
 
 def send_handshake_request_v2(sock: socket.socket, export: str, *,
-                              version: int = VERSION_2) -> None:
-    """Send the v2-framed hello, advertising ``version`` (2 or 3)."""
+                              version: int = VERSION_2,
+                              compress: bool = False) -> None:
+    """Send the v2-framed hello, advertising ``version`` (2..4).
+
+    ``compress=True`` sets :data:`COMPRESS_FLAG` on the version byte —
+    only meaningful when advertising v4+ (an old server min-clamps the
+    flagged byte down to its own ceiling and the flag evaporates).
+    """
     name = export.encode("utf-8")
     if len(name) > 0xFFFF:
         raise ValueError("export name too long")
-    sock.sendall(_HANDSHAKE2_REQ.pack(MAGIC2, version, len(name)) + name)
+    vbyte = version | (COMPRESS_FLAG if compress else 0)
+    sock.sendall(_HANDSHAKE2_REQ.pack(MAGIC2, vbyte, len(name)) + name)
 
 
-def recv_handshake_request_any(
+def recv_handshake_request_ex(
         sock: socket.socket, *,
-        max_version: int = MAX_VERSION) -> tuple[int, str]:
-    """Server side: accept a hello, return (negotiated version, export).
+        max_version: int = MAX_VERSION) -> tuple[int, str, bool]:
+    """Server side: accept a hello, return
+    ``(negotiated version, export, compress_requested)``.
 
     For a v2-framed hello the negotiated version is
     ``min(advertised, max_version)`` — a v3 client against a
@@ -209,47 +309,87 @@ def recv_handshake_request_any(
     v2-framed hello raises :class:`ProtocolError` exactly as a genuine
     pre-v2 server would (unknown magic → drop the connection), which
     is what the client's fallback path expects.
+
+    ``compress_requested`` is only honoured on a v4 negotiation; the
+    caller decides the grant (server policy) and echoes it in the
+    handshake response.
     """
     magic_raw = recv_exact(sock, 4)
     (magic,) = struct.unpack(">I", magic_raw)
     if magic == MAGIC:
         (name_len,) = struct.unpack(
             ">H", recv_exact(sock, _HANDSHAKE_REQ.size - 4))
-        return VERSION_1, recv_exact(sock, name_len).decode("utf-8")
+        return VERSION_1, recv_exact(sock, name_len).decode("utf-8"), \
+            False
     if magic == MAGIC2 and max_version >= VERSION_2:
-        version, name_len = struct.unpack(
+        vbyte, name_len = struct.unpack(
             ">BH", recv_exact(sock, _HANDSHAKE2_REQ.size - 4))
+        compress = bool(vbyte & COMPRESS_FLAG)
+        version = vbyte & ~COMPRESS_FLAG
         if version < VERSION_2:
             raise ProtocolError(
                 f"bad v2 hello: advertised version {version}")
-        return (min(version, max_version),
-                recv_exact(sock, name_len).decode("utf-8"))
+        version = min(version, max_version)
+        return (version,
+                recv_exact(sock, name_len).decode("utf-8"),
+                compress and version >= VERSION_4)
     raise ProtocolError(f"bad handshake magic 0x{magic:08x}")
+
+
+def recv_handshake_request_any(
+        sock: socket.socket, *,
+        max_version: int = MAX_VERSION) -> tuple[int, str]:
+    """Server side: accept a hello, return (negotiated version, export).
+
+    The pre-v4 signature, kept for callers that never grant
+    compression; see :func:`recv_handshake_request_ex`.
+    """
+    version, export, _compress = recv_handshake_request_ex(
+        sock, max_version=max_version)
+    return version, export
 
 
 def send_handshake_response_v2(sock: socket.socket, *, size: int = 0,
                                error: bool = False,
-                               version: int = VERSION_2) -> None:
-    status = STATUS_ERROR if error else STATUS_OK
-    sock.sendall(_HANDSHAKE2_RESP.pack(MAGIC2, status, version, size))
+                               version: int = VERSION_2,
+                               compress: bool = False) -> None:
+    sock.sendall(pack_handshake_response_v2(
+        size=size, error=error, version=version, compress=compress))
+
+
+def recv_handshake_response_ex(
+        sock: socket.socket, *,
+        max_version: int = VERSION_2) -> tuple[int, int, bool]:
+    """Client side: returns (version, size, compress_granted) from a
+    v2-framed server reply.  ``max_version`` is what the client
+    advertised; the server may answer that or anything down to 2 (its
+    own ceiling), never more.  The compress grant is only valid on a
+    v4 answer (an old server can never set it: its version byte is a
+    bare small integer)."""
+    raw = recv_exact(sock, _HANDSHAKE2_RESP.size)
+    magic, status, vbyte, size = _HANDSHAKE2_RESP.unpack(raw)
+    if magic != MAGIC2:
+        raise ProtocolError(f"bad handshake magic 0x{magic:08x}")
+    if status != STATUS_OK:
+        raise ExportRefusedError("server refused the export")
+    compress = bool(vbyte & COMPRESS_FLAG)
+    version = vbyte & ~COMPRESS_FLAG
+    if not VERSION_2 <= version <= max_version:
+        raise ProtocolError(
+            f"server negotiated unsupported version {version}")
+    if compress and version < VERSION_4:
+        raise ProtocolError(
+            f"server granted compression on a v{version} connection")
+    return version, size, compress
 
 
 def recv_handshake_response_v2(
         sock: socket.socket, *,
         max_version: int = VERSION_2) -> tuple[int, int]:
-    """Client side: returns (version, size) from a v2-framed server
-    reply.  ``max_version`` is what the client advertised; the server
-    may answer that or anything down to 2 (its own ceiling), never
-    more."""
-    raw = recv_exact(sock, _HANDSHAKE2_RESP.size)
-    magic, status, version, size = _HANDSHAKE2_RESP.unpack(raw)
-    if magic != MAGIC2:
-        raise ProtocolError(f"bad handshake magic 0x{magic:08x}")
-    if status != STATUS_OK:
-        raise ExportRefusedError("server refused the export")
-    if not VERSION_2 <= version <= max_version:
-        raise ProtocolError(
-            f"server negotiated unsupported version {version}")
+    """Pre-v4 client-side signature of
+    :func:`recv_handshake_response_ex` (drops the compress grant)."""
+    version, size, _compress = recv_handshake_response_ex(
+        sock, max_version=max_version)
     return version, size
 
 
@@ -340,13 +480,17 @@ def recv_request_v2(sock: socket.socket) -> tuple[int, Request]:
 
 def send_response_v2(sock: socket.socket, tag: int, *,
                      payload: bytes = b"",
-                     error: str | None = None) -> None:
+                     error: str | None = None,
+                     compressed: bool = False) -> None:
+    """``compressed=True`` marks ``payload`` as already-deflated wire
+    bytes (v4 connections only; the status byte carries the flag)."""
     if error is not None:
         body = error.encode("utf-8")
         sock.sendall(_RESPONSE2.pack(MAGIC2, STATUS_ERROR, tag, len(body))
                      + body)
         return
-    sock.sendall(_RESPONSE2.pack(MAGIC2, STATUS_OK, tag, len(payload))
+    status = STATUS_OK | (FLAG_COMPRESSED if compressed else 0)
+    sock.sendall(_RESPONSE2.pack(MAGIC2, status, tag, len(payload))
                  + payload)
 
 
@@ -453,6 +597,74 @@ def recv_response_v2(sock: socket.socket) -> tuple[int, bytes, str | None]:
     return tag, payload, None
 
 
+# -- v4 (tagged + trace context + compression) requests ----------------------
+
+
+def send_request_v4(sock: socket.socket, tag: int, req: Request, *,
+                    compress: bool = False,
+                    level: int = DEFAULT_COMPRESS_LEVEL,
+                    min_size: int = DEFAULT_COMPRESS_MIN,
+                    ) -> tuple[int, int, bool]:
+    """Send one v4 frame, deflating a WRITE payload when it pays.
+
+    Returns ``(wire_bytes, payload_wire_len, compressed)`` — the total
+    frame size for byte accounting, the payload's on-wire size, and
+    whether it shipped deflated (``FLAG_COMPRESSED`` on the type
+    byte).  Non-write requests and ``compress=False`` degrade to the
+    exact v3 frame.
+    """
+    if len(req.payload) > MAX_PAYLOAD or req.length > MAX_PAYLOAD:
+        raise ValueError("request exceeds MAX_PAYLOAD")
+    if not 0 <= tag <= MAX_TAG:
+        raise ValueError(f"tag {tag} out of range")
+    payload = req.payload
+    compressed = False
+    if compress and req.req_type == REQ_WRITE and payload:
+        payload, compressed = compress_payload(payload, level, min_size)
+    type_byte = req.req_type | (FLAG_COMPRESSED if compressed else 0)
+    frame = _REQUEST3.pack(MAGIC2, type_byte, tag, req.offset,
+                           len(payload) if req.req_type == REQ_WRITE
+                           else req.length,
+                           encode_trace_ctx(req.trace_ctx)) \
+        + payload
+    sock.sendall(frame)
+    return len(frame), len(payload), compressed
+
+
+def recv_request_v4(sock: socket.socket) -> tuple[int, Request, int]:
+    """Receive one v4 frame: ``(tag, request, payload_wire_len)``.
+
+    A compressed WRITE payload is inflated here, so the returned
+    :class:`Request` always carries logical bytes (its ``length`` is
+    the logical payload size); ``payload_wire_len`` is what actually
+    crossed the wire, for the server's traffic accounting.  Corrupt
+    compressed data raises :class:`ProtocolError` like any other
+    framing damage.
+    """
+    raw = recv_exact(sock, _REQUEST3.size)
+    magic, type_byte, tag, offset, length, ctx_raw = \
+        _REQUEST3.unpack(raw)
+    if magic != MAGIC2:
+        raise ProtocolError(f"bad request magic 0x{magic:08x}")
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"oversized request ({length} bytes)")
+    compressed = bool(type_byte & FLAG_COMPRESSED)
+    req_type = type_byte & ~FLAG_COMPRESSED
+    ctx = decode_trace_ctx(ctx_raw)
+    if req_type != REQ_WRITE:
+        if compressed:
+            raise ProtocolError(
+                f"compressed flag on request type {req_type}")
+        return tag, Request(req_type, offset, length, b"", ctx), 0
+    payload = recv_exact(sock, length)
+    wire_len = length
+    if compressed:
+        payload = decompress_payload(payload)
+    return (tag,
+            Request(req_type, offset, len(payload), payload, ctx),
+            wire_len)
+
+
 # -- buffer-oriented codec ----------------------------------------------------
 #
 # The socket-oriented helpers above read and write through intermediate
@@ -487,10 +699,27 @@ def parse_hello_rest_v2(buf, *, max_version: int = MAX_VERSION) -> tuple[int, in
     is ``min(advertised, max_version)`` and an advertised version below
     2 inside v2 framing is a protocol error.
     """
-    version, name_len = struct.unpack_from(">BH", buf, 4)
+    version, name_len, _compress = parse_hello_rest_ex(
+        buf, max_version=max_version)
+    return version, name_len
+
+
+def parse_hello_rest_ex(
+        buf, *,
+        max_version: int = MAX_VERSION) -> tuple[int, int, bool]:
+    """Parse the v2-framed hello tail:
+    (negotiated version, name_len, compress_requested).
+
+    Mirrors :func:`recv_handshake_request_ex` — the compress request
+    only survives a v4 negotiation.
+    """
+    vbyte, name_len = struct.unpack_from(">BH", buf, 4)
+    compress = bool(vbyte & COMPRESS_FLAG)
+    version = vbyte & ~COMPRESS_FLAG
     if version < VERSION_2:
         raise ProtocolError(f"bad v2 hello: advertised version {version}")
-    return min(version, max_version), name_len
+    version = min(version, max_version)
+    return version, name_len, compress and version >= VERSION_4
 
 
 def pack_handshake_response(*, size: int = 0, error: bool = False) -> bytes:
@@ -499,9 +728,11 @@ def pack_handshake_response(*, size: int = 0, error: bool = False) -> bytes:
 
 
 def pack_handshake_response_v2(*, size: int = 0, error: bool = False,
-                               version: int = VERSION_2) -> bytes:
+                               version: int = VERSION_2,
+                               compress: bool = False) -> bytes:
     status = STATUS_ERROR if error else STATUS_OK
-    return _HANDSHAKE2_RESP.pack(MAGIC2, status, version, size)
+    vbyte = version | (COMPRESS_FLAG if compress else 0)
+    return _HANDSHAKE2_RESP.pack(MAGIC2, status, vbyte, size)
 
 
 def parse_request_header(buf) -> tuple[int, int, int]:
@@ -550,10 +781,39 @@ def pack_response_header(length: int, *, error: bool = False) -> bytes:
 
 
 def pack_response2_header(tag: int, length: int, *,
-                          error: bool = False) -> bytes:
-    """Pack a v2/v3 response header (v3 responses are v2 responses)."""
+                          error: bool = False,
+                          compressed: bool = False) -> bytes:
+    """Pack a v2/v3/v4 response header (v3/v4 responses are v2
+    responses; under v4 ``compressed`` flags a deflated payload of
+    ``length`` wire bytes)."""
     status = STATUS_ERROR if error else STATUS_OK
+    if compressed:
+        status |= FLAG_COMPRESSED
     return _RESPONSE2.pack(MAGIC2, status, tag, length)
+
+
+def parse_request4_header(
+        buf) -> "tuple[int, int, int, int, tuple[str, str] | None, bool]":
+    """Parse a v4 request header:
+    (type, tag, offset, length, ctx, compressed).
+
+    Layout-identical to v3; the only difference is the
+    ``FLAG_COMPRESSED`` bit stripped off the type byte.  ``length`` is
+    wire bytes (compressed size when the flag is set).
+    """
+    magic, type_byte, tag, offset, length, ctx_raw = \
+        _REQUEST3.unpack_from(buf, 0)
+    if magic != MAGIC2:
+        raise ProtocolError(f"bad request magic 0x{magic:08x}")
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"oversized request ({length} bytes)")
+    compressed = bool(type_byte & FLAG_COMPRESSED)
+    req_type = type_byte & ~FLAG_COMPRESSED
+    if compressed and req_type != REQ_WRITE:
+        raise ProtocolError(
+            f"compressed flag on request type {req_type}")
+    return (req_type, tag, offset, length, decode_trace_ctx(ctx_raw),
+            compressed)
 
 
 def request_header_size(version: int) -> int:

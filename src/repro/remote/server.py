@@ -111,8 +111,18 @@ class ExportStats:
     wire_bytes_received: int = 0  # request frames + payloads
     bytes_copied: int = 0         # payload bytes memcpy'd in user space
     inflight_hwm: int = 0         # most requests dispatched at once
+    wire_compressed_bytes: int = 0  # compressed payload bytes on the wire
+    wire_compressed_bytes_raw: int = 0  # their inflated (logical) size
     latency: dict[str, LatencyHistogram] = field(
         default_factory=op_latency_histograms)
+
+    @property
+    def compression_ratio(self) -> float:
+        """wire/raw for payloads that shipped compressed (1.0 = none)."""
+        if not self.wire_compressed_bytes_raw:
+            return 1.0
+        return (self.wire_compressed_bytes
+                / self.wire_compressed_bytes_raw)
     #: The stats mutex itself.  Living on the stats object (rather than
     #: beside it on ``_Export``) lets bare ``ExportStats`` instances be
     #: snapshotted consistently too.
@@ -136,6 +146,10 @@ class ExportStats:
                 "wire_bytes_received": self.wire_bytes_received,
                 "bytes_copied": self.bytes_copied,
                 "inflight_hwm": self.inflight_hwm,
+                "wire_compressed_bytes": self.wire_compressed_bytes,
+                "wire_compressed_bytes_raw":
+                    self.wire_compressed_bytes_raw,
+                "compression_ratio": self.compression_ratio,
                 "latency": {kind: h.summary()
                             for kind, h in self.latency.items()
                             if h.count},
@@ -222,6 +236,10 @@ def _register_export_collector(name: str, export: _Export):
                  float(s.bytes_copied)),
                 ("block_export_inflight_hwm", labels,
                  float(s.inflight_hwm)),
+                ("block_export_wire_compressed_bytes_total", labels,
+                 float(s.wire_compressed_bytes)),
+                ("block_export_wire_compressed_bytes_raw_total", labels,
+                 float(s.wire_compressed_bytes_raw)),
             ]
             hists = dict(s.latency)
         out.extend(latency_samples(
@@ -242,7 +260,10 @@ class BlockServer:
                  max_inflight_per_conn: int = 32,
                  telemetry_port: int | None = None,
                  threaded: bool | None = None,
-                 workers: int = 8) -> None:
+                 workers: int = 8,
+                 compression: "bool | int" = True,
+                 compress_min_size: int = wire.DEFAULT_COMPRESS_MIN,
+                 ) -> None:
         """``telemetry_port`` opts in to the embedded HTTP telemetry
         endpoint (``/metrics``, ``/healthz``, ``/traces``; DESIGN.md
         §10) on that port — 0 picks an ephemeral port, None (default)
@@ -255,11 +276,21 @@ class BlockServer:
         thread-per-connection engine for A/B comparison.  ``None``
         consults the ``REPRO_SERVER_ENGINE`` environment variable
         (``"threaded"`` or ``"eventloop"``) so the whole test matrix
-        can be re-run against either engine without code changes."""
+        can be re-run against either engine without code changes.
+
+        ``compression`` is the server's *willingness* to compress v4
+        payloads (True, or a zlib level 1-9); the client opts in per
+        connection, so the default changes nothing for clients that
+        never ask.  ``False`` refuses every compression request
+        (connections still negotiate v4, just uncompressed)."""
         if max_protocol not in (wire.VERSION_1, wire.VERSION_2,
-                                wire.VERSION_3):
+                                wire.VERSION_3, wire.VERSION_4):
             raise ValueError(
                 f"unsupported max_protocol {max_protocol}")
+        if compression is not False and compression is not True \
+                and not 1 <= int(compression) <= 9:
+            raise ValueError(f"compression must be bool or 1..9, "
+                             f"got {compression!r}")
         if threaded is None:
             threaded = (os.environ.get("REPRO_SERVER_ENGINE", "")
                         .strip().lower() == "threaded")
@@ -268,6 +299,12 @@ class BlockServer:
         self._fault = fault_injector
         self._drain_timeout = drain_timeout
         self._max_protocol = max_protocol
+        self._compression = bool(compression)
+        self._compress_level = (wire.DEFAULT_COMPRESS_LEVEL
+                                if compression is True or
+                                compression is False
+                                else int(compression))
+        self._compress_min = compress_min_size
         self._max_inflight_per_conn = max(1, max_inflight_per_conn)
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -444,6 +481,7 @@ class BlockServer:
             "closing": closing,
             "engine": self.engine,
             "max_protocol": self._max_protocol,
+            "compression": self._compression,
             "exports": exports,
         }
 
@@ -477,8 +515,10 @@ class BlockServer:
     def _serve_connection(self, conn: socket.socket,
                           conn_id: int) -> None:
         try:
-            version, name = wire.recv_handshake_request_any(
+            version, name, compress_req = wire.recv_handshake_request_ex(
                 conn, max_version=self._max_protocol)
+            compress = (compress_req and version >= wire.VERSION_4
+                        and self._compression)
             export = self._exports.get(name)
             if export is None:
                 if version >= wire.VERSION_2:
@@ -491,8 +531,10 @@ class BlockServer:
                 export.stats.connections += 1
             if version >= wire.VERSION_2:
                 wire.send_handshake_response_v2(
-                    conn, size=export.driver.size, version=version)
-                self._request_loop_v2(conn, export, version, conn_id)
+                    conn, size=export.driver.size, version=version,
+                    compress=compress)
+                self._request_loop_v2(conn, export, version, conn_id,
+                                      compress)
             else:
                 wire.send_handshake_response(conn,
                                              size=export.driver.size)
@@ -557,7 +599,8 @@ class BlockServer:
                 self._exit_inflight(export)
 
     def _request_loop_v2(self, conn: socket.socket, export: _Export,
-                         version: int, conn_id: int) -> None:
+                         version: int, conn_id: int,
+                         compress: bool = False) -> None:
         """Tagged loop: read requests, serve each in its own worker.
 
         Workers dispatch through the same export RWLock as separate
@@ -566,7 +609,9 @@ class BlockServer:
         semaphore bounds the per-connection worker fan-out — the
         transport-level backpressure matching the client's window.
         v3 differs only in the request framing (a trace-context field
-        ahead of the payload); responses are identical.
+        ahead of the payload); v4 additionally allows compressed
+        payloads in either direction when ``compress`` was granted in
+        the handshake; responses are framing-identical throughout.
         """
         recv = (wire.recv_request_v3 if version >= wire.VERSION_3
                 else wire.recv_request_v2)
@@ -579,10 +624,21 @@ class BlockServer:
         prefix = threading.current_thread().name
         try:
             while True:
-                tag, req = recv(conn)
-                self._count_received(export, header, req)
-                # recv_request_v2/v3 assembled any write payload with a
-                # join — one user-space copy.
+                if version >= wire.VERSION_4:
+                    tag, req, wire_len = wire.recv_request_v4(conn)
+                    self._count_received(export, header, req,
+                                         payload_wire_len=wire_len)
+                    if wire_len != len(req.payload):  # arrived deflated
+                        with export.stats_lock:
+                            export.stats.wire_compressed_bytes += \
+                                wire_len
+                            export.stats.wire_compressed_bytes_raw += \
+                                len(req.payload)
+                else:
+                    tag, req = recv(conn)
+                    self._count_received(export, header, req)
+                # recv_request_v2/v3/v4 assembled any write payload
+                # with a join — one user-space copy.
                 self._count_copied(export, len(req.payload))
                 if req.req_type == wire.REQ_DISCONNECT:
                     return
@@ -604,7 +660,7 @@ class BlockServer:
                 thread = threading.Thread(
                     target=self._serve_request_v2,
                     args=(conn, export, tag, req, send_lock, limiter,
-                          action, delay, conn_id),
+                          action, delay, conn_id, compress),
                     daemon=True,
                     name=f"{prefix}-req{tag}")
                 workers.append(thread)
@@ -621,7 +677,8 @@ class BlockServer:
                           send_lock: threading.Lock,
                           limiter: threading.BoundedSemaphore,
                           action: str | None, delay: float,
-                          conn_id: int) -> None:
+                          conn_id: int,
+                          compress: bool = False) -> None:
         self._enter_inflight(export)
         try:
             if action == ACTION_DELAY:
@@ -646,7 +703,7 @@ class BlockServer:
                                        error=str(exc))
                 return
             self._send_response_v2(conn, export, send_lock, tag,
-                                   payload=payload)
+                                   payload=payload, compress=compress)
             if span is not None:
                 # Attr building and record emission deliberately land
                 # after the send: they overlap the client's next
@@ -704,19 +761,32 @@ class BlockServer:
     def _send_response_v2(self, conn: socket.socket, export: _Export,
                           send_lock: threading.Lock, tag: int, *,
                           payload: bytes = b"",
-                          error: str | None = None) -> None:
+                          error: str | None = None,
+                          compress: bool = False) -> None:
+        compressed = False
+        if compress and error is None and payload:
+            raw_len = len(payload)
+            payload, compressed = wire.compress_payload(
+                payload, self._compress_level, self._compress_min)
+            if compressed:
+                with export.stats_lock:
+                    export.stats.wire_compressed_bytes += len(payload)
+                    export.stats.wire_compressed_bytes_raw += raw_len
         body = (error.encode("utf-8") if error is not None else payload)
         self._count_sent(export, wire.RESPONSE2_HEADER_SIZE, len(body))
         # send_response_v2 concatenates header + body before sendall.
         self._count_copied(export, len(body))
         with send_lock:
             wire.send_response_v2(conn, tag, payload=payload,
-                                  error=error)
+                                  error=error, compressed=compressed)
 
     def _count_received(self, export: _Export, header: int,
-                        req: wire.Request) -> None:
+                        req: wire.Request,
+                        payload_wire_len: int | None = None) -> None:
         with export.stats_lock:
-            export.stats.wire_bytes_received += header + len(req.payload)
+            export.stats.wire_bytes_received += header + (
+                len(req.payload) if payload_wire_len is None
+                else payload_wire_len)
 
     def _count_sent(self, export: _Export, header: int,
                     payload_len: int) -> None:

@@ -222,6 +222,15 @@ class BootJob:
     "showed no substantial benefit" because the VM only waits ~17 % of
     its boot on reads — this flag exists to reproduce that bound."""
 
+    prefetch_plan: object | None = None
+    """Plan-driven prefetch twin (DESIGN.md §12): a
+    :class:`~repro.bootmodel.prefetch.PrefetchPlan` whose extents a
+    background stream reads through the chain ahead of the demand
+    stream.  Unlike ``prefetch`` (which *replaces* the demand reads
+    with a disclosed stream), the demand loop still runs — extents the
+    plan stream got to first are cache hits, exactly like the real
+    :class:`~repro.cluster.prefetch.Prefetcher`."""
+
 
 def boot_vms(testbed: Testbed, jobs: list[BootJob],
              *, stagger: float = 0.0,
@@ -278,6 +287,20 @@ def boot_vms(testbed: Testbed, jobs: list[BootJob],
             for req in run_op(job, op):
                 yield from testbed.execute(req, job.node)
 
+    def plan_stream(job: BootJob):
+        # Plan-driven twin: read the mined extents through the chain
+        # in boot order, back to back.  Whatever this stream touches
+        # first is a warm cluster by the time the demand loop asks.
+        for ext in job.prefetch_plan.extents:
+            offset = min(ext.offset, max(job.chain.size - 512, 0))
+            length = min(ext.length, job.chain.size - offset)
+            if length <= 0:
+                continue
+            plan: list[IORequest] = []
+            job.chain.read(offset, length, plan)
+            for req in plan:
+                yield from testbed.execute(req, job.node)
+
     def one_boot(job: BootJob, delay: float):
         jrng = random.Random(f"jitter-{job.vm_id}")
         if delay > 0:
@@ -293,6 +316,8 @@ def boot_vms(testbed: Testbed, jobs: list[BootJob],
                     yield env.timeout(op.think_time * factor)
             yield io_proc
         else:
+            if job.prefetch_plan is not None:
+                env.process(plan_stream(job))
             for op in job.trace:
                 if op.think_time > 0:
                     factor = 1.0 + think_jitter * (2 * jrng.random() - 1)

@@ -1,0 +1,214 @@
+"""Plan mining: traces and JSONL sinks in, versioned prefetch plans out.
+
+First-touch semantics (re-reads add nothing, contiguity coalesces),
+phase accounting, clipping, multi-run merging, and the PlanStore's
+versioned persistence (DESIGN.md §12).
+"""
+
+import json
+
+import pytest
+
+from repro.bootmodel import (
+    BootTrace,
+    PlanExtent,
+    PlanStore,
+    PrefetchPlan,
+    TraceOp,
+    default_plan,
+    generate_boot_trace,
+    merge_plans,
+    plan_from_jsonl,
+    plan_from_trace,
+)
+from repro.bootmodel.profiles import tiny_profile
+from repro.units import KiB, MiB
+
+
+def trace_of(reads, *, size=MiB, name="img"):
+    """Build a trace from (offset, length, think_time) read tuples."""
+    ops = [TraceOp("read", off, ln, think) for off, ln, think in reads]
+    return BootTrace(name, size, ops)
+
+
+class TestMining:
+    def test_first_touch_in_boot_order(self):
+        trace = trace_of([
+            (8 * KiB, 1 * KiB, 0.0),   # second extent by offset,
+            (0, 1 * KiB, 0.0),         # first by boot order
+            (8 * KiB, 512, 0.0),       # re-read: adds nothing
+        ], size=64 * KiB)
+        plan = plan_from_trace(trace, align=4 * KiB)
+        assert [(e.offset, e.length) for e in plan] == [
+            (8 * KiB, 4 * KiB), (0, 4 * KiB)]
+
+    def test_contiguous_touches_coalesce(self):
+        trace = trace_of([
+            (0, 4 * KiB, 0.0),
+            (4 * KiB, 4 * KiB, 0.0),
+            (8 * KiB, 100, 0.0),
+        ], size=64 * KiB)
+        plan = plan_from_trace(trace, align=4 * KiB)
+        assert [(e.offset, e.length) for e in plan] == [(0, 12 * KiB)]
+
+    def test_unaligned_touch_rounds_out(self):
+        trace = trace_of([(5 * KiB, 100, 0.0)], size=64 * KiB)
+        plan = plan_from_trace(trace, align=4 * KiB)
+        assert [(e.offset, e.length) for e in plan] == [
+            (4 * KiB, 4 * KiB)]
+
+    def test_phase_is_cumulative_think_time(self):
+        trace = trace_of([
+            (0, 4 * KiB, 0.5),
+            (16 * KiB, 4 * KiB, 0.25),
+        ], size=64 * KiB)
+        plan = plan_from_trace(trace, align=4 * KiB)
+        assert [e.phase for e in plan] == [0.5, 0.75]
+
+    def test_writes_do_not_contribute(self):
+        trace = BootTrace("img", 64 * KiB, [
+            TraceOp("write", 0, 4 * KiB, 0.0),
+            TraceOp("read", 8 * KiB, 4 * KiB, 0.0),
+        ])
+        plan = plan_from_trace(trace, align=4 * KiB)
+        assert [(e.offset, e.length) for e in plan] == [
+            (8 * KiB, 4 * KiB)]
+
+    def test_plan_covers_unique_reads(self):
+        profile = tiny_profile("t", vmi_size=8 * MiB,
+                               working_set=1 * MiB, boot_time=1.0)
+        trace = generate_boot_trace(profile, seed=0)
+        plan = plan_from_trace(trace, align=512)
+        assert plan.total_bytes() >= trace.unique_read_bytes()
+        assert plan.image == "t"
+        assert plan.source == "trace"
+
+    def test_clipped(self):
+        plan = PrefetchPlan("img", 512, extents=[
+            PlanExtent(0, 4 * KiB), PlanExtent(30 * KiB, 4 * KiB),
+            PlanExtent(64 * KiB, 4 * KiB)])
+        small = plan.clipped(32 * KiB)
+        assert [(e.offset, e.length) for e in small] == [
+            (0, 4 * KiB), (30 * KiB, 2 * KiB)]
+        # The original is untouched.
+        assert len(plan) == 3
+
+    def test_bad_extents_rejected(self):
+        with pytest.raises(ValueError):
+            PlanExtent(-1, 4 * KiB)
+        with pytest.raises(ValueError):
+            PlanExtent(0, 0)
+        with pytest.raises(ValueError):
+            PlanExtent(0, 4 * KiB, phase=-0.5)
+        with pytest.raises(ValueError, match="cluster_size"):
+            plan_from_trace(trace_of([(0, 100, 0.0)]), align=0)
+
+
+class TestJsonlMining:
+    def write_events(self, path, events):
+        with open(path, "w", encoding="utf-8") as f:
+            for rec in events:
+                f.write(json.dumps(rec) + "\n")
+
+    def test_mines_base_layer_reads(self, tmp_path):
+        path = str(tmp_path / "boot.jsonl")
+        self.write_events(path, [
+            {"type": "event", "name": "block.read", "ts": 10.0,
+             "attrs": {"layer": "base", "offset": 0,
+                       "length": 4 * KiB}},
+            {"type": "event", "name": "block.read", "ts": 10.5,
+             "attrs": {"layer": "cache", "offset": 64 * KiB,
+                       "length": 4 * KiB}},  # wrong layer: skipped
+            {"type": "span", "name": "vm.boot", "ts": 10.6},
+            {"type": "event", "name": "block.write", "ts": 10.7,
+             "attrs": {"layer": "base", "offset": 0, "length": 512}},
+            {"type": "event", "name": "block.read", "ts": 11.0,
+             "attrs": {"layer": "base", "offset": 8 * KiB,
+                       "length": 512}},
+        ])
+        plan = plan_from_jsonl(path, align=4 * KiB, image="img")
+        assert plan.source == "jsonl"
+        assert [(e.offset, e.length) for e in plan] == [
+            (0, 4 * KiB), (8 * KiB, 4 * KiB)]
+        # Phases are relative to the first matching read.
+        assert [e.phase for e in plan] == [0.0, 1.0]
+
+    def test_layer_override(self, tmp_path):
+        path = str(tmp_path / "boot.jsonl")
+        self.write_events(path, [
+            {"type": "event", "name": "block.read", "ts": 0.0,
+             "attrs": {"layer": "prefetch", "offset": 4 * KiB,
+                       "length": 4 * KiB}},
+        ])
+        assert len(plan_from_jsonl(path, align=512, image="i")) == 0
+        plan = plan_from_jsonl(path, align=512, image="i",
+                               layer="prefetch")
+        assert len(plan) == 1
+
+
+class TestMerge:
+    def test_first_plan_order_wins_later_plans_widen(self):
+        a = plan_from_trace(trace_of([
+            (16 * KiB, 4 * KiB, 0.0), (0, 4 * KiB, 0.0)],
+            size=64 * KiB), align=4 * KiB)
+        b = plan_from_trace(trace_of([
+            (0, 4 * KiB, 0.0), (32 * KiB, 4 * KiB, 0.0)],
+            size=64 * KiB), align=4 * KiB)
+        merged = merge_plans([a, b])
+        assert merged.source == "merged"
+        assert merged.runs == 2
+        assert [(e.offset, e.length) for e in merged] == [
+            (16 * KiB, 4 * KiB), (0, 4 * KiB), (32 * KiB, 4 * KiB)]
+
+    def test_single_plan_passthrough(self):
+        a = plan_from_trace(trace_of([(0, 512, 0.0)]), align=512)
+        assert merge_plans([a]) is a
+
+    def test_mismatches_rejected(self):
+        a = plan_from_trace(trace_of([(0, 512, 0.0)], name="x"),
+                            align=512)
+        b = plan_from_trace(trace_of([(0, 512, 0.0)], name="y"),
+                            align=512)
+        with pytest.raises(ValueError, match="different images"):
+            merge_plans([a, b])
+        c = plan_from_trace(trace_of([(0, 512, 0.0)], name="x"),
+                            align=4 * KiB)
+        with pytest.raises(ValueError, match="cluster size"):
+            merge_plans([a, c])
+        with pytest.raises(ValueError, match="nothing"):
+            merge_plans([])
+
+
+class TestPersistence:
+    def test_json_roundtrip(self):
+        plan = PrefetchPlan("centos-6.3", 512, "merged", 3, [
+            PlanExtent(0, 4 * KiB, 0.0),
+            PlanExtent(64 * KiB, 8 * KiB, 1.25)])
+        back = PrefetchPlan.from_json(plan.to_json())
+        assert back == plan
+
+    def test_future_version_refused(self):
+        doc = json.loads(PrefetchPlan("i", 512).to_json())
+        doc["version"] = 99
+        with pytest.raises(ValueError, match="newer"):
+            PrefetchPlan.from_json(json.dumps(doc))
+
+    def test_store_roundtrip_and_sanitized_names(self, tmp_path):
+        store = PlanStore(str(tmp_path / "plans"))
+        plan = plan_from_trace(
+            trace_of([(0, 4 * KiB, 0.0)], name="nbd://host:1/os v2"),
+            align=512)
+        path = store.save(plan)
+        assert "/" not in path[len(str(tmp_path)) + 7:]
+        assert store.load("nbd://host:1/os v2") == plan
+        assert store.load("unknown") is None
+        assert store.images() == ["nbd___host_1_os_v2"]
+
+    def test_default_plan_is_deterministic(self):
+        profile = tiny_profile("t", vmi_size=8 * MiB,
+                               working_set=1 * MiB, boot_time=1.0)
+        a = default_plan(profile, align=512)
+        b = default_plan(profile, align=512)
+        assert a == b
+        assert a.source == "profile"
+        assert a.total_bytes() > 0

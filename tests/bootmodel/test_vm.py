@@ -93,6 +93,39 @@ class TestReplayWithCache:
         assert len(res.layers) == 3
 
 
+class TestPacedReplay:
+    def test_paced_replay_respects_think_clock(self, tmp_path, base):
+        import time
+
+        tr = BootTrace("t", 8 * MiB, [
+            TraceOp("read", 0, 4 * KiB, 0.05),
+            TraceOp("read", 64 * KiB, 4 * KiB, 0.05),
+        ])
+        with create_cow_chain(base, str(tmp_path / "cow.qcow2")) as cow:
+            t0 = time.perf_counter()
+            res = replay_through_chain(tr, cow, time_scale=1.0)
+            paced = time.perf_counter() - t0
+        assert paced >= 0.1
+        assert res.ops_replayed == 2
+
+    def test_default_replay_never_sleeps(self, tmp_path, base):
+        import time
+
+        tr = BootTrace("t", 8 * MiB, [
+            TraceOp("read", 0, 4 * KiB, 10.0),
+        ])
+        with create_cow_chain(base, str(tmp_path / "cow.qcow2")) as cow:
+            t0 = time.perf_counter()
+            replay_through_chain(tr, cow)
+            unpaced = time.perf_counter() - t0
+        assert unpaced < 1.0
+
+    def test_negative_scale_rejected(self, tmp_path, trace, base):
+        with create_cow_chain(base, str(tmp_path / "cow.qcow2")) as cow:
+            with pytest.raises(ValueError, match="time_scale"):
+                replay_through_chain(trace, cow, time_scale=-0.5)
+
+
 class TestWarmCacheByBoot:
     def test_creates_warm_cache(self, tmp_path, trace, base, profile):
         cache_p = str(tmp_path / "cache.qcow2")

@@ -1,0 +1,30 @@
+"""Tier-1 smoke run of the cold-boot prefetch benchmark.
+
+Runs ``benchmarks/bench_ext_prefetch._run_prefetch`` at quick scale so
+plain ``pytest`` exercises the whole predictive-prefetch datapath —
+plan mining, the compressed side connection, the racing executor, and
+the warm-equivalence checksum — on every run.  The log is saved to a
+scratch dir only — ``benchmarks/results/BENCH_cold_boot_prefetch.json``
+is the committed paper-scale record and stays untouched.
+"""
+
+import pytest
+
+from benchmarks.bench_ext_prefetch import (
+    _run_prefetch,
+    check_prefetch_shape,
+)
+
+pytestmark = [
+    pytest.mark.smoke,
+    pytest.mark.timeout(120),
+    pytest.mark.filterwarnings("ignore::ResourceWarning"),
+]
+
+
+def test_prefetch_smoke(tmp_path):
+    log = _run_prefetch(quick=True)
+    # Scratch dir, never benchmarks/results/: the committed artifact is
+    # the paper-scale record and only the full benchmark may write it.
+    log.save(str(tmp_path))
+    check_prefetch_shape(log, quick=True)

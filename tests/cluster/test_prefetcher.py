@@ -1,0 +1,322 @@
+"""The prefetch executor: plan streaming into a live cache.
+
+Covers the DESIGN.md §12 priority rules (demand backoff, quota-stop
+never failing the boot), equivalence with the warmer's fill, the
+zero-length wire filter for plans past a shorter backing, and the
+boot-report attribution contract: prefetch traffic rides its own
+``trace_role`` and its event-derived byte sum reconciles exactly with
+the executor's ``source_bytes``.
+"""
+
+import threading
+
+import pytest
+
+from repro.bootmodel import generate_boot_trace, plan_from_trace
+from repro.bootmodel.prefetch import PlanExtent, PrefetchPlan
+from repro.bootmodel.profiles import tiny_profile
+from repro.bootmodel.vm import replay_through_chain
+from repro.cluster.prefetch import Prefetcher, intersect_bytes
+from repro.cluster.warmer import (
+    checksum_extents,
+    warm_cache,
+    working_set_extents,
+)
+from repro.imagefmt.driver import RangeSet
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.imagefmt.raw import RawImage
+from repro.metrics.boot_report import build_report, format_report
+from repro.metrics.tracing import TRACER, JsonlSink, load_trace
+from repro.remote import BlockServer, RemoteImage
+from repro.units import KiB, MiB
+
+from tests.conftest import make_patterned_base, pattern
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+SIZE = 4 * MiB
+QUOTA = 8 * MiB
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    TRACER.disable()
+    yield
+    TRACER.disable()
+
+
+def boot_trace(size=SIZE, seed=3):
+    profile = tiny_profile(vmi_size=size, working_set=MiB,
+                           boot_time=1.0)
+    return generate_boot_trace(profile, seed=seed)
+
+
+def make_cache(tmp_path, backing, name="cache.qcow2", *,
+               quota=QUOTA, size=None):
+    path = str(tmp_path / name)
+    Qcow2Image.create(path, size=size, backing_file=backing,
+                      cluster_size=512, cache_quota=quota).close()
+    return Qcow2Image.open(path, read_only=False)
+
+
+class _CountingSource:
+    """Wraps a driver, recording every read_batch put on the 'wire'."""
+
+    def __init__(self, inner, *, bump_stats_of=None):
+        self.inner = inner
+        self.requests: list[tuple[int, int]] = []
+        self.batches = 0
+        self._bump = bump_stats_of
+        self.trace_role = None
+
+    @property
+    def size(self):
+        return self.inner.size
+
+    def read_batch(self, reqs):
+        self.batches += 1
+        self.requests.extend(reqs)
+        if self._bump is not None:
+            # Simulate concurrent demand traffic: by the time the next
+            # prefetch batch starts, the guest has issued more reads.
+            self._bump.stats.read_ops += 1
+        return self.inner.read_batch(reqs)
+
+
+class TestExecutor:
+    def test_sync_fill_matches_warm_cache(self, tmp_path):
+        """A synchronous plan run populates byte-for-byte (and
+        cluster-for-cluster) what warm_cache fills for the same
+        trace."""
+        base_path = make_patterned_base(tmp_path / "base.raw", size=SIZE)
+        trace = boot_trace()
+        plan = plan_from_trace(trace, align=512)
+
+        with make_cache(tmp_path, base_path, "pf.qcow2") as cache:
+            report = Prefetcher(cache, plan).run()
+            assert report.bytes_fetched == plan.total_bytes() > 0
+            assert report.source_bytes == report.bytes_fetched
+            assert not report.quota_exhausted
+            extents = working_set_extents(trace, size=SIZE,
+                                          align=cache.cluster_size)
+            pf_sum = checksum_extents(cache, extents)
+            cache.flush()  # warm_cache flushes too; compare like to like
+            pf_phys = cache.physical_size
+
+        with make_cache(tmp_path, base_path, "warm.qcow2") as cache:
+            warm_cache(cache, trace)
+            assert checksum_extents(cache, extents) == pf_sum
+
+        # And warming the plan's own extents allocates the exact same
+        # physical clusters the prefetcher did.
+        with make_cache(tmp_path, base_path, "warm-plan.qcow2") as cache:
+            warm_cache(cache, extents=[(e.offset, e.length)
+                                       for e in plan])
+            assert checksum_extents(cache, extents) == pf_sum
+            assert cache.physical_size == pf_phys
+
+    def test_quota_stop_never_fails_boot(self, tmp_path):
+        """Quota exhaustion mirrors CoR §4.3: record the space error,
+        stop filling, and the boot proceeds on demand reads."""
+        base_path = make_patterned_base(tmp_path / "base.raw", size=SIZE)
+        trace = boot_trace()
+        plan = plan_from_trace(trace, align=512)
+
+        with make_cache(tmp_path, base_path, quota=64 * KiB) as cache:
+            report = Prefetcher(cache, plan).run()
+            assert report.quota_exhausted
+            assert report.bytes_fetched < plan.total_bytes()
+            assert cache.cache_runtime.cor.space_errors >= 1
+            assert not cache.cache_runtime.cor.enabled
+            assert cache.physical_size <= 64 * KiB
+            # The chain still boots — demand reads fall through.
+            cow = Qcow2Image.create(str(tmp_path / "vm.qcow2"),
+                                    backing_file=cache.path,
+                                    backing_format="qcow2")
+            with cow:
+                result = replay_through_chain(trace, cow, vm_id="vm")
+            assert result.base_bytes_read > 0
+
+    def test_backoff_on_demand_traffic(self, tmp_path):
+        """Any demand reads observed between batches yield the floor:
+        one backoff per batch that followed demand activity."""
+        base_path = make_patterned_base(tmp_path / "base.raw", size=SIZE)
+        with make_cache(tmp_path, base_path) as cache:
+            source = _CountingSource(RawImage.open(base_path),
+                                     bump_stats_of=cache)
+            plan = PrefetchPlan("img", 512, extents=[
+                PlanExtent(0, 64 * KiB)])  # 8 chunks at 8 KiB
+            pf = Prefetcher(cache, plan, source=source, depth=2,
+                            chunk_bytes=8 * KiB,
+                            backoff_seconds=0.0001)
+            report = pf.run()
+            source.inner.close()
+            assert report.batches == 4
+            # Every batch after the first observed the bumped counter.
+            assert report.backoffs == 3
+
+    def test_plan_past_shorter_backing_never_wires_zero_reads(
+            self, tmp_path):
+        """Extents wholly past the source clip to zero length and stay
+        off the wire; the local tail is zero-filled."""
+        base_path = make_patterned_base(tmp_path / "base.raw", size=MiB)
+        with make_cache(tmp_path, base_path, size=2 * MiB) as cache:
+            source = _CountingSource(RawImage.open(base_path))
+            plan = PrefetchPlan("img", 512, extents=[
+                PlanExtent(MiB - 4 * KiB, 8 * KiB),   # straddles end
+                PlanExtent(MiB + 64 * KiB, 8 * KiB),  # wholly past
+            ])
+            pf = Prefetcher(cache, plan, source=source,
+                            chunk_bytes=64 * KiB)
+            report = pf.run()
+            source.inner.close()
+            assert all(ln > 0 for _off, ln in source.requests)
+            assert report.bytes_fetched == 16 * KiB
+            assert report.source_bytes == 4 * KiB
+            assert cache.read(MiB - 4 * KiB, 4 * KiB) \
+                == pattern(MiB - 4 * KiB, 4 * KiB)
+            assert cache.read(MiB, 4 * KiB) == b"\0" * 4 * KiB
+            assert cache.read(MiB + 64 * KiB, 8 * KiB) \
+                == b"\0" * (8 * KiB)
+
+    def test_stop_is_honored(self, tmp_path):
+        base_path = make_patterned_base(tmp_path / "base.raw", size=SIZE)
+        with make_cache(tmp_path, base_path) as cache:
+            plan = PrefetchPlan("img", 512,
+                                extents=[PlanExtent(0, MiB)])
+            pf = Prefetcher(cache, plan)
+            pf.stop()
+            report = pf.run()
+            assert report.stopped_early
+            assert report.bytes_fetched == 0
+
+    def test_validation(self, tmp_path):
+        base_path = make_patterned_base(tmp_path / "base.raw")
+        plan = PrefetchPlan("img", 512,
+                            extents=[PlanExtent(0, 4 * KiB)])
+        with RawImage.open(base_path) as img:
+            # A backing-less driver needs an explicit source.
+            with pytest.raises(ValueError, match="no backing"):
+                Prefetcher(img, plan)
+        with make_cache(tmp_path, base_path) as cache:
+            with pytest.raises(ValueError, match="depth"):
+                Prefetcher(cache, plan, depth=0)
+            with pytest.raises(ValueError, match="chunk_bytes"):
+                Prefetcher(cache, plan, chunk_bytes=0)
+            pf = Prefetcher(cache, plan).start()
+            with pytest.raises(RuntimeError, match="started"):
+                pf.start()
+            pf.stop()
+            pf.join()
+
+    def test_intersect_bytes(self):
+        a, b = RangeSet(), RangeSet()
+        a.add(0, 100)
+        a.add(200, 100)
+        b.add(50, 200)
+        assert intersect_bytes(a, b) == 100
+        assert intersect_bytes(a, RangeSet()) == 0
+
+
+class TestReplayIntegration:
+    def test_concurrent_boot_over_nbd(self, tmp_path):
+        """The full datapath: a boot replay with a live prefetcher on
+        a dedicated connection — accounting, hit/wasted split, and a
+        cache checksum-identical to the warmer's fill."""
+        base_path = make_patterned_base(tmp_path / "base.raw", size=SIZE)
+        trace = boot_trace()
+        plan = plan_from_trace(trace, align=512)
+        base = RawImage.open(base_path)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            url = server.url("base")
+            with make_cache(tmp_path, url, "pf.qcow2") as cache:
+                cow = Qcow2Image.create(str(tmp_path / "vm.qcow2"),
+                                        backing_file=cache.path,
+                                        backing_format="qcow2")
+                with cow:
+                    side = RemoteImage.connect(url, compress=True)
+                    pf = Prefetcher(cow.backing, plan, source=side)
+                    result = replay_through_chain(
+                        trace, cow, vm_id="vm", prefetcher=pf)
+                    side.close()
+                rep = pf.report
+                assert rep.bytes_fetched > 0
+                assert side.trace_role == "prefetch"
+                # account() ran inside the replayer: the split covers
+                # everything prefetched, and the demand stream found
+                # prefetched clusters.
+                assert rep.hit_bytes + rep.wasted_bytes \
+                    == pf.prefetched.total()
+                assert rep.hit_bytes > 0
+                assert result.cache_hit_bytes > 0
+                pf_sum = checksum_extents(
+                    cache, working_set_extents(trace, size=SIZE,
+                                               align=512))
+            with make_cache(tmp_path, url, "warm.qcow2") as cache:
+                warm_cache(cache, trace)
+                assert checksum_extents(
+                    cache, working_set_extents(trace, size=SIZE,
+                                               align=512)) == pf_sum
+        base.close()
+
+    def test_boot_report_reconciles_prefetch_stream(self, tmp_path):
+        """Prefetch wire reads land in their own attribution row, and
+        the executor's source_bytes equals the event-derived sum — the
+        'match' verdict in the rendered report."""
+        trace_path = str(tmp_path / "boot.jsonl")
+        base_path = make_patterned_base(tmp_path / "base.raw", size=SIZE)
+        trace = boot_trace()
+        plan = plan_from_trace(trace, align=512)
+        base = RawImage.open(base_path)
+        TRACER.enable(JsonlSink(trace_path))
+        try:
+            with BlockServer() as server:
+                server.add_export("base", base)
+                url = server.url("base")
+                with make_cache(tmp_path, url) as cache:
+                    cow = Qcow2Image.create(
+                        str(tmp_path / "vm.qcow2"),
+                        backing_file=cache.path,
+                        backing_format="qcow2")
+                    with cow:
+                        side = RemoteImage.connect(url, compress=True)
+                        pf = Prefetcher(cow.backing, plan, source=side)
+                        replay_through_chain(trace, cow, vm_id="vm",
+                                             prefetcher=pf)
+                        side.close()
+        finally:
+            TRACER.disable()
+        base.close()
+
+        report = build_report(load_trace(trace_path))
+        assert len(report.prefetch_runs) == 1
+        run = report.prefetch_runs[0]
+        assert run["source_bytes"] == pf.report.source_bytes
+        assert report.layer_bytes("prefetch") == pf.report.source_bytes
+        # Demand traffic keeps its own rows: the base row counts only
+        # the demand connection's reads.
+        assert report.layer_bytes("base") \
+            + report.layer_bytes("prefetch") > 0
+        text = format_report(report)
+        assert "prefetch accounting" in text
+        assert "(match)" in text
+
+    def test_shared_lock_serializes_cache_access(self, tmp_path):
+        """Passing one lock to both sides is the documented contract;
+        a synchronous demand reader holding it never overlaps a
+        prefetch write."""
+        base_path = make_patterned_base(tmp_path / "base.raw", size=SIZE)
+        lock = threading.Lock()
+        plan = PrefetchPlan("img", 512,
+                            extents=[PlanExtent(0, MiB)])
+        with make_cache(tmp_path, base_path) as cache:
+            pf = Prefetcher(cache, plan, lock=lock,
+                            chunk_bytes=16 * KiB).start()
+            for i in range(32):
+                with lock:
+                    blob = cache.read(i * 4 * KiB, 4 * KiB)
+                assert blob == pattern(i * 4 * KiB, 4 * KiB)
+            pf.stop()
+            pf.join()
+            assert pf.report.bytes_fetched >= 0  # no crash, clean join

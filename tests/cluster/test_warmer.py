@@ -169,6 +169,51 @@ class TestWarmCache:
                 warm_cache(cache, read_trace([(0, 512)]),
                            extents=[(0, 512)])
 
+    def test_overhang_extents_never_become_wire_reads(self, tmp_path,
+                                                      small_base):
+        """Extents wholly past a shorter remote backing clip to zero
+        length and must not cost a round-trip each: zero wire read ops
+        for a fully-overhanging working set, exactly one for a mixed
+        batch."""
+        from repro.imagefmt.raw import RawImage
+
+        base = RawImage.open(small_base)  # 4 MiB
+        with BlockServer() as server:
+            server.add_export("base", base)
+            cache_p = str(tmp_path / "cache.qcow2")
+            Qcow2Image.create(cache_p, size=8 * MiB,
+                              backing_file=server.url("base"),
+                              cluster_size=512,
+                              cache_quota=16 * MiB).close()
+            with Qcow2Image.open(cache_p, read_only=False) as cache:
+                remote = cache.backing
+                assert isinstance(remote, RemoteImage)
+                # Wholly past the backing: zero-filled locally, and
+                # not a single request goes on the wire.
+                before = remote.transport_stats.requests
+                report = warm_cache(cache,
+                                    extents=[(5 * MiB, 64 * KiB),
+                                             (6 * MiB, 64 * KiB)],
+                                    flush=False)
+                assert report.bytes_written == 128 * KiB
+                assert remote.transport_stats.requests == before
+                assert cache.read(5 * MiB, 4 * KiB) == b"\0" * 4 * KiB
+                # A mixed batch wires only the in-range part.
+                before = remote.transport_stats.requests
+                ops_before = server.export_stats("base").read_ops
+                report = warm_cache(
+                    cache, extents=[(4 * MiB - 4 * KiB, 8 * KiB),
+                                    (7 * MiB, 4 * KiB)],
+                    flush=False)
+                assert report.bytes_written == 12 * KiB
+                assert remote.transport_stats.requests - before == 1
+                assert server.export_stats("base").read_ops \
+                    - ops_before == 1
+                assert cache.read(4 * MiB - 4 * KiB, 4 * KiB) \
+                    == pattern(4 * MiB - 4 * KiB, 4 * KiB)
+                assert cache.read(4 * MiB, 4 * KiB) == b"\0" * 4 * KiB
+        base.close()
+
     def test_working_set_past_backing_end_zero_filled(self, tmp_path):
         """A cache larger than its backing warms the overhang to
         zeros, exactly as copy-on-read would."""
@@ -185,6 +230,36 @@ class TestWarmCache:
             assert report.bytes_written == 8192
             assert cache.read(tail, 4096) == pattern(tail, 4096)
             assert cache.read(MiB, 4096) == b"\0" * 4096
+
+
+class TestChecksumExtents:
+    def test_streaming_matches_one_shot(self, tmp_path):
+        """Bounded-chunk streaming hashes the same bytes as reading
+        each extent whole, regardless of chunk/extent alignment."""
+        import hashlib
+
+        from repro.imagefmt.raw import RawImage
+
+        base_path = make_patterned_base(tmp_path / "base.raw",
+                                        size=MiB)
+        extents = [(0, 700 * KiB), (800 * KiB, 100 * KiB + 13)]
+        with RawImage.open(base_path) as img:
+            expected = hashlib.sha256()
+            for off, ln in extents:
+                expected.update(img.read(off, ln))
+            expected = expected.hexdigest()
+            assert checksum_extents(img, extents) == expected
+            for chunk in (1 * KiB, 64 * KiB, 3333):
+                assert checksum_extents(img, extents,
+                                        chunk_size=chunk) == expected
+
+    def test_bad_chunk_size_rejected(self, tmp_path):
+        from repro.imagefmt.raw import RawImage
+
+        base_path = make_patterned_base(tmp_path / "base.raw")
+        with RawImage.open(base_path) as img:
+            with pytest.raises(ValueError, match="chunk_size"):
+                checksum_extents(img, [(0, 512)], chunk_size=0)
 
 
 class TestDeploymentPrewarm:

@@ -1,0 +1,341 @@
+"""Wire protocol v4: negotiated per-chunk compression.
+
+The full negotiation matrix — a v4 client against {v1, v2, v3, v4}
+servers and pinned old clients against a v4 server — plus the payload
+contract: compressible chunks shrink on the wire, incompressible and
+small chunks ship raw, errors never compress, corruption surfaces as
+a clean :class:`ProtocolError`, and a mid-window reconnect keeps the
+negotiated compression.  Runs against the event-loop engine here and
+is re-collected against the threaded engine by
+``test_compression_threaded_engine.py``.
+"""
+
+import os
+
+import pytest
+
+from repro.imagefmt.raw import RawImage
+from repro.remote import BlockServer, RemoteImage
+from repro.remote import protocol as wire
+from repro.remote.fault import FaultInjector
+from repro.units import KiB, MiB
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+FAST_RETRY = dict(max_retries=3, backoff_base=0.01, backoff_max=0.05)
+
+#: Highly compressible position-dependent content (structured text,
+#: unlike conftest.pattern whose mixed bits do not deflate).
+def text_pattern(offset: int, length: int) -> bytes:
+    blob = b"".join(b"%016d" % i for i in
+                    range(offset // 16, (offset + length) // 16 + 2))
+    return blob[offset % 16: offset % 16 + length]
+
+
+@pytest.fixture
+def zip_base(tmp_path):
+    """A 2 MiB raw base full of compressible content."""
+    path = str(tmp_path / "zip-base.raw")
+    img = RawImage.create(path, 2 * MiB)
+    img.write(0, text_pattern(0, 2 * MiB))
+    img.close()
+    return path
+
+
+class TestNegotiationMatrix:
+    @pytest.mark.parametrize("server_max,expect", [
+        (1, wire.VERSION_1), (2, wire.VERSION_2),
+        (3, wire.VERSION_3), (4, wire.VERSION_4)])
+    def test_v4_client_against_every_server(self, zip_base,
+                                            server_max, expect):
+        """compress=True clamps transparently: only a v4 server grants
+        it, old servers serve the clamped version uncompressed."""
+        base = RawImage.open(zip_base)
+        with BlockServer(max_protocol=server_max) as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"),
+                                     compress=True) as img:
+                assert img.protocol_version == expect
+                assert img.compression_enabled == (expect
+                                                   == wire.VERSION_4)
+                assert img.read(0, 64 * KiB) == text_pattern(0, 64 * KiB)
+                stats = img.transport_stats
+                if expect == wire.VERSION_4:
+                    assert stats.wire_compressed_bytes > 0
+                    assert stats.wire_compressed_bytes_raw \
+                        > stats.wire_compressed_bytes
+                    assert 0 < stats.compression_ratio < 1
+                else:
+                    assert stats.wire_compressed_bytes == 0
+                    assert stats.compression_ratio == 1.0
+        base.close()
+
+    @pytest.mark.parametrize("pin", [1, 2, 3, 4])
+    def test_pinned_clients_against_v4_server(self, zip_base, pin):
+        base = RawImage.open(zip_base)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"),
+                                     protocol=pin) as img:
+                assert img.protocol_version == pin
+                assert not img.compression_enabled
+                assert img.read(0, 32 * KiB) == text_pattern(0, 32 * KiB)
+                assert img.transport_stats.wire_compressed_bytes == 0
+        base.close()
+
+    def test_pinned_v4_against_v3_server_raises(self, zip_base):
+        from repro.errors import RemoteError
+
+        base = RawImage.open(zip_base)
+        with BlockServer(max_protocol=3) as server:
+            server.add_export("base", base)
+            with pytest.raises((wire.ProtocolError, RemoteError)):
+                RemoteImage.connect(server.url("base"), protocol=4,
+                                    **FAST_RETRY)
+        base.close()
+
+    def test_compress_with_old_pin_rejected_client_side(self, zip_base):
+        base = RawImage.open(zip_base)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            for pin in (1, 2, 3):
+                with pytest.raises(ValueError, match="compression"):
+                    RemoteImage.connect(server.url("base"),
+                                        protocol=pin, compress=True)
+        base.close()
+
+    def test_invalid_compress_levels_rejected(self, zip_base):
+        base = RawImage.open(zip_base)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            for bad in (10, -1):
+                with pytest.raises(ValueError):
+                    RemoteImage.connect(server.url("base"),
+                                        compress=bad)
+        base.close()
+
+    def test_server_refuses_compression(self, zip_base):
+        """On/off asymmetry, server side: a willing client against
+        ``BlockServer(compression=False)`` still negotiates v4 but no
+        frame is ever compressed."""
+        base = RawImage.open(zip_base)
+        with BlockServer(compression=False) as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"),
+                                     compress=True) as img:
+                assert img.protocol_version == wire.VERSION_4
+                assert not img.compression_enabled
+                assert img.read(0, 64 * KiB) == text_pattern(0, 64 * KiB)
+                assert img.transport_stats.wire_compressed_bytes == 0
+            assert server.health()["compression"] is False
+        base.close()
+
+    def test_client_defaults_to_uncompressed(self, zip_base):
+        """On/off asymmetry, client side: a willing server never
+        compresses for a client that did not ask."""
+        base = RawImage.open(zip_base)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base")) as img:
+                assert img.protocol_version == wire.VERSION_4
+                assert not img.compression_enabled
+                assert img.read(0, 64 * KiB) == text_pattern(0, 64 * KiB)
+                assert img.transport_stats.wire_compressed_bytes == 0
+            assert server.export_stats("base").wire_compressed_bytes == 0
+        base.close()
+
+    def test_image_info_reports_compression(self, zip_base):
+        base = RawImage.open(zip_base)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"),
+                                     compress=True) as img:
+                assert img.image_info()["compression"] is True
+            with RemoteImage.connect(server.url("base")) as img:
+                assert img.image_info()["compression"] is False
+        base.close()
+
+
+class TestCompressedDatapath:
+    def test_reads_compress_and_account(self, zip_base):
+        base = RawImage.open(zip_base)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"),
+                                     compress=True) as img:
+                blob = img.read(0, MiB)
+                assert blob == text_pattern(0, MiB)
+                stats = img.transport_stats
+                # Wire accounting counts compressed (wire) bytes, so
+                # received stays far below the logical megabyte.
+                assert stats.wire_compressed_bytes_raw >= MiB
+                assert stats.bytes_received < MiB // 2
+            estats = server.export_stats("base")
+            assert estats.wire_compressed_bytes > 0
+            assert estats.wire_compressed_bytes_raw \
+                > estats.wire_compressed_bytes
+            assert 0 < estats.compression_ratio < 1
+        base.close()
+
+    def test_writes_compress_toward_server(self, tmp_path):
+        path = str(tmp_path / "rw.raw")
+        RawImage.create(path, MiB).close()
+        img = RawImage.open(path, read_only=False)
+        with BlockServer() as server:
+            server.add_export("rw", img, writable=True)
+            with RemoteImage.connect(server.url("rw"), compress=True,
+                                     read_only=False) as remote:
+                payload = text_pattern(0, 256 * KiB)
+                remote.write(0, payload)
+                assert remote.read(0, 256 * KiB) == payload
+                stats = remote.transport_stats
+                assert stats.wire_compressed_bytes > 0
+                # The write went out compressed: sent wire bytes stay
+                # well under the logical payload.
+                assert stats.bytes_sent < 128 * KiB
+            estats = server.export_stats("rw")
+            assert estats.wire_compressed_bytes_raw > 0
+        img.close()
+
+    def test_incompressible_chunks_ship_raw(self, tmp_path):
+        path = str(tmp_path / "rand.raw")
+        blob = os.urandom(MiB)
+        img = RawImage.create(path, MiB)
+        img.write(0, blob)
+        img.close()
+        base = RawImage.open(path)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"),
+                                     compress=True) as img:
+                assert img.read(0, 256 * KiB) == blob[:256 * KiB]
+                # Random bytes do not deflate: every chunk shipped raw,
+                # and the grant alone must not cost anything.
+                assert img.transport_stats.wire_compressed_bytes == 0
+        base.close()
+
+    def test_small_chunks_stay_raw(self, zip_base):
+        base = RawImage.open(zip_base)
+        with BlockServer(compress_min_size=64 * KiB) as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"),
+                                     compress=True) as img:
+                assert img.read(0, 4 * KiB) == text_pattern(0, 4 * KiB)
+                assert img.transport_stats.wire_compressed_bytes == 0
+                blob = img.read(0, 128 * KiB)
+                assert blob == text_pattern(0, 128 * KiB)
+                assert img.transport_stats.wire_compressed_bytes > 0
+        base.close()
+
+    def test_reconnect_mid_window_keeps_compression(self, zip_base):
+        fi = FaultInjector()
+        base = RawImage.open(zip_base)
+        with BlockServer(fault_injector=fi) as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"), compress=True,
+                                     depth=4, **FAST_RETRY) as img:
+                assert img.compression_enabled
+                assert img.read(0, 64 * KiB) \
+                    == text_pattern(0, 64 * KiB)
+                before = img.transport_stats.wire_compressed_bytes
+                assert before > 0
+                fi.inject("drop")
+                assert img.read(64 * KiB, 64 * KiB) \
+                    == text_pattern(64 * KiB, 64 * KiB)
+                assert img.transport_stats.reconnects == 1
+                # The grant was renegotiated on reconnect, not lost.
+                assert img.compression_enabled
+                assert img.read(128 * KiB, 64 * KiB) \
+                    == text_pattern(128 * KiB, 64 * KiB)
+                assert img.transport_stats.wire_compressed_bytes > before
+        base.close()
+
+    def test_errors_never_compressed(self, zip_base):
+        """A server-side error answer ships its message raw; the
+        connection (and its compression grant) stays usable after."""
+        fi = FaultInjector()
+        base = RawImage.open(zip_base)
+        with BlockServer(fault_injector=fi) as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"), compress=True,
+                                     **FAST_RETRY) as img:
+                fi.inject("error")
+                with pytest.raises(wire.RemoteOpError, match="injected"):
+                    img.read(0, 4 * KiB)
+                assert img.compression_enabled
+                assert img.read(0, 64 * KiB) == text_pattern(0, 64 * KiB)
+                assert img.transport_stats.wire_compressed_bytes > 0
+        base.close()
+
+
+class TestPayloadContract:
+    def test_roundtrip(self):
+        blob = text_pattern(0, 100 * KiB)
+        packed, flag = wire.compress_payload(blob)
+        assert flag and len(packed) < len(blob)
+        assert wire.decompress_payload(packed) == blob
+
+    def test_non_shrinking_ships_raw(self):
+        blob = os.urandom(64 * KiB)
+        packed, flag = wire.compress_payload(blob)
+        assert not flag and packed is blob
+
+    def test_below_min_size_ships_raw(self):
+        blob = text_pattern(0, 256)
+        packed, flag = wire.compress_payload(blob, min_size=512)
+        assert not flag and packed is blob
+
+    def test_corrupt_payload_is_protocol_error(self):
+        with pytest.raises(wire.ProtocolError, match="corrupt"):
+            wire.decompress_payload(b"\x13\x37not zlib at all")
+
+    def test_truncated_payload_is_protocol_error(self):
+        import zlib
+
+        good = zlib.compress(text_pattern(0, 32 * KiB))
+        with pytest.raises(wire.ProtocolError, match="corrupt|truncat"):
+            wire.decompress_payload(good[:-4])
+
+    def test_bomb_clamped_to_max_payload(self):
+        import zlib
+
+        bomb = zlib.compress(b"\0" * (2 * MiB))
+        with pytest.raises(wire.ProtocolError):
+            wire.decompress_payload(bomb, expected_max=MiB)
+
+    def test_corrupt_wire_payload_surfaces_cleanly(self, zip_base):
+        """A flipped bit inside a compressed frame must fail the
+        request as a protocol error / remote error, not hang or crash
+        the reader."""
+        import socket
+
+        base = RawImage.open(zip_base)
+        with BlockServer() as server:
+            server.add_export("base", base)
+            host, port = server.host, server.port
+
+            # A minimal raw v4 client that garbles what it receives:
+            # handshake for v4+compression, send one read, then corrupt
+            # the compressed payload before inflating.
+            sock = socket.create_connection((host, port))
+            try:
+                sock.settimeout(10)
+                wire.send_handshake_request_v2(
+                    sock, "base", version=wire.VERSION_4, compress=True)
+                version, _size, granted = wire.recv_handshake_response_ex(
+                    sock, max_version=wire.VERSION_4)
+                assert version == wire.VERSION_4 and granted
+                wire.send_request_v3(sock, 1, wire.Request(
+                    wire.REQ_READ, 0, 64 * KiB, b""))
+                hdr = wire.recv_exact(sock,
+                                      wire.RESPONSE2_HEADER_SIZE)
+                status, _tag, length = \
+                    wire.decode_response_v2_header(hdr)
+                payload = bytearray(wire.recv_exact(sock, length))
+                assert status & wire.FLAG_COMPRESSED
+                payload[len(payload) // 2] ^= 0xFF
+                with pytest.raises(wire.ProtocolError):
+                    wire.decompress_payload(bytes(payload))
+            finally:
+                sock.close()
+        base.close()

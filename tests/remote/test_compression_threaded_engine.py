@@ -1,0 +1,26 @@
+"""The v4 compression matrix against the threaded engine.
+
+``test_compression.py`` exercises the negotiation matrix and the
+compressed datapath on the default event-loop engine; this module
+re-collects the same classes with ``REPRO_SERVER_ENGINE=threaded``
+pinned so the legacy A/B engine honours the identical v4 contract —
+grants, clamping, per-direction compression, reconnect persistence,
+and corruption handling.  (``TestPayloadContract`` is pure protocol
+code with no server in the loop, so it is not re-run.)
+"""
+
+import pytest
+
+from tests.remote.test_compression import (  # noqa: F401  (re-collected)
+    TestCompressedDatapath,
+    TestNegotiationMatrix,
+    zip_base,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+@pytest.fixture(autouse=True)
+def _threaded_engine(monkeypatch):
+    """Every BlockServer in this module runs the legacy engine."""
+    monkeypatch.setenv("REPRO_SERVER_ENGINE", "threaded")

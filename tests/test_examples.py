@@ -52,6 +52,14 @@ class TestExamples:
         assert doc["clean"] is True
         assert len(doc["images"]) == len(images)
 
+    def test_quickstart_prefetch(self, tmp_path):
+        workdir = str(tmp_path / "quickstart-pf")
+        out = run_example("quickstart.py", "--workdir", workdir,
+                          "--prefetch")
+        assert "prefetch boot (protocol v4" in out
+        assert "prefetched " in out
+        assert " hit by demand reads" in out
+
     def test_remote_storage_node(self):
         out = run_example("remote_storage_node.py")
         assert "storage node serving nbd://" in out
