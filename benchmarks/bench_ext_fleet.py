@@ -1,0 +1,240 @@
+"""Extension: the fleet scrape plane must be (nearly) free.
+
+ISSUE 8's aggregator polls every node's /metrics + /healthz on an
+interval.  Observability that taxes the datapath it observes is a
+lie, so two budgets are enforced:
+
+* **Datapath impact <= 5%**: the boot-trace read mix served over the
+  wire protocol, with and without an aggressive aggregator (200 ms
+  interval — 10x denser than the 2 s default) scraping the serving
+  node the whole time.  The scraper is a real ``fleet_top``
+  *subprocess*, as deployed.  The budgeted quantity is the
+  *server-side* cost of being scraped — satellite (a)'s
+  ``telemetry_render_seconds`` self-timing, i.e. the seconds the node
+  spent rendering /metrics + /healthz, as a fraction of the scraped
+  window.  That is what a production node pays; the aggregator's own
+  parse/ingest CPU runs on another machine.  The raw co-located
+  wall-clock delta is also recorded: on this box the benchmark and
+  the scraper share cores (often just one), so that number is a
+  worst-case upper bound no real deployment sees, sanity-bounded
+  loosely.  Arms interleave per round and score best-of-rounds, the
+  same noise discipline as the tracing benchmark.
+* **Poll-loop scaling**: one aggregator poll over a simulated fleet
+  (storage + computes via the in-process scrape adapter) at growing
+  node counts.  The 1k-node poll — scrape, strict-parse, ingest,
+  derive signals, evaluate rules — must complete in well under a
+  second, i.e. far inside the default 2 s interval.
+"""
+
+import gc
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+from benchmarks.conftest import run_once
+from repro.bootmodel.generator import generate_boot_trace
+from repro.bootmodel.profiles import tiny_profile
+from repro.cluster import Cloud
+from repro.imagefmt import RawImage
+from repro.metrics.collectors import ExperimentLog
+from repro.metrics.fleet import FleetAggregator, HttpTarget
+from repro.metrics.reporting import shape_check
+from repro.remote import BlockServer, RemoteImage
+from repro.sim.fleet_twin import cloud_targets
+from repro.units import MiB
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _start_scraper(url: str) -> subprocess.Popen:
+    """A real fleet_top process scraping ``url`` at 200 ms intervals.
+
+    Returns once the first snapshot has been emitted, i.e. the node is
+    demonstrably under scrape load before the timed arm starts.
+    """
+    proc = subprocess.Popen(
+        [sys.executable, os.path.join(_REPO, "tools", "fleet_top.py"),
+         "--json", "--interval", "0.2", url],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+        env={**os.environ,
+             "PYTHONPATH": os.path.join(_REPO, "src")})
+    proc.stdout.readline()
+    return proc
+
+
+def _run_fleet_telemetry(quick: bool = False) -> ExperimentLog:
+    log = ExperimentLog(
+        "BENCH_fleet_telemetry",
+        "Aggregator scrape overhead on a serving node + poll-loop "
+        "scaling over a simulated fleet")
+
+    # -- A: datapath impact of being scraped -------------------------
+    size = 8 * MiB
+    rounds = 5 if quick else 9
+    base_dir = "/dev/shm" if os.path.isdir("/dev/shm") else None
+    workdir = tempfile.mkdtemp(prefix="repro-fleet-bench-",
+                               dir=base_dir)
+    try:
+        base_path = os.path.join(workdir, "base.raw")
+        base = RawImage.create(base_path, size)
+        base.write(0, os.urandom(size))
+        base.close()
+
+        profile = tiny_profile(vmi_size=size, working_set=size,
+                               boot_time=1.0)
+        trace = generate_boot_trace(profile, seed=3)
+        ops = [(op.offset, op.length) for op in trace.reads()
+               if op.offset + op.length <= size]
+        ops = ops[: 300 if quick else 800]
+        # Each timed window must span many scrape intervals, or one
+        # poll landing inside a short window reads as huge overhead.
+        passes = 20 if quick else 12
+
+        base = RawImage.open(base_path)
+        server = BlockServer(telemetry_port=0)
+        server.add_export("vmi", base)
+        url = server.telemetry.url
+        quiet_s: list[float] = []
+        scraped_s: list[float] = []
+        with RemoteImage.connect(server.url("vmi")) as img:
+            def read_loop() -> None:
+                for _ in range(passes):
+                    for off, length in ops:
+                        img.read(off, length)
+
+            def timed(into: list[float]) -> None:
+                gc.collect()
+                t0 = time.perf_counter()
+                read_loop()
+                into.append(time.perf_counter() - t0)
+
+            def scraped_arm() -> None:
+                scraper = _start_scraper(url)
+                try:
+                    timed(scraped_s)
+                finally:
+                    scraper.terminate()
+                    scraper.wait(timeout=30)
+
+            read_loop()  # warm connection + server threads
+            gc.disable()
+            try:
+                for r in range(rounds):
+                    # Arm order alternates per round so slow drift
+                    # (CPU frequency, cache state) taxes both equally.
+                    if r % 2 == 0:
+                        timed(quiet_s)
+                        scraped_arm()
+                    else:
+                        scraped_arm()
+                        timed(quiet_s)
+            finally:
+                gc.enable()
+        # Server-side evidence the scraped arms were really scraped
+        # (satellite (a): the endpoint counts and times its own
+        # scrapes).  total_seconds across both paths is the node's
+        # entire render bill for the benchmark.
+        from repro.metrics.registry import get_registry
+        registry = get_registry()
+        polls = registry.counter(
+            "telemetry_scrapes_total", path="/metrics").value
+        service_s = sum(
+            registry.histogram("telemetry_render_seconds",
+                               path=path).total_seconds
+            for path in ("/metrics", "/healthz"))
+        # One in-process poll for the record: the node must still be
+        # healthy and scrapeable after the pounding.
+        checker = FleetAggregator(
+            [HttpTarget.from_url(url, name="node0")], interval=1.0,
+            timeout=5.0)
+        snapshot = checker.poll_once()
+        checker.stop()
+        server.close()
+        base.close()
+
+        best_quiet = min(quiet_s)
+        best_scraped = min(scraped_s)
+        log.record_scalar("quiet_s", best_quiet)
+        log.record_scalar("scraped_s", best_scraped)
+        # The budgeted number: seconds the node spent rendering
+        # telemetry, over the total time it spent under scrape load.
+        log.record_scalar(
+            "datapath_overhead_pct",
+            service_s / sum(scraped_s) * 100)
+        log.record_scalar("scrape_service_s", service_s)
+        log.record_scalar(
+            "co_located_overhead_pct",
+            (best_scraped - best_quiet) / best_quiet * 100)
+        log.record_scalar("reads", len(ops) * passes)
+        log.record_scalar("rounds", rounds)
+        log.record_scalar("metrics_scrapes_served", polls)
+        log.record_scalar(
+            "node_ok", 1.0
+            if snapshot and snapshot.nodes["node0"].status == "ok"
+            else 0.0)
+
+        # -- B: poll-loop scaling over a simulated fleet --------------
+        node_axis = [50, 150] if quick else [100, 400, 1000]
+        poll_series = log.new_series("poll_time_s", unit="s")
+        per_node = log.new_series("poll_us_per_node", unit="us")
+        profile = tiny_profile(vmi_size=64 * MiB, working_set=4 * MiB,
+                               boot_time=2.0)
+        sim_trace = generate_boot_trace(profile, seed=11)
+        for n in node_axis:
+            cloud = Cloud(n_compute=n, cache_mode="algorithm1",
+                          cache_quota=16 * MiB)
+            cloud.register_vmi("tiny", profile.vmi_size, sim_trace)
+            cloud.start_vms([("tiny", max(8, min(n // 10, 100)))])
+            agg = FleetAggregator(
+                cloud_targets(cloud), interval=1.0, workers=16,
+                rules=["node:unhealthy >= 1 for 3 resolve 2",
+                       "storage_offload_fraction < 1% for 5"])
+            agg.poll_once()  # warm stores and thread pool
+            best = min(_timed_poll(agg) for _ in range(3))
+            poll_series.add(n, best)
+            per_node.add(n, best / (n + 1) * 1e6)
+            agg.stop()
+        log.note(f"scrape interval during impact arms: 200 ms; "
+                 f"fleet axis {node_axis} plus one storage target "
+                 f"each")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return log
+
+
+def _timed_poll(agg: FleetAggregator) -> float:
+    t0 = time.perf_counter()
+    agg.poll_once()
+    return time.perf_counter() - t0
+
+
+def test_ext_fleet_telemetry(benchmark, report, request):
+    quick = request.config.getoption("--quick")
+    log = run_once(benchmark, _run_fleet_telemetry, quick=quick)
+    report(log, "nodes")
+
+    shape_check(
+        log.scalars["datapath_overhead_pct"] <= 5.0,
+        "serving a 200 ms-interval scraper costs the node <= 5% of "
+        "its scraped wall time")
+    # The co-located delta includes the scraper process's own CPU
+    # stolen from the datapath on a shared (often single) core — an
+    # upper bound a real deployment never pays.  Bounded loosely as a
+    # regression tripwire only.
+    shape_check(
+        log.scalars["co_located_overhead_pct"] <= 40.0,
+        "co-located scraping stays within the single-core worst-case "
+        "bound")
+    shape_check(
+        log.scalars["metrics_scrapes_served"] >= log.scalars["rounds"],
+        "the scraped arms were actually being polled")
+    shape_check(log.scalars["node_ok"] == 1.0,
+                "the loaded node stayed scrapeable throughout")
+    biggest = log.get("poll_time_s").points[-1]
+    shape_check(
+        biggest[1] < 1.0,
+        f"one poll over {int(biggest[0])} sim nodes stays under 1 s "
+        f"(got {biggest[1]:.3f} s)")

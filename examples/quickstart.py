@@ -58,7 +58,15 @@ def main() -> None:
         help="demo the predictive-prefetch datapath: mine a plan from "
              "the first boot, then cold-boot over a real socket with "
              "the plan streaming ahead (wire compression on)")
+    parser.add_argument(
+        "--fleet", action="store_true",
+        help="demo the fleet telemetry plane: 3 storage nodes with "
+             "telemetry endpoints, the aggregator polling them, and a "
+             "forced node-down alert (pending -> firing -> resolved)")
     args = parser.parse_args()
+    if args.fleet:
+        fleet_demo()
+        return
     if args.trace:
         TRACER.enable(JsonlSink(args.trace))
     telemetry = None
@@ -197,6 +205,105 @@ def main() -> None:
         TRACER.disable()
         print(f"trace written to {args.trace} — render it with "
               f"`python tools/boot_report.py {args.trace}`")
+
+
+def fleet_demo() -> None:
+    """(--fleet) Three storage nodes, one aggregator, one forced alert.
+
+    Each node serves a qcow2 cache chain over a shared base VMI and
+    hosts its own telemetry endpoint; the aggregator polls all three,
+    derives the fleet signals, and an SLO rule walks a killed node
+    through pending -> firing -> resolved when it comes back.
+    """
+    from repro.imagefmt import create_cache_chain
+    from repro.metrics.fleet import FleetAggregator, HttpTarget
+    from repro.metrics.fleet_dashboard import (
+        SignalHistory,
+        render_dashboard,
+    )
+    from repro.metrics.registry import MetricsRegistry
+    from repro.remote import BlockServer, RemoteImage
+
+    workdir = tempfile.mkdtemp(prefix="repro-fleet-")
+    profile = tiny_profile("demo-os", vmi_size=64 * MiB,
+                           working_set=8 * MiB, boot_time=2.0)
+    base_path = os.path.join(workdir, "base.raw")
+    base = RawImage.create(base_path, profile.vmi_size)
+    base.write(0, os.urandom(1 * MiB))
+    base.close()
+    trace = generate_boot_trace(profile, seed=0)
+
+    servers: list[BlockServer] = []
+    chains = []
+    for i in range(3):
+        chain = create_cache_chain(
+            base_path, os.path.join(workdir, f"cache{i}.qcow2"),
+            os.path.join(workdir, f"vm{i}.qcow2"), quota=32 * MiB)
+        chains.append(chain)
+        # One registry per node: three "nodes" share this process, and
+        # each /metrics must only show its own exports.
+        server = BlockServer(telemetry_port=0,
+                             registry=MetricsRegistry())
+        server.add_export("vmi", chain)
+        servers.append(server)
+        print(f"storage node {i}: {server.url('vmi')} "
+              f"(telemetry {server.telemetry.url})")
+
+    # Boot one VM per node over the wire — cold on node 0, then read
+    # the same ranges again so nodes develop distinct cache profiles.
+    for rounds, server in zip((1, 2, 3), servers):
+        for _ in range(rounds):
+            with RemoteImage.connect(server.url("vmi")) as img:
+                for op in trace:
+                    if op.kind == "read":
+                        offset = min(op.offset, profile.vmi_size - 512)
+                        length = min(op.length,
+                                     profile.vmi_size - offset)
+                        if length > 0:
+                            img.read(offset, length)
+
+    aggregator = FleetAggregator(
+        [HttpTarget.from_url(s.telemetry.url, name=f"node{i}")
+         for i, s in enumerate(servers)],
+        interval=0.2, timeout=1.0,
+        rules=["node:up < 1 for 2 resolve 1"])
+    history = SignalHistory()
+
+    def poll(n: int) -> None:
+        for _ in range(n):
+            snapshot = aggregator.poll_once()
+            history.observe(snapshot)
+            for event in snapshot.events:
+                print(f"  ALERT {event.state}: {event.rule} "
+                      f"[{event.instance}] at poll {event.poll}")
+
+    print("\npolling the fleet (5 polls)…")
+    poll(5)
+    print(render_dashboard(aggregator.snapshot(), history))
+
+    # The forced alert: kill node 2 mid-scrape, watch the rule walk
+    # pending -> firing, then bring the node back and watch resolved.
+    print("\nkilling node 2 …")
+    port2 = servers[2].port
+    servers[2].close()
+    poll(4)
+    print("restarting node 2 …")
+    servers[2] = BlockServer(port=port2, telemetry_port=0,
+                             registry=MetricsRegistry())
+    servers[2].add_export("vmi", chains[2])
+    aggregator.remove_target("node2")
+    aggregator.add_target(HttpTarget.from_url(
+        servers[2].telemetry.url, name="node2"))
+    poll(8)
+    print(render_dashboard(aggregator.snapshot(), history))
+
+    aggregator.stop()
+    for server in servers:
+        server.close()
+    for chain in chains:
+        chain.close()
+    print(f"\n(images left in {workdir}; aim tools/fleet_top.py at "
+          f"running nodes for the live view)")
 
 
 if __name__ == "__main__":

@@ -16,8 +16,23 @@ on top (DESIGN.md §10): :mod:`repro.metrics.telemetry_server` embeds a
 most recent trace records for crash postmortems.
 """
 
+from repro.metrics.alerts import (
+    AlertEngine,
+    AlertEvent,
+    BurnRateRule,
+    JsonlNotifier,
+    LogNotifier,
+    ThresholdRule,
+)
 from repro.metrics.boot_report import merge_traces
 from repro.metrics.collectors import ExperimentLog, LatencyHistogram, Series
+from repro.metrics.exposition import (
+    Exposition,
+    ExpositionParseError,
+    parse_prometheus,
+    render_exposition,
+)
+from repro.metrics.fleet import FleetAggregator, FleetSnapshot, HttpTarget
 from repro.metrics.flight_recorder import FlightRecorder, get_recorder
 from repro.metrics.registry import (
     Counter,
@@ -65,4 +80,17 @@ __all__ = [
     "FlightRecorder",
     "get_recorder",
     "TelemetryServer",
+    "Exposition",
+    "ExpositionParseError",
+    "parse_prometheus",
+    "render_exposition",
+    "FleetAggregator",
+    "FleetSnapshot",
+    "HttpTarget",
+    "AlertEngine",
+    "AlertEvent",
+    "ThresholdRule",
+    "BurnRateRule",
+    "LogNotifier",
+    "JsonlNotifier",
 ]

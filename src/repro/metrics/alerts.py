@@ -1,0 +1,408 @@
+"""Declarative SLO rules and the alert state machine.
+
+The aggregator turns a fleet of scrapes into signals; this module
+turns signals into *operable state*.  Two rule shapes cover the
+paper-relevant SLOs:
+
+* :class:`ThresholdRule` — "signal OP threshold, sustained for N
+  polls".  ``scope="fleet"`` evaluates one derived fleet signal
+  (e.g. ``storage_offload_fraction < 0.8 for 5``); ``scope="node"``
+  evaluates per node, spawning one alert instance per breaching node
+  (e.g. ``node:degraded >= 1 for 3`` — any node dirty/degraded for
+  three consecutive polls).  Rules parse from a compact text grammar
+  (:meth:`ThresholdRule.parse`)::
+
+      [node:]SIGNAL OP NUMBER [for N] [resolve M]
+
+* :class:`BurnRateRule` — classic SLO burn rate over a poll window:
+  with a good-events counter, a total-events counter, and an
+  objective (e.g. 0.8 cache-hit ratio), the burn rate is
+  ``(1 - good/total) / (1 - objective)`` computed over the last
+  ``window_polls`` scrapes.  A burn of 1.0 consumes the error budget
+  exactly at the sustainable pace; the rule fires above ``factor``.
+
+Alert lifecycle is Prometheus-shaped and deterministic in polls, not
+wall time: first breaching poll moves an instance to **pending**;
+``for_polls`` consecutive breaches move it to **firing**; after
+``resolve_polls`` consecutive healthy polls a firing alert emits
+**resolved** and re-arms.  A pending alert that stops breaching
+silently re-arms (it never fired — nothing to resolve).  Every
+transition is pushed to the notification sinks, recorded as a tracer
+event (``alert.pending`` / ``alert.firing`` / ``alert.resolved``) and
+counted in ``fleet_alert_transitions_total{rule=,state=}``; the
+``fleet_alerts_firing`` gauge tracks the live firing count.
+
+Sinks are pluggable: :class:`LogNotifier` (stdlib logging),
+:class:`JsonlNotifier` (append-only JSONL file), or any callable
+taking an :class:`AlertEvent`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import operator
+import re
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.metrics.registry import get_registry
+from repro.metrics.tracing import TRACER
+
+__all__ = [
+    "AlertEngine",
+    "AlertEvent",
+    "BurnRateRule",
+    "JsonlNotifier",
+    "LogNotifier",
+    "RuleError",
+    "ThresholdRule",
+    "parse_rule",
+]
+
+_OPS: dict[str, Callable[[float, float], bool]] = {
+    "<": operator.lt, ">": operator.gt,
+    "<=": operator.le, ">=": operator.ge,
+    "==": operator.eq, "!=": operator.ne,
+}
+
+PENDING = "pending"
+FIRING = "firing"
+RESOLVED = "resolved"
+
+FLEET_INSTANCE = "fleet"
+
+
+class RuleError(ValueError):
+    """A rule definition that cannot be evaluated."""
+
+
+@dataclass(frozen=True)
+class ThresholdRule:
+    """``signal OP threshold`` sustained over consecutive polls."""
+
+    name: str
+    signal: str
+    op: str
+    threshold: float
+    for_polls: int = 1
+    resolve_polls: int = 1
+    scope: str = "fleet"  # "fleet" or "node"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise RuleError(f"rule {self.name!r}: unknown operator "
+                            f"{self.op!r} (options: {sorted(_OPS)})")
+        if self.scope not in ("fleet", "node"):
+            raise RuleError(f"rule {self.name!r}: scope must be "
+                            f"'fleet' or 'node', got {self.scope!r}")
+        if self.for_polls < 1 or self.resolve_polls < 1:
+            raise RuleError(f"rule {self.name!r}: for_polls and "
+                            f"resolve_polls must be >= 1")
+
+    _GRAMMAR = re.compile(
+        r"^\s*(?:(?P<scope>node)\s*:)?\s*(?P<signal>[A-Za-z_:]"
+        r"[A-Za-z0-9_:.]*)\s*(?P<op><=|>=|==|!=|<|>)\s*"
+        r"(?P<threshold>[-+]?[0-9.]+(?:[eE][-+]?[0-9]+)?%?)"
+        r"(?:\s+for\s+(?P<for>\d+))?"
+        r"(?:\s+resolve\s+(?P<resolve>\d+))?\s*$")
+
+    @classmethod
+    def parse(cls, text: str, *, name: str | None = None,
+              description: str = "") -> "ThresholdRule":
+        """Parse ``[node:]SIGNAL OP NUMBER [for N] [resolve M]``.
+
+        A ``%`` suffix divides the threshold by 100, so the paper-ish
+        phrasing ``storage_offload_fraction < 80% for 5`` works
+        verbatim.
+        """
+        m = cls._GRAMMAR.match(text)
+        if m is None:
+            raise RuleError(
+                f"unparseable rule {text!r}; expected "
+                f"'[node:]SIGNAL OP NUMBER [for N] [resolve M]'")
+        raw = m.group("threshold")
+        threshold = (float(raw[:-1]) / 100.0 if raw.endswith("%")
+                     else float(raw))
+        return cls(
+            name=name or text.strip(),
+            signal=m.group("signal"),
+            op=m.group("op"),
+            threshold=threshold,
+            for_polls=int(m.group("for") or 1),
+            resolve_polls=int(m.group("resolve") or 1),
+            scope="node" if m.group("scope") else "fleet",
+            description=description or text.strip(),
+        )
+
+    def evaluate(self, snapshot: Any) -> dict[str, float | None]:
+        """instance -> current value (None = insufficient data)."""
+        if self.scope == "fleet":
+            return {FLEET_INSTANCE: snapshot.signals.get(self.signal)}
+        return snapshot.node_signals(self.signal)
+
+    def breached(self, value: float) -> bool:
+        return _OPS[self.op](value, self.threshold)
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """SLO burn rate of ``1 - good/total`` against an objective."""
+
+    name: str
+    good: str
+    total: str
+    objective: float
+    factor: float = 1.0
+    window_polls: int = 5
+    for_polls: int = 1
+    resolve_polls: int = 1
+    scope: str = "fleet"
+    description: str = ""
+
+    #: Threshold rules compare with this; burn fires when rate > factor.
+    op: str = ">"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.objective < 1.0:
+            raise RuleError(f"rule {self.name!r}: objective must be in "
+                            f"[0, 1), got {self.objective}")
+        if self.window_polls < 2:
+            raise RuleError(f"rule {self.name!r}: window_polls must "
+                            f"be >= 2 (a delta needs two scrapes)")
+        if self.scope != "fleet":
+            raise RuleError(f"rule {self.name!r}: burn-rate rules are "
+                            f"fleet-scoped")
+
+    @property
+    def threshold(self) -> float:
+        return self.factor
+
+    def evaluate(self, snapshot: Any) -> dict[str, float | None]:
+        good = snapshot.fleet_delta(self.good, self.window_polls)
+        total = snapshot.fleet_delta(self.total, self.window_polls)
+        if good is None or total is None or total <= 0:
+            return {FLEET_INSTANCE: None}
+        error_ratio = 1.0 - min(good / total, 1.0)
+        budget = 1.0 - self.objective
+        return {FLEET_INSTANCE: error_ratio / budget}
+
+    def breached(self, value: float) -> bool:
+        return value > self.factor
+
+
+def parse_rule(text: str, *, name: str | None = None) -> ThresholdRule:
+    """Module-level alias for :meth:`ThresholdRule.parse`."""
+    return ThresholdRule.parse(text, name=name)
+
+
+@dataclass
+class AlertEvent:
+    """One state transition, as delivered to notification sinks."""
+
+    rule: str
+    instance: str
+    state: str  # pending | firing | resolved
+    value: float
+    threshold: float
+    poll: int
+    time: float
+    signal: str = ""
+    description: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule, "instance": self.instance,
+            "state": self.state, "value": self.value,
+            "threshold": self.threshold, "poll": self.poll,
+            "time": self.time, "signal": self.signal,
+            "description": self.description,
+        }
+
+
+@dataclass
+class _AlertState:
+    """Mutable per-(rule, instance) lifecycle state."""
+
+    rule: Any
+    instance: str
+    state: str = "ok"  # ok | pending | firing
+    breach_streak: int = 0
+    clear_streak: int = 0
+    since_poll: int = -1
+    value: float = 0.0
+
+    def view(self) -> dict:
+        return {
+            "rule": self.rule.name, "instance": self.instance,
+            "state": self.state, "value": self.value,
+            "threshold": self.rule.threshold,
+            "since_poll": self.since_poll,
+            "breach_streak": self.breach_streak,
+        }
+
+
+class LogNotifier:
+    """Emit transitions through stdlib :mod:`logging`."""
+
+    def __init__(self, logger: logging.Logger | None = None) -> None:
+        self._log = logger or logging.getLogger("repro.fleet.alerts")
+
+    def __call__(self, event: AlertEvent) -> None:
+        level = (logging.WARNING if event.state == FIRING
+                 else logging.INFO)
+        self._log.log(
+            level, "alert %s [%s] %s: value=%.6g threshold=%.6g "
+            "(poll %d)", event.state, event.instance, event.rule,
+            event.value, event.threshold, event.poll)
+
+
+class JsonlNotifier:
+    """Append each transition as one JSON line (thread-safe)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+
+    def __call__(self, event: AlertEvent) -> None:
+        line = json.dumps(event.to_dict(), sort_keys=True)
+        with self._lock, open(self.path, "a", encoding="utf-8") as f:
+            f.write(line + "\n")
+
+
+class AlertEngine:
+    """Evaluates rules against fleet snapshots, tracks alert state."""
+
+    def __init__(self, rules: "list | tuple" = (),
+                 sinks: "list | tuple" = ()) -> None:
+        self.rules: list = []
+        self.sinks: list[Callable[[AlertEvent], None]] = []
+        self._states: dict[tuple[str, str], _AlertState] = {}
+        for rule in rules:
+            self.add_rule(rule)
+        for sink in sinks:
+            self.add_sink(sink)
+
+    def add_rule(self, rule) -> None:
+        if isinstance(rule, str):
+            rule = ThresholdRule.parse(rule)
+        if any(r.name == rule.name for r in self.rules):
+            raise RuleError(f"duplicate rule name {rule.name!r}")
+        self.rules.append(rule)
+
+    def add_sink(self, sink: Callable[[AlertEvent], None]) -> None:
+        if not callable(sink):
+            raise TypeError(f"sink {sink!r} is not callable")
+        self.sinks.append(sink)
+
+    # -- evaluation ------------------------------------------------------
+
+    def evaluate(self, snapshot: Any) -> list[AlertEvent]:
+        """Advance every rule one poll; returns emitted transitions.
+
+        ``snapshot`` duck-types the aggregator's ``FleetSnapshot``:
+        ``.poll``, ``.time``, ``.signals``, ``.node_signals(name)``,
+        ``.fleet_delta(family, n)``.  A value of None (insufficient
+        data — e.g. one scrape so far, or every node of a family
+        unreachable) freezes that instance's state: no breach, no
+        recovery credit.
+        """
+        events: list[AlertEvent] = []
+        live_keys: set[tuple[str, str]] = set()
+        for rule in self.rules:
+            for instance, value in rule.evaluate(snapshot).items():
+                key = (rule.name, instance)
+                live_keys.add(key)
+                state = self._states.get(key)
+                if state is None:
+                    state = self._states[key] = _AlertState(
+                        rule, instance)
+                if value is None:
+                    continue
+                state.value = value
+                if rule.breached(value):
+                    self._advance_breach(state, snapshot, events)
+                else:
+                    self._advance_clear(state, snapshot, events)
+        # Node-scope instances whose node left the fleet: drop state
+        # (an alert for a removed target would otherwise fire forever).
+        for key in [k for k in self._states if k not in live_keys]:
+            del self._states[key]
+        self._publish(events)
+        get_registry().gauge("fleet_alerts_firing").set(
+            sum(1 for s in self._states.values()
+                if s.state == FIRING))
+        return events
+
+    def _advance_breach(self, state: _AlertState, snapshot: Any,
+                        events: list[AlertEvent]) -> None:
+        state.clear_streak = 0
+        state.breach_streak += 1
+        if state.state == "ok":
+            state.state = PENDING
+            state.since_poll = snapshot.poll
+            events.append(self._event(state, snapshot, PENDING))
+        if state.state == PENDING \
+                and state.breach_streak >= state.rule.for_polls:
+            state.state = FIRING
+            state.since_poll = snapshot.poll
+            events.append(self._event(state, snapshot, FIRING))
+
+    def _advance_clear(self, state: _AlertState, snapshot: Any,
+                       events: list[AlertEvent]) -> None:
+        state.breach_streak = 0
+        if state.state == PENDING:
+            # Never fired; re-arm silently (Prometheus semantics).
+            state.state = "ok"
+            state.since_poll = -1
+        elif state.state == FIRING:
+            state.clear_streak += 1
+            if state.clear_streak >= state.rule.resolve_polls:
+                state.state = "ok"
+                state.since_poll = -1
+                state.clear_streak = 0
+                events.append(self._event(state, snapshot, RESOLVED))
+
+    def _event(self, state: _AlertState, snapshot: Any,
+               transition: str) -> AlertEvent:
+        rule = state.rule
+        return AlertEvent(
+            rule=rule.name, instance=state.instance, state=transition,
+            value=state.value, threshold=rule.threshold,
+            poll=snapshot.poll, time=snapshot.time,
+            signal=getattr(rule, "signal", "") or getattr(
+                rule, "good", ""),
+            description=rule.description)
+
+    def _publish(self, events: list[AlertEvent]) -> None:
+        registry = get_registry()
+        for event in events:
+            registry.counter("fleet_alert_transitions_total",
+                             rule=event.rule, state=event.state).inc()
+            if TRACER.enabled:
+                TRACER.event(f"alert.{event.state}", rule=event.rule,
+                             instance=event.instance,
+                             value=event.value,
+                             threshold=event.threshold,
+                             poll=event.poll)
+            for sink in self.sinks:
+                try:
+                    sink(event)
+                except Exception:
+                    # A broken notifier must never take down the poll
+                    # loop; the failure is itself made visible.
+                    registry.counter(
+                        "fleet_alert_sink_errors_total").inc()
+
+    # -- introspection ---------------------------------------------------
+
+    def active(self) -> list[dict]:
+        """Pending + firing alert instances, as plain dicts."""
+        return [s.view() for s in self._states.values()
+                if s.state in (PENDING, FIRING)]
+
+    def firing(self) -> list[dict]:
+        return [s.view() for s in self._states.values()
+                if s.state == FIRING]

@@ -11,6 +11,36 @@ from repro.metrics.collectors import ExperimentLog, Series
 
 _MARKERS = "xo*+#@%&"
 
+_SPARK_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: "list[float]", *, width: int = 16,
+              lo: float | None = None,
+              hi: float | None = None) -> str:
+    """A one-line block-character trend of the last ``width`` values.
+
+    The fleet dashboard packs one of these per node/signal; bounds
+    default to the window's own min/max (a flat series renders as a
+    mid-height bar, so "no change" is visually distinct from "no
+    data", which renders as dashes).
+    """
+    if width < 1:
+        raise ValueError("sparkline width must be positive")
+    if not values:
+        return "-" * width
+    window = [float(v) for v in values[-width:]]
+    low = min(window) if lo is None else lo
+    high = max(window) if hi is None else hi
+    span = high - low
+    cells = []
+    for v in window:
+        if span <= 0:
+            cells.append(_SPARK_BLOCKS[4])
+            continue
+        frac = min(1.0, max(0.0, (v - low) / span))
+        cells.append(_SPARK_BLOCKS[1 + round(frac * 7)])
+    return "".join(cells).rjust(width)
+
 
 def plot_series(
     series_list: list[Series],

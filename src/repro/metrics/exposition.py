@@ -1,0 +1,329 @@
+"""Parse (and render) the Prometheus text exposition format.
+
+:meth:`~repro.metrics.registry.MetricsRegistry.render_prometheus`
+turned the registry into scrape *output*; this module is the other
+half: a strict parser that turns exposition text back into the typed
+``(name, labels, value)`` samples the registry produced, so the fleet
+aggregator can consume remote ``/metrics`` endpoints with no external
+dependencies — and so the renderer has a real adversarial consumer.
+
+The parser is deliberately **loud**: anything that is not
+well-formed exposition 0.0.4 raises :class:`ExpositionParseError`
+with the offending line and the reason.  Silent tolerance here would
+let a renderer regression ship corrupted fleet numbers; instead every
+aggregator scrape doubles as a format validation of the node's
+renderer (the PR 5 contract).  On top of the line grammar the parser
+enforces the structural rules our renderer guarantees and scrapers
+rely on:
+
+* a series name's samples form one contiguous block — once a block
+  ends, the name may not reappear;
+* ``# TYPE``/``# HELP`` precede the first sample of their name and are
+  declared at most once;
+* no duplicate ``(name, labels)`` sample within one scrape.
+
+:func:`render_exposition` is the standalone renderer twin for sample
+lists that do not live in a registry (the sim fleet's in-process
+scrape adapter publishes through it, so simulated nodes emit the
+byte-identical format real nodes do).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.metrics.registry import (
+    Sample,
+    _escape,
+    _escape_help,
+    _fmt,
+    _series_kind,
+)
+
+__all__ = [
+    "Exposition",
+    "ExpositionParseError",
+    "parse_prometheus",
+    "render_exposition",
+]
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+_KINDS = ("counter", "gauge", "histogram", "summary", "untyped")
+
+_SPECIALS = {"+Inf": float("inf"), "Inf": float("inf"),
+             "-Inf": float("-inf"), "NaN": float("nan")}
+
+
+class ExpositionParseError(ValueError):
+    """Malformed exposition text; carries the line number and content."""
+
+    def __init__(self, lineno: int, line: str, reason: str) -> None:
+        self.lineno = lineno
+        self.line = line
+        self.reason = reason
+        super().__init__(f"line {lineno}: {reason} (in {line!r})")
+
+
+@dataclass
+class Exposition:
+    """One parsed scrape: typed samples plus family metadata."""
+
+    samples: list[Sample] = field(default_factory=list)
+    kinds: dict[str, str] = field(default_factory=dict)
+    helps: dict[str, str] = field(default_factory=dict)
+
+    def families(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for name, _labels, _value in self.samples:
+            seen.setdefault(name)
+        return list(seen)
+
+    def series(self, name: str) -> list[tuple[dict[str, str], float]]:
+        """Every ``(labels, value)`` of one series name."""
+        return [(labels, value) for n, labels, value in self.samples
+                if n == name]
+
+    def value(self, name: str, **labels: str) -> float | None:
+        """The sample with exactly these labels, or None."""
+        want = {k: str(v) for k, v in labels.items()}
+        for n, got, value in self.samples:
+            if n == name and got == want:
+                return value
+        return None
+
+    def sum(self, name: str) -> float | None:
+        """Sum across a series' label sets; None if the series is
+        absent entirely (0.0 means present-and-zero)."""
+        found = [v for n, _l, v in self.samples if n == name]
+        if not found:
+            return None
+        return float(sum(found))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+def parse_prometheus(text: str) -> Exposition:
+    """Parse exposition 0.0.4 text into an :class:`Exposition`.
+
+    Raises :class:`ExpositionParseError` on the first malformed line;
+    the input must be complete (ending in a newline), which is what
+    both our renderer and the spec produce.
+    """
+    if not isinstance(text, str):
+        raise ExpositionParseError(0, "", "exposition must be text")
+    if text and not text.endswith("\n"):
+        raise ExpositionParseError(
+            text.count("\n") + 1, text.rsplit("\n", 1)[-1],
+            "truncated exposition: missing final newline")
+    out = Exposition()
+    seen_keys: set[tuple[str, tuple[tuple[str, str], ...]]] = set()
+    closed_names: set[str] = set()
+    open_name: str | None = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            _parse_comment(out, lineno, line, open_name, closed_names)
+            continue
+        name, labels, value = _parse_sample(lineno, line)
+        if name != open_name:
+            if open_name is not None:
+                closed_names.add(open_name)
+            if name in closed_names:
+                raise ExpositionParseError(
+                    lineno, line,
+                    f"series {name!r} reappears after its block ended "
+                    f"(samples of one name must be contiguous)")
+            open_name = name
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen_keys:
+            raise ExpositionParseError(
+                lineno, line,
+                f"duplicate sample for {name!r} with labels {labels}")
+        seen_keys.add(key)
+        out.samples.append((name, labels, value))
+    return out
+
+
+def _parse_comment(out: Exposition, lineno: int, line: str,
+                   open_name: str | None,
+                   closed_names: set[str]) -> None:
+    parts = line.split(None, 3)
+    # parts[0] == "#"; bare "#" or non-directive comments are legal
+    # and ignored per the spec.
+    if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+        return
+    directive = parts[1]
+    if len(parts) < 3:
+        raise ExpositionParseError(
+            lineno, line, f"# {directive} without a metric name")
+    name = parts[2]
+    if not _NAME_RE.fullmatch(name):
+        raise ExpositionParseError(
+            lineno, line, f"invalid metric name {name!r}")
+    if name in closed_names or name == open_name:
+        raise ExpositionParseError(
+            lineno, line,
+            f"# {directive} {name} after samples of that name")
+    if directive == "HELP":
+        if name in out.helps:
+            raise ExpositionParseError(
+                lineno, line, f"duplicate # HELP for {name!r}")
+        out.helps[name] = _unescape_help(
+            parts[3] if len(parts) > 3 else "")
+    else:
+        if len(parts) < 4:
+            raise ExpositionParseError(
+                lineno, line, "# TYPE without a kind")
+        kind = parts[3].strip()
+        if kind not in _KINDS:
+            raise ExpositionParseError(
+                lineno, line, f"unknown # TYPE kind {kind!r}")
+        if name in out.kinds:
+            raise ExpositionParseError(
+                lineno, line, f"duplicate # TYPE for {name!r}")
+        out.kinds[name] = kind
+
+
+def _parse_sample(lineno: int,
+                  line: str) -> tuple[str, dict[str, str], float]:
+    m = _NAME_RE.match(line)
+    if m is None or m.start() != 0:
+        raise ExpositionParseError(
+            lineno, line, "sample line must start with a metric name")
+    name = m.group(0)
+    rest = line[m.end():]
+    labels: dict[str, str] = {}
+    if rest.startswith("{"):
+        labels, rest = _parse_labels(lineno, line, rest[1:])
+    if not rest.startswith((" ", "\t")):
+        raise ExpositionParseError(
+            lineno, line, "expected whitespace before the value")
+    fields = rest.split()
+    if not fields or len(fields) > 2:
+        raise ExpositionParseError(
+            lineno, line,
+            "expected '<value> [timestamp]' after the metric name")
+    value = _parse_value(lineno, line, fields[0])
+    if len(fields) == 2:  # optional timestamp: validated, then dropped
+        try:
+            int(fields[1])
+        except ValueError:
+            raise ExpositionParseError(
+                lineno, line,
+                f"timestamp {fields[1]!r} is not an integer") from None
+    return name, labels, value
+
+
+def _parse_labels(lineno: int, line: str,
+                  body: str) -> tuple[dict[str, str], str]:
+    """Scan ``name="value",...}`` with escape handling; returns the
+    labels and whatever follows the closing brace."""
+    labels: dict[str, str] = {}
+    i = 0
+    while True:
+        if i >= len(body):
+            raise ExpositionParseError(
+                lineno, line, "unterminated label set")
+        if body[i] == "}":
+            return labels, body[i + 1:]
+        m = _LABEL_NAME_RE.match(body, i)
+        if m is None:
+            raise ExpositionParseError(
+                lineno, line,
+                f"expected a label name at {body[i:]!r}")
+        lname = m.group(0)
+        i = m.end()
+        if not body.startswith('="', i):
+            raise ExpositionParseError(
+                lineno, line,
+                f'label {lname!r} must be followed by ="..." '
+                f"(quoted value)")
+        i += 2
+        chars: list[str] = []
+        while True:
+            if i >= len(body):
+                raise ExpositionParseError(
+                    lineno, line,
+                    f"unterminated value for label {lname!r}")
+            ch = body[i]
+            if ch == '"':
+                i += 1
+                break
+            if ch == "\\":
+                if i + 1 >= len(body):
+                    raise ExpositionParseError(
+                        lineno, line, "dangling escape in label value")
+                esc = body[i + 1]
+                if esc == "n":
+                    chars.append("\n")
+                elif esc in ('"', "\\"):
+                    chars.append(esc)
+                else:
+                    raise ExpositionParseError(
+                        lineno, line,
+                        f"invalid escape \\{esc} in label value")
+                i += 2
+                continue
+            chars.append(ch)
+            i += 1
+        if lname in labels:
+            raise ExpositionParseError(
+                lineno, line, f"duplicate label {lname!r}")
+        labels[lname] = "".join(chars)
+        if i < len(body) and body[i] == ",":
+            i += 1  # trailing comma before } is legal
+        elif i < len(body) and body[i] != "}":
+            raise ExpositionParseError(
+                lineno, line,
+                f"expected ',' or '}}' after label {lname!r}")
+
+
+def _parse_value(lineno: int, line: str, token: str) -> float:
+    if token in _SPECIALS:
+        return _SPECIALS[token]
+    try:
+        return float(token)
+    except ValueError:
+        raise ExpositionParseError(
+            lineno, line, f"value {token!r} is not a number") from None
+
+
+def _unescape_help(text: str) -> str:
+    return text.replace(r"\n", "\n").replace("\\\\", "\\")
+
+
+def render_exposition(samples: list[Sample], *,
+                      kinds: dict[str, str] | None = None,
+                      helps: dict[str, str] | None = None) -> str:
+    """Render samples as exposition text, registry-identical framing.
+
+    The registry's own renderer works off its family table; this one
+    serves sample lists with no registry behind them (the sim fleet's
+    scrape adapter).  Same grouping, escaping, HELP/TYPE rules, so
+    :func:`parse_prometheus` round-trips both.
+    """
+    kinds = kinds or {}
+    helps = helps or {}
+    groups: dict[str, list[Sample]] = {}
+    for sample in samples:
+        groups.setdefault(sample[0], []).append(sample)
+    lines: list[str] = []
+    for name in sorted(groups):
+        help_text = helps.get(name) or name.replace("_", " ")
+        lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {_series_kind(name, kinds)}")
+        for _name, labels, value in groups[name]:
+            if labels:
+                rendered = ",".join(
+                    f'{k}="{_escape(v)}"'
+                    for k, v in sorted(labels.items()))
+                lines.append(f"{name}{{{rendered}}} {_fmt(value)}")
+            else:
+                lines.append(f"{name} {_fmt(value)}")
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,639 @@
+"""Fleet telemetry aggregator: scrape, store, derive, alert.
+
+PR 5 gave every storage node a ``/metrics`` + ``/healthz`` endpoint and
+PR 7 filled the wire with signals; this module is the consumer the
+ROADMAP's "telemetry-driven fleet control plane" needs first.  A
+:class:`FleetAggregator` owns a set of scrape targets and, once per
+poll:
+
+1. scrapes every eligible node from a **bounded worker pool** — one
+   sick node can never block the loop: workers are side-effect-free
+   (they fetch + parse and *return* the result), the poll thread waits
+   at most the per-node timeout and discards late completions, and a
+   failing node backs off exponentially before it is retried;
+2. parses each ``/metrics`` body with the strict
+   :func:`repro.metrics.exposition.parse_prometheus` — a node emitting
+   malformed exposition is treated as scrape *failure* and counted in
+   ``fleet_parse_errors_total`` (every poll doubles as a renderer
+   validation);
+3. appends the samples into per-node :class:`~repro.metrics.timeseries.
+   SeriesStore` ring buffers (bounded history, reset-aware deltas);
+4. computes the paper's fleet-level quantities (:data:`SIGNAL_DOC`) —
+   cache hit ratio, storage-node offload fraction (the Fig 2/11
+   y-axis), wire compression ratio, prefetch effectiveness, merged
+   read-latency quantiles;
+5. hands the resulting :class:`FleetSnapshot` to the
+   :class:`~repro.metrics.alerts.AlertEngine` so SLO rules advance
+   exactly one poll per poll — alert lifecycles are deterministic in
+   poll counts, independent of wall-clock jitter or backoff skips.
+
+Targets are duck-typed: anything with ``.name`` and
+``.scrape(timeout) -> (metrics_text, health_dict | None)``.
+:class:`HttpTarget` covers real nodes;
+:class:`repro.sim.fleet_twin.SimScrapeTarget` publishes simulated
+nodes through the identical interface, which is how the aggregator and
+rules run unchanged over 1k-node simulated fleets.
+
+Clocks are injected (``clock=``): real fleets default to
+``time.monotonic``, the sim twin passes its virtual ``env.now`` so
+staleness and rates are computed in sim time.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.metrics.alerts import AlertEngine, AlertEvent
+from repro.metrics.exposition import Exposition, parse_prometheus
+from repro.metrics.registry import get_registry
+from repro.metrics.timeseries import SeriesStore
+
+__all__ = [
+    "FleetAggregator",
+    "FleetSnapshot",
+    "HttpTarget",
+    "NodeView",
+    "SIGNAL_DOC",
+    "STATUS_DEGRADED",
+    "STATUS_OK",
+    "STATUS_STALE",
+    "STATUS_UNREACHABLE",
+]
+
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_STALE = "stale"
+STATUS_UNREACHABLE = "unreachable"
+_STATUSES = (STATUS_OK, STATUS_DEGRADED, STATUS_STALE,
+             STATUS_UNREACHABLE)
+
+# Family preference tuples: the first family a node has ever published
+# wins, so real nodes (block_export_*) and sim nodes (sim_*) feed the
+# same derived signal without per-deployment configuration.
+CACHE_HIT_FAMILIES = ("block_export_cache_hit_bytes_total",
+                      "sim_cache_hit_bytes_total")
+CACHE_MISS_FAMILIES = ("block_export_cache_miss_bytes_total",
+                       "sim_cache_miss_bytes_total")
+DEMAND_FAMILIES = ("sim_node_demand_read_bytes_total",)
+STORAGE_SERVED_FAMILIES = ("sim_storage_bytes_served_total",
+                           "block_export_backing_bytes_read_total")
+WIRE_RAW_FAMILIES = ("block_export_wire_compressed_bytes_raw_total",)
+WIRE_COMP_FAMILIES = ("block_export_wire_compressed_bytes_total",)
+PREFETCH_TOTAL_FAMILIES = ("prefetch_bytes_total",)
+PREFETCH_HIT_FAMILIES = ("prefetch_hit_bytes_total",)
+PREFETCH_WASTED_FAMILIES = ("prefetch_wasted_bytes_total",)
+_LATENCY_FAMILY = "block_export_op_latency"
+
+#: What each derived fleet signal means (also the dashboard legend).
+SIGNAL_DOC: dict[str, str] = {
+    "cache_hit_ratio":
+        "fleet-wide cache hit bytes / (hit + miss) bytes, cumulative",
+    "storage_offload_fraction":
+        "fraction of demand reads NOT served by central storage "
+        "(Fig 2/11); 1 - storage_served/demand when demand counters "
+        "exist (sim twin), else the cache hit ratio",
+    "wire_compression_ratio":
+        "raw bytes / compressed bytes over compressed wire frames",
+    "prefetch_hit_ratio":
+        "prefetched bytes later demanded / prefetched bytes",
+    "prefetch_wasted_ratio":
+        "prefetched bytes evicted unread / prefetched bytes",
+    "read_latency_ms_mean":
+        "count-weighted mean of per-export read latency means",
+    "read_latency_ms_p99":
+        "max per-export read p99 across the fleet (upper bound on "
+        "the true merged p99)",
+    "nodes_total": "targets registered with the aggregator",
+    "nodes_ok": "nodes whose last scrape succeeded and report healthy",
+    "nodes_degraded": "nodes scraped fine but reporting degraded",
+    "nodes_stale": "nodes failing scrapes, history still fresh",
+    "nodes_unreachable": "nodes failing scrapes past the staleness "
+                         "horizon (or never scraped)",
+    "unhealthy_fraction": "(degraded + stale + unreachable) / total",
+}
+
+
+class HttpTarget:
+    """Scrape a real node's embedded telemetry endpoint over HTTP.
+
+    ``/metrics`` failure (or malformed exposition — raised by the
+    parser downstream) fails the scrape; ``/healthz`` is best-effort
+    on top: a node whose health handler is broken still yields its
+    samples.  The 503 a degraded node returns is *data*, not an
+    error — its JSON body is the health document.
+    """
+
+    def __init__(self, name: str, host: str, port: int) -> None:
+        self.name = name
+        self.base = f"http://{host}:{port}"
+
+    @classmethod
+    def from_url(cls, url: str, name: str | None = None) -> "HttpTarget":
+        trimmed = url.rstrip("/")
+        for suffix in ("/metrics", "/healthz"):
+            if trimmed.endswith(suffix):
+                trimmed = trimmed[: -len(suffix)]
+        target = cls.__new__(cls)
+        target.name = name or trimmed.split("://", 1)[-1]
+        target.base = trimmed
+        return target
+
+    def scrape(self, timeout: float) -> tuple[str, dict | None]:
+        with urllib.request.urlopen(f"{self.base}/metrics",
+                                    timeout=timeout) as resp:
+            text = resp.read().decode("utf-8")
+        health: dict | None = None
+        try:
+            with urllib.request.urlopen(f"{self.base}/healthz",
+                                        timeout=timeout) as resp:
+                health = json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                health = json.loads(exc.read().decode("utf-8"))
+            except Exception:
+                health = {"status": "degraded",
+                          "error": f"healthz http {exc.code}"}
+        except Exception:
+            health = None
+        return text, health
+
+    def __repr__(self) -> str:
+        return f"HttpTarget({self.name!r}, {self.base!r})"
+
+
+class _NodeState:
+    """Aggregator-private mutable record for one target."""
+
+    __slots__ = ("target", "store", "failures", "backoff_until",
+                 "last_success", "last_attempt", "health", "error",
+                 "scrapes", "ever_scraped")
+
+    def __init__(self, target: Any, capacity: int) -> None:
+        self.target = target
+        self.store = SeriesStore(capacity)
+        self.failures = 0
+        self.backoff_until = float("-inf")
+        self.last_success = float("-inf")
+        self.last_attempt = float("-inf")
+        self.health: dict | None = None
+        self.error: str | None = None
+        self.scrapes = 0
+        self.ever_scraped = False
+
+    def status(self, now: float, stale_horizon: float) -> str:
+        if self.failures:
+            if self.ever_scraped \
+                    and now - self.last_success <= stale_horizon:
+                return STATUS_STALE
+            return STATUS_UNREACHABLE
+        if not self.ever_scraped:
+            return STATUS_UNREACHABLE
+        health = self.health or {}
+        if health.get("status", "ok") != "ok":
+            return STATUS_DEGRADED
+        return STATUS_OK
+
+
+@dataclass
+class NodeView:
+    """Immutable-enough per-node slice of one snapshot."""
+
+    name: str
+    status: str
+    failures: int
+    age: float  # seconds (or sim seconds) since last good scrape
+    health: dict | None
+    error: str | None
+    store: SeriesStore  # shared with the aggregator; read-only use
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name, "status": self.status,
+            "failures": self.failures,
+            "age": None if self.age == float("inf") else self.age,
+            "health": self.health, "error": self.error,
+        }
+
+
+class FleetSnapshot:
+    """One poll's consistent view: nodes, signals, alert transitions."""
+
+    def __init__(self, poll: int, now: float,
+                 nodes: dict[str, NodeView]) -> None:
+        self.poll = poll
+        self.time = now
+        self.nodes = nodes
+        self.signals: dict[str, float | None] = {}
+        self.events: list[AlertEvent] = []
+        self.active_alerts: list[dict] = []
+
+    # -- rule-engine surface ---------------------------------------------
+
+    def node_signals(self, name: str) -> dict[str, float | None]:
+        """Per-node values of one signal, for node-scoped rules."""
+        return {node.name: _node_signal(node, name)
+                for node in self.nodes.values()}
+
+    def fleet_delta(self, families: "str | tuple", n: int,
+                    ) -> float | None:
+        """Summed reset-aware increase of a family across the fleet
+        over the last ``n`` polls; None when no node publishes it."""
+        if isinstance(families, str):
+            families = (families,)
+        total, found = 0.0, False
+        for node in self.nodes.values():
+            name = node.store.first_present(families)
+            if name is None:
+                continue
+            delta = node.store.delta_sum(name, n)
+            if delta is not None:
+                total += delta
+                found = True
+        return total if found else None
+
+    def fleet_latest(self, families: "str | tuple") -> float | None:
+        if isinstance(families, str):
+            families = (families,)
+        total, found = 0.0, False
+        for node in self.nodes.values():
+            name = node.store.first_present(families)
+            if name is None:
+                continue
+            latest = node.store.latest_sum(name)
+            if latest is not None:
+                total += latest
+                found = True
+        return total if found else None
+
+    def as_dict(self) -> dict:
+        """JSON-friendly dump (``fleet_top --once --json``)."""
+        return {
+            "poll": self.poll,
+            "time": self.time,
+            "signals": self.signals,
+            "nodes": [n.as_dict() for n in self.nodes.values()],
+            "alerts": list(self.active_alerts),
+            "events": [e.to_dict() for e in self.events],
+        }
+
+
+def _node_signal(node: NodeView, name: str) -> float | None:
+    """One node's value of a named signal (node-scoped rules and the
+    dashboard's per-node columns)."""
+    health = node.health or {}
+    if name == "up":
+        return 0.0 if node.status in (STATUS_STALE,
+                                      STATUS_UNREACHABLE) else 1.0
+    if name == "degraded":
+        return 1.0 if node.status == STATUS_DEGRADED else 0.0
+    if name == "unhealthy":
+        return 0.0 if node.status == STATUS_OK else 1.0
+    if name == "failures":
+        return float(node.failures)
+    if name == "queue_depth":
+        depth = health.get("queue_depth")
+        return None if depth is None else float(depth)
+    if name == "image_dirty":
+        dirty = [r.latest()[1]
+                 for _l, r in node.store.rings(
+                     "block_export_image_dirty")
+                 if len(r)]
+        return max(dirty) if dirty else None
+    if name == "cache_hit_ratio":
+        return _hit_ratio_for(node.store)
+    # Fall through: any published family name is a node signal (sum of
+    # latest values across its label sets).
+    return node.store.latest_sum(name)
+
+
+def _hit_ratio_for(store: SeriesStore) -> float | None:
+    hit_name = store.first_present(CACHE_HIT_FAMILIES)
+    miss_name = store.first_present(CACHE_MISS_FAMILIES)
+    if hit_name is None or miss_name is None:
+        return None
+    hit = store.latest_sum(hit_name) or 0.0
+    miss = store.latest_sum(miss_name) or 0.0
+    if hit + miss <= 0:
+        return None
+    return hit / (hit + miss)
+
+
+class FleetAggregator:
+    """Polls a fleet of scrape targets; owns stores, signals, alerts."""
+
+    def __init__(self, targets: "list | tuple" = (), *,
+                 interval: float = 2.0,
+                 timeout: float = 1.0,
+                 workers: int = 8,
+                 capacity: int = 240,
+                 stale_polls: int = 3,
+                 backoff_base: float | None = None,
+                 backoff_max: float | None = None,
+                 rules: "list | tuple" = (),
+                 sinks: "list | tuple" = (),
+                 clock: Callable[[], float] | None = None) -> None:
+        if interval <= 0:
+            raise ValueError("poll interval must be positive")
+        if workers < 1:
+            raise ValueError("worker pool needs at least one worker")
+        self.interval = interval
+        self.timeout = timeout
+        self.capacity = capacity
+        self.stale_polls = stale_polls
+        self.backoff_base = (interval if backoff_base is None
+                             else backoff_base)
+        self.backoff_max = (8 * interval if backoff_max is None
+                            else backoff_max)
+        self.clock = clock or time.monotonic
+        self.engine = AlertEngine(rules, sinks)
+        self._workers = workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._nodes: dict[str, _NodeState] = {}
+        self._poll = 0
+        self._last_snapshot: FleetSnapshot | None = None
+        self._snapshot_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        for target in targets:
+            self.add_target(target)
+
+    # -- targets ---------------------------------------------------------
+
+    def add_target(self, target: Any) -> None:
+        name = getattr(target, "name", None)
+        if not name:
+            raise ValueError(f"target {target!r} has no name")
+        if name in self._nodes:
+            raise ValueError(f"duplicate target name {name!r}")
+        self._nodes[name] = _NodeState(target, self.capacity)
+
+    def remove_target(self, name: str) -> None:
+        self._nodes.pop(name, None)
+
+    @property
+    def targets(self) -> list[str]:
+        return list(self._nodes)
+
+    @property
+    def poll_count(self) -> int:
+        return self._poll
+
+    def store(self, name: str) -> SeriesStore | None:
+        state = self._nodes.get(name)
+        return state.store if state else None
+
+    # -- the poll loop ---------------------------------------------------
+
+    def poll_once(self) -> FleetSnapshot:
+        """One full poll: scrape, ingest, derive, evaluate rules."""
+        self._poll += 1
+        now = self.clock()
+        registry = get_registry()
+        registry.counter("fleet_polls_total").inc()
+
+        due = [s for s in self._nodes.values()
+               if s.backoff_until <= now]
+        futures: dict[Future, _NodeState] = {}
+        if due:
+            pool = self._ensure_pool()
+            for state in due:
+                state.last_attempt = now
+                futures[pool.submit(_scrape_worker, state.target,
+                                    self.timeout)] = state
+        done, pending = (wait(futures, timeout=self.timeout + 0.25)
+                         if futures else (set(), set()))
+        for future in done:
+            state = futures[future]
+            exc = future.exception()
+            if exc is not None:
+                self._record_failure(state, now, exc)
+                continue
+            exposition, health = future.result()
+            state.store.observe(now, exposition.samples)
+            state.health = health
+            state.error = None
+            state.failures = 0
+            state.backoff_until = float("-inf")
+            state.last_success = now
+            state.scrapes += 1
+            state.ever_scraped = True
+        for future in pending:
+            # Worker still stuck past the deadline: count the failure
+            # now and let the (side-effect-free) result rot.  The
+            # socket timeout will reap the thread shortly.
+            future.cancel()
+            self._record_failure(
+                state := futures[future], now,
+                TimeoutError(f"scrape exceeded {self.timeout}s"))
+
+        snapshot = self._build_snapshot(now)
+        snapshot.events = self.engine.evaluate(snapshot)
+        snapshot.active_alerts = self.engine.active()
+        self._export_fleet_metrics(snapshot)
+        with self._snapshot_lock:
+            self._last_snapshot = snapshot
+        return snapshot
+
+    def _record_failure(self, state: _NodeState, now: float,
+                        exc: BaseException) -> None:
+        state.failures += 1
+        state.error = f"{type(exc).__name__}: {exc}"
+        delay = min(self.backoff_base * 2 ** (state.failures - 1),
+                    self.backoff_max)
+        state.backoff_until = now + delay
+        registry = get_registry()
+        registry.counter("fleet_scrape_errors_total",
+                         node=state.target.name).inc()
+        if "ExpositionParseError" in type(exc).__name__:
+            registry.counter("fleet_parse_errors_total",
+                             node=state.target.name).inc()
+
+    def _build_snapshot(self, now: float) -> FleetSnapshot:
+        stale_horizon = self.stale_polls * self.interval
+        nodes: dict[str, NodeView] = {}
+        for name, state in self._nodes.items():
+            age = (now - state.last_success if state.ever_scraped
+                   else float("inf"))
+            nodes[name] = NodeView(
+                name=name,
+                status=state.status(now, stale_horizon),
+                failures=state.failures,
+                age=age,
+                health=state.health,
+                error=state.error,
+                store=state.store)
+        snapshot = FleetSnapshot(self._poll, now, nodes)
+        snapshot.signals = compute_signals(snapshot)
+        return snapshot
+
+    def _export_fleet_metrics(self, snapshot: FleetSnapshot) -> None:
+        registry = get_registry()
+        counts = {status: 0 for status in _STATUSES}
+        for node in snapshot.nodes.values():
+            counts[node.status] += 1
+        for status, count in counts.items():
+            registry.gauge("fleet_nodes", status=status).set(count)
+        for name in ("cache_hit_ratio", "storage_offload_fraction",
+                     "wire_compression_ratio"):
+            value = snapshot.signals.get(name)
+            if value is not None:
+                registry.gauge(f"fleet_{name}").set(value)
+
+    # -- background polling ----------------------------------------------
+
+    def start(self) -> None:
+        """Poll on a daemon thread every ``interval`` (wall) seconds."""
+        if self._thread is not None:
+            raise RuntimeError("aggregator already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="fleet-aggregator", daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            started = time.monotonic()
+            try:
+                self.poll_once()
+            except Exception:
+                get_registry().counter("fleet_poll_crashes_total").inc()
+            elapsed = time.monotonic() - started
+            self._stop.wait(max(0.0, self.interval - elapsed))
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
+    def close(self) -> None:
+        self.stop()
+
+    def __enter__(self) -> "FleetAggregator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def snapshot(self) -> FleetSnapshot | None:
+        """The most recent completed poll (thread-safe)."""
+        with self._snapshot_lock:
+            return self._last_snapshot
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._workers,
+                thread_name_prefix="fleet-scrape")
+        return self._pool
+
+
+def _scrape_worker(target: Any,
+                   timeout: float) -> tuple[Exposition, dict | None]:
+    """Side-effect-free scrape: fetch + parse, return or raise.
+
+    Runs on the pool; mutating shared state here would race with the
+    poll thread's decision to discard a late result, so all state
+    application happens in :meth:`FleetAggregator.poll_once`.
+    """
+    text, health = target.scrape(timeout)
+    return parse_prometheus(text), health
+
+
+# ---------------------------------------------------------------------------
+# derived fleet signals
+# ---------------------------------------------------------------------------
+
+
+def compute_signals(snapshot: FleetSnapshot) -> dict[str, float | None]:
+    """The fleet-level quantities of :data:`SIGNAL_DOC`."""
+    signals: dict[str, float | None] = {}
+
+    hit = snapshot.fleet_latest(CACHE_HIT_FAMILIES)
+    miss = snapshot.fleet_latest(CACHE_MISS_FAMILIES)
+    if hit is not None and miss is not None and hit + miss > 0:
+        signals["cache_hit_ratio"] = hit / (hit + miss)
+    else:
+        signals["cache_hit_ratio"] = None
+
+    demand = snapshot.fleet_latest(DEMAND_FAMILIES)
+    if demand:
+        served = snapshot.fleet_latest(STORAGE_SERVED_FAMILIES) or 0.0
+        signals["storage_offload_fraction"] = max(
+            0.0, 1.0 - served / demand)
+    else:
+        signals["storage_offload_fraction"] = signals["cache_hit_ratio"]
+
+    raw = snapshot.fleet_latest(WIRE_RAW_FAMILIES)
+    comp = snapshot.fleet_latest(WIRE_COMP_FAMILIES)
+    signals["wire_compression_ratio"] = (
+        raw / comp if raw and comp else None)
+
+    prefetched = snapshot.fleet_latest(PREFETCH_TOTAL_FAMILIES)
+    if prefetched:
+        p_hit = snapshot.fleet_latest(PREFETCH_HIT_FAMILIES) or 0.0
+        p_waste = snapshot.fleet_latest(PREFETCH_WASTED_FAMILIES) or 0.0
+        signals["prefetch_hit_ratio"] = p_hit / prefetched
+        signals["prefetch_wasted_ratio"] = p_waste / prefetched
+    else:
+        signals["prefetch_hit_ratio"] = None
+        signals["prefetch_wasted_ratio"] = None
+
+    signals.update(_merged_read_latency(snapshot))
+
+    counts = {status: 0 for status in _STATUSES}
+    for node in snapshot.nodes.values():
+        counts[node.status] += 1
+    total = len(snapshot.nodes)
+    signals["nodes_total"] = float(total)
+    signals["nodes_ok"] = float(counts[STATUS_OK])
+    signals["nodes_degraded"] = float(counts[STATUS_DEGRADED])
+    signals["nodes_stale"] = float(counts[STATUS_STALE])
+    signals["nodes_unreachable"] = float(counts[STATUS_UNREACHABLE])
+    signals["unhealthy_fraction"] = (
+        (total - counts[STATUS_OK]) / total if total else None)
+    return signals
+
+
+def _merged_read_latency(snapshot: FleetSnapshot,
+                         ) -> dict[str, float | None]:
+    """Merge per-export read-latency summaries across the fleet.
+
+    Nodes expose summaries (count/mean/p99), not raw buckets, so the
+    merge is a count-weighted mean plus max-of-p99s — the latter is an
+    upper bound on the true fleet p99, documented as such in
+    :data:`SIGNAL_DOC`.
+    """
+    weighted = 0.0
+    weight = 0.0
+    p99s: list[float] = []
+    for node in snapshot.nodes.values():
+        for labels, ring in node.store.rings(
+                f"{_LATENCY_FAMILY}_mean_ms"):
+            if labels.get("op") != "read" or not len(ring):
+                continue
+            count_ring = node.store.ring(
+                f"{_LATENCY_FAMILY}_count", **labels)
+            count = (count_ring.latest()[1]
+                     if count_ring is not None and len(count_ring)
+                     else 1.0)
+            weighted += ring.latest()[1] * count
+            weight += count
+        for labels, ring in node.store.rings(
+                f"{_LATENCY_FAMILY}_p99_ms"):
+            if labels.get("op") == "read" and len(ring):
+                p99s.append(ring.latest()[1])
+    return {
+        "read_latency_ms_mean": weighted / weight if weight else None,
+        "read_latency_ms_p99": max(p99s) if p99s else None,
+    }

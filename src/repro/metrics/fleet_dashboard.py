@@ -1,0 +1,129 @@
+"""Render a :class:`~repro.metrics.fleet.FleetSnapshot` for terminals.
+
+Pure formatting — no polling, no I/O — so ``tools/fleet_top.py`` can
+redraw it in a loop and tests can assert on the exact text.  Layout:
+
+* a fleet header (poll number, node status counts);
+* the derived signal strip with sparkline trends (the trend is read
+  from the snapshot's per-node ring buffers via the signal history the
+  caller accumulates — the renderer itself is stateless, callers pass
+  ``history``);
+* a per-node table: status, health flags, cache hit ratio, queue
+  depth, scrape failures, per-node hit-ratio sparkline;
+* firing/pending alerts last, loudest.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.ascii_plot import sparkline
+from repro.metrics.fleet import (
+    STATUS_DEGRADED,
+    STATUS_OK,
+    STATUS_STALE,
+    STATUS_UNREACHABLE,
+    FleetSnapshot,
+    _node_signal,
+)
+
+__all__ = ["SignalHistory", "render_dashboard"]
+
+_STATUS_GLYPH = {
+    STATUS_OK: "·",
+    STATUS_DEGRADED: "!",
+    STATUS_STALE: "?",
+    STATUS_UNREACHABLE: "✗",
+}
+
+_SIGNAL_ROWS = (
+    ("storage_offload_fraction", "offload", "{:6.1%}"),
+    ("cache_hit_ratio", "cache hit", "{:6.1%}"),
+    ("wire_compression_ratio", "wire comp", "{:6.2f}x"),
+    ("prefetch_hit_ratio", "prefetch hit", "{:6.1%}"),
+    ("prefetch_wasted_ratio", "prefetch waste", "{:6.1%}"),
+    ("read_latency_ms_mean", "read mean", "{:6.2f}ms"),
+    ("read_latency_ms_p99", "read p99", "{:6.2f}ms"),
+)
+
+
+class SignalHistory:
+    """Bounded per-signal history the caller threads between polls."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        self.capacity = capacity
+        self._values: dict[str, list[float]] = {}
+
+    def observe(self, snapshot: FleetSnapshot) -> None:
+        for name, value in snapshot.signals.items():
+            if value is None:
+                continue
+            series = self._values.setdefault(name, [])
+            series.append(value)
+            if len(series) > self.capacity:
+                del series[: len(series) - self.capacity]
+        for node in snapshot.nodes.values():
+            ratio = _node_signal(node, "cache_hit_ratio")
+            if ratio is not None:
+                key = f"node:{node.name}:cache_hit_ratio"
+                series = self._values.setdefault(key, [])
+                series.append(ratio)
+                if len(series) > self.capacity:
+                    del series[: len(series) - self.capacity]
+
+    def values(self, name: str) -> list[float]:
+        return self._values.get(name, [])
+
+
+def render_dashboard(snapshot: FleetSnapshot,
+                     history: SignalHistory | None = None,
+                     *, width: int = 78,
+                     max_nodes: int = 40) -> str:
+    """One full dashboard frame as text (no cursor control)."""
+    history = history or SignalHistory()
+    lines: list[str] = []
+    signals = snapshot.signals
+    counts = (f"{int(signals.get('nodes_ok') or 0)} ok / "
+              f"{int(signals.get('nodes_degraded') or 0)} degraded / "
+              f"{int(signals.get('nodes_stale') or 0)} stale / "
+              f"{int(signals.get('nodes_unreachable') or 0)} down")
+    lines.append(f"fleet · poll {snapshot.poll} · "
+                 f"{int(signals.get('nodes_total') or 0)} nodes "
+                 f"({counts})")
+    lines.append("-" * width)
+
+    for name, label, fmt in _SIGNAL_ROWS:
+        value = signals.get(name)
+        rendered = fmt.format(value) if value is not None else "   n/a"
+        trend = sparkline(history.values(name), width=24)
+        lines.append(f"  {label:<15}{rendered}  {trend}")
+    lines.append("-" * width)
+
+    lines.append(f"  {'node':<18}{'st':<3}{'hit':>7}{'queue':>7}"
+                 f"{'fail':>6}  trend")
+    shown = list(snapshot.nodes.values())[:max_nodes]
+    for node in shown:
+        ratio = _node_signal(node, "cache_hit_ratio")
+        depth = _node_signal(node, "queue_depth")
+        hit = f"{ratio:6.1%}" if ratio is not None else "   n/a"
+        queue = f"{depth:7.0f}" if depth is not None else "    n/a"
+        trend = sparkline(
+            history.values(f"node:{node.name}:cache_hit_ratio"),
+            width=16, lo=0.0, hi=1.0)
+        glyph = _STATUS_GLYPH.get(node.status, "?")
+        lines.append(f"  {node.name:<18}{glyph:<3}{hit:>7}{queue:>7}"
+                     f"{node.failures:>6}  {trend}")
+    hidden = len(snapshot.nodes) - len(shown)
+    if hidden > 0:
+        lines.append(f"  … {hidden} more nodes")
+    lines.append("-" * width)
+
+    if snapshot.active_alerts:
+        lines.append("  ALERTS")
+        for alert in snapshot.active_alerts:
+            lines.append(
+                f"  [{alert['state']:>7}] {alert['rule']} "
+                f"({alert['instance']}) value={alert['value']:.4g} "
+                f"threshold={alert['threshold']:.4g} "
+                f"since poll {alert['since_poll']}")
+    else:
+        lines.append("  no active alerts")
+    return "\n".join(lines)

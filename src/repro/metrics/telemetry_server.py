@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable
 from urllib.parse import parse_qs, urlparse
@@ -92,16 +93,29 @@ class TelemetryServer:
 
     def _handle(self, req: BaseHTTPRequestHandler) -> None:
         parsed = urlparse(req.path)
-        if parsed.path == "/metrics":
-            body = self.registry.render_prometheus().encode("utf-8")
-            self._reply(req, 200, PROMETHEUS_CONTENT_TYPE, body)
-        elif parsed.path == "/healthz":
-            self._handle_healthz(req)
-        elif parsed.path == "/traces":
-            self._handle_traces(req, parsed.query)
-        else:
-            self._reply(req, 404, "text/plain; charset=utf-8",
-                        b"not found; try /metrics /healthz /traces\n")
+        # Self-observability (incremented *before* rendering so even a
+        # failing render leaves evidence of aggregator-induced load):
+        # every scrape is itself a sample in the next scrape.
+        known = parsed.path in ("/metrics", "/healthz", "/traces")
+        path_label = parsed.path if known else "other"
+        self.registry.counter("telemetry_scrapes_total",
+                              path=path_label).inc()
+        started = time.perf_counter()
+        try:
+            if parsed.path == "/metrics":
+                body = self.registry.render_prometheus().encode("utf-8")
+                self._reply(req, 200, PROMETHEUS_CONTENT_TYPE, body)
+            elif parsed.path == "/healthz":
+                self._handle_healthz(req)
+            elif parsed.path == "/traces":
+                self._handle_traces(req, parsed.query)
+            else:
+                self._reply(req, 404, "text/plain; charset=utf-8",
+                            b"not found; try /metrics /healthz /traces\n")
+        finally:
+            self.registry.histogram(
+                "telemetry_render_seconds", path=path_label).observe(
+                    time.perf_counter() - started)
 
     def _handle_healthz(self, req: BaseHTTPRequestHandler) -> None:
         if self.health is None:

@@ -1,0 +1,184 @@
+"""Fixed-size per-series time-series storage for the fleet aggregator.
+
+A fleet poller cannot keep unbounded history for thousands of nodes;
+:class:`SeriesRing` is a fixed-capacity ring of ``(t, value)`` points
+(oldest overwritten first) with the two derived quantities alert rules
+and dashboards need:
+
+* :meth:`SeriesRing.delta` — counter *increase* over a window, aware
+  of counter resets (a node restart drops its cumulative counters to
+  zero; the increase after a reset is the post-reset value, never a
+  huge negative);
+* :meth:`SeriesRing.rate` — that increase divided by the window's
+  wall-clock span.
+
+:class:`SeriesStore` keys rings by ``(name, labels)`` — one store per
+scraped node — and answers the fleet-level questions ("sum of the
+latest values of this family", "summed increase over the last N
+polls") the derived-signal layer is built on.  Neither class locks:
+the aggregator mutates a store only from its poll loop and hands
+consumers immutable snapshots of the numbers they need.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.registry import Sample
+
+__all__ = ["SeriesRing", "SeriesStore"]
+
+
+class SeriesRing:
+    """Fixed-capacity ring of ``(t, value)`` observations."""
+
+    __slots__ = ("capacity", "_ts", "_vs", "_start", "_count")
+
+    def __init__(self, capacity: int = 240) -> None:
+        if capacity < 2:
+            raise ValueError(
+                f"a series ring needs >= 2 points for deltas, "
+                f"got capacity {capacity}")
+        self.capacity = capacity
+        self._ts: list[float] = [0.0] * capacity
+        self._vs: list[float] = [0.0] * capacity
+        self._start = 0  # index of the oldest retained point
+        self._count = 0
+
+    def append(self, t: float, value: float) -> None:
+        idx = (self._start + self._count) % self.capacity
+        self._ts[idx] = float(t)
+        self._vs[idx] = float(value)
+        if self._count < self.capacity:
+            self._count += 1
+        else:
+            self._start = (self._start + 1) % self.capacity
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _at(self, i: int) -> tuple[float, float]:
+        idx = (self._start + i) % self.capacity
+        return self._ts[idx], self._vs[idx]
+
+    def points(self, n: int | None = None) -> list[tuple[float, float]]:
+        """The last ``n`` (default: all) retained points, oldest
+        first."""
+        count = self._count if n is None else min(n, self._count)
+        return [self._at(i)
+                for i in range(self._count - count, self._count)]
+
+    def values(self, n: int | None = None) -> list[float]:
+        return [v for _t, v in self.points(n)]
+
+    def latest(self) -> tuple[float, float] | None:
+        if not self._count:
+            return None
+        return self._at(self._count - 1)
+
+    def delta(self, n: int | None = None) -> float | None:
+        """Counter increase over the last ``n`` points (None = whole
+        ring), reset-aware.
+
+        A drop between consecutive points is treated as a counter
+        reset: the post-reset value is counted as the increase since
+        the reset (the Prometheus ``increase()`` convention).  Needs
+        at least two points; returns None below that.
+        """
+        pts = self.points(n)
+        if len(pts) < 2:
+            return None
+        total = 0.0
+        prev = pts[0][1]
+        for _t, v in pts[1:]:
+            total += v if v < prev else v - prev
+            prev = v
+        return total
+
+    def rate(self, n: int | None = None) -> float | None:
+        """Reset-aware increase per second over the last ``n``
+        points; None when the window has fewer than two points or no
+        time span."""
+        pts = self.points(n)
+        if len(pts) < 2:
+            return None
+        span = pts[-1][0] - pts[0][0]
+        if span <= 0:
+            return None
+        delta = self.delta(n)
+        return None if delta is None else delta / span
+
+
+class SeriesStore:
+    """Rings keyed by ``(series name, sorted labels)`` for one node."""
+
+    __slots__ = ("capacity", "_rings")
+
+    def __init__(self, capacity: int = 240) -> None:
+        self.capacity = capacity
+        self._rings: dict[
+            tuple[str, tuple[tuple[str, str], ...]], SeriesRing] = {}
+
+    def observe(self, t: float, samples: "list[Sample]") -> None:
+        """Append one scrape's samples at timestamp ``t``."""
+        for name, labels, value in samples:
+            key = (name, tuple(sorted(labels.items())))
+            ring = self._rings.get(key)
+            if ring is None:
+                ring = self._rings[key] = SeriesRing(self.capacity)
+            ring.append(t, value)
+
+    def __len__(self) -> int:
+        return len(self._rings)
+
+    def families(self) -> list[str]:
+        return sorted({name for name, _labels in self._rings})
+
+    def ring(self, name: str, **labels: str) -> SeriesRing | None:
+        key = (name, tuple(sorted(
+            (k, str(v)) for k, v in labels.items())))
+        return self._rings.get(key)
+
+    def rings(self, name: str) -> list[tuple[dict[str, str], SeriesRing]]:
+        """Every labeled ring of one series name."""
+        return [(dict(key[1]), ring)
+                for key, ring in self._rings.items()
+                if key[0] == name]
+
+    # -- family aggregates (one node, across label sets) -----------------
+
+    def latest_sum(self, name: str) -> float | None:
+        """Sum of the latest value across the family's label sets;
+        None if the family was never scraped."""
+        rings = [r for _l, r in self.rings(name)]
+        if not rings:
+            return None
+        total = 0.0
+        for ring in rings:
+            latest = ring.latest()
+            if latest is not None:
+                total += latest[1]
+        return total
+
+    def delta_sum(self, name: str, n: int | None = None) -> float | None:
+        """Summed reset-aware increase across the family's label sets
+        over the last ``n`` points; None if no ring has two points."""
+        deltas = [d for _l, r in self.rings(name)
+                  if (d := r.delta(n)) is not None]
+        if not deltas:
+            return None
+        return sum(deltas)
+
+    def rate_sum(self, name: str, n: int | None = None) -> float | None:
+        rates = [r_ for _l, r in self.rings(name)
+                 if (r_ := r.rate(n)) is not None]
+        if not rates:
+            return None
+        return sum(rates)
+
+    def first_present(self, names: "tuple[str, ...] | list[str]",
+                      ) -> str | None:
+        """The first family name (in preference order) this node has
+        ever published, or None."""
+        for name in names:
+            if any(key[0] == name for key in self._rings):
+                return name
+        return None

@@ -183,6 +183,18 @@ class EventLoopEngine:
             name=f"blockserver-{port}-loop")
         self._thread.start()
 
+    @property
+    def queue_depth(self) -> int:
+        """Requests accepted but not yet answered (dispatch queue +
+        in-service workers + unsent completions).
+
+        Read cross-thread without a lock: ``_jobs_outstanding`` is a
+        loop-thread-owned int, so an observer sees a value at most one
+        transition stale — fine for a health document, useless for
+        accounting.
+        """
+        return self._jobs_outstanding
+
     # -- the loop ------------------------------------------------------------
 
     def _loop(self) -> None:

@@ -181,7 +181,8 @@ class _Export:
             self.last_error = f"{type(exc).__name__}: {exc}"
 
 
-def _register_export_collector(name: str, export: _Export):
+def _register_export_collector(name: str, export: _Export,
+                               registry=None):
     """Publish an export's :class:`ExportStats` through the registry.
 
     Weakref-backed and scrape-time only: the mutex-guarded counters on
@@ -207,6 +208,23 @@ def _register_export_collector(name: str, export: _Export):
         consistency = []
         if not driver.closed:
             info = driver.image_info()
+            # Cache effectiveness of the exported chain — the per-node
+            # inputs to the fleet aggregator's cache hit ratio and
+            # storage-offload signals (Fig 2/11).  Hit/miss accounting
+            # lives on the cache *layer*, not the chain top, so walk
+            # the whole chain; "backing bytes" are what the deepest
+            # backed layer pulled from its base — the traffic that
+            # actually reached central storage.
+            hit = miss = 0.0
+            base_pull = 0.0
+            layer = driver
+            while layer is not None:
+                hit += layer.stats.cache_hit_bytes
+                miss += layer.stats.cache_miss_bytes
+                nxt = getattr(layer, "backing", None)
+                if nxt is not None:
+                    base_pull = float(layer.stats.backing_bytes_read)
+                layer = nxt
             consistency = [
                 ("block_export_fsync_ops_total", labels,
                  float(driver.stats.fsync_ops)),
@@ -214,6 +232,10 @@ def _register_export_collector(name: str, export: _Export):
                  1.0 if info.get("dirty") else 0.0),
                 ("block_export_image_recovered", labels,
                  1.0 if info.get("recovered") else 0.0),
+                ("block_export_cache_hit_bytes_total", labels, hit),
+                ("block_export_cache_miss_bytes_total", labels, miss),
+                ("block_export_backing_bytes_read_total", labels,
+                 base_pull),
             ]
         with live.stats_lock:
             s = live.stats
@@ -246,7 +268,8 @@ def _register_export_collector(name: str, export: _Export):
             "block_export_op_latency", labels, hists))
         return out
 
-    return get_registry().register_collector(collect)
+    registry = registry if registry is not None else get_registry()
+    return registry.register_collector(collect)
 
 
 class BlockServer:
@@ -263,12 +286,22 @@ class BlockServer:
                  workers: int = 8,
                  compression: "bool | int" = True,
                  compress_min_size: int = wire.DEFAULT_COMPRESS_MIN,
+                 registry=None,
                  ) -> None:
         """``telemetry_port`` opts in to the embedded HTTP telemetry
         endpoint (``/metrics``, ``/healthz``, ``/traces``; DESIGN.md
         §10) on that port — 0 picks an ephemeral port, None (default)
         starts no endpoint.  The endpoint lives and dies with the
         server: :meth:`close` shuts its thread down.
+
+        ``registry`` scopes this server's metric families (export
+        collectors, the telemetry endpoint's own scrape counters) to a
+        private :class:`~repro.metrics.registry.MetricsRegistry`
+        instead of the process-wide one.  Real deployments run one
+        server per process and never need it; fleets-in-one-process
+        (tests, the quickstart ``--fleet`` demo) need it so two nodes
+        exporting the same image name don't collide into duplicate
+        samples on each other's ``/metrics``.
 
         ``threaded`` picks the serving engine: ``False`` (default) is
         the single-threaded event loop with a fixed ``workers``-sized
@@ -319,11 +352,14 @@ class BlockServer:
         self._state_lock = threading.Lock()
         self._conns: set[socket.socket] = set()
         self._workers: set[threading.Thread] = set()
+        self.registry = registry if registry is not None \
+            else get_registry()
         self.telemetry = None
         if telemetry_port is not None:
             from repro.metrics.telemetry_server import TelemetryServer
             self.telemetry = TelemetryServer(
-                host=host, port=telemetry_port, health=self.health)
+                host=host, port=telemetry_port, health=self.health,
+                registry=self.registry)
         self._engine = None
         self._accept_thread = None
         if threaded:
@@ -369,7 +405,8 @@ class BlockServer:
             if name in self._exports:
                 raise ValueError(f"export {name!r} already registered")
             self._exports[name] = export
-        export.collector = _register_export_collector(name, export)
+        export.collector = _register_export_collector(
+            name, export, self.registry)
 
     def add_export_path(self, name: str, path: str, *,
                         writable: bool = False,
@@ -476,12 +513,29 @@ class BlockServer:
             if entry["errors"]:
                 degraded = True
             exports[name] = entry
+        # Datapath backlog + prefetch effectiveness at the top level so
+        # fleet_top can show them without a full metrics parse: the
+        # eventloop engine reports its dispatch-queue depth, the
+        # threaded engine's equivalent is the summed per-export
+        # in-flight count.
+        if self._engine is not None:
+            queue_depth = self._engine.queue_depth
+        else:
+            queue_depth = sum(e["inflight"] for e in exports.values())
+        registry = self.registry
         return {
             "status": "degraded" if degraded else "ok",
             "closing": closing,
             "engine": self.engine,
             "max_protocol": self._max_protocol,
             "compression": self._compression,
+            "queue_depth": queue_depth,
+            "prefetch": {
+                "hit_bytes": registry.counter(
+                    "prefetch_hit_bytes_total").value,
+                "wasted_bytes": registry.counter(
+                    "prefetch_wasted_bytes_total").value,
+            },
             "exports": exports,
         }
 
@@ -874,7 +928,7 @@ class BlockServer:
             workers = list(self._workers)
         if self.telemetry is not None:
             self.telemetry.close()
-        registry = get_registry()
+        registry = self.registry
         for export in self._exports.values():
             if export.collector is not None:
                 registry.unregister_collector(export.collector)

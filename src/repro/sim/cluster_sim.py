@@ -275,6 +275,7 @@ def boot_vms(testbed: Testbed, jobs: list[BootJob],
             return []
         plan: list[IORequest] = []
         if op.kind == "read":
+            job.node.stats.demand_read_bytes += length
             job.chain.read(offset, length, plan)
         else:
             job.chain.write(offset, length, plan)

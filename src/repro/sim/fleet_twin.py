@@ -1,0 +1,176 @@
+"""In-process scrape adapter: simulated nodes as fleet targets.
+
+The aggregator's target contract is ``.name`` plus
+``.scrape(timeout) -> (exposition_text, health_dict)``;
+:class:`SimScrapeTarget` implements it for simulated nodes by
+rendering the node's counters through
+:func:`repro.metrics.exposition.render_exposition` — the *same* text
+format real nodes serve over HTTP, parsed back by the same strict
+parser.  The aggregator, its derived signals, and the SLO rules run
+unchanged over a 1k-node simulated fleet; only the target list and the
+clock (``clock=lambda: cloud.env.now`` for sim-time staleness) differ.
+
+Metric families are chosen so the aggregator's preference tuples
+resolve them next to their real counterparts:
+
+* ``sim_node_demand_read_bytes_total`` — guest-visible read demand per
+  compute node (the offload denominator);
+* ``sim_storage_bytes_served_total`` — bytes the central NFS service
+  actually served (the offload numerator), published by the storage
+  target; fleet storage offload = ``1 - served/demand``, the Fig 2/11
+  quantity;
+* ``sim_cache_hit_bytes_total`` / ``sim_cache_miss_bytes_total`` —
+  byte-level cache effectiveness: the storage node's page cache, plus
+  each compute node's cache-image reads (chains read through the
+  shared pool images, so their driver stats are the node's cache
+  traffic).
+
+Fault injection mirrors real failure modes: :meth:`SimScrapeTarget.
+fail` makes scrapes raise (a killed node), :meth:`SimScrapeTarget.
+degrade` flips the health document to ``degraded`` (a sick-but-alive
+node) — both drive the same pending→firing→resolved alert transitions
+a real fleet produces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.metrics.exposition import render_exposition
+from repro.metrics.registry import Sample
+
+__all__ = [
+    "SimScrapeTarget",
+    "cloud_targets",
+    "compute_target",
+    "storage_target",
+    "testbed_targets",
+]
+
+
+class SimScrapeTarget:
+    """One simulated node on the aggregator's scrape plane."""
+
+    def __init__(self, name: str,
+                 sampler: Callable[[], "list[Sample]"],
+                 health: Callable[[], dict] | None = None) -> None:
+        self.name = name
+        self.sampler = sampler
+        self._health = health
+        self._failed = False
+        self._degraded = False
+        self.scrape_count = 0
+
+    # -- fault injection -------------------------------------------------
+
+    def fail(self) -> None:
+        """Subsequent scrapes raise — the node is gone."""
+        self._failed = True
+
+    def recover(self) -> None:
+        self._failed = False
+        self._degraded = False
+
+    def degrade(self, flag: bool = True) -> None:
+        """Scrapes still succeed but health reports degraded."""
+        self._degraded = flag
+
+    # -- the target contract ---------------------------------------------
+
+    def scrape(self, timeout: float) -> tuple[str, dict | None]:
+        if self._failed:
+            raise ConnectionError(f"sim node {self.name} is down")
+        self.scrape_count += 1
+        samples = self.sampler()
+        doc = self._health() if self._health is not None else {}
+        doc = dict(doc)
+        doc.setdefault("status", "ok")
+        if self._degraded:
+            doc["status"] = "degraded"
+        return render_exposition(samples), doc
+
+    def __repr__(self) -> str:
+        state = ("down" if self._failed
+                 else "degraded" if self._degraded else "ok")
+        return f"<SimScrapeTarget {self.name} {state}>"
+
+
+def compute_target(node: Any, pool: Any = None) -> SimScrapeTarget:
+    """Scrape target for one simulated compute node.
+
+    ``node`` is a :class:`repro.sim.node.ComputeNode`; ``pool`` its
+    :class:`repro.cluster.cache_manager.CachePool` when the cluster
+    layer is in play (standalone testbeds have no pools).
+    """
+
+    def sampler() -> "list[Sample]":
+        samples: "list[Sample]" = [
+            ("sim_node_demand_read_bytes_total", {},
+             float(node.stats.demand_read_bytes)),
+            ("sim_node_vms_booted_total", {},
+             float(node.stats.vms_booted)),
+        ]
+        if pool is not None:
+            hit = miss = 0.0
+            for vmi_id in pool.vmi_ids():
+                cache = pool.peek(vmi_id)
+                if cache is not None:
+                    hit += cache.stats.cache_hit_bytes
+                    miss += cache.stats.cache_miss_bytes
+            samples += [
+                ("sim_cache_hit_bytes_total", {}, hit),
+                ("sim_cache_miss_bytes_total", {}, miss),
+                ("sim_cache_pool_used_bytes", {},
+                 float(pool.used_bytes)),
+                ("sim_cache_pool_capacity_bytes", {},
+                 float(pool.capacity_bytes)),
+                ("sim_cache_pool_entries", {}, float(len(pool))),
+            ]
+        return samples
+
+    def health() -> dict:
+        return {"status": "ok", "queue_depth": 0,
+                "vms_booted": node.stats.vms_booted}
+
+    return SimScrapeTarget(node.node_id, sampler, health)
+
+
+def storage_target(testbed: Any,
+                   name: str = "storage") -> SimScrapeTarget:
+    """Scrape target for the simulated storage node + its NIC."""
+
+    def sampler() -> "list[Sample]":
+        cache = testbed.storage.page_cache.stats
+        return [
+            ("sim_storage_bytes_served_total", {},
+             float(testbed.nfs.stats.bytes_served)),
+            ("sim_storage_disk_bytes_read_total", {},
+             float(testbed.storage.disk.stats.bytes_read)),
+            ("sim_cache_hit_bytes_total", {}, float(cache.hit_bytes)),
+            ("sim_cache_miss_bytes_total", {},
+             float(cache.miss_bytes)),
+            ("sim_network_down_bytes_total", {},
+             float(testbed.down.stats.bytes_moved)),
+            ("sim_network_up_bytes_total", {},
+             float(testbed.up.stats.bytes_moved)),
+        ]
+
+    def health() -> dict:
+        return {"status": "ok", "queue_depth": 0}
+
+    return SimScrapeTarget(name, sampler, health)
+
+
+def testbed_targets(testbed: Any) -> "list[SimScrapeTarget]":
+    """Storage + every compute node of a bare testbed (no pools)."""
+    return [storage_target(testbed)] + [
+        compute_target(node) for node in testbed.computes]
+
+
+def cloud_targets(cloud: Any) -> "list[SimScrapeTarget]":
+    """Every node of a :class:`repro.cluster.middleware.Cloud`,
+    compute nodes wired to their cache pools."""
+    return [storage_target(cloud.testbed)] + [
+        compute_target(node,
+                       cloud.registry.node_pool(node.node_id))
+        for node in cloud.testbed.computes]

@@ -120,6 +120,10 @@ class StorageNode:
 class ComputeNodeStats:
     vms_booted: int = 0
     cache_files_held: int = 0
+    demand_read_bytes: int = 0
+    """Guest-visible read bytes demanded by VMs on this node — the
+    denominator of the storage-offload fraction (Figs 2/11): offload =
+    1 - storage_bytes_served / demand_read_bytes across the fleet."""
 
 
 class ComputeNode:

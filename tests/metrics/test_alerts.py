@@ -1,0 +1,219 @@
+"""SLO rule grammar + alert state machine lifecycle."""
+
+import json
+
+import pytest
+
+from repro.metrics.alerts import (
+    AlertEngine,
+    BurnRateRule,
+    JsonlNotifier,
+    RuleError,
+    ThresholdRule,
+)
+from repro.metrics.registry import MetricsRegistry, set_registry
+
+
+@pytest.fixture
+def registry():
+    mine = MetricsRegistry()
+    old = set_registry(mine)
+    yield mine
+    set_registry(old)
+
+
+class FakeSnapshot:
+    """Duck-types the rule-engine surface of FleetSnapshot."""
+
+    def __init__(self, poll, signals=None, node_values=None,
+                 deltas=None):
+        self.poll = poll
+        self.time = float(poll)
+        self.signals = signals or {}
+        self._node_values = node_values or {}
+        self._deltas = deltas or {}
+
+    def node_signals(self, name):
+        return {node: values.get(name)
+                for node, values in self._node_values.items()}
+
+    def fleet_delta(self, families, n):
+        if isinstance(families, str):
+            families = (families,)
+        for family in families:
+            if family in self._deltas:
+                return self._deltas[family]
+        return None
+
+
+class TestGrammar:
+    def test_basic(self):
+        rule = ThresholdRule.parse("cache_hit_ratio < 0.5")
+        assert rule.signal == "cache_hit_ratio"
+        assert rule.op == "<"
+        assert rule.threshold == 0.5
+        assert rule.for_polls == 1
+        assert rule.resolve_polls == 1
+        assert rule.scope == "fleet"
+
+    def test_full_form_with_percent(self):
+        rule = ThresholdRule.parse(
+            "storage_offload_fraction < 80% for 5 resolve 3")
+        assert rule.threshold == pytest.approx(0.8)
+        assert rule.for_polls == 5
+        assert rule.resolve_polls == 3
+
+    def test_node_scope(self):
+        rule = ThresholdRule.parse("node:up < 1 for 3")
+        assert rule.scope == "node"
+        assert rule.signal == "up"
+
+    @pytest.mark.parametrize("text", [
+        "", "just_a_signal", "x <", "x ~ 5", "x < 5 for zero",
+    ])
+    def test_rejects_garbage(self, text):
+        with pytest.raises(RuleError):
+            ThresholdRule.parse(text)
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(RuleError, match="unknown operator"):
+            ThresholdRule(name="r", signal="s", op="~", threshold=1)
+        with pytest.raises(RuleError, match="scope"):
+            ThresholdRule(name="r", signal="s", op="<", threshold=1,
+                          scope="rack")
+        with pytest.raises(RuleError, match=">= 1"):
+            ThresholdRule(name="r", signal="s", op="<", threshold=1,
+                          for_polls=0)
+
+    def test_burn_rate_validation(self):
+        with pytest.raises(RuleError, match="objective"):
+            BurnRateRule(name="b", good="g", total="t", objective=1.0)
+        with pytest.raises(RuleError, match="window_polls"):
+            BurnRateRule(name="b", good="g", total="t", objective=0.9,
+                         window_polls=1)
+        with pytest.raises(RuleError, match="fleet-scoped"):
+            BurnRateRule(name="b", good="g", total="t", objective=0.9,
+                         scope="node")
+
+
+class TestLifecycle:
+    def run_polls(self, engine, values, signal="s"):
+        """Feed a value sequence; return [(poll, state), ...] events."""
+        out = []
+        for poll, value in enumerate(values, start=1):
+            snap = FakeSnapshot(poll, signals={signal: value})
+            out += [(e.poll, e.state) for e in engine.evaluate(snap)]
+        return out
+
+    def test_pending_firing_resolved(self, registry):
+        engine = AlertEngine(["s > 10 for 3 resolve 2"])
+        events = self.run_polls(
+            engine, [5, 11, 11, 11, 11, 5, 5, 5])
+        assert events == [(2, "pending"), (4, "firing"),
+                          (7, "resolved")]
+        assert engine.active() == []
+
+    def test_for_one_fires_same_poll_as_pending(self, registry):
+        engine = AlertEngine(["s > 10"])
+        events = self.run_polls(engine, [11])
+        assert events == [(1, "pending"), (1, "firing")]
+        assert len(engine.firing()) == 1
+
+    def test_pending_clears_silently(self, registry):
+        engine = AlertEngine(["s > 10 for 3"])
+        events = self.run_polls(engine, [11, 11, 5, 5])
+        # Never fired, so no resolved event — just the pending.
+        assert events == [(1, "pending")]
+        assert engine.active() == []
+
+    def test_none_freezes_state(self, registry):
+        engine = AlertEngine(["s > 10 for 2 resolve 2"])
+        events = self.run_polls(engine, [11, None, 11])
+        # The None poll neither breaches nor clears; streak resumes.
+        assert events == [(1, "pending"), (3, "firing")]
+
+    def test_node_scope_tracks_instances(self, registry):
+        engine = AlertEngine(["node:up < 1 for 2 resolve 1"])
+        nodes = {"a": {"up": 0.0}, "b": {"up": 1.0}}
+        snaps = [FakeSnapshot(p, node_values=nodes) for p in (1, 2)]
+        assert [(e.instance, e.state)
+                for e in engine.evaluate(snaps[0])] == [("a", "pending")]
+        assert [(e.instance, e.state)
+                for e in engine.evaluate(snaps[1])] == [("a", "firing")]
+
+    def test_departed_node_state_pruned(self, registry):
+        engine = AlertEngine(["node:up < 1"])
+        down = FakeSnapshot(1, node_values={"a": {"up": 0.0}})
+        events = engine.evaluate(down)
+        assert [e.state for e in events] == ["pending", "firing"]
+        # Node leaves the fleet entirely: state dropped, no zombie
+        # firing alert.
+        gone = FakeSnapshot(2, node_values={})
+        assert engine.evaluate(gone) == []
+        assert engine.active() == []
+
+    def test_burn_rate_lifecycle(self, registry):
+        # objective 0.8 => budget 0.2.  good/total = 0.5 => error 0.5
+        # => burn 2.5 > factor 1.
+        rule = BurnRateRule(name="hit-slo", good="hits", total="reads",
+                            objective=0.8, window_polls=3)
+        engine = AlertEngine([rule])
+        hot = FakeSnapshot(1, deltas={"hits": 50.0, "reads": 100.0})
+        events = engine.evaluate(hot)
+        assert [e.state for e in events] == ["pending", "firing"]
+        assert events[0].value == pytest.approx(2.5)
+        ok = FakeSnapshot(2, deltas={"hits": 95.0, "reads": 100.0})
+        assert [e.state for e in engine.evaluate(ok)] == ["resolved"]
+
+    def test_burn_rate_insufficient_data(self, registry):
+        rule = BurnRateRule(name="b", good="hits", total="reads",
+                            objective=0.8)
+        engine = AlertEngine([rule])
+        assert engine.evaluate(FakeSnapshot(1, deltas={})) == []
+        assert engine.evaluate(
+            FakeSnapshot(2, deltas={"hits": 1.0, "reads": 0.0})) == []
+
+
+class TestEngine:
+    def test_duplicate_rule_name_rejected(self, registry):
+        engine = AlertEngine(["s > 1"])
+        with pytest.raises(RuleError, match="duplicate"):
+            engine.add_rule("s > 1")
+
+    def test_non_callable_sink_rejected(self, registry):
+        with pytest.raises(TypeError):
+            AlertEngine([], sinks=["not-a-callable"])
+
+    def test_transition_counters_and_gauge(self, registry):
+        engine = AlertEngine(["s > 10 resolve 1"])
+        engine.evaluate(FakeSnapshot(1, signals={"s": 11.0}))
+        name = "s > 10 resolve 1"
+        assert registry.counter("fleet_alert_transitions_total",
+                                rule=name, state="pending").value == 1
+        assert registry.counter("fleet_alert_transitions_total",
+                                rule=name, state="firing").value == 1
+        assert registry.gauge("fleet_alerts_firing").value == 1
+        engine.evaluate(FakeSnapshot(2, signals={"s": 0.0}))
+        assert registry.gauge("fleet_alerts_firing").value == 0
+
+    def test_jsonl_sink(self, registry, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        engine = AlertEngine(["s > 10"], sinks=[JsonlNotifier(str(path))])
+        engine.evaluate(FakeSnapshot(1, signals={"s": 99.0}))
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert [e["state"] for e in lines] == ["pending", "firing"]
+        assert lines[0]["value"] == 99.0
+        assert lines[0]["instance"] == "fleet"
+
+    def test_broken_sink_is_counted_not_fatal(self, registry):
+        def boom(event):
+            raise RuntimeError("sink down")
+
+        collected = []
+        engine = AlertEngine(["s > 10"], sinks=[boom, collected.append])
+        engine.evaluate(FakeSnapshot(1, signals={"s": 11.0}))
+        # Both transitions still reached the healthy sink.
+        assert [e.state for e in collected] == ["pending", "firing"]
+        assert registry.counter(
+            "fleet_alert_sink_errors_total").value == 2

@@ -1,0 +1,151 @@
+"""The strict exposition parser and its standalone renderer twin.
+
+The parser is the fleet aggregator's front door *and* the adversarial
+consumer of PR 5's renderer: anything
+:meth:`MetricsRegistry.render_prometheus` emits must parse back to the
+same typed samples, and anything malformed must be rejected with the
+offending line.
+"""
+
+import math
+
+import pytest
+
+from repro.metrics.exposition import (
+    ExpositionParseError,
+    parse_prometheus,
+    render_exposition,
+)
+from repro.metrics.registry import MetricsRegistry, set_registry
+
+
+@pytest.fixture
+def registry():
+    mine = MetricsRegistry()
+    old = set_registry(mine)
+    yield mine
+    set_registry(old)
+
+
+class TestRoundTrip:
+    def test_registry_exposition_round_trips(self, registry):
+        registry.counter("boots_total", node="n1").inc(3)
+        registry.counter("boots_total", node="n2").inc(5)
+        registry.gauge("cache_fill").set(0.75)
+        registry.histogram("op_latency", op="read").observe(0.004)
+        registry.describe("boots_total", "VM boots by node")
+        text = registry.render_prometheus()
+        exp = parse_prometheus(text)
+        assert exp.value("boots_total", node="n1") == 3.0
+        assert exp.value("boots_total", node="n2") == 5.0
+        assert exp.sum("boots_total") == 8.0
+        assert exp.value("cache_fill") == 0.75
+        assert exp.kinds["boots_total"] == "counter"
+        assert exp.kinds["cache_fill"] == "gauge"
+        assert exp.helps["boots_total"] == "VM boots by node"
+        assert exp.value("op_latency_count", op="read") == 1.0
+
+    def test_render_exposition_round_trips_standalone(self):
+        samples = [
+            ("sim_demand_bytes_total", {}, 123.0),
+            ("sim_cache_hit_bytes_total", {"node": "n01"}, 42.5),
+            ("sim_cache_hit_bytes_total", {"node": "n02"}, 0.0),
+        ]
+        text = render_exposition(samples)
+        exp = parse_prometheus(text)
+        key = lambda s: (s[0], sorted(s[1].items()))  # noqa: E731
+        assert sorted(exp.samples, key=key) == sorted(samples, key=key)
+        # _total names type as counters by convention.
+        assert exp.kinds["sim_demand_bytes_total"] == "counter"
+
+    def test_label_escapes_round_trip(self):
+        gnarly = 'a"b\\c\nd'
+        text = render_exposition(
+            [("weird_series", {"path": gnarly}, 1.0)])
+        exp = parse_prometheus(text)
+        assert exp.value("weird_series", path=gnarly) == 1.0
+
+    def test_special_values(self):
+        text = ('inf_series +Inf\n'
+                'neginf_series -Inf\n'
+                'nan_series NaN\n')
+        exp = parse_prometheus(text)
+        assert exp.value("inf_series") == math.inf
+        assert exp.value("neginf_series") == -math.inf
+        assert math.isnan(exp.value("nan_series"))
+
+    def test_timestamp_is_validated_then_dropped(self):
+        exp = parse_prometheus("reads_total 5 1700000000000\n")
+        assert exp.value("reads_total") == 5.0
+
+    def test_empty_renders_and_parses(self):
+        assert render_exposition([]) == ""
+        assert len(parse_prometheus("")) == 0
+
+    def test_non_directive_comments_ignored(self):
+        exp = parse_prometheus("# just a note\nups_total 1\n")
+        assert exp.value("ups_total") == 1.0
+
+    def test_accessors(self):
+        exp = parse_prometheus(
+            "a_total{x=\"1\"} 1\na_total{x=\"2\"} 2\nb_total 3\n")
+        assert exp.families() == ["a_total", "b_total"]
+        assert sorted(v for _l, v in exp.series("a_total")) == [1.0, 2.0]
+        assert exp.value("a_total", x="9") is None
+        assert exp.sum("missing") is None
+        assert len(exp) == 3
+
+
+class TestRejection:
+    def assert_rejects(self, text, match):
+        with pytest.raises(ExpositionParseError, match=match):
+            parse_prometheus(text)
+
+    def test_missing_final_newline(self):
+        self.assert_rejects("reads_total 1", "missing final newline")
+
+    def test_noncontiguous_blocks(self):
+        self.assert_rejects("a_total 1\nb_total 2\na_total 3\n",
+                            "reappears")
+
+    def test_help_after_samples(self):
+        self.assert_rejects("a_total 1\n# HELP a_total late\n",
+                            "after samples")
+
+    def test_duplicate_type(self):
+        self.assert_rejects(
+            "# TYPE a_total counter\n# TYPE a_total counter\n"
+            "a_total 1\n", "duplicate # TYPE")
+
+    def test_unknown_kind(self):
+        self.assert_rejects("# TYPE a_total widget\na_total 1\n",
+                            "unknown # TYPE kind")
+
+    def test_duplicate_sample(self):
+        self.assert_rejects('a_total{x="1"} 1\na_total{x="1"} 2\n',
+                            "duplicate sample")
+
+    def test_bad_escape(self):
+        self.assert_rejects('a_total{x="\\t"} 1\n', "invalid escape")
+
+    def test_unterminated_labels(self):
+        self.assert_rejects('a_total{x="1" 1\n', "expected ',' or")
+        self.assert_rejects('a_total{x="1\n', "unterminated value")
+
+    def test_bad_value(self):
+        self.assert_rejects("a_total pony\n", "not a number")
+
+    def test_bad_timestamp(self):
+        self.assert_rejects("a_total 1 2.5\n", "not an integer")
+
+    def test_bad_name(self):
+        self.assert_rejects("9lives 1\n", "must start with a metric")
+
+    def test_error_carries_line_info(self):
+        try:
+            parse_prometheus("ok_total 1\nbad line here\n")
+        except ExpositionParseError as exc:
+            assert exc.lineno == 2
+            assert "bad line" in exc.line
+        else:
+            pytest.fail("expected ExpositionParseError")

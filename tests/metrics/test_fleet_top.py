@@ -1,0 +1,161 @@
+"""Dashboard rendering + the fleet_top / boot_report CLI surfaces.
+
+The CLI tests run the actual tools as subprocesses against a live
+``BlockServer`` — the same invocation a user types, end to end.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.imagefmt.raw import RawImage
+from repro.metrics.ascii_plot import sparkline
+from repro.metrics.fleet import FleetAggregator
+from repro.metrics.fleet_dashboard import SignalHistory, render_dashboard
+from repro.metrics.flight_recorder import FlightRecorder
+from repro.metrics.registry import MetricsRegistry, set_registry
+from repro.metrics.telemetry_server import TelemetryServer
+from repro.remote import BlockServer
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+@pytest.fixture
+def registry():
+    mine = MetricsRegistry()
+    old = set_registry(mine)
+    yield mine
+    set_registry(old)
+
+
+def run_tool(tool, *args, timeout=60):
+    return subprocess.run(
+        [sys.executable, os.path.join(REPO, "tools", tool), *args],
+        capture_output=True, text=True, timeout=timeout,
+        env={**os.environ,
+             "PYTHONPATH": os.path.join(REPO, "src")})
+
+
+class TestSparkline:
+    def test_scales_to_range(self):
+        line = sparkline([0.0, 0.5, 1.0], width=3)
+        assert len(line) == 3
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_flat_series_renders_mid_height(self):
+        line = sparkline([5.0, 5.0], width=4)
+        assert set(line.strip()) == {"▄"}
+
+    def test_empty_is_placeholder(self):
+        assert sparkline([], width=5) == "-----"
+
+    def test_explicit_bounds(self):
+        # With lo/hi pinned, 0.5 sits mid-scale even if the series
+        # never spans the range.
+        line = sparkline([0.5], width=1, lo=0.0, hi=1.0)
+        assert line in ("▄", "▅")
+
+
+class _Target:
+    def __init__(self, name, hit, miss):
+        self.name = name
+        self.hit, self.miss = hit, miss
+
+    def scrape(self, timeout):
+        return (f"block_export_cache_hit_bytes_total {self.hit}\n"
+                f"block_export_cache_miss_bytes_total {self.miss}\n",
+                {"status": "ok", "queue_depth": 0})
+
+
+class TestDashboard:
+    def test_renders_signals_nodes_and_alerts(self, registry):
+        agg = FleetAggregator(
+            [_Target("alpha", 90, 10), _Target("beta", 10, 90)],
+            interval=1.0, rules=["node:cache_hit_ratio < 50%"])
+        history = SignalHistory()
+        snap = agg.poll_once()
+        history.observe(snap)
+        frame = render_dashboard(snap, history)
+        assert "poll 1" in frame and "2 nodes" in frame
+        assert "alpha" in frame and "beta" in frame
+        assert "cache hit" in frame
+        assert "ALERTS" in frame and "firing" in frame
+        # beta breaches (10% hit), alpha does not.
+        alert_lines = [l for l in frame.splitlines() if "firing" in l]
+        assert any("beta" in l for l in alert_lines)
+
+    def test_no_alerts_footer(self, registry):
+        agg = FleetAggregator([_Target("a", 1, 1)], interval=1.0)
+        snap = agg.poll_once()
+        assert "no active alerts" in render_dashboard(snap)
+
+
+class TestFleetTopCli:
+    @pytest.mark.timeout(90)
+    def test_once_json_against_live_server(self, registry, small_base):
+        base = RawImage.open(small_base)
+        server = BlockServer(telemetry_port=0)
+        server.add_export("vmi", base)
+        try:
+            proc = run_tool("fleet_top.py", "--once", "--json",
+                            server.telemetry.url)
+            assert proc.returncode == 0, proc.stderr
+            snap = json.loads(proc.stdout)
+            assert snap["poll"] == 1
+            assert snap["nodes"][0]["status"] == "ok"
+            assert snap["signals"]["nodes_ok"] == 1.0
+
+            proc = run_tool("fleet_top.py", "--once",
+                            server.telemetry.url)
+            assert proc.returncode == 0, proc.stderr
+            assert "fleet · poll 1" in proc.stdout
+        finally:
+            server.close()
+            base.close()
+
+    def test_bad_rule_is_a_usage_error(self):
+        proc = run_tool("fleet_top.py", "--once",
+                        "--rule", "not a rule !!",
+                        "http://127.0.0.1:1")
+        assert proc.returncode == 2
+        assert "unparseable rule" in proc.stderr
+
+
+class TestBootReportUrl:
+    @pytest.mark.timeout(90)
+    def test_report_pulls_live_traces_endpoint(self, registry):
+        """Satellite (c): boot_report accepts http://host:port[/traces]
+        and reports off the node's retained ring."""
+        recorder = FlightRecorder(capacity=64)
+        recorder.append({
+            "type": "span", "name": "vm.boot", "start": 0.0,
+            "end": 2.5, "clock": "wall", "trace_id": "t1",
+            "span_id": "s1", "parent_id": None,
+            "attrs": {"vm_id": "vm0"}})
+        recorder.append({
+            "type": "event", "name": "block.read", "ts": 1.0,
+            "trace_id": "t1", "span_id": "e1", "parent_id": "s1",
+            "attrs": {"layer": "base", "path": "/t/base.raw",
+                      "offset": 0, "length": 4096}})
+        srv = TelemetryServer(port=0, traces=recorder)
+        try:
+            # Bare base URL: completed to /traces?n=<all> internally.
+            proc = run_tool("boot_report.py", srv.url)
+            assert proc.returncode == 0, proc.stderr
+            assert "(2 records)" in proc.stdout
+            assert "vm0" in proc.stdout
+            # Explicit /traces URL works too.
+            proc = run_tool("boot_report.py", f"{srv.url}/traces")
+            assert proc.returncode == 0, proc.stderr
+            assert "(2 records)" in proc.stdout
+        finally:
+            srv.close()
+
+    def test_unreachable_url_is_reported_not_raised(self):
+        proc = run_tool("boot_report.py", "http://127.0.0.1:1/traces")
+        assert proc.returncode == 1
+        assert "error:" in proc.stderr

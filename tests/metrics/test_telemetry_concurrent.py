@@ -1,0 +1,118 @@
+"""Satellite (d): concurrent scrapes racing a mutating datapath.
+
+N scraper threads hammer a live ``BlockServer``'s /metrics and
+/healthz while client I/O churns the underlying counters.  Every
+single response must parse under the *strict* exposition parser —
+a torn render (sample written while a counter moves, duplicate
+series, truncated line) would be rejected loudly.  This is the
+renderer-under-contention validation the strict parser exists for.
+"""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.imagefmt.raw import RawImage
+from repro.metrics.exposition import parse_prometheus
+from repro.metrics.registry import MetricsRegistry, set_registry
+from repro.remote import BlockServer, RemoteImage
+from repro.units import KiB
+
+SCRAPERS = 4
+SCRAPES_EACH = 25
+
+
+@pytest.fixture
+def registry():
+    mine = MetricsRegistry()
+    old = set_registry(mine)
+    yield mine
+    set_registry(old)
+
+
+@pytest.mark.timeout(120)
+def test_concurrent_scrapes_all_parse(registry, small_base):
+    base = RawImage.open(small_base)
+    server = BlockServer(telemetry_port=0)
+    server.add_export("vmi", base)
+    url = server.telemetry.url
+    stop = threading.Event()
+    errors = []
+
+    def churn():
+        # Datapath load: keep the export counters moving the whole
+        # time the scrapers are reading them.
+        try:
+            with RemoteImage.connect(server.url("vmi")) as img:
+                i = 0
+                while not stop.is_set():
+                    img.read((i % 32) * 64 * KiB, 64 * KiB)
+                    i += 1
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(f"churn: {exc!r}")
+
+    def scrape(worker_id):
+        try:
+            for _ in range(SCRAPES_EACH):
+                with urllib.request.urlopen(f"{url}/metrics",
+                                            timeout=10) as resp:
+                    text = resp.read().decode("utf-8")
+                exposition = parse_prometheus(text)
+                assert len(exposition) > 0
+                with urllib.request.urlopen(f"{url}/healthz",
+                                            timeout=10) as resp:
+                    json.loads(resp.read().decode("utf-8"))
+        except Exception as exc:
+            errors.append(f"scraper {worker_id}: {exc!r}")
+
+    writer = threading.Thread(target=churn, daemon=True)
+    scrapers = [threading.Thread(target=scrape, args=(i,), daemon=True)
+                for i in range(SCRAPERS)]
+    writer.start()
+    for thread in scrapers:
+        thread.start()
+    for thread in scrapers:
+        thread.join(timeout=90)
+        assert not thread.is_alive(), "scraper wedged"
+    stop.set()
+    writer.join(timeout=30)
+    assert errors == []
+
+    # Self-observability: the endpoint counted its own scrapes and
+    # timed its renders, per path.
+    with urllib.request.urlopen(f"{url}/metrics", timeout=10) as resp:
+        exposition = parse_prometheus(resp.read().decode("utf-8"))
+    scrapes = exposition.value("telemetry_scrapes_total",
+                               path="/metrics")
+    assert scrapes >= SCRAPERS * SCRAPES_EACH
+    assert exposition.value("telemetry_scrapes_total",
+                            path="/healthz") >= SCRAPERS * SCRAPES_EACH
+    assert exposition.value("telemetry_render_seconds_count",
+                            path="/metrics") >= SCRAPERS * SCRAPES_EACH
+
+    server.close()
+    base.close()
+
+
+def test_healthz_reports_queue_depth_and_prefetch(registry, small_base):
+    """Satellite (b): /healthz surfaces event-loop queue depth and
+    prefetcher effectiveness counters."""
+    base = RawImage.open(small_base)
+    server = BlockServer(telemetry_port=0)
+    server.add_export("vmi", base)
+    try:
+        with RemoteImage.connect(server.url("vmi")) as img:
+            img.read(0, 64 * KiB)
+        with urllib.request.urlopen(f"{server.telemetry.url}/healthz",
+                                    timeout=10) as resp:
+            doc = json.loads(resp.read().decode("utf-8"))
+        assert doc["status"] == "ok"
+        assert isinstance(doc["queue_depth"], int)
+        assert doc["queue_depth"] >= 0
+        assert set(doc["prefetch"]) == {"hit_bytes", "wasted_bytes"}
+        assert doc["prefetch"]["hit_bytes"] >= 0
+    finally:
+        server.close()
+        base.close()

@@ -1,0 +1,100 @@
+"""Ring-buffer time series: bounded history, reset-aware deltas."""
+
+import pytest
+
+from repro.metrics.timeseries import SeriesRing, SeriesStore
+
+
+class TestSeriesRing:
+    def test_append_and_points(self):
+        ring = SeriesRing(capacity=4)
+        assert len(ring) == 0
+        assert ring.latest() is None
+        for i in range(3):
+            ring.append(float(i), float(i * 10))
+        assert len(ring) == 3
+        assert ring.points() == [(0.0, 0.0), (1.0, 10.0), (2.0, 20.0)]
+        assert ring.values(2) == [10.0, 20.0]
+        assert ring.latest() == (2.0, 20.0)
+
+    def test_overwrites_oldest_at_capacity(self):
+        ring = SeriesRing(capacity=3)
+        for i in range(7):
+            ring.append(float(i), float(i))
+        assert len(ring) == 3
+        assert ring.values() == [4.0, 5.0, 6.0]
+
+    def test_capacity_floor(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            SeriesRing(capacity=1)
+
+    def test_delta_monotonic(self):
+        ring = SeriesRing(capacity=8)
+        for t, v in enumerate([10, 15, 15, 40]):
+            ring.append(float(t), float(v))
+        assert ring.delta() == 30.0
+        assert ring.delta(2) == 25.0
+
+    def test_delta_counter_reset(self):
+        # 100 -> restart -> 5 -> 20: increase is 5 (post-reset) + 15,
+        # never -80.
+        ring = SeriesRing(capacity=8)
+        for t, v in enumerate([80, 100, 5, 20]):
+            ring.append(float(t), float(v))
+        assert ring.delta() == 20.0 + 5.0 + 15.0
+
+    def test_delta_needs_two_points(self):
+        ring = SeriesRing(capacity=4)
+        assert ring.delta() is None
+        ring.append(0.0, 1.0)
+        assert ring.delta() is None
+
+    def test_rate(self):
+        ring = SeriesRing(capacity=8)
+        ring.append(0.0, 0.0)
+        ring.append(4.0, 100.0)
+        assert ring.rate() == 25.0
+
+    def test_rate_zero_span(self):
+        ring = SeriesRing(capacity=4)
+        ring.append(1.0, 0.0)
+        ring.append(1.0, 10.0)
+        assert ring.rate() is None
+
+
+class TestSeriesStore:
+    def feed(self, store, t, samples):
+        store.observe(t, samples)
+
+    def test_keyed_by_name_and_labels(self):
+        store = SeriesStore(capacity=4)
+        self.feed(store, 0.0, [
+            ("hits_total", {"export": "a"}, 1.0),
+            ("hits_total", {"export": "b"}, 2.0),
+            ("fill", {}, 0.5),
+        ])
+        assert len(store) == 3
+        assert store.families() == ["fill", "hits_total"]
+        assert store.ring("hits_total", export="a").latest() == (0.0, 1.0)
+        assert store.ring("hits_total", export="zzz") is None
+        assert len(store.rings("hits_total")) == 2
+
+    def test_family_aggregates(self):
+        store = SeriesStore(capacity=4)
+        self.feed(store, 0.0, [("hits_total", {"export": "a"}, 10.0),
+                               ("hits_total", {"export": "b"}, 1.0)])
+        self.feed(store, 1.0, [("hits_total", {"export": "a"}, 30.0),
+                               ("hits_total", {"export": "b"}, 4.0)])
+        assert store.latest_sum("hits_total") == 34.0
+        assert store.delta_sum("hits_total") == 23.0
+        assert store.rate_sum("hits_total") == 23.0
+        assert store.latest_sum("nope") is None
+        assert store.delta_sum("nope") is None
+
+    def test_first_present_preference_order(self):
+        store = SeriesStore(capacity=4)
+        self.feed(store, 0.0, [("sim_cache_hit_bytes_total", {}, 1.0)])
+        prefs = ("block_export_cache_hit_bytes_total",
+                 "sim_cache_hit_bytes_total")
+        assert store.first_present(prefs) == "sim_cache_hit_bytes_total"
+        assert store.first_present(("nope",)) is None

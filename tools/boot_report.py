@@ -12,6 +12,11 @@ timeline:
 
     python tools/boot_report.py /tmp/client.jsonl --merge /tmp/node.jsonl
 
+Traces can also be pulled straight off a running node's telemetry
+endpoint (both the positional and --merge inputs accept URLs):
+
+    python tools/boot_report.py http://127.0.0.1:18080/traces
+
 All reconstruction logic lives in :mod:`repro.metrics.boot_report`;
 this is the thin CLI.
 """
@@ -32,9 +37,40 @@ from repro.metrics.boot_report import (  # noqa: E402
 from repro.metrics.tracing import load_trace, validate_trace  # noqa: E402
 
 
+def _load(source: str) -> list[dict]:
+    """Load a trace from a JSONL path or a live ``/traces`` URL.
+
+    A bare ``http://host:port`` is completed to ``/traces``; a URL
+    without an explicit ``?n=`` asks for the node's full retained ring
+    rather than the endpoint's small default tail.
+    """
+    if not source.startswith(("http://", "https://")):
+        return load_trace(source)
+    import tempfile
+    import urllib.request
+    from urllib.parse import urlparse
+
+    parsed = urlparse(source)
+    if parsed.path in ("", "/"):
+        source = source.rstrip("/") + "/traces"
+    if "?" not in source:
+        source += "?n=1000000"
+    with urllib.request.urlopen(source, timeout=10.0) as resp:
+        body = resp.read()
+    with tempfile.NamedTemporaryFile(mode="wb", suffix=".jsonl",
+                                     delete=False) as tmp:
+        tmp.write(body)
+        path = tmp.name
+    try:
+        return load_trace(path)
+    finally:
+        os.unlink(path)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("trace", help="JSONL trace file to report on")
+    parser.add_argument("trace", help="JSONL trace file, or a running "
+                                      "node's http://host:port/traces URL")
     parser.add_argument("--merge", metavar="PEER_TRACE", default=None,
                         help="merge a peer process's trace (e.g. the "
                              "storage node's) into the causal timeline")
@@ -46,8 +82,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        records = load_trace(args.trace)
-        peer_records = (load_trace(args.merge)
+        records = _load(args.trace)
+        peer_records = (_load(args.merge)
                         if args.merge is not None else None)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Live fleet dashboard: top(1) for a cache-serving storage fleet.
+
+Point it at the telemetry endpoints of running nodes (a quickstart
+fleet works: ``python examples/quickstart.py --fleet``):
+
+    python tools/fleet_top.py http://127.0.0.1:9101 http://127.0.0.1:9102
+
+It polls every node's /metrics + /healthz, derives the fleet signals
+(storage offload, cache hit ratio, wire compression, prefetch
+effectiveness, merged read latency), renders sparkline trends, and
+lists pending/firing SLO alerts.  For scripting:
+
+    python tools/fleet_top.py --once --json http://127.0.0.1:9101
+
+emits one poll's snapshot as JSON and exits.  Alert rules use the
+grammar of :mod:`repro.metrics.alerts` and can be stacked:
+
+    --rule 'storage_offload_fraction < 80% for 5' \\
+    --rule 'node:up < 1 for 3 resolve 2'
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.metrics.alerts import RuleError, ThresholdRule  # noqa: E402
+from repro.metrics.fleet import FleetAggregator, HttpTarget  # noqa: E402
+from repro.metrics.fleet_dashboard import (  # noqa: E402
+    SignalHistory,
+    render_dashboard,
+)
+
+DEFAULT_RULES = (
+    "node:up < 1 for 3 resolve 2",
+    "node:unhealthy >= 1 for 3 resolve 2",
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("targets", nargs="+",
+                        help="node telemetry endpoints "
+                             "(http://host:port[/metrics])")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="poll interval seconds (default: "
+                             "%(default)s)")
+    parser.add_argument("--timeout", type=float, default=1.0,
+                        help="per-node scrape timeout (default: "
+                             "%(default)s)")
+    parser.add_argument("--once", action="store_true",
+                        help="poll once, print, exit")
+    parser.add_argument("--polls", type=int, default=0,
+                        help="exit after N polls (0 = run forever)")
+    parser.add_argument("--json", action="store_true",
+                        help="print snapshots as JSON instead of the "
+                             "dashboard")
+    parser.add_argument("--rule", action="append", default=[],
+                        metavar="RULE",
+                        help="SLO rule '[node:]SIGNAL OP NUM [for N] "
+                             "[resolve M]' (repeatable; replaces the "
+                             "defaults)")
+    args = parser.parse_args(argv)
+
+    try:
+        rules = [ThresholdRule.parse(text)
+                 for text in (args.rule or DEFAULT_RULES)]
+    except RuleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    targets = [HttpTarget.from_url(url) for url in args.targets]
+    aggregator = FleetAggregator(
+        targets, interval=args.interval, timeout=args.timeout,
+        rules=rules)
+    history = SignalHistory()
+    polls = 1 if args.once else args.polls
+
+    try:
+        n = 0
+        while True:
+            snapshot = aggregator.poll_once()
+            history.observe(snapshot)
+            if args.json:
+                print(json.dumps(snapshot.as_dict(), sort_keys=True,
+                                 default=str))
+            else:
+                frame = render_dashboard(snapshot, history)
+                if not args.once and sys.stdout.isatty():
+                    print("\x1b[2J\x1b[H", end="")
+                print(frame)
+            n += 1
+            if polls and n >= polls:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        aggregator.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
