@@ -1,0 +1,159 @@
+"""Extension: peer-to-peer cache fill offloads the storage node.
+
+The paper's Figure 11 shows cache hits collapsing the storage node's
+share of deployment traffic; ISSUE 9's peer fill pushes the remaining
+*miss* traffic onto already-warm neighbors.  Two arms:
+
+* **Real fleet**: a storage ``BlockServer``, a peer that warmed its
+  cache from it (manifest built during the warm), and a cold node
+  that fills over the v5 wire protocol with per-cluster digest
+  verification.  The claim is absolute: the fill is byte-perfect and
+  *zero* read requests land on the storage export — offload 1.0 for
+  the whole working set.
+* **Fleet twin**: the discrete-event model at paper scale (64+ nodes)
+  sweeps the node axis with peer fill on and off.  Off, every boot
+  crosses the storage NIC and offload is 0; on, only the cold start
+  of the warm pool touches storage, offload climbs toward 1 with
+  fleet size, and the deployment makespan collapses with it.
+"""
+
+import os
+import shutil
+import tempfile
+import time
+
+from benchmarks.conftest import run_once
+from repro.cluster.peerfill import fill_cache
+from repro.cluster.warmer import checksum_extents, warm_cache
+from repro.imagefmt import RawImage
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.metrics.collectors import ExperimentLog
+from repro.metrics.reporting import shape_check
+from repro.remote import BlockServer
+from repro.sim.peerfill_twin import PeerFillFleetSim
+from repro.units import MiB
+
+
+def _real_fleet_arm(log: ExperimentLog, quick: bool) -> None:
+    size = (8 if quick else 64) * MiB
+    quota = 4 * size
+    base_dir = "/dev/shm" if os.path.isdir("/dev/shm") else None
+    workdir = tempfile.mkdtemp(prefix="repro-p2p-bench-", dir=base_dir)
+    try:
+        base_path = os.path.join(workdir, "base.raw")
+        base = RawImage.create(base_path, size)
+        base.write(0, os.urandom(size))
+        base.close()
+
+        base = RawImage.open(base_path)
+        storage = BlockServer()
+        storage.add_export("vmi", base)
+
+        # Warm the peer from storage, manifest built along the way.
+        peer_cache = os.path.join(workdir, "peer.qcow2")
+        Qcow2Image.create(peer_cache, backing_file=storage.url("vmi"),
+                          cache_quota=quota).close()
+        t0 = time.perf_counter()
+        with Qcow2Image.open(peer_cache, read_only=False) as cache:
+            warm_report = warm_cache(cache, extents=[(0, size)],
+                                     manifest_vmi_id="vmi")
+        storage_warm_s = time.perf_counter() - t0
+
+        peer_img = Qcow2Image.open(peer_cache)
+        peer = BlockServer()
+        peer.add_export("vmi", peer_img,
+                        manifest=warm_report.manifest)
+
+        # The cold node fills from the peer.
+        cold_cache = os.path.join(workdir, "cold.qcow2")
+        Qcow2Image.create(cold_cache, backing_file=storage.url("vmi"),
+                          cache_quota=quota).close()
+        reads_before = storage.export_stats("vmi").read_ops
+        with Qcow2Image.open(cold_cache, read_only=False) as cache:
+            t0 = time.perf_counter()
+            fill = fill_cache(cache, warm_report.manifest,
+                              peers=[peer.url("vmi")])
+            peer_fill_s = time.perf_counter() - t0
+            identical = (checksum_extents(cache, [(0, size)])
+                         == checksum_extents(peer_img, [(0, size)]))
+        storage_reads_during_fill = (
+            storage.export_stats("vmi").read_ops - reads_before)
+
+        peer.close()
+        storage.close()
+        peer_img.close()
+        base.close()
+
+        log.record_scalar("real_size_mb", size // MiB)
+        log.record_scalar("real_offload",
+                          fill.storage_offload_fraction)
+        log.record_scalar("real_verify_failures", fill.verify_failures)
+        log.record_scalar("real_storage_reads_during_fill",
+                          storage_reads_during_fill)
+        log.record_scalar("real_checksum_identical",
+                          1.0 if identical else 0.0)
+        log.record_scalar("real_storage_warm_s", storage_warm_s)
+        log.record_scalar("real_peer_fill_s", peer_fill_s)
+        log.record_scalar(
+            "real_fill_mb_s", fill.bytes_total / MiB / peer_fill_s)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _twin_arm(log: ExperimentLog, quick: bool) -> None:
+    node_axis = [16, 64] if quick else [16, 64, 128, 256]
+    ws = 128 * MiB
+    off_on = log.new_series("twin_offload_peer_fill", unit="fraction")
+    off_off = log.new_series("twin_offload_baseline", unit="fraction")
+    makespan_on = log.new_series("twin_makespan_peer_fill", unit="s")
+    makespan_off = log.new_series("twin_makespan_baseline", unit="s")
+    for n in node_axis:
+        on = PeerFillFleetSim(n_nodes=n, working_set_bytes=ws,
+                              peer_fill=True, stagger=0.5,
+                              verify_failure_rate=0.02).run()
+        base = PeerFillFleetSim(n_nodes=n, working_set_bytes=ws,
+                                peer_fill=False, stagger=0.5).run()
+        off_on.add(n, on.storage_offload_fraction)
+        off_off.add(n, base.storage_offload_fraction)
+        makespan_on.add(n, on.makespan)
+        makespan_off.add(n, base.makespan)
+    log.note(f"twin axis {node_axis} nodes, {ws // MiB} MiB working "
+             f"set, 1 GbE, 0.5 s stagger, 2% injected verify "
+             f"failures on the peer-fill arm")
+
+
+def _run_p2p_offload(quick: bool = False) -> ExperimentLog:
+    log = ExperimentLog(
+        "BENCH_p2p_offload",
+        "Peer-to-peer cache fill: storage offload on a real "
+        "three-node fleet and in the 64+-node fleet twin")
+    _real_fleet_arm(log, quick)
+    _twin_arm(log, quick)
+    return log
+
+
+def test_ext_p2p_offload(benchmark, report, request):
+    quick = request.config.getoption("--quick")
+    log = run_once(benchmark, _run_p2p_offload, quick=quick)
+    report(log, "nodes")
+
+    shape_check(log.scalars["real_checksum_identical"] == 1.0,
+                "the peer-filled cache is byte-identical to the warm "
+                "peer's")
+    shape_check(log.scalars["real_offload"] == 1.0,
+                "the whole real fill came from the peer")
+    shape_check(log.scalars["real_storage_reads_during_fill"] == 0,
+                "not one read landed on the storage export during "
+                "the fill")
+    big = log.get("twin_offload_peer_fill").points[-1]
+    base = log.get("twin_offload_baseline").points[-1]
+    shape_check(
+        base[1] == 0.0 and big[1] > 0.5,
+        f"at {int(big[0])} twin nodes peer fill offloads "
+        f"{big[1]:.0%} of deployment traffic vs 0% baseline")
+    ms_on = log.get("twin_makespan_peer_fill").points[-1][1]
+    ms_off = log.get("twin_makespan_baseline").points[-1][1]
+    shape_check(
+        ms_on < ms_off / 2,
+        f"offloading halves the deployment makespan "
+        f"({ms_on:.1f} s vs {ms_off:.1f} s)")

@@ -11,6 +11,11 @@ paper names as its next step.
 from repro.cluster.cache_manager import CachePool, CacheRegistry
 from repro.cluster.deployment import Deployment, DeploymentResult
 from repro.cluster.middleware import Cloud, VMIDescriptor
+from repro.cluster.peerfill import (
+    PeerFillReport,
+    fill_cache,
+    resolve_peers,
+)
 from repro.cluster.placement import PlacementPlan, plan_chain
 from repro.cluster.prefetch import Prefetcher, PrefetchReport
 from repro.cluster.scheduler import (
@@ -45,4 +50,7 @@ __all__ = [
     "checksum_extents",
     "warm_cache",
     "working_set_extents",
+    "PeerFillReport",
+    "fill_cache",
+    "resolve_peers",
 ]

@@ -23,6 +23,7 @@ class CachePoolStats:
     misses: int = 0
     insertions: int = 0
     evictions: int = 0
+    replacements: int = 0
     rejected_too_big: int = 0
 
     @property
@@ -74,18 +75,27 @@ class CachePool:
     def put(self, vmi_id: str, cache: SimImage) -> list[SimImage]:
         """Insert a cache image, evicting LRU entries to make room.
 
-        Returns the evicted images (the caller owns any cleanup, e.g.
-        freeing simulated memory).  An image bigger than the whole pool
-        is rejected and simply not cached.
+        Returns every image this pool stopped holding — LRU victims
+        *and* a replaced or stale entry for the same ``vmi_id`` (the
+        caller owns any cleanup, e.g. freeing simulated memory).  An
+        image bigger than the whole pool is rejected and not cached;
+        any existing entry for that ``vmi_id`` is dropped too, because
+        the caller is telling us it is outdated and serving it as a
+        future hit would resurrect stale data.
         """
         size = cache.physical_bytes
+        evicted: list[SimImage] = []
         if size > self.capacity_bytes:
             self.stats.rejected_too_big += 1
-            return []
-        evicted: list[SimImage] = []
+            stale = self.remove(vmi_id)
+            if stale is not None:
+                evicted.append(stale)
+            return evicted
         if vmi_id in self._entries:
-            self.used_bytes -= self._entries[vmi_id].physical_bytes
-            del self._entries[vmi_id]
+            replaced = self._entries.pop(vmi_id)
+            self.used_bytes -= replaced.physical_bytes
+            self.stats.replacements += 1
+            evicted.append(replaced)
         while self.used_bytes + size > self.capacity_bytes \
                 and self._entries:
             _victim_id, victim = self._entries.popitem(last=False)

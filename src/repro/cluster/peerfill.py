@@ -1,0 +1,381 @@
+"""Peer-to-peer cache fill: warm a booting node from its neighbors.
+
+The paper's Figure 11 problem: every cache miss in a scale-out
+deployment lands on the one central storage node, so cold boots
+serialize behind its disks.  But after the first wave of boots the
+*cluster itself* holds the working set — every warm compute node has a
+byte-identical cache.  This module lets a cold node fill its cache
+from those peers and touch the storage node only for what no peer can
+serve, turning deployment bandwidth from "one storage node" into "the
+whole rack".
+
+Trust model.  Peers are fast but not authoritative: the booting node
+first obtains the **authoritative manifest** (cluster-index → SHA-256,
+:mod:`repro.imagefmt.manifest`) from the storage node (or a persisted
+warm-up), then verifies every peer-served cluster against it before
+writing a byte.  A slow, stale, or corrupt peer can therefore waste
+one fetch, never poison a cache — the fallback ladder is
+
+1. **local** — a content-addressed :class:`~repro.imagefmt.manifest.
+   ContentIndex` over caches this node already holds (cross-VMI dedup:
+   identical clusters of *different* base images hash identically);
+2. **peer** — clusters the peer's own manifest claims, fetched over
+   the ordinary v5 block protocol and digest-verified;
+3. **storage** — everything else, plus every verify failure, peer
+   timeout, or mid-transfer death, read from the cache's backing
+   exactly like an ordinary warm-up.
+
+A fill therefore **never fails the boot**: with zero usable peers it
+degrades to exactly the storage-node warm-up path.
+
+Peer discovery is a view, not a protocol: :func:`resolve_peers` reads
+a :class:`~repro.metrics.fleet.FleetSnapshot` (every healthy node's
+``/healthz`` already advertises its block address and which exports
+carry manifests) and returns dialable URLs, warmest first.  A static
+peer list works the same — peers are just ``nbd://`` URLs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import QuotaExceededError, RemoteError
+from repro.imagefmt.manifest import ClusterManifest, ContentIndex
+from repro.metrics.registry import get_registry
+from repro.metrics.tracing import TRACER
+from repro.remote import protocol as wire
+from repro.units import MiB
+
+
+def resolve_peers(snapshot, export: str, *,
+                  exclude: "tuple | list | set" = ()) -> list[str]:
+    """Warm-peer URLs for ``export`` from a fleet health view.
+
+    Walks a :class:`~repro.metrics.fleet.FleetSnapshot`'s nodes and
+    keeps every healthy one whose health document advertises a block
+    address and an open export of that name.  Peers whose export
+    carries a manifest sort first (they serve a fill without a lazy
+    server-side scan); ``exclude`` drops the booting node itself.
+    """
+    candidates: list[tuple[int, str]] = []
+    for node in snapshot.nodes.values():
+        if node.name in exclude or node.status != "ok":
+            continue
+        health = node.health or {}
+        addr = health.get("block_address")
+        entry = (health.get("exports") or {}).get(export)
+        if not addr or len(addr) != 2 or not entry:
+            continue
+        if not entry.get("open"):
+            continue
+        rank = 0 if entry.get("manifest") else 1
+        candidates.append((rank, f"nbd://{addr[0]}:{addr[1]}/{export}"))
+    return [url for _rank, url in sorted(candidates)]
+
+
+@dataclass
+class PeerFillReport:
+    """What one :func:`fill_cache` run did, and from where."""
+
+    vmi_id: str = ""
+    clusters_needed: int = 0
+    clusters_from_local: int = 0    # ContentIndex cross-image dedup
+    clusters_from_peer: int = 0
+    clusters_from_storage: int = 0
+    bytes_from_local: int = 0
+    bytes_from_peer: int = 0
+    bytes_from_storage: int = 0
+    verify_failures: int = 0        # peer clusters that failed digests
+    peer_errors: int = 0            # connects/transfers that died
+    peers_used: list[str] = field(default_factory=list)
+    quota_exhausted: bool = False
+    seconds: float = 0.0
+
+    @property
+    def bytes_total(self) -> int:
+        return (self.bytes_from_local + self.bytes_from_peer
+                + self.bytes_from_storage)
+
+    @property
+    def storage_offload_fraction(self) -> float | None:
+        """Fraction of filled bytes that never touched central
+        storage — the per-boot version of the Fig 11 y-axis.  None
+        when the fill moved no bytes."""
+        total = self.bytes_total
+        if not total:
+            return None
+        return 1.0 - self.bytes_from_storage / total
+
+    def summary(self) -> dict:
+        return {
+            "vmi_id": self.vmi_id,
+            "clusters_needed": self.clusters_needed,
+            "clusters_from_local": self.clusters_from_local,
+            "clusters_from_peer": self.clusters_from_peer,
+            "clusters_from_storage": self.clusters_from_storage,
+            "bytes_from_local": self.bytes_from_local,
+            "bytes_from_peer": self.bytes_from_peer,
+            "bytes_from_storage": self.bytes_from_storage,
+            "verify_failures": self.verify_failures,
+            "peer_errors": self.peer_errors,
+            "peers_used": list(self.peers_used),
+            "quota_exhausted": self.quota_exhausted,
+            "storage_offload_fraction": self.storage_offload_fraction,
+            "seconds": self.seconds,
+        }
+
+
+def _count(name: str, amount: float = 1, **labels) -> None:
+    get_registry().counter(name, **labels).inc(amount)
+
+
+class _PeerSession:
+    """One connected peer: its image handle and usable manifest."""
+
+    __slots__ = ("url", "img", "manifest")
+
+    def __init__(self, url, img, manifest) -> None:
+        self.url = url
+        self.img = img
+        self.manifest = manifest
+
+
+def fill_cache(
+    cache,
+    authoritative: ClusterManifest,
+    *,
+    peers: "list[str] | tuple" = (),
+    content_index: ContentIndex | None = None,
+    connect=None,
+    op_timeout: float = 5.0,
+    connect_timeout: float = 2.0,
+    batch_bytes: int = 8 * MiB,
+    flush: bool = True,
+) -> PeerFillReport:
+    """Fill ``cache`` with the clusters of ``authoritative``, cheapest
+    source first.
+
+    ``authoritative`` is the trusted manifest (fetched from the
+    storage node via :meth:`RemoteImage.fetch_manifest`, or loaded
+    from a warm-up's persisted copy).  ``peers`` are candidate
+    ``nbd://`` URLs tried in order; ``content_index`` enables the
+    local cross-image dedup rung.  ``connect`` defaults to
+    :meth:`RemoteImage.connect` (injectable for tests).
+
+    Every failure mode inside the fill — unreachable peer, protocol
+    clamp below v5, digest mismatch, mid-transfer death, a peer whose
+    manifest geometry differs — degrades toward the storage rung; only
+    storage-rung errors (the same errors an ordinary warm-up would
+    hit) propagate.
+    """
+    if connect is None:
+        from repro.remote.client import RemoteImage
+        connect = RemoteImage.connect
+    report = PeerFillReport(vmi_id=authoritative.vmi_id)
+    started = time.perf_counter()
+    _count("peerfill_runs_total")
+
+    needed = _needed_clusters(cache, authoritative)
+    report.clusters_needed = len(needed)
+
+    with TRACER.span("cache.peerfill", path=cache.path,
+                     vmi_id=authoritative.vmi_id) as span:
+        try:
+            if needed and content_index is not None:
+                needed = _fill_from_local(cache, authoritative, needed,
+                                          content_index, report)
+            for url in peers:
+                if not needed:
+                    break
+                session = _open_peer(url, authoritative, connect,
+                                     connect_timeout, op_timeout,
+                                     report)
+                if session is None:
+                    continue
+                try:
+                    needed = _fill_from_peer(cache, authoritative,
+                                             needed, session, report,
+                                             batch_bytes)
+                finally:
+                    try:
+                        session.img.close()
+                    except Exception:
+                        pass
+            if needed:
+                _fill_from_storage(cache, authoritative, needed,
+                                   report, batch_bytes)
+        except QuotaExceededError:
+            runtime = getattr(cache, "cache_runtime", None)
+            if runtime is not None:
+                runtime.cor.record_space_error()
+            report.quota_exhausted = True
+        if flush and not cache.closed:
+            cache.flush()
+        span.attrs.update(report.summary())
+
+    report.seconds = time.perf_counter() - started
+    return report
+
+
+def _needed_clusters(cache, manifest: ClusterManifest) -> list[int]:
+    """Manifested clusters the cache does not already hold."""
+    have: set[int] = set()
+    map_clusters = getattr(cache, "map_clusters", None)
+    if map_clusters is not None:
+        cluster = manifest.cluster_size
+        for off, length, allocated in map_clusters():
+            if not allocated:
+                continue
+            first = off // cluster
+            last = (off + length - 1) // cluster
+            have.update(range(first, last + 1))
+    return sorted(i for i in manifest.digests if i not in have)
+
+
+def _store(cache, manifest: ClusterManifest, index: int,
+           data: bytes) -> int:
+    offset, length = manifest.cluster_extent(index)
+    cache.write(offset, data[:length])
+    return length
+
+
+def _fill_from_local(cache, manifest, needed, index: ContentIndex,
+                     report: PeerFillReport) -> list[int]:
+    """Rung 1: clusters some already-held cache can serve by content."""
+    remaining: list[int] = []
+    for i in needed:
+        data = index.fetch(manifest.digests[i])
+        if data is None:
+            remaining.append(i)
+            continue
+        n = _store(cache, manifest, i, data)
+        report.clusters_from_local += 1
+        report.bytes_from_local += n
+        _count("peerfill_bytes_total", n, source="local")
+        _count("peerfill_clusters_total", source="local")
+    return remaining
+
+
+def _open_peer(url: str, authoritative: ClusterManifest, connect,
+               connect_timeout: float, op_timeout: float,
+               report: PeerFillReport) -> _PeerSession | None:
+    """Dial one peer and vet its manifest; None when unusable.
+
+    Unusable covers: unreachable, clamped below v5 (no manifest
+    support), manifest geometry mismatch.  All are silent downgrades —
+    the ladder just moves on.
+    """
+    try:
+        img = connect(url, read_only=True,
+                      timeout=connect_timeout, op_timeout=op_timeout,
+                      max_retries=0)
+    except (RemoteError, wire.ProtocolError, OSError):
+        report.peer_errors += 1
+        _count("peerfill_peer_errors_total")
+        return None
+    try:
+        manifest = img.fetch_manifest()
+    except wire.ProtocolError:
+        # Pre-v5 peer: cannot prove what it holds, so it cannot be a
+        # fill source (asking blind would bounce its misses off the
+        # storage node — the exact traffic this exists to avoid).
+        img.close()
+        return None
+    except (RemoteError, wire.RemoteOpError, OSError):
+        report.peer_errors += 1
+        _count("peerfill_peer_errors_total")
+        img.close()
+        return None
+    if (manifest.cluster_size != authoritative.cluster_size
+            or manifest.size != authoritative.size):
+        img.close()
+        return None
+    return _PeerSession(url, img, manifest)
+
+
+def _batch_extents(manifest: ClusterManifest, clusters: list[int],
+                   batch_bytes: int):
+    """Yield lists of (cluster, offset, length) bounded by
+    ``batch_bytes``, contiguous runs merged by read_batch anyway."""
+    batch: list[tuple[int, int, int]] = []
+    load = 0
+    for i in clusters:
+        offset, length = manifest.cluster_extent(i)
+        batch.append((i, offset, length))
+        load += length
+        if load >= batch_bytes:
+            yield batch
+            batch, load = [], 0
+    if batch:
+        yield batch
+
+
+def _fill_from_peer(cache, authoritative, needed, session: _PeerSession,
+                    report: PeerFillReport,
+                    batch_bytes: int) -> list[int]:
+    """Rung 2: digest-verified clusters from one warm peer.
+
+    Only clusters the peer's manifest claims *with the authoritative
+    digest* are requested — asking for anything else would be served
+    by the peer's own backing chain, i.e. bounced off central storage.
+    A transport failure abandons the peer mid-transfer; everything not
+    yet verified stays needed.
+    """
+    digests = authoritative.digests
+    askable = [i for i in needed
+               if session.manifest.digests.get(i) == digests[i]]
+    if not askable:
+        return needed
+    filled: set[int] = set()
+    report.peers_used.append(session.url)
+    try:
+        for batch in _batch_extents(authoritative, askable,
+                                    batch_bytes):
+            blobs = session.img.read_batch(
+                [(off, ln) for _i, off, ln in batch])
+            for (i, _off, ln), data in zip(batch, blobs):
+                if not authoritative.verify_cluster(i, data):
+                    report.verify_failures += 1
+                    _count("peerfill_verify_failures_total")
+                    continue
+                _store(cache, authoritative, i, data)
+                filled.add(i)
+                report.clusters_from_peer += 1
+                report.bytes_from_peer += ln
+                _count("peerfill_bytes_total", ln, source="peer")
+                _count("peerfill_clusters_total", source="peer")
+    except (RemoteError, wire.RemoteOpError, wire.ProtocolError,
+            OSError):
+        report.peer_errors += 1
+        _count("peerfill_peer_errors_total")
+    return [i for i in needed if i not in filled]
+
+
+def _fill_from_storage(cache, authoritative, needed,
+                       report: PeerFillReport,
+                       batch_bytes: int) -> None:
+    """Rung 3: the cache's backing — the ordinary warm-up datapath.
+
+    Storage is the trust root, so its bytes are written unverified;
+    errors here are real boot errors and propagate.
+    """
+    backing = cache.backing
+    if backing is None:
+        raise ValueError(
+            f"{cache.path}: {len(needed)} clusters have no peer "
+            f"source and the cache has no backing to fall back to")
+    for batch in _batch_extents(authoritative, needed, batch_bytes):
+        reqs = [(off, min(ln, max(0, backing.size - off)))
+                for _i, off, ln in batch]
+        blobs = backing.read_batch([r for r in reqs if r[1] > 0])
+        it = iter(blobs)
+        for (i, off, ln), (_o, req_ln) in zip(batch, reqs):
+            data = next(it) if req_ln > 0 else b""
+            if len(data) < ln:
+                data += b"\0" * (ln - len(data))
+            _store(cache, authoritative, i, data)
+            report.clusters_from_storage += 1
+            report.bytes_from_storage += ln
+            _count("peerfill_bytes_total", ln, source="storage")
+            _count("peerfill_clusters_total", source="storage")

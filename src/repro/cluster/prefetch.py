@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from repro.bootmodel.prefetch import PrefetchPlan
 from repro.errors import QuotaExceededError
 from repro.imagefmt.driver import BlockDriver, RangeSet
+from repro.imagefmt.manifest import ClusterManifest
 from repro.metrics.registry import get_registry
 from repro.metrics.tracing import TRACER
 from repro.units import KiB
@@ -79,6 +80,10 @@ class PrefetchReport:
     seconds: float = 0.0
     quota_exhausted: bool = False
     stopped_early: bool = False
+    verify_failures: int = 0
+    """Peer-sourced clusters that failed manifest verification and
+    were refetched from the trusted backing (``verify=``)."""
+
     hit_bytes: int = 0
     """Prefetched bytes the demand stream actually read (filled in by
     :meth:`Prefetcher.account`)."""
@@ -95,6 +100,14 @@ class Prefetcher:
     cache's own backing is used — correct, but then prefetch and
     demand share one wire window.  ``lock`` serializes cache access
     against the demand path; pass the same lock to the replayer.
+
+    ``verify=`` turns an *untrusted* source — a warm peer instead of
+    the storage node — into a safe one: every fetched cluster is
+    checked against the authoritative manifest, and a mismatch is
+    silently refetched from the trusted backing (counted in
+    ``report.verify_failures`` and ``peerfill_verify_failures_total``).
+    This is the prefetch face of :mod:`repro.cluster.peerfill`'s
+    trust model.
     """
 
     def __init__(
@@ -107,6 +120,7 @@ class Prefetcher:
         chunk_bytes: int = 256 * KiB,
         backoff_seconds: float = 0.002,
         lock: threading.Lock | None = None,
+        verify: ClusterManifest | None = None,
     ) -> None:
         if cache.backing is None and source is None:
             raise ValueError(
@@ -122,6 +136,11 @@ class Prefetcher:
         self.source = source if source is not None else cache.backing
         if source is not None and source.trace_role is None:
             source.trace_role = "prefetch"
+        if verify is not None and cache.backing is None:
+            raise ValueError(
+                f"{cache.path}: verify= needs a trusted backing to "
+                f"refetch mismatched clusters from")
+        self.verify = verify
         self.depth = depth
         self.chunk_bytes = chunk_bytes
         self.backoff_seconds = backoff_seconds
@@ -225,6 +244,8 @@ class Prefetcher:
         for (off, ln), blob in zip(batch, blobs):
             if len(blob) < ln:
                 blob += b"\0" * (ln - len(blob))
+            if self.verify is not None:
+                blob = self._verified(off, blob)
             with self.lock:
                 try:
                     self.cache.write(off, blob)
@@ -241,6 +262,40 @@ class Prefetcher:
             self.report.chunks_fetched += 1
             self.report.bytes_fetched += ln
         return True
+
+    def _verified(self, offset: int, blob: bytes) -> bytes:
+        """Replace peer clusters that fail their digest with trusted
+        backing bytes.
+
+        Only whole manifested clusters inside the chunk can be judged;
+        unmanifested clusters and partial coverage at the chunk edges
+        pass through unchanged (a peer serves zeros there, exactly
+        like an unpopulated cache).
+        """
+        manifest = self.verify
+        cluster = manifest.cluster_size
+        backing = self.cache.backing
+        patched: bytearray | None = None
+        pos = (cluster - offset % cluster) % cluster  # next boundary
+        while pos < len(blob):
+            index = (offset + pos) // cluster
+            c_off, c_len = manifest.cluster_extent(index)
+            if pos + c_len > len(blob):
+                break  # partial tail coverage: cannot judge
+            piece = blob[pos:pos + c_len]
+            if index in manifest \
+                    and not manifest.verify_cluster(index, piece):
+                self.report.verify_failures += 1
+                get_registry().counter(
+                    "peerfill_verify_failures_total").inc()
+                good = backing.read(
+                    c_off, max(0, min(c_len, backing.size - c_off)))
+                good += b"\0" * (c_len - len(good))
+                if patched is None:
+                    patched = bytearray(blob)
+                patched[pos:pos + c_len] = good
+            pos += c_len
+        return bytes(patched) if patched is not None else blob
 
     # -- effectiveness ------------------------------------------------
 

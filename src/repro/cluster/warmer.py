@@ -32,6 +32,11 @@ from dataclasses import dataclass
 from repro.bootmodel.trace import BootTrace
 from repro.errors import QuotaExceededError
 from repro.imagefmt.driver import BlockDriver, RangeSet
+from repro.imagefmt.manifest import (
+    DEFAULT_CLUSTER_SIZE,
+    ClusterManifest,
+    ManifestBuilder,
+)
 from repro.metrics.registry import get_registry
 from repro.metrics.tracing import TRACER
 from repro.units import MiB, align_down, align_up
@@ -83,6 +88,7 @@ class WarmReport:
     seconds: float = 0.0
     quota_exhausted: bool = False
     fsync_ops: int = 0        # durability barriers the final flush cost
+    manifest: ClusterManifest | None = None  # when manifest_vmi_id set
 
 
 def warm_cache(
@@ -92,6 +98,8 @@ def warm_cache(
     extents: list[tuple[int, int]] | None = None,
     batch_bytes: int = 8 * MiB,
     flush: bool = True,
+    manifest_vmi_id: str | None = None,
+    save_manifest: bool = True,
 ) -> WarmReport:
     """Populate ``cache`` with its backing's working-set bytes.
 
@@ -103,6 +111,15 @@ def warm_cache(
     cache.  A quota exhaustion stops the warm-up, disables further
     copy-on-read exactly as the inline CoR path does, and is reported
     rather than raised.
+
+    ``manifest_vmi_id`` additionally builds a cluster-hash manifest
+    *while* warming — the bytes are already in hand, so the digests
+    cost one SHA-256 pass and zero extra reads.  It lands on
+    ``WarmReport.manifest`` and (``save_manifest``, the default) is
+    persisted next to the cache image, ready to be attached to a
+    block-server export for peer-to-peer fill.  Manifest building
+    requires cluster-aligned extents (trace-derived working sets are;
+    explicit ``extents`` must be aligned by the caller).
     """
     backing = cache.backing
     if backing is None:
@@ -112,6 +129,11 @@ def warm_cache(
     if extents is None:
         align = getattr(cache, "cluster_size", 1)
         extents = working_set_extents(trace, size=cache.size, align=align)
+    builder = None
+    if manifest_vmi_id is not None:
+        builder = ManifestBuilder(
+            manifest_vmi_id, cache.size,
+            getattr(cache, "cluster_size", DEFAULT_CLUSTER_SIZE))
 
     report = WarmReport(extents=len(extents))
     started = time.perf_counter()
@@ -148,6 +170,8 @@ def warm_cache(
                 report.quota_exhausted = True
                 return False
             report.bytes_written += ln
+            if builder is not None:
+                builder.add_extent(off, blob)
         batch = []
         batch_load = 0
         return True
@@ -169,6 +193,10 @@ def warm_cache(
             fsyncs_before = cache.stats.fsync_ops
             cache.flush()
             report.fsync_ops = cache.stats.fsync_ops - fsyncs_before
+        if builder is not None:
+            report.manifest = builder.build()
+            if save_manifest:
+                report.manifest.save(cache_path=cache.path)
         span.attrs.update(
             extents=report.extents, batches=report.batches,
             bytes_requested=report.bytes_requested,

@@ -24,6 +24,12 @@ from repro.imagefmt.chain import (
     open_chain,
 )
 from repro.imagefmt.driver import open_image
+from repro.imagefmt.manifest import (
+    ClusterManifest,
+    ContentIndex,
+    ManifestBuilder,
+    build_manifest,
+)
 from repro.imagefmt.qcow2 import Qcow2Image
 from repro.imagefmt.raw import RawImage
 
@@ -34,4 +40,8 @@ __all__ = [
     "create_cow_chain",
     "create_cache_chain",
     "open_chain",
+    "ClusterManifest",
+    "ManifestBuilder",
+    "ContentIndex",
+    "build_manifest",
 ]

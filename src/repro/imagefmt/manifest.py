@@ -1,0 +1,338 @@
+"""Cluster-hash manifests: content addresses for cache images (§8,
+DESIGN.md §14).
+
+A manifest names every populated cluster of a cache image by the
+SHA-256 of its content.  It is the unit of trust for peer-to-peer
+cache fill: a booting node fetches clusters from whichever warm peer
+answers fastest, then verifies each cluster against the *authoritative*
+manifest (the storage node's, computed from the base image the caches
+were warmed from) before storing it.  A peer can therefore be slow,
+stale, or actively corrupt without ever poisoning a cache — the worst
+it can do is waste one fetch, which falls back to the storage node.
+
+Digests are computed incrementally while the warmer populates the
+cache (:class:`ManifestBuilder` — the bytes are already in hand, so
+manifesting a warm-up costs one SHA-256 pass and zero extra reads) or
+by scanning an existing image (:func:`build_manifest`, which walks
+``map_clusters()`` on formats that know their allocation and falls
+back to a whole-image walk on raw files).
+
+The manifest also powers cross-image dedup (:class:`ContentIndex`):
+clusters shared between *different* base images — the §7.3 "VMIs
+created from the same operating system distribution share content"
+observation — hash identically, so a node warming CentOS-7.2 can lift
+clusters straight out of its local CentOS-7.1 cache instead of touching
+the network at all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.units import is_power_of_two
+
+#: Format tag embedded in every serialized manifest; bump on layout
+#: change so old documents are rejected loudly, not misparsed.
+MANIFEST_FORMAT = "repro-cluster-manifest/1"
+
+#: Cluster granularity used when the image format does not dictate one
+#: (raw caches); matches the qcow2 default cluster size.
+DEFAULT_CLUSTER_SIZE = 64 * 1024
+
+#: Suffix for a manifest persisted alongside its cache image.
+MANIFEST_SUFFIX = ".manifest.json"
+
+
+class ManifestError(ValueError):
+    """Malformed, mismatched, or undecodable manifest document."""
+
+
+def manifest_path(cache_path: str) -> str:
+    """Where a cache image's manifest lives on disk."""
+    return cache_path + MANIFEST_SUFFIX
+
+
+def cluster_digest(data) -> str:
+    """The content address of one cluster's bytes (hex SHA-256)."""
+    return hashlib.sha256(bytes(data) if not isinstance(data, bytes)
+                          else data).hexdigest()
+
+
+@dataclass(frozen=True)
+class ClusterManifest:
+    """Immutable content map of one cache image.
+
+    ``digests`` maps cluster index -> hex SHA-256 of that cluster's
+    bytes.  Only *populated* clusters appear; a sparse cache manifests
+    exactly what it can serve.  The final cluster of a non-aligned
+    image is digested over its partial length — the same bytes any
+    verifier will read.
+    """
+
+    vmi_id: str
+    size: int               # virtual image size in bytes
+    cluster_size: int
+    digests: dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.cluster_size):
+            raise ManifestError(
+                f"cluster size must be a power of two, "
+                f"got {self.cluster_size}")
+        if self.size < 0:
+            raise ManifestError(f"negative image size {self.size}")
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def n_clusters(self) -> int:
+        """Clusters the virtual image spans (populated or not)."""
+        return -(-self.size // self.cluster_size) if self.size else 0
+
+    def cluster_extent(self, index: int) -> tuple[int, int]:
+        """(offset, length) of one cluster, tail-clipped to the image."""
+        offset = index * self.cluster_size
+        return offset, min(self.cluster_size, self.size - offset)
+
+    def __len__(self) -> int:
+        return len(self.digests)
+
+    def __contains__(self, index: int) -> bool:
+        return index in self.digests
+
+    @property
+    def populated_bytes(self) -> int:
+        return sum(self.cluster_extent(i)[1] for i in self.digests)
+
+    # -- verification -----------------------------------------------------
+
+    def verify_cluster(self, index: int, data) -> bool:
+        """Does ``data`` match the manifested digest of cluster
+        ``index``?  Unknown clusters verify False (absence is not
+        trust)."""
+        expected = self.digests.get(index)
+        return (expected is not None
+                and cluster_digest(data) == expected)
+
+    def missing_in(self, other: "ClusterManifest") -> list[int]:
+        """Clusters this manifest has that ``other`` lacks *or holds
+        with different content* — what a fill from ``other``'s image
+        could not satisfy."""
+        return sorted(i for i, d in self.digests.items()
+                      if other.digests.get(i) != d)
+
+    def common_with(self, other: "ClusterManifest") -> list[int]:
+        """Clusters identical in both manifests (same index, same
+        content)."""
+        return sorted(i for i, d in self.digests.items()
+                      if other.digests.get(i) == d)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        doc = {
+            "format": MANIFEST_FORMAT,
+            "vmi_id": self.vmi_id,
+            "size": self.size,
+            "cluster_size": self.cluster_size,
+            "digests": {str(i): d
+                        for i, d in sorted(self.digests.items())},
+        }
+        return json.dumps(doc, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, blob) -> "ClusterManifest":
+        try:
+            doc = json.loads(bytes(blob).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ManifestError(f"undecodable manifest: {exc}") from exc
+        if not isinstance(doc, dict) \
+                or doc.get("format") != MANIFEST_FORMAT:
+            raise ManifestError(
+                f"not a {MANIFEST_FORMAT} document")
+        try:
+            digests = {int(i): str(d)
+                       for i, d in doc["digests"].items()}
+            manifest = cls(vmi_id=str(doc["vmi_id"]),
+                           size=int(doc["size"]),
+                           cluster_size=int(doc["cluster_size"]),
+                           digests=digests)
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ManifestError(f"malformed manifest: {exc}") from exc
+        for i in digests:
+            if not 0 <= i < manifest.n_clusters:
+                raise ManifestError(
+                    f"cluster index {i} outside a "
+                    f"{manifest.n_clusters}-cluster image")
+        return manifest
+
+    @property
+    def content_id(self) -> str:
+        """Hex SHA-256 of the canonical serialization — one identity
+        for the whole manifest (two nodes holding identical cache
+        content agree on it byte-for-byte)."""
+        return hashlib.sha256(self.to_bytes()).hexdigest()
+
+    def save(self, path: str | None = None, *,
+             cache_path: str | None = None) -> str:
+        """Persist next to the cache image (or at an explicit path)."""
+        if (path is None) == (cache_path is None):
+            raise ValueError("pass exactly one of path= or cache_path=")
+        if path is None:
+            path = manifest_path(cache_path)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            fh.write(self.to_bytes())
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "ClusterManifest":
+        with open(path, "rb") as fh:
+            return cls.from_bytes(fh.read())
+
+
+class ManifestBuilder:
+    """Accumulates cluster digests while a cache is being populated.
+
+    The warmer (and any other populator holding cluster-aligned bytes)
+    feeds every extent it writes through :meth:`add_extent`; the
+    digests ride along for free — no second read pass over the cache.
+    Re-adding a cluster simply replaces its digest (last write wins,
+    matching the image).
+    """
+
+    def __init__(self, vmi_id: str, size: int,
+                 cluster_size: int = DEFAULT_CLUSTER_SIZE) -> None:
+        if not is_power_of_two(cluster_size):
+            raise ManifestError(
+                f"cluster size must be a power of two, "
+                f"got {cluster_size}")
+        self.vmi_id = vmi_id
+        self.size = size
+        self.cluster_size = cluster_size
+        self._digests: dict[int, str] = {}
+
+    def add_extent(self, offset: int, data) -> int:
+        """Digest one written extent; returns clusters manifested.
+
+        ``offset`` must be cluster-aligned and the data must cover
+        whole clusters (the tail of the image may be partial) — the
+        warmer's working-set extents are aligned exactly so.
+        """
+        if offset % self.cluster_size:
+            raise ManifestError(
+                f"extent offset {offset} not cluster-aligned")
+        view = memoryview(data) if not isinstance(data, memoryview) \
+            else data
+        end = offset + len(view)
+        if end > self.size:
+            raise ManifestError(
+                f"extent [{offset}, {end}) beyond image size "
+                f"{self.size}")
+        if end % self.cluster_size and end != self.size:
+            raise ManifestError(
+                f"extent end {end} neither cluster-aligned nor the "
+                f"image tail")
+        added = 0
+        pos = 0
+        while pos < len(view):
+            n = min(self.cluster_size, len(view) - pos)
+            index = (offset + pos) // self.cluster_size
+            self._digests[index] = cluster_digest(view[pos:pos + n])
+            added += 1
+            pos += n
+        return added
+
+    def __len__(self) -> int:
+        return len(self._digests)
+
+    def build(self) -> ClusterManifest:
+        return ClusterManifest(
+            vmi_id=self.vmi_id, size=self.size,
+            cluster_size=self.cluster_size,
+            digests=dict(self._digests))
+
+
+def build_manifest(image, *, vmi_id: str,
+                   cluster_size: int | None = None) -> ClusterManifest:
+    """Scan an existing image into a manifest.
+
+    Formats that know their allocation (``map_clusters()`` — qcow2
+    caches) manifest exactly their *allocated* clusters: what this
+    image can serve without reading through its backing chain.  Plain
+    files (raw bases on the storage node) manifest every cluster.
+    ``cluster_size`` defaults to the image's own, falling back to
+    :data:`DEFAULT_CLUSTER_SIZE`.
+    """
+    if cluster_size is None:
+        cluster_size = getattr(image, "cluster_size",
+                               DEFAULT_CLUSTER_SIZE)
+    builder = ManifestBuilder(vmi_id, image.size, cluster_size)
+    map_clusters = getattr(image, "map_clusters", None)
+    if map_clusters is not None:
+        extents = [(off, ln) for off, ln, allocated in map_clusters()
+                   if allocated]
+    else:
+        extents = [(0, image.size)] if image.size else []
+    for offset, length in extents:
+        pos = offset
+        end = offset + length
+        while pos < end:
+            n = min(cluster_size - pos % cluster_size, end - pos)
+            start = pos - pos % cluster_size
+            # Always digest the full covering cluster so scan-built
+            # and build-time manifests agree on unaligned extents.
+            span = min(cluster_size, image.size - start)
+            builder.add_extent(start, image.read(start, span))
+            pos = start + span
+    return builder.build()
+
+
+class ContentIndex:
+    """Content-addressed lookup over the manifests of *local* caches.
+
+    The cross-image dedup half of peer fill: before going to any
+    network source, the filler asks the index whether a needed
+    cluster's digest already exists in some cache this node holds —
+    for *any* VMI — and copies it locally on a hit.  Readers are
+    registered per manifest so the index can hand back the bytes, not
+    just the location.
+    """
+
+    def __init__(self) -> None:
+        #: digest -> list of (manifest, reader, cluster index)
+        self._by_digest: dict[str, list] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def add_manifest(self, manifest: ClusterManifest, reader) -> None:
+        """Index one local cache.  ``reader(offset, length) -> bytes``
+        reads that cache's populated clusters."""
+        for index, digest in manifest.digests.items():
+            self._by_digest.setdefault(digest, []).append(
+                (manifest, reader, index))
+
+    def __len__(self) -> int:
+        return len(self._by_digest)
+
+    def fetch(self, digest: str) -> bytes | None:
+        """Bytes of a cluster with this content, from any indexed
+        cache; None when no local cache holds it.  The returned bytes
+        are re-verified against the digest (the indexed cache may have
+        changed since indexing) — a mismatch just misses."""
+        for manifest, reader, index in self._by_digest.get(digest, ()):
+            offset, length = manifest.cluster_extent(index)
+            try:
+                data = reader(offset, length)
+            except Exception:
+                continue
+            if cluster_digest(data) == digest:
+                self.hits += 1
+                return data
+        self.misses += 1
+        return None

@@ -98,7 +98,7 @@ SIGNAL_DOC: dict[str, str] = {
     "storage_offload_fraction":
         "fraction of demand reads NOT served by central storage "
         "(Fig 2/11); 1 - storage_served/demand when demand counters "
-        "exist (sim twin), else the cache hit ratio",
+        "exist, None (no data) while the fleet has seen no demand",
     "wire_compression_ratio":
         "raw bytes / compressed bytes over compressed wire frames",
     "prefetch_hit_ratio":
@@ -572,7 +572,11 @@ def compute_signals(snapshot: FleetSnapshot) -> dict[str, float | None]:
         signals["storage_offload_fraction"] = max(
             0.0, 1.0 - served / demand)
     else:
-        signals["storage_offload_fraction"] = signals["cache_hit_ratio"]
+        # No demand traffic means the quantity is *unknown*, not some
+        # proxy: an idle fleet must read as no-data, never as a
+        # confident offload number (dashboards render None as n/a and
+        # alert rules freeze on it).
+        signals["storage_offload_fraction"] = None
 
     raw = snapshot.fleet_latest(WIRE_RAW_FAMILIES)
     comp = snapshot.fleet_latest(WIRE_COMP_FAMILIES)

@@ -278,9 +278,10 @@ class RemoteImage(BlockDriver):
 
         ``protocol`` pins the wire protocol version (1 = lock-step,
         2 = pipelined, 3 = pipelined + trace context, 4 = pipelined +
-        compression); the default negotiates v4, transparently accepts
-        an older server's v3/v2 answer, and falls back to v1 against a
-        pre-v2 server.  ``depth`` bounds how many tagged requests a
+        compression, 5 = v4 + cluster manifests); the default
+        negotiates v5, transparently accepts an older server's
+        v4/v3/v2 answer, and falls back to v1 against a pre-v2
+        server.  ``depth`` bounds how many tagged requests a
         v2+ connection keeps in flight; large guest I/O is split into
         ``chunk_size`` requests that fill that window.
 
@@ -294,7 +295,8 @@ class RemoteImage(BlockDriver):
         if protocol is not None and protocol not in (wire.VERSION_1,
                                                      wire.VERSION_2,
                                                      wire.VERSION_3,
-                                                     wire.VERSION_4):
+                                                     wire.VERSION_4,
+                                                     wire.VERSION_5):
             raise ValueError(f"unsupported protocol version {protocol}")
         if depth < 1:
             raise ValueError(f"depth must be >= 1, got {depth}")
@@ -858,6 +860,27 @@ class RemoteImage(BlockDriver):
                         path=self.path, offset=offset, length=length)
             out.append(data)
         return out
+
+    def fetch_manifest(self):
+        """Fetch the export's cluster-hash manifest (protocol v5+).
+
+        Returns a :class:`~repro.imagefmt.manifest.ClusterManifest`;
+        the server builds one lazily (scanning the export) if none was
+        attached.  Raises :class:`~repro.remote.protocol.ProtocolError`
+        when this connection negotiated below v5 — callers that can
+        live without a manifest (peer fill probing an old peer) catch
+        it and fall back to plain reads.
+        """
+        self._check_open()
+        if self._version < wire.VERSION_5:
+            raise wire.ProtocolError(
+                f"manifest requires protocol v5; this connection "
+                f"negotiated v{self._version}")
+        from repro.imagefmt.manifest import ClusterManifest
+        blob = self._exchange(
+            [wire.Request(wire.REQ_MANIFEST, 0, 0,
+                          trace_ctx=self._trace_ctx())])[0]
+        return ClusterManifest.from_bytes(blob)
 
     def image_info(self) -> dict:
         info = super().image_info()

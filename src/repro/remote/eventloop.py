@@ -499,6 +499,14 @@ class EventLoopEngine:
         if action == ACTION_ERROR:
             self._queue_response(conn, conn.tag, b"", "injected fault")
             return
+        if req.req_type == wire.REQ_MANIFEST \
+                and conn.version < wire.VERSION_5:
+            # v5 capability on an older negotiation: a per-request
+            # error (stream stays intact), same contract as the
+            # threaded engine.
+            self._queue_response(conn, conn.tag, b"",
+                                 "manifest requires protocol v5")
+            return
         delay = fault.delay_seconds if action == ACTION_DELAY else 0.0
         self._jobs_outstanding += 1
         self._jobs.put((conn, conn.tag, req, delay))

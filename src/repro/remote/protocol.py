@@ -91,9 +91,31 @@ is numerically large the min clamps to the old server's own ceiling,
 exactly like a plain v4 advertisement.  An old client never sees the
 flag because the server only echoes what was requested.
 
+Version 5 — pipelined with cluster-manifest requests (DESIGN.md §14)::
+
+    C: u32 magic2 | u8 version=5|COMPRESS? | u16 name_len | name bytes
+    S: u32 magic2 | u8 status | u8 version=5|COMPRESS? | u64 size
+
+    frames identical to v4, plus one new request type MANIFEST (5).
+
+v5 changes no struct layouts either — a v5 frame *is* a v4 frame.
+What v5 adds is one request type: ``REQ_MANIFEST`` asks the server for
+the export's cluster-hash manifest (:mod:`repro.imagefmt.manifest`),
+returned as the response payload (a serialized manifest document; the
+request's ``offset``/``length`` are zero).  The manifest is what a
+peer-to-peer cache fill verifies fetched clusters against, so it is
+only meaningful on peers that can produce it — a server that
+negotiated below v5 answers a MANIFEST request with a per-request
+error (``STATUS_ERROR``), never a broken stream, and the negotiation
+itself follows the same ``min(advertised, max)`` clamp as v2-v4: a v5
+client against a v4 server transparently runs v4 and simply cannot ask
+for manifests (the peer-fill client then falls back to the storage
+node).
+
 Types: READ (server returns ``length`` payload bytes), WRITE (client
-sends payload; server returns empty), FLUSH, DISCONNECT.  All integers
-are big-endian.  Errors carry a UTF-8 message as payload.
+sends payload; server returns empty), FLUSH, DISCONNECT, MANIFEST
+(v5+; server returns the export's cluster-hash manifest).  All
+integers are big-endian.  Errors carry a UTF-8 message as payload.
 """
 
 from __future__ import annotations
@@ -110,10 +132,11 @@ VERSION_1 = 1
 VERSION_2 = 2
 VERSION_3 = 3
 VERSION_4 = 4
+VERSION_5 = 5
 
 #: Highest version this module implements (what a server answers to a
 #: future client advertising more).
-MAX_VERSION = VERSION_4
+MAX_VERSION = VERSION_5
 
 #: High bit of the hello version byte: compression requested (client)
 #: or granted (server).  Also the per-frame compressed-payload marker
@@ -132,6 +155,7 @@ REQ_READ = 1
 REQ_WRITE = 2
 REQ_FLUSH = 3
 REQ_DISCONNECT = 4
+REQ_MANIFEST = 5  # v5+: fetch the export's cluster-hash manifest
 
 STATUS_OK = 0
 STATUS_ERROR = 1
@@ -283,7 +307,7 @@ def recv_handshake_response(sock: socket.socket) -> int:
 def send_handshake_request_v2(sock: socket.socket, export: str, *,
                               version: int = VERSION_2,
                               compress: bool = False) -> None:
-    """Send the v2-framed hello, advertising ``version`` (2..4).
+    """Send the v2-framed hello, advertising ``version`` (2..5).
 
     ``compress=True`` sets :data:`COMPRESS_FLAG` on the version byte —
     only meaningful when advertising v4+ (an old server min-clamps the

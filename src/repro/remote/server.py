@@ -106,6 +106,7 @@ class ExportStats:
     bytes_read: int = 0
     write_ops: int = 0
     bytes_written: int = 0
+    manifest_ops: int = 0  # v5 cluster-manifest requests served
     errors: int = 0
     wire_bytes_sent: int = 0      # response frames + payloads
     wire_bytes_received: int = 0  # request frames + payloads
@@ -141,6 +142,7 @@ class ExportStats:
                 "bytes_read": self.bytes_read,
                 "write_ops": self.write_ops,
                 "bytes_written": self.bytes_written,
+                "manifest_ops": self.manifest_ops,
                 "errors": self.errors,
                 "wire_bytes_sent": self.wire_bytes_sent,
                 "wire_bytes_received": self.wire_bytes_received,
@@ -168,6 +170,14 @@ class _Export:
     last_error: str | None = None  # guarded by stats_lock
     collector: object | None = None  # registry handle, removed on close
     owned: bool = False  # server opened the driver and closes it too
+    #: Cluster-hash manifest served to v5 MANIFEST requests: attached
+    #: by the warmer (set_manifest) or built lazily on first request.
+    #: The serialized blob is cached beside it; both fields are guarded
+    #: by ``manifest_lock`` and dropped whenever a write lands.
+    manifest: object | None = None
+    manifest_blob: bytes | None = None
+    manifest_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False)
 
     @property
     def stats_lock(self) -> threading.Lock:
@@ -249,6 +259,8 @@ def _register_export_collector(name: str, export: _Export,
                  float(s.write_ops)),
                 ("block_export_bytes_written_total", labels,
                  float(s.bytes_written)),
+                ("block_export_manifest_requests_total", labels,
+                 float(s.manifest_ops)),
                 ("block_export_errors_total", labels, float(s.errors)),
                 ("block_export_wire_bytes_sent_total", labels,
                  float(s.wire_bytes_sent)),
@@ -317,7 +329,8 @@ class BlockServer:
         never ask.  ``False`` refuses every compression request
         (connections still negotiate v4, just uncompressed)."""
         if max_protocol not in (wire.VERSION_1, wire.VERSION_2,
-                                wire.VERSION_3, wire.VERSION_4):
+                                wire.VERSION_3, wire.VERSION_4,
+                                wire.VERSION_5):
             raise ValueError(
                 f"unsupported max_protocol {max_protocol}")
         if compression is not False and compression is not True \
@@ -380,7 +393,8 @@ class BlockServer:
     # -- exports -----------------------------------------------------------
 
     def add_export(self, name: str, driver: BlockDriver,
-                   *, writable: bool = False) -> None:
+                   *, writable: bool = False,
+                   manifest=None) -> None:
         """Register an open driver under an export name.
 
         The server takes ownership for serving purposes only; the
@@ -393,11 +407,20 @@ class BlockServer:
         unique-reads measurement) is likewise serialized: RangeSet
         mutation is not thread-safe.  Enable tracking *before*
         registering the export; the decision is not revisited.
+
+        ``manifest`` attaches a
+        :class:`~repro.imagefmt.manifest.ClusterManifest` to serve to
+        v5 MANIFEST requests (a warmer that just populated the image
+        has it in hand); without one the first MANIFEST request builds
+        it by scanning the image.  Either way a write to the export
+        drops the cached manifest — it is rebuilt from the image on
+        the next request, never served stale.
         """
         parallel = (self._parallel_reads
                     and driver.supports_concurrent_reads
                     and not _chain_range_tracked(driver))
-        export = _Export(name, driver, writable, parallel)
+        export = _Export(name, driver, writable, parallel,
+                         manifest=manifest)
         # Registration mutates the export dict while the telemetry
         # thread may be scraping health(); both sides go through
         # _state_lock so a scrape never sees the dict mid-mutation.
@@ -448,6 +471,13 @@ class BlockServer:
         self._exports[name].owned = True
         return driver
 
+    def set_manifest(self, name: str, manifest) -> None:
+        """Attach (or replace) an export's cluster-hash manifest."""
+        export = self._exports[name]
+        with export.manifest_lock:
+            export.manifest = manifest
+            export.manifest_blob = None
+
     def export_stats(self, name: str) -> ExportStats:
         return self._exports[name].stats
 
@@ -492,6 +522,10 @@ class BlockServer:
                     entry["recovered"] = bool(
                         info.get("recovered", False))
                     entry["fsync_ops"] = export.driver.stats.fsync_ops
+                    # Warm-peer discovery: a node whose export carries
+                    # a manifest can serve v5 peer fills without the
+                    # lazy build scan.
+                    entry["manifest"] = export.manifest is not None
                     if entry["dirty"] and not export.writable:
                         # A read-only open of a dirty image serves the
                         # in-memory recovered state (DESIGN.md §9) —
@@ -527,6 +561,10 @@ class BlockServer:
             "status": "degraded" if degraded else "ok",
             "closing": closing,
             "engine": self.engine,
+            # Where this server's block port answers — how a peer-fill
+            # client turns a fleet health view into a dialable
+            # ``nbd://host:port/export`` URL (see cluster/peerfill.py).
+            "block_address": [self.host, self.port],
             "max_protocol": self._max_protocol,
             "compression": self._compression,
             "queue_depth": queue_depth,
@@ -610,6 +648,16 @@ class BlockServer:
             self._count_copied(export, len(req.payload))
             if req.req_type == wire.REQ_DISCONNECT:
                 return
+            if req.req_type == wire.REQ_MANIFEST:
+                # Manifest requests are a v5 capability; this lock-step
+                # loop only ever serves v1.  A per-request error keeps
+                # the stream intact (same contract as the v2+ loops).
+                body = b"manifest requires protocol v5"
+                self._count_sent(export, wire.RESPONSE_HEADER_SIZE,
+                                 len(body))
+                self._count_copied(export, len(body))
+                wire.send_response(conn, error=body.decode("ascii"))
+                continue
             # Snapshot the injector once: set_fault_injector(None) may
             # run concurrently, and the action chosen above must pair
             # with *that* injector's delay (not whatever self._fault
@@ -665,7 +713,9 @@ class BlockServer:
         v3 differs only in the request framing (a trace-context field
         ahead of the payload); v4 additionally allows compressed
         payloads in either direction when ``compress`` was granted in
-        the handshake; responses are framing-identical throughout.
+        the handshake; v5 adds the MANIFEST request type (answered
+        with a per-request error on connections that negotiated
+        lower); responses are framing-identical throughout.
         """
         recv = (wire.recv_request_v3 if version >= wire.VERSION_3
                 else wire.recv_request_v2)
@@ -696,6 +746,15 @@ class BlockServer:
                 self._count_copied(export, len(req.payload))
                 if req.req_type == wire.REQ_DISCONNECT:
                     return
+                if req.req_type == wire.REQ_MANIFEST \
+                        and version < wire.VERSION_5:
+                    # Negotiated below v5: answer with a per-request
+                    # error, never a torn stream — old peers stay
+                    # usable for everything else.
+                    self._send_response_v2(
+                        conn, export, send_lock, tag,
+                        error="manifest requires protocol v5")
+                    continue
                 # Snapshot the injector once, here in the reader loop:
                 # the worker must see the same injector the action came
                 # from, or a concurrent set_fault_injector(None) turns
@@ -902,13 +961,44 @@ class BlockServer:
             with export.stats_lock:
                 export.stats.write_ops += 1
                 export.stats.bytes_written += len(req.payload)
+            with export.manifest_lock:
+                # Any cached manifest no longer describes the image;
+                # the next MANIFEST request rebuilds from the bytes.
+                export.manifest = None
+                export.manifest_blob = None
             return b""
         if req.req_type == wire.REQ_FLUSH:
             with export.lock.write_locked():
                 export.driver.flush()
             return b""
+        if req.req_type == wire.REQ_MANIFEST:
+            blob = self._manifest_blob(export)
+            with export.stats_lock:
+                export.stats.manifest_ops += 1
+            return blob
         raise wire.ProtocolError(
             f"unknown request type {req.req_type}")
+
+    def _manifest_blob(self, export: _Export) -> bytes:
+        """The export's serialized cluster manifest, built on demand.
+
+        The scan (a full read of the image's allocated clusters) runs
+        under the export's exclusive lock — reading a CoR cache may
+        mutate it — and under ``manifest_lock`` so concurrent MANIFEST
+        requests build once.
+        """
+        with export.manifest_lock:
+            if export.manifest_blob is not None:
+                return export.manifest_blob
+            manifest = export.manifest
+            if manifest is None:
+                from repro.imagefmt.manifest import build_manifest
+                with export.lock.write_locked():
+                    manifest = build_manifest(export.driver,
+                                              vmi_id=export.name)
+                export.manifest = manifest
+            export.manifest_blob = manifest.to_bytes()
+            return export.manifest_blob
 
     # -- lifecycle -----------------------------------------------------------
 

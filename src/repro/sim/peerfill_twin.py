@@ -1,0 +1,265 @@
+"""Fleet-twin of peer-to-peer cache fill: Figure 11 at cluster scale.
+
+The paper's Figure 11 shows the central storage node's share of
+deployment traffic collapsing as caches absorb demand.  Peer fill
+(:mod:`repro.cluster.peerfill`) pushes the same curve further: once
+*one* node is warm, later nodes fill from each other instead of from
+central storage.  This module reproduces that effect with the
+discrete-event machinery at a scale the real three-server tests can't
+reach — 64+ nodes, every transfer flowing through fair-share links.
+
+The model is deliberately at the *cluster* grain, not the block grain:
+each node needs one working set; a fill is a bulk transfer either over
+the storage node's shared NIC (everyone queues on one link — the
+Figure 2 saturation) or over a warm peer's NIC (bounded fan-out per
+peer, cluster bandwidth that *grows* with every completed boot).
+Digest-verification failures divert their clusters to storage, exactly
+like the real fallback ladder.
+
+The sim publishes the same metric families the aggregator already
+derives Fig 11's ``storage_offload_fraction`` from
+(``sim_node_demand_read_bytes_total`` per node,
+``sim_storage_bytes_served_total`` for the storage target), plus
+``sim_peerfill_bytes_total{source=...}`` mirroring the real
+``peerfill_bytes_total`` counters — so one
+:class:`~repro.metrics.fleet.FleetAggregator` poll over
+:func:`peerfill_targets` yields the figure's y-axis with and without
+peer fill, no special-case signal code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim import calibration as cal
+from repro.sim.engine import Environment
+from repro.sim.fleet_twin import SimScrapeTarget
+from repro.sim.network import FairShareLink
+from repro.units import KiB, MiB
+
+__all__ = ["PeerFillFleetSim", "PeerFillNodeStats", "peerfill_targets"]
+
+
+@dataclass
+class PeerFillNodeStats:
+    """One simulated node's fill, by source."""
+
+    node_id: str
+    demand_read_bytes: int = 0
+    peer_bytes: int = 0
+    storage_bytes: int = 0
+    verify_failures: int = 0
+    fill_start: float = 0.0
+    fill_end: float = 0.0
+    peer: str | None = None  # who served the peer rung, if anyone
+
+    @property
+    def fill_seconds(self) -> float:
+        return self.fill_end - self.fill_start
+
+
+class _WarmPeer:
+    """A node that finished filling and can now serve others."""
+
+    __slots__ = ("node_id", "link", "active")
+
+    def __init__(self, node_id: str, link: FairShareLink) -> None:
+        self.node_id = node_id
+        self.link = link
+        self.active = 0
+
+
+class PeerFillFleetSim:
+    """N nodes filling one VMI's working set, storage vs peers.
+
+    ``peer_fill=False`` is the baseline: every node's working set
+    crosses the storage NIC (one shared fair-share link — the herd
+    serializes).  ``peer_fill=True`` lets each node fill from the
+    least-loaded warm peer (at most ``max_peer_fanout`` concurrent
+    fills per peer), so only nodes that boot while *no* peer is warm —
+    plus every digest-verification casualty
+    (``verify_failure_rate``) — touch central storage.
+
+    ``stagger`` spaces boot starts; 0 means the paper's simultaneous
+    start, where peer fill degrades to the baseline (nobody is warm
+    while everybody fills) — the honest edge of the technique.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_nodes: int = 64,
+        working_set_bytes: int = 128 * MiB,
+        cluster_size: int = 64 * KiB,
+        peer_fill: bool = True,
+        network: "str | cal.NetworkProfile" = "1gbe",
+        max_peer_fanout: int = 4,
+        verify_failure_rate: float = 0.0,
+        stagger: float = 0.5,
+        env: Environment | None = None,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        if not 0.0 <= verify_failure_rate <= 1.0:
+            raise ValueError(
+                f"verify_failure_rate must be in [0, 1], "
+                f"got {verify_failure_rate}")
+        if max_peer_fanout < 1:
+            raise ValueError("max_peer_fanout must be >= 1")
+        if isinstance(network, str):
+            network = cal.NETWORKS[network.lower()]
+        self.env = env if env is not None else Environment()
+        self.n_nodes = n_nodes
+        self.working_set_bytes = working_set_bytes
+        self.cluster_size = cluster_size
+        self.peer_fill = peer_fill
+        self.network = network
+        self.max_peer_fanout = max_peer_fanout
+        self.verify_failure_rate = verify_failure_rate
+        self.stagger = stagger
+        self.storage_nic = FairShareLink(
+            self.env, network.bandwidth, network.latency,
+            "storage-nic.down")
+        self.storage_served_bytes = 0
+        self.nodes = [PeerFillNodeStats(f"node{i:02d}")
+                      for i in range(n_nodes)]
+        self._warm: list[_WarmPeer] = []
+
+    # -- the fill processes ----------------------------------------------
+
+    def _pick_peer(self) -> _WarmPeer | None:
+        eligible = [w for w in self._warm
+                    if w.active < self.max_peer_fanout]
+        if not eligible:
+            return None
+        return min(eligible, key=lambda w: w.active)
+
+    def _fill(self, stats: PeerFillNodeStats, delay: float):
+        env = self.env
+        if delay > 0:
+            yield env.timeout(delay)
+        stats.fill_start = env.now
+        need = self.working_set_bytes
+        stats.demand_read_bytes = need
+        peer = self._pick_peer() if self.peer_fill else None
+        if peer is not None:
+            # Verification casualties fall back cluster by cluster;
+            # model them as a deterministic byte fraction.
+            bad_clusters = int(
+                (need // self.cluster_size) * self.verify_failure_rate)
+            bad = bad_clusters * self.cluster_size
+            good = need - bad
+            stats.peer = peer.node_id
+            stats.verify_failures = bad_clusters
+            peer.active += 1
+            try:
+                yield from peer.link.transfer(good)
+            finally:
+                peer.active -= 1
+            stats.peer_bytes = good
+            if bad:
+                yield from self.storage_nic.transfer(bad)
+                stats.storage_bytes = bad
+                self.storage_served_bytes += bad
+        else:
+            yield from self.storage_nic.transfer(need)
+            stats.storage_bytes = need
+            self.storage_served_bytes += need
+        stats.fill_end = env.now
+        # Warm now: this node's NIC joins the serving pool, so fill
+        # bandwidth grows with every completed boot.
+        self._warm.append(_WarmPeer(
+            stats.node_id,
+            FairShareLink(env, self.network.bandwidth,
+                          self.network.latency,
+                          f"{stats.node_id}-nic.up")))
+
+    def run(self) -> "PeerFillFleetSim":
+        env = self.env
+        procs = [env.process(self._fill(stats, i * self.stagger))
+                 for i, stats in enumerate(self.nodes)]
+        env.run(until=env.all_of(procs))
+        return self
+
+    # -- results ----------------------------------------------------------
+
+    @property
+    def makespan(self) -> float:
+        return max((s.fill_end for s in self.nodes), default=0.0)
+
+    @property
+    def peer_bytes_total(self) -> int:
+        return sum(s.peer_bytes for s in self.nodes)
+
+    @property
+    def demand_bytes_total(self) -> int:
+        return sum(s.demand_read_bytes for s in self.nodes)
+
+    @property
+    def storage_offload_fraction(self) -> float | None:
+        """The Fig 11 quantity, computed sim-side (the aggregator
+        derives the same number from the published families)."""
+        demand = self.demand_bytes_total
+        if not demand:
+            return None
+        return 1.0 - self.storage_served_bytes / demand
+
+    def summary(self) -> dict:
+        return {
+            "n_nodes": self.n_nodes,
+            "peer_fill": self.peer_fill,
+            "working_set_bytes": self.working_set_bytes,
+            "stagger": self.stagger,
+            "verify_failure_rate": self.verify_failure_rate,
+            "storage_served_bytes": self.storage_served_bytes,
+            "peer_bytes_total": self.peer_bytes_total,
+            "demand_bytes_total": self.demand_bytes_total,
+            "storage_offload_fraction": self.storage_offload_fraction,
+            "verify_failures": sum(s.verify_failures
+                                   for s in self.nodes),
+            "makespan": self.makespan,
+            "mean_fill_seconds": (
+                sum(s.fill_seconds for s in self.nodes) / self.n_nodes),
+        }
+
+
+def peerfill_targets(sim: PeerFillFleetSim) -> "list[SimScrapeTarget]":
+    """Scrape targets for a peer-fill sim: storage + every node.
+
+    The families line up with the aggregator's preference tuples, so
+    ``compute_signals`` derives ``storage_offload_fraction`` for the
+    sim exactly as it would for a real fleet; the per-source
+    ``sim_peerfill_bytes_total`` mirrors the real client's
+    ``peerfill_bytes_total``.
+    """
+
+    def storage_sampler():
+        return [("sim_storage_bytes_served_total", {},
+                 float(sim.storage_served_bytes))]
+
+    targets = [SimScrapeTarget(
+        "storage", storage_sampler,
+        lambda: {"status": "ok", "queue_depth": 0})]
+
+    def node_target(stats: PeerFillNodeStats) -> SimScrapeTarget:
+        def sampler():
+            return [
+                ("sim_node_demand_read_bytes_total", {},
+                 float(stats.demand_read_bytes)),
+                ("sim_peerfill_bytes_total", {"source": "peer"},
+                 float(stats.peer_bytes)),
+                ("sim_peerfill_bytes_total", {"source": "storage"},
+                 float(stats.storage_bytes)),
+                ("sim_peerfill_verify_failures_total", {},
+                 float(stats.verify_failures)),
+            ]
+
+        def health():
+            return {"status": "ok",
+                    "peer": stats.peer,
+                    "fill_seconds": stats.fill_seconds}
+
+        return SimScrapeTarget(stats.node_id, sampler, health)
+
+    targets.extend(node_target(stats) for stats in sim.nodes)
+    return targets

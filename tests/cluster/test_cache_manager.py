@@ -82,6 +82,39 @@ class TestCachePool:
         assert pool.used_bytes == 2 * MiB
         assert pool.get("a").name == "a2"
 
+    def test_replace_returns_old_image(self):
+        # Regression: the replaced image used to vanish — never
+        # returned, never counted — leaking its simulated memory
+        # (the docstring says the caller owns evicted-image cleanup).
+        pool = CachePool("p", 4 * MiB)
+        old = fake_cache("a1", MiB)
+        pool.put("a", old)
+        evicted = pool.put("a", fake_cache("a2", 2 * MiB))
+        assert old in evicted
+        assert pool.stats.replacements == 1
+        # A replacement is not an LRU eviction.
+        assert pool.stats.evictions == 0
+
+    def test_rejection_drops_stale_entry(self):
+        # Regression: rejecting an over-capacity refresh used to leave
+        # the *old* entry for the same vmi_id in place, so later gets
+        # served the outdated cache as a hit.
+        pool = CachePool("p", MiB)
+        stale = fake_cache("a-old", MiB)
+        pool.put("a", stale)
+        evicted = pool.put("a", fake_cache("a-new", 2 * MiB))
+        assert evicted == [stale]
+        assert "a" not in pool
+        assert pool.used_bytes == 0
+        assert pool.stats.rejected_too_big == 1
+        assert pool.get("a") is None
+
+    def test_rejection_without_existing_entry(self):
+        pool = CachePool("p", MiB)
+        assert pool.put("big", fake_cache("big", 2 * MiB)) == []
+        assert pool.stats.rejected_too_big == 1
+        assert pool.used_bytes == 0
+
     def test_remove(self):
         pool = CachePool("p", 4 * MiB)
         c = fake_cache("a", MiB)

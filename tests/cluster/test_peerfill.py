@@ -1,0 +1,415 @@
+"""Peer-to-peer cache fill against a real three-node fleet.
+
+One storage ``BlockServer`` (the authoritative base), one warm peer
+serving its cache over a second ``BlockServer``, one cold node
+filling.  Under test: the happy path (checksum-identical cache
+content, zero storage reads), every rung of the fallback ladder
+(digest mismatch, dead peer mid-transfer, unreachable peer, pre-v5
+peer, no peers at all — the fill must never fail the boot), the
+cross-image ContentIndex rung, peer resolution from a fleet health
+view, and the verified peer-sourced prefetch stream.
+"""
+
+import socket
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.bootmodel.generator import generate_boot_trace
+from repro.bootmodel.profiles import tiny_profile
+from repro.cluster.peerfill import fill_cache, resolve_peers
+from repro.cluster.warmer import (
+    checksum_extents,
+    warm_cache,
+    working_set_extents,
+)
+from repro.imagefmt.manifest import ContentIndex
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.metrics.registry import get_registry
+from repro.remote import BlockServer, FaultInjector, RemoteImage
+from repro.units import KiB, MiB
+
+from tests.conftest import make_patterned_base, pattern
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+SIZE = 4 * MiB
+QUOTA = 16 * MiB
+CL = 64 * KiB  # the qcow2 default cluster size == manifest granularity
+
+
+@dataclass
+class Fleet:
+    """The three-node arrangement every test starts from."""
+
+    storage: BlockServer
+    peer: BlockServer
+    peer_cache_path: str
+    manifest: object
+    extents: list = field(default_factory=list)
+
+    def peer_url(self) -> str:
+        return self.peer.url("vmi")
+
+    def storage_url(self) -> str:
+        return self.storage.url("vmi")
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    """Storage node exporting the base; peer node warmed and serving.
+
+    The peer's cache was warmed *from* the storage node, manifest
+    built incrementally during the warm and attached to the peer's
+    export — the real deployment sequence.
+    """
+    from repro.imagefmt.raw import RawImage
+
+    base_path = make_patterned_base(tmp_path / "base.raw", size=SIZE)
+    base = RawImage.open(base_path)
+    storage = BlockServer()
+    storage.add_export("vmi", base)
+
+    peer_cache = str(tmp_path / "peer-cache.qcow2")
+    Qcow2Image.create(peer_cache, backing_file=storage.url("vmi"),
+                      cache_quota=QUOTA).close()
+    with Qcow2Image.open(peer_cache, read_only=False) as cache:
+        assert cache.cluster_size == CL
+        report = warm_cache(cache, extents=[(0, SIZE)],
+                            manifest_vmi_id="vmi")
+    manifest = report.manifest
+    assert manifest is not None and len(manifest) == SIZE // CL
+
+    peer_img = Qcow2Image.open(peer_cache)
+    peer = BlockServer()
+    peer.add_export("vmi", peer_img, manifest=manifest)
+
+    f = Fleet(storage=storage, peer=peer,
+              peer_cache_path=peer_cache, manifest=manifest,
+              extents=[(0, SIZE)])
+    yield f
+    peer.close()
+    storage.close()
+    peer_img.close()
+    base.close()
+
+
+def make_cold_cache(tmp_path, fleet, name="cold-cache.qcow2"):
+    path = str(tmp_path / name)
+    Qcow2Image.create(path, backing_file=fleet.storage_url(),
+                      cache_quota=QUOTA).close()
+    return Qcow2Image.open(path, read_only=False)
+
+
+def counter_value(name: str, **labels) -> float:
+    return get_registry().counter(name, **labels).value
+
+
+class TestHappyPath:
+    def test_cold_node_boots_from_warm_peer(self, tmp_path, fleet):
+        """The tier-1 smoke: a cold node fills its cache entirely from
+        the warm peer — checksum-identical content, not one byte read
+        from central storage."""
+        with make_cold_cache(tmp_path, fleet) as cache:
+            storage_reads0 = fleet.storage.export_stats("vmi").read_ops
+            report = fill_cache(cache, fleet.manifest,
+                                peers=[fleet.peer_url()])
+            assert report.clusters_needed == SIZE // CL
+            assert report.clusters_from_peer == SIZE // CL
+            assert report.clusters_from_storage == 0
+            assert report.verify_failures == 0
+            assert report.storage_offload_fraction == 1.0
+            assert report.peers_used == [fleet.peer_url()]
+            # Not a single read landed on the storage node.
+            assert fleet.storage.export_stats("vmi").read_ops \
+                == storage_reads0
+            # Byte-for-byte what a storage warm-up would have built.
+            with Qcow2Image.open(fleet.peer_cache_path) as warm:
+                assert checksum_extents(cache, fleet.extents) \
+                    == checksum_extents(warm, fleet.extents)
+            assert cache.read(0, 4 * KiB) == pattern(0, 4 * KiB)
+
+    def test_fill_is_idempotent(self, tmp_path, fleet):
+        with make_cold_cache(tmp_path, fleet) as cache:
+            fill_cache(cache, fleet.manifest, peers=[fleet.peer_url()])
+            again = fill_cache(cache, fleet.manifest,
+                               peers=[fleet.peer_url()])
+            assert again.clusters_needed == 0
+            assert again.bytes_total == 0
+            assert again.storage_offload_fraction is None
+
+    def test_fill_counters_flow_to_registry(self, tmp_path, fleet):
+        runs0 = counter_value("peerfill_runs_total")
+        peer0 = counter_value("peerfill_bytes_total", source="peer")
+        with make_cold_cache(tmp_path, fleet) as cache:
+            report = fill_cache(cache, fleet.manifest,
+                                peers=[fleet.peer_url()])
+        assert counter_value("peerfill_runs_total") == runs0 + 1
+        assert counter_value("peerfill_bytes_total", source="peer") \
+            == peer0 + report.bytes_from_peer
+
+    def test_working_set_fill_from_boot_trace(self, tmp_path, fleet):
+        """A trace-derived working set fills only its own clusters —
+        the peer-fill face of the Figure 8 warm-up."""
+        profile = tiny_profile(vmi_size=SIZE, working_set=MiB,
+                               boot_time=1.0)
+        trace = generate_boot_trace(profile, seed=7)
+        extents = working_set_extents(trace, size=SIZE, align=CL)
+        wanted = {i for off, ln in extents
+                  for i in range(off // CL, (off + ln - 1) // CL + 1)}
+        subset = type(fleet.manifest)(
+            vmi_id=fleet.manifest.vmi_id, size=fleet.manifest.size,
+            cluster_size=CL,
+            digests={i: d for i, d in fleet.manifest.digests.items()
+                     if i in wanted})
+        with make_cold_cache(tmp_path, fleet) as cache:
+            report = fill_cache(cache, subset,
+                                peers=[fleet.peer_url()])
+            assert report.clusters_from_peer == len(wanted)
+            assert report.clusters_from_storage == 0
+            for off, ln in extents:
+                assert cache.read(off, ln) == pattern(off, ln)
+
+
+class TestFallbackLadder:
+    def test_digest_mismatch_falls_back_to_storage(self, tmp_path,
+                                                   fleet):
+        """A corrupt peer cluster fails verification: that cluster is
+        refetched from storage, the counter fires, and the final cache
+        is still byte-perfect."""
+        # Corrupt one cluster of the peer's cache *behind* its
+        # attached manifest (which now stale-claims the old digest).
+        fleet.peer.close()
+        with Qcow2Image.open(fleet.peer_cache_path,
+                             read_only=False) as img:
+            img.write(0, b"\xba\xad" * 1024)
+        peer_img = Qcow2Image.open(fleet.peer_cache_path)
+        fleet.peer = BlockServer()
+        fleet.peer.add_export("vmi", peer_img, manifest=fleet.manifest)
+
+        fails0 = counter_value("peerfill_verify_failures_total")
+        with make_cold_cache(tmp_path, fleet) as cache:
+            report = fill_cache(cache, fleet.manifest,
+                                peers=[fleet.peer_url()])
+            assert report.verify_failures == 1
+            assert report.clusters_from_storage == 1
+            assert report.clusters_from_peer == SIZE // CL - 1
+            assert 0.0 < report.storage_offload_fraction < 1.0
+            # The poisoned bytes never reached the cold cache: every
+            # cluster — including the casualty — matches storage.
+            assert cache.read(0, 4 * KiB) == pattern(0, 4 * KiB)
+            assert checksum_extents(cache, fleet.extents) \
+                == checksum_extents(cache.backing, fleet.extents)
+        assert counter_value("peerfill_verify_failures_total") \
+            == fails0 + 1
+        peer_img.close()
+
+    def test_dead_peer_mid_transfer(self, tmp_path, fleet):
+        """The peer dies partway through the fill: whatever verified
+        stays, the rest comes from storage, the boot never fails."""
+        fi = FaultInjector()
+        # Serve the manifest request and the first few reads, then
+        # sever the connection mid-window.
+        fi.inject(*(["none"] * 6 + ["drop"]))
+        fleet.peer.set_fault_injector(fi)
+        with make_cold_cache(tmp_path, fleet) as cache:
+            report = fill_cache(cache, fleet.manifest,
+                                peers=[fleet.peer_url()],
+                                batch_bytes=256 * KiB)
+            assert report.peer_errors == 1
+            assert report.clusters_from_peer > 0
+            assert report.clusters_from_storage > 0
+            assert (report.clusters_from_peer
+                    + report.clusters_from_storage) == SIZE // CL
+            assert cache.read(SIZE - CL, CL) \
+                == pattern(SIZE - CL, CL)
+            assert checksum_extents(cache, fleet.extents) \
+                == checksum_extents(cache.backing, fleet.extents)
+
+    def test_unreachable_peer(self, tmp_path, fleet):
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", 0))  # bound but never listening
+            dead_url = f"nbd://127.0.0.1:{s.getsockname()[1]}/vmi"
+        with make_cold_cache(tmp_path, fleet) as cache:
+            report = fill_cache(cache, fleet.manifest,
+                                peers=[dead_url],
+                                connect_timeout=0.5)
+            assert report.peer_errors == 1
+            assert report.clusters_from_storage == SIZE // CL
+            assert cache.read(0, 4 * KiB) == pattern(0, 4 * KiB)
+
+    def test_dead_then_live_peer(self, tmp_path, fleet):
+        """The ladder walks the peer list: a dead first peer just
+        means the second one serves."""
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", 0))
+            dead_url = f"nbd://127.0.0.1:{s.getsockname()[1]}/vmi"
+        with make_cold_cache(tmp_path, fleet) as cache:
+            report = fill_cache(cache, fleet.manifest,
+                                peers=[dead_url, fleet.peer_url()],
+                                connect_timeout=0.5)
+            assert report.peer_errors == 1
+            assert report.clusters_from_peer == SIZE // CL
+            assert report.clusters_from_storage == 0
+
+    def test_pre_v5_peer_is_skipped(self, tmp_path, fleet):
+        """A peer clamped below v5 cannot prove what it holds, so it
+        is silently passed over — not an error, just not a source."""
+        old_img = Qcow2Image.open(fleet.peer_cache_path)
+        old_peer = BlockServer(max_protocol=4)
+        old_peer.add_export("vmi", old_img)
+        try:
+            with make_cold_cache(tmp_path, fleet) as cache:
+                report = fill_cache(cache, fleet.manifest,
+                                    peers=[old_peer.url("vmi")])
+                assert report.peer_errors == 0
+                assert report.clusters_from_peer == 0
+                assert report.clusters_from_storage == SIZE // CL
+        finally:
+            old_peer.close()
+            old_img.close()
+
+    def test_no_peers_degrades_to_storage_warmup(self, tmp_path,
+                                                 fleet):
+        with make_cold_cache(tmp_path, fleet) as cache:
+            report = fill_cache(cache, fleet.manifest, peers=[])
+            assert report.clusters_from_storage == SIZE // CL
+            assert report.storage_offload_fraction == 0.0
+            assert checksum_extents(cache, fleet.extents) \
+                == checksum_extents(cache.backing, fleet.extents)
+
+    def test_quota_exhaustion_reported_not_raised(self, tmp_path,
+                                                  fleet):
+        path = str(tmp_path / "tiny.qcow2")
+        Qcow2Image.create(path, backing_file=fleet.storage_url(),
+                          cache_quota=256 * KiB).close()
+        with Qcow2Image.open(path, read_only=False) as cache:
+            report = fill_cache(cache, fleet.manifest,
+                                peers=[fleet.peer_url()])
+            assert report.quota_exhausted
+            assert cache.cache_runtime.cor.space_errors >= 1
+
+
+class TestContentIndexRung:
+    def test_local_dedup_serves_before_any_network(self, tmp_path,
+                                                   fleet):
+        """A cache of a *different* VMI with identical content serves
+        the whole fill locally — zero peer and storage traffic."""
+        index = ContentIndex()
+        with Qcow2Image.open(fleet.peer_cache_path) as local:
+            other = type(fleet.manifest)(
+                vmi_id="other-vmi", size=fleet.manifest.size,
+                cluster_size=CL, digests=dict(fleet.manifest.digests))
+            index.add_manifest(other, local.read)
+            with make_cold_cache(tmp_path, fleet) as cache:
+                report = fill_cache(cache, fleet.manifest,
+                                    peers=[fleet.peer_url()],
+                                    content_index=index)
+                assert report.clusters_from_local == SIZE // CL
+                assert report.clusters_from_peer == 0
+                assert report.clusters_from_storage == 0
+                assert report.peers_used == []
+                assert cache.read(0, 4 * KiB) == pattern(0, 4 * KiB)
+        assert index.hits == SIZE // CL
+
+
+class TestPeerResolution:
+    @dataclass
+    class Node:
+        name: str
+        status: str
+        health: dict | None
+
+    def snapshot(self, nodes):
+        snap = type("Snap", (), {})()
+        snap.nodes = {n.name: n for n in nodes}
+        return snap
+
+    def test_resolves_from_real_health_documents(self, fleet):
+        """The peer's actual /healthz payload advertises enough to
+        dial it: address present, export open, manifest attached."""
+        snap = self.snapshot([
+            self.Node("peer", "ok", fleet.peer.health()),
+            self.Node("storage", "ok", fleet.storage.health()),
+            self.Node("dead", "unreachable", None),
+        ])
+        urls = resolve_peers(snap, "vmi", exclude=("storage",))
+        assert urls == [fleet.peer_url()]
+
+    def test_manifest_holders_sort_first(self, fleet):
+        bare = {"block_address": ["10.0.0.9", 7777],
+                "exports": {"vmi": {"open": True, "manifest": False}}}
+        snap = self.snapshot([
+            self.Node("bare", "ok", bare),
+            self.Node("peer", "ok", fleet.peer.health()),
+        ])
+        urls = resolve_peers(snap, "vmi")
+        assert urls[0] == fleet.peer_url()
+        assert urls[1] == "nbd://10.0.0.9:7777/vmi"
+
+    def test_filters_unhealthy_closed_and_foreign(self, fleet):
+        health = fleet.peer.health()
+        closed = {"block_address": ["10.0.0.1", 1],
+                  "exports": {"vmi": {"open": False}}}
+        other = {"block_address": ["10.0.0.2", 2],
+                 "exports": {"something-else": {"open": True}}}
+        snap = self.snapshot([
+            self.Node("sick", "degraded", health),
+            self.Node("closed", "ok", closed),
+            self.Node("other", "ok", other),
+            self.Node("noaddr", "ok", {"exports": health["exports"]}),
+        ])
+        assert resolve_peers(snap, "vmi") == []
+
+    def test_end_to_end_resolution_then_fill(self, tmp_path, fleet):
+        """Health view in, warm cache out: resolve then fill."""
+        snap = self.snapshot([
+            self.Node("peer", "ok", fleet.peer.health())])
+        urls = resolve_peers(snap, "vmi")
+        with make_cold_cache(tmp_path, fleet) as cache:
+            report = fill_cache(cache, fleet.manifest, peers=urls)
+            assert report.clusters_from_peer == SIZE // CL
+
+
+class TestVerifiedPrefetch:
+    def test_peer_sourced_prefetch_verifies_clusters(self, tmp_path,
+                                                     fleet):
+        """The Prefetcher's verify= rung: a corrupt peer cluster is
+        silently swapped for trusted backing bytes mid-stream."""
+        from repro.bootmodel.prefetch import PlanExtent, PrefetchPlan
+        from repro.cluster.prefetch import Prefetcher
+
+        fleet.peer.close()
+        with Qcow2Image.open(fleet.peer_cache_path,
+                             read_only=False) as img:
+            img.write(CL, b"\x66" * 1024)  # poison cluster 1
+        peer_img = Qcow2Image.open(fleet.peer_cache_path)
+        fleet.peer = BlockServer()
+        fleet.peer.add_export("vmi", peer_img, manifest=fleet.manifest)
+
+        plan = PrefetchPlan("vmi", CL, extents=[PlanExtent(0, 4 * CL)])
+        with make_cold_cache(tmp_path, fleet) as cache:
+            with RemoteImage.connect(fleet.peer_url()) as source:
+                pf = Prefetcher(cache, plan, source=source,
+                                chunk_bytes=CL,
+                                verify=fleet.manifest)
+                report = pf.run()
+            assert report.verify_failures == 1
+            # Cluster 1 came from the trusted backing instead.
+            assert cache.read(CL, 4 * KiB) == pattern(CL, 4 * KiB)
+            assert cache.read(0, 4 * KiB) == pattern(0, 4 * KiB)
+        peer_img.close()
+
+    def test_verify_requires_backing(self, tmp_path, fleet):
+        from repro.bootmodel.prefetch import PlanExtent, PrefetchPlan
+        from repro.cluster.prefetch import Prefetcher
+        from repro.imagefmt.raw import RawImage
+
+        plain = RawImage.create(str(tmp_path / "plain.raw"), SIZE)
+        with RemoteImage.connect(fleet.peer_url()) as source:
+            with pytest.raises(ValueError, match="trusted backing"):
+                Prefetcher(plain,
+                           PrefetchPlan("vmi", CL,
+                                        extents=[PlanExtent(0, CL)]),
+                           source=source, verify=fleet.manifest)
+        plain.close()

@@ -232,6 +232,71 @@ class TestWarmCache:
             assert cache.read(MiB, 4096) == b"\0" * 4096
 
 
+class TestWarmManifest:
+    """Manifest built incrementally during the warm — one SHA-256
+    pass over bytes already in hand, zero extra reads."""
+
+    QUOTA = 8 * MiB
+
+    def warmed(self, tmp_path, **kw):
+        size = 4 * MiB
+        base_path = make_patterned_base(tmp_path / "base.raw",
+                                        size=size)
+        cache_p = str(tmp_path / "cache.qcow2")
+        Qcow2Image.create(cache_p, backing_file=base_path,
+                          cache_quota=self.QUOTA).close()
+        cache = Qcow2Image.open(cache_p, read_only=False)
+        report = warm_cache(cache, extents=[(0, size)], **kw)
+        return cache, report
+
+    def test_incremental_digests_match_a_rescan(self, tmp_path):
+        from repro.imagefmt.manifest import build_manifest
+
+        cache, report = self.warmed(tmp_path, manifest_vmi_id="vmi")
+        try:
+            manifest = report.manifest
+            assert manifest is not None
+            assert manifest.vmi_id == "vmi"
+            assert manifest.cluster_size == cache.cluster_size
+            rescanned = build_manifest(cache, vmi_id="vmi")
+            assert manifest.digests == rescanned.digests
+        finally:
+            cache.close()
+
+    def test_manifest_persisted_alongside_cache(self, tmp_path):
+        from repro.imagefmt.manifest import (
+            ClusterManifest,
+            manifest_path,
+        )
+
+        cache, report = self.warmed(tmp_path, manifest_vmi_id="vmi")
+        try:
+            loaded = ClusterManifest.load(manifest_path(cache.path))
+            assert loaded == report.manifest
+        finally:
+            cache.close()
+
+    def test_save_can_be_suppressed(self, tmp_path):
+        import os
+
+        from repro.imagefmt.manifest import manifest_path
+
+        cache, report = self.warmed(tmp_path, manifest_vmi_id="vmi",
+                                    save_manifest=False)
+        try:
+            assert report.manifest is not None
+            assert not os.path.exists(manifest_path(cache.path))
+        finally:
+            cache.close()
+
+    def test_no_manifest_by_default(self, tmp_path):
+        cache, report = self.warmed(tmp_path)
+        try:
+            assert report.manifest is None
+        finally:
+            cache.close()
+
+
 class TestChecksumExtents:
     def test_streaming_matches_one_shot(self, tmp_path):
         """Bounded-chunk streaming hashes the same bytes as reading

@@ -1,0 +1,243 @@
+"""Cluster-hash manifests: geometry, digests, serialization, dedup.
+
+The manifest is peer fill's unit of trust (DESIGN.md §14), so the
+contract under test is adversarial: unknown clusters must verify
+False, tampered documents must be rejected loudly, and the
+content-addressed index must re-verify bytes it hands out.
+"""
+
+import json
+
+import pytest
+
+from repro.imagefmt.manifest import (
+    DEFAULT_CLUSTER_SIZE,
+    MANIFEST_FORMAT,
+    ClusterManifest,
+    ContentIndex,
+    ManifestBuilder,
+    ManifestError,
+    build_manifest,
+    cluster_digest,
+    manifest_path,
+)
+from repro.imagefmt.qcow2 import Qcow2Image
+from repro.imagefmt.raw import RawImage
+from repro.units import KiB, MiB
+
+CL = 64 * KiB
+
+
+def pattern(offset: int, length: int) -> bytes:
+    blob = b"".join(b"%08x" % (i & 0xFFFFFFFF)
+                    for i in range(offset // 8, (offset + length) // 8 + 2))
+    return blob[offset % 8: offset % 8 + length]
+
+
+class TestBuilder:
+    def test_builds_digests_per_cluster(self):
+        b = ManifestBuilder("vmi-a", 4 * CL, CL)
+        added = b.add_extent(0, pattern(0, 2 * CL))
+        assert added == 2
+        b.add_extent(3 * CL, pattern(3 * CL, CL))
+        m = b.build()
+        assert sorted(m.digests) == [0, 1, 3]
+        assert m.digests[0] == cluster_digest(pattern(0, CL))
+        assert m.digests[1] == cluster_digest(pattern(CL, CL))
+        assert 2 not in m
+
+    def test_last_write_wins(self):
+        b = ManifestBuilder("vmi-a", 2 * CL, CL)
+        b.add_extent(0, b"\x01" * CL)
+        b.add_extent(0, b"\x02" * CL)
+        assert b.build().digests[0] == cluster_digest(b"\x02" * CL)
+
+    def test_partial_tail_allowed(self):
+        size = CL + 100
+        b = ManifestBuilder("vmi-a", size, CL)
+        b.add_extent(CL, b"\x07" * 100)  # the image tail, sub-cluster
+        m = b.build()
+        assert m.verify_cluster(1, b"\x07" * 100)
+        assert m.cluster_extent(1) == (CL, 100)
+
+    def test_unaligned_offset_rejected(self):
+        b = ManifestBuilder("vmi-a", 4 * CL, CL)
+        with pytest.raises(ManifestError, match="not cluster-aligned"):
+            b.add_extent(100, b"\0" * CL)
+
+    def test_unaligned_end_rejected(self):
+        b = ManifestBuilder("vmi-a", 4 * CL, CL)
+        with pytest.raises(ManifestError, match="neither"):
+            b.add_extent(0, b"\0" * (CL + 5))
+
+    def test_extent_past_image_rejected(self):
+        b = ManifestBuilder("vmi-a", CL, CL)
+        with pytest.raises(ManifestError, match="beyond"):
+            b.add_extent(0, b"\0" * 2 * CL)
+
+    def test_bad_cluster_size_rejected(self):
+        with pytest.raises(ManifestError, match="power of two"):
+            ManifestBuilder("vmi-a", CL, CL + 1)
+
+
+class TestVerification:
+    def make(self) -> ClusterManifest:
+        b = ManifestBuilder("vmi-a", 4 * CL, CL)
+        b.add_extent(0, pattern(0, 4 * CL))
+        return b.build()
+
+    def test_verify_matches(self):
+        m = self.make()
+        assert m.verify_cluster(2, pattern(2 * CL, CL))
+
+    def test_verify_rejects_wrong_bytes(self):
+        m = self.make()
+        assert not m.verify_cluster(2, b"\0" * CL)
+
+    def test_unknown_cluster_verifies_false(self):
+        """Absence is not trust: an unmanifested index never passes."""
+        b = ManifestBuilder("vmi-a", 4 * CL, CL)
+        b.add_extent(0, pattern(0, CL))
+        m = b.build()
+        assert not m.verify_cluster(3, pattern(3 * CL, CL))
+
+    def test_missing_in_and_common_with(self):
+        full = self.make()
+        b = ManifestBuilder("vmi-b", 4 * CL, CL)
+        b.add_extent(0, pattern(0, CL))          # identical to full[0]
+        b.add_extent(CL, b"\xff" * CL)           # differs from full[1]
+        partial = b.build()
+        assert full.missing_in(partial) == [1, 2, 3]
+        assert full.common_with(partial) == [0]
+
+    def test_populated_bytes_counts_tail(self):
+        size = CL + 100
+        b = ManifestBuilder("vmi-a", size, CL)
+        b.add_extent(0, pattern(0, size))
+        assert b.build().populated_bytes == size
+
+
+class TestSerialization:
+    def make(self) -> ClusterManifest:
+        b = ManifestBuilder("vmi-a", 4 * CL, CL)
+        b.add_extent(0, pattern(0, 3 * CL))
+        return b.build()
+
+    def test_roundtrip(self):
+        m = self.make()
+        again = ClusterManifest.from_bytes(m.to_bytes())
+        assert again == m
+        assert again.content_id == m.content_id
+
+    def test_content_id_is_content_addressed(self):
+        m1 = self.make()
+        m2 = self.make()
+        assert m1.content_id == m2.content_id
+        b = ManifestBuilder("vmi-a", 4 * CL, CL)
+        b.add_extent(0, pattern(0, 2 * CL))
+        assert b.build().content_id != m1.content_id
+
+    def test_rejects_wrong_format_tag(self):
+        doc = json.loads(self.make().to_bytes())
+        doc["format"] = "something-else/9"
+        with pytest.raises(ManifestError, match=MANIFEST_FORMAT):
+            ClusterManifest.from_bytes(json.dumps(doc).encode())
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ManifestError):
+            ClusterManifest.from_bytes(b"\x00\x01not json")
+
+    def test_rejects_out_of_range_index(self):
+        doc = json.loads(self.make().to_bytes())
+        doc["digests"]["99"] = "ab" * 32
+        with pytest.raises(ManifestError, match="outside"):
+            ClusterManifest.from_bytes(json.dumps(doc).encode())
+
+    def test_save_load_next_to_cache(self, tmp_path):
+        m = self.make()
+        cache = str(tmp_path / "cache.qcow2")
+        path = m.save(cache_path=cache)
+        assert path == manifest_path(cache)
+        assert ClusterManifest.load(path) == m
+
+    def test_save_needs_exactly_one_path(self, tmp_path):
+        m = self.make()
+        with pytest.raises(ValueError):
+            m.save()
+        with pytest.raises(ValueError):
+            m.save(str(tmp_path / "x"), cache_path=str(tmp_path / "y"))
+
+
+class TestBuildManifest:
+    def test_scan_matches_incremental(self, tmp_path):
+        """A scan of the written image and the build-time digests must
+        agree — the peer-fill verifier depends on it."""
+        size = 2 * MiB
+        img = RawImage.create(str(tmp_path / "b.raw"), size)
+        img.write(0, pattern(0, size))
+        scanned = build_manifest(img, vmi_id="vmi-a", cluster_size=CL)
+        img.close()
+        b = ManifestBuilder("vmi-a", size, CL)
+        b.add_extent(0, pattern(0, size))
+        assert scanned.digests == b.build().digests
+
+    def test_qcow2_manifests_only_allocated(self, tmp_path):
+        img = Qcow2Image.create(str(tmp_path / "c.qcow2"), 4 * MiB,
+                                cluster_size=CL)
+        img.write(0, pattern(0, CL))
+        img.write(10 * CL, pattern(10 * CL, CL))
+        m = build_manifest(img, vmi_id="vmi-c")
+        img.close()
+        assert m.cluster_size == CL
+        assert set(m.digests) == {0, 10}
+
+    def test_default_cluster_size_for_plain_readers(self, tmp_path):
+        img = RawImage.create(str(tmp_path / "d.raw"), 256 * KiB)
+        m = build_manifest(img, vmi_id="vmi-d")
+        img.close()
+        assert m.cluster_size == DEFAULT_CLUSTER_SIZE
+
+
+class TestContentIndex:
+    def test_cross_image_dedup_hit(self):
+        """Identical clusters of *different* VMIs resolve by content."""
+        shared = pattern(0, CL)
+        store_a = shared + b"\xaa" * CL
+        b = ManifestBuilder("vmi-a", 2 * CL, CL)
+        b.add_extent(0, store_a)
+        index = ContentIndex()
+        index.add_manifest(b.build(),
+                           lambda off, ln: store_a[off:off + ln])
+        wanted = ManifestBuilder("vmi-b", CL, CL)
+        wanted.add_extent(0, shared)
+        digest = wanted.build().digests[0]
+        assert index.fetch(digest) == shared
+        assert index.hits == 1
+
+    def test_miss_counts(self):
+        index = ContentIndex()
+        assert index.fetch("00" * 32) is None
+        assert index.misses == 1
+
+    def test_stale_backing_reverifies(self):
+        """The indexed cache changed after indexing: the index must
+        miss, never hand out bytes that no longer match the digest."""
+        store = bytearray(pattern(0, CL))
+        b = ManifestBuilder("vmi-a", CL, CL)
+        b.add_extent(0, bytes(store))
+        m = b.build()
+        index = ContentIndex()
+        index.add_manifest(m, lambda off, ln: bytes(store[off:off + ln]))
+        store[0] ^= 0xFF  # mutate after indexing
+        assert index.fetch(m.digests[0]) is None
+
+    def test_broken_reader_tolerated(self):
+        def boom(off, ln):
+            raise OSError("gone")
+
+        b = ManifestBuilder("vmi-a", CL, CL)
+        b.add_extent(0, pattern(0, CL))
+        m = b.build()
+        index = ContentIndex()
+        index.add_manifest(m, boom)
+        assert index.fetch(m.digests[0]) is None

@@ -105,6 +105,17 @@ class TestLifecycle:
             out += [(e.poll, e.state) for e in engine.evaluate(snap)]
         return out
 
+    def test_idle_offload_rule_stays_quiet(self, registry):
+        # Regression companion to the storage_offload_fraction fix:
+        # an idle fleet publishes the signal as None (no data), and a
+        # low-offload rule must freeze — never treat the gap as 0 and
+        # fire on a fleet that simply has no traffic yet.
+        engine = AlertEngine(["storage_offload_fraction < 80% for 2"])
+        events = self.run_polls(
+            engine, [None, None, None, 0.2, 0.2],
+            signal="storage_offload_fraction")
+        assert events == [(4, "pending"), (5, "firing")]
+
     def test_pending_firing_resolved(self, registry):
         engine = AlertEngine(["s > 10 for 3 resolve 2"])
         events = self.run_polls(

@@ -209,9 +209,10 @@ class TestSignals:
             "sim_cache_miss_bytes_total": 75})
         snap = self.poll([real, sim])
         assert snap.signals["cache_hit_ratio"] == pytest.approx(0.5)
-        # Without demand counters, offload falls back to hit ratio.
-        assert snap.signals["storage_offload_fraction"] == \
-            pytest.approx(0.5)
+        # Without demand counters the offload fraction is *unknown* —
+        # it must read as no-data, never borrow the hit ratio as a
+        # confident stand-in for an idle fleet.
+        assert snap.signals["storage_offload_fraction"] is None
 
     def test_offload_prefers_demand_counters(self, registry):
         compute = FakeTarget("c1", {

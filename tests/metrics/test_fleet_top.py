@@ -93,6 +93,18 @@ class TestDashboard:
         snap = agg.poll_once()
         assert "no active alerts" in render_dashboard(snap)
 
+    def test_idle_offload_renders_as_no_data(self, registry):
+        # Regression: with no demand counters anywhere the offload
+        # signal is None; the dashboard row must show n/a, not a
+        # borrowed hit-ratio percentage or a zero.
+        agg = FleetAggregator([_Target("a", 90, 10)], interval=1.0)
+        snap = agg.poll_once()
+        assert snap.signals["storage_offload_fraction"] is None
+        offload_row = next(l for l in render_dashboard(snap).splitlines()
+                           if "offload" in l)
+        assert "n/a" in offload_row
+        assert "%" not in offload_row
+
 
 class TestFleetTopCli:
     @pytest.mark.timeout(90)

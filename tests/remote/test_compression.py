@@ -45,11 +45,13 @@ def zip_base(tmp_path):
 class TestNegotiationMatrix:
     @pytest.mark.parametrize("server_max,expect", [
         (1, wire.VERSION_1), (2, wire.VERSION_2),
-        (3, wire.VERSION_3), (4, wire.VERSION_4)])
+        (3, wire.VERSION_3), (4, wire.VERSION_4),
+        (5, wire.VERSION_5)])
     def test_v4_client_against_every_server(self, zip_base,
                                             server_max, expect):
-        """compress=True clamps transparently: only a v4 server grants
-        it, old servers serve the clamped version uncompressed."""
+        """compress=True clamps transparently: only a v4+ server
+        grants it, old servers serve the clamped version
+        uncompressed."""
         base = RawImage.open(zip_base)
         with BlockServer(max_protocol=server_max) as server:
             server.add_export("base", base)
@@ -57,10 +59,10 @@ class TestNegotiationMatrix:
                                      compress=True) as img:
                 assert img.protocol_version == expect
                 assert img.compression_enabled == (expect
-                                                   == wire.VERSION_4)
+                                                   >= wire.VERSION_4)
                 assert img.read(0, 64 * KiB) == text_pattern(0, 64 * KiB)
                 stats = img.transport_stats
-                if expect == wire.VERSION_4:
+                if expect >= wire.VERSION_4:
                     assert stats.wire_compressed_bytes > 0
                     assert stats.wire_compressed_bytes_raw \
                         > stats.wire_compressed_bytes
@@ -70,7 +72,7 @@ class TestNegotiationMatrix:
                     assert stats.compression_ratio == 1.0
         base.close()
 
-    @pytest.mark.parametrize("pin", [1, 2, 3, 4])
+    @pytest.mark.parametrize("pin", [1, 2, 3, 4, 5])
     def test_pinned_clients_against_v4_server(self, zip_base, pin):
         base = RawImage.open(zip_base)
         with BlockServer() as server:
@@ -116,14 +118,14 @@ class TestNegotiationMatrix:
 
     def test_server_refuses_compression(self, zip_base):
         """On/off asymmetry, server side: a willing client against
-        ``BlockServer(compression=False)`` still negotiates v4 but no
-        frame is ever compressed."""
+        ``BlockServer(compression=False)`` still negotiates the top
+        version but no frame is ever compressed."""
         base = RawImage.open(zip_base)
         with BlockServer(compression=False) as server:
             server.add_export("base", base)
             with RemoteImage.connect(server.url("base"),
                                      compress=True) as img:
-                assert img.protocol_version == wire.VERSION_4
+                assert img.protocol_version == wire.MAX_VERSION
                 assert not img.compression_enabled
                 assert img.read(0, 64 * KiB) == text_pattern(0, 64 * KiB)
                 assert img.transport_stats.wire_compressed_bytes == 0
@@ -137,7 +139,7 @@ class TestNegotiationMatrix:
         with BlockServer() as server:
             server.add_export("base", base)
             with RemoteImage.connect(server.url("base")) as img:
-                assert img.protocol_version == wire.VERSION_4
+                assert img.protocol_version == wire.MAX_VERSION
                 assert not img.compression_enabled
                 assert img.read(0, 64 * KiB) == text_pattern(0, 64 * KiB)
                 assert img.transport_stats.wire_compressed_bytes == 0

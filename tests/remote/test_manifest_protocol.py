@@ -1,0 +1,194 @@
+"""Wire protocol v5: cluster-manifest fetch and its clamp matrix.
+
+v5 frames are v4 frames — the version exists so both sides know
+``REQ_MANIFEST`` is legal.  Under test: the manifest round-trip
+(attached and lazily built), write invalidation, the negotiation
+clamp against every older server, and the per-request error contract
+(a MANIFEST on a sub-v5 connection errors *that request*; the stream
+stays usable).  Runs against the event-loop engine here and is
+re-collected against the threaded engine by
+``test_manifest_protocol_threaded_engine.py``.
+"""
+
+import socket
+
+import pytest
+
+from repro.imagefmt.manifest import ClusterManifest, build_manifest
+from repro.imagefmt.raw import RawImage
+from repro.remote import BlockServer, RemoteImage
+from repro.remote import protocol as wire
+from repro.units import KiB, MiB
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+def pattern(offset: int, length: int) -> bytes:
+    blob = b"".join(b"%08x" % (i & 0xFFFFFFFF)
+                    for i in range(offset // 8, (offset + length) // 8 + 2))
+    return blob[offset % 8: offset % 8 + length]
+
+
+@pytest.fixture
+def base(tmp_path):
+    img = RawImage.create(str(tmp_path / "base.raw"), 1 * MiB)
+    img.write(0, pattern(0, 1 * MiB))
+    yield img
+    img.close()
+
+
+class TestManifestFetch:
+    def test_attached_manifest_roundtrips(self, base):
+        manifest = build_manifest(base, vmi_id="base")
+        with BlockServer() as server:
+            server.add_export("base", base, manifest=manifest)
+            assert server.health()["exports"]["base"]["manifest"] is True
+            with RemoteImage.connect(server.url("base")) as img:
+                assert img.protocol_version == wire.VERSION_5
+                fetched = img.fetch_manifest()
+        assert fetched == manifest
+        assert fetched.content_id == manifest.content_id
+
+    def test_lazy_build_on_bare_export(self, base):
+        """No manifest attached: the server scans the export once and
+        serves the cached blob from then on."""
+        with BlockServer() as server:
+            server.add_export("base", base)
+            assert server.health()["exports"]["base"]["manifest"] is False
+            with RemoteImage.connect(server.url("base")) as img:
+                first = img.fetch_manifest()
+                second = img.fetch_manifest()
+        expected = build_manifest(base, vmi_id="base")
+        assert first.digests == expected.digests
+        assert first == second
+
+    def test_manifest_ops_counted(self, base):
+        with BlockServer() as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base")) as img:
+                img.fetch_manifest()
+                img.fetch_manifest()
+            assert server.export_stats("base").manifest_ops == 2
+            assert server.export_stats("base").summary()[
+                "manifest_ops"] == 2
+
+    def test_write_invalidates_manifest(self, base):
+        with BlockServer() as server:
+            server.add_export("rw", base, writable=True)
+            with RemoteImage.connect(server.url("rw"),
+                                     read_only=False) as img:
+                before = img.fetch_manifest()
+                img.write(0, b"\xde\xad" * (32 * KiB))
+                img.flush()
+                after = img.fetch_manifest()
+        assert before.digests[0] != after.digests[0]
+        assert after.verify_cluster(0, b"\xde\xad" * (32 * KiB))
+
+    def test_set_manifest_replaces(self, base):
+        stub = ClusterManifest(vmi_id="stub", size=base.size,
+                               cluster_size=64 * KiB, digests={})
+        with BlockServer() as server:
+            server.add_export("base", base)
+            server.set_manifest("base", stub)
+            with RemoteImage.connect(server.url("base")) as img:
+                assert img.fetch_manifest() == stub
+
+    def test_set_manifest_unknown_export(self, base):
+        with BlockServer() as server:
+            with pytest.raises(KeyError):
+                server.set_manifest("nope", None)
+
+    def test_verify_against_served_bytes(self, base):
+        """The fetched manifest verifies the same connection's reads —
+        the exact check a peer-fill client performs."""
+        with BlockServer() as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base")) as img:
+                manifest = img.fetch_manifest()
+                for index in (0, 1, len(manifest) - 1):
+                    off, ln = manifest.cluster_extent(index)
+                    assert manifest.verify_cluster(index,
+                                                   img.read(off, ln))
+
+
+class TestClampMatrix:
+    @pytest.mark.parametrize("server_max", [1, 2, 3, 4])
+    def test_v5_client_clamped_by_old_server(self, base, server_max):
+        """Negotiation lands on the server's ceiling; fetch_manifest
+        degrades to a clean client-side ProtocolError while ordinary
+        reads keep working."""
+        with BlockServer(max_protocol=server_max) as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base")) as img:
+                assert img.protocol_version == server_max
+                with pytest.raises(wire.ProtocolError,
+                                   match="requires protocol v5"):
+                    img.fetch_manifest()
+                assert img.read(0, 4 * KiB) == pattern(0, 4 * KiB)
+
+    @pytest.mark.parametrize("pin", [2, 3, 4])
+    def test_pinned_old_client_against_v5_server(self, base, pin):
+        with BlockServer() as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base"),
+                                     protocol=pin) as img:
+                assert img.protocol_version == pin
+                with pytest.raises(wire.ProtocolError):
+                    img.fetch_manifest()
+                assert img.read(0, 4 * KiB) == pattern(0, 4 * KiB)
+
+    def test_raw_manifest_request_on_v3_connection(self, base):
+        """Defense in depth: a non-conforming client that sends
+        REQ_MANIFEST over a v3 negotiation gets a per-request error —
+        the framing survives and the next request is served."""
+        with BlockServer() as server:
+            server.add_export("base", base)
+            with socket.create_connection((server.host, server.port),
+                                          timeout=5.0) as sock:
+                sock.settimeout(5.0)
+                wire.send_handshake_request_v2(sock, "base", version=3)
+                version, _size, _granted = \
+                    wire.recv_handshake_response_ex(sock, max_version=3)
+                assert version == 3
+                wire.send_request_v3(
+                    sock, 7, wire.Request(wire.REQ_MANIFEST, 0, 0))
+                buf = wire.recv_exact(sock, wire.RESPONSE2_HEADER_SIZE)
+                status, tag, length = \
+                    wire.decode_response_v2_header(buf)
+                payload = wire.recv_exact(sock, length)
+                assert tag == 7
+                assert status != wire.STATUS_OK
+                assert b"protocol v5" in payload
+                # Stream intact: an ordinary read still answers.
+                wire.send_request_v3(
+                    sock, 8, wire.Request(wire.REQ_READ, 0, 4096))
+                buf = wire.recv_exact(sock, wire.RESPONSE2_HEADER_SIZE)
+                status, tag, length = \
+                    wire.decode_response_v2_header(buf)
+                assert (status, tag) == (wire.STATUS_OK, 8)
+                assert wire.recv_exact(sock, length) == pattern(0, 4096)
+
+    def test_raw_manifest_request_on_v1_connection(self, base):
+        with BlockServer() as server:
+            server.add_export("base", base)
+            with socket.create_connection((server.host, server.port),
+                                          timeout=5.0) as sock:
+                sock.settimeout(5.0)
+                wire.send_handshake_request(sock, "base")
+                wire.recv_handshake_response(sock)
+                wire.send_request(
+                    sock, wire.Request(wire.REQ_MANIFEST, 0, 0))
+                with pytest.raises(wire.RemoteOpError,
+                                   match="protocol v5"):
+                    wire.recv_response(sock)
+                # Lock-step framing intact after the error.
+                wire.send_request(
+                    sock, wire.Request(wire.REQ_READ, 0, 4096))
+                assert wire.recv_response(sock) == pattern(0, 4096)
+
+    def test_server_accepts_v5_max_protocol(self, base):
+        with BlockServer(max_protocol=5) as server:
+            server.add_export("base", base)
+            with RemoteImage.connect(server.url("base")) as img:
+                assert img.protocol_version == wire.VERSION_5
+                assert len(img.fetch_manifest()) > 0

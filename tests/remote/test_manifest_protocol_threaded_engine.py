@@ -1,0 +1,23 @@
+"""The v5 manifest matrix against the threaded engine.
+
+``test_manifest_protocol.py`` exercises the manifest round-trip and
+the clamp matrix on the default event-loop engine; this module
+re-collects the same classes with ``REPRO_SERVER_ENGINE=threaded``
+pinned so the legacy A/B engine honours the identical v5 contract.
+"""
+
+import pytest
+
+from tests.remote.test_manifest_protocol import (  # noqa: F401
+    TestClampMatrix,
+    TestManifestFetch,
+    base,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+@pytest.fixture(autouse=True)
+def _threaded_engine(monkeypatch):
+    """Every BlockServer in this module runs the legacy engine."""
+    monkeypatch.setenv("REPRO_SERVER_ENGINE", "threaded")

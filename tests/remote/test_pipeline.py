@@ -99,7 +99,7 @@ class TestNegotiation:
         with BlockServer() as server:
             server.add_export("base", base)
             with pytest.raises(ValueError):
-                RemoteImage.connect(server.url("base"), protocol=5)
+                RemoteImage.connect(server.url("base"), protocol=6)
             with pytest.raises(ValueError):
                 RemoteImage.connect(server.url("base"), depth=0)
         base.close()

@@ -1,0 +1,150 @@
+"""Fig 11 at fleet scale: peer fill's storage offload in the twin.
+
+The real three-server tests prove correctness; this proves the
+*scaling claim* — at 64+ nodes the storage node's share of deployment
+traffic collapses when peer fill is on, and the FleetAggregator
+derives the identical offload number from the sim's published metric
+families (no special-case signal code).
+"""
+
+import pytest
+
+from repro.metrics.fleet import FleetAggregator
+from repro.metrics.registry import MetricsRegistry, set_registry
+from repro.sim.peerfill_twin import PeerFillFleetSim, peerfill_targets
+from repro.units import MiB
+
+N = 64
+# Fill time (~1.2 s at 1 GbE) must exceed the 0.5 s stagger, or boots
+# never overlap and there is no contention to relieve.
+WS = 128 * MiB
+
+
+@pytest.fixture(autouse=True)
+def registry():
+    mine = MetricsRegistry()
+    old = set_registry(mine)
+    yield mine
+    set_registry(old)
+
+
+def run_sim(**kw):
+    defaults = dict(n_nodes=N, working_set_bytes=WS, stagger=0.5)
+    defaults.update(kw)
+    return PeerFillFleetSim(**defaults).run()
+
+
+def scrape_signals(sim):
+    """One aggregator poll over the finished sim's targets."""
+    targets = peerfill_targets(sim)
+    agg = FleetAggregator(targets, clock=lambda: sim.env.now + 1.0)
+    snap = agg.poll_once()
+    agg.close()
+    return snap
+
+
+class TestFig11Offload:
+    def test_peer_fill_materially_offloads_storage(self):
+        """The acceptance bar: enabled vs disabled differ materially
+        at 64 nodes."""
+        off = run_sim(peer_fill=False)
+        on = run_sim(peer_fill=True)
+        assert off.storage_offload_fraction == 0.0
+        assert on.storage_offload_fraction > 0.5
+        # Offloading also collapses the makespan: the herd stops
+        # serializing behind one NIC.
+        assert on.makespan < off.makespan / 2
+
+    def test_every_byte_is_accounted(self):
+        sim = run_sim(peer_fill=True, verify_failure_rate=0.05)
+        for s in sim.nodes:
+            assert s.peer_bytes + s.storage_bytes \
+                == s.demand_read_bytes
+        assert sim.peer_bytes_total + sim.storage_served_bytes \
+            == sim.demand_bytes_total
+
+    def test_verify_failures_divert_to_storage(self):
+        clean = run_sim(peer_fill=True, verify_failure_rate=0.0)
+        dirty = run_sim(peer_fill=True, verify_failure_rate=0.25)
+        assert dirty.storage_offload_fraction \
+            < clean.storage_offload_fraction
+        assert sum(s.verify_failures for s in dirty.nodes) > 0
+
+    def test_simultaneous_start_degrades_to_baseline(self):
+        """stagger=0 is the honest edge: nobody is warm while
+        everybody fills, so peer fill cannot help the first wave."""
+        sim = run_sim(peer_fill=True, stagger=0.0)
+        assert sim.storage_offload_fraction == 0.0
+
+    def test_warm_pool_spreads_the_load(self):
+        """Later nodes fill faster than the first wave: every finished
+        boot adds a serving NIC, so fill bandwidth grows."""
+        sim = run_sim(peer_fill=True)
+        first = sim.nodes[0].fill_seconds
+        last = sim.nodes[-1].fill_seconds
+        assert last < first
+        served = {s.peer for s in sim.nodes if s.peer is not None}
+        assert len(served) > 1, "load must spread beyond one peer"
+
+    @pytest.mark.parametrize("fanout", [1, 2, 4])
+    def test_fanout_bound_is_respected(self, fanout):
+        """No peer ever serves more than ``max_peer_fanout`` fills at
+        once — reconstructed from the fill intervals."""
+        sim = run_sim(peer_fill=True, max_peer_fanout=fanout)
+        by_peer: dict[str, list] = {}
+        for s in sim.nodes:
+            if s.peer is not None:
+                by_peer.setdefault(s.peer, []).append(
+                    (s.fill_start, s.fill_end))
+        assert by_peer, "somebody must have served a peer fill"
+        for intervals in by_peer.values():
+            events = [(t, +1) for t, _ in intervals] \
+                + [(t, -1) for _, t in intervals]
+            load = peak = 0
+            for _t, delta in sorted(events):
+                load += delta
+                peak = max(peak, load)
+            assert peak <= fanout
+
+    def test_summary_shape(self):
+        sim = run_sim(peer_fill=True)
+        doc = sim.summary()
+        assert doc["n_nodes"] == N
+        assert doc["peer_fill"] is True
+        assert doc["storage_offload_fraction"] \
+            == sim.storage_offload_fraction
+        assert doc["makespan"] == sim.makespan
+
+    @pytest.mark.parametrize("bad", [
+        dict(n_nodes=0),
+        dict(verify_failure_rate=1.5),
+        dict(verify_failure_rate=-0.1),
+        dict(max_peer_fanout=0),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            PeerFillFleetSim(**bad)
+
+
+class TestAggregatorDerivesTheFigure:
+    def test_signal_matches_sim_truth(self):
+        """The aggregator's preference tuples resolve the sim families
+        into the very number the sim computed — Fig 11 through the
+        scrape plane, no special-case signal code."""
+        sim = run_sim(peer_fill=True)
+        snap = scrape_signals(sim)
+        assert snap.signals["storage_offload_fraction"] \
+            == pytest.approx(sim.storage_offload_fraction)
+
+    def test_signal_zero_without_peer_fill(self):
+        sim = run_sim(peer_fill=False)
+        snap = scrape_signals(sim)
+        assert snap.signals["storage_offload_fraction"] \
+            == pytest.approx(0.0)
+
+    def test_node_health_reports_fill_source(self):
+        sim = run_sim(peer_fill=True)
+        snap = scrape_signals(sim)
+        peers = [v.health.get("peer") for name, v in snap.nodes.items()
+                 if name != "storage"]
+        assert any(p is not None for p in peers)
